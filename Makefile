@@ -1,0 +1,34 @@
+# Convenience targets for the CASA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench exhibits report examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Regenerate every paper exhibit + extensions into benchmarks/out/
+exhibits:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro report --output reproduction_report.txt
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf benchmarks/out .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

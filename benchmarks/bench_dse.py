@@ -1,0 +1,48 @@
+"""Architecture benchmark: spending silicon on cache vs. scratchpad.
+
+The design question the paper's architecture poses: for a fixed
+on-chip area budget, what split between I-cache and CASA-managed
+scratchpad minimises instruction-memory energy?  Expected shape on a
+thrashing workload: the optimum is a *mixed* configuration — a smaller
+cache plus a scratchpad beats spending the whole budget on the cache
+(the paper's architectural premise).
+"""
+
+import pytest
+
+from repro.evaluation.dse import explore, render_design_points
+
+from conftest import BENCH_SCALE, write_report
+
+AREA_BUDGET = 30_000.0
+
+
+@pytest.fixture(scope="module")
+def design_points():
+    return explore("adpcm", area_budget=AREA_BUDGET,
+                   scale=min(BENCH_SCALE, 0.5))
+
+
+def test_dse_report(benchmark, design_points):
+    benchmark.pedantic(lambda: design_points, rounds=1, iterations=1)
+    lines = [render_design_points(design_points, top=8)]
+    best = design_points[0]
+    pure = min((p for p in design_points if p.spm_size == 0),
+               key=lambda p: p.energy)
+    lines.append(
+        f"\nbest split: {best.cache_size}B cache + {best.spm_size}B "
+        f"SPM ({best.energy / 1e3:.2f} uJ) vs best cache-only "
+        f"{pure.cache_size}B ({pure.energy / 1e3:.2f} uJ): "
+        f"{(1 - best.energy / pure.energy) * 100:.1f}% saved"
+    )
+    write_report("dse", "\n".join(lines))
+
+
+def test_mixed_configuration_wins(design_points):
+    best = design_points[0]
+    assert best.spm_size > 0
+
+
+def test_all_points_within_budget(design_points):
+    for point in design_points:
+        assert point.area <= AREA_BUDGET

@@ -1,0 +1,58 @@
+"""Benchmark: regenerate figure 4 (CASA vs. Steinke on MPEG).
+
+Paper series (percent of Steinke = 100): scratchpad accesses, I-cache
+accesses, I-cache misses and energy, for SPM sizes 128-1024 B over a
+2 kB direct-mapped I-cache.  The expected *shape*: CASA shows fewer
+scratchpad accesses, more I-cache accesses, (mostly) fewer misses, and
+lower energy — the paper reports up to 60 % energy reduction and a 28 %
+mpeg average.
+"""
+
+import pytest
+
+from repro.evaluation.fig4 import run_fig4
+
+from conftest import BENCH_SCALE, write_report
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_fig4("mpeg", scale=BENCH_SCALE)
+
+
+def test_fig4_regenerate(benchmark, fig4_result):
+    """Time one full figure-4 sweep and print the paper's series."""
+    result = benchmark.pedantic(
+        lambda: run_fig4("mpeg", scale=BENCH_SCALE),
+        rounds=1, iterations=1,
+    )
+    lines = [result.render(), ""]
+    lines.append(
+        f"average energy improvement: "
+        f"{result.average_energy_improvement:.1f}% "
+        "(paper: 28.0% average for mpeg)"
+    )
+    write_report("fig4", "\n".join(lines))
+
+
+def test_fig4_shape_spm_accesses_lower(fig4_result):
+    """CASA never chases scratchpad accesses (figure 4, observation 1)."""
+    for row in fig4_result.rows:
+        assert row.spm_access_pct <= 100.0 + 1e-9
+
+
+def test_fig4_shape_icache_accesses_higher(fig4_result):
+    """Correspondingly, CASA leaves more fetches on the cache path."""
+    for row in fig4_result.rows:
+        assert row.icache_access_pct >= 100.0 - 1e-9
+
+
+def test_fig4_shape_energy_wins_on_average(fig4_result):
+    """CASA's average energy across the sweep beats Steinke's."""
+    assert fig4_result.average_energy_improvement > 0.0
+
+
+def test_fig4_shape_big_spm_reduces_misses(fig4_result):
+    """At the largest scratchpad CASA removes a large share of misses."""
+    last = fig4_result.rows[-1]
+    assert last.icache_miss_pct < 90.0

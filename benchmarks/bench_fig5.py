@@ -1,0 +1,62 @@
+"""Benchmark: regenerate figure 5 (scratchpad+CASA vs. loop cache+Ross).
+
+Paper series (percent of the loop-cache system = 100): local-memory
+accesses, I-cache accesses, I-cache misses, energy, over sizes
+128-1024 B.  Expected shape: at small sizes the loop cache is
+competitive; as the size grows it saturates at its 4-region limit while
+the scratchpad keeps absorbing objects, so the scratchpad's I-cache
+misses and energy drop well below — a 26 % mpeg average in the paper.
+"""
+
+import pytest
+
+from repro.evaluation.fig5 import run_fig5
+
+from conftest import BENCH_SCALE, write_report
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_fig5("mpeg", scale=BENCH_SCALE)
+
+
+def test_fig5_regenerate(benchmark, fig5_result):
+    """Time one full figure-5 sweep and print the paper's series."""
+    result = benchmark.pedantic(
+        lambda: run_fig5("mpeg", scale=BENCH_SCALE),
+        rounds=1, iterations=1,
+    )
+    lines = [result.render(), ""]
+    lines.append(
+        f"average energy improvement: "
+        f"{result.average_energy_improvement:.1f}% "
+        "(paper: 26.0% average for mpeg)"
+    )
+    write_report("fig5", "\n".join(lines))
+
+
+def test_fig5_loop_cache_region_limit(fig5_result):
+    """Ross can never preload more than 4 regions at any size."""
+    for row in fig5_result.rows:
+        assert len(row.ross.allocation.loop_regions) <= 4
+
+
+def test_fig5_scratchpad_object_count_grows(fig5_result):
+    """The scratchpad keeps accepting objects as its size grows."""
+    counts = [len(r.casa.allocation.spm_resident)
+              for r in fig5_result.rows]
+    assert counts[-1] > counts[0]
+    assert counts[-1] > 4  # beyond any loop-cache region table
+
+
+def test_fig5_energy_advantage_grows(fig5_result):
+    """The scratchpad's energy advantage widens with size (the
+    saturation effect the paper highlights)."""
+    improvements = [100.0 - row.energy_pct for row in fig5_result.rows]
+    assert improvements[-1] > improvements[0]
+    assert improvements[-1] > 0.0
+
+
+def test_fig5_misses_drop_below_loop_cache(fig5_result):
+    last = fig5_result.rows[-1]
+    assert last.icache_miss_pct < 100.0

@@ -1,0 +1,81 @@
+"""Extension benchmark: scratchpad overlay (the paper's future work).
+
+"We intend to extend the approach by considering ... dynamic copying
+(overlay) of memory objects on the scratchpad" (section 7).  On a
+phased workload (the jpeg model: colour conversion -> DCT/quantisation
+-> entropy coding) the overlay ILP re-loads the scratchpad at each
+phase boundary, paying explicit copy energy — and beats the best
+*static* allocation whenever the per-phase working sets differ.
+"""
+
+import pytest
+
+from repro.evaluation.sweep import make_workbench
+from repro.utils.tables import format_table
+
+from conftest import BENCH_SCALE, write_report
+
+SPM_SIZES = (128, 256, 512)
+
+
+@pytest.fixture(scope="module")
+def jpeg_bench():
+    return make_workbench("jpeg", BENCH_SCALE)[1]
+
+
+@pytest.fixture(scope="module")
+def overlay_rows(jpeg_bench):
+    rows = []
+    for size in SPM_SIZES:
+        static = jpeg_bench.run_casa(size)
+        overlay = jpeg_bench.run_overlay(size)
+        rows.append((size, static, overlay))
+    return rows
+
+
+def test_overlay_report(benchmark, jpeg_bench, overlay_rows):
+    benchmark.pedantic(
+        lambda: jpeg_bench.run_overlay(SPM_SIZES[0]),
+        rounds=1, iterations=1,
+    )
+    headers = ["SPM", "static CASA uJ", "overlay uJ", "copy words",
+               "copy uJ", "gain %"]
+    table_rows = []
+    for size, static, overlay in overlay_rows:
+        gain = (1 - overlay.energy.total / static.energy.total) * 100
+        table_rows.append([
+            f"{size}B",
+            f"{static.energy.total / 1e3:.2f}",
+            f"{overlay.energy.total / 1e3:.2f}",
+            overlay.report.overlay_copy_words,
+            f"{overlay.energy.overlay_copies / 1e3:.2f}",
+            f"{gain:.1f}",
+        ])
+    write_report(
+        "overlay",
+        format_table(headers, table_rows,
+                     title="Extension - scratchpad overlay on the "
+                           "phased jpeg workload"),
+    )
+
+
+def test_overlay_never_loses_to_static(overlay_rows):
+    """The overlay ILP contains every static allocation as a feasible
+    point, so (up to model/simulation noise) it should not lose."""
+    for _, static, overlay in overlay_rows:
+        assert overlay.energy.total <= static.energy.total * 1.05
+
+
+def test_overlay_wins_at_small_sizes(overlay_rows):
+    """When the scratchpad cannot hold all phases' working sets at
+    once, swapping wins decisively."""
+    size, static, overlay = overlay_rows[0]
+    assert overlay.energy.total < static.energy.total * 0.95
+
+
+def test_copy_energy_smaller_than_savings(overlay_rows):
+    for _, static, overlay in overlay_rows:
+        saving = static.energy.total - overlay.energy.total
+        if saving > 0:
+            assert overlay.energy.overlay_copies < \
+                static.energy.total

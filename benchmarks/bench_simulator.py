@@ -1,0 +1,52 @@
+"""Microbenchmarks of the substrate: cache simulator and executor.
+
+These time the two inner loops everything else is built on, so
+regressions in the hot paths are visible independently of the
+figure-level numbers.
+"""
+
+import pytest
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import HierarchyConfig, simulate
+from repro.program.executor import execute_program
+from repro.workloads import get_workload
+from repro.traces.layout import LinkedImage
+from repro.traces.tracegen import TraceGenConfig, generate_traces
+
+
+def test_cache_access_throughput(benchmark):
+    """Raw line-probe throughput of the attributed cache."""
+    cache = Cache(CacheConfig(size=2048, line_size=16, associativity=1))
+    lines = [(i * 7) % 400 for i in range(10_000)]
+
+    def run():
+        for line in lines:
+            cache.access_line(line, "M")
+
+    benchmark(run)
+
+
+def test_executor_throughput(benchmark):
+    """CFG execution speed on the g721 workload."""
+    program = get_workload("g721", scale=0.2).program
+    benchmark.pedantic(
+        lambda: execute_program(program), rounds=3, iterations=1,
+    )
+
+
+def test_hierarchy_replay_throughput(benchmark):
+    """Block-sequence replay through fetch plans + cache."""
+    workload = get_workload("g721", scale=0.2)
+    execution = execute_program(workload.program)
+    mos = generate_traces(
+        workload.program, execution.profile,
+        TraceGenConfig(line_size=16, max_trace_size=128),
+    )
+    image = LinkedImage(workload.program, mos)
+    config = HierarchyConfig(cache=workload.cache)
+
+    benchmark.pedantic(
+        lambda: simulate(image, config, execution.block_sequence),
+        rounds=3, iterations=1,
+    )

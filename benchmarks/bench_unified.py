@@ -1,0 +1,99 @@
+"""Extension benchmark: one scratchpad shared by code and data.
+
+Steinke et al. allocated "both program and data parts" to the
+scratchpad; the unified CASA ILP does the same with conflict awareness
+on both sides.  Sweeping the shared capacity on adpcm shows how the
+optimiser re-balances the split between instruction traces and data
+objects as space grows.
+"""
+
+import pytest
+
+from repro.core.unified import UnifiedCasaAllocator, unified_steinke
+from repro.data import DataHierarchyConfig, DataWorkbench
+from repro.evaluation.sweep import make_workbench
+from repro.memory.cache import CacheConfig
+from repro.utils.tables import format_table
+from repro.workloads.dataspecs import get_data_spec
+
+from conftest import BENCH_SCALE, write_report
+
+SPM_SIZES = (64, 128, 256, 512)
+
+
+@pytest.fixture(scope="module")
+def unified_setup():
+    workload, code_bench = make_workbench("adpcm",
+                                          min(BENCH_SCALE, 0.5))
+    data_bench = DataWorkbench(
+        code_bench.program,
+        get_data_spec("adpcm"),
+        DataHierarchyConfig(
+            cache=CacheConfig(size=256, line_size=16, associativity=1),
+            spm_size=max(SPM_SIZES),
+        ),
+    )
+    rows = []
+    for size in SPM_SIZES:
+        code_model = code_bench.spm_energy_model(size)
+        data_model = data_bench.energy_model()
+        casa = UnifiedCasaAllocator().allocate(
+            code_bench.conflict_graph, code_model,
+            data_bench.conflict_graph, data_model, size,
+        )
+        steinke = unified_steinke(
+            code_bench.conflict_graph, code_model,
+            data_bench.conflict_graph, data_model, size,
+        )
+        rows.append((size, casa, steinke))
+    return code_bench, data_bench, rows
+
+
+def test_unified_report(benchmark, unified_setup):
+    code_bench, data_bench, rows = unified_setup
+
+    def resolve_once():
+        return UnifiedCasaAllocator().allocate(
+            code_bench.conflict_graph,
+            code_bench.spm_energy_model(128),
+            data_bench.conflict_graph,
+            data_bench.energy_model(),
+            128,
+        )
+
+    benchmark.pedantic(resolve_once, rounds=1, iterations=1)
+    table = []
+    for size, casa, steinke in rows:
+        table.append([
+            f"{size}B",
+            len(casa.code_resident), len(casa.data_resident),
+            f"{casa.used_bytes}",
+            len(steinke.code_resident), len(steinke.data_resident),
+        ])
+    write_report(
+        "unified",
+        format_table(
+            ["SPM", "CASA code objs", "CASA data objs", "CASA bytes",
+             "Steinke code objs", "Steinke data objs"],
+            table,
+            title="Extension - unified code+data allocation (adpcm)",
+        ),
+    )
+
+
+def test_capacity_shared_and_respected(unified_setup):
+    _, _, rows = unified_setup
+    for size, casa, steinke in rows:
+        assert casa.used_bytes <= size
+        assert steinke.used_bytes <= size
+
+
+def test_mix_evolves_with_capacity(unified_setup):
+    """More capacity can only grow (or keep) the resident population."""
+    _, _, rows = unified_setup
+    counts = [
+        len(casa.code_resident) + len(casa.data_resident)
+        for _, casa, _ in rows
+    ]
+    assert counts[-1] >= counts[0]
+    assert counts[-1] >= 2  # both kinds compete successfully at 512 B

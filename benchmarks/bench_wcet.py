@@ -1,0 +1,80 @@
+"""Extension benchmark: WCET tightening through scratchpad allocation.
+
+Quantifies the paper's introductory claim that scratchpads "allow
+tighter bounds on WCET prediction": the IPET bound of each benchmark
+under (a) cache-only fetching (every touched line conservatively
+misses) and (b) CASA scratchpad allocations of growing size (resident
+code fetches deterministically).
+"""
+
+import pytest
+
+from repro.analysis.wcet import FetchLatency, compute_wcet
+from repro.evaluation.sweep import make_workbench
+from repro.traces.layout import LinkedImage
+from repro.utils.tables import format_table
+
+from conftest import BENCH_SCALE, write_report
+
+LATENCY = FetchLatency(spm=1, cache_hit=1, cache_miss=20)
+
+
+@pytest.fixture(scope="module")
+def wcet_rows():
+    rows = []
+    for name in ("adpcm", "g721"):
+        workload, bench = make_workbench(name, min(BENCH_SCALE, 0.5))
+        baseline_image = LinkedImage(bench.program,
+                                     bench.memory_objects)
+        baseline = compute_wcet(bench.program, baseline_image,
+                                LATENCY).program_wcet
+        for size in workload.spm_sizes:
+            result = bench.run_casa(size)
+            image = LinkedImage(
+                bench.program, bench.memory_objects,
+                spm_resident=result.allocation.spm_resident,
+                spm_size=size,
+            )
+            bound = compute_wcet(bench.program, image,
+                                 LATENCY).program_wcet
+            rows.append((name, size, baseline, bound))
+    return rows
+
+
+def test_wcet_report(benchmark, wcet_rows):
+    workload, bench = make_workbench("adpcm", min(BENCH_SCALE, 0.5))
+    image = LinkedImage(bench.program, bench.memory_objects)
+    benchmark.pedantic(
+        lambda: compute_wcet(bench.program, image, LATENCY),
+        rounds=3, iterations=1,
+    )
+    table = []
+    for name, size, baseline, bound in wcet_rows:
+        table.append([
+            name, f"{size}B", f"{baseline:.0f}", f"{bound:.0f}",
+            f"{(1 - bound / baseline) * 100:.1f}",
+        ])
+    write_report(
+        "wcet",
+        format_table(
+            ["workload", "SPM", "cache-only WCET (cycles)",
+             "CASA WCET (cycles)", "tightening %"],
+            table,
+            title="Extension - WCET bounds (IPET) with and without "
+                  "the scratchpad",
+        ),
+    )
+
+
+def test_scratchpad_tightens_every_bound(wcet_rows):
+    for _, _, baseline, bound in wcet_rows:
+        assert bound <= baseline + 1e-6
+
+
+def test_bigger_spm_never_loosens(wcet_rows):
+    by_workload: dict[str, list[float]] = {}
+    for name, size, _, bound in wcet_rows:
+        by_workload.setdefault(name, []).append(bound)
+    for bounds in by_workload.values():
+        for small, large in zip(bounds, bounds[1:]):
+            assert large <= small + 1e-6

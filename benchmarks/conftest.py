@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's exhibits and prints the
+same rows/series the paper reports (run with ``-s`` to see them inline;
+they are also written to ``benchmarks/out/``).
+
+``REPRO_BENCH_SCALE`` (default 1.0) multiplies the workloads'
+outer-loop trip counts; smaller values give proportionally faster runs
+with the same qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+#: Workload trip-count multiplier for all benchmarks.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+_OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_report(name: str, text: str) -> None:
+    """Print an exhibit and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    _OUT_DIR.mkdir(exist_ok=True)
+    (_OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """The configured workload scale."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def mpeg_bench():
+    """Profiled mpeg workbench at the benchmark scale."""
+    from repro.evaluation.sweep import make_workbench
+    return make_workbench("mpeg", BENCH_SCALE)[1]

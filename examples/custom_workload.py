@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bring your own workload: build a program with the DSL and allocate.
+
+Shows the full public API surface: the structured-code builder, trace
+generation parameters, the conflict graph (exported as Graphviz DOT),
+and all three allocators on a custom "two thrashing filters" program —
+the minimal scenario where cache-awareness matters: two hot kernels
+alternate and evict each other in a direct-mapped cache.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import (
+    CacheConfig,
+    CasaAllocator,
+    GreedyCasaAllocator,
+    SteinkeAllocator,
+    Workbench,
+    WorkbenchConfig,
+)
+from repro.traces import TraceGenConfig
+from repro.workloads import Call, Loop, ProgramBuilder, Seq, Straight
+
+
+def build_program():
+    builder = ProgramBuilder("two-filters")
+    builder.add_function("main", Seq([
+        Straight(6),
+        Loop(trip=400, body=Seq([
+            Call("filter_a"),
+            Call("filter_b"),
+        ])),
+        Straight(4),
+    ]))
+    # Both filters are ~200 B; with a 256 B direct-mapped cache and the
+    # padding between them they collide and thrash.
+    builder.add_function("filter_a", Seq([
+        Straight(20), Loop(trip=3, body=Straight(8)), Straight(12),
+    ]))
+    builder.add_function("pad", Straight(40))  # cold spacer
+    builder.add_function("filter_b", Seq([
+        Straight(18), Loop(trip=3, body=Straight(10)), Straight(10),
+    ]))
+    return builder.build(entry="main")
+
+
+def main() -> None:
+    program = build_program()
+    bench = Workbench(program, WorkbenchConfig(
+        cache=CacheConfig(size=256, line_size=16, associativity=1),
+        tracegen=TraceGenConfig(line_size=16, max_trace_size=128),
+    ))
+
+    print(f"program: {program.size} B, "
+          f"{len(bench.memory_objects)} memory objects")
+    report = bench.baseline_report
+    print(f"baseline: {report.cache_misses} misses "
+          f"({report.conflict_miss_total} conflict)")
+
+    graph = bench.conflict_graph
+    print("\nconflict graph (DOT):")
+    print(graph.to_dot())
+
+    spm_size = 128
+    model = bench.spm_energy_model(spm_size)
+    print(f"\nallocations for a {spm_size} B scratchpad:")
+    for allocator_result, label in (
+        (bench.run_casa(spm_size), "CASA (exact ILP)"),
+        (bench.run_greedy(spm_size), "greedy CASA"),
+        (bench.run_steinke(spm_size), "Steinke (cache-blind)"),
+    ):
+        report = allocator_result.report
+        print(f"  {label:22s}: "
+              f"{sorted(allocator_result.allocation.spm_resident)!s:30s} "
+              f"misses={report.cache_misses:6d} "
+              f"energy={allocator_result.total_energy / 1e3:8.2f} uJ")
+
+    # The exact ILP is provably optimal under the model:
+    casa = CasaAllocator().allocate(graph, spm_size, model)
+    print(f"\nCASA predicted energy: {casa.predicted_energy / 1e3:.2f} uJ "
+          f"(solved in {casa.solver_nodes} B&B nodes)")
+
+
+if __name__ == "__main__":
+    main()

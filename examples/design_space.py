@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Architecture exploration: cache vs. scratchpad under an area budget.
+
+The paper's architecture (figure 1) pairs a cache with a scratchpad;
+this example asks the architect's question directly: given a fixed
+on-chip SRAM area budget, what split minimises instruction-memory
+energy once CASA manages the scratchpad?
+
+Usage::
+
+    python examples/design_space.py [workload] [area_budget] [scale]
+"""
+
+import sys
+
+from repro.evaluation.dse import explore, render_design_points
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "adpcm"
+    budget = float(sys.argv[2]) if len(sys.argv) > 2 else 30_000.0
+    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.3
+
+    points = explore(workload, budget, scale=scale)
+    print(f"{workload}: {len(points)} feasible configurations under "
+          f"budget {budget:.0f}\n")
+    print(render_design_points(points, top=10))
+
+    best = points[0]
+    pure_cache = [p for p in points if p.spm_size == 0]
+    if pure_cache:
+        reference = min(pure_cache, key=lambda p: p.energy)
+        saving = (1 - best.energy / reference.energy) * 100
+        print(f"\nbest split ({best.cache_size}B cache + "
+              f"{best.spm_size}B SPM) saves {saving:.1f}% over the "
+              f"best cache-only point ({reference.cache_size}B)")
+    cheapest_close = min(
+        (p for p in points if p.energy <= best.energy * 1.05),
+        key=lambda p: p.area,
+    )
+    print(f"within 5% of the optimum at the smallest area: "
+          f"{cheapest_close.cache_size}B cache + "
+          f"{cheapest_close.spm_size}B SPM "
+          f"({cheapest_close.area / best.area * 100:.0f}% of the "
+          "optimum's area)")
+
+
+if __name__ == "__main__":
+    main()

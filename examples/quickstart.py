@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: allocate a scratchpad for a small workload with CASA.
+
+Runs the full pipeline of the paper's figure 3 on the bundled `tiny`
+workload: execute + profile, generate traces, simulate the baseline
+cache, build the conflict graph, solve the CASA ILP, and re-simulate
+with the chosen objects on the scratchpad.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import Workbench, WorkbenchConfig, get_workload
+from repro.traces import TraceGenConfig
+from repro.utils.units import format_energy
+
+
+def main() -> None:
+    workload = get_workload("tiny")
+    bench = Workbench(
+        workload.program,
+        WorkbenchConfig(
+            cache=workload.cache,
+            tracegen=TraceGenConfig(
+                line_size=workload.cache.line_size, max_trace_size=64
+            ),
+        ),
+    )
+
+    print(f"workload: {workload.name} ({workload.program.size} bytes, "
+          f"{workload.program.num_blocks} basic blocks)")
+    print(f"traces (memory objects): {len(bench.memory_objects)}")
+    for mo in bench.memory_objects:
+        print(f"  {mo.describe()}")
+
+    baseline = bench.baseline_result()
+    print(f"\ncache-only energy: {format_energy(baseline.total_energy)}")
+
+    for spm_size in (64, 128):
+        result = bench.run_casa(spm_size)
+        saving = (1 - result.total_energy / baseline.total_energy) * 100
+        print(f"\nscratchpad {spm_size} B  (CASA)")
+        print(f"  resident objects : "
+              f"{sorted(result.allocation.spm_resident)}")
+        print(f"  scratchpad used  : {result.allocation.used_bytes} B")
+        print(f"  energy           : "
+              f"{format_energy(result.total_energy)} "
+              f"({saving:.1f}% below cache-only)")
+        print(f"  fetch breakdown  : {result.report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim (the environment lacks the `wheel` package, so
+PEP 660 editable installs fail; `python setup.py develop` and
+`pip install -e . --no-build-isolation` both work through this shim)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — Cache-Aware Scratchpad Allocation (CASA), reproduced.
+
+A from-scratch Python implementation of M. Verma, L. Wehmeyer and
+P. Marwedel, *"Cache-Aware Scratchpad Allocation Algorithm"*, DATE 2004:
+the CASA ILP allocator plus every substrate the paper's evaluation
+needs — an ARM-like program model and executor, trace generation, a
+set-associative I-cache simulator with conflict attribution, scratchpad
+and preloaded-loop-cache models, CACTI-style energy models, an ILP
+solver, the Steinke and Ross baselines, and the figure/table harnesses.
+
+Quickstart::
+
+    from repro import Workbench, WorkbenchConfig, get_workload
+    from repro.traces import TraceGenConfig
+
+    workload = get_workload("mpeg", scale=0.1)
+    bench = Workbench(
+        workload.program,
+        WorkbenchConfig(
+            cache=workload.cache,
+            tracegen=TraceGenConfig(
+                line_size=workload.cache.line_size, max_trace_size=128
+            ),
+        ),
+    )
+    result = bench.run_casa(spm_size=256)
+    print(result.energy.total, result.allocation.spm_resident)
+"""
+
+from repro.core import (
+    Allocation,
+    CasaAllocator,
+    CasaConfig,
+    ConflictGraph,
+    ExperimentResult,
+    GreedyCasaAllocator,
+    MultiScratchpadAllocator,
+    RossLoopCacheAllocator,
+    ScratchpadSpec,
+    SteinkeAllocator,
+    Workbench,
+    WorkbenchConfig,
+)
+from repro.energy import EnergyModel, build_energy_model, compute_energy
+from repro.memory import CacheConfig, HierarchyConfig, LoopCacheConfig
+from repro.program import Program, execute_program
+from repro.traces import TraceGenConfig, generate_traces
+from repro.workloads import available_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "CasaAllocator",
+    "CasaConfig",
+    "ConflictGraph",
+    "ExperimentResult",
+    "GreedyCasaAllocator",
+    "MultiScratchpadAllocator",
+    "RossLoopCacheAllocator",
+    "ScratchpadSpec",
+    "SteinkeAllocator",
+    "Workbench",
+    "WorkbenchConfig",
+    "EnergyModel",
+    "build_energy_model",
+    "compute_energy",
+    "CacheConfig",
+    "HierarchyConfig",
+    "LoopCacheConfig",
+    "Program",
+    "execute_program",
+    "TraceGenConfig",
+    "generate_traces",
+    "available_workloads",
+    "get_workload",
+    "__version__",
+]

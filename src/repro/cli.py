@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro <command>`` or ``casa``.
+
+Commands:
+
+* ``fig4`` / ``fig5`` / ``table1`` — regenerate the paper's exhibits;
+* ``sweep`` — free-form size sweep of any workload/allocators;
+* ``graph`` — dump a workload's conflict graph as Graphviz DOT;
+* ``workloads`` — list registered benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation.fig4 import run_fig4
+from repro.evaluation.fig5 import run_fig5
+from repro.evaluation.sweep import make_workbench, run_sweep
+from repro.evaluation.table1 import run_table1
+from repro.evaluation.reporting import microjoules, percent
+from repro.utils.tables import format_table
+from repro.workloads.registry import available_workloads
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="outer-loop trip-count multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="executor seed for probabilistic branches (default 0)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="casa",
+        description="Cache-Aware Scratchpad Allocation (DATE 2004) "
+                    "reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig4 = sub.add_parser("fig4", help="CASA vs. Steinke (figure 4)")
+    fig4.add_argument("--workload", default="mpeg",
+                      choices=available_workloads())
+    fig4.add_argument("--chart", action="store_true",
+                      help="render as grouped bars")
+    _add_scale(fig4)
+
+    fig5 = sub.add_parser("fig5",
+                          help="scratchpad vs. loop cache (figure 5)")
+    fig5.add_argument("--workload", default="mpeg",
+                      choices=available_workloads())
+    fig5.add_argument("--chart", action="store_true",
+                      help="render as grouped bars")
+    _add_scale(fig5)
+
+    table1 = sub.add_parser("table1", help="overall savings (table 1)")
+    _add_scale(table1)
+
+    sweep = sub.add_parser("sweep", help="free-form size sweep")
+    sweep.add_argument("--workload", default="mpeg",
+                       choices=available_workloads())
+    sweep.add_argument("--sizes", type=int, nargs="+", default=None,
+                       help="scratchpad sizes in bytes")
+    sweep.add_argument(
+        "--algorithms", nargs="+",
+        default=["casa", "steinke", "ross"],
+        choices=["casa", "steinke", "greedy", "ross"],
+    )
+    _add_scale(sweep)
+
+    graph = sub.add_parser("graph", help="dump the conflict graph (DOT)")
+    graph.add_argument("--workload", default="mpeg",
+                       choices=available_workloads())
+    _add_scale(graph)
+
+    overlay = sub.add_parser(
+        "overlay",
+        help="static CASA vs. overlay (the paper's future work)",
+    )
+    overlay.add_argument("--workload", default="jpeg",
+                         choices=available_workloads())
+    overlay.add_argument("--spm-size", type=int, default=128)
+    _add_scale(overlay)
+
+    pressure = sub.add_parser(
+        "pressure", help="show the most contended cache sets"
+    )
+    pressure.add_argument("--workload", default="adpcm",
+                          choices=available_workloads())
+    pressure.add_argument("--top", type=int, default=10)
+    _add_scale(pressure)
+
+    wcet = sub.add_parser(
+        "wcet", help="WCET bound with and without the scratchpad"
+    )
+    wcet.add_argument("--workload", default="adpcm",
+                      choices=available_workloads())
+    wcet.add_argument("--spm-size", type=int, default=128)
+    _add_scale(wcet)
+
+    dse = sub.add_parser(
+        "dse",
+        help="best cache/scratchpad split under an area budget",
+    )
+    dse.add_argument("--workload", default="adpcm",
+                     choices=available_workloads())
+    dse.add_argument("--budget", type=float, default=30_000.0,
+                     help="on-chip area budget (model units)")
+    dse.add_argument("--top", type=int, default=8)
+    _add_scale(dse)
+
+    explain = sub.add_parser(
+        "explain",
+        help="justify a CASA allocation object by object",
+    )
+    explain.add_argument("--workload", default="adpcm",
+                         choices=available_workloads())
+    explain.add_argument("--spm-size", type=int, default=128)
+    _add_scale(explain)
+
+    report = sub.add_parser(
+        "report", help="run every exhibit and print one document"
+    )
+    report.add_argument("--output", default=None,
+                        help="also write the report to this file")
+    report.add_argument("--no-charts", action="store_true")
+    _add_scale(report)
+
+    sub.add_parser("workloads", help="list registered benchmarks")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "workloads":
+        for name in available_workloads():
+            print(name)
+        return 0
+
+    if args.command == "fig4":
+        result = run_fig4(args.workload, scale=args.scale, seed=args.seed)
+        print(result.render_chart() if args.chart else result.render())
+        print(f"average energy improvement: "
+              f"{percent(result.average_energy_improvement)}%")
+        return 0
+
+    if args.command == "fig5":
+        result = run_fig5(args.workload, scale=args.scale, seed=args.seed)
+        print(result.render_chart() if args.chart else result.render())
+        print(f"average energy improvement: "
+              f"{percent(result.average_energy_improvement)}%")
+        return 0
+
+    if args.command == "table1":
+        result = run_table1(scale=args.scale, seed=args.seed)
+        print(result.render())
+        print(f"overall: {percent(result.overall_vs_steinke)}% vs. "
+              f"Steinke, {percent(result.overall_vs_loop_cache)}% vs. "
+              "loop cache (paper: 21.1% / 28.6%)")
+        return 0
+
+    if args.command == "sweep":
+        points = run_sweep(
+            args.workload,
+            tuple(args.sizes) if args.sizes else None,
+            algorithms=tuple(args.algorithms),
+            scale=args.scale,
+            seed=args.seed,
+        )
+        headers = ["size (B)"] + [f"{a} (uJ)" for a in args.algorithms]
+        rows = [
+            [point.spm_size]
+            + [microjoules(point.energy(a)) for a in args.algorithms]
+            for point in points
+        ]
+        print(format_table(headers, rows,
+                           title=f"sweep of {args.workload}"))
+        return 0
+
+    if args.command == "graph":
+        _, bench = make_workbench(args.workload, args.scale, args.seed)
+        print(bench.conflict_graph.to_dot())
+        return 0
+
+    if args.command == "overlay":
+        _, bench = make_workbench(args.workload, args.scale, args.seed)
+        static = bench.run_casa(args.spm_size)
+        overlay = bench.run_overlay(args.spm_size)
+        gain = (1 - overlay.energy.total / static.energy.total) * 100
+        print(f"static CASA : {microjoules(static.energy.total)} uJ")
+        print(f"overlay     : {microjoules(overlay.energy.total)} uJ "
+              f"({overlay.report.overlay_copy_words} copy words)")
+        print(f"overlay gain: {percent(gain)}%")
+        return 0
+
+    if args.command == "wcet":
+        from repro.analysis.wcet import compute_wcet
+        from repro.traces.layout import LinkedImage
+
+        _, bench = make_workbench(args.workload, args.scale, args.seed)
+        baseline_image = LinkedImage(bench.program,
+                                     bench.memory_objects)
+        baseline = compute_wcet(bench.program, baseline_image)
+        result = bench.run_casa(args.spm_size)
+        image = LinkedImage(
+            bench.program, bench.memory_objects,
+            spm_resident=result.allocation.spm_resident,
+            spm_size=args.spm_size,
+        )
+        allocated = compute_wcet(bench.program, image)
+        tightening = (1 - allocated.program_wcet
+                      / baseline.program_wcet) * 100
+        print(f"cache-only WCET bound : "
+              f"{baseline.program_wcet:.0f} cycles")
+        print(f"with {args.spm_size} B SPM    : "
+              f"{allocated.program_wcet:.0f} cycles")
+        print(f"tightening            : {percent(tightening)}%")
+        return 0
+
+    if args.command == "dse":
+        from repro.evaluation.dse import explore, render_design_points
+        points = explore(args.workload, args.budget, scale=args.scale,
+                         seed=args.seed)
+        print(render_design_points(points, top=args.top))
+        best = points[0]
+        print(f"best: {best.cache_size}B cache + {best.spm_size}B "
+              f"scratchpad at {microjoules(best.energy)} uJ")
+        return 0
+
+    if args.command == "explain":
+        from repro.core.casa import CasaAllocator
+        from repro.evaluation.explain import (
+            explain_allocation,
+            render_explanation,
+        )
+
+        _, bench = make_workbench(args.workload, args.scale, args.seed)
+        model = bench.spm_energy_model(args.spm_size)
+        allocation = CasaAllocator().allocate(
+            bench.conflict_graph, args.spm_size, model
+        )
+        explanations = explain_allocation(
+            bench.conflict_graph, allocation, model
+        )
+        print(f"CASA on {args.workload}, {args.spm_size} B scratchpad "
+              f"({allocation.used_bytes} B used, solved in "
+              f"{allocation.solver_nodes} B&B nodes)\n")
+        print(render_explanation(explanations))
+        return 0
+
+    if args.command == "report":
+        from repro.evaluation.reportgen import generate_report
+        text = generate_report(scale=args.scale, seed=args.seed,
+                               charts=not args.no_charts)
+        print(text)
+        if args.output:
+            import pathlib
+            pathlib.Path(args.output).write_text(text + "\n")
+        return 0
+
+    if args.command == "pressure":
+        from repro.analysis import (
+            cache_set_pressure,
+            render_pressure_table,
+        )
+        from repro.traces.layout import LinkedImage
+
+        workload, bench = make_workbench(args.workload, args.scale,
+                                         args.seed)
+        image = LinkedImage(bench.program, bench.memory_objects)
+        pressures = cache_set_pressure(image, workload.cache,
+                                       bench.conflict_graph)
+        print(render_pressure_table(pressures, top=args.top))
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

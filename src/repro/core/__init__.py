@@ -1,0 +1,72 @@
+"""The paper's contribution: cache-aware scratchpad allocation.
+
+* :mod:`repro.core.conflict_graph` — the conflict graph G = (X, E) of
+  section 3.3, built from an attributed cache simulation;
+* :mod:`repro.core.casa` — the CASA ILP (eqs. 7-17) solved exactly;
+* :mod:`repro.core.steinke` — the Steinke et al. (DATE 2002) cache-blind
+  knapsack baseline;
+* :mod:`repro.core.ross` — the Ross/Gordon-Ross & Vahid preloaded
+  loop-cache allocator;
+* :mod:`repro.core.greedy_allocator` — a greedy CASA variant (ablation);
+* :mod:`repro.core.multi_spm` — the multi-scratchpad extension the
+  paper sketches in section 4;
+* :mod:`repro.core.pipeline` — the end-to-end experimental workflow of
+  figure 3.
+"""
+
+from repro.core.allocation import Allocation
+from repro.core.annealing import AnnealingAllocator, AnnealingConfig
+from repro.core.casa import CasaAllocator, CasaConfig
+from repro.core.conflict_graph import ConflictGraph, ConflictNode
+from repro.core.greedy_allocator import GreedyCasaAllocator
+from repro.core.multi_spm import MultiScratchpadAllocator, ScratchpadSpec
+from repro.core.overlay import (
+    OverlayAllocation,
+    OverlayAllocator,
+    OverlayConfig,
+    PhasedConflictData,
+)
+from repro.core.phases import Phase, PhasePartition, detect_phases
+from repro.core.placement import ConflictAwarePlacer, PlacementResult
+from repro.core.pipeline import (
+    ExperimentResult,
+    Workbench,
+    WorkbenchConfig,
+)
+from repro.core.ross import RossLoopCacheAllocator
+from repro.core.steinke import SteinkeAllocator
+from repro.core.unified import (
+    UnifiedAllocation,
+    UnifiedCasaAllocator,
+    unified_steinke,
+)
+
+__all__ = [
+    "Allocation",
+    "AnnealingAllocator",
+    "AnnealingConfig",
+    "OverlayAllocation",
+    "OverlayAllocator",
+    "OverlayConfig",
+    "PhasedConflictData",
+    "Phase",
+    "PhasePartition",
+    "detect_phases",
+    "ConflictAwarePlacer",
+    "PlacementResult",
+    "CasaAllocator",
+    "CasaConfig",
+    "ConflictGraph",
+    "ConflictNode",
+    "GreedyCasaAllocator",
+    "MultiScratchpadAllocator",
+    "ScratchpadSpec",
+    "ExperimentResult",
+    "Workbench",
+    "WorkbenchConfig",
+    "RossLoopCacheAllocator",
+    "SteinkeAllocator",
+    "UnifiedAllocation",
+    "UnifiedCasaAllocator",
+    "unified_steinke",
+]

@@ -1,0 +1,56 @@
+"""Allocation results shared by all allocators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.loopcache import LoopRegion
+from repro.traces.layout import Placement
+
+
+@dataclass
+class Allocation:
+    """Decision of one allocator.
+
+    Attributes:
+        algorithm: allocator name (``casa``, ``steinke``, ``ross`` ...).
+        spm_resident: memory objects placed on the scratchpad (empty for
+            loop-cache allocations).
+        loop_regions: preloaded loop-cache regions (empty for scratchpad
+            allocations).
+        placement: how the main-memory image treats the residents
+            (copy for CASA, compact for Steinke).
+        predicted_energy: the allocator's own estimate of the resulting
+            energy in nJ (``None`` when the algorithm does not predict
+            one, e.g. Ross's greedy heuristic).
+        solver_nodes: branch & bound nodes used (0 for non-ILP methods).
+        capacity: the scratchpad/loop-cache capacity allocated against.
+        used_bytes: bytes of the capacity actually consumed.
+    """
+
+    algorithm: str
+    spm_resident: frozenset[str] = frozenset()
+    loop_regions: tuple[LoopRegion, ...] = ()
+    placement: Placement = Placement.COPY
+    predicted_energy: float | None = None
+    solver_nodes: int = 0
+    capacity: int = 0
+    used_bytes: int = 0
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the capacity used (0 for a zero-size memory)."""
+        if self.capacity == 0:
+            return 0.0
+        return self.used_bytes / self.capacity
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        if self.loop_regions:
+            what = f"{len(self.loop_regions)} regions"
+        else:
+            what = f"{len(self.spm_resident)} objects"
+        return (
+            f"{self.algorithm}: {what}, "
+            f"{self.used_bytes}/{self.capacity} bytes"
+        )

@@ -1,0 +1,133 @@
+"""Simulated-annealing scratchpad allocation (solver ablation).
+
+Between the greedy heuristic and the exact ILP sits the classic
+metaheuristic family.  This allocator optimises the same objective as
+CASA — :meth:`~repro.core.conflict_graph.ConflictGraph.predicted_energy`
+— with single-object flip moves and a geometric cooling schedule.  It
+exists to quantify where annealing lands between greedy and exact on
+real conflict graphs (see ``bench_ablation_solvers``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.core.conflict_graph import ConflictGraph
+from repro.energy.model import EnergyModel
+from repro.traces.layout import Placement
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class AnnealingConfig:
+    """Annealing schedule parameters.
+
+    Attributes:
+        iterations: total move proposals.
+        initial_temperature: starting temperature, as a fraction of the
+            empty-allocation energy (scale-free).
+        cooling: geometric cooling factor per iteration.
+        seed: RNG seed (the run is fully deterministic).
+        include_compulsory: as in :class:`~repro.core.casa.CasaConfig`.
+    """
+
+    iterations: int = 4000
+    initial_temperature: float = 0.01
+    cooling: float = 0.999
+    seed: int = 0
+    include_compulsory: bool = True
+
+
+class AnnealingAllocator:
+    """Single-flip simulated annealing over the CASA objective."""
+
+    name = "annealing"
+
+    def __init__(self, config: AnnealingConfig | None = None) -> None:
+        self._config = config or AnnealingConfig()
+
+    def allocate(
+        self,
+        graph: ConflictGraph,
+        spm_size: int,
+        energy: EnergyModel,
+    ) -> Allocation:
+        """Anneal from the empty allocation.
+
+        Moves that would overflow the scratchpad are rejected outright;
+        uphill moves are accepted with the Metropolis probability.
+        """
+        config = self._config
+        rng = DeterministicRng(config.seed)
+        candidates = [
+            node.name for node in graph.nodes()
+            if 0 < node.size <= spm_size
+        ]
+        if not candidates:
+            return self._finish(graph, frozenset(), spm_size, energy)
+
+        current: set[str] = set()
+        used = 0
+        current_energy = graph.predicted_energy(
+            current, energy, config.include_compulsory
+        )
+        best = set(current)
+        best_energy = current_energy
+        temperature = max(current_energy, 1.0) \
+            * config.initial_temperature
+
+        for _ in range(config.iterations):
+            name = rng.choice(candidates)
+            size = graph.node(name).size
+            if name in current:
+                proposal = current - {name}
+                new_used = used - size
+            else:
+                proposal = current | {name}
+                new_used = used + size
+                # Composite swap move: evict random residents until the
+                # newcomer fits, so full-capacity states are not local
+                # traps for single flips.
+                while new_used > spm_size and len(proposal) > 1:
+                    evictee = rng.choice(
+                        sorted(proposal - {name})
+                    )
+                    proposal = proposal - {evictee}
+                    new_used -= graph.node(evictee).size
+                if new_used > spm_size:
+                    temperature *= config.cooling
+                    continue
+            proposal_energy = graph.predicted_energy(
+                proposal, energy, config.include_compulsory
+            )
+            delta = proposal_energy - current_energy
+            accept = delta <= 0 or (
+                temperature > 0
+                and rng.coin(min(1.0, math.exp(-delta / temperature)))
+            )
+            if accept:
+                current = proposal
+                current_energy = proposal_energy
+                used = new_used
+                if current_energy < best_energy:
+                    best = set(current)
+                    best_energy = current_energy
+            temperature *= config.cooling
+
+        return self._finish(graph, frozenset(best), spm_size, energy)
+
+    def _finish(self, graph: ConflictGraph, resident: frozenset[str],
+                spm_size: int, energy: EnergyModel) -> Allocation:
+        used = sum(graph.node(name).size for name in resident)
+        return Allocation(
+            algorithm=self.name,
+            spm_resident=resident,
+            placement=Placement.COPY,
+            predicted_energy=graph.predicted_energy(
+                resident, energy, self._config.include_compulsory
+            ),
+            capacity=spm_size,
+            used_bytes=used,
+        )

@@ -1,0 +1,201 @@
+"""CASA — the Cache-Aware Scratchpad Allocation ILP (section 4).
+
+Decision variables (eq. 7): ``l(x_i) = 0`` if object ``x_i`` goes to the
+scratchpad, 1 if it stays cacheable.  The quadratic miss term
+``l(x_i) * l(x_j) * m_ij`` of eq. 11 is linearised with the product
+variable ``L(x_i, x_j)`` and constraints 13-15.  The objective (eq. 16)
+sums eq. 12 over all objects; eq. 17 bounds the scratchpad content by
+the capacity, counting *unpadded* sizes (the NOPs are stripped before
+the copy to the scratchpad).
+
+Two implementation refinements (flagged, documented in DESIGN.md):
+
+* self-conflict misses ``m_ii`` multiply ``l(x_i) * l(x_i) = l(x_i)``
+  and are charged linearly;
+* compulsory misses of a cached object are charged via
+  ``include_compulsory`` (on by default).
+
+Setting ``conflict_term=False`` drops the edge terms entirely, yielding a
+cache-blind objective — the ablation that isolates the paper's
+contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.core.conflict_graph import ConflictGraph
+from repro.energy.model import EnergyModel
+from repro.errors import SolverError
+from repro.ilp import (
+    BranchAndBoundSolver,
+    LinExpr,
+    Model,
+    Sense,
+    SolveStatus,
+)
+from repro.traces.layout import Placement
+
+
+@dataclass(frozen=True)
+class CasaConfig:
+    """Options of the CASA allocator.
+
+    Attributes:
+        include_compulsory: charge first-touch misses of cached objects.
+        conflict_term: include the conflict-edge terms (the paper's
+            contribution); disable only for ablation studies.
+        max_nodes: branch & bound node limit.
+    """
+
+    include_compulsory: bool = True
+    conflict_term: bool = True
+    max_nodes: int = 200_000
+
+
+class CasaAllocator:
+    """Optimal cache-aware scratchpad allocation via 0/1 ILP."""
+
+    name = "casa"
+
+    def __init__(self, config: CasaConfig | None = None) -> None:
+        self._config = config or CasaConfig()
+
+    @property
+    def config(self) -> CasaConfig:
+        """The allocator's options."""
+        return self._config
+
+    def build_model(
+        self,
+        graph: ConflictGraph,
+        spm_size: int,
+        energy: EnergyModel,
+    ) -> tuple[Model, dict[str, object]]:
+        """Construct the ILP of section 4 (for inspection or solving).
+
+        Returns:
+            ``(model, l_vars)`` where ``l_vars`` maps object names to
+            their location variables.
+        """
+        config = self._config
+        model = Model("casa", Sense.MINIMIZE)
+        # Objects with no fetches, no misses and no conflict edges gain
+        # nothing from the scratchpad but would consume capacity, so
+        # the optimum always keeps them cacheable: they get no
+        # variables (equivalent to fixing l = 1).
+        candidates = {
+            name for name in graph.node_names
+            if self._has_benefit(graph.node(name), graph)
+        }
+        location = {
+            name: model.add_binary(f"l[{name}]")
+            for name in graph.node_names if name in candidates
+        }
+
+        miss_premium = energy.cache_miss - energy.cache_hit
+        hit_premium = energy.cache_hit - energy.spm_access
+        objective = LinExpr()
+        for node in graph.nodes():
+            # eq. 12, constant and linear parts.
+            objective = objective + node.fetches * energy.spm_access
+            if node.name not in candidates:
+                objective = objective + node.fetches * hit_premium
+                continue
+            linear = node.fetches * hit_premium
+            extra_misses = node.self_misses if config.conflict_term else 0
+            if config.include_compulsory:
+                extra_misses += node.compulsory_misses
+            linear += extra_misses * miss_premium
+            objective = objective + linear * location[node.name]
+
+        if config.conflict_term:
+            for victim, evictor, weight in graph.edges():
+                product = model.add_variable(
+                    f"L[{victim},{evictor}]", 0.0, 1.0
+                )
+                l_i = location[victim]
+                l_j = location[evictor]
+                # eqs. 13-15: L = l_i * l_j for binary l.
+                model.add_constraint(l_i - product >= 0,
+                                     f"lin13[{victim},{evictor}]")
+                model.add_constraint(l_j - product >= 0,
+                                     f"lin14[{victim},{evictor}]")
+                model.add_constraint(
+                    l_i + l_j - 2 * product <= 1,
+                    f"lin15[{victim},{evictor}]",
+                )
+                # McCormick cut: with eq. 15's form alone a continuous
+                # L could sit at (l_i + l_j - 1)/2; this tightens the
+                # relaxation so L is exact whenever l_i, l_j are binary
+                # (CPLEX's presolve derives the same; see DESIGN.md).
+                model.add_constraint(
+                    l_i + l_j - product <= 1,
+                    f"mccormick[{victim},{evictor}]",
+                )
+                objective = objective + (weight * miss_premium) * product
+
+        # eq. 17: scratchpad capacity over unpadded sizes (objects
+        # without variables stay cacheable and contribute nothing).
+        capacity_expr = LinExpr.total(
+            (1 - location[name]) * graph.node(name).size
+            for name in location
+        )
+        model.add_constraint(capacity_expr <= spm_size, "capacity")
+        model.set_objective(objective)
+        return model, location
+
+    @staticmethod
+    def _has_benefit(node, graph: ConflictGraph) -> bool:
+        """Whether the scratchpad could ever help this object."""
+        return bool(
+            node.fetches
+            or node.self_misses
+            or node.compulsory_misses
+            or graph.conflicts_of(node.name)
+            or graph.victims_of(node.name)
+        )
+
+    def allocate(
+        self,
+        graph: ConflictGraph,
+        spm_size: int,
+        energy: EnergyModel,
+    ) -> Allocation:
+        """Pick the optimal scratchpad-resident set.
+
+        Raises:
+            SolverError: if the ILP cannot be solved to optimality
+                within the node limit.
+        """
+        model, location = self.build_model(graph, spm_size, energy)
+        if not location:
+            return Allocation(
+                algorithm=self.name,
+                spm_resident=frozenset(),
+                placement=Placement.COPY,
+                predicted_energy=model.objective.constant,
+                capacity=spm_size,
+                used_bytes=0,
+            )
+        solver = BranchAndBoundSolver(max_nodes=self._config.max_nodes)
+        result = model.solve(solver)
+        if result.status is not SolveStatus.OPTIMAL:
+            raise SolverError(
+                f"CASA ILP not solved to optimality: {result.status.value}"
+            )
+        selected = frozenset(
+            name for name, var in location.items()
+            if result.binary_value(var) == 0
+        )
+        used = sum(graph.node(name).size for name in selected)
+        return Allocation(
+            algorithm=self.name,
+            spm_resident=selected,
+            placement=Placement.COPY,
+            predicted_energy=result.objective,
+            solver_nodes=result.nodes_explored,
+            capacity=spm_size,
+            used_bytes=used,
+        )

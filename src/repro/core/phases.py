@@ -1,0 +1,118 @@
+"""Execution-phase detection for the overlay extension.
+
+The paper's conclusion names "dynamic copying (overlay) of memory
+objects on the scratchpad" as future work (pursued by the same group in
+the DAC 2004 follow-up).  Overlay needs a notion of *phases*: program
+regions whose working sets differ enough that swapping the scratchpad
+contents between them pays for the copy traffic.
+
+We use the natural structure of embedded codecs: the **top-level loops
+of the entry function**.  Every top-level loop is one phase; the
+straight-line stretches between loops join the adjacent phase.  Code in
+callees belongs dynamically to the phase of the most recent top-level
+block — which is how the simulator tracks it, so a function called from
+two phases is accounted in both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.program.cfg import ControlFlowGraph
+from repro.program.program import Program
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase.
+
+    Attributes:
+        index: phase id (0-based, in program order).
+        name: readable label (the loop header, or ``straight``).
+        blocks: the entry-function blocks statically inside the phase.
+    """
+
+    index: int
+    name: str
+    blocks: frozenset[str]
+
+
+@dataclass(frozen=True)
+class PhasePartition:
+    """The phases of a program plus the block -> phase map.
+
+    Attributes:
+        phases: the phases in program order.
+        block_phase: entry-function block name -> phase index; the
+            simulator switches its current phase whenever it executes a
+            block in this map.
+    """
+
+    phases: tuple[Phase, ...]
+    block_phase: dict[str, int]
+
+    @property
+    def num_phases(self) -> int:
+        """Number of phases."""
+        return len(self.phases)
+
+
+def detect_phases(program: Program) -> PhasePartition:
+    """Partition the entry function into top-level-loop phases.
+
+    Walking the entry function's blocks in layout order, a new phase
+    starts whenever control enters a top-level natural loop (one not
+    nested inside another) or returns to straight-line code after one.
+    A program whose entry is a single loop therefore has one phase.
+    """
+    entry_function = program.function(program.entry)
+    cfg = ControlFlowGraph(entry_function)
+    loops = cfg.natural_loops()
+    top_level = [
+        loop for loop in loops
+        if not any(loop.is_nested_in(other) for other in loops)
+    ]
+    loop_of_block: dict[str, int] = {}
+    for index, loop in enumerate(top_level):
+        for name in loop.body:
+            if name in loop_of_block:
+                raise ConfigurationError(
+                    f"block {name!r} belongs to two top-level loops"
+                )
+            loop_of_block[name] = index
+
+    phases: list[Phase] = []
+    block_phase: dict[str, int] = {}
+    current_blocks: list[str] = []
+    current_loop: int | None = None
+    current_name = "straight"
+
+    def close_phase() -> None:
+        if not current_blocks:
+            return
+        phases.append(Phase(
+            index=len(phases),
+            name=current_name,
+            blocks=frozenset(current_blocks),
+        ))
+
+    for block in entry_function.blocks:
+        loop_index = loop_of_block.get(block.name)
+        if loop_index != current_loop and current_blocks:
+            close_phase()
+            current_blocks = []
+        current_loop = loop_index
+        current_name = (
+            f"loop:{top_level[loop_index].header}"
+            if loop_index is not None else "straight"
+        )
+        current_blocks.append(block.name)
+        block_phase[block.name] = len(phases)
+    close_phase()
+
+    if not phases:
+        raise ConfigurationError(
+            f"entry function {program.entry!r} has no blocks"
+        )
+    return PhasePartition(phases=tuple(phases), block_phase=block_phase)

@@ -1,0 +1,352 @@
+"""End-to-end experimental workflow (the paper's figure 3).
+
+A :class:`Workbench` runs the flow once per (program, cache) pair —
+profiling execution, trace generation, baseline cache simulation,
+conflict-graph construction — and then evaluates any number of
+allocation decisions against it: scratchpads of various sizes allocated
+by CASA/Steinke/greedy, or preloaded loop caches allocated by Ross.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.core.casa import CasaAllocator
+from repro.core.conflict_graph import ConflictGraph
+from repro.core.greedy_allocator import GreedyCasaAllocator
+from repro.core.ross import RossLoopCacheAllocator
+from repro.core.steinke import SteinkeAllocator
+from repro.energy.model import (
+    EnergyBreakdown,
+    EnergyModel,
+    build_energy_model,
+    compute_energy,
+)
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig, simulate
+from repro.memory.loopcache import LoopCacheConfig
+from repro.memory.stats import SimulationReport
+from repro.program.executor import execute_program
+from repro.program.program import Program
+from repro.traces.layout import (
+    MAIN_BASE,
+    SPM_BASE,
+    LinkedImage,
+    Placement,
+)
+from repro.traces.tracegen import TraceGenConfig, generate_traces
+
+
+@dataclass(frozen=True)
+class WorkbenchConfig:
+    """Fixed parameters of one experimental setup.
+
+    Attributes:
+        cache: the L1 I-cache kept invariant through the sweep.
+        tracegen: trace-formation parameters (the max trace size should
+            not exceed the smallest scratchpad of the sweep).
+        seed: executor seed for probabilistic branches.
+        main_base: base address of the main-memory code image.
+        spm_base: base address of the scratchpad region.
+    """
+
+    cache: CacheConfig = CacheConfig()
+    tracegen: TraceGenConfig = TraceGenConfig()
+    seed: int = 0
+    main_base: int = MAIN_BASE
+    spm_base: int = SPM_BASE
+
+    def __post_init__(self) -> None:
+        if self.cache.line_size != self.tracegen.line_size:
+            raise ConfigurationError(
+                "trace padding must match the cache line size "
+                f"({self.tracegen.line_size} != {self.cache.line_size})"
+            )
+
+
+@dataclass
+class ExperimentResult:
+    """One allocation decision, simulated.
+
+    Attributes:
+        allocation: the allocator's decision.
+        report: the memory-hierarchy simulation statistics.
+        energy: the energy breakdown of the run.
+        model: the per-event energies used.
+    """
+
+    allocation: Allocation
+    report: SimulationReport
+    energy: EnergyBreakdown
+    model: EnergyModel
+
+    @property
+    def total_energy(self) -> float:
+        """Total instruction-memory energy in nJ."""
+        return self.energy.total
+
+
+class Workbench:
+    """Profiles a program once and evaluates allocations against it."""
+
+    def __init__(self, program: Program, config: WorkbenchConfig) -> None:
+        self._program = program
+        self._config = config
+
+        execution = execute_program(program, seed=config.seed)
+        self._block_sequence = execution.block_sequence
+        self._profile = execution.profile
+
+        self._memory_objects = generate_traces(
+            program, self._profile, config.tracegen
+        )
+
+        self._baseline_image = LinkedImage(
+            program,
+            self._memory_objects,
+            spm_resident=frozenset(),
+            spm_size=0,
+            placement=Placement.COPY,
+            main_base=config.main_base,
+            spm_base=config.spm_base,
+        )
+        self._baseline_config = HierarchyConfig(cache=config.cache)
+        self._baseline_report = simulate(
+            self._baseline_image,
+            self._baseline_config,
+            self._block_sequence,
+        )
+        self._graph = ConflictGraph.from_simulation(
+            self._memory_objects, self._baseline_report
+        )
+
+    # -- read-only views ----------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        """The program under test."""
+        return self._program
+
+    @property
+    def config(self) -> WorkbenchConfig:
+        """The fixed experimental parameters."""
+        return self._config
+
+    @property
+    def memory_objects(self):
+        """The traces produced by trace generation."""
+        return list(self._memory_objects)
+
+    @property
+    def conflict_graph(self) -> ConflictGraph:
+        """The profiled conflict graph."""
+        return self._graph
+
+    @property
+    def baseline_report(self) -> SimulationReport:
+        """Statistics of the cache-only profiling run."""
+        return self._baseline_report
+
+    @property
+    def block_sequence(self) -> list[str]:
+        """The executed block sequence (shared by all evaluations)."""
+        return self._block_sequence
+
+    def baseline_result(self) -> ExperimentResult:
+        """The cache-only hierarchy as an :class:`ExperimentResult`."""
+        model = build_energy_model(self._baseline_config)
+        return ExperimentResult(
+            allocation=Allocation(algorithm="cache-only"),
+            report=self._baseline_report,
+            energy=compute_energy(self._baseline_report, model),
+            model=model,
+        )
+
+    # -- evaluation ----------------------------------------------------------
+
+    def spm_energy_model(self, spm_size: int) -> EnergyModel:
+        """Per-event energies of the cache + scratchpad hierarchy."""
+        return build_energy_model(
+            HierarchyConfig(cache=self._config.cache, spm_size=spm_size)
+        )
+
+    def evaluate_spm(self, allocation: Allocation,
+                     spm_size: int) -> ExperimentResult:
+        """Simulate a scratchpad allocation decision."""
+        image = LinkedImage(
+            self._program,
+            self._memory_objects,
+            spm_resident=allocation.spm_resident,
+            spm_size=spm_size,
+            placement=allocation.placement,
+            main_base=self._config.main_base,
+            spm_base=self._config.spm_base,
+        )
+        hierarchy = HierarchyConfig(
+            cache=self._config.cache, spm_size=spm_size
+        )
+        report = simulate(
+            image, hierarchy, self._block_sequence,
+            spm_base=self._config.spm_base,
+        )
+        model = build_energy_model(hierarchy)
+        return ExperimentResult(
+            allocation=allocation,
+            report=report,
+            energy=compute_energy(report, model),
+            model=model,
+        )
+
+    def evaluate_loop_cache(
+        self, allocation: Allocation, lc_config: LoopCacheConfig
+    ) -> ExperimentResult:
+        """Simulate a preloaded-loop-cache decision."""
+        hierarchy = HierarchyConfig(
+            cache=self._config.cache, loop_cache=lc_config
+        )
+        report = simulate(
+            self._baseline_image,
+            hierarchy,
+            self._block_sequence,
+            loop_regions=list(allocation.loop_regions),
+        )
+        model = build_energy_model(hierarchy)
+        return ExperimentResult(
+            allocation=allocation,
+            report=report,
+            energy=compute_energy(report, model),
+            model=model,
+        )
+
+    # -- allocator front doors -----------------------------------------------
+
+    def run_casa(self, spm_size: int,
+                 allocator: CasaAllocator | None = None) -> ExperimentResult:
+        """Allocate with CASA and simulate the outcome."""
+        allocator = allocator or CasaAllocator()
+        allocation = allocator.allocate(
+            self._graph, spm_size, self.spm_energy_model(spm_size)
+        )
+        return self.evaluate_spm(allocation, spm_size)
+
+    def run_steinke(self, spm_size: int) -> ExperimentResult:
+        """Allocate with the Steinke baseline and simulate the outcome."""
+        allocation = SteinkeAllocator().allocate(
+            self._graph, spm_size, self.spm_energy_model(spm_size)
+        )
+        return self.evaluate_spm(allocation, spm_size)
+
+    def run_greedy(self, spm_size: int) -> ExperimentResult:
+        """Allocate with the greedy ablation and simulate the outcome."""
+        allocation = GreedyCasaAllocator().allocate(
+            self._graph, spm_size, self.spm_energy_model(spm_size)
+        )
+        return self.evaluate_spm(allocation, spm_size)
+
+    def run_overlay(self, spm_size: int,
+                    allocator: "OverlayAllocator | None" = None
+                    ) -> ExperimentResult:
+        """Allocate per-phase scratchpad contents and simulate them.
+
+        Implements the paper's announced future work (dynamic copying /
+        overlay): detect the program's top-level-loop phases, bin the
+        profiling run per phase, solve the overlay ILP, and replay with
+        the scratchpad contents swapped (and the copy traffic charged)
+        at every phase transition.
+        """
+        from repro.core.overlay import (
+            OverlayAllocator,
+            PhasedConflictData,
+        )
+
+        allocator = allocator or OverlayAllocator()
+        partition, phased_report = self._phase_profile()
+        data = PhasedConflictData.from_simulation(
+            self._memory_objects, phased_report, partition.num_phases
+        )
+        model = self.spm_energy_model(spm_size)
+        overlay = allocator.allocate(data, spm_size, model)
+
+        phase_plans: dict[int, dict] = {}
+        resident_sizes: dict[str, int] = {}
+        for phase_index, resident in enumerate(overlay.residents):
+            image = LinkedImage(
+                self._program,
+                self._memory_objects,
+                spm_resident=resident,
+                spm_size=spm_size,
+                placement=Placement.COPY,
+                main_base=self._config.main_base,
+                spm_base=self._config.spm_base,
+            )
+            phase_plans[phase_index] = image.all_plans()
+            for name in resident:
+                resident_sizes[name] = \
+                    image.memory_object(name).unpadded_size
+
+        hierarchy = HierarchyConfig(
+            cache=self._config.cache, spm_size=spm_size
+        )
+        from repro.memory.hierarchy import InstructionMemorySimulator
+        simulator = InstructionMemorySimulator(
+            self._baseline_image, hierarchy,
+            spm_base=self._config.spm_base,
+        )
+        report = simulator.run_overlay(
+            self._block_sequence,
+            partition.block_phase,
+            phase_plans,
+            {i: r for i, r in enumerate(overlay.residents)},
+            resident_sizes,
+            charge_initial_copies=(
+                allocator.config.charge_initial_copies
+            ),
+        )
+        energy_model = build_energy_model(hierarchy)
+        allocation = Allocation(
+            algorithm="casa-overlay",
+            spm_resident=overlay.all_residents,
+            placement=Placement.COPY,
+            predicted_energy=overlay.predicted_energy,
+            solver_nodes=overlay.solver_nodes,
+            capacity=spm_size,
+            used_bytes=max(
+                (sum(resident_sizes[n] for n in resident)
+                 for resident in overlay.residents),
+                default=0,
+            ),
+        )
+        return ExperimentResult(
+            allocation=allocation,
+            report=report,
+            energy=compute_energy(report, energy_model),
+            model=energy_model,
+        )
+
+    def _phase_profile(self):
+        """Phase partition + phase-tracked baseline run (cached)."""
+        if not hasattr(self, "_phase_profile_cache"):
+            from repro.core.phases import detect_phases
+            partition = detect_phases(self._program)
+            report = simulate(
+                self._baseline_image,
+                self._baseline_config,
+                self._block_sequence,
+                block_phases=partition.block_phase,
+            )
+            self._phase_profile_cache = (partition, report)
+        return self._phase_profile_cache
+
+    def run_ross(self, lc_size: int,
+                 max_regions: int = 4) -> ExperimentResult:
+        """Allocate a preloaded loop cache with Ross's heuristic."""
+        lc_config = LoopCacheConfig(size=lc_size, max_regions=max_regions)
+        allocation = RossLoopCacheAllocator(lc_config).allocate(
+            self._program,
+            self._memory_objects,
+            self._baseline_image,
+            self._graph,
+        )
+        return self.evaluate_loop_cache(allocation, lc_config)

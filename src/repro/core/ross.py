@@ -1,0 +1,144 @@
+"""Ross (Gordon-Ross & Vahid) preloaded-loop-cache allocation.
+
+The loop-cache controller can hold only a fixed number of regions
+(typically 2-6; the paper's experiments use 4), each a contiguous
+address range containing a loop or a whole function.  The published
+heuristic greedily preloads the regions with the highest *execution-time
+density* (execution count per byte) until the table or the SRAM is full.
+
+Candidate regions here are the natural loops and the functions of the
+program, mapped to the address spans their memory objects occupy in the
+(unchanged, copy-semantics) main-memory image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.core.conflict_graph import ConflictGraph
+from repro.memory.loopcache import LoopCacheConfig, LoopRegion
+from repro.program.cfg import ControlFlowGraph
+from repro.program.program import Program
+from repro.traces.layout import LinkedImage, Placement
+from repro.traces.memory_object import MemoryObject
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    region: LoopRegion
+    fetches: int
+
+    @property
+    def density(self) -> float:
+        return self.fetches / self.region.size
+
+
+class RossLoopCacheAllocator:
+    """Greedy execution-time-density preloading of loops and functions."""
+
+    name = "ross"
+
+    def __init__(self, config: LoopCacheConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> LoopCacheConfig:
+        """The loop cache being allocated for."""
+        return self._config
+
+    # ------------------------------------------------------------------
+
+    def candidate_regions(
+        self,
+        program: Program,
+        memory_objects: list[MemoryObject],
+        image: LinkedImage,
+        graph: ConflictGraph,
+    ) -> list[_Candidate]:
+        """Enumerate loop and function regions with their fetch counts."""
+        block_home: dict[str, set[str]] = {}
+        for mo in memory_objects:
+            for fragment in mo.fragments:
+                block_home.setdefault(fragment.block, set()).add(mo.name)
+
+        candidates: list[_Candidate] = []
+        seen_spans: set[tuple[int, int]] = set()
+
+        def add_region(name: str, block_names: set[str]) -> None:
+            mo_names: set[str] = set()
+            for block_name in block_names:
+                mo_names |= block_home.get(block_name, set())
+            if not mo_names:
+                return
+            start = min(image.base_address(n) for n in mo_names)
+            end = max(
+                image.base_address(n)
+                + image.memory_object(n).padded_size
+                for n in mo_names
+            )
+            span = (start, end)
+            if span in seen_spans or end - start > self._config.size:
+                return
+            seen_spans.add(span)
+            covered = [
+                mo for mo in memory_objects
+                if start <= image.base_address(mo.name)
+                and image.base_address(mo.name) + mo.padded_size <= end
+            ]
+            fetches = sum(graph.node(mo.name).fetches for mo in covered)
+            if fetches == 0:
+                return
+            candidates.append(
+                _Candidate(
+                    LoopRegion(name=name, start=start, size=end - start),
+                    fetches,
+                )
+            )
+
+        for function in program.functions:
+            cfg = ControlFlowGraph(function)
+            for loop in cfg.natural_loops():
+                add_region(f"loop:{loop.header}", set(loop.body))
+            add_region(
+                f"func:{function.name}",
+                {block.name for block in function.blocks},
+            )
+        return candidates
+
+    def allocate(
+        self,
+        program: Program,
+        memory_objects: list[MemoryObject],
+        image: LinkedImage,
+        graph: ConflictGraph,
+    ) -> Allocation:
+        """Greedily preload the densest non-overlapping regions."""
+        candidates = self.candidate_regions(
+            program, memory_objects, image, graph
+        )
+        candidates.sort(key=lambda c: (-c.density, c.region.start))
+
+        chosen: list[LoopRegion] = []
+        used = 0
+        for candidate in candidates:
+            region = candidate.region
+            if len(chosen) >= self._config.max_regions:
+                break
+            if used + region.size > self._config.size:
+                continue
+            if any(
+                region.start < other.end and other.start < region.end
+                for other in chosen
+            ):
+                continue
+            chosen.append(region)
+            used += region.size
+
+        return Allocation(
+            algorithm=self.name,
+            loop_regions=tuple(chosen),
+            placement=Placement.COPY,
+            capacity=self._config.size,
+            used_bytes=used,
+        )

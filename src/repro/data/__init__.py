@@ -1,0 +1,40 @@
+"""Data-side scratchpad allocation (the paper's other future work).
+
+Section 7 announces "preloading of data" as future work, and the
+Steinke et al. baseline [13] already allocated data objects alongside
+code.  This package provides the data half of a Harvard hierarchy: data
+objects (global arrays/tables), profile-annotated access streams, a
+D-cache simulation that reuses the attributed cache model, and — as the
+paper promises ("the algorithm can be easily applied to any memory
+hierarchy") — the *same* CASA ILP running on a data conflict graph.
+
+Pipeline mirror of the instruction side:
+
+    DataSpec (objects + per-function access annotations)
+        -> access stream (from the executed block sequence)
+        -> D-cache simulation with eviction attribution
+        -> ConflictGraph over data objects
+        -> CasaAllocator / SteinkeAllocator (unchanged!)
+        -> re-simulation with the data scratchpad
+"""
+
+from repro.data.objects import DataAccessPattern, DataObject, DataSpec
+from repro.data.stream import DataAccess, generate_access_stream
+from repro.data.simulation import (
+    DataHierarchyConfig,
+    DataSimulationResult,
+    simulate_data,
+)
+from repro.data.pipeline import DataWorkbench
+
+__all__ = [
+    "DataAccessPattern",
+    "DataObject",
+    "DataSpec",
+    "DataAccess",
+    "generate_access_stream",
+    "DataHierarchyConfig",
+    "DataSimulationResult",
+    "simulate_data",
+    "DataWorkbench",
+]

@@ -1,0 +1,129 @@
+"""Data objects and access annotations.
+
+A :class:`DataObject` is an allocatable unit of the data address space
+(a global array, a coefficient table, a state struct).  A
+:class:`DataSpec` attaches objects to a program together with
+*annotations*: how many times each execution of a function touches each
+object, and in what pattern.  Annotations are per function (applied on
+entry-block execution), which matches how profile-based data allocators
+attribute accesses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.program.program import Program
+
+
+class DataAccessPattern(enum.Enum):
+    """How a kernel walks an object."""
+
+    #: consecutive elements, wrapping at the end (array streaming).
+    SEQUENTIAL = "sequential"
+    #: every access hits the same few leading elements (scalars, state).
+    HOT_FIELDS = "hot_fields"
+    #: deterministic stride-N walk (column access, interleaved buffers).
+    STRIDED = "strided"
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """One allocatable data object.
+
+    Attributes:
+        name: unique identifier.
+        size: size in bytes.
+        element_size: bytes per accessed element (stride unit).
+    """
+
+    name: str
+    size: int
+    element_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(
+                f"data object {self.name!r} needs a positive size"
+            )
+        if self.element_size <= 0 or self.size % self.element_size:
+            raise ConfigurationError(
+                f"data object {self.name!r}: size {self.size} is not a "
+                f"multiple of element size {self.element_size}"
+            )
+
+    @property
+    def num_elements(self) -> int:
+        """Number of elements."""
+        return self.size // self.element_size
+
+
+@dataclass(frozen=True)
+class DataUse:
+    """One function's use of one object.
+
+    Attributes:
+        object_name: the object touched.
+        reads: element reads per function execution.
+        writes: element writes per function execution.
+        pattern: access pattern.
+        stride_elements: stride for :attr:`DataAccessPattern.STRIDED`.
+    """
+
+    object_name: str
+    reads: int = 0
+    writes: int = 0
+    pattern: DataAccessPattern = DataAccessPattern.SEQUENTIAL
+    stride_elements: int = 1
+
+    def __post_init__(self) -> None:
+        if self.reads < 0 or self.writes < 0:
+            raise ConfigurationError("negative access counts")
+        if self.reads == 0 and self.writes == 0:
+            raise ConfigurationError(
+                f"use of {self.object_name!r} has no accesses"
+            )
+        if self.stride_elements < 1:
+            raise ConfigurationError("stride must be >= 1")
+
+
+@dataclass
+class DataSpec:
+    """Data objects + per-function access annotations for a program."""
+
+    objects: list[DataObject]
+    #: function name -> uses applied on each execution of the function.
+    uses: dict[str, list[DataUse]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [obj.name for obj in self.objects]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate data objects: {names}")
+        self._by_name = {obj.name: obj for obj in self.objects}
+        for function, uses in self.uses.items():
+            for use in uses:
+                if use.object_name not in self._by_name:
+                    raise ConfigurationError(
+                        f"function {function!r} uses unknown object "
+                        f"{use.object_name!r}"
+                    )
+
+    def object(self, name: str) -> DataObject:
+        """Look up an object by name."""
+        return self._by_name[name]
+
+    @property
+    def total_size(self) -> int:
+        """Combined size of all objects in bytes."""
+        return sum(obj.size for obj in self.objects)
+
+    def validate_against(self, program: Program) -> None:
+        """Check that every annotated function exists in *program*."""
+        for function in self.uses:
+            if function not in {f.name for f in program.functions}:
+                raise ConfigurationError(
+                    f"annotation references unknown function "
+                    f"{function!r}"
+                )

@@ -1,0 +1,150 @@
+"""End-to-end data-side allocation: profile -> graph -> CASA -> verify.
+
+The mirror of :class:`repro.core.pipeline.Workbench` for the data
+hierarchy.  The conflict graph is built over *data objects* and handed
+to the **unchanged** instruction-side allocators — demonstrating the
+paper's claim that the formulation "can be easily applied to any memory
+hierarchy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.core.casa import CasaAllocator
+from repro.core.conflict_graph import ConflictGraph, ConflictNode
+from repro.core.steinke import SteinkeAllocator
+from repro.data.objects import DataSpec
+from repro.data.simulation import (
+    DataHierarchyConfig,
+    DataSimulationResult,
+    simulate_data,
+)
+from repro.data.stream import DataAccess, generate_access_stream
+from repro.energy.banakar import scratchpad_access_energy
+from repro.energy.cacti import cache_access_energy, cache_refill_energy
+from repro.energy.mainmem import MAIN_MEMORY_WORD_ENERGY_NJ
+from repro.energy.model import EnergyModel, compute_energy
+from repro.program.executor import execute_program
+from repro.program.program import Program
+
+
+@dataclass
+class DataExperimentResult:
+    """One data-side allocation decision, simulated."""
+
+    allocation: Allocation
+    result: DataSimulationResult
+    energy_nj: float
+
+    @property
+    def report(self):
+        """The underlying statistics."""
+        return self.result.report
+
+
+class DataWorkbench:
+    """Profiles a program's data accesses once, evaluates allocations."""
+
+    def __init__(
+        self,
+        program: Program,
+        spec: DataSpec,
+        config: DataHierarchyConfig,
+        seed: int = 0,
+    ) -> None:
+        self._program = program
+        self._spec = spec
+        self._config = config
+        execution = execute_program(program, seed=seed)
+        self._stream = generate_access_stream(
+            program, spec, execution.block_sequence
+        )
+        baseline_config = DataHierarchyConfig(
+            cache=config.cache, spm_size=0
+        )
+        self._baseline = simulate_data(spec, self._stream,
+                                       baseline_config)
+        self._graph = self._build_graph()
+
+    def _build_graph(self) -> ConflictGraph:
+        graph = ConflictGraph()
+        report = self._baseline.report
+        for obj in self._spec.objects:
+            stats = report.mo_stats.get(obj.name)
+            graph.add_node(ConflictNode(
+                name=obj.name,
+                fetches=stats.fetches if stats else 0,
+                size=obj.size,
+                compulsory_misses=(
+                    stats.compulsory_misses if stats else 0
+                ),
+            ))
+        for (victim, evictor), count in report.conflict_misses.items():
+            if victim == evictor:
+                graph.node(victim).self_misses += count
+            else:
+                graph.add_edge(victim, evictor, count)
+        return graph
+
+    # ------------------------------------------------------------------
+
+    @property
+    def conflict_graph(self) -> ConflictGraph:
+        """The data-object conflict graph."""
+        return self._graph
+
+    @property
+    def access_stream(self) -> list[DataAccess]:
+        """The profiled data access stream."""
+        return list(self._stream)
+
+    @property
+    def baseline(self) -> DataSimulationResult:
+        """The D-cache-only profiling simulation."""
+        return self._baseline
+
+    def energy_model(self) -> EnergyModel:
+        """Per-event energies of the data hierarchy."""
+        cache = self._config.cache
+        if cache is not None:
+            hit = cache_access_energy(cache.size, cache.line_size,
+                                      cache.associativity)
+            miss = (hit
+                    + cache.words_per_line * MAIN_MEMORY_WORD_ENERGY_NJ
+                    + cache_refill_energy(cache.size, cache.line_size,
+                                          cache.associativity))
+        else:
+            hit, miss = 0.0, MAIN_MEMORY_WORD_ENERGY_NJ
+        spm = (scratchpad_access_energy(self._config.spm_size)
+               if self._config.spm_size else 0.0)
+        return EnergyModel(cache_hit=hit, cache_miss=miss,
+                           spm_access=spm)
+
+    def evaluate(self, allocation: Allocation) -> DataExperimentResult:
+        """Re-simulate with the allocation's residents on the data SPM."""
+        result = simulate_data(
+            self._spec, self._stream, self._config,
+            spm_resident=allocation.spm_resident,
+        )
+        energy = compute_energy(result.report, self.energy_model())
+        return DataExperimentResult(
+            allocation=allocation,
+            result=result,
+            energy_nj=energy.total,
+        )
+
+    def run_casa(self) -> DataExperimentResult:
+        """CASA on the data conflict graph."""
+        allocation = CasaAllocator().allocate(
+            self._graph, self._config.spm_size, self.energy_model()
+        )
+        return self.evaluate(allocation)
+
+    def run_steinke(self) -> DataExperimentResult:
+        """The access-count knapsack baseline on data objects."""
+        allocation = SteinkeAllocator().allocate(
+            self._graph, self._config.spm_size, self.energy_model()
+        )
+        return self.evaluate(allocation)

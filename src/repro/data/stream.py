@@ -1,0 +1,98 @@
+"""Data access stream generation.
+
+Expands an executed block sequence into the sequence of data accesses
+the annotations imply: each time a function's entry block executes, its
+:class:`~repro.data.objects.DataUse` entries emit element accesses,
+with per-use cursors modelling the access pattern (a sequential scan
+resumes where the previous call left off, as array-processing kernels
+do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.objects import DataAccessPattern, DataSpec
+from repro.program.program import Program
+
+
+@dataclass(frozen=True)
+class DataAccess:
+    """One element access.
+
+    Attributes:
+        object_name: the object touched.
+        offset: byte offset inside the object.
+        is_write: write vs. read.
+    """
+
+    object_name: str
+    offset: int
+    is_write: bool
+
+
+class _UseCursor:
+    """Stateful offset generator for one (function, use) pair."""
+
+    def __init__(self, spec: DataSpec, use) -> None:
+        self._use = use
+        obj = spec.object(use.object_name)
+        self._element_size = obj.element_size
+        self._num_elements = obj.num_elements
+        self._position = 0
+
+    def next_offset(self) -> int:
+        use = self._use
+        if use.pattern is DataAccessPattern.HOT_FIELDS:
+            # cycle over the first few elements
+            hot = min(4, self._num_elements)
+            offset = (self._position % hot) * self._element_size
+            self._position += 1
+            return offset
+        step = (use.stride_elements
+                if use.pattern is DataAccessPattern.STRIDED else 1)
+        offset = (self._position % self._num_elements) \
+            * self._element_size
+        self._position += step
+        return offset
+
+
+def generate_access_stream(
+    program: Program,
+    spec: DataSpec,
+    block_sequence: list[str],
+) -> list[DataAccess]:
+    """Expand *block_sequence* into the data access stream.
+
+    Returns:
+        The accesses in program order (deterministic).
+    """
+    spec.validate_against(program)
+    entry_uses: dict[str, list] = {}
+    cursors: dict[tuple[str, int], _UseCursor] = {}
+    for function, uses in spec.uses.items():
+        entry = program.function(function).entry.name
+        entry_uses[entry] = uses
+        for index, use in enumerate(uses):
+            cursors[(entry, index)] = _UseCursor(spec, use)
+
+    stream: list[DataAccess] = []
+    for block_name in block_sequence:
+        uses = entry_uses.get(block_name)
+        if uses is None:
+            continue
+        for index, use in enumerate(uses):
+            cursor = cursors[(block_name, index)]
+            for _ in range(use.reads):
+                stream.append(DataAccess(
+                    object_name=use.object_name,
+                    offset=cursor.next_offset(),
+                    is_write=False,
+                ))
+            for _ in range(use.writes):
+                stream.append(DataAccess(
+                    object_name=use.object_name,
+                    offset=cursor.next_offset(),
+                    is_write=True,
+                ))
+    return stream

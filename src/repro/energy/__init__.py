@@ -1,0 +1,38 @@
+"""Energy models for the instruction-memory hierarchy.
+
+The paper takes per-access energies from three sources: the CACTI
+analytical model for caches and loop caches [15], the Banakar et al.
+scratchpad model [3], and board measurements for off-chip main memory.
+This package re-implements the *functional shape* of those models —
+energy per access as a function of capacity, line size and
+associativity — calibrated to 0.5 µm-era magnitudes.  The reproduction's
+conclusions depend on the orderings (SPM < cache hit ≪ cache miss,
+energies growing with capacity), not on absolute nanojoules.
+"""
+
+from repro.energy.cacti import cache_access_energy, sram_access_energy
+from repro.energy.banakar import scratchpad_access_energy
+from repro.energy.loopcache import (
+    loop_cache_access_energy,
+    loop_cache_controller_energy,
+)
+from repro.energy.mainmem import MAIN_MEMORY_WORD_ENERGY_NJ
+from repro.energy.model import (
+    EnergyBreakdown,
+    EnergyModel,
+    build_energy_model,
+    compute_energy,
+)
+
+__all__ = [
+    "cache_access_energy",
+    "sram_access_energy",
+    "scratchpad_access_energy",
+    "loop_cache_access_energy",
+    "loop_cache_controller_energy",
+    "MAIN_MEMORY_WORD_ENERGY_NJ",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "build_energy_model",
+    "compute_energy",
+]

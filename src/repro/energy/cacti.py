@@ -1,0 +1,108 @@
+"""Simplified CACTI-style SRAM and cache access-energy model.
+
+CACTI [15] decomposes an access into decoder, wordline, bitline,
+sense-amp and (for caches) tag-path energy.  We keep that decomposition:
+
+* an SRAM (scratchpad / loop-cache data store) is a square-ish array of
+  ``rows x cols`` bit cells; an access decodes ``log2(rows)`` address
+  bits and swings ``cols`` bitline pairs;
+* a cache access reads a full set row — ``associativity x line_size``
+  data bits *plus* the tags of every way — and compares
+  ``associativity`` tags.
+
+Hence a cache access is always wider (and costlier) than a scratchpad
+access of equal capacity — the Banakar et al. relation (roughly 60-85 %
+of the cache energy depending on geometry) — and the energy of both
+grows with capacity.  Constants are calibrated to 0.5 µm-era magnitudes
+(a 2 kB direct-mapped cache costs ≈ 0.37 nJ per access).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: Energy per decoded address bit (nJ).
+DECODE_ENERGY_PER_BIT_NJ = 0.006
+#: Energy per bitline-pair swing + sense amplifier, per bit read (nJ).
+BITLINE_ENERGY_PER_BIT_NJ = 0.002
+#: Energy per tag bit compared (nJ).
+TAG_COMPARE_ENERGY_PER_BIT_NJ = 0.001
+#: Fixed per-access overhead (drivers, output latch) in nJ.
+BASE_ACCESS_ENERGY_NJ = 0.01
+#: Physical address width assumed for tag computation.
+ADDRESS_BITS = 32
+
+
+def _array_geometry(bits: int) -> tuple[int, int]:
+    """Rows/cols of a square-ish SRAM array holding *bits* cells.
+
+    Rows is the power of two nearest to ``sqrt(bits)`` so the array
+    stays roughly square, as CACTI's organisation search would pick.
+    """
+    if bits <= 0:
+        raise ConfigurationError(f"array must hold at least 1 bit: {bits}")
+    rows = 1 << max(0, round(math.log2(math.sqrt(bits))))
+    cols = math.ceil(bits / rows)
+    return rows, cols
+
+
+def sram_access_energy(num_bytes: int) -> float:
+    """Energy (nJ) of one access to a tag-less SRAM of *num_bytes*.
+
+    This is the array-only cost shared by scratchpads and the loop-cache
+    data store.
+    """
+    if num_bytes <= 0:
+        raise ConfigurationError(f"SRAM size must be positive: {num_bytes}")
+    rows, cols = _array_geometry(num_bytes * 8)
+    decode = DECODE_ENERGY_PER_BIT_NJ * math.log2(rows) if rows > 1 else 0.0
+    array = BITLINE_ENERGY_PER_BIT_NJ * cols
+    return BASE_ACCESS_ENERGY_NJ + decode + array
+
+
+def cache_access_energy(
+    size: int, line_size: int, associativity: int
+) -> float:
+    """Energy (nJ) of one hit access to a cache.
+
+    Args:
+        size: cache capacity in bytes.
+        line_size: line size in bytes.
+        associativity: number of ways.
+
+    Returns:
+        Per-access read energy, including the tag path.
+    """
+    if size <= 0 or line_size <= 0 or associativity <= 0:
+        raise ConfigurationError(
+            f"invalid cache geometry: size={size} line={line_size} "
+            f"ways={associativity}"
+        )
+    num_sets = size // (line_size * associativity)
+    if num_sets < 1:
+        raise ConfigurationError(
+            "cache smaller than one set: "
+            f"size={size} line={line_size} ways={associativity}"
+        )
+    offset_bits = int(math.log2(line_size))
+    index_bits = int(math.log2(num_sets)) if num_sets > 1 else 0
+    tag_bits = ADDRESS_BITS - offset_bits - index_bits
+    # Data + tag arrays are read in parallel across all ways (CACTI's
+    # fast organisation): the effective row is the whole set.
+    row_bits = associativity * (line_size * 8 + tag_bits)
+    decode = DECODE_ENERGY_PER_BIT_NJ * index_bits
+    array = BITLINE_ENERGY_PER_BIT_NJ * row_bits
+    compare = TAG_COMPARE_ENERGY_PER_BIT_NJ * tag_bits * associativity
+    return BASE_ACCESS_ENERGY_NJ + decode + array + compare
+
+
+def cache_refill_energy(size: int, line_size: int, associativity: int
+                        ) -> float:
+    """Energy (nJ) of writing one fetched line into the cache array.
+
+    Writing a line costs about one data-path access: no tag comparison,
+    but a tag write of similar magnitude.
+    """
+    return cache_access_energy(size, line_size, associativity)

@@ -1,0 +1,35 @@
+"""Preloaded-loop-cache energy model.
+
+The loop cache stores code in a tag-less SRAM (same array model as a
+scratchpad) but adds a *controller*: a small table of region start/end
+addresses consulted on **every** instruction fetch (Ross et al. [12]).
+Each table entry costs two address comparisons; keeping the table small
+is exactly why only a handful of regions can be preloaded.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.energy.cacti import sram_access_energy
+
+#: Energy (nJ) of one 32-bit address comparison in the controller.
+COMPARATOR_ENERGY_NJ = 0.006
+
+
+def loop_cache_access_energy(size: int) -> float:
+    """Energy (nJ) of one word read from the loop-cache SRAM."""
+    if size <= 0:
+        raise ConfigurationError(f"loop-cache size must be positive: {size}")
+    return sram_access_energy(size)
+
+
+def loop_cache_controller_energy(max_regions: int) -> float:
+    """Energy (nJ) of one controller lookup (paid on every fetch).
+
+    Each region slot needs a lower-bound and an upper-bound comparison.
+    """
+    if max_regions < 1:
+        raise ConfigurationError(
+            f"controller needs at least one region slot: {max_regions}"
+        )
+    return 2.0 * COMPARATOR_ENERGY_NJ * max_regions

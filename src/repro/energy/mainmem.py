@@ -1,0 +1,10 @@
+"""Off-chip main-memory energy.
+
+The paper measured this on an ARM7T evaluation board rather than
+modelling it; we use a constant per 32-bit word read, an order of
+magnitude above any on-chip access — the relation that makes cache
+misses the dominant energy term (section 6).
+"""
+
+#: Energy (nJ) per 32-bit word read from off-chip memory.
+MAIN_MEMORY_WORD_ENERGY_NJ = 7.9

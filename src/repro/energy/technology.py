@@ -1,0 +1,64 @@
+"""Technology scaling of the energy models.
+
+The paper's numbers are for a 0.5 µm process.  Dynamic energy scales
+roughly with ``C * V^2``; shrinking a node reduces both capacitance and
+supply voltage, so per-access energies fall sharply with feature size.
+Off-chip main-memory energy is dominated by I/O pads and board traces
+and scales far less.
+
+The factors below are coarse (derived from the classic constant-field
+scaling tables) — they exist so experiments can ask "does the CASA
+advantage survive at a newer node?", not to predict absolute nJ.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+
+class TechnologyNode(enum.Enum):
+    """Supported process nodes."""
+
+    UM_050 = "0.5um"
+    UM_035 = "0.35um"
+    UM_025 = "0.25um"
+    UM_018 = "0.18um"
+    UM_013 = "0.13um"
+
+
+#: On-chip dynamic-energy factor relative to 0.5 µm.
+_ONCHIP_FACTOR = {
+    TechnologyNode.UM_050: 1.0,
+    TechnologyNode.UM_035: 0.49,
+    TechnologyNode.UM_025: 0.25,
+    TechnologyNode.UM_018: 0.13,
+    TechnologyNode.UM_013: 0.067,
+}
+
+#: Off-chip (main memory) energy factor relative to 0.5 µm — pads and
+#: traces shrink much more slowly than logic.
+_OFFCHIP_FACTOR = {
+    TechnologyNode.UM_050: 1.0,
+    TechnologyNode.UM_035: 0.85,
+    TechnologyNode.UM_025: 0.72,
+    TechnologyNode.UM_018: 0.61,
+    TechnologyNode.UM_013: 0.52,
+}
+
+
+def onchip_scale(node: TechnologyNode) -> float:
+    """On-chip energy multiplier of *node* relative to 0.5 µm."""
+    try:
+        return _ONCHIP_FACTOR[node]
+    except KeyError:
+        raise ConfigurationError(f"unknown node {node!r}") from None
+
+
+def offchip_scale(node: TechnologyNode) -> float:
+    """Off-chip energy multiplier of *node* relative to 0.5 µm."""
+    try:
+        return _OFFCHIP_FACTOR[node]
+    except KeyError:
+        raise ConfigurationError(f"unknown node {node!r}") from None

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-classes are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters.
+
+    Examples: a cache whose size is not a power of two, a scratchpad with
+    a negative capacity, an energy model with ``miss`` cheaper than
+    ``hit``.
+    """
+
+
+class LayoutError(ReproError):
+    """A program layout is inconsistent (overlapping or unmapped ranges)."""
+
+
+class SimulationError(ReproError):
+    """The memory-hierarchy simulator hit an impossible state.
+
+    Typically an instruction fetch for an address that no memory in the
+    hierarchy claims.
+    """
+
+
+class TraceError(ReproError):
+    """Trace generation produced (or was asked to produce) invalid traces."""
+
+
+class SolverError(ReproError):
+    """The ILP/LP machinery failed to produce a usable solution."""
+
+
+class InfeasibleError(SolverError):
+    """The optimisation problem has no feasible point."""
+
+
+class UnboundedError(SolverError):
+    """The optimisation problem is unbounded."""
+
+
+class AllocationError(ReproError):
+    """A scratchpad/loop-cache allocation is invalid (e.g. over capacity)."""
+
+
+class WorkloadError(ReproError):
+    """A workload was mis-specified or an unknown benchmark was requested."""

@@ -1,0 +1,55 @@
+"""Reproduction harnesses for the paper's evaluation (section 6).
+
+One module per exhibit:
+
+* :mod:`repro.evaluation.fig4` — figure 4: CASA vs. Steinke on MPEG
+  (I-cache accesses, scratchpad accesses, I-cache misses, energy, as a
+  percentage of Steinke = 100 %);
+* :mod:`repro.evaluation.fig5` — figure 5: CASA scratchpad vs. Ross
+  preloaded loop cache (loop cache = 100 %);
+* :mod:`repro.evaluation.table1` — table 1: absolute energies and
+  improvement percentages for adpcm, g721 and mpeg.
+
+:mod:`repro.evaluation.sweep` provides the generic size sweep all three
+build on, and :mod:`repro.evaluation.reporting` the text rendering.
+"""
+
+from repro.evaluation.dse import DesignPoint, explore, render_design_points
+from repro.evaluation.explain import (
+    ObjectExplanation,
+    explain_allocation,
+    render_explanation,
+)
+from repro.evaluation.fig4 import Fig4Result, Fig4Row, run_fig4
+from repro.evaluation.reportgen import generate_report
+from repro.evaluation.fig5 import Fig5Result, Fig5Row, run_fig5
+from repro.evaluation.sweep import SweepPoint, make_workbench, run_sweep
+from repro.evaluation.table1 import (
+    Table1Benchmark,
+    Table1Result,
+    Table1Row,
+    run_table1,
+)
+
+__all__ = [
+    "DesignPoint",
+    "explore",
+    "render_design_points",
+    "ObjectExplanation",
+    "explain_allocation",
+    "render_explanation",
+    "generate_report",
+    "Fig4Result",
+    "Fig4Row",
+    "run_fig4",
+    "Fig5Result",
+    "Fig5Row",
+    "run_fig5",
+    "SweepPoint",
+    "make_workbench",
+    "run_sweep",
+    "Table1Benchmark",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+]

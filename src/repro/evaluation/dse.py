@@ -1,0 +1,157 @@
+"""Design-space exploration: how to spend silicon on cache vs. SPM.
+
+The paper fixes the cache per benchmark and sweeps the scratchpad; the
+architect's real question is the *split*: for an on-chip area budget,
+which (cache size, scratchpad size) pair — with CASA managing the
+scratchpad — minimises energy?  This module enumerates the feasible
+power-of-two configurations under a budget, runs the full pipeline on
+each, and reports the frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import Workbench, WorkbenchConfig
+from repro.energy.area import hierarchy_area
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheConfig
+from repro.traces.tracegen import TraceGenConfig
+from repro.utils.tables import format_table
+from repro.workloads.registry import get_workload
+
+
+@dataclass
+class DesignPoint:
+    """One (cache, scratchpad) configuration, evaluated.
+
+    Attributes:
+        cache_size: I-cache capacity in bytes (0 = no cache).
+        spm_size: scratchpad capacity in bytes (0 = none).
+        area: on-chip area (model units).
+        energy: total instruction-memory energy (nJ) with CASA managing
+            the scratchpad.
+        misses: I-cache misses of the evaluated run.
+    """
+
+    cache_size: int
+    spm_size: int
+    area: float
+    energy: float
+    misses: int
+
+
+def _power_of_two_sizes(low: int, high: int) -> list[int]:
+    sizes = []
+    size = low
+    while size <= high:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def explore(
+    workload_name: str,
+    area_budget: float,
+    cache_sizes: list[int] | None = None,
+    spm_sizes: list[int] | None = None,
+    line_size: int = 16,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[DesignPoint]:
+    """Evaluate every feasible cache/SPM split under *area_budget*.
+
+    A configuration is feasible if its modelled area fits the budget.
+    Cache-less points are skipped (the trace generator's padding needs
+    a line size; a pure-SPM machine is a different architecture), as
+    are SPM-less points with no cache.
+
+    Returns:
+        Evaluated design points, sorted by energy (best first).
+
+    Raises:
+        ConfigurationError: if no configuration fits the budget.
+    """
+    cache_sizes = cache_sizes or _power_of_two_sizes(128, 4096)
+    spm_sizes = spm_sizes if spm_sizes is not None else \
+        [0] + _power_of_two_sizes(64, 2048)
+
+    points: list[DesignPoint] = []
+    for cache_size in cache_sizes:
+        cache = CacheConfig(size=cache_size, line_size=line_size,
+                            associativity=1)
+        feasible_spms = [
+            spm for spm in spm_sizes
+            if hierarchy_area(cache, spm) <= area_budget
+        ]
+        if not feasible_spms:
+            continue
+        workload = get_workload(workload_name, scale=scale)
+        bench = Workbench(workload.program, WorkbenchConfig(
+            cache=cache,
+            tracegen=TraceGenConfig(
+                line_size=line_size,
+                max_trace_size=max(64, min(
+                    (spm for spm in feasible_spms if spm), default=64
+                )),
+            ),
+            seed=seed,
+        ))
+        for spm in feasible_spms:
+            if spm == 0:
+                result = bench.baseline_result()
+            else:
+                result = bench.run_casa(spm)
+            points.append(DesignPoint(
+                cache_size=cache_size,
+                spm_size=spm,
+                area=hierarchy_area(cache, spm),
+                energy=result.energy.total,
+                misses=result.report.cache_misses,
+            ))
+    if not points:
+        raise ConfigurationError(
+            f"no cache/SPM configuration fits an area budget of "
+            f"{area_budget}"
+        )
+    points.sort(key=lambda p: p.energy)
+    return points
+
+
+def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Energy/area Pareto frontier of a set of design points.
+
+    A point is on the frontier if no other point has both lower-or-equal
+    area and lower-or-equal energy (with at least one strict).
+
+    Returns:
+        Frontier points sorted by area, ascending.
+    """
+    frontier: list[DesignPoint] = []
+    for candidate in points:
+        dominated = any(
+            other.area <= candidate.area
+            and other.energy <= candidate.energy
+            and (other.area < candidate.area
+                 or other.energy < candidate.energy)
+            for other in points
+        )
+        if not dominated:
+            frontier.append(candidate)
+    frontier.sort(key=lambda p: p.area)
+    return frontier
+
+
+def render_design_points(points: list[DesignPoint],
+                         top: int = 10) -> str:
+    """Render the best *top* configurations as a table."""
+    headers = ["cache", "scratchpad", "area", "energy uJ",
+               "I-cache misses"]
+    rows = [
+        [f"{p.cache_size}B", f"{p.spm_size}B", f"{p.area:.0f}",
+         f"{p.energy / 1e3:.2f}", p.misses]
+        for p in points[:top]
+    ]
+    return format_table(headers, rows,
+                        title="best cache/scratchpad splits under "
+                              "the area budget")

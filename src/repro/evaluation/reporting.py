@@ -1,0 +1,43 @@
+"""Text rendering of the reproduced figures and tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.utils.tables import format_table
+
+
+def percent(value: float) -> str:
+    """Format a percentage the way the paper's table does (one decimal)."""
+    return f"{value:.1f}"
+
+
+def microjoules(nanojoules: float) -> str:
+    """Format an energy in µJ with two decimals (table 1 style)."""
+    return f"{nanojoules / 1e3:.2f}"
+
+
+def series_table(
+    title: str,
+    column_label: str,
+    sizes: Sequence[int],
+    series: dict[str, Sequence[float]],
+) -> str:
+    """Render figure-style percentage series: one row per metric.
+
+    Args:
+        title: caption.
+        column_label: heading of the first column (metric names).
+        sizes: the scratchpad sizes (column headings).
+        series: metric name -> one value per size (percent).
+    """
+    headers = [column_label] + [f"{size}B" for size in sizes]
+    rows = []
+    for metric, values in series.items():
+        if len(values) != len(sizes):
+            raise ValueError(
+                f"metric {metric!r} has {len(values)} values for "
+                f"{len(sizes)} sizes"
+            )
+        rows.append([metric] + [percent(value) for value in values])
+    return format_table(headers, rows, title=title)

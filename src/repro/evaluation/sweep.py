@@ -1,0 +1,110 @@
+"""Generic scratchpad-size sweeps over workloads and allocators.
+
+The paper's methodology (section 6): vary the scratchpad / loop-cache
+size while keeping the rest of the instruction-memory subsystem
+invariant, count the accesses to each level, and compute energy from the
+model.  :func:`run_sweep` implements exactly that for any subset of the
+allocators; the figure/table modules post-process its output.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.core.pipeline import ExperimentResult, Workbench, WorkbenchConfig
+from repro.errors import ConfigurationError
+from repro.traces.tracegen import TraceGenConfig
+from repro.workloads.registry import Workload, get_workload
+
+#: Allocator identifiers accepted by :func:`run_sweep`.
+ALGORITHMS = ("casa", "steinke", "greedy", "ross")
+
+
+@functools.lru_cache(maxsize=8)
+def make_workbench(workload_name: str, scale: float = 1.0,
+                   seed: int = 0) -> tuple[Workload, Workbench]:
+    """Build (and cache) the profiled workbench of a named workload.
+
+    The workbench construction — execution, trace generation, baseline
+    cache simulation — is the expensive, allocation-independent part of
+    every experiment, so it is shared across figures and benchmarks.
+    """
+    workload = get_workload(workload_name, scale=scale)
+    config = WorkbenchConfig(
+        cache=workload.cache,
+        tracegen=TraceGenConfig(
+            line_size=workload.cache.line_size,
+            max_trace_size=min(workload.spm_sizes),
+        ),
+        seed=seed,
+    )
+    return workload, Workbench(workload.program, config)
+
+
+@dataclass
+class SweepPoint:
+    """All requested allocators evaluated at one scratchpad size."""
+
+    workload: str
+    spm_size: int
+    results: dict[str, ExperimentResult]
+
+    def result(self, algorithm: str) -> ExperimentResult:
+        """Result of one allocator at this size."""
+        return self.results[algorithm]
+
+    def energy(self, algorithm: str) -> float:
+        """Total energy (nJ) of one allocator at this size."""
+        return self.results[algorithm].energy.total
+
+    def improvement(self, algorithm: str, baseline: str) -> float:
+        """Energy improvement of *algorithm* over *baseline* in percent."""
+        base = self.energy(baseline)
+        if base == 0:
+            raise ConfigurationError(f"baseline {baseline!r} has no energy")
+        return (1.0 - self.energy(algorithm) / base) * 100.0
+
+
+def run_sweep(
+    workload_name: str,
+    sizes: tuple[int, ...] | None = None,
+    algorithms: tuple[str, ...] = ("casa", "steinke", "ross"),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Evaluate allocators across scratchpad sizes.
+
+    Args:
+        workload_name: registered benchmark name.
+        sizes: scratchpad/loop-cache sizes in bytes (defaults to the
+            benchmark's table 1 sizes).
+        algorithms: subset of :data:`ALGORITHMS`.
+        scale: workload trip-count multiplier.
+        seed: executor seed.
+
+    Returns:
+        One :class:`SweepPoint` per size, in ascending size order.
+    """
+    unknown = set(algorithms) - set(ALGORITHMS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown algorithms {sorted(unknown)}; choose from "
+            f"{ALGORITHMS}"
+        )
+    workload, bench = make_workbench(workload_name, scale, seed)
+    chosen_sizes = tuple(sorted(sizes or workload.spm_sizes))
+    points: list[SweepPoint] = []
+    for size in chosen_sizes:
+        results: dict[str, ExperimentResult] = {}
+        for algorithm in algorithms:
+            if algorithm == "casa":
+                results[algorithm] = bench.run_casa(size)
+            elif algorithm == "steinke":
+                results[algorithm] = bench.run_steinke(size)
+            elif algorithm == "greedy":
+                results[algorithm] = bench.run_greedy(size)
+            else:
+                results[algorithm] = bench.run_ross(size)
+        points.append(SweepPoint(workload_name, size, results))
+    return points

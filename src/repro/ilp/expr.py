@@ -1,0 +1,210 @@
+"""Variables and linear expressions with operator overloading.
+
+``LinExpr`` is an immutable-by-convention mapping from variables to
+coefficients plus a constant.  Arithmetic (`+`, `-`, `*` by scalars)
+builds expressions; comparisons (`<=`, `>=`, `==`) build constraints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Union
+
+from repro.errors import SolverError
+
+Number = Union[int, float]
+
+_variable_ids = itertools.count()
+
+
+class Variable:
+    """A decision variable.
+
+    Attributes:
+        name: unique display name.
+        lower: lower bound.
+        upper: upper bound.
+        is_integer: integrality requirement.
+    """
+
+    __slots__ = ("name", "lower", "upper", "is_integer", "_uid")
+
+    def __init__(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = float("inf"),
+        is_integer: bool = False,
+    ) -> None:
+        if lower > upper:
+            raise SolverError(
+                f"variable {name!r}: lower bound {lower} exceeds upper "
+                f"bound {upper}"
+            )
+        self.name = name
+        self.lower = float(lower)
+        self.upper = float(upper)
+        self.is_integer = is_integer
+        self._uid = next(_variable_ids)
+
+    @property
+    def is_binary(self) -> bool:
+        """Whether the variable is a 0/1 variable."""
+        return self.is_integer and self.lower == 0.0 and self.upper == 1.0
+
+    # Variables participate in expressions by promotion.
+
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0})
+
+    def __add__(self, other) -> "LinExpr":
+        return self._as_expr() + other
+
+    def __radd__(self, other) -> "LinExpr":
+        return self._as_expr() + other
+
+    def __sub__(self, other) -> "LinExpr":
+        return self._as_expr() - other
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-1.0 * self._as_expr()) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        return self._as_expr() * scalar
+
+    def __rmul__(self, scalar: Number) -> "LinExpr":
+        return self._as_expr() * scalar
+
+    def __neg__(self) -> "LinExpr":
+        return self._as_expr() * -1.0
+
+    def __le__(self, other):
+        return self._as_expr() <= other
+
+    def __ge__(self, other):
+        return self._as_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return self._as_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._uid
+
+    def __repr__(self) -> str:
+        kind = "bin" if self.is_binary else (
+            "int" if self.is_integer else "cont")
+        return f"Variable({self.name!r}, {kind})"
+
+
+class LinExpr:
+    """A linear expression ``sum(coef * var) + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Mapping[Variable, float] | None = None,
+                 constant: float = 0.0) -> None:
+        self.terms: dict[Variable, float] = dict(terms or {})
+        self.constant = float(constant)
+
+    @staticmethod
+    def total(items: Iterable[Union["LinExpr", Variable, Number]]
+              ) -> "LinExpr":
+        """Sum an iterable of expressions/variables/numbers."""
+        result = LinExpr()
+        for item in items:
+            result = result + item
+        return result
+
+    def copy(self) -> "LinExpr":
+        """Shallow copy (terms dict is copied)."""
+        return LinExpr(dict(self.terms), self.constant)
+
+    def coefficient(self, variable: Variable) -> float:
+        """Coefficient of *variable* (0 if absent)."""
+        return self.terms.get(variable, 0.0)
+
+    @property
+    def variables(self) -> list[Variable]:
+        """Variables with a non-zero coefficient."""
+        return [v for v, c in self.terms.items() if c != 0.0]
+
+    def evaluate(self, assignment: Mapping[Variable, float]) -> float:
+        """Value of the expression under a variable assignment."""
+        return self.constant + sum(
+            coef * assignment[var] for var, coef in self.terms.items()
+        )
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        result = self.copy()
+        if isinstance(other, LinExpr):
+            for var, coef in other.terms.items():
+                result.terms[var] = result.terms.get(var, 0.0) + coef
+            result.constant += other.constant
+        elif isinstance(other, Variable):
+            result.terms[other] = result.terms.get(other, 0.0) + 1.0
+        elif isinstance(other, (int, float)):
+            result.constant += float(other)
+        else:
+            return NotImplemented
+        return result
+
+    def __radd__(self, other) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return self + (other * -1.0)
+        if isinstance(other, Variable):
+            return self + LinExpr({other: -1.0})
+        if isinstance(other, (int, float)):
+            return self + (-float(other))
+        return NotImplemented
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        return LinExpr(
+            {var: coef * scalar for var, coef in self.terms.items()},
+            self.constant * scalar,
+        )
+
+    def __rmul__(self, scalar: Number) -> "LinExpr":
+        return self.__mul__(scalar)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- constraint builders ---------------------------------------------
+
+    def __le__(self, other):
+        from repro.ilp.model import Constraint
+        return Constraint.build(self, "<=", other)
+
+    def __ge__(self, other):
+        from repro.ilp.model import Constraint
+        return Constraint.build(self, ">=", other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        from repro.ilp.model import Constraint
+        if isinstance(other, (LinExpr, Variable, int, float)):
+            return Constraint.build(self, "==", other)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # keep LinExpr usable in identity sets
+        return id(self)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{coef:+g}*{var.name}" for var, coef in self.terms.items()
+            if coef != 0.0
+        ]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)

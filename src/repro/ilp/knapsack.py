@@ -1,0 +1,111 @@
+"""Exact 0/1 knapsack by dynamic programming.
+
+Steinke et al. [13] formulate scratchpad allocation (without a cache) as
+a knapsack problem: pick the set of memory objects with maximal energy
+profit whose sizes fit the scratchpad.  Sizes here are in bytes but are
+word-multiples, so the DP runs over ``capacity // granularity`` states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SolverError
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One candidate item.
+
+    Attributes:
+        name: identifier returned in the solution.
+        size: weight in bytes (non-negative).
+        profit: value gained by selecting the item.
+    """
+
+    name: str
+    size: int
+    profit: float
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise SolverError(f"item {self.name!r} has negative size")
+
+
+@dataclass
+class KnapsackSolution:
+    """Selected items and the profit they achieve."""
+
+    selected: list[str]
+    total_profit: float
+    total_size: int
+
+
+def knapsack_01(items: list[KnapsackItem], capacity: int,
+                granularity: int = 4) -> KnapsackSolution:
+    """Solve the 0/1 knapsack exactly.
+
+    Args:
+        items: candidate items; items with non-positive profit are never
+            selected (selecting them cannot help).
+        capacity: knapsack capacity in bytes.
+        granularity: common divisor of all sizes (4 for word-aligned
+            code), used to shrink the DP table.
+
+    Returns:
+        The optimal selection (item order follows the input order).
+
+    Raises:
+        SolverError: if a size is not a multiple of *granularity* or the
+            capacity is negative.
+    """
+    if capacity < 0:
+        raise SolverError(f"negative capacity: {capacity}")
+    candidates = [item for item in items if item.profit > 0.0]
+    for item in candidates:
+        if item.size % granularity != 0:
+            raise SolverError(
+                f"item {item.name!r} size {item.size} is not a multiple "
+                f"of {granularity}"
+            )
+    # Zero-size items with positive profit are always taken.
+    free_items = [item for item in candidates if item.size == 0]
+    candidates = [item for item in candidates if item.size > 0]
+    free_profit = sum(item.profit for item in free_items)
+    free_names = [item.name for item in free_items]
+
+    slots = capacity // granularity
+    if slots == 0 or not candidates:
+        return KnapsackSolution(free_names, free_profit, 0)
+
+    # Full 2D table so the choice set can be traced back exactly:
+    # table[i][w] = best profit using the first i items within w slots.
+    num = len(candidates)
+    table = [[0.0] * (slots + 1) for _ in range(num + 1)]
+    for i, item in enumerate(candidates, start=1):
+        weight = item.size // granularity
+        previous = table[i - 1]
+        current = table[i]
+        for w in range(slots + 1):
+            best = previous[w]
+            if weight <= w:
+                with_item = previous[w - weight] + item.profit
+                if with_item > best:
+                    best = with_item
+            current[w] = best
+
+    selected: list[str] = []
+    total_size = 0
+    w = slots
+    for i in range(num, 0, -1):
+        if table[i][w] != table[i - 1][w]:
+            item = candidates[i - 1]
+            selected.append(item.name)
+            total_size += item.size
+            w -= item.size // granularity
+    selected.reverse()
+    return KnapsackSolution(
+        free_names + selected,
+        free_profit + table[num][slots],
+        total_size,
+    )

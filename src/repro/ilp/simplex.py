@@ -1,0 +1,274 @@
+"""A self-contained dense two-phase primal simplex LP solver.
+
+An alternative to the HiGHS backend with zero non-numpy dependencies:
+useful where scipy is unavailable, and as an independent oracle the
+test suite cross-validates the default backend against.  It is a
+textbook implementation (two-phase, Bland's rule, dense numpy tableau)
+— correct and deterministic, but intended for the small/medium LPs of
+this package, not for production-scale programs.
+
+The model is brought to standard form as
+
+    minimise    c'x
+    subject to  A x (<=|=) b,   x >= 0
+
+by shifting every variable to its lower bound and expressing finite
+upper bounds as extra ``<=`` rows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.ilp.expr import Variable
+from repro.ilp.model import Model, Sense, SolveStatus
+from repro.ilp.scipy_backend import LpSolution
+
+#: Numerical tolerance of the pivoting rules.
+TOLERANCE = 1e-9
+
+
+class SimplexLpSolver:
+    """Drop-in alternative to :class:`LpRelaxationSolver`.
+
+    The constraint structure is captured once; each :meth:`solve` call
+    re-derives the standard form for the requested variable bounds (the
+    shift by the lower bound depends on them).
+    """
+
+    def __init__(self, model: Model) -> None:
+        self._model = model
+        self._variables = list(model.variables)
+        self._index = {var: i for i, var in enumerate(self._variables)}
+        n = len(self._variables)
+
+        sign = 1.0 if model.sense is Sense.MINIMIZE else -1.0
+        self._objective_sign = sign
+        self._c = np.zeros(n)
+        for var, coef in model.objective.terms.items():
+            self._c[self._index[var]] += sign * coef
+        self._objective_constant = model.objective.constant
+
+        rows: list[np.ndarray] = []
+        rhs: list[float] = []
+        senses: list[str] = []
+        for constraint in model.constraints:
+            row = np.zeros(n)
+            for var, coef in constraint.expr.terms.items():
+                row[self._index[var]] += coef
+            bound = -constraint.expr.constant
+            if constraint.sense == ">=":
+                rows.append(-row)
+                rhs.append(-bound)
+                senses.append("<=")
+            else:
+                rows.append(row)
+                rhs.append(bound)
+                senses.append(constraint.sense)
+        self._rows = rows
+        self._rhs = rhs
+        self._senses = senses
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        bound_overrides: Mapping[Variable, tuple[float, float]] | None
+        = None,
+    ) -> LpSolution:
+        """Solve the LP relaxation under optional bound overrides."""
+        overrides = bound_overrides or {}
+        lowers = np.empty(len(self._variables))
+        uppers = np.empty(len(self._variables))
+        for i, var in enumerate(self._variables):
+            low, high = overrides.get(var, (var.lower, var.upper))
+            if low > high:
+                return LpSolution(SolveStatus.INFEASIBLE, None, {})
+            if not math.isfinite(low):
+                raise SolverError(
+                    f"simplex backend requires finite lower bounds "
+                    f"({var.name!r})"
+                )
+            lowers[i] = low
+            uppers[i] = high
+
+        # Shift x = lower + y with y >= 0; finite uppers become rows.
+        rows = [np.array(row) for row in self._rows]
+        rhs = [
+            value - float(np.dot(row, lowers))
+            for row, value in zip(rows, self._rhs)
+        ]
+        senses = list(self._senses)
+        for i, upper in enumerate(uppers):
+            if math.isfinite(upper):
+                bound_row = np.zeros(len(self._variables))
+                bound_row[i] = 1.0
+                rows.append(bound_row)
+                rhs.append(upper - lowers[i])
+                senses.append("<=")
+
+        solution = _two_phase_simplex(
+            np.array(self._c), rows, np.array(rhs), senses
+        )
+        if isinstance(solution, SolveStatus):
+            return LpSolution(solution, None, {})
+        y = solution
+        x = lowers + y
+        values = {
+            var: float(x[i]) for i, var in enumerate(self._variables)
+        }
+        objective = (
+            self._objective_sign * float(np.dot(self._c, x))
+            + self._objective_constant
+        )
+        return LpSolution(SolveStatus.OPTIMAL, objective, values)
+
+
+def _two_phase_simplex(
+    c: np.ndarray,
+    rows: list[np.ndarray],
+    rhs: np.ndarray,
+    senses: list[str],
+):
+    """Minimise ``c'y`` s.t. ``rows y (<=|=) rhs``, ``y >= 0``.
+
+    Returns the optimal ``y`` vector, or a :class:`SolveStatus` for
+    infeasible/unbounded problems.
+    """
+    num_vars = len(c)
+    num_rows = len(rows)
+
+    # Normalise to equalities with slack variables; make rhs >= 0.
+    slack_count = sum(1 for sense in senses if sense == "<=")
+    total = num_vars + slack_count + num_rows  # + artificials
+    a = np.zeros((num_rows, total))
+    b = np.zeros(num_rows)
+    slack_pos = num_vars
+    art_pos = num_vars + slack_count
+    basis = np.zeros(num_rows, dtype=int)
+    for i, (row, value, sense) in enumerate(zip(rows, rhs, senses)):
+        coeffs = np.array(row, dtype=float)
+        if sense == "<=":
+            full = np.zeros(total)
+            full[:num_vars] = coeffs
+            full[slack_pos] = 1.0
+            if value < 0:
+                full = -full
+                value = -value
+            a[i] = full
+            b[i] = value
+            if full[slack_pos] > 0:
+                basis[i] = slack_pos
+            else:
+                # slack became -1 after negation: need an artificial
+                a[i, art_pos + i] = 1.0
+                basis[i] = art_pos + i
+            slack_pos += 1
+        else:  # equality
+            full = np.zeros(total)
+            full[:num_vars] = coeffs
+            if value < 0:
+                full = -full
+                value = -value
+            a[i] = full
+            b[i] = value
+            a[i, art_pos + i] = 1.0
+            basis[i] = art_pos + i
+
+    uses_artificials = any(basis >= art_pos)
+
+    if uses_artificials:
+        phase1_cost = np.zeros(total)
+        phase1_cost[art_pos:] = 1.0
+        status = _simplex_core(a, b, phase1_cost, basis)
+        if status is SolveStatus.UNBOUNDED:
+            return SolveStatus.INFEASIBLE  # phase 1 cannot be unbounded
+        objective = float(np.dot(phase1_cost[basis], b))
+        if objective > 1e-7:
+            return SolveStatus.INFEASIBLE
+        # Drive any remaining artificials out of the basis.
+        for i in range(num_rows):
+            if basis[i] >= art_pos:
+                pivot_col = None
+                for j in range(art_pos):
+                    if abs(a[i, j]) > TOLERANCE:
+                        pivot_col = j
+                        break
+                if pivot_col is None:
+                    continue  # redundant row
+                _pivot(a, b, basis, i, pivot_col)
+
+    phase2_cost = np.zeros(total)
+    phase2_cost[:num_vars] = c
+    # Drop the artificial columns so they can never re-enter.
+    a_trim = np.array(a[:, :art_pos])
+    cost_trim = phase2_cost[:art_pos]
+    if np.any(basis >= art_pos):
+        # Redundant rows still anchored to artificials: drop them.
+        keep = basis < art_pos
+        a_trim = a_trim[keep]
+        b = b[keep]
+        basis = basis[keep]
+    status = _simplex_core(a_trim, b, cost_trim, basis)
+    if status is SolveStatus.UNBOUNDED:
+        return SolveStatus.UNBOUNDED
+
+    y = np.zeros(art_pos)
+    for i, var in enumerate(basis):
+        y[var] = b[i]
+    return y[:num_vars]
+
+
+def _simplex_core(a: np.ndarray, b: np.ndarray, cost: np.ndarray,
+                  basis: np.ndarray) -> SolveStatus | None:
+    """Primal simplex with Bland's rule on an equality-form tableau.
+
+    Mutates ``a``, ``b`` and ``basis`` in place.
+    """
+    max_iterations = 50 * (a.shape[0] + a.shape[1] + 10)
+    for _ in range(max_iterations):
+        # reduced costs: cost - cost_B * B^-1 * A (tableau is kept
+        # pivoted, so B^-1*A is `a` itself)
+        reduced = cost - cost[basis] @ a
+        entering = None
+        for j in range(a.shape[1]):
+            if reduced[j] < -TOLERANCE:
+                entering = j  # Bland: smallest index
+                break
+        if entering is None:
+            return None  # optimal
+        # ratio test (Bland: smallest basis index breaks ties)
+        leaving = None
+        best_ratio = math.inf
+        for i in range(a.shape[0]):
+            if a[i, entering] > TOLERANCE:
+                ratio = b[i] / a[i, entering]
+                if ratio < best_ratio - TOLERANCE or (
+                    abs(ratio - best_ratio) <= TOLERANCE
+                    and leaving is not None
+                    and basis[i] < basis[leaving]
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving is None:
+            return SolveStatus.UNBOUNDED
+        _pivot(a, b, basis, leaving, entering)
+    raise SolverError("simplex did not converge (cycling?)")
+
+
+def _pivot(a: np.ndarray, b: np.ndarray, basis: np.ndarray,
+           row: int, col: int) -> None:
+    """Pivot the tableau on ``(row, col)``."""
+    pivot_value = a[row, col]
+    a[row] /= pivot_value
+    b[row] /= pivot_value
+    for i in range(a.shape[0]):
+        if i != row and abs(a[i, col]) > TOLERANCE:
+            factor = a[i, col]
+            a[i] -= factor * a[row]
+            b[i] -= factor * b[row]
+    basis[row] = col

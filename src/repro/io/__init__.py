@@ -1,0 +1,33 @@
+"""Serialisation of analysis artefacts (JSON, DOT).
+
+Conflict graphs and allocation decisions are the hand-off points of the
+pipeline; persisting them lets users profile once and experiment with
+allocators offline, and diff decisions across runs.
+"""
+
+from repro.io.tracefile import load_trace, save_trace
+from repro.io.json_io import (
+    allocation_from_dict,
+    allocation_to_dict,
+    conflict_graph_from_dict,
+    conflict_graph_to_dict,
+    load_allocation,
+    load_conflict_graph,
+    report_to_dict,
+    save_allocation,
+    save_conflict_graph,
+)
+
+__all__ = [
+    "allocation_from_dict",
+    "allocation_to_dict",
+    "conflict_graph_from_dict",
+    "conflict_graph_to_dict",
+    "load_allocation",
+    "load_conflict_graph",
+    "report_to_dict",
+    "save_allocation",
+    "save_conflict_graph",
+    "load_trace",
+    "save_trace",
+]

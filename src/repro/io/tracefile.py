@@ -1,0 +1,114 @@
+"""Recorded execution traces on disk (run-length encoded).
+
+The paper's workflow records an ARMulator instruction trace once and
+feeds it to the memory-hierarchy simulator repeatedly.  This module
+provides the same decoupling: an executed block sequence is written as
+a compact run-length-encoded text file and replayed later — profiling
+and experimentation can happen in different processes (or machines).
+
+Format (version 1)::
+
+    repro-trace 1
+    <program-name>
+    <block-name> <repeat>
+    ...
+
+Consecutive repeats of the same block (tight loops) collapse to one
+line, which typically shrinks codec traces by 3-10x.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.errors import ConfigurationError
+
+#: Magic first line of a trace file.
+MAGIC = "repro-trace 1"
+
+
+def encode_runs(block_sequence: list[str]) -> list[tuple[str, int]]:
+    """Run-length encode a block sequence."""
+    runs: list[tuple[str, int]] = []
+    for name in block_sequence:
+        if runs and runs[-1][0] == name:
+            runs[-1] = (name, runs[-1][1] + 1)
+        else:
+            runs.append((name, 1))
+    return runs
+
+
+def decode_runs(runs: list[tuple[str, int]]) -> list[str]:
+    """Expand run-length encoded runs back into a block sequence."""
+    sequence: list[str] = []
+    for name, repeat in runs:
+        if repeat < 1:
+            raise ConfigurationError(
+                f"invalid repeat count {repeat} for {name!r}"
+            )
+        sequence.extend([name] * repeat)
+    return sequence
+
+
+def save_trace(block_sequence: list[str], path,
+               program_name: str = "program") -> None:
+    """Write a block sequence as a trace file.
+
+    Args:
+        block_sequence: executed block names.
+        path: destination file.
+        program_name: recorded for provenance checks on load.
+    """
+    if any(
+        " " in name or "\n" in name for name in set(block_sequence)
+    ):
+        raise ConfigurationError(
+            "block names must not contain spaces or newlines"
+        )
+    lines = [MAGIC, program_name]
+    for name, repeat in encode_runs(block_sequence):
+        lines.append(f"{name} {repeat}")
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path, expected_program: str | None = None) -> list[str]:
+    """Read a trace file back into a block sequence.
+
+    Args:
+        path: the trace file.
+        expected_program: if given, the recorded program name must
+            match.
+
+    Raises:
+        ConfigurationError: on a malformed file or program mismatch.
+    """
+    text = pathlib.Path(path).read_text()
+    lines = text.splitlines()
+    if not lines or lines[0] != MAGIC:
+        raise ConfigurationError(f"{path}: not a repro trace file")
+    if len(lines) < 2:
+        raise ConfigurationError(f"{path}: missing program name")
+    program_name = lines[1]
+    if expected_program is not None and program_name != expected_program:
+        raise ConfigurationError(
+            f"{path}: trace was recorded for {program_name!r}, "
+            f"expected {expected_program!r}"
+        )
+    runs: list[tuple[str, int]] = []
+    for index, line in enumerate(lines[2:], start=3):
+        if not line.strip():
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            raise ConfigurationError(
+                f"{path}:{index}: malformed run line {line!r}"
+            )
+        name, repeat_text = parts
+        try:
+            repeat = int(repeat_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"{path}:{index}: bad repeat count {repeat_text!r}"
+            ) from None
+        runs.append((name, repeat))
+    return decode_runs(runs)

@@ -1,0 +1,35 @@
+"""A minimal ARM7-like instruction-set model.
+
+The CASA algorithm never inspects operands — it needs instruction *sizes*
+(to compute memory-object sizes and cache-line occupancy) and control-flow
+*kinds* (to execute a CFG and to know which blocks end in unconditional
+jumps).  This package models exactly that.
+"""
+
+from repro.isa.instructions import (
+    INSTRUCTION_SIZE,
+    Instruction,
+    Opcode,
+    make_alu,
+    make_branch,
+    make_call,
+    make_jump,
+    make_load,
+    make_nop,
+    make_return,
+    make_store,
+)
+
+__all__ = [
+    "INSTRUCTION_SIZE",
+    "Instruction",
+    "Opcode",
+    "make_alu",
+    "make_branch",
+    "make_call",
+    "make_jump",
+    "make_load",
+    "make_nop",
+    "make_return",
+    "make_store",
+]

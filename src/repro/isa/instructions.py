@@ -1,0 +1,132 @@
+"""Instruction and opcode definitions.
+
+We model a 32-bit RISC core in ARM (not Thumb) state: every instruction
+occupies four bytes.  The paper's ARM7T experiments fetch one instruction
+word per cycle from the instruction-memory hierarchy, so the fetch stream
+is fully determined by instruction sizes and control flow.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Size of every instruction in bytes (ARM state, 32-bit fixed width).
+INSTRUCTION_SIZE = 4
+
+
+class Opcode(enum.Enum):
+    """Coarse instruction classes.
+
+    Only the control-flow distinction matters to the executor and the
+    trace generator; ALU/LOAD/STORE exist so synthetic code has realistic
+    composition and so NOP padding is distinguishable from real work.
+    """
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    #: Conditional branch: may fall through or go to its target.
+    BRANCH = "branch"
+    #: Unconditional jump: always transfers control to its target.
+    JUMP = "jump"
+    #: Function call (branch-with-link).
+    CALL = "call"
+    #: Function return.
+    RETURN = "return"
+    #: No-operation, used to pad traces to cache-line boundaries.
+    NOP = "nop"
+
+    @property
+    def is_control_flow(self) -> bool:
+        """Whether the opcode can redirect the program counter."""
+        return self in _CONTROL_FLOW
+
+    @property
+    def is_terminator(self) -> bool:
+        """Whether the opcode always ends a basic block."""
+        return self in _TERMINATORS
+
+
+_CONTROL_FLOW = {Opcode.BRANCH, Opcode.JUMP, Opcode.CALL, Opcode.RETURN}
+_TERMINATORS = {Opcode.BRANCH, Opcode.JUMP, Opcode.RETURN}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    Attributes:
+        opcode: coarse instruction class.
+        target: symbolic control-flow target (a basic-block or function
+            name) for branch/jump/call instructions, ``None`` otherwise.
+        mnemonic: free-form text used only in disassembly listings.
+    """
+
+    opcode: Opcode
+    target: str | None = None
+    mnemonic: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.opcode in (Opcode.BRANCH, Opcode.JUMP, Opcode.CALL):
+            if self.target is None:
+                raise ValueError(f"{self.opcode.value} requires a target")
+        elif self.target is not None:
+            raise ValueError(f"{self.opcode.value} must not carry a target")
+
+    @property
+    def size(self) -> int:
+        """Instruction size in bytes (constant in ARM state)."""
+        return INSTRUCTION_SIZE
+
+    @property
+    def is_nop(self) -> bool:
+        """Whether this instruction is padding."""
+        return self.opcode is Opcode.NOP
+
+    def __str__(self) -> str:
+        if self.mnemonic:
+            return self.mnemonic
+        if self.target is not None:
+            return f"{self.opcode.value} {self.target}"
+        return self.opcode.value
+
+
+def make_alu(mnemonic: str = "") -> Instruction:
+    """Create a generic data-processing instruction."""
+    return Instruction(Opcode.ALU, mnemonic=mnemonic)
+
+
+def make_load(mnemonic: str = "") -> Instruction:
+    """Create a data-memory load instruction."""
+    return Instruction(Opcode.LOAD, mnemonic=mnemonic)
+
+
+def make_store(mnemonic: str = "") -> Instruction:
+    """Create a data-memory store instruction."""
+    return Instruction(Opcode.STORE, mnemonic=mnemonic)
+
+
+def make_branch(target: str, mnemonic: str = "") -> Instruction:
+    """Create a conditional branch to the basic block named *target*."""
+    return Instruction(Opcode.BRANCH, target=target, mnemonic=mnemonic)
+
+
+def make_jump(target: str, mnemonic: str = "") -> Instruction:
+    """Create an unconditional jump to the basic block named *target*."""
+    return Instruction(Opcode.JUMP, target=target, mnemonic=mnemonic)
+
+
+def make_call(target: str, mnemonic: str = "") -> Instruction:
+    """Create a call to the function named *target*."""
+    return Instruction(Opcode.CALL, target=target, mnemonic=mnemonic)
+
+
+def make_return(mnemonic: str = "") -> Instruction:
+    """Create a function-return instruction."""
+    return Instruction(Opcode.RETURN, mnemonic=mnemonic)
+
+
+def make_nop() -> Instruction:
+    """Create a padding NOP."""
+    return Instruction(Opcode.NOP)

@@ -1,0 +1,47 @@
+"""Instruction-memory hierarchy simulation.
+
+Re-implementation of the in-house *memsim* tool the paper cites [8]: a
+set-associative I-cache with per-line owner tracking (so every conflict
+miss is attributed to the memory object that caused it), a scratchpad, a
+preloaded loop cache with its controller, and main memory — driven by the
+executed basic-block sequence through the fetch plans of a
+:class:`~repro.traces.layout.LinkedImage`.
+"""
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import (
+    HierarchyConfig,
+    InstructionMemorySimulator,
+    simulate,
+)
+from repro.memory.loopcache import LoopCache, LoopCacheConfig, LoopRegion
+from repro.memory.mainmem import MainMemory
+from repro.memory.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.memory.scratchpad import Scratchpad
+from repro.memory.stats import MemoryObjectStats, SimulationReport
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "HierarchyConfig",
+    "InstructionMemorySimulator",
+    "simulate",
+    "LoopCache",
+    "LoopCacheConfig",
+    "LoopRegion",
+    "MainMemory",
+    "FifoPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+    "Scratchpad",
+    "MemoryObjectStats",
+    "SimulationReport",
+]

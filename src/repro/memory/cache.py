@@ -1,0 +1,213 @@
+"""Set-associative instruction cache with conflict-miss attribution.
+
+Beyond hit/miss counting, the cache remembers, for every memory line it
+evicts, *which memory object's* line displaced it.  When the evicted line
+later misses again, that miss is attributed to the displacing object —
+exactly the ``Miss(x_i, x_j)`` quantity of the paper's conflict graph
+(section 3.3): an edge ``e_ij`` with weight ``m_ij`` counts the misses of
+``x_i`` that occur because ``x_j`` replaced its lines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.replacement import ReplacementPolicy, make_policy
+from repro.utils.bitops import is_power_of_two, log2_int
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of an instruction cache.
+
+    Attributes:
+        size: capacity in bytes.
+        line_size: line (block) size in bytes.
+        associativity: number of ways (1 = direct mapped).
+        policy: replacement policy name (``lru``, ``fifo``, ``random``).
+    """
+
+    size: int = 2048
+    line_size: int = 16
+    associativity: int = 1
+    policy: str = "lru"
+
+    def __post_init__(self) -> None:
+        for name in ("size", "line_size", "associativity"):
+            value = getattr(self, name)
+            if not is_power_of_two(value):
+                raise ConfigurationError(
+                    f"cache {name} must be a power of two, got {value}"
+                )
+        if self.line_size > self.size:
+            raise ConfigurationError(
+                f"line size {self.line_size} exceeds cache size {self.size}"
+            )
+        if self.associativity * self.line_size > self.size:
+            raise ConfigurationError(
+                "cache cannot hold a full set: "
+                f"{self.associativity} ways x {self.line_size} B "
+                f"> {self.size} B"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (``size / (associativity * line_size)``)."""
+        return self.size // (self.associativity * self.line_size)
+
+    @property
+    def words_per_line(self) -> int:
+        """Instruction words per cache line (4-byte words)."""
+        return self.line_size // 4
+
+    def map_line(self, line_id: int) -> int:
+        """Set index of a memory line — the paper's ``Map`` function."""
+        return line_id % self.num_sets
+
+
+class _CacheSet:
+    """One cache set: tags, line owners, and a replacement policy."""
+
+    __slots__ = ("tags", "owners", "lines", "policy")
+
+    def __init__(self, num_ways: int, policy_name: str) -> None:
+        self.tags: list[int | None] = [None] * num_ways
+        self.owners: list[str | None] = [None] * num_ways
+        self.lines: list[int | None] = [None] * num_ways
+        self.policy: ReplacementPolicy = make_policy(policy_name, num_ways)
+
+
+class Cache:
+    """A set-associative I-cache with eviction attribution.
+
+    Addresses are byte addresses; internally the cache works on *memory
+    line ids* (``address // line_size``).  Every resident line carries
+    the name of the memory object that owns it.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self._config = config
+        self._set_bits = log2_int(config.num_sets)
+        self._sets = [
+            _CacheSet(config.associativity, config.policy)
+            for _ in range(config.num_sets)
+        ]
+        # For every memory line currently NOT in the cache but seen
+        # before: the owner of the line that evicted it last.
+        self._evicted_by: dict[int, str] = {}
+        self._seen_lines: set[int] = set()
+
+        self.hits = 0
+        self.misses = 0
+        self.compulsory_misses = 0
+        #: per-(victim_mo, evictor_mo) conflict-miss counts (m_ij).
+        self.conflict_misses: Counter = Counter()
+        #: per-mo hit / miss / compulsory counters.
+        self.mo_hits: Counter = Counter()
+        self.mo_misses: Counter = Counter()
+        self.mo_compulsory: Counter = Counter()
+        #: execution phase the driver is currently in (see the overlay
+        #: extension); only used when phase-binned counters are wanted.
+        self.phase = 0
+        #: per-(phase, victim_mo, evictor_mo) conflict misses.
+        self.phase_conflicts: Counter = Counter()
+        #: per-(phase, mo) compulsory misses.
+        self.phase_compulsory: Counter = Counter()
+
+    @property
+    def config(self) -> CacheConfig:
+        """The cache's configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def access_line(self, line_id: int, owner: str) -> bool:
+        """Probe the cache for a memory line.
+
+        Args:
+            line_id: memory line id (byte address // line size).
+            owner: name of the memory object the fetch belongs to.
+
+        Returns:
+            ``True`` on a hit, ``False`` on a miss (the line is filled).
+        """
+        index = line_id % len(self._sets)
+        cache_set = self._sets[index]
+        for way, resident in enumerate(cache_set.lines):
+            if resident == line_id:
+                self.hits += 1
+                self.mo_hits[owner] += 1
+                cache_set.policy.on_hit(way)
+                return True
+
+        # Miss: classify, pick a victim, fill.
+        self.misses += 1
+        self.mo_misses[owner] += 1
+        if line_id not in self._seen_lines:
+            self._seen_lines.add(line_id)
+            self.compulsory_misses += 1
+            self.mo_compulsory[owner] += 1
+            self.phase_compulsory[(self.phase, owner)] += 1
+        else:
+            evictor = self._evicted_by.get(line_id)
+            if evictor is not None:
+                self.conflict_misses[(owner, evictor)] += 1
+                self.phase_conflicts[(self.phase, owner, evictor)] += 1
+
+        victim_way = None
+        for way, resident in enumerate(cache_set.lines):
+            if resident is None:
+                victim_way = way
+                break
+        if victim_way is None:
+            victim_way = cache_set.policy.victim()
+            evicted_line = cache_set.lines[victim_way]
+            assert evicted_line is not None
+            self._evicted_by[evicted_line] = owner
+        cache_set.lines[victim_way] = line_id
+        cache_set.owners[victim_way] = owner
+        cache_set.policy.on_fill(victim_way)
+        return False
+
+    def contains_line(self, line_id: int) -> bool:
+        """Whether the memory line is currently resident."""
+        index = line_id % len(self._sets)
+        return line_id in self._sets[index].lines
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        """Total probes (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def conflict_miss_count(self) -> int:
+        """Total misses attributed to a conflicting object."""
+        return sum(self.conflict_misses.values())
+
+    def reset_statistics(self) -> None:
+        """Clear counters but keep cache contents."""
+        self.hits = 0
+        self.misses = 0
+        self.compulsory_misses = 0
+        self.conflict_misses.clear()
+        self.mo_hits.clear()
+        self.mo_misses.clear()
+        self.mo_compulsory.clear()
+
+    def flush(self) -> None:
+        """Invalidate all lines and forget eviction history."""
+        config = self._config
+        self._sets = [
+            _CacheSet(config.associativity, config.policy)
+            for _ in range(config.num_sets)
+        ]
+        self._evicted_by.clear()
+        self._seen_lines.clear()

@@ -1,0 +1,349 @@
+"""The instruction-memory hierarchy simulator.
+
+Replays an executed basic-block sequence (from
+:func:`repro.program.executor.execute_program`) through the fetch plans
+of a :class:`~repro.traces.layout.LinkedImage`, dispatching every fetch
+to the scratchpad, the preloaded loop cache, or the I-cache + main
+memory, and producing a :class:`~repro.memory.stats.SimulationReport`.
+
+Call/return precision: when a trace-exit jump sits *after* a call
+instruction, the core fetches it when the callee returns (the return
+address points at the jump).  The simulator therefore keeps a stack of
+pending call tails that is pushed on calls and popped on returns, so the
+fetch stream is cycle-exact with respect to block ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.loopcache import LoopCache, LoopCacheConfig, LoopRegion
+from repro.memory.mainmem import MainMemory
+from repro.memory.scratchpad import Scratchpad
+from repro.memory.stats import SimulationReport
+from repro.traces.layout import BlockFetchPlan, FetchSegment, LinkedImage
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """What sits next to the I-cache (figure 1 of the paper).
+
+    Exactly one of ``spm_size``/``loop_cache`` is normally used; a
+    plain cache-only hierarchy has neither.
+
+    Attributes:
+        cache: the L1 I-cache configuration, or ``None`` for a
+            cache-less (scratchpad + main memory) hierarchy.
+        spm_size: scratchpad capacity in bytes (0 = no scratchpad).
+        loop_cache: preloaded-loop-cache configuration, or ``None``.
+    """
+
+    cache: CacheConfig | None = CacheConfig()
+    spm_size: int = 0
+    loop_cache: LoopCacheConfig | None = None
+    #: optional unified L2 I-cache between the L1 and main memory
+    #: (section 4: the allocation "need not do anything" about it).
+    l2_cache: CacheConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.spm_size and self.loop_cache is not None:
+            raise ConfigurationError(
+                "a hierarchy has either a scratchpad or a loop cache, "
+                "not both (figure 1)"
+            )
+        if self.spm_size < 0:
+            raise ConfigurationError(f"negative spm size: {self.spm_size}")
+        if self.l2_cache is not None:
+            if self.cache is None:
+                raise ConfigurationError(
+                    "an L2 cache requires an L1 cache"
+                )
+            if self.l2_cache.size < self.cache.size:
+                raise ConfigurationError(
+                    "the L2 must be at least as large as the L1"
+                )
+            if self.l2_cache.line_size != self.cache.line_size:
+                raise ConfigurationError(
+                    "L1 and L2 line sizes must match in this model"
+                )
+
+
+class InstructionMemorySimulator:
+    """Simulates one hierarchy for one linked image."""
+
+    def __init__(
+        self,
+        image: LinkedImage,
+        config: HierarchyConfig,
+        spm_base: int | None = None,
+        loop_regions: list[LoopRegion] | None = None,
+    ) -> None:
+        self._image = image
+        self._config = config
+        self.cache = Cache(config.cache) if config.cache else None
+        self.l2_cache = (
+            Cache(config.l2_cache) if config.l2_cache else None
+        )
+        self.main_memory = MainMemory()
+        self.scratchpad = (
+            Scratchpad(config.spm_size, spm_base if spm_base is not None
+                       else 0x0040_0000)
+            if config.spm_size
+            else None
+        )
+        self.loop_cache = (
+            LoopCache(config.loop_cache, loop_regions or [])
+            if config.loop_cache is not None
+            else None
+        )
+        if loop_regions and self.loop_cache is None:
+            raise ConfigurationError(
+                "loop regions given but no loop cache configured"
+            )
+
+    # ------------------------------------------------------------------
+
+    def run(self, block_sequence: list[str],
+            block_phases: dict[str, int] | None = None
+            ) -> SimulationReport:
+        """Replay *block_sequence* and return the statistics.
+
+        Args:
+            block_sequence: executed block names.
+            block_phases: optional map from (top-level) block names to
+                execution-phase ids; when given, statistics are also
+                binned per phase (used by the overlay extension).
+        """
+        return self._replay(block_sequence, block_phases, phase_plans=None,
+                            phase_residents=None, resident_sizes=None)
+
+    def run_overlay(
+        self,
+        block_sequence: list[str],
+        block_phases: dict[str, int],
+        phase_plans: dict[int, dict[str, BlockFetchPlan]],
+        phase_residents: dict[int, frozenset[str]],
+        resident_sizes: dict[str, int],
+        charge_initial_copies: bool = False,
+    ) -> SimulationReport:
+        """Replay with per-phase scratchpad contents (overlay extension).
+
+        At each transition into phase ``p``, every object resident in
+        ``p`` but not in the previous phase is copied from main memory
+        to the scratchpad; the copied words are counted in
+        ``report.overlay_copy_words`` and as main-memory reads.
+
+        Args:
+            block_sequence: executed block names.
+            block_phases: top-level block name -> phase id.
+            phase_plans: per-phase fetch plans (from per-phase
+                :class:`~repro.traces.layout.LinkedImage`\\ s).
+            phase_residents: per-phase scratchpad-resident object sets.
+            resident_sizes: unpadded byte size of every object that is
+                resident in any phase.
+            charge_initial_copies: also charge the phase-0 fill (off by
+                default: the boot-time preload is free for the static
+                allocators too).
+        """
+        return self._replay(
+            block_sequence, block_phases, phase_plans, phase_residents,
+            resident_sizes, charge_initial_copies=charge_initial_copies,
+        )
+
+    def _replay(
+        self,
+        block_sequence: list[str],
+        block_phases: dict[str, int] | None,
+        phase_plans: dict[int, dict[str, BlockFetchPlan]] | None,
+        phase_residents: dict[int, frozenset[str]] | None,
+        resident_sizes: dict[str, int] | None,
+        charge_initial_copies: bool = False,
+    ) -> SimulationReport:
+        report = SimulationReport(num_block_executions=len(block_sequence))
+        plans = self._image.all_plans()
+        pending_tails: list[FetchSegment | None] = []
+        track_phases = block_phases is not None
+        phase = 0
+        started = False
+        if phase_plans is not None:
+            plans = phase_plans[phase]
+
+        last_index = len(block_sequence) - 1
+        for index, block_name in enumerate(block_sequence):
+            if track_phases:
+                new_phase = block_phases.get(block_name, phase)
+                if new_phase != phase or not started:
+                    if phase_plans is not None:
+                        self._overlay_transition(
+                            report,
+                            old=None if not started else
+                            phase_residents[phase],
+                            new=phase_residents[new_phase],
+                            sizes=resident_sizes,
+                            charge_initial=charge_initial_copies,
+                        )
+                        plans = phase_plans[new_phase]
+                    phase = new_phase
+                    if self.cache is not None:
+                        self.cache.phase = phase
+                started = True
+            plan = plans[block_name]
+            current_phase = phase if track_phases else None
+            for segment in plan.segments:
+                self._fetch_segment(segment, report, current_phase)
+            if plan.ends_with_call:
+                pending_tails.append(plan.tail_jump)
+            elif plan.tail_jump is not None:
+                if index < last_index and \
+                        block_sequence[index + 1] == plan.fallthrough:
+                    self._fetch_segment(plan.tail_jump, report,
+                                        current_phase)
+            if plan.ends_with_return and pending_tails:
+                tail = pending_tails.pop()
+                if tail is not None:
+                    self._fetch_segment(tail, report, current_phase)
+
+        if self.loop_cache is not None:
+            report.lc_controller_checks = self.loop_cache.controller_checks
+        report.main_memory_words = self.main_memory.word_reads
+        if self.cache is not None:
+            report.conflict_misses = self.cache.conflict_misses.copy()
+            report.phase_conflicts = self.cache.phase_conflicts.copy()
+        if self.l2_cache is not None:
+            report.l2_hits = self.l2_cache.hits
+            report.l2_misses = self.l2_cache.misses
+        if not report.check_identities():
+            raise SimulationError("fetch accounting identity violated")
+        return report
+
+    def _overlay_transition(self, report: SimulationReport,
+                            old: frozenset[str] | None,
+                            new: frozenset[str],
+                            sizes: dict[str, int] | None,
+                            charge_initial: bool) -> None:
+        """Account the copy-in traffic of one phase transition."""
+        assert sizes is not None
+        if old is None and not charge_initial:
+            return
+        incoming = new - (old or frozenset())
+        for name in incoming:
+            words = sizes[name] // 4
+            report.overlay_copy_words += words
+            self.main_memory.read_words(words)
+
+    # ------------------------------------------------------------------
+
+    def _fetch_segment(self, segment: FetchSegment,
+                       report: SimulationReport,
+                       phase: int | None = None) -> None:
+        stats = report.stats_for(segment.mo_name)
+        sinks = [stats]
+        if phase is not None:
+            sinks.append(report.phase_stats_for(phase, segment.mo_name))
+        for sink in sinks:
+            sink.fetches += segment.num_words
+
+        if segment.on_spm:
+            if self.scratchpad is None:
+                raise SimulationError(
+                    f"segment of {segment.mo_name!r} mapped to a "
+                    "scratchpad that does not exist"
+                )
+            self.scratchpad.access_words(segment.address, segment.num_words)
+            for sink in sinks:
+                sink.spm_accesses += segment.num_words
+            return
+
+        if self.loop_cache is not None:
+            served = self.loop_cache.access_words(
+                segment.address, segment.num_words
+            )
+            for sink in sinks:
+                sink.lc_accesses += served
+            if served == segment.num_words:
+                return
+            if served != 0:
+                # Mixed segment: replay the cache-path words one by one.
+                self._fetch_mixed_segment(segment, report, sinks)
+                return
+
+        self._fetch_cached(segment.address, segment.num_words,
+                           segment.mo_name, sinks)
+
+    def _fetch_mixed_segment(self, segment: FetchSegment,
+                             report: SimulationReport, sinks) -> None:
+        """Word-exact path for segments straddling a loop-cache region.
+
+        ``access_words`` already counted the loop-cache words, so only
+        the words *outside* the regions go through the cache here.
+        """
+        assert self.loop_cache is not None
+        for offset in range(segment.num_words):
+            address = segment.address + 4 * offset
+            in_region = any(
+                region.covers(address)
+                for region in self.loop_cache.regions
+            )
+            if not in_region:
+                self._fetch_cached(address, 1, segment.mo_name, sinks)
+
+    def _fetch_cached(self, address: int, num_words: int,
+                      mo_name: str, sinks) -> None:
+        """Fetch a sequential word run through the I-cache."""
+        if self.cache is None:
+            # Cache-less hierarchy: every word goes off-chip.  We book
+            # the words as "misses" so the accounting identity holds
+            # and the energy model charges main-memory energy.
+            self.main_memory.read_words(num_words)
+            for sink in sinks:
+                sink.cache_misses += num_words
+            return
+        line_size = self.cache.config.line_size
+        position = address
+        remaining = num_words
+        while remaining > 0:
+            line_id = position // line_size
+            line_end = (line_id + 1) * line_size
+            words_in_line = min(remaining, (line_end - position) // 4)
+            compulsory_before = self.cache.compulsory_misses
+            hit = self.cache.access_line(line_id, mo_name)
+            if hit:
+                for sink in sinks:
+                    sink.cache_hits += words_in_line
+            else:
+                was_compulsory = (
+                    self.cache.compulsory_misses > compulsory_before
+                )
+                for sink in sinks:
+                    sink.cache_misses += 1
+                    sink.cache_hits += words_in_line - 1
+                    if was_compulsory:
+                        sink.compulsory_misses += 1
+                if self.l2_cache is not None:
+                    if not self.l2_cache.access_line(line_id, mo_name):
+                        self.main_memory.read_line(
+                            self.cache.config.words_per_line
+                        )
+                else:
+                    self.main_memory.read_line(
+                        self.cache.config.words_per_line
+                    )
+            position += words_in_line * 4
+            remaining -= words_in_line
+
+
+def simulate(
+    image: LinkedImage,
+    config: HierarchyConfig,
+    block_sequence: list[str],
+    spm_base: int | None = None,
+    loop_regions: list[LoopRegion] | None = None,
+    block_phases: dict[str, int] | None = None,
+) -> SimulationReport:
+    """One-call convenience wrapper around the simulator."""
+    simulator = InstructionMemorySimulator(
+        image, config, spm_base=spm_base, loop_regions=loop_regions
+    )
+    return simulator.run(block_sequence, block_phases=block_phases)

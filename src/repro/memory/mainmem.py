@@ -1,0 +1,31 @@
+"""Off-chip main memory model.
+
+Only energy/latency-relevant event counting is needed: the number of
+words transferred to the core or to the cache on line fills.  (The
+paper measured main-memory energy per access on an evaluation board;
+we count events and multiply by a per-word energy from the model.)
+"""
+
+from __future__ import annotations
+
+
+class MainMemory:
+    """Counts word reads served by the off-chip memory."""
+
+    def __init__(self) -> None:
+        self.word_reads = 0
+        self.line_fills = 0
+
+    def read_line(self, words_per_line: int) -> None:
+        """Serve one cache line fill of *words_per_line* words."""
+        self.word_reads += words_per_line
+        self.line_fills += 1
+
+    def read_words(self, num_words: int) -> None:
+        """Serve uncached word reads (cache-bypass fetches)."""
+        self.word_reads += num_words
+
+    def reset_statistics(self) -> None:
+        """Clear all counters."""
+        self.word_reads = 0
+        self.line_fills = 0

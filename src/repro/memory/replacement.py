@@ -1,0 +1,110 @@
+"""Cache replacement policies.
+
+Each cache set owns one policy instance tracking the order of its ways.
+The paper's conflict-graph definition is policy-agnostic ("using the
+cache replacement policy"); LRU is the default, FIFO and seeded random
+are provided for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import DeterministicRng
+
+
+class ReplacementPolicy(abc.ABC):
+    """Victim selection and usage tracking for one cache set."""
+
+    def __init__(self, num_ways: int) -> None:
+        if num_ways < 1:
+            raise ConfigurationError(f"need at least one way, got {num_ways}")
+        self.num_ways = num_ways
+
+    @abc.abstractmethod
+    def on_hit(self, way: int) -> None:
+        """Record a hit in *way*."""
+
+    @abc.abstractmethod
+    def on_fill(self, way: int) -> None:
+        """Record that *way* was (re)filled."""
+
+    @abc.abstractmethod
+    def victim(self) -> int:
+        """Way to evict next (called only when the set is full)."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used replacement."""
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        # _order[0] is least recently used, _order[-1] most recent.
+        self._order = list(range(num_ways))
+
+    def on_hit(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.append(way)
+
+    def on_fill(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        return self._order[0]
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out replacement (hits do not refresh age)."""
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        self._order = list(range(num_ways))
+
+    def on_hit(self, way: int) -> None:
+        pass
+
+    def on_fill(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        return self._order[0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Seeded random replacement."""
+
+    def __init__(self, num_ways: int, rng: DeterministicRng | None = None
+                 ) -> None:
+        super().__init__(num_ways)
+        self._rng = rng if rng is not None else DeterministicRng(0)
+
+    def on_hit(self, way: int) -> None:
+        pass
+
+    def on_fill(self, way: int) -> None:
+        pass
+
+    def victim(self) -> int:
+        return self._rng.uniform_int(0, self.num_ways - 1)
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, num_ways: int) -> ReplacementPolicy:
+    """Create a policy by name (``lru``, ``fifo`` or ``random``)."""
+    try:
+        factory = _POLICIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(_POLICIES)}"
+        ) from None
+    return factory(num_ways)

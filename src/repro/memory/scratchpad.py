@@ -1,0 +1,61 @@
+"""Scratchpad memory model.
+
+A scratchpad is a plain on-chip SRAM mapped into the address space
+(figure 1(a) of the paper).  It has no tags and no controller — every
+access inside its address range succeeds, which is precisely why it is
+the most energy-efficient option per byte.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class Scratchpad:
+    """An on-chip scratchpad occupying ``[base, base + size)``."""
+
+    def __init__(self, size: int, base: int) -> None:
+        if size < 0:
+            raise ConfigurationError(f"negative scratchpad size: {size}")
+        if base < 0:
+            raise ConfigurationError(f"negative base address: {base:#x}")
+        self._size = size
+        self._base = base
+        self.accesses = 0
+
+    @property
+    def size(self) -> int:
+        """Capacity in bytes."""
+        return self._size
+
+    @property
+    def base(self) -> int:
+        """Base address of the scratchpad region."""
+        return self._base
+
+    @property
+    def end(self) -> int:
+        """One past the last scratchpad address."""
+        return self._base + self._size
+
+    def covers(self, address: int) -> bool:
+        """Whether *address* falls inside the scratchpad region."""
+        return self._base <= address < self.end
+
+    def access_words(self, address: int, num_words: int) -> None:
+        """Fetch *num_words* consecutive words starting at *address*.
+
+        Raises:
+            SimulationError: if the range leaves the scratchpad.
+        """
+        last = address + num_words * 4
+        if not (self.covers(address) and last <= self.end):
+            raise SimulationError(
+                f"fetch [{address:#x}, {last:#x}) outside scratchpad "
+                f"[{self._base:#x}, {self.end:#x})"
+            )
+        self.accesses += num_words
+
+    def reset_statistics(self) -> None:
+        """Clear the access counter."""
+        self.accesses = 0

@@ -1,0 +1,142 @@
+"""Per-memory-object and aggregate simulation statistics.
+
+All counters are *word-level* and satisfy the paper's accounting
+identity (eq. 4): for every memory object,
+``fetches == spm_accesses + lc_accesses + cache_hits + cache_misses``.
+A word fetch that probes the cache and misses counts as one miss; the
+remaining words of the fetched line count as hits.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryObjectStats:
+    """Word-level fetch statistics of one memory object."""
+
+    name: str
+    fetches: int = 0
+    spm_accesses: int = 0
+    lc_accesses: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    compulsory_misses: int = 0
+
+    def check_identity(self) -> bool:
+        """Verify eq. 4: fetches decompose exactly into the four buckets."""
+        return self.fetches == (
+            self.spm_accesses + self.lc_accesses
+            + self.cache_hits + self.cache_misses
+        )
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of replaying a block sequence through a hierarchy.
+
+    Attributes:
+        mo_stats: per-memory-object statistics, keyed by object name.
+        conflict_misses: ``(victim, evictor)`` conflict-miss counts
+            (the conflict graph's edge weights ``m_ij``).
+        lc_controller_checks: loop-cache controller comparisons (every
+            fetch in a loop-cache hierarchy pays one).
+        main_memory_words: words read from off-chip memory (line fills).
+        num_block_executions: executed basic blocks.
+    """
+
+    mo_stats: dict[str, MemoryObjectStats] = field(default_factory=dict)
+    conflict_misses: Counter = field(default_factory=Counter)
+    lc_controller_checks: int = 0
+    main_memory_words: int = 0
+    num_block_executions: int = 0
+    #: per-(phase, mo) statistics, filled only when the simulation was
+    #: run with a phase map (overlay extension).
+    phase_mo_stats: dict[tuple[int, str], MemoryObjectStats] = field(
+        default_factory=dict
+    )
+    #: per-(phase, victim, evictor) conflict misses (overlay extension).
+    phase_conflicts: Counter = field(default_factory=Counter)
+    #: words copied into the scratchpad at phase transitions (overlay).
+    overlay_copy_words: int = 0
+    #: L2 probe outcomes (only with a two-level cache hierarchy).
+    l2_hits: int = 0
+    l2_misses: int = 0
+
+    def stats_for(self, mo_name: str) -> MemoryObjectStats:
+        """Statistics of one object (zero-filled if never fetched)."""
+        if mo_name not in self.mo_stats:
+            self.mo_stats[mo_name] = MemoryObjectStats(mo_name)
+        return self.mo_stats[mo_name]
+
+    def phase_stats_for(self, phase: int,
+                        mo_name: str) -> MemoryObjectStats:
+        """Per-phase statistics of one object (overlay extension)."""
+        key = (phase, mo_name)
+        if key not in self.phase_mo_stats:
+            self.phase_mo_stats[key] = MemoryObjectStats(mo_name)
+        return self.phase_mo_stats[key]
+
+    @property
+    def phases(self) -> list[int]:
+        """Phase ids seen during a phase-tracked simulation."""
+        return sorted({phase for phase, _ in self.phase_mo_stats})
+
+    # -- aggregates -----------------------------------------------------
+
+    @property
+    def total_fetches(self) -> int:
+        """Total instruction-word fetches."""
+        return sum(s.fetches for s in self.mo_stats.values())
+
+    @property
+    def spm_accesses(self) -> int:
+        """Total scratchpad word accesses."""
+        return sum(s.spm_accesses for s in self.mo_stats.values())
+
+    @property
+    def lc_accesses(self) -> int:
+        """Total loop-cache word accesses."""
+        return sum(s.lc_accesses for s in self.mo_stats.values())
+
+    @property
+    def cache_accesses(self) -> int:
+        """Total I-cache word accesses (hits + misses)."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hits(self) -> int:
+        """Total I-cache word hits."""
+        return sum(s.cache_hits for s in self.mo_stats.values())
+
+    @property
+    def cache_misses(self) -> int:
+        """Total I-cache misses."""
+        return sum(s.cache_misses for s in self.mo_stats.values())
+
+    @property
+    def compulsory_misses(self) -> int:
+        """Total first-touch misses."""
+        return sum(s.compulsory_misses for s in self.mo_stats.values())
+
+    @property
+    def conflict_miss_total(self) -> int:
+        """Total misses attributed to a conflicting object."""
+        return sum(self.conflict_misses.values())
+
+    def check_identities(self) -> bool:
+        """Verify eq. 4 for every memory object."""
+        return all(s.check_identity() for s in self.mo_stats.values())
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"fetches={self.total_fetches} spm={self.spm_accesses} "
+            f"lc={self.lc_accesses} cache_hits={self.cache_hits} "
+            f"cache_misses={self.cache_misses} "
+            f"(compulsory={self.compulsory_misses}, "
+            f"conflict={self.conflict_miss_total}) "
+            f"mainmem_words={self.main_memory_words}"
+        )

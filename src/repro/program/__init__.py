@@ -1,0 +1,43 @@
+"""Program representation: basic blocks, functions, CFGs and execution.
+
+The pipeline needs three views of a program:
+
+* a *static* view — functions made of basic blocks with explicit
+  control-flow edges (:mod:`repro.program.basicblock`,
+  :mod:`repro.program.function`, :mod:`repro.program.program`);
+* an *analysis* view — dominators and natural loops over the CFG
+  (:mod:`repro.program.cfg`), used by the loop-cache allocator;
+* a *dynamic* view — a deterministic executor that walks the CFG and
+  produces the basic-block execution sequence and profile
+  (:mod:`repro.program.executor`, :mod:`repro.program.profile`).
+"""
+
+from repro.program.basicblock import BasicBlock
+from repro.program.behavior import (
+    AlwaysTaken,
+    BranchBehavior,
+    FixedTrip,
+    NeverTaken,
+    TakenProbability,
+)
+from repro.program.cfg import ControlFlowGraph, NaturalLoop
+from repro.program.executor import ExecutionResult, execute_program
+from repro.program.function import Function
+from repro.program.profile import ProfileData
+from repro.program.program import Program
+
+__all__ = [
+    "BasicBlock",
+    "BranchBehavior",
+    "FixedTrip",
+    "TakenProbability",
+    "AlwaysTaken",
+    "NeverTaken",
+    "ControlFlowGraph",
+    "NaturalLoop",
+    "ExecutionResult",
+    "execute_program",
+    "Function",
+    "ProfileData",
+    "Program",
+]

@@ -1,0 +1,147 @@
+"""Basic blocks — the atomic unit of control flow.
+
+A basic block is a straight-line instruction sequence with a single entry
+(its first instruction) and a single exit (its terminator).  Control
+leaves a block in one of four ways:
+
+* **fall through** to the block named by :attr:`BasicBlock.fallthrough`;
+* a **conditional branch** (terminator ``BRANCH``): taken to the branch
+  target, otherwise falls through;
+* an **unconditional jump** (terminator ``JUMP``);
+* a **return** (terminator ``RETURN``) to the caller's continuation.
+
+A **call** is modelled as the last instruction of a block whose
+fall-through successor is the return continuation; the callee's entry
+block executes next and its ``RETURN`` resumes at the continuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.isa import Instruction, Opcode
+from repro.program.behavior import BranchBehavior
+
+
+@dataclass
+class BasicBlock:
+    """One basic block.
+
+    Attributes:
+        name: program-unique block name (convention: ``function.label``).
+        instructions: the block body; control-flow instructions may only
+            appear in the final position.
+        fallthrough: name of the successor reached when the terminator
+            falls through (or when there is no terminator).  ``None`` for
+            blocks ending in an unconditional ``JUMP`` or ``RETURN``.
+        behavior: outcome rule when the terminator is a conditional
+            branch; ignored otherwise.
+    """
+
+    name: str
+    instructions: list[Instruction]
+    fallthrough: str | None = None
+    behavior: BranchBehavior | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("basic block needs a non-empty name")
+        if not self.instructions:
+            raise ConfigurationError(f"block {self.name!r} has no instructions")
+        for instruction in self.instructions[:-1]:
+            if instruction.opcode.is_control_flow:
+                raise ConfigurationError(
+                    f"block {self.name!r}: control-flow instruction "
+                    f"{instruction} not in terminator position"
+                )
+        terminator = self.instructions[-1]
+        if terminator.opcode in (Opcode.JUMP, Opcode.RETURN):
+            if self.fallthrough is not None:
+                raise ConfigurationError(
+                    f"block {self.name!r} ends in {terminator.opcode.value} "
+                    "and must not declare a fallthrough successor"
+                )
+        elif self.fallthrough is None:
+            raise ConfigurationError(
+                f"block {self.name!r} can fall through but has no "
+                "fallthrough successor"
+            )
+        if terminator.opcode is Opcode.BRANCH and self.behavior is None:
+            raise ConfigurationError(
+                f"block {self.name!r} ends in a conditional branch but has "
+                "no branch behaviour"
+            )
+
+    # ------------------------------------------------------------------
+    # Terminator queries
+    # ------------------------------------------------------------------
+
+    @property
+    def terminator(self) -> Instruction:
+        """The final instruction of the block."""
+        return self.instructions[-1]
+
+    @property
+    def ends_with_call(self) -> bool:
+        """Whether the block transfers to a callee before continuing."""
+        return self.terminator.opcode is Opcode.CALL
+
+    @property
+    def ends_with_return(self) -> bool:
+        """Whether the block returns to the caller."""
+        return self.terminator.opcode is Opcode.RETURN
+
+    @property
+    def ends_with_jump(self) -> bool:
+        """Whether the block ends with an unconditional jump."""
+        return self.terminator.opcode is Opcode.JUMP
+
+    @property
+    def ends_with_branch(self) -> bool:
+        """Whether the block ends with a conditional branch."""
+        return self.terminator.opcode is Opcode.BRANCH
+
+    @property
+    def branch_target(self) -> str | None:
+        """Target block name of the terminating branch/jump, if any."""
+        if self.terminator.opcode in (Opcode.BRANCH, Opcode.JUMP):
+            return self.terminator.target
+        return None
+
+    @property
+    def call_target(self) -> str | None:
+        """Called function name if the block ends with a call."""
+        if self.ends_with_call:
+            return self.terminator.target
+        return None
+
+    # ------------------------------------------------------------------
+    # Successors and geometry
+    # ------------------------------------------------------------------
+
+    def successors(self) -> list[str]:
+        """Intra-procedural successor block names (calls fall through)."""
+        result: list[str] = []
+        if self.branch_target is not None:
+            result.append(self.branch_target)
+        if self.fallthrough is not None:
+            result.append(self.fallthrough)
+        return result
+
+    @property
+    def size(self) -> int:
+        """Block size in bytes."""
+        return sum(instruction.size for instruction in self.instructions)
+
+    @property
+    def num_instructions(self) -> int:
+        """Number of instructions in the block."""
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines.extend(f"    {instruction}" for instruction in self.instructions)
+        if self.fallthrough is not None:
+            lines.append(f"    ; falls through to {self.fallthrough}")
+        return "\n".join(lines)

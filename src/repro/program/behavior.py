@@ -1,0 +1,106 @@
+"""Branch-outcome behaviours attached to conditional branches.
+
+The executor must be deterministic (a seed fully determines an
+experiment), yet workloads need both loop-like branches ("taken 63 times,
+then fall through") and data-dependent branches ("taken 30 % of the
+time").  A :class:`BranchBehavior` encapsulates the decision rule; the
+executor keeps one stateful instance per branch block.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.utils.rng import DeterministicRng
+
+
+class BranchBehavior(abc.ABC):
+    """Decision rule for one conditional branch."""
+
+    @abc.abstractmethod
+    def next_outcome(self, rng: DeterministicRng) -> bool:
+        """Return ``True`` if the branch is taken on this execution.
+
+        Args:
+            rng: the executor's random stream for this block (unused by
+                deterministic behaviours).
+        """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget any per-run state (visit counters)."""
+
+    def clone(self) -> "BranchBehavior":
+        """Return a fresh instance with the same parameters and no state."""
+        return self  # stateless behaviours can share themselves
+
+
+class FixedTrip(BranchBehavior):
+    """Loop back-edge behaviour: taken ``trip_count - 1`` times, then not.
+
+    Models a loop that runs a fixed number of iterations per entry.  The
+    pattern repeats, so re-entering the loop restarts the count.
+    """
+
+    def __init__(self, trip_count: int) -> None:
+        if trip_count < 1:
+            raise ValueError(f"trip_count must be >= 1, got {trip_count}")
+        self.trip_count = trip_count
+        self._visits = 0
+
+    def next_outcome(self, rng: DeterministicRng) -> bool:
+        self._visits += 1
+        return self._visits % self.trip_count != 0
+
+    def reset(self) -> None:
+        self._visits = 0
+
+    def clone(self) -> "FixedTrip":
+        return FixedTrip(self.trip_count)
+
+    def __repr__(self) -> str:
+        return f"FixedTrip({self.trip_count})"
+
+
+class TakenProbability(BranchBehavior):
+    """Data-dependent branch taken with a fixed probability."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        self.probability = probability
+
+    def next_outcome(self, rng: DeterministicRng) -> bool:
+        return rng.coin(self.probability)
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"TakenProbability({self.probability})"
+
+
+class AlwaysTaken(BranchBehavior):
+    """Branch taken on every execution."""
+
+    def next_outcome(self, rng: DeterministicRng) -> bool:
+        return True
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "AlwaysTaken()"
+
+
+class NeverTaken(BranchBehavior):
+    """Branch never taken (always falls through)."""
+
+    def next_outcome(self, rng: DeterministicRng) -> bool:
+        return False
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NeverTaken()"

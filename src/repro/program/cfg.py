@@ -1,0 +1,175 @@
+"""Control-flow-graph analysis: dominators and natural loops.
+
+The Ross/Vahid loop-cache allocator preloads *loops and functions*; this
+module finds the natural loops of each function so the allocator has its
+candidate regions.  Dominators are computed with networkx's implementation
+of the Cooper/Harvey/Kennedy algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.program.function import Function
+from repro.program.program import Program
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """A natural loop of a function's CFG.
+
+    Attributes:
+        function: name of the containing function.
+        header: the loop header block (dominates every block in the body).
+        body: names of all blocks in the loop, including the header.
+        back_edges: the ``(latch, header)`` edges that define the loop.
+    """
+
+    function: str
+    header: str
+    body: frozenset[str]
+    back_edges: frozenset[tuple[str, str]]
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks in the loop body."""
+        return len(self.body)
+
+    def contains(self, block_name: str) -> bool:
+        """Whether *block_name* is part of the loop."""
+        return block_name in self.body
+
+    def is_nested_in(self, other: "NaturalLoop") -> bool:
+        """Whether this loop's body lies entirely inside *other*'s body."""
+        return self is not other and self.body <= other.body
+
+
+class ControlFlowGraph:
+    """Intra-procedural CFG of one function, with analyses.
+
+    The graph contains one node per basic block and one edge per
+    branch-taken / fall-through / post-call-continuation transfer.
+    """
+
+    def __init__(self, function: Function) -> None:
+        self._function = function
+        graph = nx.DiGraph()
+        for block in function.blocks:
+            graph.add_node(block.name)
+        for block in function.blocks:
+            for successor in block.successors():
+                graph.add_edge(block.name, successor)
+        self._graph = graph
+        self._entry = function.entry.name
+        self._dominators: dict[str, str] | None = None
+
+    @property
+    def function(self) -> Function:
+        """The function this CFG describes."""
+        return self._function
+
+    @property
+    def entry(self) -> str:
+        """Name of the entry block."""
+        return self._entry
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx digraph (do not mutate)."""
+        return self._graph
+
+    def successors(self, block_name: str) -> list[str]:
+        """Successor block names."""
+        return sorted(self._graph.successors(block_name))
+
+    def predecessors(self, block_name: str) -> list[str]:
+        """Predecessor block names."""
+        return sorted(self._graph.predecessors(block_name))
+
+    def reachable_blocks(self) -> set[str]:
+        """Blocks reachable from the entry."""
+        return set(nx.descendants(self._graph, self._entry)) | {self._entry}
+
+    # ------------------------------------------------------------------
+    # Dominators
+    # ------------------------------------------------------------------
+
+    def immediate_dominators(self) -> dict[str, str]:
+        """Immediate-dominator map over reachable blocks (entry maps to
+        itself)."""
+        if self._dominators is None:
+            idom = dict(nx.immediate_dominators(self._graph, self._entry))
+            # networkx >= 3.6 omits the entry's self-mapping; normalise.
+            idom[self._entry] = self._entry
+            self._dominators = idom
+        return self._dominators
+
+    def dominates(self, dominator: str, node: str) -> bool:
+        """Whether *dominator* dominates *node* (reflexive)."""
+        idom = self.immediate_dominators()
+        if node not in idom:
+            raise ConfigurationError(
+                f"block {node!r} is unreachable in {self._function.name!r}"
+            )
+        current = node
+        while True:
+            if current == dominator:
+                return True
+            parent = idom[current]
+            if parent == current:
+                return False
+            current = parent
+
+    # ------------------------------------------------------------------
+    # Natural loops
+    # ------------------------------------------------------------------
+
+    def natural_loops(self) -> list[NaturalLoop]:
+        """Find all natural loops, merging loops that share a header.
+
+        A back edge is an edge ``u -> h`` where ``h`` dominates ``u``.
+        The loop body is ``h`` plus every block that can reach ``u``
+        without passing through ``h``.
+        """
+        reachable = self.reachable_blocks()
+        back_edges_by_header: dict[str, list[tuple[str, str]]] = {}
+        for src, dst in self._graph.edges():
+            if src not in reachable or dst not in reachable:
+                continue
+            if self.dominates(dst, src):
+                back_edges_by_header.setdefault(dst, []).append((src, dst))
+
+        loops: list[NaturalLoop] = []
+        for header, back_edges in sorted(back_edges_by_header.items()):
+            body: set[str] = {header}
+            worklist: list[str] = []
+            for latch, _ in back_edges:
+                if latch not in body:
+                    body.add(latch)
+                    worklist.append(latch)
+            while worklist:
+                node = worklist.pop()
+                for pred in self._graph.predecessors(node):
+                    if pred in reachable and pred not in body:
+                        body.add(pred)
+                        worklist.append(pred)
+            loops.append(
+                NaturalLoop(
+                    function=self._function.name,
+                    header=header,
+                    body=frozenset(body),
+                    back_edges=frozenset(back_edges),
+                )
+            )
+        return loops
+
+
+def program_loops(program: Program) -> list[NaturalLoop]:
+    """All natural loops of every function in *program*."""
+    loops: list[NaturalLoop] = []
+    for function in program.functions:
+        loops.extend(ControlFlowGraph(function).natural_loops())
+    return loops

@@ -1,0 +1,132 @@
+"""Deterministic CFG execution.
+
+The executor replaces the paper's ARMulator run: it walks a program's
+control-flow graph, resolving conditional branches through each block's
+:class:`~repro.program.behavior.BranchBehavior`, and records the sequence
+of executed basic blocks.  The memory-hierarchy simulator later expands
+that block sequence into an instruction-fetch address stream for a given
+layout — so one profiled execution can be replayed against any memory
+hierarchy, exactly like a recorded instruction trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.program.profile import ProfileData
+from repro.program.program import Program
+from repro.utils.rng import DeterministicRng
+
+#: Default upper bound on executed blocks, guarding against accidental
+#: infinite loops in hand-written workloads.
+DEFAULT_MAX_STEPS = 50_000_000
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program execution.
+
+    Attributes:
+        block_sequence: names of basic blocks in execution order.
+        profile: aggregated block/edge/call frequencies.
+        instruction_count: total original (non-padding) instructions
+            executed.
+    """
+
+    block_sequence: list[str]
+    profile: ProfileData
+    instruction_count: int
+
+    @property
+    def num_block_executions(self) -> int:
+        """Length of the block sequence."""
+        return len(self.block_sequence)
+
+
+def execute_program(
+    program: Program,
+    seed: int = 0,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ExecutionResult:
+    """Execute *program* from its entry function until it returns.
+
+    Args:
+        program: the program to run (must pass :meth:`Program.validate`).
+        seed: seed for probabilistic branch behaviours; fixed-trip
+            behaviours are unaffected.
+        max_steps: abort threshold on the number of executed blocks.
+
+    Returns:
+        The executed block sequence plus profile data.
+
+    Raises:
+        SimulationError: if execution exceeds *max_steps* (runaway loop)
+            or returns with a corrupted call stack.
+    """
+    rng_root = DeterministicRng(seed)
+    # Per-block behaviour instances: clone so repeated executions of the
+    # same Program object start from fresh trip counters.
+    behaviors = {
+        block.name: block.behavior.clone()
+        for block in program.all_blocks()
+        if block.behavior is not None
+    }
+    block_rngs: dict[str, DeterministicRng] = {}
+
+    sequence: list[str] = []
+    profile = ProfileData()
+    instruction_count = 0
+    call_stack: list[str] = []
+
+    current = program.entry_block.name
+    steps = 0
+    while True:
+        steps += 1
+        if steps > max_steps:
+            raise SimulationError(
+                f"execution exceeded {max_steps} blocks - "
+                "likely an unbounded loop in the workload"
+            )
+        block = program.block(current)
+        sequence.append(current)
+        profile.block_counts[current] += 1
+        instruction_count += block.num_instructions
+
+        if block.ends_with_return:
+            if not call_stack:
+                break  # entry function returned: program ends
+            nxt = call_stack.pop()
+        elif block.ends_with_call:
+            callee = block.call_target
+            assert callee is not None and block.fallthrough is not None
+            profile.call_counts[(current, callee)] += 1
+            call_stack.append(block.fallthrough)
+            nxt = program.function(callee).entry.name
+        elif block.ends_with_jump:
+            nxt = block.branch_target
+            assert nxt is not None
+            profile.edge_counts[(current, nxt)] += 1
+        elif block.ends_with_branch:
+            behavior = behaviors[current]
+            rng = block_rngs.get(current)
+            if rng is None:
+                rng = rng_root.fork(len(block_rngs))
+                block_rngs[current] = rng
+            if behavior.next_outcome(rng):
+                nxt = block.branch_target
+            else:
+                nxt = block.fallthrough
+            assert nxt is not None
+            profile.edge_counts[(current, nxt)] += 1
+        else:
+            nxt = block.fallthrough
+            assert nxt is not None
+            profile.edge_counts[(current, nxt)] += 1
+        current = nxt
+
+    return ExecutionResult(
+        block_sequence=sequence,
+        profile=profile,
+        instruction_count=instruction_count,
+    )

@@ -1,0 +1,77 @@
+"""Functions: named, ordered collections of basic blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.program.basicblock import BasicBlock
+
+
+@dataclass
+class Function:
+    """One function of a program.
+
+    Attributes:
+        name: program-unique function name.
+        blocks: the function body in source/layout order; the first block
+            is the entry.
+    """
+
+    name: str
+    blocks: list[BasicBlock]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("function needs a non-empty name")
+        if not self.blocks:
+            raise ConfigurationError(f"function {self.name!r} has no blocks")
+        seen: set[str] = set()
+        for block in self.blocks:
+            if block.name in seen:
+                raise ConfigurationError(
+                    f"function {self.name!r}: duplicate block {block.name!r}"
+                )
+            seen.add(block.name)
+        self._block_map = {block.name: block for block in self.blocks}
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The function's entry block."""
+        return self.blocks[0]
+
+    @property
+    def size(self) -> int:
+        """Function code size in bytes."""
+        return sum(block.size for block in self.blocks)
+
+    def block(self, name: str) -> BasicBlock:
+        """Look up a block by name.
+
+        Raises:
+            KeyError: if the function has no such block.
+        """
+        return self._block_map[name]
+
+    def __contains__(self, block_name: str) -> bool:
+        return block_name in self._block_map
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def validate_local_targets(self) -> None:
+        """Check that branch/jump targets and fallthroughs stay in-function.
+
+        Raises:
+            ConfigurationError: on a dangling edge.
+        """
+        for block in self.blocks:
+            for successor in block.successors():
+                if successor not in self._block_map:
+                    raise ConfigurationError(
+                        f"function {self.name!r}: block {block.name!r} "
+                        f"targets unknown block {successor!r}"
+                    )

@@ -1,0 +1,66 @@
+"""Execution profiles: block, edge and call frequencies.
+
+Profiles drive trace generation (hot paths), the Steinke baseline
+(fetch counts) and the Ross loop-cache allocator (execution-time
+density).  They are produced by :func:`repro.program.executor.execute_program`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProfileData:
+    """Frequencies observed during one profiled execution.
+
+    Attributes:
+        block_counts: times each basic block was executed.
+        edge_counts: times each intra-procedural edge ``(src, dst)`` was
+            traversed.  Fall-through, branch-taken and post-call
+            continuation transfers all count; call/return transfers to
+            other functions do not.
+        call_counts: times each ``(caller_block, callee_function)`` call
+            happened.
+    """
+
+    block_counts: Counter = field(default_factory=Counter)
+    edge_counts: Counter = field(default_factory=Counter)
+    call_counts: Counter = field(default_factory=Counter)
+
+    def block_count(self, block_name: str) -> int:
+        """Executions of *block_name* (0 if never executed)."""
+        return self.block_counts.get(block_name, 0)
+
+    def edge_count(self, src: str, dst: str) -> int:
+        """Traversals of the edge from *src* to *dst*."""
+        return self.edge_counts.get((src, dst), 0)
+
+    def fallthrough_count(self, block, ) -> int:
+        """Traversals of a block's fall-through edge."""
+        if block.fallthrough is None:
+            return 0
+        return self.edge_count(block.name, block.fallthrough)
+
+    @property
+    def total_block_executions(self) -> int:
+        """Sum of all block execution counts."""
+        return sum(self.block_counts.values())
+
+    def hottest_blocks(self, limit: int | None = None) -> list[tuple[str, int]]:
+        """Blocks sorted by execution count, hottest first."""
+        ranked = self.block_counts.most_common()
+        return ranked if limit is None else ranked[:limit]
+
+    def merge(self, other: "ProfileData") -> "ProfileData":
+        """Return a new profile summing this one with *other*.
+
+        Useful for multi-input profiling (several representative data
+        sets, as profiling-based techniques commonly use).
+        """
+        merged = ProfileData()
+        merged.block_counts = self.block_counts + other.block_counts
+        merged.edge_counts = self.edge_counts + other.edge_counts
+        merged.call_counts = self.call_counts + other.call_counts
+        return merged

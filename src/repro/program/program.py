@@ -1,0 +1,137 @@
+"""Whole-program container and validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.program.basicblock import BasicBlock
+from repro.program.function import Function
+
+
+@dataclass
+class Program:
+    """A complete program: ordered functions plus an entry point.
+
+    Block names must be unique across the whole program (the builder
+    enforces the ``function.label`` convention), because memory objects
+    and profiles are keyed by block name.
+
+    Attributes:
+        functions: the functions in link order.
+        entry: name of the function where execution starts.
+        name: identifier used in reports.
+    """
+
+    functions: list[Function]
+    entry: str
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ConfigurationError("program has no functions")
+        self._function_map: dict[str, Function] = {}
+        self._block_map: dict[str, BasicBlock] = {}
+        self._block_function: dict[str, str] = {}
+        for function in self.functions:
+            if function.name in self._function_map:
+                raise ConfigurationError(
+                    f"duplicate function name {function.name!r}"
+                )
+            self._function_map[function.name] = function
+            for block in function.blocks:
+                if block.name in self._block_map:
+                    raise ConfigurationError(
+                        f"duplicate block name {block.name!r}"
+                    )
+                self._block_map[block.name] = block
+                self._block_function[block.name] = function.name
+        if self.entry not in self._function_map:
+            raise ConfigurationError(f"unknown entry function {self.entry!r}")
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def function(self, name: str) -> Function:
+        """Look up a function by name."""
+        return self._function_map[name]
+
+    def block(self, name: str) -> BasicBlock:
+        """Look up a block by its program-unique name."""
+        return self._block_map[name]
+
+    def function_of(self, block_name: str) -> str:
+        """Return the name of the function containing *block_name*."""
+        return self._block_function[block_name]
+
+    def has_block(self, name: str) -> bool:
+        """Whether a block with this name exists."""
+        return name in self._block_map
+
+    def all_blocks(self) -> list[BasicBlock]:
+        """All blocks in function/link order."""
+        return [block for function in self.functions for block in function]
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        """The entry block of the entry function."""
+        return self._function_map[self.entry].entry
+
+    @property
+    def size(self) -> int:
+        """Total code size in bytes (no padding)."""
+        return sum(function.size for function in self.functions)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of basic blocks."""
+        return len(self._block_map)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants.
+
+        * branch/jump/fallthrough edges target existing blocks of the
+          same function;
+        * call targets are existing functions;
+        * a block ending with a call declares a continuation
+          (fallthrough) so the return address is well defined.
+
+        Raises:
+            ConfigurationError: on any violation.
+        """
+        for function in self.functions:
+            function.validate_local_targets()
+            for block in function.blocks:
+                for successor in block.successors():
+                    if self._block_function.get(successor) != function.name:
+                        raise ConfigurationError(
+                            f"block {block.name!r} targets block "
+                            f"{successor!r} outside function "
+                            f"{function.name!r}"
+                        )
+                if block.ends_with_call:
+                    callee = block.call_target
+                    if callee not in self._function_map:
+                        raise ConfigurationError(
+                            f"block {block.name!r} calls unknown function "
+                            f"{callee!r}"
+                        )
+                    if block.fallthrough is None:
+                        raise ConfigurationError(
+                            f"call block {block.name!r} has no continuation"
+                        )
+
+    def listing(self) -> str:
+        """Return a readable assembly-like listing of the whole program."""
+        parts: list[str] = []
+        for function in self.functions:
+            parts.append(f"; ---- function {function.name} "
+                         f"({function.size} bytes) ----")
+            parts.extend(str(block) for block in function.blocks)
+        return "\n".join(parts)

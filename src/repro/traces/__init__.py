@@ -1,0 +1,34 @@
+"""Trace generation and program linking.
+
+Following the paper (section 3.2) and its reference [14] (Tomiyama &
+Yasuura), the program is partitioned into **traces**: straight-line
+sequences of basic blocks connected by fall-through edges, each ending in
+an unconditional jump so it can be placed anywhere in memory, padded with
+NOPs to the next cache-line boundary.  Traces are the *memory objects*
+the allocators reason about.
+
+:mod:`repro.traces.tracegen` builds the traces from a profile;
+:mod:`repro.traces.layout` assigns addresses (main memory vs. scratchpad)
+and produces per-block *fetch plans* that the memory-hierarchy simulator
+expands into the instruction-fetch address stream.
+"""
+
+from repro.traces.memory_object import Fragment, MemoryObject
+from repro.traces.tracegen import TraceGenConfig, generate_traces
+from repro.traces.layout import (
+    BlockFetchPlan,
+    FetchSegment,
+    LinkedImage,
+    Placement,
+)
+
+__all__ = [
+    "Fragment",
+    "MemoryObject",
+    "TraceGenConfig",
+    "generate_traces",
+    "BlockFetchPlan",
+    "FetchSegment",
+    "LinkedImage",
+    "Placement",
+]

@@ -1,0 +1,71 @@
+"""Objdump-style listings of linked images.
+
+Renders a :class:`~repro.traces.layout.LinkedImage` the way a
+disassembler would show the binary: addresses, instructions, memory-
+object boundaries, NOP padding, and scratchpad residency — the view a
+user needs to sanity-check what trace generation and allocation
+actually did to their program.
+"""
+
+from __future__ import annotations
+
+from repro.isa import INSTRUCTION_SIZE, make_jump, make_nop
+from repro.traces.layout import LinkedImage
+from repro.traces.memory_object import JumpKind, MemoryObject
+
+
+def _fragment_instructions(image: LinkedImage, mo: MemoryObject):
+    """Yield (instruction, note) pairs for an object's real words."""
+    program = image.program
+    for fragment in mo.fragments:
+        block = program.block(fragment.block)
+        for index in range(fragment.start, fragment.end):
+            note = ""
+            if index == fragment.start:
+                note = f"{fragment.block}[{fragment.start}:{fragment.end}]"
+            yield block.instructions[index], note
+        if fragment.appended_jump is not JumpKind.NONE:
+            kind = ("always" if fragment.appended_jump is JumpKind.ALWAYS
+                    else "on fall-through")
+            yield (
+                make_jump(fragment.jump_target or "?"),
+                f"appended ({kind})",
+            )
+
+
+def disassemble(image: LinkedImage, include_padding: bool = True) -> str:
+    """Render the full image as an address-annotated listing.
+
+    Args:
+        image: the linked image.
+        include_padding: show the NOP padding words of main-memory
+            objects (scratchpad copies are stripped, as in the paper).
+
+    Returns:
+        The listing as one string.
+    """
+    lines: list[str] = []
+    for mo in image.memory_objects:
+        base = image.base_address(mo.name)
+        on_spm = image.on_spm(mo.name)
+        region = "scratchpad" if on_spm else "main memory"
+        lines.append(
+            f"; ===== {mo.name} @ {base:#010x} ({region}, "
+            f"{mo.unpadded_size}B"
+            + ("" if on_spm else f", padded {mo.padded_size}B")
+            + ") ====="
+        )
+        address = base
+        for instruction, note in _fragment_instructions(image, mo):
+            suffix = f"    ; {note}" if note else ""
+            lines.append(f"{address:#010x}:  {instruction!s:<24}{suffix}")
+            address += INSTRUCTION_SIZE
+        if include_padding and not on_spm:
+            padding_words = (mo.padded_size - mo.unpadded_size) \
+                // INSTRUCTION_SIZE
+            for _ in range(padding_words):
+                lines.append(
+                    f"{address:#010x}:  {make_nop()!s:<24}    ; padding"
+                )
+                address += INSTRUCTION_SIZE
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Memory objects (traces) and their fragments.
+
+A :class:`MemoryObject` holds an ordered list of :class:`Fragment`\\ s.
+Each fragment covers a contiguous instruction range of one basic block
+(usually the whole block; large blocks may be split across fragments).
+When control must continue at code that is no longer physically adjacent
+after trace formation, an unconditional jump is *appended* to a fragment:
+
+* ``JumpKind.ALWAYS`` — a continuation jump to the rest of the same
+  block or to the fall-through successor on a path that is always taken
+  when the fragment finishes; fetched on every execution.
+* ``JumpKind.ON_FALLTHROUGH`` — replaces the fall-through exit of the
+  trace's final block; fetched only when the branch at the end of the
+  block is not taken.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.isa import INSTRUCTION_SIZE
+from repro.utils.bitops import align_up
+
+
+class JumpKind(enum.Enum):
+    """When an appended jump is fetched."""
+
+    NONE = "none"
+    ALWAYS = "always"
+    ON_FALLTHROUGH = "on_fallthrough"
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A contiguous instruction range ``[start, end)`` of one basic block.
+
+    Attributes:
+        block: name of the source basic block.
+        start: index of the first instruction covered.
+        end: one past the last instruction covered.
+        appended_jump: whether a relocation jump follows the fragment,
+            and when it is fetched.
+        jump_target: symbolic target of the appended jump (a block name),
+            recorded for listings; ``None`` when there is no jump.
+    """
+
+    block: str
+    start: int
+    end: int
+    appended_jump: JumpKind = JumpKind.NONE
+    jump_target: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise TraceError(
+                f"fragment of {self.block!r} has empty range "
+                f"[{self.start}, {self.end})"
+            )
+        if (self.appended_jump is JumpKind.NONE) != (self.jump_target is None):
+            raise TraceError(
+                f"fragment of {self.block!r}: appended jump and target "
+                "must be set together"
+            )
+
+    @property
+    def num_instructions(self) -> int:
+        """Instructions covered, excluding any appended jump."""
+        return self.end - self.start
+
+    @property
+    def num_words_with_jump(self) -> int:
+        """Instructions covered plus the appended jump (if any)."""
+        extra = 0 if self.appended_jump is JumpKind.NONE else 1
+        return self.num_instructions + extra
+
+    @property
+    def size(self) -> int:
+        """Fragment size in bytes including the appended jump."""
+        return self.num_words_with_jump * INSTRUCTION_SIZE
+
+
+@dataclass
+class MemoryObject:
+    """A trace: the unit of scratchpad allocation.
+
+    Attributes:
+        name: unique identifier (``T0``, ``T1`` ... in creation order).
+        fragments: the fragments in physical order.
+        line_size: cache-line size the object is padded to.
+    """
+
+    name: str
+    fragments: list[Fragment]
+    line_size: int
+
+    def __post_init__(self) -> None:
+        if not self.fragments:
+            raise TraceError(f"memory object {self.name!r} has no fragments")
+        if self.line_size < INSTRUCTION_SIZE:
+            raise TraceError(
+                f"line size {self.line_size} smaller than one instruction"
+            )
+
+    @property
+    def unpadded_size(self) -> int:
+        """Size in bytes of the real instructions (incl. appended jumps).
+
+        This is the size that counts against the scratchpad capacity —
+        the NOP padding is stripped before copying to the scratchpad
+        (paper, section 4, discussion of eq. 17).
+        """
+        return sum(fragment.size for fragment in self.fragments)
+
+    @property
+    def padded_size(self) -> int:
+        """Size in bytes after NOP padding to the next line boundary.
+
+        This is the main-memory footprint; it makes every trace start
+        and end on a cache-line boundary so there is a one-to-one
+        relationship between cache misses and traces (section 3.2).
+        """
+        return align_up(self.unpadded_size, self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        """Cache lines occupied in main memory."""
+        return self.padded_size // self.line_size
+
+    @property
+    def block_names(self) -> list[str]:
+        """Names of the blocks contributing fragments, in order."""
+        seen: list[str] = []
+        for fragment in self.fragments:
+            if not seen or seen[-1] != fragment.block:
+                seen.append(fragment.block)
+        return seen
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        blocks = ",".join(self.block_names)
+        return (
+            f"{self.name}: {self.unpadded_size}B "
+            f"(padded {self.padded_size}B) blocks=[{blocks}]"
+        )

@@ -1,0 +1,239 @@
+"""Trace formation (profile-guided, Tomiyama/Yasuura-style).
+
+The program's blocks fall into *fall-through chains*: maximal sequences
+``b1 -> b2 -> ...`` linked by fall-through edges (the physical adjacency a
+compiler would emit).  Trace generation walks each chain and cuts it into
+traces:
+
+* at **cold edges** — fall-through edges executed fewer than
+  ``min_fallthrough_count`` times, so rarely-taken paths do not inflate
+  the memory objects competing for scratchpad space;
+* at the **size cap** — a trace must fit the scratchpad
+  ("*they are smaller than the scratchpad size*", section 3.2), so a
+  chain is split once adding another block would exceed
+  ``max_trace_size``; a single over-sized block is split into fragments
+  connected by unconditional continuation jumps.
+
+Every cut point gets an appended unconditional jump so the resulting
+trace is an atomic, relocatable unit ("*traces always end with an
+unconditional jump*").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.isa import INSTRUCTION_SIZE, Opcode
+from repro.program.basicblock import BasicBlock
+from repro.program.profile import ProfileData
+from repro.program.program import Program
+from repro.traces.memory_object import Fragment, JumpKind, MemoryObject
+
+#: Size of an appended unconditional jump in bytes.
+_JUMP_SIZE = INSTRUCTION_SIZE
+
+
+@dataclass(frozen=True)
+class TraceGenConfig:
+    """Parameters of trace formation.
+
+    Attributes:
+        line_size: I-cache line size in bytes; traces are NOP-padded to
+            this boundary.
+        max_trace_size: upper bound on a trace's unpadded size in bytes
+            (normally the smallest scratchpad size of the experiment).
+        min_fallthrough_count: chains are cut at fall-through edges
+            executed fewer times than this (1 cuts only never-taken
+            edges; 0 disables cold cutting).
+    """
+
+    line_size: int = 16
+    max_trace_size: int = 1 << 30
+    min_fallthrough_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.line_size < INSTRUCTION_SIZE:
+            raise TraceError(
+                f"line size {self.line_size} smaller than an instruction"
+            )
+        if self.max_trace_size < self.line_size:
+            raise TraceError(
+                f"max trace size {self.max_trace_size} smaller than a "
+                f"cache line ({self.line_size})"
+            )
+        if self.min_fallthrough_count < 0:
+            raise TraceError("min_fallthrough_count must be >= 0")
+
+
+def fallthrough_chains(program: Program) -> list[list[BasicBlock]]:
+    """Partition the program's blocks into maximal fall-through chains.
+
+    Every block has at most one fall-through successor by construction;
+    this function additionally checks that no block is the fall-through
+    target of two blocks (which would be physically impossible in a
+    linked binary).
+
+    Returns:
+        Chains in program order; each chain is a list of blocks.
+    """
+    blocks = program.all_blocks()
+    fallthrough_pred: dict[str, str] = {}
+    for block in blocks:
+        if block.fallthrough is None:
+            continue
+        if block.fallthrough in fallthrough_pred:
+            raise TraceError(
+                f"block {block.fallthrough!r} is the fall-through target "
+                f"of both {fallthrough_pred[block.fallthrough]!r} and "
+                f"{block.name!r}"
+            )
+        fallthrough_pred[block.fallthrough] = block.name
+
+    block_map = {block.name: block for block in blocks}
+    chains: list[list[BasicBlock]] = []
+    assigned: set[str] = set()
+    for block in blocks:
+        if block.name in assigned or block.name in fallthrough_pred:
+            continue  # not a chain head
+        chain: list[BasicBlock] = []
+        current: BasicBlock | None = block
+        while current is not None:
+            chain.append(current)
+            assigned.add(current.name)
+            nxt = current.fallthrough
+            current = block_map.get(nxt) if nxt is not None else None
+        chains.append(chain)
+    if len(assigned) != len(blocks):
+        missing = sorted(b.name for b in blocks if b.name not in assigned)
+        raise TraceError(f"fall-through cycle through blocks: {missing}")
+    return chains
+
+
+def generate_traces(
+    program: Program,
+    profile: ProfileData,
+    config: TraceGenConfig,
+) -> list[MemoryObject]:
+    """Partition *program* into traces (memory objects).
+
+    Args:
+        program: the profiled program.
+        profile: execution profile used for cold-edge cutting.
+        config: trace-formation parameters.
+
+    Returns:
+        Memory objects in program order, named ``T0``, ``T1`` ...
+    """
+    builder = _TraceBuilder(config)
+    for chain in fallthrough_chains(program):
+        for index, block in enumerate(chain):
+            if index > 0:
+                edge_count = profile.edge_count(chain[index - 1].name,
+                                                block.name)
+                if edge_count < config.min_fallthrough_count:
+                    builder.cut()
+            builder.add_block(block)
+        builder.cut()
+    return builder.finish()
+
+
+class _TraceBuilder:
+    """Accumulates fragments and emits finished memory objects."""
+
+    def __init__(self, config: TraceGenConfig) -> None:
+        self._config = config
+        self._traces: list[MemoryObject] = []
+        self._fragments: list[Fragment] = []
+        self._size = 0  # bytes of instructions in the open trace
+        self._open_block: BasicBlock | None = None  # block of last fragment
+
+    # -- public interface ------------------------------------------------
+
+    def add_block(self, block: BasicBlock) -> None:
+        """Append *block* to the open trace, splitting as necessary."""
+        remaining_start = 0
+        total = block.num_instructions
+        while remaining_start < total:
+            capacity = self._remaining_capacity()
+            remaining_bytes = (total - remaining_start) * INSTRUCTION_SIZE
+            if remaining_bytes + _JUMP_SIZE <= capacity:
+                # The rest of the block fits (even if a tail jump is
+                # appended later).
+                self._push_fragment(block, remaining_start, total)
+                remaining_start = total
+            else:
+                # Take as many instructions as leave room for the
+                # mandatory continuation jump.
+                take = (capacity - _JUMP_SIZE) // INSTRUCTION_SIZE
+                take = min(take, total - remaining_start)
+                if take <= 0:
+                    self.cut()
+                    continue
+                end = remaining_start + take
+                fragment = Fragment(
+                    block=block.name,
+                    start=remaining_start,
+                    end=end,
+                    appended_jump=JumpKind.ALWAYS,
+                    jump_target=f"{block.name}+{end}",
+                )
+                self._fragments.append(fragment)
+                self._size += fragment.size
+                self._open_block = None  # continuation jump already added
+                self.cut()
+                remaining_start = end
+        self._open_block = block
+
+    def cut(self) -> None:
+        """Close the open trace (if any), appending a tail jump if the
+        final block can fall through."""
+        if not self._fragments:
+            return
+        if self._open_block is not None:
+            self._append_tail_jump(self._open_block)
+        name = f"T{len(self._traces)}"
+        self._traces.append(
+            MemoryObject(
+                name=name,
+                fragments=self._fragments,
+                line_size=self._config.line_size,
+            )
+        )
+        self._fragments = []
+        self._size = 0
+        self._open_block = None
+
+    def finish(self) -> list[MemoryObject]:
+        """Close any open trace and return all memory objects."""
+        self.cut()
+        return self._traces
+
+    # -- internals ---------------------------------------------------------
+
+    def _remaining_capacity(self) -> int:
+        return self._config.max_trace_size - self._size
+
+    def _push_fragment(self, block: BasicBlock, start: int, end: int) -> None:
+        fragment = Fragment(block=block.name, start=start, end=end)
+        self._fragments.append(fragment)
+        self._size += fragment.size
+        self._open_block = block
+
+    def _append_tail_jump(self, block: BasicBlock) -> None:
+        """Replace the trace-final fall-through exit with a jump."""
+        last = self._fragments[-1]
+        if last.block != block.name or last.end != block.num_instructions:
+            return  # trace ended on an ALWAYS continuation jump already
+        terminator = block.terminator
+        if terminator.opcode in (Opcode.JUMP, Opcode.RETURN):
+            return  # already ends unconditionally
+        assert block.fallthrough is not None
+        self._fragments[-1] = Fragment(
+            block=last.block,
+            start=last.start,
+            end=last.end,
+            appended_jump=JumpKind.ON_FALLTHROUGH,
+            jump_target=block.fallthrough,
+        )
+        self._size += _JUMP_SIZE

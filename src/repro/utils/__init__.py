@@ -1,0 +1,25 @@
+"""Small shared helpers: bit arithmetic, units, tables, deterministic RNG."""
+
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    is_aligned,
+    is_power_of_two,
+    log2_int,
+)
+from repro.utils.rng import DeterministicRng
+from repro.utils.tables import format_table
+from repro.utils.units import format_energy, format_size, parse_size
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "is_aligned",
+    "is_power_of_two",
+    "log2_int",
+    "DeterministicRng",
+    "format_table",
+    "format_energy",
+    "format_size",
+    "parse_size",
+]

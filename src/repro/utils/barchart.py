@@ -1,0 +1,75 @@
+"""Horizontal ASCII bar charts for figure-style series.
+
+The paper's figures 4 and 5 are grouped bar charts (one group per
+scratchpad size, one bar per metric, normalised to the baseline =
+100 %).  This renders the same structure in plain text so the harness
+output visually mirrors the exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Character used for bar bodies.
+BAR_CHAR = "#"
+#: Character marking the 100 % reference line position.
+REFERENCE_CHAR = "|"
+
+
+def horizontal_bars(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 50,
+    reference: float = 100.0,
+    unit: str = "%",
+) -> str:
+    """Render grouped horizontal bars.
+
+    Args:
+        groups: group labels (e.g. scratchpad sizes).
+        series: metric name -> one value per group.
+        width: bar width in characters for the largest value.
+        reference: value marked with a reference tick (the baseline).
+        unit: printed after each value.
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    for metric, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {metric!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return "(empty chart)"
+    maximum = max(max(all_values), reference)
+    label_width = max(len(name) for name in series)
+    group_width = max(len(str(group)) for group in groups)
+
+    def bar(value: float) -> str:
+        length = 0 if maximum <= 0 else round(width * value / maximum)
+        body = BAR_CHAR * length
+        ref_pos = round(width * reference / maximum)
+        # overlay the reference tick
+        if ref_pos >= len(body):
+            body = body + " " * (ref_pos - len(body)) + REFERENCE_CHAR
+        else:
+            body = body[:ref_pos] + REFERENCE_CHAR + body[ref_pos + 1:]
+        return body
+
+    lines: list[str] = []
+    for group_index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for metric, values in series.items():
+            value = values[group_index]
+            lines.append(
+                f"  {metric.ljust(label_width)} "
+                f"{bar(value)} {value:.1f}{unit}"
+            )
+        lines.append("")
+    lines.append(
+        f"({REFERENCE_CHAR} marks the {reference:.0f}{unit} baseline)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Bit/alignment arithmetic used throughout the memory models.
+
+All cache geometry in the library (line size, number of sets, capacities)
+is a power of two, so these helpers validate and manipulate such values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` iff *value* is a positive integral power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises:
+        ConfigurationError: if *value* is not a power of two.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to the next multiple of *alignment*.
+
+    Works for any positive *alignment*, not only powers of two.
+    """
+    if alignment <= 0:
+        raise ConfigurationError(f"alignment must be positive, got {alignment}")
+    if value < 0:
+        raise ConfigurationError(f"value must be non-negative, got {value}")
+    remainder = value % alignment
+    if remainder == 0:
+        return value
+    return value + alignment - remainder
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to the previous multiple of *alignment*."""
+    if alignment <= 0:
+        raise ConfigurationError(f"alignment must be positive, got {alignment}")
+    if value < 0:
+        raise ConfigurationError(f"value must be non-negative, got {value}")
+    return value - (value % alignment)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Return ``True`` iff *value* is a multiple of *alignment*."""
+    if alignment <= 0:
+        raise ConfigurationError(f"alignment must be positive, got {alignment}")
+    return value % alignment == 0

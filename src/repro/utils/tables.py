@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment reports.
+
+The evaluation harness prints the paper's tables and figure series as
+ASCII tables; this module is the single formatting implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Args:
+        headers: column titles.
+        rows: the table body; each cell is converted with ``str``.
+        title: optional caption printed above the table.
+
+    Returns:
+        The rendered table as a single string (no trailing newline).
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row(list(headers)))
+    lines.append(separator)
+    for row in str_rows:
+        lines.append(render_row(row))
+    lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Human-friendly size and energy formatting/parsing.
+
+The paper quotes sizes such as "2kB" and "19.5 kBytes" and energies in
+micro-joules; these helpers keep reports consistent with that convention.
+"""
+
+from __future__ import annotations
+
+import re
+
+_SIZE_PATTERN = re.compile(
+    r"^\s*(?P<number>\d+(?:\.\d+)?)\s*(?P<unit>k|ki|m|mi)?\s*b(?:ytes?)?\s*$",
+    re.IGNORECASE,
+)
+
+_UNIT_FACTORS = {
+    None: 1,
+    "k": 1024,
+    "ki": 1024,
+    "m": 1024 * 1024,
+    "mi": 1024 * 1024,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a byte size such as ``"2kB"``, ``"19.5 kBytes"`` or ``512``.
+
+    Following embedded-systems convention (and the paper), ``k`` is
+    interpreted as 1024.
+
+    Returns:
+        The size in bytes, as an integer.
+
+    Raises:
+        ValueError: if the text cannot be parsed or yields a fractional
+            byte count.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"negative size: {text}")
+        return text
+    match = _SIZE_PATTERN.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse size: {text!r}")
+    number = float(match.group("number"))
+    unit = match.group("unit")
+    factor = _UNIT_FACTORS[unit.lower() if unit else None]
+    value = number * factor
+    if abs(value - round(value)) > 1e-9:
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(round(value))
+
+
+def format_size(num_bytes: int) -> str:
+    """Format a byte count the way the paper does (``64``, ``2kB`` ...)."""
+    if num_bytes < 0:
+        raise ValueError(f"negative size: {num_bytes}")
+    if num_bytes >= 1024 and num_bytes % 1024 == 0:
+        return f"{num_bytes // 1024}kB"
+    if num_bytes >= 1024:
+        return f"{num_bytes / 1024:.1f}kB"
+    return f"{num_bytes}B"
+
+
+def format_energy(nanojoules: float) -> str:
+    """Format an energy in nJ, switching to µJ/mJ for large values."""
+    if nanojoules < 0:
+        sign = "-"
+        nanojoules = -nanojoules
+    else:
+        sign = ""
+    if nanojoules >= 1e6:
+        return f"{sign}{nanojoules / 1e6:.2f}mJ"
+    if nanojoules >= 1e3:
+        return f"{sign}{nanojoules / 1e3:.2f}uJ"
+    return f"{sign}{nanojoules:.2f}nJ"

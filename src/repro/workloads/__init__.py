@@ -1,0 +1,36 @@
+"""Workload construction: a structured-code DSL and benchmark models.
+
+:mod:`repro.workloads.builder` compiles a tree of structured statements
+(straight-line code, counted loops, probabilistic branches, calls) into
+a validated :class:`~repro.program.program.Program`.
+:mod:`repro.workloads.mediabench` models the three MediaBench codecs of
+the paper's evaluation (adpcm, g721, mpeg) at their published code
+sizes; :mod:`repro.workloads.synthetic` generates seeded random programs
+for property-based testing; :mod:`repro.workloads.registry` maps names
+to workloads.
+"""
+
+from repro.workloads.builder import (
+    Call,
+    If,
+    Loop,
+    ProgramBuilder,
+    Seq,
+    Straight,
+    WhileProb,
+)
+from repro.workloads.registry import available_workloads, get_workload
+from repro.workloads.synthetic import random_program
+
+__all__ = [
+    "Call",
+    "If",
+    "Loop",
+    "ProgramBuilder",
+    "Seq",
+    "Straight",
+    "WhileProb",
+    "available_workloads",
+    "get_workload",
+    "random_program",
+]

@@ -1,0 +1,369 @@
+"""A structured-code DSL compiled to basic blocks.
+
+Hand-wiring basic blocks (fall-through edges, branch targets, behaviour
+objects) is error-prone, so workloads are written as *statement trees*:
+
+>>> builder = ProgramBuilder("demo")
+>>> builder.add_function("main", Seq([
+...     Straight(4),
+...     Loop(trip=16, body=Seq([Straight(8), Call("leaf")])),
+...     If(prob=0.25, then=Straight(6), els=Straight(2)),
+... ]))
+>>> builder.add_function("leaf", Straight(5))
+>>> program = builder.build(entry="main")
+
+The compiler emits one fall-through chain per function's main flow;
+``then`` branches of ``If`` statements become separate chains ending in
+explicit jumps back to the join point, exactly like compiler-generated
+code laid out for the fall-through-biased case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import WorkloadError
+from repro.isa import (
+    Instruction,
+    make_alu,
+    make_branch,
+    make_call,
+    make_jump,
+    make_load,
+    make_return,
+    make_store,
+)
+from repro.program.basicblock import BasicBlock
+from repro.program.behavior import (
+    BranchBehavior,
+    FixedTrip,
+    TakenProbability,
+)
+from repro.program.function import Function
+from repro.program.program import Program
+
+# ----------------------------------------------------------------------
+# Statement tree
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Straight:
+    """*count* straight-line instructions (a deterministic ALU/LOAD/STORE
+    mix)."""
+
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise WorkloadError(f"negative instruction count: {self.count}")
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop executing its body exactly *trip* times per entry."""
+
+    trip: int
+    body: "Stmt"
+
+    def __post_init__(self) -> None:
+        if self.trip < 1:
+            raise WorkloadError(f"loop trip must be >= 1: {self.trip}")
+
+
+@dataclass(frozen=True)
+class WhileProb:
+    """A do-while loop continuing with probability *prob* per iteration."""
+
+    prob: float
+    body: "Stmt"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob < 1.0:
+            raise WorkloadError(
+                f"continue probability must be in [0, 1): {self.prob}"
+            )
+
+
+@dataclass(frozen=True)
+class If:
+    """A two-way branch taken (to *then*) with probability *prob*."""
+
+    prob: float
+    then: "Stmt"
+    els: Union["Stmt", None] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise WorkloadError(f"probability out of range: {self.prob}")
+
+
+@dataclass(frozen=True)
+class Call:
+    """A call to another function of the program."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class Seq:
+    """A sequence of statements."""
+
+    items: tuple
+
+    def __init__(self, items) -> None:
+        object.__setattr__(self, "items", tuple(items))
+
+
+Stmt = Union[Straight, Loop, WhileProb, If, Call, Seq]
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+
+#: Deterministic instruction mix for straight-line code (cycle of 20).
+_MIX_PATTERN = (
+    "a a l a a s a l a a a l a s a a l a a s".split()
+)
+_MAKERS = {"a": make_alu, "l": make_load, "s": make_store}
+
+
+def _mix_instruction(index: int) -> Instruction:
+    return _MAKERS[_MIX_PATTERN[index % len(_MIX_PATTERN)]]()
+
+
+class _Proto:
+    """A block under construction (terminator/fallthrough unresolved)."""
+
+    __slots__ = ("instructions", "terminator", "behavior", "labels")
+
+    def __init__(self) -> None:
+        self.instructions: list[Instruction] = []
+        # terminator: None | ("branch", label) | ("jump", label)
+        #           | ("return",) | ("call", function)
+        self.terminator: tuple | None = None
+        self.behavior: BranchBehavior | None = None
+        self.labels: list[str] = []
+
+
+class _FunctionAssembler:
+    """Compiles one function's statement tree into basic blocks."""
+
+    def __init__(self, function_name: str, known_functions: set[str]
+                 ) -> None:
+        self._name = function_name
+        self._known = known_functions
+        self._protos: list[_Proto] = []
+        self._current = _Proto()
+        self._pending_labels: list[str] = []
+        self._mix_index = 0
+        self._label_counter = 0
+        self._deferred: list[list[_Proto]] = []
+
+    # -- emission helpers ---------------------------------------------------
+
+    def _new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    def _attach_pending(self) -> None:
+        if self._pending_labels:
+            self._current.labels.extend(self._pending_labels)
+            self._pending_labels = []
+
+    def _emit(self, instruction: Instruction) -> None:
+        self._attach_pending()
+        self._current.instructions.append(instruction)
+
+    def _cut(self, terminator: tuple | None = None,
+             behavior: BranchBehavior | None = None) -> None:
+        """Close the current proto.
+
+        A proto with neither instructions nor labels is dropped; one with
+        only pending labels leaves the labels pending for the next proto.
+        """
+        self._attach_pending()
+        proto = self._current
+        if not proto.instructions and terminator is None:
+            # Nothing emitted: keep labels pending for the next proto.
+            self._pending_labels = proto.labels + self._pending_labels
+            self._current = _Proto()
+            return
+        proto.terminator = terminator
+        proto.behavior = behavior
+        self._protos.append(proto)
+        self._current = _Proto()
+
+    def _place_label(self, label: str) -> None:
+        if self._current.instructions:
+            self._cut()
+        self._pending_labels.append(label)
+
+    # -- statement compilation ------------------------------------------------
+
+    def compile(self, stmt: Stmt) -> None:
+        """Compile one statement into the current flow."""
+        if isinstance(stmt, Seq):
+            for item in stmt.items:
+                self.compile(item)
+        elif isinstance(stmt, Straight):
+            for _ in range(stmt.count):
+                self._emit(_mix_instruction(self._mix_index))
+                self._mix_index += 1
+        elif isinstance(stmt, Call):
+            if stmt.target not in self._known:
+                raise WorkloadError(
+                    f"{self._name}: call to unknown function "
+                    f"{stmt.target!r}"
+                )
+            self._attach_pending()
+            self._cut(terminator=("call", stmt.target))
+        elif isinstance(stmt, Loop):
+            self._compile_loop(stmt.body, FixedTrip(stmt.trip))
+        elif isinstance(stmt, WhileProb):
+            self._compile_loop(stmt.body, TakenProbability(stmt.prob))
+        elif isinstance(stmt, If):
+            self._compile_if(stmt)
+        else:
+            raise WorkloadError(f"unknown statement type: {stmt!r}")
+
+    def _compile_loop(self, body: Stmt, behavior: BranchBehavior) -> None:
+        head = self._new_label("loop")
+        self._cut()  # fall into the loop head
+        if self._pending_labels:
+            # An enclosing loop header (or if-join) would otherwise
+            # share this block; emit the loop's init code so every
+            # natural loop keeps a distinct header (matters for loop-
+            # bound analyses).
+            self._emit(_mix_instruction(self._mix_index))
+            self._mix_index += 1
+            self._cut()
+        self._place_label(head)
+        self.compile(body)
+        self._cut(terminator=("branch", head), behavior=behavior)
+
+    def _compile_if(self, stmt: If) -> None:
+        then_label = self._new_label("then")
+        join_label = self._new_label("join")
+        self._cut(terminator=("branch", then_label),
+                  behavior=TakenProbability(stmt.prob))
+        if stmt.els is not None:
+            self.compile(stmt.els)
+        self._cut()  # falls through to the join point
+        # Compile the then-branch out of line, ending with a jump back.
+        outer_protos = self._protos
+        outer_current = self._current
+        outer_pending = self._pending_labels
+        self._protos = []
+        self._current = _Proto()
+        self._pending_labels = [then_label]
+        self.compile(stmt.then)
+        self._cut(terminator=("jump", join_label))
+        then_protos = self._protos
+        if not then_protos or then_label not in then_protos[0].labels:
+            raise WorkloadError(
+                f"{self._name}: empty then-branch could not be labelled"
+            )
+        self._deferred.append(then_protos)
+        self._protos = outer_protos
+        self._current = outer_current
+        self._pending_labels = outer_pending
+        self._place_label(join_label)
+
+    # -- finalisation ---------------------------------------------------------
+
+    def finish(self) -> Function:
+        """Terminate the flow, resolve labels, and build the function."""
+        self._cut(terminator=("return",))
+        if self._pending_labels:
+            # Labels waiting at the very end (e.g. an If as the last
+            # statement): bind them to a dedicated return block.
+            self._attach_pending()
+            self._cut(terminator=("return",))
+        protos = list(self._protos)
+        for chain in self._deferred:
+            protos.extend(chain)
+        if not protos:
+            only = _Proto()
+            only.terminator = ("return",)
+            protos = [only]
+
+        names = [f"{self._name}.b{i}" for i in range(len(protos))]
+        label_to_name: dict[str, str] = {}
+        for proto, name in zip(protos, names):
+            for label in proto.labels:
+                if label in label_to_name:
+                    raise WorkloadError(
+                        f"{self._name}: duplicate label {label!r}"
+                    )
+                label_to_name[label] = name
+
+        blocks: list[BasicBlock] = []
+        for index, proto in enumerate(protos):
+            instructions = list(proto.instructions)
+            behavior = proto.behavior
+            fallthrough: str | None = None
+            terminator = proto.terminator
+            if terminator is None:
+                fallthrough = self._next_name(names, index, proto)
+            elif terminator[0] == "branch":
+                instructions.append(
+                    make_branch(label_to_name[terminator[1]])
+                )
+                fallthrough = self._next_name(names, index, proto)
+            elif terminator[0] == "jump":
+                instructions.append(make_jump(label_to_name[terminator[1]]))
+            elif terminator[0] == "call":
+                instructions.append(make_call(terminator[1]))
+                fallthrough = self._next_name(names, index, proto)
+            elif terminator[0] == "return":
+                instructions.append(make_return())
+            else:
+                raise WorkloadError(f"bad terminator {terminator!r}")
+            blocks.append(
+                BasicBlock(
+                    name=names[index],
+                    instructions=instructions,
+                    fallthrough=fallthrough,
+                    behavior=behavior,
+                )
+            )
+        return Function(self._name, blocks)
+
+    def _next_name(self, names: list[str], index: int,
+                   proto: _Proto) -> str:
+        if index + 1 >= len(names):
+            raise WorkloadError(
+                f"{self._name}: block {names[index]!r} falls off the "
+                "end of the function"
+            )
+        return names[index + 1]
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` from per-function statement trees."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._specs: dict[str, Stmt] = {}
+
+    def add_function(self, name: str, body: Stmt) -> "ProgramBuilder":
+        """Register a function (bodies may call functions registered
+        later)."""
+        if name in self._specs:
+            raise WorkloadError(f"duplicate function {name!r}")
+        self._specs[name] = body
+        return self
+
+    def build(self, entry: str = "main") -> Program:
+        """Compile all functions and assemble the program."""
+        if entry not in self._specs:
+            raise WorkloadError(f"entry function {entry!r} not registered")
+        known = set(self._specs)
+        functions = []
+        for name, body in self._specs.items():
+            assembler = _FunctionAssembler(name, known)
+            assembler.compile(body)
+            functions.append(assembler.finish())
+        return Program(functions=functions, entry=entry, name=self._name)

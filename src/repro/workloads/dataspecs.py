@@ -1,0 +1,123 @@
+"""Data-object specifications for the bundled workloads.
+
+Mirrors the globals of the real codecs: sample buffers, quantiser
+tables, predictor state.  Sizes follow the original sources (ADPCM's
+89-entry step-size table, 16-entry index table, 6-tap predictors).
+"""
+
+from __future__ import annotations
+
+from repro.data.objects import (
+    DataAccessPattern,
+    DataObject,
+    DataSpec,
+    DataUse,
+)
+from repro.errors import WorkloadError
+
+
+def adpcm_data_spec() -> DataSpec:
+    """Data objects of the adpcm codec model.
+
+    The step-size and index tables are reused every sample (hot), the
+    sample buffers stream (cold per element), the codec states are tiny
+    and hammered — the classic mix where selecting tables + state for
+    the scratchpad wins and streaming buffers lose.
+    """
+    objects = [
+        DataObject("pcm_in", size=2048, element_size=2),
+        DataObject("adpcm_out", size=1024, element_size=1),
+        DataObject("pcm_out", size=2048, element_size=2),
+        DataObject("step_table", size=356, element_size=4),
+        DataObject("index_table", size=64, element_size=4),
+        DataObject("coder_state", size=32, element_size=4),
+        DataObject("decoder_state", size=32, element_size=4),
+    ]
+    uses = {
+        "adpcm_coder": [
+            DataUse("pcm_in", reads=1),
+            DataUse("adpcm_out", writes=1),
+            DataUse("step_table", reads=2,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+            DataUse("index_table", reads=1,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+            DataUse("coder_state", reads=2, writes=2,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+        ],
+        "adpcm_decoder": [
+            DataUse("adpcm_out", reads=1),
+            DataUse("pcm_out", writes=1),
+            DataUse("step_table", reads=2,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+            DataUse("index_table", reads=1,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+            DataUse("decoder_state", reads=2, writes=2,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+        ],
+        "quantize_sample": [
+            DataUse("step_table", reads=4,
+                    pattern=DataAccessPattern.SEQUENTIAL),
+        ],
+        "step_update": [
+            DataUse("step_table", reads=1,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+            DataUse("decoder_state", reads=1, writes=1,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+        ],
+    }
+    return DataSpec(objects=objects, uses=uses)
+
+
+def g721_data_spec() -> DataSpec:
+    """Data objects of the g721 transcoder model."""
+    objects = [
+        DataObject("frame_in", size=4096, element_size=2),
+        DataObject("frame_out", size=4096, element_size=2),
+        DataObject("quan_table", size=128, element_size=4),
+        DataObject("fmult_table", size=256, element_size=4),
+        DataObject("predictor_state", size=96, element_size=4),
+        DataObject("reconstruct_table", size=192, element_size=4),
+    ]
+    uses = {
+        "g721_encoder": [
+            DataUse("frame_in", reads=1),
+            DataUse("predictor_state", reads=2, writes=1,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+        ],
+        "g721_decoder": [
+            DataUse("frame_out", writes=1),
+            DataUse("predictor_state", reads=2, writes=1,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+        ],
+        "quan": [
+            DataUse("quan_table", reads=3,
+                    pattern=DataAccessPattern.SEQUENTIAL),
+        ],
+        "fmult": [
+            DataUse("fmult_table", reads=2,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+            DataUse("predictor_state", reads=1,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+        ],
+        "reconstruct": [
+            DataUse("reconstruct_table", reads=2,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+        ],
+        "update": [
+            DataUse("predictor_state", reads=3, writes=2,
+                    pattern=DataAccessPattern.HOT_FIELDS),
+        ],
+    }
+    return DataSpec(objects=objects, uses=uses)
+
+
+def get_data_spec(workload_name: str) -> DataSpec:
+    """Data spec of a named workload."""
+    if workload_name == "adpcm":
+        return adpcm_data_spec()
+    if workload_name == "g721":
+        return g721_data_spec()
+    raise WorkloadError(
+        f"no data spec for workload {workload_name!r} "
+        "(available: adpcm, g721)"
+    )

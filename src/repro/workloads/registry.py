@@ -1,0 +1,124 @@
+"""Benchmark registry: name -> workload with its paper parameters.
+
+Each entry bundles the program with the experimental parameters the
+paper pairs it with ("Instruction cache of size 2kB, 1kB and 128 Bytes
+was assumed for the mpeg, g721 and adpcm benchmarks, respectively",
+section 6; scratchpad/loop-cache sizes from table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.memory.cache import CacheConfig
+from repro.program.program import Program
+from repro.workloads import mediabench
+from repro.workloads.builder import Loop, ProgramBuilder, Seq, Straight
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmark plus its experiment parameters.
+
+    Attributes:
+        name: benchmark name.
+        program: the compiled program.
+        cache: the I-cache the paper pairs with this benchmark.
+        spm_sizes: the scratchpad/loop-cache sizes swept in table 1.
+        description: one-line provenance note.
+    """
+
+    name: str
+    program: Program
+    cache: CacheConfig
+    spm_sizes: tuple[int, ...]
+    description: str
+
+
+def _build_tiny(scale: float) -> Program:
+    """A minimal two-loop workload for fast tests and the quickstart."""
+    trip = max(1, round(60 * scale))
+    builder = ProgramBuilder("tiny")
+    builder.add_function("main", Seq([
+        Straight(4),
+        Loop(trip=trip, body=Seq([
+            Straight(6),
+            Loop(trip=4, body=Straight(8)),
+            Straight(4),
+        ])),
+        Straight(4),
+    ]))
+    return builder.build(entry="main")
+
+
+def get_workload(name: str, scale: float = 1.0) -> Workload:
+    """Build a registered workload.
+
+    Args:
+        name: one of :func:`available_workloads`.
+        scale: outer-loop trip-count multiplier (tests use < 1).
+
+    Raises:
+        WorkloadError: for an unknown name.
+    """
+    if name == "adpcm":
+        return Workload(
+            name="adpcm",
+            program=mediabench.build_adpcm(scale),
+            cache=CacheConfig(size=128, line_size=16, associativity=1),
+            spm_sizes=(64, 128, 256),
+            description="ADPCM codec model, ~1 kB code, 128 B I-cache",
+        )
+    if name == "g721":
+        return Workload(
+            name="g721",
+            program=mediabench.build_g721(scale),
+            cache=CacheConfig(size=1024, line_size=16, associativity=1),
+            spm_sizes=(128, 256, 512, 1024),
+            description="G.721 transcoder model, ~4.7 kB code, "
+                        "1 kB I-cache",
+        )
+    if name == "mpeg":
+        return Workload(
+            name="mpeg",
+            program=mediabench.build_mpeg(scale),
+            cache=CacheConfig(size=2048, line_size=16, associativity=1),
+            spm_sizes=(128, 256, 512, 1024),
+            description="MPEG-2 encoder model, ~19.5 kB code, "
+                        "2 kB I-cache",
+        )
+    if name == "epic":
+        return Workload(
+            name="epic",
+            program=mediabench.build_epic(scale),
+            cache=CacheConfig(size=1024, line_size=16, associativity=1),
+            spm_sizes=(128, 256, 512),
+            description="EPIC wavelet compression model, ~8 kB code, "
+                        "1 kB I-cache",
+        )
+    if name == "jpeg":
+        return Workload(
+            name="jpeg",
+            program=mediabench.build_jpeg(scale),
+            cache=CacheConfig(size=512, line_size=16, associativity=1),
+            spm_sizes=(128, 256, 512),
+            description="phased JPEG encoder model for the overlay "
+                        "extension",
+        )
+    if name == "tiny":
+        return Workload(
+            name="tiny",
+            program=_build_tiny(scale),
+            cache=CacheConfig(size=128, line_size=16, associativity=1),
+            spm_sizes=(64, 128),
+            description="minimal nested-loop smoke workload",
+        )
+    raise WorkloadError(
+        f"unknown workload {name!r}; available: {available_workloads()}"
+    )
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Names accepted by :func:`get_workload`."""
+    return ("adpcm", "g721", "mpeg", "jpeg", "epic", "tiny")

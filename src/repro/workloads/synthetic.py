@@ -1,0 +1,109 @@
+"""Seeded random program generation for property-based testing.
+
+Generates arbitrary (but always valid and terminating) programs: a DAG
+of functions whose bodies are random statement trees of bounded depth.
+Termination is guaranteed because loops are counted (``Loop``) or have
+continue probability < 1 (``WhileProb``) and the call graph is acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.program.program import Program
+from repro.utils.rng import DeterministicRng
+from repro.workloads.builder import (
+    Call,
+    If,
+    Loop,
+    ProgramBuilder,
+    Seq,
+    Stmt,
+    Straight,
+    WhileProb,
+)
+
+
+def _random_stmt(rng: DeterministicRng, depth: int,
+                 callees: list[str],
+                 deterministic: bool = False) -> Stmt:
+    """One random statement; *depth* bounds nesting.
+
+    With *deterministic* set, only fixed-trip loops and always/never
+    branches are generated, so the worst-case path is statically known
+    (used by the WCET property tests).
+    """
+    choices = ["straight", "straight", "if"]
+    if depth > 0:
+        choices += ["loop", "seq"]
+        if not deterministic:
+            choices.append("while")
+    if callees:
+        choices.append("call")
+    kind = rng.choice(choices)
+    if kind == "straight":
+        return Straight(rng.uniform_int(1, 18))
+    if kind == "call":
+        return Call(rng.choice(callees))
+    if kind == "loop":
+        return Loop(
+            trip=rng.uniform_int(1, 12),
+            body=_random_stmt(rng, depth - 1, callees, deterministic),
+        )
+    if kind == "while":
+        return WhileProb(
+            prob=rng.uniform_int(0, 80) / 100.0,
+            body=_random_stmt(rng, depth - 1, callees, deterministic),
+        )
+    if kind == "if":
+        els = (
+            _random_stmt(rng, depth - 1, callees, deterministic)
+            if depth > 0 and rng.coin(0.6)
+            else None
+        )
+        probability = (
+            float(rng.coin(0.5)) if deterministic
+            else rng.uniform_int(0, 100) / 100.0
+        )
+        return If(
+            prob=probability,
+            then=_random_stmt(rng, max(0, depth - 1), callees,
+                              deterministic),
+            els=els,
+        )
+    items = [
+        _random_stmt(rng, depth - 1, callees, deterministic)
+        for _ in range(rng.uniform_int(2, 4))
+    ]
+    return Seq(items)
+
+
+def random_program(
+    seed: int,
+    num_functions: int = 4,
+    max_depth: int = 3,
+    deterministic: bool = False,
+) -> Program:
+    """Generate a random, valid, terminating program.
+
+    Args:
+        seed: determines the program completely.
+        num_functions: functions to generate (>= 1); function ``f0`` is
+            the entry and may call ``f1..fn``, ``f1`` may call
+            ``f2..fn`` and so on (acyclic call graph).
+        max_depth: statement-tree nesting bound.
+        deterministic: restrict to fixed-trip loops and always/never
+            branches so the execution path is input-independent.
+
+    Returns:
+        The generated program (entry function ``f0``).
+    """
+    rng = DeterministicRng(seed)
+    names = [f"f{i}" for i in range(max(1, num_functions))]
+    builder = ProgramBuilder(f"random-{seed}")
+    for index, name in enumerate(names):
+        callees = names[index + 1:]
+        body = Seq([
+            _random_stmt(rng, max_depth, callees, deterministic)
+            for _ in range(rng.uniform_int(1, 3))
+        ])
+        builder.add_function(name, body)
+    return builder.build(entry=names[0])

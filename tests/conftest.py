@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (profiled workbenches) are session-scoped; most
+tests work on the `tiny` workload or hand-built programs so the suite
+stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workbench, WorkbenchConfig, get_workload
+from repro.isa import make_alu, make_branch, make_jump, make_return
+from repro.memory.cache import CacheConfig
+from repro.program.basicblock import BasicBlock
+from repro.program.behavior import FixedTrip
+from repro.program.function import Function
+from repro.program.program import Program
+from repro.traces.tracegen import TraceGenConfig
+
+
+def make_loop_program(trip: int = 10, body_instructions: int = 6,
+                      name: str = "looper") -> Program:
+    """A single-function program with one counted loop.
+
+    Layout: entry block -> loop body (with back-edge) -> exit block.
+    """
+    blocks = [
+        BasicBlock(
+            name="main.entry",
+            instructions=[make_alu() for _ in range(4)],
+            fallthrough="main.loop",
+        ),
+        BasicBlock(
+            name="main.loop",
+            instructions=[make_alu() for _ in range(body_instructions)]
+            + [make_branch("main.loop")],
+            fallthrough="main.exit",
+            behavior=FixedTrip(trip),
+        ),
+        BasicBlock(
+            name="main.exit",
+            instructions=[make_alu(), make_alu(), make_return()],
+        ),
+    ]
+    return Program([Function("main", blocks)], entry="main", name=name)
+
+
+@pytest.fixture
+def loop_program() -> Program:
+    """A small single-loop program."""
+    return make_loop_program()
+
+
+@pytest.fixture(scope="session")
+def tiny_workbench() -> Workbench:
+    """A profiled workbench of the `tiny` workload."""
+    workload = get_workload("tiny")
+    config = WorkbenchConfig(
+        cache=workload.cache,
+        tracegen=TraceGenConfig(line_size=16, max_trace_size=64),
+    )
+    return Workbench(workload.program, config)
+
+
+@pytest.fixture(scope="session")
+def adpcm_workbench() -> Workbench:
+    """A profiled workbench of a scaled-down adpcm workload."""
+    workload = get_workload("adpcm", scale=0.2)
+    config = WorkbenchConfig(
+        cache=workload.cache,
+        tracegen=TraceGenConfig(line_size=16, max_trace_size=64),
+    )
+    return Workbench(workload.program, config)
+
+
+@pytest.fixture(scope="session")
+def mpeg_workbench() -> Workbench:
+    """A profiled workbench of a scaled-down mpeg workload."""
+    workload = get_workload("mpeg", scale=0.1)
+    config = WorkbenchConfig(
+        cache=workload.cache,
+        tracegen=TraceGenConfig(line_size=16, max_trace_size=128),
+    )
+    return Workbench(workload.program, config)
+
+
+@pytest.fixture
+def small_cache() -> CacheConfig:
+    """A 128-byte direct-mapped cache with 16-byte lines."""
+    return CacheConfig(size=128, line_size=16, associativity=1)

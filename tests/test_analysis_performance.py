@@ -1,0 +1,68 @@
+"""Tests for the fetch-cycle performance model."""
+
+import pytest
+
+from repro.analysis.performance import (
+    FetchCycles,
+    compute_cycles,
+    speedup,
+)
+from repro.analysis.wcet import FetchLatency
+from repro.memory.stats import MemoryObjectStats, SimulationReport
+
+
+def make_report(spm=0, lc=0, hits=0, misses=0, copies=0):
+    report = SimulationReport()
+    report.mo_stats["T"] = MemoryObjectStats(
+        "T", fetches=spm + lc + hits + misses,
+        spm_accesses=spm, lc_accesses=lc,
+        cache_hits=hits, cache_misses=misses,
+    )
+    report.overlay_copy_words = copies
+    return report
+
+
+class TestComputeCycles:
+    def test_arithmetic(self):
+        latency = FetchLatency(spm=1, cache_hit=2, cache_miss=10)
+        cycles = compute_cycles(
+            make_report(spm=100, lc=50, hits=30, misses=5, copies=2),
+            latency,
+        )
+        assert cycles.spm == 100
+        assert cycles.loop_cache == 50
+        assert cycles.cache_hits == 60
+        assert cycles.cache_misses == 50
+        assert cycles.overlay_copies == 20
+        assert cycles.total == 280
+
+    def test_default_latency(self):
+        cycles = compute_cycles(make_report(hits=10))
+        assert cycles.total == 10
+
+    def test_cpi_contribution(self):
+        cycles = FetchCycles(0, 0, 100, 100, 0)
+        assert cycles.cpi_contribution(100) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            cycles.cpi_contribution(0)
+
+
+class TestSpeedup:
+    def test_spm_speeds_up_fetches(self, adpcm_workbench):
+        bench = adpcm_workbench
+        baseline = bench.baseline_report
+        improved = bench.run_casa(256).report
+        assert speedup(baseline, improved) > 1.0
+
+    def test_identity_speedup(self, adpcm_workbench):
+        report = adpcm_workbench.baseline_report
+        assert speedup(report, report) == pytest.approx(1.0)
+
+    def test_energy_and_performance_agree(self, adpcm_workbench):
+        """For this architecture both metrics improve together (the
+        motivation the paper gives for scratchpads over caches)."""
+        bench = adpcm_workbench
+        casa = bench.run_casa(256)
+        baseline = bench.baseline_result()
+        assert casa.energy.total < baseline.energy.total
+        assert speedup(baseline.report, casa.report) > 1.0

@@ -1,0 +1,66 @@
+"""Tests for repro.analysis.setpressure."""
+
+import pytest
+
+from repro.analysis import (
+    cache_set_pressure,
+    render_pressure_table,
+)
+from repro.memory.cache import CacheConfig
+from repro.traces.layout import LinkedImage
+
+
+class TestSetPressure:
+    def test_total_weight_conserved(self, adpcm_workbench):
+        bench = adpcm_workbench
+        cache = bench.config.cache
+        image = LinkedImage(bench.program, bench.memory_objects)
+        pressures = cache_set_pressure(image, cache,
+                                       bench.conflict_graph)
+        assert len(pressures) == cache.num_sets
+        total_weight = sum(
+            sum(p.occupants.values()) for p in pressures
+        )
+        total_fetches = sum(
+            node.fetches for node in bench.conflict_graph.nodes()
+        )
+        assert total_weight == pytest.approx(total_fetches)
+
+    def test_spm_resident_objects_excluded(self, adpcm_workbench):
+        bench = adpcm_workbench
+        result = bench.run_casa(128)
+        image = LinkedImage(
+            bench.program, bench.memory_objects,
+            spm_resident=result.allocation.spm_resident, spm_size=128,
+        )
+        pressures = cache_set_pressure(image, bench.config.cache,
+                                       bench.conflict_graph)
+        occupants = {
+            name for p in pressures for name in p.occupants
+        }
+        assert not occupants & set(result.allocation.spm_resident)
+
+    def test_pressure_zero_for_single_occupant(self):
+        from repro.analysis.setpressure import SetPressure
+        single = SetPressure(0, {"A": 500.0})
+        assert single.pressure == 0.0
+        contested = SetPressure(1, {"A": 500.0, "B": 300.0})
+        assert contested.pressure == pytest.approx(300.0)
+        assert contested.num_hot_occupants == 2
+
+    def test_thrashing_sets_have_pressure(self, adpcm_workbench):
+        """adpcm thrashes its 128 B cache, so some sets are contended."""
+        bench = adpcm_workbench
+        image = LinkedImage(bench.program, bench.memory_objects)
+        pressures = cache_set_pressure(image, bench.config.cache,
+                                       bench.conflict_graph)
+        assert max(p.pressure for p in pressures) > 0
+
+    def test_render(self, adpcm_workbench):
+        bench = adpcm_workbench
+        image = LinkedImage(bench.program, bench.memory_objects)
+        pressures = cache_set_pressure(image, bench.config.cache,
+                                       bench.conflict_graph)
+        text = render_pressure_table(pressures, top=5)
+        assert "contended cache sets" in text
+        assert len(text.splitlines()) <= 5 + 5  # header + rows

@@ -1,0 +1,206 @@
+"""Tests for the IPET WCET analyser."""
+
+import pytest
+
+from repro.analysis.wcet import (
+    FetchLatency,
+    block_worst_case_cycles,
+    compute_wcet,
+)
+from repro.errors import ConfigurationError
+from repro.isa import make_alu, make_call, make_return
+from repro.program.basicblock import BasicBlock
+from repro.program.executor import execute_program
+from repro.program.function import Function
+from repro.program.program import Program
+from repro.traces.layout import LinkedImage
+from repro.traces.tracegen import TraceGenConfig, generate_traces
+from repro.workloads import get_workload
+
+from tests.conftest import make_loop_program
+
+
+def linked_image(program, spm_resident=frozenset(), spm_size=0):
+    execution = execute_program(program)
+    mos = generate_traces(
+        program, execution.profile,
+        TraceGenConfig(line_size=16, max_trace_size=1 << 20),
+    )
+    return execution, LinkedImage(
+        program, mos, spm_resident=spm_resident, spm_size=spm_size,
+    )
+
+
+class TestLatency:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FetchLatency(spm=0)
+
+
+class TestBlockCycles:
+    def test_spm_block_is_deterministic(self):
+        program = make_loop_program(trip=3)
+        _, image = linked_image(program, spm_resident={"T0"},
+                                spm_size=1024)
+        latency = FetchLatency(spm=1, cache_miss=20)
+        plan = image.plan_for("main.loop")
+        cycles = block_worst_case_cycles(plan, latency, 16)
+        assert cycles == plan.always_fetched_words  # 1 cycle per word
+
+    def test_cacheable_block_charged_line_misses(self):
+        program = make_loop_program(trip=3, body_instructions=8)
+        _, image = linked_image(program)
+        latency = FetchLatency(cache_hit=1, cache_miss=20)
+        plan = image.plan_for("main.loop")  # 9 words incl. branch
+        cycles = block_worst_case_cycles(plan, latency, 16)
+        words = plan.always_fetched_words
+        assert cycles > words  # misses dominate
+        assert cycles < words * latency.cache_miss + 1
+
+
+class TestProgramWcet:
+    def test_loop_bound_respected(self):
+        program = make_loop_program(trip=10, body_instructions=6)
+        _, image = linked_image(program)
+        report = compute_wcet(program, image)
+        # loop body executes exactly 10x in the worst case: weight
+        # scales linearly with the trip count
+        bigger = make_loop_program(trip=20, body_instructions=6)
+        _, image2 = linked_image(bigger)
+        report2 = compute_wcet(bigger, image2)
+        assert report2.program_wcet > report.program_wcet * 1.5
+
+    def test_wcet_upper_bounds_observed_cycles(self):
+        """The bound must dominate an 'observed' run where every line
+        fetch misses (the model's own worst case)."""
+        program = make_loop_program(trip=7, body_instructions=6)
+        execution, image = linked_image(program)
+        latency = FetchLatency()
+        observed = 0.0
+        for name in execution.block_sequence:
+            observed += block_worst_case_cycles(
+                image.plan_for(name), latency, 16
+            )
+        report = compute_wcet(program, image, latency)
+        assert report.program_wcet >= observed - 1e-6
+
+    def test_scratchpad_tightens_wcet(self):
+        """The paper's intro claim: scratchpad allocation lowers the
+        provable bound."""
+        workload = get_workload("adpcm", scale=0.05)
+        program = workload.program
+        execution, baseline = linked_image(program)
+        report_cache = compute_wcet(program, baseline)
+
+        mos = generate_traces(
+            program, execution.profile,
+            TraceGenConfig(line_size=16, max_trace_size=1 << 20),
+        )
+        hot = {mo.name for mo in mos}
+        total = sum(mo.unpadded_size for mo in mos)
+        image_spm = LinkedImage(program, mos, spm_resident=hot,
+                                spm_size=total + 64)
+        report_spm = compute_wcet(program, image_spm)
+        assert report_spm.program_wcet < report_cache.program_wcet / 2
+
+    def test_callee_wcet_included(self):
+        main = Function("main", [
+            BasicBlock("main.b0", [make_call("leaf")],
+                       fallthrough="main.b1"),
+            BasicBlock("main.b1", [make_return()]),
+        ])
+        leaf = Function("leaf", [
+            BasicBlock("leaf.b0",
+                       [make_alu() for _ in range(20)] + [make_return()]),
+        ])
+        program = Program([main, leaf], entry="main")
+        _, image = linked_image(program)
+        report = compute_wcet(program, image)
+        assert report.function_wcet["leaf"] > 0
+        assert report.program_wcet > report.function_wcet["leaf"]
+
+    def test_probabilistic_loop_uses_default_bound(self):
+        from repro.workloads.builder import (
+            ProgramBuilder, Seq, Straight, WhileProb,
+        )
+        builder = ProgramBuilder("w")
+        builder.add_function("main", Seq([
+            Straight(2), WhileProb(prob=0.5, body=Straight(4)),
+        ]))
+        program = builder.build()
+        _, image = linked_image(program)
+        small = compute_wcet(program, image, default_loop_bound=4)
+        large = compute_wcet(program, image, default_loop_bound=400)
+        assert large.program_wcet > small.program_wcet * 10
+
+    def test_per_function_reporting(self):
+        workload = get_workload("adpcm", scale=0.05)
+        _, image = linked_image(workload.program)
+        report = compute_wcet(workload.program, image)
+        assert "adpcm_coder" in report.function_wcet
+        assert report.program_wcet == \
+            report.function_wcet["main"]
+
+
+class TestWcetProperty:
+    """On deterministic programs the observed all-miss cycle count of
+    the single possible execution must never exceed the IPET bound."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_bound_dominates_observed(self, seed):
+        from repro.workloads.synthetic import random_program
+
+        program = random_program(seed, num_functions=3, max_depth=2,
+                                 deterministic=True)
+        execution, image = linked_image(program)
+        latency = FetchLatency()
+        observed = sum(
+            block_worst_case_cycles(image.plan_for(name), latency, 16)
+            for name in execution.block_sequence
+        )
+        report = compute_wcet(program, image, latency)
+        assert report.program_wcet >= observed - 1e-6
+
+
+class TestFlowFacts:
+    def test_loop_bound_override(self):
+        from repro.workloads.builder import (
+            ProgramBuilder, Seq, Straight, WhileProb,
+        )
+        builder = ProgramBuilder("w")
+        builder.add_function("main", Seq([
+            Straight(2), WhileProb(prob=0.5, body=Straight(4)),
+        ]))
+        program = builder.build()
+        _, image = linked_image(program)
+        # find the probabilistic loop's header
+        from repro.program.cfg import program_loops
+        header = program_loops(program)[0].header
+        tight = compute_wcet(program, image,
+                             loop_bounds={header: 3})
+        loose = compute_wcet(program, image,
+                             loop_bounds={header: 300})
+        default = compute_wcet(program, image, default_loop_bound=64)
+        assert tight.program_wcet < default.program_wcet \
+            < loose.program_wcet
+
+    def test_invalid_flow_fact(self):
+        program = make_loop_program(trip=3)
+        _, image = linked_image(program)
+        with pytest.raises(ConfigurationError):
+            compute_wcet(program, image,
+                         loop_bounds={"main.loop": 0})
+
+    def test_flow_fact_can_tighten_fixed_trip(self):
+        """A user-supplied bound overrides even behaviour-derived
+        ones (e.g. from external knowledge of input sizes)."""
+        program = make_loop_program(trip=100)
+        _, image = linked_image(program)
+        derived = compute_wcet(program, image)
+        annotated = compute_wcet(program, image,
+                                 loop_bounds={"main.loop": 10})
+        assert annotated.program_wcet < derived.program_wcet

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "mpeg" in out and "adpcm" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--workload", "tiny", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "average energy improvement" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--workload", "tiny", "--scale", "0.2"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--workload", "tiny", "--sizes", "64",
+            "--algorithms", "casa", "steinke", "--scale", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "casa (uJ)" in out
+
+    def test_graph_dot(self, capsys):
+        assert main(["graph", "--workload", "tiny", "--scale", "0.2"]) \
+            == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_overlay(self, capsys):
+        assert main(["overlay", "--workload", "jpeg", "--spm-size",
+                     "128", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "overlay gain" in out
+
+    def test_pressure(self, capsys):
+        assert main(["pressure", "--workload", "tiny", "--top", "3",
+                     "--scale", "0.2"]) == 0
+        assert "contended cache sets" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--workload", "doom"])
+
+
+class TestReportCommand:
+    def test_report(self, capsys, tmp_path):
+        out_file = tmp_path / "report.txt"
+        assert main(["report", "--scale", "0.05", "--no-charts",
+                     "--output", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Table 1" in out
+        assert out_file.read_text().startswith("# CASA reproduction")
+
+
+class TestDseCommand:
+    def test_dse(self, capsys):
+        assert main(["dse", "--workload", "tiny", "--budget", "30000",
+                     "--scale", "0.2", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+        assert "area budget" in out

@@ -1,0 +1,150 @@
+"""Tests for the CASA ILP allocator."""
+
+import itertools
+
+import pytest
+
+from repro.core.casa import CasaAllocator, CasaConfig
+from repro.core.conflict_graph import ConflictGraph, ConflictNode
+from repro.energy.model import EnergyModel
+from repro.traces.layout import Placement
+
+MODEL = EnergyModel(cache_hit=1.0, cache_miss=21.0, spm_access=0.5)
+
+
+def make_graph(nodes, edges):
+    graph = ConflictGraph()
+    for name, fetches, size in nodes:
+        graph.add_node(ConflictNode(name, fetches=fetches, size=size))
+    for victim, evictor, weight in edges:
+        graph.add_edge(victim, evictor, weight)
+    return graph
+
+
+def brute_force_best(graph, spm_size, model, include_compulsory=True):
+    names = graph.node_names
+    best = None
+    for mask in itertools.product((0, 1), repeat=len(names)):
+        resident = {n for n, take in zip(names, mask) if take}
+        used = sum(graph.node(n).size for n in resident)
+        if used > spm_size:
+            continue
+        energy = graph.predicted_energy(resident, model,
+                                        include_compulsory)
+        if best is None or energy < best:
+            best = energy
+    return best
+
+
+class TestOptimality:
+    def test_matches_brute_force_on_triangle(self):
+        graph = make_graph(
+            [("A", 1000, 64), ("B", 800, 64), ("C", 900, 64)],
+            [("A", "B", 100), ("B", "C", 150), ("C", "A", 120),
+             ("B", "A", 80)],
+        )
+        for spm_size in (0, 64, 128, 192):
+            allocation = CasaAllocator().allocate(graph, spm_size, MODEL)
+            assert allocation.predicted_energy == pytest.approx(
+                brute_force_best(graph, spm_size, MODEL)
+            )
+
+    def test_predicted_energy_matches_formula(self):
+        graph = make_graph(
+            [("A", 500, 32), ("B", 400, 32)],
+            [("A", "B", 50)],
+        )
+        allocation = CasaAllocator().allocate(graph, 32, MODEL)
+        assert allocation.predicted_energy == pytest.approx(
+            graph.predicted_energy(set(allocation.spm_resident), MODEL)
+        )
+
+    def test_prefers_conflict_resolution_over_fetch_count(self):
+        # D has the most fetches, but A/B thrash each other; with one
+        # slot the conflict-heavy object wins despite fewer fetches.
+        graph = make_graph(
+            [("A", 300, 64), ("B", 300, 64), ("D", 400, 64)],
+            [("A", "B", 500), ("B", "A", 500)],
+        )
+        allocation = CasaAllocator().allocate(graph, 64, MODEL)
+        assert allocation.spm_resident & {"A", "B"}
+        assert "D" not in allocation.spm_resident
+
+
+class TestConstraints:
+    def test_zero_spm_selects_nothing(self):
+        graph = make_graph([("A", 100, 32)], [])
+        allocation = CasaAllocator().allocate(graph, 0, MODEL)
+        assert allocation.spm_resident == frozenset()
+
+    def test_capacity_respected(self):
+        graph = make_graph(
+            [(f"N{i}", 100 * (i + 1), 48) for i in range(6)], []
+        )
+        allocation = CasaAllocator().allocate(graph, 100, MODEL)
+        used = sum(graph.node(n).size for n in allocation.spm_resident)
+        assert used <= 100
+        assert allocation.used_bytes == used
+
+    def test_everything_fits(self):
+        graph = make_graph(
+            [("A", 100, 16), ("B", 50, 16)], [("A", "B", 10)]
+        )
+        allocation = CasaAllocator().allocate(graph, 1024, MODEL)
+        assert allocation.spm_resident == {"A", "B"}
+
+
+class TestConfig:
+    def test_conflict_term_off_reduces_to_fetch_knapsack(self):
+        graph = make_graph(
+            [("A", 300, 64), ("B", 300, 64), ("D", 400, 64)],
+            [("A", "B", 500), ("B", "A", 500)],
+        )
+        allocator = CasaAllocator(CasaConfig(conflict_term=False,
+                                             include_compulsory=False))
+        allocation = allocator.allocate(graph, 64, MODEL)
+        # without the conflict term, the hottest object wins
+        assert allocation.spm_resident == {"D"}
+
+    def test_compulsory_term(self):
+        graph = make_graph([("A", 10, 32), ("B", 10, 32)], [])
+        graph.node("A").compulsory_misses = 100
+        with_comp = CasaAllocator(CasaConfig(include_compulsory=True))
+        allocation = with_comp.allocate(graph, 32, MODEL)
+        assert allocation.spm_resident == {"A"}
+
+    def test_self_misses_counted(self):
+        graph = make_graph([("A", 10, 32), ("B", 10, 32)], [])
+        graph.node("B").self_misses = 100
+        allocation = CasaAllocator(
+            CasaConfig(include_compulsory=False)
+        ).allocate(graph, 32, MODEL)
+        assert allocation.spm_resident == {"B"}
+
+
+class TestModelStructure:
+    def test_variable_count_matches_paper(self):
+        """|variables| = |V| + |E| (section 4)."""
+        graph = make_graph(
+            [("A", 10, 16), ("B", 10, 16), ("C", 10, 16)],
+            [("A", "B", 5), ("B", "C", 5)],
+        )
+        model, _ = CasaAllocator().build_model(graph, 64, MODEL)
+        assert model.num_variables == 3 + 2
+
+    def test_linearisation_constraint_count(self):
+        graph = make_graph(
+            [("A", 10, 16), ("B", 10, 16)],
+            [("A", "B", 5), ("B", "A", 3)],
+        )
+        model, _ = CasaAllocator().build_model(graph, 64, MODEL)
+        # eqs. 13-15 plus the McCormick cut per edge + 1 capacity
+        assert model.num_constraints == 4 * 2 + 1
+
+    def test_allocation_metadata(self):
+        graph = make_graph([("A", 1000, 32)], [])
+        allocation = CasaAllocator().allocate(graph, 64, MODEL)
+        assert allocation.algorithm == "casa"
+        assert allocation.placement is Placement.COPY
+        assert allocation.capacity == 64
+        assert "casa" in allocation.describe()

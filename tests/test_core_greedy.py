@@ -1,0 +1,70 @@
+"""Tests for the greedy CASA ablation allocator."""
+
+import pytest
+
+from repro.core.casa import CasaAllocator
+from repro.core.conflict_graph import ConflictGraph, ConflictNode
+from repro.core.greedy_allocator import GreedyCasaAllocator
+from repro.energy.model import EnergyModel
+
+MODEL = EnergyModel(cache_hit=1.0, cache_miss=21.0, spm_access=0.5)
+
+
+def make_graph(nodes, edges=()):
+    graph = ConflictGraph()
+    for name, fetches, size in nodes:
+        graph.add_node(ConflictNode(name, fetches=fetches, size=size))
+    for victim, evictor, weight in edges:
+        graph.add_edge(victim, evictor, weight)
+    return graph
+
+
+class TestGreedy:
+    def test_capacity_respected(self):
+        graph = make_graph([(f"n{i}", 100, 48) for i in range(5)])
+        allocation = GreedyCasaAllocator().allocate(graph, 100, MODEL)
+        assert allocation.used_bytes <= 100
+
+    def test_conflict_aware(self):
+        graph = make_graph(
+            [("A", 300, 64), ("B", 300, 64), ("D", 400, 64)],
+            [("A", "B", 500), ("B", "A", 500)],
+        )
+        allocation = GreedyCasaAllocator().allocate(graph, 64, MODEL)
+        assert allocation.spm_resident & {"A", "B"}
+
+    def test_never_worse_than_empty(self):
+        graph = make_graph(
+            [("A", 100, 32), ("B", 10, 32)], [("A", "B", 20)]
+        )
+        allocation = GreedyCasaAllocator().allocate(graph, 64, MODEL)
+        empty = graph.predicted_energy(set(), MODEL)
+        assert allocation.predicted_energy <= empty
+
+    def test_zero_size_objects_skipped(self):
+        graph = make_graph([("zero", 100, 0), ("a", 50, 32)])
+        allocation = GreedyCasaAllocator().allocate(graph, 64, MODEL)
+        assert "zero" not in allocation.spm_resident
+
+    def test_bounded_by_ilp_optimum(self):
+        """Greedy can at best match the exact ILP (model-predicted)."""
+        graph = make_graph(
+            [("A", 1000, 64), ("B", 800, 64), ("C", 900, 32),
+             ("D", 100, 32)],
+            [("A", "B", 100), ("B", "C", 150), ("C", "A", 120)],
+        )
+        for spm_size in (32, 64, 96, 128):
+            greedy = GreedyCasaAllocator().allocate(graph, spm_size,
+                                                    MODEL)
+            exact = CasaAllocator().allocate(graph, spm_size, MODEL)
+            assert greedy.predicted_energy >= \
+                exact.predicted_energy - 1e-6
+
+    def test_predicted_energy_consistent(self):
+        graph = make_graph(
+            [("A", 500, 32), ("B", 300, 32)], [("A", "B", 40)]
+        )
+        allocation = GreedyCasaAllocator().allocate(graph, 32, MODEL)
+        assert allocation.predicted_energy == pytest.approx(
+            graph.predicted_energy(set(allocation.spm_resident), MODEL)
+        )

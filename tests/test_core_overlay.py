@@ -1,0 +1,193 @@
+"""Tests for the overlay (dynamic copying) extension."""
+
+import pytest
+
+from repro import Workbench, WorkbenchConfig, get_workload
+from repro.core.overlay import (
+    OverlayAllocator,
+    OverlayConfig,
+    PhasedConflictData,
+)
+from repro.energy.model import EnergyModel
+from repro.errors import ConfigurationError
+from repro.traces.tracegen import TraceGenConfig
+
+MODEL = EnergyModel(cache_hit=1.0, cache_miss=21.0, spm_access=0.5,
+                    main_word=8.0)
+
+
+def two_phase_data():
+    """Two phases, two objects, disjoint hotness."""
+    data = PhasedConflictData(num_phases=2,
+                             sizes={"A": 64, "B": 64})
+    data.fetches[(0, "A")] = 10_000
+    data.fetches[(0, "B")] = 10
+    data.fetches[(1, "A")] = 10
+    data.fetches[(1, "B")] = 10_000
+    return data
+
+
+@pytest.fixture(scope="module")
+def jpeg_bench():
+    workload = get_workload("jpeg", scale=0.2)
+    return Workbench(workload.program, WorkbenchConfig(
+        cache=workload.cache,
+        tracegen=TraceGenConfig(line_size=16, max_trace_size=128),
+    ))
+
+
+class TestOverlayIlp:
+    def test_swaps_objects_between_phases(self):
+        allocation = OverlayAllocator().allocate(two_phase_data(), 64,
+                                                 MODEL)
+        assert allocation.residents[0] == {"A"}
+        assert allocation.residents[1] == {"B"}
+
+    def test_copy_words_predicted(self):
+        allocation = OverlayAllocator().allocate(two_phase_data(), 64,
+                                                 MODEL)
+        # B is copied in at phase 1 (phase-0 fill is free by default)
+        assert allocation.predicted_copy_words == 64 // 4
+
+    def test_charge_initial_copies(self):
+        allocator = OverlayAllocator(
+            OverlayConfig(charge_initial_copies=True))
+        allocation = allocator.allocate(two_phase_data(), 64, MODEL)
+        assert allocation.predicted_copy_words == 2 * (64 // 4)
+
+    def test_keeps_object_resident_when_copy_too_expensive(self):
+        data = PhasedConflictData(num_phases=2,
+                                  sizes={"A": 64, "B": 64})
+        # both phases want A; B is barely warm, not worth a copy
+        data.fetches[(0, "A")] = 10_000
+        data.fetches[(1, "A")] = 10_000
+        data.fetches[(1, "B")] = 3
+        allocation = OverlayAllocator().allocate(data, 64, MODEL)
+        assert allocation.residents[0] == {"A"}
+        assert allocation.residents[1] == {"A"}
+        assert allocation.predicted_copy_words == 0
+
+    def test_capacity_per_phase(self):
+        data = PhasedConflictData(
+            num_phases=2,
+            sizes={"A": 64, "B": 64, "C": 64},
+        )
+        for phase in (0, 1):
+            for name in ("A", "B", "C"):
+                data.fetches[(phase, name)] = 1000
+        allocation = OverlayAllocator().allocate(data, 128, MODEL)
+        for resident in allocation.residents:
+            assert sum(data.sizes[n] for n in resident) <= 128
+
+    def test_conflict_terms_respected(self):
+        data = PhasedConflictData(num_phases=1,
+                                  sizes={"A": 64, "B": 64, "D": 64})
+        data.fetches[(0, "A")] = 300
+        data.fetches[(0, "B")] = 300
+        data.fetches[(0, "D")] = 400
+        data.conflicts[(0, "A", "B")] = 500
+        data.conflicts[(0, "B", "A")] = 500
+        allocation = OverlayAllocator().allocate(data, 64, MODEL)
+        assert allocation.residents[0] & {"A", "B"}
+
+    def test_rejects_unphased_report(self, jpeg_bench):
+        with pytest.raises(ConfigurationError):
+            PhasedConflictData.from_simulation(
+                jpeg_bench.memory_objects,
+                jpeg_bench.baseline_report,  # not phase-tracked
+                3,
+            )
+
+
+class TestOverlayEndToEnd:
+    def test_overlay_beats_static_on_phased_workload(self, jpeg_bench):
+        static = jpeg_bench.run_casa(128)
+        overlay = jpeg_bench.run_overlay(128)
+        assert overlay.energy.total < static.energy.total
+
+    def test_copy_traffic_accounted(self, jpeg_bench):
+        overlay = jpeg_bench.run_overlay(128)
+        assert overlay.report.overlay_copy_words > 0
+        assert overlay.energy.overlay_copies > 0
+
+    def test_accounting_identity(self, jpeg_bench):
+        overlay = jpeg_bench.run_overlay(128)
+        assert overlay.report.check_identities()
+        assert overlay.report.total_fetches == \
+            jpeg_bench.baseline_report.total_fetches
+
+    def test_allocation_metadata(self, jpeg_bench):
+        overlay = jpeg_bench.run_overlay(128)
+        assert overlay.allocation.algorithm == "casa-overlay"
+        assert overlay.allocation.used_bytes <= 128
+
+    def test_overlay_with_huge_spm_converges_to_static(self, jpeg_bench):
+        """When everything fits, swapping is pointless: same energy as
+        the static optimum (no copies)."""
+        total = sum(
+            mo.unpadded_size for mo in jpeg_bench.memory_objects
+        )
+        static = jpeg_bench.run_casa(total + 64)
+        overlay = jpeg_bench.run_overlay(total + 64)
+        assert overlay.report.overlay_copy_words == 0
+        assert overlay.energy.total == pytest.approx(
+            static.energy.total, rel=0.01
+        )
+
+
+class TestOverlayOptimality:
+    """Brute-force verification of the overlay ILP on tiny instances."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @staticmethod
+    def brute_force(data, spm_size, model):
+        import itertools
+        from repro.core.overlay import overlay_predicted_energy
+        names = data.object_names
+        per_phase_options = []
+        for phase in range(data.num_phases):
+            options = []
+            for mask in itertools.product((0, 1), repeat=len(names)):
+                resident = frozenset(
+                    n for n, take in zip(names, mask) if take
+                )
+                if sum(data.sizes[n] for n in resident) <= spm_size:
+                    options.append(resident)
+            per_phase_options.append(options)
+        best = None
+        for combo in itertools.product(*per_phase_options):
+            value = overlay_predicted_energy(data, list(combo), model)
+            if best is None or value < best:
+                best = value
+        return best
+
+    @given(
+        st.lists(st.integers(0, 500), min_size=2, max_size=3),
+        st.lists(st.integers(0, 500), min_size=2, max_size=3),
+        st.integers(0, 2),
+        st.integers(0, 200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, phase0, phase1, capacity_words,
+                                 conflict_weight):
+        from repro.core.overlay import (
+            OverlayAllocator, PhasedConflictData,
+        )
+        num = min(len(phase0), len(phase1))
+        names = [f"O{i}" for i in range(num)]
+        data = PhasedConflictData(
+            num_phases=2,
+            sizes={name: 4 for name in names},
+        )
+        for i, name in enumerate(names):
+            data.fetches[(0, name)] = phase0[i]
+            data.fetches[(1, name)] = phase1[i]
+        if num >= 2 and conflict_weight:
+            data.conflicts[(0, names[0], names[1])] = conflict_weight
+        allocation = OverlayAllocator().allocate(
+            data, capacity_words * 4, MODEL
+        )
+        expected = self.brute_force(data, capacity_words * 4, MODEL)
+        assert allocation.predicted_energy == pytest.approx(expected)

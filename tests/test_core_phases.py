@@ -1,0 +1,110 @@
+"""Tests for repro.core.phases."""
+
+import pytest
+
+from repro.core.phases import detect_phases
+from repro.program.executor import execute_program
+from repro.workloads import get_workload
+from repro.workloads.builder import (
+    Call,
+    Loop,
+    ProgramBuilder,
+    Seq,
+    Straight,
+)
+
+from tests.conftest import make_loop_program
+
+
+def three_pass_program():
+    builder = ProgramBuilder("p")
+    builder.add_function("main", Seq([
+        Straight(4),
+        Loop(trip=3, body=Call("a")),
+        Straight(2),
+        Loop(trip=3, body=Call("b")),
+        Straight(2),
+    ]))
+    builder.add_function("a", Straight(5))
+    builder.add_function("b", Straight(5))
+    return builder.build()
+
+
+class TestDetectPhases:
+    def test_single_loop_program(self):
+        partition = detect_phases(make_loop_program())
+        names = [p.name for p in partition.phases]
+        # entry straight, the loop, exit straight
+        assert len(partition.phases) == 3
+        assert any(name.startswith("loop:") for name in names)
+
+    def test_three_pass_program(self):
+        partition = detect_phases(three_pass_program())
+        kinds = [p.name.split(":")[0] for p in partition.phases]
+        assert kinds == ["straight", "loop", "straight", "loop",
+                         "straight"]
+
+    def test_every_entry_block_mapped(self):
+        program = three_pass_program()
+        partition = detect_phases(program)
+        entry_blocks = {
+            b.name for b in program.function(program.entry).blocks
+        }
+        assert set(partition.block_phase) == entry_blocks
+
+    def test_phases_cover_disjoint_blocks(self):
+        partition = detect_phases(three_pass_program())
+        seen = set()
+        for phase in partition.phases:
+            assert not (phase.blocks & seen)
+            seen |= phase.blocks
+
+    def test_block_phase_consistent_with_phases(self):
+        partition = detect_phases(three_pass_program())
+        for phase in partition.phases:
+            for block in phase.blocks:
+                assert partition.block_phase[block] == phase.index
+
+    def test_jpeg_has_multiple_loop_phases(self):
+        program = get_workload("jpeg", scale=0.02).program
+        partition = detect_phases(program)
+        loops = [p for p in partition.phases
+                 if p.name.startswith("loop:")]
+        assert len(loops) == 3
+
+    def test_phase_indices_sequential(self):
+        partition = detect_phases(three_pass_program())
+        assert [p.index for p in partition.phases] == \
+            list(range(partition.num_phases))
+
+
+class TestPhaseTracking:
+    def test_simulator_bins_by_phase(self):
+        from repro.memory.cache import CacheConfig
+        from repro.memory.hierarchy import HierarchyConfig, simulate
+        from repro.traces.layout import LinkedImage
+        from repro.traces.tracegen import TraceGenConfig, generate_traces
+
+        program = three_pass_program()
+        partition = detect_phases(program)
+        execution = execute_program(program)
+        mos = generate_traces(
+            program, execution.profile,
+            TraceGenConfig(line_size=16, max_trace_size=64),
+        )
+        image = LinkedImage(program, mos)
+        report = simulate(
+            image,
+            HierarchyConfig(cache=CacheConfig(size=64, line_size=16,
+                                              associativity=1)),
+            execution.block_sequence,
+            block_phases=partition.block_phase,
+        )
+        assert report.phase_mo_stats
+        # phase totals must sum to the global totals
+        assert sum(
+            s.fetches for s in report.phase_mo_stats.values()
+        ) == report.total_fetches
+        assert sum(
+            s.cache_misses for s in report.phase_mo_stats.values()
+        ) == report.cache_misses

@@ -1,0 +1,93 @@
+"""Tests for repro.core.pipeline (the end-to-end workbench)."""
+
+import pytest
+
+from repro.core.casa import CasaAllocator, CasaConfig
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheConfig
+from repro.core.pipeline import Workbench, WorkbenchConfig
+from repro.traces.tracegen import TraceGenConfig
+
+from tests.conftest import make_loop_program
+
+
+class TestWorkbenchConfig:
+    def test_line_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkbenchConfig(
+                cache=CacheConfig(size=128, line_size=16),
+                tracegen=TraceGenConfig(line_size=32),
+            )
+
+
+class TestWorkbench:
+    def make(self, trip=200):
+        program = make_loop_program(trip=trip, body_instructions=20)
+        return Workbench(program, WorkbenchConfig(
+            cache=CacheConfig(size=64, line_size=16, associativity=1),
+            tracegen=TraceGenConfig(line_size=16, max_trace_size=64),
+        ))
+
+    def test_baseline_identities(self):
+        bench = self.make()
+        assert bench.baseline_report.check_identities()
+        assert bench.baseline_report.spm_accesses == 0
+
+    def test_conflict_graph_f_equals_fetches(self):
+        bench = self.make()
+        for node in bench.conflict_graph.nodes():
+            stats = bench.baseline_report.mo_stats.get(node.name)
+            if stats is not None:
+                assert node.fetches == stats.fetches
+
+    def test_baseline_result_energy_positive(self):
+        result = self.make().baseline_result()
+        assert result.total_energy > 0
+        assert result.allocation.algorithm == "cache-only"
+
+    def test_run_casa_improves_or_matches_baseline(self):
+        bench = self.make()
+        base = bench.baseline_result().total_energy
+        result = bench.run_casa(64)
+        assert result.total_energy <= base * 1.001
+
+    def test_fetch_counts_invariant_across_allocations(self):
+        """f_i does not depend on the hierarchy (paper, eq. 4)."""
+        bench = self.make()
+        casa = bench.run_casa(64)
+        steinke = bench.run_steinke(64)
+        assert casa.report.total_fetches == \
+            bench.baseline_report.total_fetches
+        assert steinke.report.total_fetches == \
+            bench.baseline_report.total_fetches
+
+    def test_spm_energy_model_depends_on_size(self):
+        bench = self.make()
+        small = bench.spm_energy_model(64)
+        large = bench.spm_energy_model(4096)
+        assert small.spm_access < large.spm_access
+        assert small.cache_hit == large.cache_hit
+
+    def test_run_greedy(self):
+        bench = self.make()
+        result = bench.run_greedy(64)
+        assert result.allocation.algorithm == "greedy-casa"
+        assert result.report.check_identities()
+
+    def test_run_ross(self):
+        bench = self.make()
+        result = bench.run_ross(128)
+        assert result.allocation.algorithm == "ross"
+        assert result.report.lc_controller_checks > 0
+
+    def test_custom_casa_allocator(self):
+        bench = self.make()
+        allocator = CasaAllocator(CasaConfig(conflict_term=False))
+        result = bench.run_casa(64, allocator=allocator)
+        assert result.report.check_identities()
+
+    def test_memory_objects_property_copies(self):
+        bench = self.make()
+        mos = bench.memory_objects
+        mos.clear()
+        assert bench.memory_objects

@@ -1,0 +1,71 @@
+"""Tests for the Steinke baseline allocator."""
+
+import pytest
+
+from repro.core.conflict_graph import ConflictGraph, ConflictNode
+from repro.core.steinke import SteinkeAllocator
+from repro.energy.model import EnergyModel
+from repro.traces.layout import Placement
+
+MODEL = EnergyModel(cache_hit=1.0, cache_miss=21.0, spm_access=0.5)
+
+
+def make_graph(nodes, edges=()):
+    graph = ConflictGraph()
+    for name, fetches, size in nodes:
+        graph.add_node(ConflictNode(name, fetches=fetches, size=size))
+    for victim, evictor, weight in edges:
+        graph.add_edge(victim, evictor, weight)
+    return graph
+
+
+class TestSelection:
+    def test_picks_by_fetch_count_not_conflicts(self):
+        """The defining blindness: conflicts do not matter to Steinke."""
+        graph = make_graph(
+            [("hot", 1000, 64), ("thrasher", 500, 64)],
+            [("thrasher", "hot", 10_000)],
+        )
+        allocation = SteinkeAllocator().allocate(graph, 64, MODEL)
+        assert allocation.spm_resident == {"hot"}
+
+    def test_knapsack_combination(self):
+        graph = make_graph(
+            [("a", 600, 64), ("b", 500, 32), ("c", 450, 32)],
+        )
+        allocation = SteinkeAllocator().allocate(graph, 64, MODEL)
+        # two small objects beat the single big one (950 > 600 fetches)
+        assert allocation.spm_resident == {"b", "c"}
+
+    def test_zero_capacity(self):
+        graph = make_graph([("a", 100, 32)])
+        allocation = SteinkeAllocator().allocate(graph, 0, MODEL)
+        assert allocation.spm_resident == frozenset()
+
+    def test_never_fetched_object_not_selected(self):
+        graph = make_graph([("cold", 0, 16), ("warm", 10, 16)])
+        allocation = SteinkeAllocator().allocate(graph, 64, MODEL)
+        assert allocation.spm_resident == {"warm"}
+
+
+class TestSemantics:
+    def test_move_placement(self):
+        graph = make_graph([("a", 100, 32)])
+        allocation = SteinkeAllocator().allocate(graph, 64, MODEL)
+        assert allocation.placement is Placement.COMPACT
+
+    def test_predicted_energy_is_cache_blind(self):
+        graph = make_graph(
+            [("a", 100, 32), ("b", 50, 32)],
+            [("a", "b", 1000)],  # ignored by the predictor
+        )
+        allocation = SteinkeAllocator().allocate(graph, 32, MODEL)
+        # baseline: all fetches at hit cost; saving: f_a * (hit - spm)
+        expected = (100 + 50) * 1.0 - 100 * (1.0 - 0.5)
+        assert allocation.predicted_energy == pytest.approx(expected)
+
+    def test_metadata(self):
+        graph = make_graph([("a", 100, 32)])
+        allocation = SteinkeAllocator().allocate(graph, 64, MODEL)
+        assert allocation.algorithm == "steinke"
+        assert allocation.used_bytes == 32

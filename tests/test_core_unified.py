@@ -1,0 +1,127 @@
+"""Tests for unified code + data scratchpad allocation."""
+
+import pytest
+
+from repro.core.casa import CasaAllocator
+from repro.core.conflict_graph import ConflictGraph, ConflictNode
+from repro.core.unified import (
+    UnifiedCasaAllocator,
+    unified_steinke,
+)
+from repro.energy.model import EnergyModel
+from repro.errors import SolverError
+
+CODE_MODEL = EnergyModel(cache_hit=1.0, cache_miss=21.0, spm_access=0.5)
+DATA_MODEL = EnergyModel(cache_hit=1.2, cache_miss=25.0, spm_access=0.5)
+
+
+def make_graph(nodes, edges=()):
+    graph = ConflictGraph()
+    for name, fetches, size in nodes:
+        graph.add_node(ConflictNode(name, fetches=fetches, size=size))
+    for victim, evictor, weight in edges:
+        graph.add_edge(victim, evictor, weight)
+    return graph
+
+
+def standard_graphs():
+    code = make_graph(
+        [("T0", 1000, 64), ("T1", 600, 64)],
+        [("T0", "T1", 100), ("T1", "T0", 80)],
+    )
+    data = make_graph(
+        [("table", 900, 64), ("buffer", 2000, 256)],
+        [("table", "buffer", 50)],
+    )
+    return code, data
+
+
+class TestUnifiedCasa:
+    def test_name_collision_rejected(self):
+        same = make_graph([("X", 10, 16)])
+        other = make_graph([("X", 10, 16)])
+        with pytest.raises(SolverError):
+            UnifiedCasaAllocator().allocate(
+                same, CODE_MODEL, other, DATA_MODEL, 64
+            )
+
+    def test_capacity_shared(self):
+        code, data = standard_graphs()
+        allocation = UnifiedCasaAllocator().allocate(
+            code, CODE_MODEL, data, DATA_MODEL, 128
+        )
+        assert allocation.used_bytes <= 128
+        total_selected = (len(allocation.code_resident)
+                          + len(allocation.data_resident))
+        assert total_selected >= 1
+
+    def test_everything_fits(self):
+        code, data = standard_graphs()
+        allocation = UnifiedCasaAllocator().allocate(
+            code, CODE_MODEL, data, DATA_MODEL, 4096
+        )
+        assert allocation.code_resident == {"T0", "T1"}
+        assert allocation.data_resident == {"table", "buffer"}
+
+    def test_zero_capacity(self):
+        code, data = standard_graphs()
+        allocation = UnifiedCasaAllocator().allocate(
+            code, CODE_MODEL, data, DATA_MODEL, 0
+        )
+        assert not allocation.code_resident
+        assert not allocation.data_resident
+
+    def test_matches_separate_casa_when_capacity_split_optimal(self):
+        """With disjoint energy structure, the unified optimum is at
+        least as good as any fixed split of the capacity."""
+        code, data = standard_graphs()
+        unified = UnifiedCasaAllocator().allocate(
+            code, CODE_MODEL, data, DATA_MODEL, 128
+        )
+        best_split = float("inf")
+        for code_share in (0, 64, 128):
+            code_alloc = CasaAllocator().allocate(
+                code, code_share, CODE_MODEL
+            )
+            data_alloc = CasaAllocator().allocate(
+                data, 128 - code_share, DATA_MODEL
+            )
+            assert code_alloc.predicted_energy is not None
+            assert data_alloc.predicted_energy is not None
+            best_split = min(
+                best_split,
+                code_alloc.predicted_energy
+                + data_alloc.predicted_energy,
+            )
+        assert unified.predicted_energy <= best_split + 1e-6
+
+    def test_empty_graphs(self):
+        empty = ConflictGraph()
+        allocation = UnifiedCasaAllocator().allocate(
+            empty, CODE_MODEL, empty, DATA_MODEL, 128
+        )
+        assert allocation.used_bytes == 0
+
+
+class TestUnifiedSteinke:
+    def test_knapsack_over_both_kinds(self):
+        code, data = standard_graphs()
+        allocation = unified_steinke(
+            code, CODE_MODEL, data, DATA_MODEL, 128
+        )
+        assert allocation.used_bytes <= 128
+        chosen = allocation.code_resident | allocation.data_resident
+        assert chosen  # something profitable fits
+
+    def test_conflict_blindness(self):
+        """Steinke picks by access count: the hot streaming buffer wins
+        over the conflict-heavy table when both fit."""
+        code = make_graph([("T0", 10, 64)])
+        data = make_graph(
+            [("hot", 5000, 64), ("thrasher", 100, 64)],
+            [("thrasher", "hot", 10_000)],
+        )
+        allocation = unified_steinke(
+            code, CODE_MODEL, data, DATA_MODEL, 64
+        )
+        assert allocation.data_resident == {"hot"}

@@ -1,0 +1,118 @@
+"""Tests for repro.data.objects and stream generation."""
+
+import pytest
+
+from repro.data.objects import (
+    DataAccessPattern,
+    DataObject,
+    DataSpec,
+    DataUse,
+)
+from repro.data.stream import generate_access_stream
+from repro.errors import ConfigurationError
+from repro.program.executor import execute_program
+from repro.workloads import get_workload
+from repro.workloads.dataspecs import get_data_spec
+
+from tests.conftest import make_loop_program
+
+
+class TestDataObject:
+    def test_positive_size(self):
+        with pytest.raises(ConfigurationError):
+            DataObject("x", size=0)
+
+    def test_element_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            DataObject("x", size=10, element_size=4)
+
+    def test_num_elements(self):
+        assert DataObject("x", size=64, element_size=4).num_elements \
+            == 16
+
+
+class TestDataUse:
+    def test_needs_accesses(self):
+        with pytest.raises(ConfigurationError):
+            DataUse("x")
+
+    def test_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            DataUse("x", reads=-1)
+
+    def test_stride_validated(self):
+        with pytest.raises(ConfigurationError):
+            DataUse("x", reads=1, stride_elements=0)
+
+
+class TestDataSpec:
+    def test_duplicate_objects(self):
+        with pytest.raises(ConfigurationError):
+            DataSpec(objects=[DataObject("x", 16), DataObject("x", 16)])
+
+    def test_unknown_object_in_use(self):
+        with pytest.raises(ConfigurationError):
+            DataSpec(objects=[DataObject("x", 16)],
+                     uses={"f": [DataUse("ghost", reads=1)]})
+
+    def test_validate_against_program(self):
+        program = make_loop_program()
+        spec = DataSpec(objects=[DataObject("x", 16)],
+                        uses={"ghost_fn": [DataUse("x", reads=1)]})
+        with pytest.raises(ConfigurationError):
+            spec.validate_against(program)
+
+    def test_total_size(self):
+        spec = get_data_spec("adpcm")
+        assert spec.total_size == sum(o.size for o in spec.objects)
+
+    def test_unknown_workload_spec(self):
+        from repro.errors import WorkloadError
+        with pytest.raises(WorkloadError):
+            get_data_spec("mpeg")
+
+
+class TestStreamGeneration:
+    def make_stream(self, scale=0.1):
+        workload = get_workload("adpcm", scale=scale)
+        spec = get_data_spec("adpcm")
+        execution = execute_program(workload.program)
+        return workload, spec, generate_access_stream(
+            workload.program, spec, execution.block_sequence
+        )
+
+    def test_counts_match_annotations(self):
+        workload, spec, stream = self.make_stream()
+        execution = execute_program(workload.program)
+        coder_runs = execution.profile.block_count(
+            workload.program.function("adpcm_coder").entry.name
+        )
+        coder_reads = [
+            a for a in stream
+            if a.object_name == "pcm_in" and not a.is_write
+        ]
+        assert len(coder_reads) == coder_runs
+
+    def test_offsets_within_objects(self):
+        _, spec, stream = self.make_stream()
+        for access in stream:
+            obj = spec.object(access.object_name)
+            assert 0 <= access.offset < obj.size
+
+    def test_sequential_pattern_advances(self):
+        _, _, stream = self.make_stream()
+        offsets = [a.offset for a in stream
+                   if a.object_name == "pcm_in"][:5]
+        assert offsets == [0, 2, 4, 6, 8]
+
+    def test_hot_fields_stay_small(self):
+        _, spec, stream = self.make_stream()
+        state = [a.offset for a in stream
+                 if a.object_name == "coder_state"]
+        assert state
+        assert max(state) <= 3 * 4
+
+    def test_deterministic(self):
+        _, _, first = self.make_stream()
+        _, _, second = self.make_stream()
+        assert first == second

@@ -1,0 +1,134 @@
+"""Tests for the data-side hierarchy simulation and allocation."""
+
+import pytest
+
+from repro.data import DataHierarchyConfig, DataWorkbench, simulate_data
+from repro.data.objects import DataObject, DataSpec, DataUse
+from repro.data.stream import DataAccess
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheConfig
+from repro.workloads import get_workload
+from repro.workloads.dataspecs import get_data_spec
+
+
+def tiny_spec():
+    return DataSpec(
+        objects=[DataObject("a", 64), DataObject("b", 64)],
+        uses={},
+    )
+
+
+def make_stream(pattern):
+    return [DataAccess(name, offset, False)
+            for name, offset in pattern]
+
+
+class TestSimulateData:
+    def test_identity(self):
+        spec = tiny_spec()
+        stream = make_stream([("a", 0), ("a", 4), ("b", 0), ("a", 0)])
+        result = simulate_data(
+            spec, stream,
+            DataHierarchyConfig(cache=CacheConfig(size=64,
+                                                  line_size=16)),
+        )
+        assert result.report.check_identities()
+        assert result.report.total_fetches == 4
+
+    def test_spm_resident_objects_bypass_cache(self):
+        spec = tiny_spec()
+        stream = make_stream([("a", 0), ("a", 4)])
+        result = simulate_data(
+            spec, stream,
+            DataHierarchyConfig(cache=CacheConfig(size=64,
+                                                  line_size=16),
+                                spm_size=64),
+            spm_resident={"a"},
+        )
+        assert result.report.spm_accesses == 2
+        assert result.report.cache_accesses == 0
+
+    def test_capacity_enforced(self):
+        spec = tiny_spec()
+        with pytest.raises(ConfigurationError):
+            simulate_data(
+                spec, [],
+                DataHierarchyConfig(spm_size=32),
+                spm_resident={"a"},
+            )
+
+    def test_unknown_resident(self):
+        with pytest.raises(ConfigurationError):
+            simulate_data(tiny_spec(), [],
+                          DataHierarchyConfig(spm_size=1024),
+                          spm_resident={"zz"})
+
+    def test_conflict_attribution(self):
+        # objects laid out 64B apart in a 64B cache: same sets
+        spec = tiny_spec()
+        stream = make_stream([("a", 0), ("b", 0), ("a", 0)])
+        result = simulate_data(
+            spec, stream,
+            DataHierarchyConfig(cache=CacheConfig(size=64,
+                                                  line_size=16)),
+        )
+        assert result.report.conflict_misses[("a", "b")] == 1
+
+    def test_uncached_hierarchy(self):
+        spec = tiny_spec()
+        stream = make_stream([("a", 0), ("b", 0)])
+        result = simulate_data(spec, stream,
+                               DataHierarchyConfig(cache=None))
+        assert result.report.cache_misses == 2
+        assert result.report.main_memory_words == 2
+
+
+class TestDataWorkbench:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        workload = get_workload("adpcm", scale=0.2)
+        return DataWorkbench(
+            workload.program,
+            get_data_spec("adpcm"),
+            DataHierarchyConfig(
+                cache=CacheConfig(size=256, line_size=16,
+                                  associativity=1),
+                spm_size=128,
+            ),
+        )
+
+    def test_graph_over_data_objects(self, bench):
+        names = {node.name for node in bench.conflict_graph.nodes()}
+        assert "step_table" in names
+        assert "coder_state" in names
+
+    def test_casa_allocates_hot_state(self, bench):
+        result = bench.run_casa()
+        assert "coder_state" in result.allocation.spm_resident
+        assert result.report.check_identities()
+
+    def test_casa_beats_or_matches_baseline(self, bench):
+        from repro.energy.model import compute_energy
+        baseline_energy = compute_energy(
+            bench.baseline.report, bench.energy_model()
+        ).total
+        assert bench.run_casa().energy_nj <= baseline_energy
+
+    def test_casa_no_worse_than_steinke_predicted(self, bench):
+        graph = bench.conflict_graph
+        model = bench.energy_model()
+        from repro.core.casa import CasaAllocator
+        from repro.core.steinke import SteinkeAllocator
+        casa = CasaAllocator().allocate(graph, 128, model)
+        steinke = SteinkeAllocator().allocate(graph, 128, model)
+        assert casa.predicted_energy <= graph.predicted_energy(
+            set(steinke.spm_resident), model
+        ) + 1e-6
+
+    def test_capacity_respected(self, bench):
+        result = bench.run_casa()
+        used = sum(
+            bench.conflict_graph.node(n).size
+            for n in result.allocation.spm_resident
+        )
+        assert used <= 128

@@ -1,0 +1,169 @@
+"""Edge-case and error-path tests across subsystems."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    LayoutError,
+    SimulationError,
+    TraceError,
+)
+from repro.isa import make_alu, make_branch, make_jump, make_return
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import (
+    HierarchyConfig,
+    InstructionMemorySimulator,
+)
+from repro.program.basicblock import BasicBlock
+from repro.program.behavior import FixedTrip
+from repro.program.executor import execute_program
+from repro.program.function import Function
+from repro.program.program import Program
+from repro.traces.layout import LinkedImage, Placement
+from repro.traces.tracegen import (
+    TraceGenConfig,
+    fallthrough_chains,
+    generate_traces,
+)
+
+from tests.conftest import make_loop_program
+
+
+class TestTracegenEdges:
+    def test_fallthrough_cycle_detected(self):
+        # a -> b -> a via fallthrough is physically impossible
+        blocks = [
+            BasicBlock("f.a", [make_alu()], fallthrough="f.b"),
+            BasicBlock("f.b", [make_alu()], fallthrough="f.a"),
+            BasicBlock("f.c", [make_return()]),
+        ]
+        # Program-level validation allows it (it is a graph property);
+        # trace generation must reject it.
+        program = Program([Function("f", blocks)], entry="f")
+        with pytest.raises(TraceError):
+            fallthrough_chains(program)
+
+    def test_every_block_covered_even_if_never_executed(self):
+        program = make_loop_program(trip=2)
+        execution = execute_program(program)
+        mos = generate_traces(
+            program, execution.profile,
+            TraceGenConfig(line_size=16, max_trace_size=64),
+        )
+        covered = {
+            fragment.block for mo in mos for fragment in mo.fragments
+        }
+        assert covered == {b.name for b in program.all_blocks()}
+
+
+class TestLayoutEdges:
+    def make_mos(self, program):
+        execution = execute_program(program)
+        return generate_traces(
+            program, execution.profile,
+            TraceGenConfig(line_size=16, max_trace_size=64),
+        )
+
+    def test_overlapping_regions_rejected(self):
+        program = make_loop_program(trip=2)
+        mos = self.make_mos(program)
+        with pytest.raises(LayoutError):
+            LinkedImage(
+                program, mos,
+                spm_resident={"T0"}, spm_size=1024,
+                main_base=0, spm_base=16,  # inside the main image
+            )
+
+    def test_duplicate_mo_names_rejected(self):
+        program = make_loop_program(trip=2)
+        mos = self.make_mos(program)
+        with pytest.raises(LayoutError):
+            LinkedImage(program, mos + [mos[0]])
+
+    def test_zero_spm_with_empty_resident_ok(self):
+        program = make_loop_program(trip=2)
+        mos = self.make_mos(program)
+        image = LinkedImage(program, mos)
+        assert image.spm_used == 0
+        assert image.placement is Placement.COPY
+
+
+class TestSimulatorEdges:
+    def test_spm_segment_without_scratchpad(self):
+        program = make_loop_program(trip=2)
+        execution = execute_program(program)
+        mos = generate_traces(
+            program, execution.profile,
+            TraceGenConfig(line_size=16, max_trace_size=64),
+        )
+        image = LinkedImage(program, mos, spm_resident={"T0"},
+                            spm_size=1024)
+        simulator = InstructionMemorySimulator(
+            image,
+            HierarchyConfig(cache=CacheConfig(size=64, line_size=16,
+                                              associativity=1)),
+        )
+        with pytest.raises(SimulationError):
+            simulator.run(execution.block_sequence)
+
+    def test_empty_sequence(self):
+        program = make_loop_program(trip=2)
+        execution = execute_program(program)
+        mos = generate_traces(
+            program, execution.profile,
+            TraceGenConfig(line_size=16, max_trace_size=64),
+        )
+        image = LinkedImage(program, mos)
+        simulator = InstructionMemorySimulator(
+            image, HierarchyConfig(cache=CacheConfig(
+                size=64, line_size=16, associativity=1)),
+        )
+        report = simulator.run([])
+        assert report.total_fetches == 0
+
+    def test_loop_regions_without_loop_cache_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.memory.loopcache import LoopRegion
+        program = make_loop_program(trip=2)
+        execution = execute_program(program)
+        mos = generate_traces(
+            program, execution.profile,
+            TraceGenConfig(line_size=16, max_trace_size=64),
+        )
+        image = LinkedImage(program, mos)
+        with pytest.raises(ConfigurationError):
+            InstructionMemorySimulator(
+                image,
+                HierarchyConfig(cache=CacheConfig(
+                    size=64, line_size=16, associativity=1)),
+                loop_regions=[LoopRegion("r", 0, 16)],
+            )
+
+
+class TestSweepEdges:
+    def test_improvement_with_zero_baseline_rejected(self):
+        from repro.core.pipeline import ExperimentResult
+        from repro.evaluation.sweep import SweepPoint
+        from repro.errors import ConfigurationError
+
+        class FakeEnergy:
+            total = 0.0
+
+        class FakeResult:
+            energy = FakeEnergy()
+
+        point = SweepPoint("w", 64, {"a": FakeResult(),
+                                     "b": FakeResult()})
+        with pytest.raises(ConfigurationError):
+            point.improvement("a", "b")
+
+
+class TestBranchTargetOutsideFunction:
+    def test_cross_function_jump_rejected(self):
+        from repro.errors import ConfigurationError
+        f = Function("f", [
+            BasicBlock("f.b0", [make_jump("g.b0")]),
+        ])
+        g = Function("g", [BasicBlock("g.b0", [make_return()])])
+        with pytest.raises(ConfigurationError):
+            Program([f, g], entry="f")

@@ -1,0 +1,67 @@
+"""Tests for technology scaling of the energy models."""
+
+import pytest
+
+from repro.energy.model import build_energy_model
+from repro.energy.technology import (
+    TechnologyNode,
+    offchip_scale,
+    onchip_scale,
+)
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig
+
+
+def hierarchy():
+    return HierarchyConfig(
+        cache=CacheConfig(size=2048, line_size=16, associativity=1),
+        spm_size=256,
+    )
+
+
+class TestScaleFactors:
+    def test_baseline_is_identity(self):
+        assert onchip_scale(TechnologyNode.UM_050) == 1.0
+        assert offchip_scale(TechnologyNode.UM_050) == 1.0
+
+    def test_onchip_monotonically_decreasing(self):
+        nodes = [TechnologyNode.UM_050, TechnologyNode.UM_035,
+                 TechnologyNode.UM_025, TechnologyNode.UM_018,
+                 TechnologyNode.UM_013]
+        factors = [onchip_scale(node) for node in nodes]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_offchip_scales_slower(self):
+        for node in TechnologyNode:
+            assert offchip_scale(node) >= onchip_scale(node)
+
+
+class TestScaledModels:
+    def test_default_is_unscaled(self):
+        base = build_energy_model(hierarchy())
+        explicit = build_energy_model(hierarchy(),
+                                      TechnologyNode.UM_050)
+        assert base.cache_hit == explicit.cache_hit
+        assert base.main_word == explicit.main_word
+
+    def test_newer_node_cheaper(self):
+        old = build_energy_model(hierarchy(), TechnologyNode.UM_050)
+        new = build_energy_model(hierarchy(), TechnologyNode.UM_018)
+        assert new.cache_hit < old.cache_hit
+        assert new.spm_access < old.spm_access
+        assert new.main_word < old.main_word
+
+    def test_miss_to_hit_ratio_grows_at_newer_nodes(self):
+        """Off-chip shrinks slower than on-chip, so misses become
+        relatively *more* expensive — CASA's target grows with
+        technology scaling."""
+        old = build_energy_model(hierarchy(), TechnologyNode.UM_050)
+        new = build_energy_model(hierarchy(), TechnologyNode.UM_013)
+        assert (new.cache_miss / new.cache_hit) > \
+            (old.cache_miss / old.cache_hit)
+
+    def test_orderings_preserved(self):
+        for node in TechnologyNode:
+            model = build_energy_model(hierarchy(), node)
+            assert model.spm_access < model.cache_hit \
+                < model.cache_miss

@@ -1,0 +1,30 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or \
+                    obj is errors.ReproError
+
+    def test_infeasible_is_solver_error(self):
+        assert issubclass(errors.InfeasibleError, errors.SolverError)
+        assert issubclass(errors.UnboundedError, errors.SolverError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TraceError("boom")
+
+    def test_library_raises_only_repro_errors_for_bad_config(self):
+        from repro.memory.cache import CacheConfig
+        with pytest.raises(errors.ReproError):
+            CacheConfig(size=100)
+        from repro.traces.tracegen import TraceGenConfig
+        with pytest.raises(errors.ReproError):
+            TraceGenConfig(line_size=3)

@@ -1,0 +1,135 @@
+"""Tests for the evaluation harness (sweep, fig4, fig5, table1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.fig4 import run_fig4
+from repro.evaluation.fig5 import run_fig5
+from repro.evaluation.reporting import microjoules, percent, series_table
+from repro.evaluation.sweep import make_workbench, run_sweep
+from repro.evaluation.table1 import run_table1
+
+SCALE = 0.05  # keep harness tests fast
+
+
+class TestReporting:
+    def test_percent(self):
+        assert percent(12.345) == "12.3"
+
+    def test_microjoules(self):
+        assert microjoules(1234.5) == "1.23"
+
+    def test_series_table_validates_lengths(self):
+        with pytest.raises(ValueError):
+            series_table("t", "m", [1, 2], {"x": [1.0]})
+
+    def test_series_table_renders(self):
+        text = series_table("caption", "metric", [64, 128],
+                            {"Energy": [99.0, 88.5]})
+        assert "caption" in text
+        assert "64B" in text and "128B" in text
+        assert "88.5" in text
+
+
+class TestSweep:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep("tiny", algorithms=("casa", "zzz"), scale=SCALE)
+
+    def test_points_sorted_by_size(self):
+        points = run_sweep("adpcm", sizes=(128, 64),
+                           algorithms=("steinke",), scale=SCALE)
+        assert [p.spm_size for p in points] == [64, 128]
+
+    def test_improvement_helper(self):
+        points = run_sweep("adpcm", sizes=(64,),
+                           algorithms=("casa", "steinke"), scale=SCALE)
+        point = points[0]
+        improvement = point.improvement("casa", "steinke")
+        assert improvement == pytest.approx(
+            (1 - point.energy("casa") / point.energy("steinke")) * 100
+        )
+
+    def test_workbench_cached(self):
+        a = make_workbench("tiny", 1.0, 0)
+        b = make_workbench("tiny", 1.0, 0)
+        assert a[1] is b[1]
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return run_fig4("adpcm", sizes=(64, 128), scale=SCALE)
+
+    def test_row_metrics_positive(self, fig4):
+        for row in fig4.rows:
+            assert row.energy_pct > 0
+            assert row.icache_access_pct > 0
+
+    def test_casa_uses_spm_less_and_cache_more(self, fig4):
+        """Figure 4's headline observation."""
+        for row in fig4.rows:
+            assert row.spm_access_pct <= 100.0 + 1e-9
+            assert row.icache_access_pct >= 100.0 - 1e-9
+
+    def test_render(self, fig4):
+        text = fig4.render()
+        assert "Figure 4" in text
+        assert "I-cache misses" in text
+
+    def test_sizes(self, fig4):
+        assert fig4.sizes == (64, 128)
+
+    def test_average(self, fig4):
+        avg = fig4.average_energy_improvement
+        per_row = [100 - row.energy_pct for row in fig4.rows]
+        assert avg == pytest.approx(sum(per_row) / len(per_row))
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return run_fig5("adpcm", sizes=(64, 128), scale=SCALE)
+
+    def test_rows_complete(self, fig5):
+        assert len(fig5.rows) == 2
+        for row in fig5.rows:
+            assert row.casa.report.spm_accesses >= 0
+            assert row.ross.report.lc_controller_checks > 0
+
+    def test_render(self, fig5):
+        assert "loop cache" in fig5.render()
+
+    def test_scratchpad_beats_loop_cache_on_energy(self, fig5):
+        # the paper's overall claim; holds for adpcm at these sizes
+        assert fig5.average_energy_improvement > 0
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1(benchmarks=("adpcm",), scale=SCALE)
+
+    def test_structure(self, table1):
+        block = table1.benchmark("adpcm")
+        assert [row.size for row in block.rows] == [64, 128, 256]
+        assert block.code_size > 0
+
+    def test_improvements_consistent(self, table1):
+        for row in table1.benchmark("adpcm").rows:
+            expected = (1 - row.casa_energy / row.steinke_energy) * 100
+            assert row.casa_vs_steinke == pytest.approx(expected)
+
+    def test_render_contains_columns(self, table1):
+        text = table1.render()
+        assert "SP (CASA) uJ" in text
+        assert "overall" in text
+
+    def test_overall_averages(self, table1):
+        rows = table1.benchmark("adpcm").rows
+        expected = sum(r.casa_vs_steinke for r in rows) / len(rows)
+        assert table1.overall_vs_steinke == pytest.approx(expected)
+
+    def test_unknown_benchmark_lookup(self, table1):
+        with pytest.raises(KeyError):
+            table1.benchmark("nope")

@@ -1,0 +1,118 @@
+"""Tests for the area model and design-space exploration."""
+
+import pytest
+
+from repro.energy.area import (
+    cache_area,
+    hierarchy_area,
+    scratchpad_area,
+)
+from repro.errors import ConfigurationError
+from repro.evaluation.dse import (
+    explore,
+    render_design_points,
+)
+from repro.memory.cache import CacheConfig
+
+
+class TestAreaModel:
+    def test_scratchpad_smaller_than_cache_same_capacity(self):
+        """Banakar's relation: no tags, no comparators, no miss logic."""
+        for size in (256, 1024, 4096):
+            cache = CacheConfig(size=size, line_size=16,
+                                associativity=1)
+            assert scratchpad_area(size) < cache_area(cache)
+
+    def test_area_monotone_in_size(self):
+        areas = [
+            cache_area(CacheConfig(size=s, line_size=16,
+                                   associativity=1))
+            for s in (128, 256, 512, 1024)
+        ]
+        assert areas == sorted(areas)
+
+    def test_associativity_costs_comparators(self):
+        dm = cache_area(CacheConfig(size=1024, line_size=16,
+                                    associativity=1))
+        two_way = cache_area(CacheConfig(size=1024, line_size=16,
+                                         associativity=2))
+        assert two_way > dm
+
+    def test_hierarchy_area_sums(self):
+        cache = CacheConfig(size=512, line_size=16, associativity=1)
+        assert hierarchy_area(cache, 256) == pytest.approx(
+            cache_area(cache) + scratchpad_area(256)
+        )
+        assert hierarchy_area(None, 256) == pytest.approx(
+            scratchpad_area(256)
+        )
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            scratchpad_area(0)
+
+
+class TestExplore:
+    def test_budget_respected(self):
+        points = explore("adpcm", area_budget=25_000, scale=0.05)
+        for point in points:
+            assert point.area <= 25_000
+
+    def test_sorted_by_energy(self):
+        points = explore("adpcm", area_budget=25_000, scale=0.05)
+        energies = [p.energy for p in points]
+        assert energies == sorted(energies)
+
+    def test_infeasible_budget(self):
+        with pytest.raises(ConfigurationError):
+            explore("adpcm", area_budget=10.0, scale=0.05)
+
+    def test_spm_zero_points_included(self):
+        points = explore("adpcm", area_budget=40_000, scale=0.05)
+        assert any(p.spm_size == 0 for p in points)
+        assert any(p.spm_size > 0 for p in points)
+
+    def test_mixed_split_beats_pure_cache_on_thrashy_workload(self):
+        """adpcm thrashes small caches: spending part of the budget on
+        a CASA-managed scratchpad must beat the cache-only point."""
+        points = explore("adpcm", area_budget=30_000, scale=0.1)
+        best = points[0]
+        best_pure_cache = min(
+            (p for p in points if p.spm_size == 0),
+            key=lambda p: p.energy,
+        )
+        assert best.spm_size > 0
+        assert best.energy < best_pure_cache.energy
+
+    def test_render(self):
+        points = explore("adpcm", area_budget=25_000, scale=0.05)
+        text = render_design_points(points, top=5)
+        assert "area budget" in text
+        assert text.count("\n") <= 10
+
+
+class TestParetoFrontier:
+    def test_frontier_properties(self):
+        from repro.evaluation.dse import DesignPoint, pareto_frontier
+        points = [
+            DesignPoint(128, 0, area=100, energy=50, misses=10),
+            DesignPoint(256, 0, area=200, energy=40, misses=8),
+            DesignPoint(128, 64, area=150, energy=60, misses=9),  # dominated
+            DesignPoint(512, 0, area=400, energy=45, misses=7),   # dominated
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.area for p in frontier] == [100, 200]
+
+    def test_frontier_of_real_exploration(self):
+        from repro.evaluation.dse import explore, pareto_frontier
+        points = explore("adpcm", area_budget=30_000, scale=0.05)
+        frontier = pareto_frontier(points)
+        assert frontier
+        # sorted by area, energies strictly decreasing along it
+        energies = [p.energy for p in frontier]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_single_point(self):
+        from repro.evaluation.dse import DesignPoint, pareto_frontier
+        only = DesignPoint(128, 0, area=1, energy=1, misses=0)
+        assert pareto_frontier([only]) == [only]

@@ -1,0 +1,100 @@
+"""Tests for the allocation explanation tool."""
+
+import pytest
+
+from repro.core.casa import CasaAllocator
+from repro.core.conflict_graph import ConflictGraph, ConflictNode
+from repro.energy.model import EnergyModel
+from repro.evaluation.explain import (
+    explain_allocation,
+    render_explanation,
+)
+
+MODEL = EnergyModel(cache_hit=1.0, cache_miss=21.0, spm_access=0.5)
+
+
+def make_graph():
+    graph = ConflictGraph()
+    graph.add_node(ConflictNode("hot", fetches=1000, size=64))
+    graph.add_node(ConflictNode("victim", fetches=100, size=64))
+    graph.add_node(ConflictNode("evictor", fetches=100, size=64))
+    graph.add_node(ConflictNode("cold", fetches=0, size=64))
+    graph.add_edge("victim", "evictor", 200)
+    return graph
+
+
+class TestExplain:
+    def test_every_object_explained(self):
+        graph = make_graph()
+        allocation = CasaAllocator().allocate(graph, 128, MODEL)
+        explanations = explain_allocation(graph, allocation, MODEL)
+        assert {e.name for e in explanations} == {
+            "hot", "victim", "evictor", "cold",
+        }
+
+    def test_selected_first_and_sorted_by_saving(self):
+        graph = make_graph()
+        allocation = CasaAllocator().allocate(graph, 128, MODEL)
+        explanations = explain_allocation(graph, allocation, MODEL)
+        flags = [e.selected for e in explanations]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_fetch_saving_arithmetic(self):
+        graph = make_graph()
+        allocation = CasaAllocator().allocate(graph, 64, MODEL)
+        explanations = {
+            e.name: e
+            for e in explain_allocation(graph, allocation, MODEL)
+        }
+        for name in allocation.spm_resident:
+            entry = explanations[name]
+            expected = graph.node(name).fetches * (1.0 - 0.5)
+            assert entry.fetch_saving == pytest.approx(expected)
+
+    def test_conflict_saving_credited(self):
+        graph = make_graph()
+        # force the victim onto the SPM
+        from repro.core.allocation import Allocation
+        allocation = Allocation(algorithm="manual",
+                                spm_resident=frozenset({"victim"}),
+                                capacity=64, used_bytes=64)
+        explanations = {
+            e.name: e
+            for e in explain_allocation(graph, allocation, MODEL)
+        }
+        assert explanations["victim"].conflict_saving == \
+            pytest.approx(200 * 20.0)
+        assert explanations["evictor"].conflict_saving == 0.0
+
+    def test_unselected_objects_have_zero_saving(self):
+        graph = make_graph()
+        allocation = CasaAllocator().allocate(graph, 0, MODEL)
+        for entry in explain_allocation(graph, allocation, MODEL):
+            assert entry.total_saving == 0.0
+
+    def test_density(self):
+        graph = make_graph()
+        allocation = CasaAllocator().allocate(graph, 64, MODEL)
+        for entry in explain_allocation(graph, allocation, MODEL):
+            if entry.selected:
+                assert entry.density == pytest.approx(
+                    entry.total_saving / entry.size
+                )
+
+    def test_render(self):
+        graph = make_graph()
+        allocation = CasaAllocator().allocate(graph, 128, MODEL)
+        text = render_explanation(
+            explain_allocation(graph, allocation, MODEL)
+        )
+        assert "scratchpad residents" in text
+        assert "left in the cache" in text
+
+
+class TestCliExplain:
+    def test_cli(self, capsys):
+        from repro.cli import main
+        assert main(["explain", "--workload", "tiny", "--spm-size",
+                     "64", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "scratchpad residents" in out

@@ -1,0 +1,91 @@
+"""Tests for repro.ilp.expr."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.ilp.expr import LinExpr, Variable
+
+
+def v(name="x", **kwargs):
+    return Variable(name, **kwargs)
+
+
+class TestVariable:
+    def test_bounds_validated(self):
+        with pytest.raises(SolverError):
+            Variable("x", lower=2.0, upper=1.0)
+
+    def test_binary_classification(self):
+        assert Variable("b", 0, 1, is_integer=True).is_binary
+        assert not Variable("i", 0, 5, is_integer=True).is_binary
+        assert not Variable("c", 0, 1).is_binary
+
+    def test_distinct_variables_not_equal_constraint(self):
+        # __eq__ builds a constraint, so identity is via hash
+        a, b = v("a"), v("b")
+        assert hash(a) != hash(b)
+
+
+class TestArithmetic:
+    def test_add_variables(self):
+        a, b = v("a"), v("b")
+        expr = a + b
+        assert expr.coefficient(a) == 1.0
+        assert expr.coefficient(b) == 1.0
+
+    def test_scale(self):
+        a = v("a")
+        expr = 3 * a
+        assert expr.coefficient(a) == 3.0
+
+    def test_combined_expression(self):
+        a, b = v("a"), v("b")
+        expr = 2 * a - 3 * b + 5
+        assert expr.coefficient(a) == 2.0
+        assert expr.coefficient(b) == -3.0
+        assert expr.constant == 5.0
+
+    def test_rsub(self):
+        a = v("a")
+        expr = 1 - a
+        assert expr.coefficient(a) == -1.0
+        assert expr.constant == 1.0
+
+    def test_neg(self):
+        a = v("a")
+        expr = -(a + 2)
+        assert expr.coefficient(a) == -1.0
+        assert expr.constant == -2.0
+
+    def test_sum_of_terms_merges(self):
+        a = v("a")
+        expr = a + a + a
+        assert expr.coefficient(a) == 3.0
+
+    def test_total(self):
+        a, b = v("a"), v("b")
+        expr = LinExpr.total([a, 2 * b, 7])
+        assert expr.coefficient(a) == 1.0
+        assert expr.coefficient(b) == 2.0
+        assert expr.constant == 7.0
+
+    def test_evaluate(self):
+        a, b = v("a"), v("b")
+        expr = 2 * a + b - 4
+        assert expr.evaluate({a: 3.0, b: 1.0}) == pytest.approx(3.0)
+
+    def test_copy_independent(self):
+        a = v("a")
+        expr = a + 1
+        clone = expr.copy()
+        clone.terms[a] = 99.0
+        assert expr.coefficient(a) == 1.0
+
+    def test_variables_listing_skips_zeros(self):
+        a, b = v("a"), v("b")
+        expr = a + b - b
+        assert expr.variables == [a]
+
+    def test_repr_readable(self):
+        a = v("alpha")
+        assert "alpha" in repr(2 * a + 1)

@@ -1,0 +1,93 @@
+"""Tests for repro.ilp.knapsack."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.ilp.knapsack import KnapsackItem, KnapsackSolution, knapsack_01
+
+
+def brute_force(items, capacity):
+    best = 0.0
+    for mask in itertools.product((0, 1), repeat=len(items)):
+        weight = sum(i.size for i, t in zip(items, mask) if t)
+        if weight <= capacity:
+            best = max(
+                best,
+                sum(i.profit for i, t in zip(items, mask) if t),
+            )
+    return best
+
+
+class TestBasics:
+    def test_empty(self):
+        solution = knapsack_01([], 100)
+        assert solution.selected == []
+        assert solution.total_profit == 0.0
+
+    def test_zero_capacity(self):
+        items = [KnapsackItem("a", 4, 10.0)]
+        assert knapsack_01(items, 0).selected == []
+
+    def test_picks_best_combination(self):
+        items = [
+            KnapsackItem("a", 8, 10.0),
+            KnapsackItem("b", 8, 9.0),
+            KnapsackItem("c", 12, 16.0),
+        ]
+        solution = knapsack_01(items, 16)
+        assert set(solution.selected) == {"a", "b"}
+        assert solution.total_profit == pytest.approx(19.0)
+        assert solution.total_size == 16
+
+    def test_non_positive_profit_never_selected(self):
+        items = [KnapsackItem("a", 4, 0.0), KnapsackItem("b", 4, -2.0)]
+        assert knapsack_01(items, 100).selected == []
+
+    def test_zero_size_positive_profit_always_selected(self):
+        items = [KnapsackItem("free", 0, 1.0)]
+        assert knapsack_01(items, 4).selected == ["free"]
+
+    def test_granularity_enforced(self):
+        with pytest.raises(SolverError):
+            knapsack_01([KnapsackItem("a", 6, 1.0)], 16, granularity=4)
+
+    def test_negative_capacity(self):
+        with pytest.raises(SolverError):
+            knapsack_01([], -1)
+
+    def test_negative_size(self):
+        with pytest.raises(SolverError):
+            KnapsackItem("a", -4, 1.0)
+
+    def test_selection_order_follows_input(self):
+        items = [
+            KnapsackItem("z", 4, 5.0),
+            KnapsackItem("a", 4, 5.0),
+        ]
+        assert knapsack_01(items, 8).selected == ["z", "a"]
+
+
+class TestAgainstBruteForce:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.floats(0, 50)),
+            min_size=0, max_size=9,
+        ),
+        st.integers(0, 15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_optimal(self, raw, capacity_slots):
+        items = [
+            KnapsackItem(f"i{k}", size * 4, profit)
+            for k, (size, profit) in enumerate(raw)
+        ]
+        capacity = capacity_slots * 4
+        solution = knapsack_01(items, capacity)
+        assert solution.total_size <= capacity
+        assert solution.total_profit == pytest.approx(
+            brute_force(items, capacity)
+        )

@@ -1,0 +1,131 @@
+"""Tests for repro.ilp.model."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.ilp.model import Constraint, Model, Sense, SolveStatus
+
+
+class TestModelConstruction:
+    def test_duplicate_variable_names(self):
+        model = Model()
+        model.add_variable("x")
+        with pytest.raises(SolverError):
+            model.add_variable("x")
+
+    def test_add_constraint_type_checked(self):
+        model = Model()
+        with pytest.raises(SolverError):
+            model.add_constraint(True)  # a bool, e.g. from misuse of ==
+
+    def test_counts(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add_constraint(x <= 1)
+        model.set_objective(x)
+        assert model.num_variables == 1
+        assert model.num_constraints == 1
+        assert model.integer_variables == [x]
+
+    def test_named_constraint(self):
+        model = Model()
+        x = model.add_variable("x")
+        constraint = model.add_constraint(x <= 5, "cap")
+        assert constraint.name == "cap"
+        assert "cap" in repr(constraint)
+
+
+class TestConstraintSemantics:
+    def test_le(self):
+        model = Model()
+        x = model.add_variable("x")
+        c = x <= 5
+        assert c.satisfied_by({x: 5.0})
+        assert not c.satisfied_by({x: 5.1})
+
+    def test_ge(self):
+        model = Model()
+        x = model.add_variable("x")
+        c = x >= 2
+        assert c.satisfied_by({x: 2.0})
+        assert not c.satisfied_by({x: 1.0})
+
+    def test_eq(self):
+        model = Model()
+        x = model.add_variable("x")
+        c = x == 3
+        assert c.satisfied_by({x: 3.0})
+        assert not c.satisfied_by({x: 3.5})
+
+    def test_bad_sense(self):
+        with pytest.raises(SolverError):
+            Constraint(None, "<")
+
+
+class TestFeasibility:
+    def test_bounds_checked(self):
+        model = Model()
+        x = model.add_variable("x", 0, 2)
+        assert model.is_feasible({x: 1.0})
+        assert not model.is_feasible({x: 3.0})
+        assert not model.is_feasible({x: -1.0})
+
+    def test_integrality_checked(self):
+        model = Model()
+        x = model.add_binary("x")
+        assert not model.is_feasible({x: 0.5})
+        assert model.is_feasible({x: 1.0})
+
+
+class TestSolveBasics:
+    def test_simple_lp(self):
+        model = Model("lp", Sense.MAXIMIZE)
+        x = model.add_variable("x", 0, 4)
+        y = model.add_variable("y", 0, 4)
+        model.add_constraint(x + y <= 6)
+        model.set_objective(x + 2 * y)
+        result = model.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(10.0)
+        assert result.value(y) == pytest.approx(4.0)
+
+    def test_simple_ilp(self):
+        model = Model("ilp", Sense.MAXIMIZE)
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        z = model.add_binary("z")
+        model.add_constraint(2 * x + 2 * y + 2 * z <= 4)
+        model.set_objective(3 * x + 2 * y + 2 * z)
+        result = model.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(5.0)
+        assert result.binary_value(x) == 1
+
+    def test_infeasible(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add_constraint(x >= 2)
+        model.set_objective(x)
+        assert model.solve().status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        model = Model("u", Sense.MAXIMIZE)
+        x = model.add_variable("x")
+        model.set_objective(x)
+        assert model.solve().status is SolveStatus.UNBOUNDED
+
+    def test_result_value_guard(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add_constraint(x >= 2)
+        model.set_objective(x)
+        result = model.solve()
+        with pytest.raises(SolverError):
+            result.value(x)
+
+    def test_constant_objective(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.set_objective(5.0)
+        result = model.solve()
+        assert result.objective == pytest.approx(5.0)

@@ -1,0 +1,143 @@
+"""Tests for the pure-Python simplex backend, cross-validated against
+the HiGHS backend on random LPs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.model import Model, Sense, SolveStatus
+from repro.ilp.scipy_backend import LpRelaxationSolver
+from repro.ilp.simplex import SimplexLpSolver
+
+
+class TestBasics:
+    def test_simple_maximisation(self):
+        model = Model("m", Sense.MAXIMIZE)
+        x = model.add_variable("x", 0, 4)
+        y = model.add_variable("y", 0, 4)
+        model.add_constraint(x + y <= 6)
+        model.set_objective(x + 2 * y)
+        solution = SimplexLpSolver(model).solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(10.0)
+
+    def test_equality_constraint(self):
+        model = Model()
+        x = model.add_variable("x", 0, 10)
+        y = model.add_variable("y", 0, 10)
+        model.add_constraint(x + y == 7)
+        model.set_objective(x)
+        solution = SimplexLpSolver(model).solve()
+        assert solution.objective == pytest.approx(0.0)
+        assert solution.values[y] == pytest.approx(7.0)
+
+    def test_infeasible(self):
+        model = Model()
+        x = model.add_variable("x", 0, 1)
+        model.add_constraint(x >= 2)
+        model.set_objective(x)
+        assert SimplexLpSolver(model).solve().status is \
+            SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        model = Model("u", Sense.MAXIMIZE)
+        x = model.add_variable("x")
+        model.set_objective(x)
+        assert SimplexLpSolver(model).solve().status is \
+            SolveStatus.UNBOUNDED
+
+    def test_shifted_lower_bounds(self):
+        model = Model()
+        x = model.add_variable("x", 3, 10)
+        model.set_objective(x)
+        solution = SimplexLpSolver(model).solve()
+        assert solution.values[x] == pytest.approx(3.0)
+
+    def test_bound_overrides(self):
+        model = Model("m", Sense.MAXIMIZE)
+        x = model.add_variable("x", 0, 10)
+        model.set_objective(x)
+        solver = SimplexLpSolver(model)
+        assert solver.solve({x: (2.0, 5.0)}).objective == \
+            pytest.approx(5.0)
+
+    def test_contradictory_override(self):
+        model = Model()
+        x = model.add_variable("x", 0, 10)
+        model.set_objective(x)
+        assert SimplexLpSolver(model).solve({x: (6.0, 5.0)}).status is \
+            SolveStatus.INFEASIBLE
+
+    def test_degenerate_redundant_constraints(self):
+        model = Model()
+        x = model.add_variable("x", 0, 5)
+        model.add_constraint(x <= 3)
+        model.add_constraint(x <= 3)
+        model.add_constraint(2 * x <= 6)
+        model.set_objective(-1 * x)
+        solution = SimplexLpSolver(model).solve()
+        assert solution.values[x] == pytest.approx(3.0)
+
+
+@st.composite
+def random_lp(draw):
+    """A random bounded-feasible LP (bounded box keeps it bounded)."""
+    num_vars = draw(st.integers(1, 4))
+    num_cons = draw(st.integers(0, 4))
+    model = Model("rand", draw(st.sampled_from(list(Sense))))
+    variables = []
+    for i in range(num_vars):
+        low = draw(st.integers(0, 3))
+        high = low + draw(st.integers(0, 6))
+        variables.append(model.add_variable(f"x{i}", low, high))
+    coef = st.integers(-4, 4)
+    for j in range(num_cons):
+        row = [draw(coef) for _ in variables]
+        rhs = draw(st.integers(-10, 30))
+        expr = sum((c * v for c, v in zip(row, variables)),
+                   start=0 * variables[0])
+        if draw(st.booleans()):
+            model.add_constraint(expr <= rhs)
+        else:
+            model.add_constraint(expr >= rhs)
+    objective = sum(
+        (draw(coef) * v for v in variables), start=0 * variables[0]
+    )
+    model.set_objective(objective)
+    return model
+
+
+class TestAgainstHighs:
+    @given(random_lp())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy_backend(self, model):
+        ours = SimplexLpSolver(model).solve()
+        reference = LpRelaxationSolver(model).solve()
+        assert ours.status is reference.status
+        if reference.status is SolveStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(
+                reference.objective, abs=1e-6
+            )
+
+
+class TestBranchAndBoundOnSimplex:
+    def test_knapsack_via_simplex_backend(self):
+        model = Model("knap", Sense.MAXIMIZE)
+        x = [model.add_binary(f"x{i}") for i in range(5)]
+        sizes = [3, 4, 5, 2, 3]
+        profits = [4, 5, 6, 2, 4]
+        model.add_constraint(
+            sum((s * v for s, v in zip(sizes, x)), start=0 * x[0]) <= 8
+        )
+        model.set_objective(
+            sum((p * v for p, v in zip(profits, x)), start=0 * x[0])
+        )
+        simplex_result = model.solve(
+            BranchAndBoundSolver(lp_factory=SimplexLpSolver)
+        )
+        highs_result = model.solve(BranchAndBoundSolver())
+        assert simplex_result.status is SolveStatus.OPTIMAL
+        assert simplex_result.objective == pytest.approx(
+            highs_result.objective
+        )

@@ -1,0 +1,141 @@
+"""Tests for the LP backend and branch & bound, including brute-force
+cross-checks on random instances."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.model import Model, Sense, SolveStatus
+from repro.ilp.scipy_backend import LpRelaxationSolver
+
+
+class TestLpRelaxation:
+    def test_relaxation_ignores_integrality(self):
+        model = Model("m", Sense.MAXIMIZE)
+        x = model.add_binary("x")
+        model.add_constraint(2 * x <= 1)
+        model.set_objective(x)
+        solution = LpRelaxationSolver(model).solve()
+        assert solution.values[x] == pytest.approx(0.5)
+
+    def test_bound_overrides(self):
+        model = Model("m", Sense.MAXIMIZE)
+        x = model.add_variable("x", 0, 10)
+        model.set_objective(x)
+        solver = LpRelaxationSolver(model)
+        assert solver.solve().objective == pytest.approx(10.0)
+        fixed = solver.solve({x: (2.0, 3.0)})
+        assert fixed.objective == pytest.approx(3.0)
+
+    def test_contradictory_override_infeasible(self):
+        model = Model()
+        x = model.add_variable("x", 0, 10)
+        model.set_objective(x)
+        solver = LpRelaxationSolver(model)
+        assert solver.solve({x: (5.0, 4.0)}).status is \
+            SolveStatus.INFEASIBLE
+
+    def test_equality_constraints(self):
+        model = Model()
+        x = model.add_variable("x", 0, 10)
+        y = model.add_variable("y", 0, 10)
+        model.add_constraint(x + y == 7)
+        model.set_objective(x)
+        solution = LpRelaxationSolver(model).solve()
+        assert solution.values[x] == pytest.approx(0.0)
+        assert solution.values[y] == pytest.approx(7.0)
+
+    def test_maximize_objective_sign(self):
+        model = Model("m", Sense.MAXIMIZE)
+        x = model.add_variable("x", 0, 3)
+        model.set_objective(2 * x + 1)
+        solution = LpRelaxationSolver(model).solve()
+        assert solution.objective == pytest.approx(7.0)
+
+
+def brute_force_best(sizes, profits, capacity):
+    """Exhaustive 0/1 knapsack optimum."""
+    n = len(sizes)
+    best = 0.0
+    for mask in itertools.product((0, 1), repeat=n):
+        weight = sum(s for s, take in zip(sizes, mask) if take)
+        if weight <= capacity:
+            value = sum(p for p, take in zip(profits, mask) if take)
+            best = max(best, value)
+    return best
+
+
+class TestBranchAndBound:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 20), st.integers(0, 30)),
+            min_size=1, max_size=10,
+        ),
+        st.integers(0, 60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_knapsack(self, items, capacity):
+        sizes = [size for size, _ in items]
+        profits = [profit for _, profit in items]
+        model = Model("knap", Sense.MAXIMIZE)
+        variables = [model.add_binary(f"x{i}") for i in range(len(items))]
+        weight = sum(
+            (s * v for s, v in zip(sizes, variables)),
+            start=0 * variables[0],
+        )
+        model.add_constraint(weight <= capacity)
+        model.set_objective(sum(
+            (p * v for p, v in zip(profits, variables)),
+            start=0 * variables[0],
+        ))
+        result = model.solve(BranchAndBoundSolver())
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(
+            brute_force_best(sizes, profits, capacity)
+        )
+
+    def test_integer_non_binary_variables(self):
+        model = Model("int", Sense.MAXIMIZE)
+        x = model.add_variable("x", 0, 10, is_integer=True)
+        model.add_constraint(3 * x <= 10)
+        model.set_objective(x)
+        result = model.solve()
+        assert result.objective == pytest.approx(3.0)
+        assert result.value(x) == 3
+
+    def test_node_limit_returns_incumbent(self):
+        model = Model("hard", Sense.MAXIMIZE)
+        variables = [model.add_binary(f"x{i}") for i in range(12)]
+        model.add_constraint(
+            sum((3 * v for v in variables), start=0 * variables[0]) <= 17
+        )
+        model.set_objective(
+            sum(((i % 5 + 1) * v for i, v in enumerate(variables)),
+                start=0 * variables[0])
+        )
+        result = model.solve(BranchAndBoundSolver(max_nodes=1))
+        assert result.status in (SolveStatus.OPTIMAL,
+                                 SolveStatus.NODE_LIMIT)
+        if result.status is SolveStatus.NODE_LIMIT:
+            assert result.objective is not None  # warm-start incumbent
+
+    def test_minimization(self):
+        model = Model("min", Sense.MINIMIZE)
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add_constraint(x + y >= 1)
+        model.set_objective(3 * x + 2 * y)
+        result = model.solve()
+        assert result.objective == pytest.approx(2.0)
+        assert result.binary_value(y) == 1
+
+    def test_nodes_counted(self):
+        model = Model("m", Sense.MAXIMIZE)
+        x = model.add_binary("x")
+        model.add_constraint(2 * x <= 1)
+        model.set_objective(x)
+        result = model.solve()
+        assert result.nodes_explored >= 1

@@ -1,0 +1,117 @@
+"""End-to-end integration tests over the full pipeline.
+
+These check the *paper-level* invariants on real (scaled) workloads:
+accounting identities, hierarchy-independence of fetch counts, and the
+qualitative relations between the allocators.
+"""
+
+import pytest
+
+from repro import CasaAllocator, CasaConfig
+from repro.energy.model import compute_energy
+
+
+class TestAccountingIdentities:
+    def test_eq4_identity_every_simulation(self, adpcm_workbench):
+        bench = adpcm_workbench
+        for result in (bench.baseline_result(), bench.run_casa(64),
+                       bench.run_steinke(64), bench.run_ross(128)):
+            assert result.report.check_identities()
+
+    def test_conflict_plus_compulsory_le_misses(self, adpcm_workbench):
+        report = adpcm_workbench.baseline_report
+        assert (report.conflict_miss_total + report.compulsory_misses
+                <= report.cache_misses)
+
+    def test_fetches_invariant_across_hierarchies(self, adpcm_workbench):
+        bench = adpcm_workbench
+        base = bench.baseline_report.total_fetches
+        assert bench.run_casa(64).report.total_fetches == base
+        assert bench.run_ross(128).report.total_fetches == base
+
+
+class TestAllocatorRelations:
+    def test_casa_optimal_under_its_model(self, adpcm_workbench):
+        """CASA's predicted energy is minimal among the other
+        allocators' selections, evaluated under the same model."""
+        bench = adpcm_workbench
+        graph = bench.conflict_graph
+        model = bench.spm_energy_model(128)
+        casa = CasaAllocator().allocate(graph, 128, model)
+        for other in (bench.run_steinke(128), bench.run_greedy(128)):
+            other_predicted = graph.predicted_energy(
+                set(other.allocation.spm_resident), model
+            )
+            assert casa.predicted_energy <= other_predicted + 1e-6
+
+    def test_casa_beats_baseline(self, adpcm_workbench):
+        bench = adpcm_workbench
+        baseline = bench.baseline_result().total_energy
+        for size in (64, 128, 256):
+            assert bench.run_casa(size).total_energy < baseline
+
+    def test_casa_monotone_with_spm_size(self, adpcm_workbench):
+        """Bigger scratchpad never hurts CASA (copy semantics keep the
+        layout, so the chosen set can only improve)."""
+        bench = adpcm_workbench
+        energies = [bench.run_casa(size).total_energy
+                    for size in (64, 128, 256)]
+        # allow tiny non-monotonicity from prediction/simulation gap
+        assert energies[1] <= energies[0] * 1.05
+        assert energies[2] <= energies[1] * 1.05
+
+    def test_spm_all_resident_is_floor(self, tiny_workbench):
+        """With everything on the scratchpad, energy is the floor."""
+        bench = tiny_workbench
+        mos = bench.memory_objects
+        total = sum(mo.unpadded_size for mo in mos)
+        result = bench.run_casa(total + 64)
+        assert result.report.cache_accesses == 0
+        smaller = bench.run_casa(64)
+        assert result.total_energy < smaller.total_energy
+
+
+class TestEnergyConsistency:
+    def test_energy_recompute_matches(self, adpcm_workbench):
+        result = adpcm_workbench.run_casa(128)
+        again = compute_energy(result.report, result.model)
+        assert again.total == pytest.approx(result.energy.total)
+
+    def test_breakdown_components_nonnegative(self, adpcm_workbench):
+        result = adpcm_workbench.run_ross(256)
+        breakdown = result.energy
+        assert breakdown.spm == 0.0
+        assert breakdown.loop_cache >= 0.0
+        assert breakdown.lc_controller > 0.0
+
+    def test_miss_energy_dominates_baseline(self, adpcm_workbench):
+        """The premise of the whole paper: misses are where the energy
+        goes in a thrashing configuration."""
+        result = adpcm_workbench.baseline_result()
+        assert result.energy.cache_misses > result.energy.cache_hits
+
+
+class TestMpegEndToEnd:
+    def test_figure4_shape(self, mpeg_workbench):
+        bench = mpeg_workbench
+        casa = bench.run_casa(512)
+        steinke = bench.run_steinke(512)
+        # CASA: fewer SPM accesses, more cache accesses (figure 4)
+        assert casa.report.spm_accesses <= steinke.report.spm_accesses
+        assert casa.report.cache_accesses >= \
+            steinke.report.cache_accesses
+
+    def test_loop_cache_saturates(self, mpeg_workbench):
+        """Ross can preload at most 4 regions; CASA keeps filling the
+        scratchpad, so at 1 kB the scratchpad covers at least as many
+        fetch-serving bytes."""
+        bench = mpeg_workbench
+        casa = bench.run_casa(1024)
+        ross = bench.run_ross(1024)
+        assert len(ross.allocation.loop_regions) <= 4
+        assert len(casa.allocation.spm_resident) > 4
+
+    def test_casa_beats_loop_cache_at_1k(self, mpeg_workbench):
+        bench = mpeg_workbench
+        assert bench.run_casa(1024).total_energy < \
+            bench.run_ross(1024).total_energy

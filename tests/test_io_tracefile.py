@@ -1,0 +1,107 @@
+"""Tests for the recorded-trace file format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.io.tracefile import (
+    decode_runs,
+    encode_runs,
+    load_trace,
+    save_trace,
+)
+from repro.program.executor import execute_program
+
+from tests.conftest import make_loop_program
+
+
+class TestRunLengthEncoding:
+    def test_empty(self):
+        assert encode_runs([]) == []
+        assert decode_runs([]) == []
+
+    def test_collapses_repeats(self):
+        runs = encode_runs(["a", "a", "a", "b", "a"])
+        assert runs == [("a", 3), ("b", 1), ("a", 1)]
+
+    def test_invalid_repeat(self):
+        with pytest.raises(ConfigurationError):
+            decode_runs([("a", 0)])
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, sequence):
+        assert decode_runs(encode_runs(sequence)) == sequence
+
+
+class TestTraceFiles:
+    def test_roundtrip_on_real_trace(self, tmp_path):
+        program = make_loop_program(trip=50)
+        execution = execute_program(program)
+        path = tmp_path / "run.trace"
+        save_trace(execution.block_sequence, path,
+                   program_name=program.name)
+        loaded = load_trace(path, expected_program=program.name)
+        assert loaded == execution.block_sequence
+
+    def test_compression_on_tight_loop(self, tmp_path):
+        program = make_loop_program(trip=500)
+        execution = execute_program(program)
+        path = tmp_path / "run.trace"
+        save_trace(execution.block_sequence, path)
+        assert len(path.read_text().splitlines()) < 10
+
+    def test_program_mismatch_detected(self, tmp_path):
+        path = tmp_path / "run.trace"
+        save_trace(["x"], path, program_name="foo")
+        with pytest.raises(ConfigurationError):
+            load_trace(path, expected_program="bar")
+
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("hello\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_malformed_run_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("repro-trace 1\nprog\nblock_without_count\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_bad_repeat_count(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("repro-trace 1\nprog\nblock xyz\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_space_in_block_name_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_trace(["bad name"], tmp_path / "x.trace")
+
+    def test_replay_through_simulator(self, tmp_path):
+        """A loaded trace replays identically to the live sequence."""
+        from repro.memory.cache import CacheConfig
+        from repro.memory.hierarchy import HierarchyConfig, simulate
+        from repro.traces.layout import LinkedImage
+        from repro.traces.tracegen import (
+            TraceGenConfig, generate_traces,
+        )
+
+        program = make_loop_program(trip=30)
+        execution = execute_program(program)
+        path = tmp_path / "run.trace"
+        save_trace(execution.block_sequence, path)
+        loaded = load_trace(path)
+
+        mos = generate_traces(
+            program, execution.profile,
+            TraceGenConfig(line_size=16, max_trace_size=64),
+        )
+        image = LinkedImage(program, mos)
+        config = HierarchyConfig(cache=CacheConfig(
+            size=64, line_size=16, associativity=1))
+        live = simulate(image, config, execution.block_sequence)
+        replayed = simulate(image, config, loaded)
+        assert live.summary() == replayed.summary()

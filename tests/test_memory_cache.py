@@ -1,0 +1,136 @@
+"""Tests for repro.memory.cache, including conflict attribution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import Cache, CacheConfig
+
+
+class TestCacheConfig:
+    def test_defaults(self):
+        config = CacheConfig()
+        assert config.num_sets == 128
+        assert config.words_per_line == 4
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=100)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(line_size=10)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(associativity=3)
+
+    def test_line_larger_than_cache(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=16, line_size=32)
+
+    def test_set_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=32, line_size=16, associativity=4)
+
+    def test_map_line_modulo(self):
+        config = CacheConfig(size=128, line_size=16, associativity=1)
+        assert config.map_line(0) == 0
+        assert config.map_line(8) == 0
+        assert config.map_line(9) == 1
+
+
+class TestDirectMapped:
+    def make(self):
+        return Cache(CacheConfig(size=64, line_size=16, associativity=1))
+
+    def test_first_touch_is_compulsory_miss(self):
+        cache = self.make()
+        assert cache.access_line(0, "A") is False
+        assert cache.compulsory_misses == 1
+        assert cache.mo_compulsory["A"] == 1
+
+    def test_second_access_hits(self):
+        cache = self.make()
+        cache.access_line(0, "A")
+        assert cache.access_line(0, "A") is True
+        assert cache.hits == 1
+
+    def test_conflict_attribution(self):
+        cache = self.make()  # 4 sets; lines 0 and 4 share set 0
+        cache.access_line(0, "A")   # compulsory
+        cache.access_line(4, "B")   # compulsory, evicts A's line
+        cache.access_line(0, "A")   # conflict miss caused by B
+        assert cache.conflict_misses[("A", "B")] == 1
+        assert cache.conflict_miss_count == 1
+
+    def test_self_conflict(self):
+        cache = self.make()
+        cache.access_line(0, "A")
+        cache.access_line(4, "A")  # evicts own line
+        cache.access_line(0, "A")
+        assert cache.conflict_misses[("A", "A")] == 1
+
+    def test_different_sets_do_not_conflict(self):
+        cache = self.make()
+        cache.access_line(0, "A")
+        cache.access_line(1, "B")
+        cache.access_line(0, "A")
+        assert cache.hits == 1
+        assert cache.conflict_miss_count == 0
+
+    def test_contains_line(self):
+        cache = self.make()
+        cache.access_line(3, "A")
+        assert cache.contains_line(3)
+        assert not cache.contains_line(7)
+
+
+class TestSetAssociative:
+    def test_two_way_holds_two_conflicting_lines(self):
+        cache = Cache(CacheConfig(size=64, line_size=16, associativity=2))
+        # 2 sets; lines 0 and 2 map to set 0
+        cache.access_line(0, "A")
+        cache.access_line(2, "B")
+        assert cache.access_line(0, "A") is True
+        assert cache.access_line(2, "B") is True
+
+    def test_lru_eviction_order(self):
+        cache = Cache(CacheConfig(size=64, line_size=16, associativity=2))
+        cache.access_line(0, "A")
+        cache.access_line(2, "B")
+        cache.access_line(4, "C")  # evicts A (LRU)
+        assert cache.access_line(2, "B") is True
+        assert cache.access_line(0, "A") is False
+        assert cache.conflict_misses[("A", "C")] == 1
+
+    def test_fifo_policy(self):
+        cache = Cache(CacheConfig(size=64, line_size=16,
+                                  associativity=2, policy="fifo"))
+        cache.access_line(0, "A")
+        cache.access_line(2, "B")
+        cache.access_line(0, "A")  # hit; FIFO age unchanged
+        cache.access_line(4, "C")  # evicts A (first in)
+        assert cache.access_line(0, "A") is False
+
+
+class TestBookkeeping:
+    def test_accesses_total(self):
+        cache = Cache(CacheConfig(size=64, line_size=16, associativity=1))
+        for line in (0, 0, 4, 0):
+            cache.access_line(line, "A")
+        assert cache.accesses == 4
+        assert cache.hits + cache.misses == 4
+
+    def test_reset_statistics_keeps_contents(self):
+        cache = Cache(CacheConfig(size=64, line_size=16, associativity=1))
+        cache.access_line(0, "A")
+        cache.reset_statistics()
+        assert cache.misses == 0
+        assert cache.access_line(0, "A") is True
+
+    def test_flush_clears_contents_and_history(self):
+        cache = Cache(CacheConfig(size=64, line_size=16, associativity=1))
+        cache.access_line(0, "A")
+        cache.access_line(4, "B")
+        cache.flush()
+        cache.reset_statistics()
+        assert cache.access_line(0, "A") is False
+        # after the flush the old eviction history must not attribute
+        # this compulsory-after-flush miss to B
+        assert cache.conflict_misses == {}

@@ -1,0 +1,174 @@
+"""Tests for repro.memory.hierarchy (the simulator)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig, simulate
+from repro.memory.loopcache import LoopCacheConfig, LoopRegion
+from repro.program.executor import execute_program
+from repro.traces.layout import LinkedImage, Placement, SPM_BASE
+from repro.traces.tracegen import TraceGenConfig, generate_traces
+
+from tests.conftest import make_loop_program
+
+
+def build_setup(program, spm_resident=frozenset(), spm_size=0,
+                placement=Placement.COPY, max_trace_size=1 << 20,
+                min_ft=1):
+    execution = execute_program(program)
+    mos = generate_traces(
+        program, execution.profile,
+        TraceGenConfig(line_size=16, max_trace_size=max_trace_size,
+                       min_fallthrough_count=min_ft),
+    )
+    image = LinkedImage(program, mos, spm_resident=spm_resident,
+                        spm_size=spm_size, placement=placement)
+    return execution, mos, image
+
+
+class TestHierarchyConfig:
+    def test_spm_and_lc_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(spm_size=64,
+                            loop_cache=LoopCacheConfig(size=64))
+
+    def test_negative_spm(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(spm_size=-1)
+
+
+class TestCacheOnly:
+    def test_fetch_identity(self):
+        program = make_loop_program(trip=20)
+        execution, mos, image = build_setup(program)
+        report = simulate(image, HierarchyConfig(
+            cache=CacheConfig(size=64, line_size=16, associativity=1)),
+            execution.block_sequence)
+        assert report.check_identities()
+        assert report.total_fetches >= execution.instruction_count
+
+    def test_fetch_count_matches_instruction_count_when_no_jumps(self):
+        # single trace, all fall-throughs intact: fetches == executed
+        # instructions
+        program = make_loop_program(trip=5)
+        execution, mos, image = build_setup(program)
+        assert len(mos) == 1
+        report = simulate(image, HierarchyConfig(),
+                          execution.block_sequence)
+        assert report.total_fetches == execution.instruction_count
+
+    def test_small_loop_mostly_hits(self):
+        program = make_loop_program(trip=1000)
+        execution, _, image = build_setup(program)
+        report = simulate(image, HierarchyConfig(
+            cache=CacheConfig(size=128, line_size=16, associativity=1)),
+            execution.block_sequence)
+        assert report.cache_misses <= 8  # compulsory only
+        assert report.cache_hits > 6000
+
+    def test_main_memory_words_per_miss(self):
+        program = make_loop_program(trip=3)
+        execution, _, image = build_setup(program)
+        config = HierarchyConfig(cache=CacheConfig(
+            size=64, line_size=16, associativity=1))
+        report = simulate(image, config, execution.block_sequence)
+        assert report.main_memory_words == report.cache_misses * 4
+
+
+class TestCacheless:
+    def test_every_word_goes_offchip(self):
+        program = make_loop_program(trip=4)
+        execution, _, image = build_setup(program)
+        report = simulate(image, HierarchyConfig(cache=None),
+                          execution.block_sequence)
+        assert report.cache_misses == report.total_fetches
+        assert report.main_memory_words == report.total_fetches
+
+
+class TestScratchpadHierarchy:
+    def test_resident_object_served_by_spm(self):
+        program = make_loop_program(trip=50)
+        execution, mos, image = build_setup(
+            program, spm_resident={"T0"}, spm_size=256)
+        report = simulate(
+            image,
+            HierarchyConfig(cache=CacheConfig(size=64, line_size=16,
+                                              associativity=1),
+                            spm_size=256),
+            execution.block_sequence,
+            spm_base=SPM_BASE,
+        )
+        assert report.spm_accesses > 0
+        assert report.stats_for("T0").cache_hits == 0
+        assert report.stats_for("T0").cache_misses == 0
+        assert report.check_identities()
+
+    def test_spm_eliminates_all_cache_traffic_if_everything_resident(self):
+        program = make_loop_program(trip=10)
+        _, all_mos, _ = build_setup(program)
+        execution, mos, image = build_setup(
+            program, spm_resident={mo.name for mo in all_mos},
+            spm_size=4096)
+        report = simulate(
+            image,
+            HierarchyConfig(cache=CacheConfig(size=64, line_size=16,
+                                              associativity=1),
+                            spm_size=4096),
+            execution.block_sequence,
+        )
+        assert report.cache_accesses == 0
+        assert report.spm_accesses == report.total_fetches
+
+
+class TestLoopCacheHierarchy:
+    def test_region_served_by_loop_cache(self):
+        program = make_loop_program(trip=50)
+        execution, mos, image = build_setup(program)
+        trace = mos[0]
+        region = LoopRegion(
+            name="whole", start=image.base_address(trace.name),
+            size=trace.padded_size,
+        )
+        report = simulate(
+            image,
+            HierarchyConfig(
+                cache=CacheConfig(size=64, line_size=16, associativity=1),
+                loop_cache=LoopCacheConfig(size=1024, max_regions=4),
+            ),
+            execution.block_sequence,
+            loop_regions=[region],
+        )
+        assert report.lc_accesses == report.total_fetches
+        assert report.lc_controller_checks >= report.total_fetches
+        assert report.cache_accesses == 0
+
+    def test_no_regions_all_cache(self):
+        program = make_loop_program(trip=5)
+        execution, _, image = build_setup(program)
+        report = simulate(
+            image,
+            HierarchyConfig(
+                cache=CacheConfig(size=64, line_size=16, associativity=1),
+                loop_cache=LoopCacheConfig(size=256, max_regions=4),
+            ),
+            execution.block_sequence,
+            loop_regions=[],
+        )
+        assert report.lc_accesses == 0
+        assert report.cache_accesses == report.total_fetches
+
+
+class TestTailJumpAccounting:
+    def test_split_traces_fetch_exit_jumps(self):
+        # Force per-block traces so entry->loop and loop->exit need
+        # explicit jumps.
+        program = make_loop_program(trip=10)
+        execution, mos, image = build_setup(program, min_ft=10**9)
+        assert len(mos) == 3
+        report = simulate(image, HierarchyConfig(),
+                          execution.block_sequence)
+        # entry fetches its on-fallthrough jump once; the loop block's
+        # exit jump is fetched once (the final iteration).
+        extra = report.total_fetches - execution.instruction_count
+        assert extra == 2

@@ -1,0 +1,127 @@
+"""Tests for the two-level (L1 + L2) instruction-cache hierarchy.
+
+Section 4: "If we had I-caches at different levels (e.g. L1, L2) ...
+we need not do anything, as the algorithm tries to minimize the L1
+I-cache misses.  The L2 I-cache misses, being a subset of the L1
+I-cache misses, are thus also minimized."
+"""
+
+import pytest
+
+from repro.core.casa import CasaAllocator
+from repro.energy.model import build_energy_model, compute_energy
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig, simulate
+from repro.program.executor import execute_program
+from repro.traces.layout import LinkedImage
+from repro.traces.tracegen import TraceGenConfig, generate_traces
+from repro.workloads import get_workload
+
+from tests.conftest import make_loop_program
+
+
+def two_level(l1=128, l2=1024):
+    return HierarchyConfig(
+        cache=CacheConfig(size=l1, line_size=16, associativity=1),
+        l2_cache=CacheConfig(size=l2, line_size=16, associativity=1),
+    )
+
+
+def run(program, config, spm_resident=frozenset(), spm_size=0):
+    execution = execute_program(program)
+    mos = generate_traces(
+        program, execution.profile,
+        TraceGenConfig(line_size=16, max_trace_size=128),
+    )
+    image = LinkedImage(program, mos, spm_resident=spm_resident,
+                        spm_size=spm_size)
+    return simulate(image, config, execution.block_sequence), mos
+
+
+class TestConfigValidation:
+    def test_l2_requires_l1(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(cache=None,
+                            l2_cache=CacheConfig(size=1024))
+
+    def test_l2_must_be_larger(self):
+        with pytest.raises(ConfigurationError):
+            two_level(l1=1024, l2=128)
+
+    def test_line_sizes_must_match(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(
+                cache=CacheConfig(size=128, line_size=16),
+                l2_cache=CacheConfig(size=1024, line_size=32),
+            )
+
+
+class TestTwoLevelSimulation:
+    def test_l2_misses_subset_of_l1(self):
+        program = get_workload("adpcm", scale=0.1).program
+        report, _ = run(program, two_level())
+        assert report.l2_hits + report.l2_misses == \
+            report.cache_misses
+        assert report.l2_misses <= report.cache_misses
+
+    def test_l2_filters_offchip_traffic(self):
+        program = get_workload("adpcm", scale=0.1).program
+        flat, _ = run(program, HierarchyConfig(
+            cache=CacheConfig(size=128, line_size=16, associativity=1)
+        ))
+        layered, _ = run(program, two_level())
+        # same L1 behaviour, far fewer off-chip words
+        assert layered.cache_misses == flat.cache_misses
+        assert layered.main_memory_words < flat.main_memory_words
+
+    def test_energy_accounting_includes_l2(self):
+        program = get_workload("adpcm", scale=0.1).program
+        config = two_level()
+        report, _ = run(program, config)
+        model = build_energy_model(config)
+        assert model.l2_hit > 0 and model.l2_miss > model.l2_hit
+        breakdown = compute_energy(report, model)
+        assert breakdown.l2 > 0
+        # L1 misses no longer carry the off-chip transfer
+        flat_model = build_energy_model(HierarchyConfig(
+            cache=config.cache))
+        assert model.cache_miss < flat_model.cache_miss
+
+    def test_no_l2_reports_zero(self):
+        program = make_loop_program(trip=10)
+        report, _ = run(program, HierarchyConfig(
+            cache=CacheConfig(size=64, line_size=16, associativity=1)
+        ))
+        assert report.l2_hits == 0 and report.l2_misses == 0
+
+
+class TestCasaWithL2:
+    def test_allocation_unchanged_and_l2_misses_drop(self):
+        """The paper's claim: run CASA against the L1 conflict graph,
+        and the L2 benefits automatically."""
+        workload = get_workload("adpcm", scale=0.2)
+        program = workload.program
+        config = two_level()
+        baseline, mos = run(program, config)
+
+        # CASA from the L1-only profile (the normal pipeline)
+        from repro.core.conflict_graph import ConflictGraph
+        l1_report, _ = run(program, HierarchyConfig(cache=config.cache))
+        graph = ConflictGraph.from_simulation(mos, l1_report)
+        spm_config = HierarchyConfig(cache=config.cache, spm_size=128)
+        model = build_energy_model(spm_config)
+        allocation = CasaAllocator().allocate(graph, 128, model)
+
+        with_spm_config = HierarchyConfig(
+            cache=config.cache, spm_size=128,
+            l2_cache=config.l2_cache,
+        )
+        allocated, _ = run(program, with_spm_config,
+                           spm_resident=allocation.spm_resident,
+                           spm_size=128)
+        assert allocated.cache_misses < baseline.cache_misses
+        assert allocated.l2_misses <= baseline.l2_misses
+        layered_model = build_energy_model(with_spm_config)
+        assert compute_energy(allocated, layered_model).total < \
+            compute_energy(baseline, build_energy_model(config)).total

@@ -1,0 +1,90 @@
+"""Tests for repro.memory.loopcache."""
+
+import pytest
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.memory.loopcache import LoopCache, LoopCacheConfig, LoopRegion
+
+
+class TestLoopRegion:
+    def test_covers(self):
+        region = LoopRegion(name="loop", start=0x100, size=0x40)
+        assert region.covers(0x100)
+        assert region.covers(0x13F)
+        assert not region.covers(0x140)
+        assert region.end == 0x140
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            LoopRegion(name="x", start=0, size=0)
+        with pytest.raises(ConfigurationError):
+            LoopRegion(name="x", start=-4, size=16)
+
+
+class TestPreloading:
+    def make(self, size=128, max_regions=2):
+        return LoopCache(LoopCacheConfig(size=size,
+                                         max_regions=max_regions))
+
+    def test_region_table_limit(self):
+        cache = self.make(size=1024, max_regions=2)
+        cache.preload(LoopRegion("a", 0, 16))
+        cache.preload(LoopRegion("b", 32, 16))
+        with pytest.raises(AllocationError):
+            cache.preload(LoopRegion("c", 64, 16))
+
+    def test_capacity_limit(self):
+        cache = self.make(size=32, max_regions=4)
+        cache.preload(LoopRegion("a", 0, 32))
+        with pytest.raises(AllocationError):
+            cache.preload(LoopRegion("b", 64, 16))
+
+    def test_overlap_rejected(self):
+        cache = self.make()
+        cache.preload(LoopRegion("a", 0, 32))
+        with pytest.raises(AllocationError):
+            cache.preload(LoopRegion("b", 16, 32))
+
+    def test_used_bytes(self):
+        cache = self.make()
+        cache.preload(LoopRegion("a", 0, 48))
+        assert cache.used_bytes == 48
+
+
+class TestAccess:
+    def make_loaded(self):
+        cache = LoopCache(
+            LoopCacheConfig(size=128, max_regions=4),
+            regions=[LoopRegion("hot", 0x100, 64)],
+        )
+        return cache
+
+    def test_lookup_counts_controller_checks(self):
+        cache = self.make_loaded()
+        assert cache.lookup(0x100) is True
+        assert cache.lookup(0x80) is False
+        assert cache.controller_checks == 2
+
+    def test_access_words_inside_region(self):
+        cache = self.make_loaded()
+        served = cache.access_words(0x100, 4)
+        assert served == 4
+        assert cache.accesses == 4
+        assert cache.controller_checks == 4
+
+    def test_access_words_straddling_region(self):
+        cache = self.make_loaded()
+        served = cache.access_words(0x138, 4)  # last 2 words inside
+        assert served == 2
+
+    def test_access_outside(self):
+        cache = self.make_loaded()
+        assert cache.access_words(0x0, 4) == 0
+        assert cache.accesses == 0
+
+    def test_reset_statistics_keeps_regions(self):
+        cache = self.make_loaded()
+        cache.access_words(0x100, 4)
+        cache.reset_statistics()
+        assert cache.accesses == 0
+        assert cache.regions

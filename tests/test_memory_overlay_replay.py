@@ -1,0 +1,159 @@
+"""Direct unit tests for InstructionMemorySimulator.run_overlay."""
+
+import pytest
+
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import (
+    HierarchyConfig,
+    InstructionMemorySimulator,
+)
+from repro.program.executor import execute_program
+from repro.traces.layout import LinkedImage, Placement
+from repro.traces.tracegen import TraceGenConfig, generate_traces
+from repro.workloads.builder import (
+    Call,
+    Loop,
+    ProgramBuilder,
+    Seq,
+    Straight,
+)
+
+
+def two_phase_program():
+    builder = ProgramBuilder("p")
+    builder.add_function("main", Seq([
+        Straight(2),
+        Loop(trip=20, body=Call("a")),
+        Straight(2),
+        Loop(trip=20, body=Call("b")),
+        Straight(2),
+    ]))
+    builder.add_function("a", Straight(10))
+    builder.add_function("b", Straight(10))
+    return builder.build()
+
+
+@pytest.fixture
+def setup():
+    program = two_phase_program()
+    execution = execute_program(program)
+    mos = generate_traces(
+        program, execution.profile,
+        TraceGenConfig(line_size=16, max_trace_size=64),
+    )
+    from repro.core.phases import detect_phases
+    partition = detect_phases(program)
+    return program, execution, mos, partition
+
+
+def make_images(program, mos, residents_by_phase, spm_size):
+    plans = {}
+    sizes = {}
+    for phase, resident in residents_by_phase.items():
+        image = LinkedImage(program, mos, spm_resident=resident,
+                            spm_size=spm_size,
+                            placement=Placement.COPY)
+        plans[phase] = image.all_plans()
+        for name in resident:
+            sizes[name] = image.memory_object(name).unpadded_size
+    return plans, sizes
+
+
+class TestRunOverlay:
+    def test_copy_words_counted_per_transition(self, setup):
+        program, execution, mos, partition = setup
+        # find the objects holding functions a and b
+        home = {}
+        for mo in mos:
+            for fragment in mo.fragments:
+                home.setdefault(fragment.block.split(".")[0],
+                                set()).add(mo.name)
+        a_mos = frozenset(home["a"])
+        b_mos = frozenset(home["b"])
+        residents = {
+            phase: (a_mos if phase <= 2 else b_mos)
+            for phase in range(partition.num_phases)
+        }
+        plans, sizes = make_images(program, mos, residents, 256)
+
+        simulator = InstructionMemorySimulator(
+            LinkedImage(program, mos),
+            HierarchyConfig(cache=CacheConfig(size=64, line_size=16,
+                                              associativity=1),
+                            spm_size=256),
+        )
+        report = simulator.run_overlay(
+            execution.block_sequence,
+            partition.block_phase,
+            plans,
+            residents,
+            sizes,
+        )
+        # b's objects are copied in exactly once (phase 3 entry);
+        # the initial fill of a is free.
+        expected = sum(sizes[name] for name in b_mos) // 4
+        assert report.overlay_copy_words == expected
+        assert report.check_identities()
+
+    def test_charge_initial_copies(self, setup):
+        program, execution, mos, partition = setup
+        all_names = frozenset(mo.name for mo in mos)
+        total = sum(mo.unpadded_size for mo in mos)
+        residents = {
+            phase: all_names for phase in range(partition.num_phases)
+        }
+        plans, sizes = make_images(program, mos, residents, total + 64)
+        simulator = InstructionMemorySimulator(
+            LinkedImage(program, mos),
+            HierarchyConfig(cache=CacheConfig(size=64, line_size=16,
+                                              associativity=1),
+                            spm_size=total + 64),
+        )
+        report = simulator.run_overlay(
+            execution.block_sequence, partition.block_phase,
+            plans, residents, sizes, charge_initial_copies=True,
+        )
+        assert report.overlay_copy_words == total // 4
+
+    def test_constant_residency_copies_nothing(self, setup):
+        program, execution, mos, partition = setup
+        residents = {
+            phase: frozenset() for phase in range(partition.num_phases)
+        }
+        plans, sizes = make_images(program, mos, residents, 0)
+        simulator = InstructionMemorySimulator(
+            LinkedImage(program, mos),
+            HierarchyConfig(cache=CacheConfig(size=64, line_size=16,
+                                              associativity=1)),
+        )
+        report = simulator.run_overlay(
+            execution.block_sequence, partition.block_phase,
+            plans, residents, sizes,
+        )
+        assert report.overlay_copy_words == 0
+        # equivalent to the plain run
+        plain = InstructionMemorySimulator(
+            LinkedImage(program, mos),
+            HierarchyConfig(cache=CacheConfig(size=64, line_size=16,
+                                              associativity=1)),
+        ).run(execution.block_sequence)
+        assert report.cache_misses == plain.cache_misses
+
+    def test_phase_stats_partition_totals(self, setup):
+        program, execution, mos, partition = setup
+        residents = {
+            phase: frozenset() for phase in range(partition.num_phases)
+        }
+        plans, sizes = make_images(program, mos, residents, 0)
+        simulator = InstructionMemorySimulator(
+            LinkedImage(program, mos),
+            HierarchyConfig(cache=CacheConfig(size=64, line_size=16,
+                                              associativity=1)),
+        )
+        report = simulator.run_overlay(
+            execution.block_sequence, partition.block_phase,
+            plans, residents, sizes,
+        )
+        assert sum(
+            stats.fetches for stats in report.phase_mo_stats.values()
+        ) == report.total_fetches

@@ -1,0 +1,69 @@
+"""Tests for repro.memory.replacement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.utils.rng import DeterministicRng
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        policy = LruPolicy(3)
+        policy.on_fill(0)
+        policy.on_fill(1)
+        policy.on_fill(2)
+        policy.on_hit(0)  # refresh way 0
+        assert policy.victim() == 1
+
+    def test_fill_refreshes(self):
+        policy = LruPolicy(2)
+        policy.on_fill(0)
+        policy.on_fill(1)
+        policy.on_fill(0)
+        assert policy.victim() == 1
+
+
+class TestFifo:
+    def test_hit_does_not_refresh(self):
+        policy = FifoPolicy(2)
+        policy.on_fill(0)
+        policy.on_fill(1)
+        policy.on_hit(0)
+        assert policy.victim() == 0
+
+    def test_fill_order(self):
+        policy = FifoPolicy(3)
+        for way in (2, 0, 1):
+            policy.on_fill(way)
+        assert policy.victim() == 2
+
+
+class TestRandom:
+    def test_victim_in_range_and_deterministic(self):
+        a = RandomPolicy(4, DeterministicRng(5))
+        b = RandomPolicy(4, DeterministicRng(5))
+        victims_a = [a.victim() for _ in range(20)]
+        victims_b = [b.victim() for _ in range(20)]
+        assert victims_a == victims_b
+        assert all(0 <= v < 4 for v in victims_a)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_policy("lru", 2), LruPolicy)
+        assert isinstance(make_policy("FIFO", 2), FifoPolicy)
+        assert isinstance(make_policy("random", 2), RandomPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("plru", 2)
+
+    def test_way_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            LruPolicy(0)

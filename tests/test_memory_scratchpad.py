@@ -1,0 +1,61 @@
+"""Tests for repro.memory.scratchpad and mainmem."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.mainmem import MainMemory
+from repro.memory.scratchpad import Scratchpad
+
+
+class TestScratchpad:
+    def test_region(self):
+        spm = Scratchpad(size=256, base=0x1000)
+        assert spm.covers(0x1000)
+        assert spm.covers(0x10FF)
+        assert not spm.covers(0x1100)
+        assert not spm.covers(0x0FFF)
+        assert spm.end == 0x1100
+
+    def test_access_counts_words(self):
+        spm = Scratchpad(size=64, base=0)
+        spm.access_words(0, 4)
+        spm.access_words(16, 2)
+        assert spm.accesses == 6
+
+    def test_out_of_range_rejected(self):
+        spm = Scratchpad(size=64, base=0)
+        with pytest.raises(SimulationError):
+            spm.access_words(60, 2)  # crosses the end
+        with pytest.raises(SimulationError):
+            spm.access_words(64, 1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scratchpad(size=-1, base=0)
+
+    def test_reset(self):
+        spm = Scratchpad(size=64, base=0)
+        spm.access_words(0, 4)
+        spm.reset_statistics()
+        assert spm.accesses == 0
+
+
+class TestMainMemory:
+    def test_line_fill(self):
+        memory = MainMemory()
+        memory.read_line(4)
+        memory.read_line(4)
+        assert memory.word_reads == 8
+        assert memory.line_fills == 2
+
+    def test_uncached_words(self):
+        memory = MainMemory()
+        memory.read_words(5)
+        assert memory.word_reads == 5
+        assert memory.line_fills == 0
+
+    def test_reset(self):
+        memory = MainMemory()
+        memory.read_line(4)
+        memory.reset_statistics()
+        assert memory.word_reads == 0

@@ -1,0 +1,113 @@
+"""Tests for repro.program.basicblock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa import (
+    make_alu,
+    make_branch,
+    make_call,
+    make_jump,
+    make_return,
+)
+from repro.program.basicblock import BasicBlock
+from repro.program.behavior import FixedTrip
+
+
+def alu_block(name="b", count=3, **kwargs):
+    return BasicBlock(name=name, instructions=[make_alu()] * count,
+                      **kwargs)
+
+
+class TestValidation:
+    def test_needs_name(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock(name="", instructions=[make_return()])
+
+    def test_needs_instructions(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock(name="b", instructions=[], fallthrough="x")
+
+    def test_control_flow_only_at_end(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock(
+                name="b",
+                instructions=[make_jump("x"), make_alu()],
+            )
+
+    def test_jump_forbids_fallthrough(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock(
+                name="b",
+                instructions=[make_jump("x")],
+                fallthrough="y",
+            )
+
+    def test_return_forbids_fallthrough(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock(
+                name="b",
+                instructions=[make_return()],
+                fallthrough="y",
+            )
+
+    def test_fallthrough_required_without_terminator(self):
+        with pytest.raises(ConfigurationError):
+            alu_block()
+
+    def test_branch_requires_behavior(self):
+        with pytest.raises(ConfigurationError):
+            BasicBlock(
+                name="b",
+                instructions=[make_branch("t")],
+                fallthrough="f",
+            )
+
+    def test_valid_branch_block(self):
+        block = BasicBlock(
+            name="b",
+            instructions=[make_alu(), make_branch("t")],
+            fallthrough="f",
+            behavior=FixedTrip(3),
+        )
+        assert block.ends_with_branch
+
+
+class TestQueries:
+    def test_successors_of_branch(self):
+        block = BasicBlock(
+            name="b",
+            instructions=[make_branch("taken")],
+            fallthrough="ft",
+            behavior=FixedTrip(2),
+        )
+        assert block.successors() == ["taken", "ft"]
+
+    def test_successors_of_jump(self):
+        block = BasicBlock(name="b", instructions=[make_jump("t")])
+        assert block.successors() == ["t"]
+        assert block.branch_target == "t"
+
+    def test_successors_of_return(self):
+        block = BasicBlock(name="b", instructions=[make_return()])
+        assert block.successors() == []
+        assert block.ends_with_return
+
+    def test_call_properties(self):
+        block = BasicBlock(
+            name="b",
+            instructions=[make_alu(), make_call("callee")],
+            fallthrough="cont",
+        )
+        assert block.ends_with_call
+        assert block.call_target == "callee"
+        assert block.successors() == ["cont"]
+
+    def test_size_and_count(self):
+        block = alu_block(count=5, fallthrough="next")
+        assert block.num_instructions == 5
+        assert block.size == 20
+
+    def test_str_mentions_fallthrough(self):
+        block = alu_block(count=1, fallthrough="next")
+        assert "next" in str(block)

@@ -1,0 +1,80 @@
+"""Tests for repro.program.behavior."""
+
+import pytest
+
+from repro.program.behavior import (
+    AlwaysTaken,
+    FixedTrip,
+    NeverTaken,
+    TakenProbability,
+)
+from repro.utils.rng import DeterministicRng
+
+
+class TestFixedTrip:
+    def test_pattern(self):
+        rng = DeterministicRng(0)
+        behavior = FixedTrip(4)
+        outcomes = [behavior.next_outcome(rng) for _ in range(8)]
+        # taken 3x, fall through, repeat
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_trip_one_never_taken(self):
+        rng = DeterministicRng(0)
+        behavior = FixedTrip(1)
+        assert [behavior.next_outcome(rng) for _ in range(3)] == [False] * 3
+
+    def test_reset(self):
+        rng = DeterministicRng(0)
+        behavior = FixedTrip(3)
+        behavior.next_outcome(rng)
+        behavior.reset()
+        outcomes = [behavior.next_outcome(rng) for _ in range(3)]
+        assert outcomes == [True, True, False]
+
+    def test_clone_fresh_state(self):
+        rng = DeterministicRng(0)
+        behavior = FixedTrip(2)
+        behavior.next_outcome(rng)
+        clone = behavior.clone()
+        assert clone is not behavior
+        assert clone.next_outcome(rng) is True  # fresh counter
+
+    def test_rejects_zero_trip(self):
+        with pytest.raises(ValueError):
+            FixedTrip(0)
+
+
+class TestTakenProbability:
+    def test_extremes(self):
+        rng = DeterministicRng(0)
+        assert all(
+            TakenProbability(1.0).next_outcome(rng) for _ in range(20)
+        )
+        assert not any(
+            TakenProbability(0.0).next_outcome(rng) for _ in range(20)
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            TakenProbability(-0.1)
+        with pytest.raises(ValueError):
+            TakenProbability(1.1)
+
+    def test_stateless_clone(self):
+        behavior = TakenProbability(0.5)
+        assert behavior.clone() is behavior
+
+
+class TestConstants:
+    def test_always(self):
+        rng = DeterministicRng(0)
+        assert AlwaysTaken().next_outcome(rng)
+
+    def test_never(self):
+        rng = DeterministicRng(0)
+        assert not NeverTaken().next_outcome(rng)
+
+    def test_reprs(self):
+        assert "FixedTrip(3)" == repr(FixedTrip(3))
+        assert "TakenProbability(0.5)" == repr(TakenProbability(0.5))

@@ -1,0 +1,128 @@
+"""Tests for repro.program.cfg (dominators, natural loops)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa import make_alu, make_branch, make_jump, make_return
+from repro.program.basicblock import BasicBlock
+from repro.program.behavior import FixedTrip, TakenProbability
+from repro.program.cfg import ControlFlowGraph, program_loops
+from repro.program.function import Function
+from repro.program.program import Program
+from repro.workloads import get_workload
+
+from tests.conftest import make_loop_program
+
+
+def nested_loop_function():
+    """outer loop contains an inner loop."""
+    blocks = [
+        BasicBlock("f.entry", [make_alu()], fallthrough="f.outer"),
+        BasicBlock("f.outer", [make_alu()], fallthrough="f.inner"),
+        BasicBlock(
+            "f.inner",
+            [make_alu(), make_branch("f.inner")],
+            fallthrough="f.latch",
+            behavior=FixedTrip(3),
+        ),
+        BasicBlock(
+            "f.latch",
+            [make_branch("f.outer")],
+            fallthrough="f.exit",
+            behavior=FixedTrip(3),
+        ),
+        BasicBlock("f.exit", [make_return()]),
+    ]
+    return Function("f", blocks)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = ControlFlowGraph(nested_loop_function())
+        for node in cfg.reachable_blocks():
+            assert cfg.dominates("f.entry", node)
+
+    def test_entry_self_mapping(self):
+        cfg = ControlFlowGraph(nested_loop_function())
+        assert cfg.immediate_dominators()["f.entry"] == "f.entry"
+
+    def test_non_dominator(self):
+        cfg = ControlFlowGraph(nested_loop_function())
+        assert not cfg.dominates("f.inner", "f.outer")
+
+    def test_unreachable_block_raises(self):
+        blocks = [
+            BasicBlock("g.b0", [make_return()]),
+            BasicBlock("g.dead", [make_return()]),
+        ]
+        cfg = ControlFlowGraph(Function("g", blocks))
+        with pytest.raises(ConfigurationError):
+            cfg.dominates("g.b0", "g.dead")
+
+
+class TestNaturalLoops:
+    def test_nested_loops_found(self):
+        cfg = ControlFlowGraph(nested_loop_function())
+        loops = cfg.natural_loops()
+        headers = {loop.header for loop in loops}
+        assert headers == {"f.outer", "f.inner"}
+
+    def test_inner_nested_in_outer(self):
+        cfg = ControlFlowGraph(nested_loop_function())
+        by_header = {loop.header: loop for loop in cfg.natural_loops()}
+        inner, outer = by_header["f.inner"], by_header["f.outer"]
+        assert inner.is_nested_in(outer)
+        assert not outer.is_nested_in(inner)
+
+    def test_loop_bodies(self):
+        cfg = ControlFlowGraph(nested_loop_function())
+        by_header = {loop.header: loop for loop in cfg.natural_loops()}
+        assert by_header["f.inner"].body == frozenset({"f.inner"})
+        assert by_header["f.outer"].body == frozenset(
+            {"f.outer", "f.inner", "f.latch"}
+        )
+
+    def test_self_loop(self):
+        program = make_loop_program(trip=2)
+        cfg = ControlFlowGraph(program.function("main"))
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+        assert loops[0].body == frozenset({"main.loop"})
+        assert loops[0].back_edges == frozenset(
+            {("main.loop", "main.loop")}
+        )
+
+    def test_loop_free_function(self):
+        blocks = [
+            BasicBlock("h.b0", [make_alu()], fallthrough="h.b1"),
+            BasicBlock("h.b1", [make_return()]),
+        ]
+        cfg = ControlFlowGraph(Function("h", blocks))
+        assert cfg.natural_loops() == []
+
+    def test_program_loops_aggregates(self):
+        workload = get_workload("adpcm", scale=0.01)
+        loops = program_loops(workload.program)
+        assert loops, "adpcm has loops"
+        functions = {loop.function for loop in loops}
+        assert "main" in functions
+
+    def test_loop_contains(self):
+        program = make_loop_program(trip=2)
+        loop = program_loops(program)[0]
+        assert loop.contains("main.loop")
+        assert not loop.contains("main.entry")
+        assert loop.num_blocks == 1
+
+
+class TestGraphQueries:
+    def test_successors_predecessors(self):
+        cfg = ControlFlowGraph(nested_loop_function())
+        assert cfg.successors("f.latch") == ["f.exit", "f.outer"]
+        assert cfg.predecessors("f.outer") == ["f.entry", "f.latch"]
+
+    def test_reachable_blocks(self):
+        cfg = ControlFlowGraph(nested_loop_function())
+        assert cfg.reachable_blocks() == {
+            "f.entry", "f.outer", "f.inner", "f.latch", "f.exit",
+        }

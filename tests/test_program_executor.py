@@ -1,0 +1,136 @@
+"""Tests for repro.program.executor."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import make_alu, make_branch, make_call, make_return
+from repro.program.basicblock import BasicBlock
+from repro.program.behavior import TakenProbability, FixedTrip
+from repro.program.executor import execute_program
+from repro.program.function import Function
+from repro.program.program import Program
+
+from tests.conftest import make_loop_program
+
+
+class TestLoopExecution:
+    def test_counted_loop_runs_exact_iterations(self):
+        program = make_loop_program(trip=10)
+        result = execute_program(program)
+        assert result.profile.block_count("main.loop") == 10
+        assert result.profile.block_count("main.entry") == 1
+        assert result.profile.block_count("main.exit") == 1
+
+    def test_block_sequence_shape(self):
+        program = make_loop_program(trip=3)
+        result = execute_program(program)
+        assert result.block_sequence == (
+            ["main.entry"] + ["main.loop"] * 3 + ["main.exit"]
+        )
+
+    def test_instruction_count(self):
+        program = make_loop_program(trip=2, body_instructions=6)
+        result = execute_program(program)
+        # entry 4 + 2 * (6 + branch) + exit 3
+        assert result.instruction_count == 4 + 2 * 7 + 3
+
+    def test_edge_counts(self):
+        program = make_loop_program(trip=5)
+        result = execute_program(program)
+        assert result.profile.edge_count("main.loop", "main.loop") == 4
+        assert result.profile.edge_count("main.loop", "main.exit") == 1
+        assert result.profile.edge_count("main.entry", "main.loop") == 1
+
+
+class TestCalls:
+    def make_call_program(self):
+        main = Function("main", [
+            BasicBlock(
+                name="main.b0",
+                instructions=[make_alu(), make_call("leaf")],
+                fallthrough="main.b1",
+            ),
+            BasicBlock(
+                name="main.b1",
+                instructions=[make_alu(), make_return()],
+            ),
+        ])
+        leaf = Function("leaf", [
+            BasicBlock(name="leaf.b0",
+                       instructions=[make_alu(), make_return()]),
+        ])
+        return Program([main, leaf], entry="main")
+
+    def test_call_and_return_sequence(self):
+        result = execute_program(self.make_call_program())
+        assert result.block_sequence == ["main.b0", "leaf.b0", "main.b1"]
+
+    def test_call_counts(self):
+        result = execute_program(self.make_call_program())
+        assert result.profile.call_counts[("main.b0", "leaf")] == 1
+
+    def test_nested_calls(self):
+        a = Function("a", [
+            BasicBlock("a.b0", [make_call("b")], fallthrough="a.b1"),
+            BasicBlock("a.b1", [make_return()]),
+        ])
+        b = Function("b", [
+            BasicBlock("b.b0", [make_call("c")], fallthrough="b.b1"),
+            BasicBlock("b.b1", [make_return()]),
+        ])
+        c = Function("c", [BasicBlock("c.b0", [make_return()])])
+        program = Program([a, b, c], entry="a")
+        result = execute_program(program)
+        assert result.block_sequence == [
+            "a.b0", "b.b0", "c.b0", "b.b1", "a.b1",
+        ]
+
+
+class TestDeterminism:
+    def make_probabilistic(self):
+        blocks = [
+            BasicBlock(
+                name="m.b0",
+                instructions=[make_branch("m.b2")],
+                fallthrough="m.b1",
+                behavior=TakenProbability(0.5),
+            ),
+            BasicBlock(
+                name="m.b1",
+                instructions=[make_alu(), make_return()],
+            ),
+            BasicBlock(
+                name="m.b2",
+                instructions=[make_return()],
+            ),
+        ]
+        return Program([Function("m", blocks)], entry="m")
+
+    def test_same_seed_same_trace(self):
+        program = self.make_probabilistic()
+        first = execute_program(program, seed=7).block_sequence
+        second = execute_program(program, seed=7).block_sequence
+        assert first == second
+
+    def test_rerun_on_same_program_object_is_stable(self):
+        # FixedTrip counters must not leak between runs.
+        program = make_loop_program(trip=4)
+        first = execute_program(program).block_sequence
+        second = execute_program(program).block_sequence
+        assert first == second
+
+
+class TestLimits:
+    def test_runaway_loop_detected(self):
+        blocks = [
+            BasicBlock(
+                name="m.b0",
+                instructions=[make_branch("m.b0")],
+                fallthrough="m.b1",
+                behavior=TakenProbability(1.0),
+            ),
+            BasicBlock(name="m.b1", instructions=[make_return()]),
+        ]
+        program = Program([Function("m", blocks)], entry="m")
+        with pytest.raises(SimulationError):
+            execute_program(program, max_steps=1000)

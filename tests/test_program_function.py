@@ -1,0 +1,85 @@
+"""Tests for repro.program.function."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa import make_alu, make_jump, make_return
+from repro.program.basicblock import BasicBlock
+from repro.program.function import Function
+
+
+def block(name, fallthrough=None, terminator=None):
+    instructions = [make_alu(), make_alu()]
+    if terminator is not None:
+        instructions.append(terminator)
+    return BasicBlock(name=name, instructions=instructions,
+                      fallthrough=fallthrough)
+
+
+class TestConstruction:
+    def test_needs_blocks(self):
+        with pytest.raises(ConfigurationError):
+            Function("f", [])
+
+    def test_needs_name(self):
+        with pytest.raises(ConfigurationError):
+            Function("", [block("b", terminator=make_return())])
+
+    def test_duplicate_block_names_rejected(self):
+        blocks = [
+            block("b", fallthrough="b"),
+            block("b", terminator=make_return()),
+        ]
+        with pytest.raises(ConfigurationError):
+            Function("f", blocks)
+
+    def test_entry_is_first_block(self):
+        f = Function("f", [
+            block("b0", fallthrough="b1"),
+            block("b1", terminator=make_return()),
+        ])
+        assert f.entry.name == "b0"
+
+
+class TestQueries:
+    def make(self):
+        return Function("f", [
+            block("b0", fallthrough="b1"),
+            block("b1", terminator=make_return()),
+        ])
+
+    def test_size(self):
+        assert self.make().size == 8 + 12
+
+    def test_lookup(self):
+        f = self.make()
+        assert f.block("b1").name == "b1"
+        assert "b0" in f
+        assert "zzz" not in f
+
+    def test_iteration_order(self):
+        assert [b.name for b in self.make()] == ["b0", "b1"]
+
+    def test_len(self):
+        assert len(self.make()) == 2
+
+
+class TestLocalTargetValidation:
+    def test_dangling_jump_rejected(self):
+        f = Function("f", [block("b0", terminator=make_jump("nowhere"))])
+        with pytest.raises(ConfigurationError):
+            f.validate_local_targets()
+
+    def test_dangling_fallthrough_rejected(self):
+        f = Function("f", [
+            block("b0", fallthrough="missing"),
+        ])
+        with pytest.raises(ConfigurationError):
+            f.validate_local_targets()
+
+    def test_valid_function_passes(self):
+        f = Function("f", [
+            block("b0", fallthrough="b1"),
+            block("b1", terminator=make_return()),
+        ])
+        f.validate_local_targets()

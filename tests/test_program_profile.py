@@ -1,0 +1,42 @@
+"""Tests for repro.program.profile."""
+
+from collections import Counter
+
+from repro.program.executor import execute_program
+from repro.program.profile import ProfileData
+
+from tests.conftest import make_loop_program
+
+
+class TestProfileData:
+    def test_zero_defaults(self):
+        profile = ProfileData()
+        assert profile.block_count("anything") == 0
+        assert profile.edge_count("a", "b") == 0
+        assert profile.total_block_executions == 0
+
+    def test_hottest_blocks_order(self):
+        profile = ProfileData(
+            block_counts=Counter({"a": 5, "b": 20, "c": 1})
+        )
+        assert profile.hottest_blocks() == [("b", 20), ("a", 5), ("c", 1)]
+        assert profile.hottest_blocks(limit=1) == [("b", 20)]
+
+    def test_merge_sums_counts(self):
+        one = execute_program(make_loop_program(trip=3)).profile
+        two = execute_program(make_loop_program(trip=3)).profile
+        merged = one.merge(two)
+        assert merged.block_count("main.loop") == 6
+        assert merged.edge_count("main.loop", "main.loop") == 4
+        # originals untouched
+        assert one.block_count("main.loop") == 3
+
+    def test_fallthrough_count(self):
+        program = make_loop_program(trip=4)
+        profile = execute_program(program).profile
+        loop_block = program.block("main.loop")
+        assert profile.fallthrough_count(loop_block) == 1
+
+    def test_total_block_executions(self):
+        profile = execute_program(make_loop_program(trip=5)).profile
+        assert profile.total_block_executions == 1 + 5 + 1

@@ -1,0 +1,105 @@
+"""Tests for repro.program.program."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa import make_alu, make_call, make_return
+from repro.program.basicblock import BasicBlock
+from repro.program.function import Function
+from repro.program.program import Program
+
+
+def simple_function(name, blocks=None):
+    if blocks is None:
+        blocks = [
+            BasicBlock(
+                name=f"{name}.b0",
+                instructions=[make_alu(), make_return()],
+            )
+        ]
+    return Function(name, blocks)
+
+
+class TestConstruction:
+    def test_needs_functions(self):
+        with pytest.raises(ConfigurationError):
+            Program([], entry="main")
+
+    def test_unknown_entry(self):
+        with pytest.raises(ConfigurationError):
+            Program([simple_function("main")], entry="other")
+
+    def test_duplicate_function_names(self):
+        with pytest.raises(ConfigurationError):
+            Program(
+                [simple_function("main"), simple_function("main")],
+                entry="main",
+            )
+
+    def test_duplicate_block_names_across_functions(self):
+        f1 = Function("a", [BasicBlock(
+            name="shared", instructions=[make_return()])])
+        f2 = Function("b", [BasicBlock(
+            name="shared", instructions=[make_return()])])
+        with pytest.raises(ConfigurationError):
+            Program([f1, f2], entry="a")
+
+
+class TestValidation:
+    def test_call_to_unknown_function(self):
+        blocks = [
+            BasicBlock(
+                name="main.b0",
+                instructions=[make_call("ghost")],
+                fallthrough="main.b1",
+            ),
+            BasicBlock(name="main.b1", instructions=[make_return()]),
+        ]
+        with pytest.raises(ConfigurationError):
+            Program([Function("main", blocks)], entry="main")
+
+    def test_valid_call(self):
+        blocks = [
+            BasicBlock(
+                name="main.b0",
+                instructions=[make_call("leaf")],
+                fallthrough="main.b1",
+            ),
+            BasicBlock(name="main.b1", instructions=[make_return()]),
+        ]
+        program = Program(
+            [Function("main", blocks), simple_function("leaf")],
+            entry="main",
+        )
+        assert program.function_of("leaf.b0") == "leaf"
+
+
+class TestQueries:
+    def make(self):
+        return Program(
+            [simple_function("main"), simple_function("leaf")],
+            entry="main",
+        )
+
+    def test_entry_block(self):
+        assert self.make().entry_block.name == "main.b0"
+
+    def test_size(self):
+        assert self.make().size == 16
+
+    def test_all_blocks_order(self):
+        names = [b.name for b in self.make().all_blocks()]
+        assert names == ["main.b0", "leaf.b0"]
+
+    def test_num_blocks(self):
+        assert self.make().num_blocks == 2
+
+    def test_has_block(self):
+        program = self.make()
+        assert program.has_block("leaf.b0")
+        assert not program.has_block("leaf.b1")
+
+    def test_listing_contains_functions(self):
+        listing = self.make().listing()
+        assert "function main" in listing
+        assert "function leaf" in listing

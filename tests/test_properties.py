@@ -1,0 +1,149 @@
+"""Cross-cutting property-based tests.
+
+* the cache simulator against an executable reference model;
+* trace generation + linking + simulation on random programs;
+* CASA against brute force on random conflict graphs.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.casa import CasaAllocator
+from repro.core.conflict_graph import ConflictGraph, ConflictNode
+from repro.energy.model import EnergyModel
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import HierarchyConfig, simulate
+from repro.program.executor import execute_program
+from repro.traces.layout import LinkedImage
+from repro.traces.tracegen import TraceGenConfig, generate_traces
+from repro.workloads.synthetic import random_program
+
+
+class ReferenceCache:
+    """Dict-based LRU reference model (correct by construction)."""
+
+    def __init__(self, num_sets, ways):
+        self.num_sets = num_sets
+        self.ways = ways
+        self.sets = [[] for _ in range(num_sets)]  # MRU at end
+
+    def access(self, line_id):
+        index = line_id % self.num_sets
+        contents = self.sets[index]
+        if line_id in contents:
+            contents.remove(line_id)
+            contents.append(line_id)
+            return True
+        if len(contents) == self.ways:
+            contents.pop(0)
+        contents.append(line_id)
+        return False
+
+
+class TestCacheAgainstReference:
+    @given(
+        st.integers(1, 3),   # log2 sets
+        st.integers(0, 2),   # log2 ways
+        st.lists(st.integers(0, 40), min_size=0, max_size=300),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hit_miss_stream_identical(self, log_sets, log_ways, stream):
+        sets, ways = 1 << log_sets, 1 << log_ways
+        cache = Cache(CacheConfig(
+            size=sets * ways * 16, line_size=16, associativity=ways))
+        reference = ReferenceCache(sets, ways)
+        for line in stream:
+            assert cache.access_line(line, "X") == \
+                reference.access(line)
+
+    @given(st.lists(st.integers(0, 30), min_size=0, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_conflict_attribution_totals(self, stream):
+        cache = Cache(CacheConfig(size=64, line_size=16,
+                                  associativity=1))
+        for line in stream:
+            cache.access_line(line, f"M{line % 5}")
+        assert (cache.conflict_miss_count + cache.compulsory_misses
+                == cache.misses)
+
+
+class TestPipelineOnRandomPrograms:
+    @given(st.integers(0, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_simulation_identity(self, seed):
+        program = random_program(seed, num_functions=3, max_depth=2)
+        execution = execute_program(program, max_steps=2_000_000)
+        mos = generate_traces(
+            program, execution.profile,
+            TraceGenConfig(line_size=16, max_trace_size=64),
+        )
+        image = LinkedImage(program, mos)
+        report = simulate(
+            image,
+            HierarchyConfig(cache=CacheConfig(size=128, line_size=16,
+                                              associativity=1)),
+            execution.block_sequence,
+        )
+        assert report.check_identities()
+        assert report.total_fetches >= execution.instruction_count
+        assert (report.conflict_miss_total + report.compulsory_misses
+                <= report.cache_misses)
+
+    @given(st.integers(0, 40), st.sampled_from([32, 64, 128]))
+    @settings(max_examples=15, deadline=None)
+    def test_casa_allocation_always_valid(self, seed, spm_size):
+        from repro.core.pipeline import Workbench, WorkbenchConfig
+        program = random_program(seed, num_functions=3, max_depth=2)
+        bench = Workbench(program, WorkbenchConfig(
+            cache=CacheConfig(size=64, line_size=16, associativity=1),
+            tracegen=TraceGenConfig(line_size=16, max_trace_size=32),
+        ))
+        result = bench.run_casa(spm_size)
+        assert result.allocation.used_bytes <= spm_size
+        assert result.report.check_identities()
+
+
+def random_graph(draw_nodes, draw_edges):
+    graph = ConflictGraph()
+    for index, (fetches, size_words) in enumerate(draw_nodes):
+        graph.add_node(ConflictNode(
+            f"N{index}", fetches=fetches, size=size_words * 4))
+    names = graph.node_names
+    for (a, b, weight) in draw_edges:
+        victim = names[a % len(names)]
+        evictor = names[b % len(names)]
+        if victim != evictor and weight > 0:
+            graph.add_edge(victim, evictor, weight)
+    return graph
+
+
+class TestCasaAgainstBruteForce:
+    @given(
+        st.lists(st.tuples(st.integers(0, 500), st.integers(1, 8)),
+                 min_size=1, max_size=6),
+        st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5),
+                           st.integers(1, 200)),
+                 min_size=0, max_size=8),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ilp_is_optimal(self, nodes, edges, capacity_words):
+        graph = random_graph(nodes, edges)
+        model = EnergyModel(cache_hit=1.0, cache_miss=33.0,
+                            spm_access=0.4)
+        capacity = capacity_words * 4
+        allocation = CasaAllocator().allocate(graph, capacity, model)
+
+        best = None
+        names = graph.node_names
+        for mask in itertools.product((0, 1), repeat=len(names)):
+            resident = {n for n, take in zip(names, mask) if take}
+            if sum(graph.node(n).size for n in resident) > capacity:
+                continue
+            energy = graph.predicted_energy(resident, model)
+            if best is None or energy < best:
+                best = energy
+        assert allocation.predicted_energy == pytest.approx(best)

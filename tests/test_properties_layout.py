@@ -1,0 +1,104 @@
+"""Property tests for linker/layout invariants on random programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig, simulate
+from repro.program.executor import execute_program
+from repro.traces.layout import LinkedImage, Placement
+from repro.traces.tracegen import TraceGenConfig, generate_traces
+from repro.workloads.synthetic import random_program
+
+
+def build(seed, max_trace=64):
+    program = random_program(seed, num_functions=3, max_depth=2)
+    execution = execute_program(program, max_steps=2_000_000)
+    mos = generate_traces(
+        program, execution.profile,
+        TraceGenConfig(line_size=16, max_trace_size=max_trace),
+    )
+    return program, execution, mos
+
+
+class TestLayoutInvariants:
+    @given(st.integers(0, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_main_image_ranges_disjoint_and_aligned(self, seed):
+        program, _, mos = build(seed)
+        image = LinkedImage(program, mos)
+        ranges = sorted(
+            (image.base_address(mo.name),
+             image.base_address(mo.name) + mo.padded_size)
+            for mo in mos
+        )
+        for (start, end), (next_start, _) in zip(ranges, ranges[1:]):
+            assert end <= next_start
+        for start, _ in ranges:
+            assert start % 16 == 0
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_plan_words_cover_block_instructions(self, seed):
+        """Every block's always-fetched words equal its instruction
+        count plus its unconditional continuation jumps."""
+        program, _, mos = build(seed)
+        image = LinkedImage(program, mos)
+        from repro.traces.memory_object import JumpKind
+        always_jumps: dict[str, int] = {}
+        for mo in mos:
+            for fragment in mo.fragments:
+                if fragment.appended_jump is JumpKind.ALWAYS:
+                    always_jumps[fragment.block] = \
+                        always_jumps.get(fragment.block, 0) + 1
+        for block in program.all_blocks():
+            plan = image.plan_for(block.name)
+            expected = block.num_instructions + \
+                always_jumps.get(block.name, 0)
+            assert plan.always_fetched_words == expected
+
+    @given(st.integers(0, 40), st.integers(0, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_copy_vs_compact_same_fetch_totals(self, seed, pick):
+        """Placement policy moves code around but must never change
+        *what* is fetched — only where from."""
+        program, execution, mos = build(seed)
+        if not mos:
+            return
+        resident = frozenset({mos[pick % len(mos)].name})
+        spm_size = sum(mo.unpadded_size for mo in mos) + 64
+        config = HierarchyConfig(
+            cache=CacheConfig(size=128, line_size=16, associativity=1),
+            spm_size=spm_size,
+        )
+        reports = []
+        for placement in (Placement.COPY, Placement.COMPACT):
+            image = LinkedImage(
+                program, mos, spm_resident=resident,
+                spm_size=spm_size, placement=placement,
+            )
+            reports.append(
+                simulate(image, config, execution.block_sequence)
+            )
+        copy_report, compact_report = reports
+        assert copy_report.total_fetches == \
+            compact_report.total_fetches
+        assert copy_report.spm_accesses == compact_report.spm_accesses
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_all_resident_simulation_has_no_cache_traffic(self, seed):
+        program, execution, mos = build(seed)
+        resident = frozenset(mo.name for mo in mos)
+        spm_size = sum(mo.unpadded_size for mo in mos)
+        image = LinkedImage(program, mos, spm_resident=resident,
+                            spm_size=spm_size)
+        report = simulate(
+            image,
+            HierarchyConfig(cache=CacheConfig(size=128, line_size=16,
+                                              associativity=1),
+                            spm_size=spm_size),
+            execution.block_sequence,
+        )
+        assert report.cache_accesses == 0
+        assert report.spm_accesses == report.total_fetches

@@ -1,0 +1,64 @@
+"""Tests for the linked-image disassembler."""
+
+import re
+
+from repro.traces.disasm import disassemble
+from repro.traces.layout import LinkedImage
+from repro.traces.tracegen import TraceGenConfig, generate_traces
+from repro.program.executor import execute_program
+
+from tests.conftest import make_loop_program
+
+
+def build_image(spm_resident=frozenset(), spm_size=0):
+    program = make_loop_program(trip=3)
+    execution = execute_program(program)
+    mos = generate_traces(
+        program, execution.profile,
+        TraceGenConfig(line_size=16, max_trace_size=64),
+    )
+    return LinkedImage(program, mos, spm_resident=spm_resident,
+                       spm_size=spm_size)
+
+
+class TestDisassemble:
+    def test_every_word_listed_once(self):
+        image = build_image()
+        listing = disassemble(image)
+        addresses = re.findall(r"^(0x[0-9a-f]+):", listing,
+                               re.MULTILINE)
+        assert len(addresses) == len(set(addresses))
+        total_bytes = sum(mo.padded_size for mo in
+                          image.memory_objects)
+        assert len(addresses) == total_bytes // 4
+
+    def test_addresses_match_layout(self):
+        image = build_image()
+        listing = disassemble(image)
+        for mo in image.memory_objects:
+            base = image.base_address(mo.name)
+            assert f"{base:#010x}" in listing
+
+    def test_padding_marked(self):
+        image = build_image()
+        listing = disassemble(image)
+        if any(mo.padded_size > mo.unpadded_size
+               for mo in image.memory_objects):
+            assert "; padding" in listing
+
+    def test_spm_residents_marked_and_unpadded(self):
+        image = build_image(spm_resident={"T0"}, spm_size=1024)
+        listing = disassemble(image)
+        assert "scratchpad" in listing
+        # the scratchpad copy is not padded
+        spm_section = listing.split("=====")[1]
+        assert "padded" not in spm_section
+
+    def test_block_boundaries_annotated(self):
+        listing = disassemble(build_image())
+        assert "main.entry[0:" in listing
+
+    def test_without_padding(self):
+        image = build_image()
+        listing = disassemble(image, include_padding=False)
+        assert "; padding" not in listing

@@ -1,0 +1,82 @@
+"""Tests for repro.traces.memory_object."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.memory_object import Fragment, JumpKind, MemoryObject
+
+
+class TestFragment:
+    def test_empty_range_rejected(self):
+        with pytest.raises(TraceError):
+            Fragment(block="b", start=3, end=3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(TraceError):
+            Fragment(block="b", start=-1, end=2)
+
+    def test_jump_and_target_must_pair(self):
+        with pytest.raises(TraceError):
+            Fragment(block="b", start=0, end=2,
+                     appended_jump=JumpKind.ALWAYS)
+        with pytest.raises(TraceError):
+            Fragment(block="b", start=0, end=2, jump_target="x")
+
+    def test_sizes_without_jump(self):
+        fragment = Fragment(block="b", start=0, end=3)
+        assert fragment.num_instructions == 3
+        assert fragment.num_words_with_jump == 3
+        assert fragment.size == 12
+
+    def test_sizes_with_jump(self):
+        fragment = Fragment(block="b", start=0, end=3,
+                            appended_jump=JumpKind.ON_FALLTHROUGH,
+                            jump_target="c")
+        assert fragment.num_words_with_jump == 4
+        assert fragment.size == 16
+
+
+class TestMemoryObject:
+    def make(self, fragments=None, line_size=16):
+        if fragments is None:
+            fragments = [Fragment(block="b", start=0, end=3)]
+        return MemoryObject(name="T0", fragments=fragments,
+                            line_size=line_size)
+
+    def test_needs_fragments(self):
+        with pytest.raises(TraceError):
+            MemoryObject(name="T0", fragments=[], line_size=16)
+
+    def test_line_size_sanity(self):
+        with pytest.raises(TraceError):
+            self.make(line_size=2)
+
+    def test_unpadded_size(self):
+        mo = self.make([
+            Fragment(block="a", start=0, end=3),
+            Fragment(block="b", start=0, end=2,
+                     appended_jump=JumpKind.ON_FALLTHROUGH,
+                     jump_target="c"),
+        ])
+        assert mo.unpadded_size == 12 + 12
+
+    def test_padded_size_rounds_to_line(self):
+        mo = self.make([Fragment(block="a", start=0, end=3)])  # 12 bytes
+        assert mo.padded_size == 16
+        assert mo.num_lines == 1
+
+    def test_padded_size_exact_multiple(self):
+        mo = self.make([Fragment(block="a", start=0, end=4)])  # 16 bytes
+        assert mo.padded_size == 16
+
+    def test_block_names_deduplicated_in_order(self):
+        mo = self.make([
+            Fragment(block="a", start=0, end=2),
+            Fragment(block="a", start=2, end=4),
+            Fragment(block="b", start=0, end=1),
+        ])
+        assert mo.block_names == ["a", "b"]
+
+    def test_describe_mentions_sizes(self):
+        text = self.make().describe()
+        assert "12B" in text and "16B" in text

@@ -1,0 +1,151 @@
+"""Tests for repro.traces.tracegen."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa import Opcode, make_alu, make_branch, make_return
+from repro.program.basicblock import BasicBlock
+from repro.program.behavior import FixedTrip
+from repro.program.executor import execute_program
+from repro.program.function import Function
+from repro.program.program import Program
+from repro.traces.memory_object import JumpKind
+from repro.traces.tracegen import (
+    TraceGenConfig,
+    fallthrough_chains,
+    generate_traces,
+)
+from repro.workloads.synthetic import random_program
+
+from tests.conftest import make_loop_program
+
+
+def traces_for(program, max_trace_size=1 << 20, min_ft=1):
+    result = execute_program(program)
+    config = TraceGenConfig(line_size=16, max_trace_size=max_trace_size,
+                            min_fallthrough_count=min_ft)
+    return generate_traces(program, result.profile, config)
+
+
+class TestConfig:
+    def test_line_size_check(self):
+        with pytest.raises(TraceError):
+            TraceGenConfig(line_size=2)
+
+    def test_max_trace_size_check(self):
+        with pytest.raises(TraceError):
+            TraceGenConfig(line_size=16, max_trace_size=8)
+
+    def test_min_fallthrough_check(self):
+        with pytest.raises(TraceError):
+            TraceGenConfig(min_fallthrough_count=-1)
+
+
+class TestChains:
+    def test_loop_program_is_one_chain(self):
+        program = make_loop_program()
+        chains = fallthrough_chains(program)
+        assert [[b.name for b in chain] for chain in chains] == [
+            ["main.entry", "main.loop", "main.exit"],
+        ]
+
+    def test_two_fallthrough_predecessors_rejected(self):
+        blocks = [
+            BasicBlock("f.a", [make_alu()], fallthrough="f.c"),
+            BasicBlock(
+                "f.b",
+                [make_alu(), make_branch("f.a")],
+                fallthrough="f.c",
+                behavior=FixedTrip(2),
+            ),
+            BasicBlock("f.c", [make_return()]),
+        ]
+        program = Program([Function("f", blocks)], entry="f")
+        with pytest.raises(TraceError):
+            fallthrough_chains(program)
+
+
+class TestCoverage:
+    """Every instruction of every block appears in exactly one fragment."""
+
+    def check_coverage(self, program, memory_objects):
+        covered = {}
+        for mo in memory_objects:
+            for fragment in mo.fragments:
+                key = fragment.block
+                covered.setdefault(key, []).append(
+                    (fragment.start, fragment.end)
+                )
+        for block in program.all_blocks():
+            ranges = sorted(covered[block.name])
+            expected = 0
+            for start, end in ranges:
+                assert start == expected
+                expected = end
+            assert expected == block.num_instructions
+
+    def test_loop_program(self):
+        program = make_loop_program()
+        self.check_coverage(program, traces_for(program))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7, 13])
+    def test_random_programs(self, seed):
+        program = random_program(seed, num_functions=3, max_depth=2)
+        self.check_coverage(program, traces_for(program))
+
+    @pytest.mark.parametrize("max_size", [16, 32, 64])
+    def test_with_size_caps(self, max_size):
+        program = random_program(42, num_functions=3, max_depth=2)
+        mos = traces_for(program, max_trace_size=max_size)
+        self.check_coverage(program, mos)
+        for mo in mos:
+            assert mo.unpadded_size <= max_size
+
+
+class TestSizeCap:
+    def test_large_block_split(self):
+        blocks = [
+            BasicBlock(
+                "f.big",
+                [make_alu() for _ in range(30)] + [make_return()],
+            ),
+        ]
+        program = Program([Function("f", blocks)], entry="f")
+        mos = traces_for(program, max_trace_size=32)
+        assert len(mos) > 1
+        for mo in mos:
+            assert mo.unpadded_size <= 32
+        # intermediate fragments end in ALWAYS continuation jumps
+        always = [
+            frag for mo in mos for frag in mo.fragments
+            if frag.appended_jump is JumpKind.ALWAYS
+        ]
+        assert always
+
+    def test_unbounded_keeps_chain_together(self):
+        program = make_loop_program()
+        mos = traces_for(program)
+        assert len(mos) == 1
+
+
+class TestTailJumps:
+    def test_trace_ends_unconditionally(self):
+        """Paper: traces always end with an unconditional jump."""
+        program = random_program(3, num_functions=3, max_depth=2)
+        for mo in traces_for(program, max_trace_size=48):
+            last = mo.fragments[-1]
+            if last.appended_jump is not JumpKind.NONE:
+                continue  # explicit appended jump
+            block_instructions = program.block(last.block).instructions
+            if last.end == len(block_instructions):
+                terminator = block_instructions[-1]
+                assert terminator.opcode in (Opcode.JUMP, Opcode.RETURN)
+
+    def test_cold_edge_cut(self):
+        # With min_fallthrough_count high, every edge is "cold" and the
+        # chain splits into per-block traces.
+        program = make_loop_program(trip=5)
+        mos = traces_for(program, min_ft=10**9)
+        assert len(mos) == 3
+        # first two traces end with on-fallthrough jumps
+        assert mos[0].fragments[-1].appended_jump is JumpKind.ON_FALLTHROUGH

@@ -1,0 +1,51 @@
+"""Tests for the ASCII bar chart renderer."""
+
+import pytest
+
+from repro.utils.barchart import BAR_CHAR, REFERENCE_CHAR, horizontal_bars
+
+
+class TestHorizontalBars:
+    def test_structure(self):
+        chart = horizontal_bars(
+            ["64B", "128B"],
+            {"Energy": [50.0, 120.0], "Misses": [80.0, 40.0]},
+        )
+        assert "64B:" in chart
+        assert "128B:" in chart
+        assert chart.count("Energy") == 2
+        assert REFERENCE_CHAR in chart
+
+    def test_bar_lengths_proportional(self):
+        chart = horizontal_bars(["g"], {"a": [50.0], "b": [100.0]},
+                                width=40)
+        lines = [line for line in chart.splitlines()
+                 if BAR_CHAR in line]
+        length_a = lines[0].count(BAR_CHAR)
+        length_b = lines[1].count(BAR_CHAR)
+        assert abs(length_b - 2 * length_a) <= 2
+
+    def test_values_printed(self):
+        chart = horizontal_bars(["g"], {"m": [73.4]})
+        assert "73.4%" in chart
+
+    def test_reference_marker_beyond_bars(self):
+        chart = horizontal_bars(["g"], {"m": [10.0]}, reference=100.0)
+        bar_line = next(line for line in chart.splitlines()
+                        if BAR_CHAR in line)
+        assert bar_line.index(REFERENCE_CHAR) > \
+            bar_line.rindex(BAR_CHAR)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            horizontal_bars(["a", "b"], {"m": [1.0]})
+
+    def test_empty_chart(self):
+        assert horizontal_bars([], {}) == "(empty chart)"
+
+    def test_fig4_chart_rendering(self):
+        from repro.evaluation.fig4 import run_fig4
+        result = run_fig4("tiny", sizes=(64,), scale=0.2)
+        chart = result.render_chart()
+        assert "Energy" in chart
+        assert BAR_CHAR in chart

@@ -1,0 +1,98 @@
+"""Tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    is_aligned,
+    is_power_of_two,
+    log2_int,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_rejects_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_power_of_two(value)
+
+
+class TestLog2Int:
+    def test_exact_values(self):
+        assert log2_int(1) == 0
+        assert log2_int(2) == 1
+        assert log2_int(1024) == 10
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            log2_int(12)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            log2_int(0)
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(32, 16) == 32
+
+    def test_rounds_up(self):
+        assert align_up(33, 16) == 48
+        assert align_up(1, 16) == 16
+
+    def test_zero(self):
+        assert align_up(0, 16) == 0
+
+    def test_non_power_alignment(self):
+        assert align_up(10, 12) == 12
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ConfigurationError):
+            align_up(4, 0)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ConfigurationError):
+            align_up(-4, 8)
+
+    @given(st.integers(0, 10**6), st.integers(1, 4096))
+    def test_properties(self, value, alignment):
+        result = align_up(value, alignment)
+        assert result >= value
+        assert result % alignment == 0
+        assert result - value < alignment
+
+
+class TestAlignDown:
+    def test_rounds_down(self):
+        assert align_down(33, 16) == 32
+        assert align_down(15, 16) == 0
+
+    def test_already_aligned(self):
+        assert align_down(48, 16) == 48
+
+    @given(st.integers(0, 10**6), st.integers(1, 4096))
+    def test_properties(self, value, alignment):
+        result = align_down(value, alignment)
+        assert result <= value
+        assert result % alignment == 0
+        assert value - result < alignment
+
+
+class TestIsAligned:
+    def test_aligned(self):
+        assert is_aligned(64, 16)
+        assert is_aligned(0, 4)
+
+    def test_misaligned(self):
+        assert not is_aligned(65, 16)
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ConfigurationError):
+            is_aligned(4, -1)

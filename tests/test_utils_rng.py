@@ -1,0 +1,81 @@
+"""Tests for repro.utils.rng."""
+
+import pytest
+
+from repro.utils.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.uniform_int(0, 100) for _ in range(50)] == [
+            b.uniform_int(0, 100) for _ in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.uniform_int(0, 10**9) for _ in range(8)] != [
+            b.uniform_int(0, 10**9) for _ in range(8)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork(3)
+        b = DeterministicRng(7).fork(3)
+        assert a.uniform_int(0, 10**9) == b.uniform_int(0, 10**9)
+
+    def test_fork_does_not_disturb_parent(self):
+        parent = DeterministicRng(9)
+        first = parent.uniform_int(0, 10**9)
+        parent2 = DeterministicRng(9)
+        parent2.fork(0)
+        assert parent2.uniform_int(0, 10**9) == first
+
+
+class TestDraws:
+    def test_coin_bounds(self):
+        rng = DeterministicRng(0)
+        assert not any(rng.coin(0.0) for _ in range(100))
+        assert all(rng.coin(1.0) for _ in range(100))
+
+    def test_coin_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).coin(1.5)
+
+    def test_uniform_int_inclusive(self):
+        rng = DeterministicRng(3)
+        values = {rng.uniform_int(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_uniform_int_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).uniform_int(5, 4)
+
+    def test_choice(self):
+        rng = DeterministicRng(1)
+        items = ["x", "y", "z"]
+        assert all(rng.choice(items) in items for _ in range(50))
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).choice([])
+
+    def test_weighted_choice_zero_weight_never_picked(self):
+        rng = DeterministicRng(5)
+        picks = {
+            rng.weighted_choice(["a", "b"], [1.0, 0.0])
+            for _ in range(100)
+        }
+        assert picks == {"a"}
+
+    def test_weighted_choice_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).weighted_choice(["a"], [1.0, 2.0])
+
+    def test_shuffled_is_permutation(self):
+        rng = DeterministicRng(11)
+        items = list(range(20))
+        result = rng.shuffled(items)
+        assert sorted(result) == items
+        assert items == list(range(20))  # input unchanged

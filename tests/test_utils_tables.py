@@ -1,0 +1,35 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert lines[1] == "| a  | bb |"
+        assert "| 33 | 4  |" in lines
+        # all rows share one width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="caption")
+        assert text.splitlines()[0] == "caption"
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(["h"], [["wide-cell-content"]])
+        assert "wide-cell-content" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_body(self):
+        text = format_table(["a"], [])
+        assert "| a |" in text
+
+    def test_cells_stringified(self):
+        text = format_table(["v"], [[3.5], [None]])
+        assert "3.5" in text and "None" in text

@@ -1,0 +1,67 @@
+"""Tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils.units import format_energy, format_size, parse_size
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("512B") == 512
+        assert parse_size("512 bytes") == 512
+
+    def test_kilobytes(self):
+        assert parse_size("2kB") == 2048
+        assert parse_size("2 KB") == 2048
+        assert parse_size("19.5 kBytes") == 19968
+
+    def test_megabytes(self):
+        assert parse_size("1MB") == 1024 * 1024
+
+    def test_integer_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_rejects_negative_int(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("two kilobytes")
+
+    def test_rejects_fractional_bytes(self):
+        with pytest.raises(ValueError):
+            parse_size("0.3B")
+
+
+class TestFormatSize:
+    def test_small(self):
+        assert format_size(64) == "64B"
+
+    def test_exact_kilobytes(self):
+        assert format_size(2048) == "2kB"
+
+    def test_fractional_kilobytes(self):
+        assert format_size(19968) == "19.5kB"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_size(-5)
+
+    def test_roundtrip(self):
+        for value in (1, 64, 100, 1024, 2048, 19968):
+            assert parse_size(format_size(value)) == value
+
+
+class TestFormatEnergy:
+    def test_nanojoules(self):
+        assert format_energy(12.3) == "12.30nJ"
+
+    def test_microjoules(self):
+        assert format_energy(4500.0) == "4.50uJ"
+
+    def test_millijoules(self):
+        assert format_energy(2.5e6) == "2.50mJ"
+
+    def test_negative(self):
+        assert format_energy(-4500.0) == "-4.50uJ"

@@ -1,0 +1,198 @@
+"""Tests for repro.workloads.builder (the structured-code DSL)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa import Opcode
+from repro.program.executor import execute_program
+from repro.workloads.builder import (
+    Call,
+    If,
+    Loop,
+    ProgramBuilder,
+    Seq,
+    Straight,
+    WhileProb,
+)
+
+
+def build_single(body, name="main"):
+    return ProgramBuilder("t").add_function(name, body).build(entry=name)
+
+
+class TestStatementValidation:
+    def test_negative_straight(self):
+        with pytest.raises(WorkloadError):
+            Straight(-1)
+
+    def test_zero_trip_loop(self):
+        with pytest.raises(WorkloadError):
+            Loop(trip=0, body=Straight(1))
+
+    def test_while_prob_one_rejected(self):
+        with pytest.raises(WorkloadError):
+            WhileProb(prob=1.0, body=Straight(1))
+
+    def test_if_probability_range(self):
+        with pytest.raises(WorkloadError):
+            If(prob=1.5, then=Straight(1))
+
+
+class TestBuilder:
+    def test_duplicate_function(self):
+        builder = ProgramBuilder("t").add_function("f", Straight(1))
+        with pytest.raises(WorkloadError):
+            builder.add_function("f", Straight(1))
+
+    def test_unknown_entry(self):
+        with pytest.raises(WorkloadError):
+            ProgramBuilder("t").add_function("f", Straight(1)).build("g")
+
+    def test_call_to_unknown_function(self):
+        builder = ProgramBuilder("t").add_function("main", Call("ghost"))
+        with pytest.raises(WorkloadError):
+            builder.build()
+
+    def test_forward_call_allowed(self):
+        builder = ProgramBuilder("t")
+        builder.add_function("main", Call("later"))
+        builder.add_function("later", Straight(2))
+        program = builder.build()
+        assert execute_program(program).block_sequence[1] == "later.b0"
+
+
+class TestStraightCode:
+    def test_single_block_with_return(self):
+        program = build_single(Straight(5))
+        blocks = program.all_blocks()
+        assert len(blocks) == 1
+        assert blocks[0].terminator.opcode is Opcode.RETURN
+        assert blocks[0].num_instructions == 6  # 5 + return
+
+    def test_empty_function(self):
+        program = build_single(Seq([]))
+        blocks = program.all_blocks()
+        assert len(blocks) == 1
+        assert blocks[0].num_instructions == 1  # bare return
+
+
+class TestLoops:
+    def test_loop_executes_trip_times(self):
+        program = build_single(Loop(trip=7, body=Straight(3)))
+        profile = execute_program(program).profile
+        loop_blocks = [
+            name for name, count in profile.block_counts.items()
+            if count == 7
+        ]
+        assert loop_blocks, "some block must run 7 times"
+
+    def test_nested_loops_multiply(self):
+        program = build_single(
+            Loop(trip=3, body=Loop(trip=4, body=Straight(2)))
+        )
+        profile = execute_program(program).profile
+        assert 12 in profile.block_counts.values()
+
+    def test_while_prob_zero_runs_once(self):
+        program = build_single(WhileProb(prob=0.0, body=Straight(2)))
+        profile = execute_program(program).profile
+        # do-while semantics: the body runs at least (and here exactly) once
+        counts = set(profile.block_counts.values())
+        assert counts == {1}
+
+
+class TestIf:
+    def test_then_branch_taken_always(self):
+        program = build_single(
+            Seq([If(prob=1.0, then=Straight(3), els=Straight(2)),
+                 Straight(1)])
+        )
+        result = execute_program(program)
+        # The then-branch block ends with a jump back to the join.
+        jump_blocks = [
+            block for block in program.all_blocks()
+            if block.ends_with_jump
+        ]
+        assert jump_blocks
+        assert any(
+            name in result.block_sequence
+            for name in (block.name for block in jump_blocks)
+        )
+
+    def test_else_branch_taken_never(self):
+        program = build_single(
+            Seq([If(prob=0.0, then=Straight(3), els=Straight(2)),
+                 Straight(1)])
+        )
+        result = execute_program(program)
+        jump_blocks = {
+            block.name for block in program.all_blocks()
+            if block.ends_with_jump
+        }
+        assert not jump_blocks & set(result.block_sequence)
+
+    def test_if_without_else(self):
+        program = build_single(
+            Seq([Straight(2), If(prob=0.5, then=Straight(3)), Straight(2)])
+        )
+        # must be structurally valid and runnable with either outcome
+        for seed in (0, 1, 2, 3):
+            execute_program(program, seed=seed)
+
+    def test_if_as_last_statement(self):
+        program = build_single(If(prob=0.5, then=Straight(2),
+                                  els=Straight(1)))
+        for seed in range(4):
+            execute_program(program, seed=seed)
+
+    def test_nested_if_in_then(self):
+        program = build_single(
+            Seq([
+                If(prob=1.0,
+                   then=If(prob=1.0, then=Straight(2), els=Straight(1)),
+                   els=Straight(1)),
+                Straight(1),
+            ])
+        )
+        execute_program(program)
+
+
+class TestCalls:
+    def test_call_mid_sequence(self):
+        builder = ProgramBuilder("t")
+        builder.add_function("main", Seq([
+            Straight(2), Call("leaf"), Straight(2),
+        ]))
+        builder.add_function("leaf", Straight(3))
+        program = builder.build()
+        sequence = execute_program(program).block_sequence
+        assert sequence == ["main.b0", "leaf.b0", "main.b1"]
+
+    def test_call_inside_loop(self):
+        builder = ProgramBuilder("t")
+        builder.add_function("main", Loop(trip=5, body=Call("leaf")))
+        builder.add_function("leaf", Straight(2))
+        program = builder.build()
+        profile = execute_program(program).profile
+        assert profile.block_count("leaf.b0") == 5
+
+
+class TestStructuralInvariants:
+    def test_block_names_unique_and_prefixed(self):
+        program = build_single(
+            Seq([Loop(trip=2, body=Straight(3)),
+                 If(prob=0.5, then=Straight(2), els=Straight(1))])
+        )
+        names = [block.name for block in program.all_blocks()]
+        assert len(names) == len(set(names))
+        assert all(name.startswith("main.") for name in names)
+
+    def test_mix_contains_loads_and_stores(self):
+        program = build_single(Straight(40))
+        opcodes = {
+            instr.opcode
+            for block in program.all_blocks()
+            for instr in block.instructions
+        }
+        assert Opcode.LOAD in opcodes
+        assert Opcode.STORE in opcodes

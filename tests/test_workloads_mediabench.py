@@ -1,0 +1,105 @@
+"""Tests for repro.workloads.mediabench and the registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.program.executor import execute_program
+from repro.workloads.mediabench import build_adpcm, build_g721, build_mpeg
+from repro.workloads.registry import available_workloads, get_workload
+
+
+class TestCodeSizes:
+    """Code sizes should approximate the paper's (1 / 4.7 / 19.5 kB)."""
+
+    def test_adpcm_size(self):
+        size = build_adpcm().size
+        assert 0.8 * 1024 <= size <= 1.25 * 1024
+
+    def test_g721_size(self):
+        size = build_g721().size
+        assert 0.85 * 4813 <= size <= 1.15 * 4813
+
+    def test_mpeg_size(self):
+        size = build_mpeg().size
+        assert 0.85 * 19968 <= size <= 1.15 * 19968
+
+
+class TestExecution:
+    @pytest.mark.parametrize("builder", [build_adpcm, build_g721])
+    def test_runs_to_completion(self, builder):
+        program = builder(scale=0.05)
+        result = execute_program(program)
+        assert result.instruction_count > 0
+
+    def test_scale_reduces_work(self):
+        small = execute_program(build_adpcm(scale=0.1))
+        large = execute_program(build_adpcm(scale=0.5))
+        assert small.instruction_count < large.instruction_count
+
+    def test_deterministic_for_seed(self):
+        program = build_g721(scale=0.05)
+        a = execute_program(program, seed=3)
+        b = execute_program(program, seed=3)
+        assert a.block_sequence == b.block_sequence
+
+    def test_mpeg_hot_kernels_executed(self):
+        program = build_mpeg(scale=0.05)
+        profile = execute_program(program).profile
+        hot = {"dct_1d.b0", "idct_1d.b0", "quantize_block.b0",
+               "sad_16x16.b0"}
+        for name in hot:
+            assert profile.block_count(name) > 0, name
+
+    def test_mpeg_cold_functions_not_executed(self):
+        program = build_mpeg(scale=0.05)
+        profile = execute_program(program).profile
+        assert profile.block_count("init_vlc_tables.b0") == 0
+        assert profile.block_count("option_parsing.b0") == 0
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_workloads()) == {
+            "adpcm", "g721", "mpeg", "jpeg", "epic", "tiny",
+        }
+
+    def test_unknown_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nonesuch")
+
+    def test_paper_cache_sizes(self):
+        assert get_workload("adpcm", 0.01).cache.size == 128
+        assert get_workload("g721", 0.01).cache.size == 1024
+        assert get_workload("mpeg", 0.01).cache.size == 2048
+
+    def test_spm_size_lists(self):
+        assert get_workload("adpcm", 0.01).spm_sizes == (64, 128, 256)
+        assert get_workload("mpeg", 0.01).spm_sizes == (
+            128, 256, 512, 1024,
+        )
+
+    def test_tiny_is_small_and_fast(self):
+        workload = get_workload("tiny")
+        assert workload.program.size < 512
+        execute_program(workload.program)
+
+
+class TestEpic:
+    def test_size(self):
+        from repro.workloads.mediabench import build_epic
+        size = build_epic().size
+        assert 6000 <= size <= 10000
+
+    def test_runs(self):
+        from repro.workloads.mediabench import build_epic
+        result = execute_program(build_epic(scale=0.05))
+        assert result.instruction_count > 0
+
+    def test_low_conflict_profile(self):
+        """epic's pyramid reuses two kernels that fit the cache: the
+        conflict pressure is low by design (the negative-control
+        workload for conflict-aware allocation)."""
+        from repro.evaluation.sweep import make_workbench
+        _, bench = make_workbench("epic", 0.2)
+        report = bench.baseline_report
+        assert report.conflict_miss_total < report.total_fetches * 0.02

@@ -1,0 +1,55 @@
+"""Property tests for the random program generator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.program.executor import execute_program
+from repro.workloads.synthetic import random_program
+
+
+class TestRandomProgram:
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid_and_terminating(self, seed):
+        program = random_program(seed, num_functions=3, max_depth=2)
+        result = execute_program(program, seed=seed,
+                                 max_steps=2_000_000)
+        assert result.instruction_count >= 1
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_generation(self, seed):
+        a = random_program(seed)
+        b = random_program(seed)
+        assert a.listing() == b.listing()
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_profile_consistency(self, seed):
+        """Block executions equal incoming edge/call/entry transfers."""
+        program = random_program(seed, num_functions=3, max_depth=2)
+        result = execute_program(program, max_steps=2_000_000)
+        profile = result.profile
+        incoming = {name: 0 for name in
+                    (b.name for b in program.all_blocks())}
+        for (src, dst), count in profile.edge_counts.items():
+            incoming[dst] += count
+        for (caller, callee), count in profile.call_counts.items():
+            incoming[program.function(callee).entry.name] += count
+        # return transfers to continuations are edge-counted? no:
+        # returns go back to the caller's continuation, which IS the
+        # caller block's fallthrough edge... they are not edge-counted,
+        # so reconstruct: continuation executions = call count.
+        for (caller, callee), count in profile.call_counts.items():
+            continuation = program.block(caller).fallthrough
+            incoming[continuation] += count
+        incoming[program.entry_block.name] += 1
+        for name, count in profile.block_counts.items():
+            assert incoming[name] == count, name
+
+    def test_entry_function_is_f0(self):
+        assert random_program(5).entry == "f0"
+
+    def test_num_functions_respected(self):
+        program = random_program(3, num_functions=5)
+        assert len(program.functions) == 5
