@@ -2,12 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench exhibits report examples clean
+# The package lives in src/; run everything against the tree so no
+# install step is needed.
+export PYTHONPATH := src
+
+.PHONY: install test bench bench-smoke exhibits report examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test:
+test: bench-smoke
 	$(PYTHON) -m pytest tests/
 
 test-output:
@@ -15,6 +19,11 @@ test-output:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Cold/warm engine smoke: one tiny design point per exhibit, asserting
+# that a warm artifact cache does zero profiling or simulation work.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_smoke.py
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -10,7 +10,7 @@ allocate, and then replay executions driven by different seeds.
 import pytest
 
 from repro.energy.model import build_energy_model, compute_energy
-from repro.evaluation.sweep import make_workbench
+from repro.engine import make_workbench
 from repro.memory.hierarchy import HierarchyConfig, simulate
 from repro.program.executor import execute_program
 from repro.traces.layout import LinkedImage

@@ -13,7 +13,7 @@ import pytest
 from repro.core.casa import CasaAllocator
 from repro.core.conflict_graph import ConflictGraph
 from repro.energy.model import build_energy_model, compute_energy
-from repro.evaluation.sweep import make_workbench
+from repro.engine import make_workbench
 from repro.memory.cache import CacheConfig
 from repro.memory.hierarchy import HierarchyConfig, simulate
 from repro.traces.layout import LinkedImage

@@ -10,7 +10,7 @@ phase boundary, paying explicit copy energy — and beats the best
 
 import pytest
 
-from repro.evaluation.sweep import make_workbench
+from repro.engine import make_workbench
 from repro.utils.tables import format_table
 
 from conftest import BENCH_SCALE, write_report

@@ -20,7 +20,7 @@ import pytest
 from repro.core.casa import CasaAllocator
 from repro.core.conflict_graph import ConflictGraph
 from repro.core.placement import ConflictAwarePlacer
-from repro.evaluation.sweep import make_workbench
+from repro.engine import make_workbench
 from repro.memory.hierarchy import HierarchyConfig, simulate
 from repro.energy.model import build_energy_model, compute_energy
 from repro.traces.layout import LinkedImage

@@ -15,11 +15,10 @@ LRU-irrelevant):
 
 import pytest
 
-from repro.core.pipeline import Workbench, WorkbenchConfig
+from repro.engine import make_workbench
 from repro.memory.cache import CacheConfig
 from repro.traces.tracegen import TraceGenConfig
 from repro.utils.tables import format_table
-from repro.workloads import get_workload
 
 from conftest import BENCH_SCALE, write_report
 
@@ -27,12 +26,12 @@ SPM_SIZE = 128
 
 
 def run_config(cache: CacheConfig):
-    workload = get_workload("adpcm", scale=min(BENCH_SCALE, 0.5))
-    bench = Workbench(workload.program, WorkbenchConfig(
+    _, bench = make_workbench(
+        "adpcm", min(BENCH_SCALE, 0.5),
         cache=cache,
         tracegen=TraceGenConfig(line_size=cache.line_size,
                                 max_trace_size=64),
-    ))
+    )
     casa = bench.run_casa(SPM_SIZE)
     steinke = bench.run_steinke(SPM_SIZE)
     improvement = (1 - casa.energy.total / steinke.energy.total) * 100
@@ -103,15 +102,11 @@ def test_technology_scaling_report(benchmark):
     from repro.energy.model import build_energy_model, compute_energy
     from repro.energy.technology import TechnologyNode
     from repro.memory.hierarchy import HierarchyConfig
-    from repro.workloads import get_workload
-    from repro.core.pipeline import Workbench, WorkbenchConfig
-    from repro.traces.tracegen import TraceGenConfig
 
-    workload = get_workload("adpcm", scale=min(BENCH_SCALE, 0.5))
-    bench = Workbench(workload.program, WorkbenchConfig(
-        cache=workload.cache,
+    workload, bench = make_workbench(
+        "adpcm", min(BENCH_SCALE, 0.5),
         tracegen=TraceGenConfig(line_size=16, max_trace_size=64),
-    ))
+    )
     casa = bench.run_casa(SPM_SIZE)
     steinke = bench.run_steinke(SPM_SIZE)
     benchmark.pedantic(lambda: casa, rounds=1, iterations=1)

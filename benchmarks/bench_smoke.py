@@ -1,0 +1,70 @@
+"""Engine smoke check: one tiny design point per exhibit, cold and warm.
+
+Not a paper exhibit — this is the cheap end-to-end proof that the
+experiment engine's artifact cache works the way the exhibits rely on:
+each exhibit's algorithm pairing is evaluated once against an empty
+on-disk cache (cold) and once more through a *fresh* store on the same
+directory (warm, so the in-memory tier cannot help).  The warm run must
+perform zero profiling executions and zero baseline cache simulations,
+and must reproduce the cold energies exactly.
+
+Runs in seconds on the ``tiny`` workload; wired into ``make test`` via
+``make bench-smoke``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    ArtifactStore,
+    PointSpec,
+    RunRecord,
+    map_points,
+    set_default_store,
+)
+
+SMOKE_SCALE = 0.2
+
+#: One minimal design-point set per exhibit family.
+EXHIBIT_POINTS = {
+    "fig4": [PointSpec("tiny", 128, algorithm, scale=SMOKE_SCALE)
+             for algorithm in ("casa", "steinke")],
+    "fig5": [PointSpec("tiny", 128, algorithm, scale=SMOKE_SCALE)
+             for algorithm in ("casa", "ross")],
+    "table1": [PointSpec("tiny", 64, algorithm, scale=SMOKE_SCALE)
+               for algorithm in ("casa", "steinke", "ross")],
+    "dse": [PointSpec("tiny", 0, "baseline", scale=SMOKE_SCALE)],
+}
+
+
+@pytest.mark.parametrize("exhibit", sorted(EXHIBIT_POINTS))
+def test_exhibit_cold_then_warm(exhibit, tmp_path):
+    points = EXHIBIT_POINTS[exhibit]
+    cache_dir = tmp_path / "cache"
+    previous = set_default_store(ArtifactStore(cache_dir=cache_dir))
+    try:
+        cold = RunRecord()
+        cold_results = map_points(points, record=cold)
+        assert cold.computed("execution") == 1
+        assert cold.computed("baseline") == 1
+
+        # A fresh store on the same directory: the memory tier is gone,
+        # so every warm hit below is served by the on-disk cache.
+        set_default_store(ArtifactStore(cache_dir=cache_dir))
+        warm = RunRecord()
+        warm_results = map_points(points, record=warm)
+
+        for stage in ("execution", "trace", "baseline", "graph"):
+            assert warm.computed(stage) == 0, stage
+            assert warm.hits(stage) == 1, stage
+        cached_allocations = sum(
+            1 for point in points if point.algorithm != "baseline"
+        )
+        assert warm.computed("result") == 0
+        assert warm.hits("result") == cached_allocations
+
+        assert [r.energy.total for r in warm_results] \
+            == [r.energy.total for r in cold_results]
+    finally:
+        set_default_store(previous)

@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.unified import UnifiedCasaAllocator, unified_steinke
 from repro.data import DataHierarchyConfig, DataWorkbench
-from repro.evaluation.sweep import make_workbench
+from repro.engine import make_workbench
 from repro.memory.cache import CacheConfig
 from repro.utils.tables import format_table
 from repro.workloads.dataspecs import get_data_spec

@@ -10,7 +10,7 @@ code fetches deterministically).
 import pytest
 
 from repro.analysis.wcet import FetchLatency, compute_wcet
-from repro.evaluation.sweep import make_workbench
+from repro.engine import make_workbench
 from repro.traces.layout import LinkedImage
 from repro.utils.tables import format_table
 

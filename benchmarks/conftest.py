@@ -39,5 +39,5 @@ def bench_scale() -> float:
 @pytest.fixture(scope="session")
 def mpeg_bench():
     """Profiled mpeg workbench at the benchmark scale."""
-    from repro.evaluation.sweep import make_workbench
+    from repro.engine import make_workbench
     return make_workbench("mpeg", BENCH_SCALE)[1]

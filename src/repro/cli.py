@@ -5,14 +5,24 @@ Commands:
 * ``fig4`` / ``fig5`` / ``table1`` — regenerate the paper's exhibits;
 * ``sweep`` — free-form size sweep of any workload/allocators;
 * ``graph`` — dump a workload's conflict graph as Graphviz DOT;
+* ``cache`` — artifact-cache maintenance (``stats`` / ``clear``);
 * ``workloads`` — list registered benchmarks.
+
+Every experiment command consults the engine's content-addressed
+artifact cache (on disk under ``--cache-dir``, default ``.casa_cache``
+or ``$CASA_CACHE_DIR``); ``--no-cache`` disables the disk tier and
+``--jobs N`` fans sweep design points across worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.engine.runner import RunRecord
+from repro.engine.store import ArtifactStore, CACHE_DIR_ENV, \
+    set_default_store
 from repro.evaluation.fig4 import run_fig4
 from repro.evaluation.fig5 import run_fig5
 from repro.evaluation.sweep import make_workbench, run_sweep
@@ -22,7 +32,12 @@ from repro.utils.tables import format_table
 from repro.workloads.registry import available_workloads
 
 
-def _add_scale(parser: argparse.ArgumentParser) -> None:
+def _default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV) or ".casa_cache"
+
+
+def _add_scale(parser: argparse.ArgumentParser,
+               jobs: bool = False) -> None:
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="outer-loop trip-count multiplier (default 1.0)",
@@ -31,6 +46,21 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=0,
         help="executor seed for probabilistic branches (default 0)",
     )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact-cache directory (default .casa_cache, or "
+             f"${CACHE_DIR_ENV})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk artifact cache",
+    )
+    if jobs:
+        parser.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the sweep's design points "
+                 "(default 1 = serial; results are identical)",
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,7 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=available_workloads())
     fig4.add_argument("--chart", action="store_true",
                       help="render as grouped bars")
-    _add_scale(fig4)
+    _add_scale(fig4, jobs=True)
 
     fig5 = sub.add_parser("fig5",
                           help="scratchpad vs. loop cache (figure 5)")
@@ -54,10 +84,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=available_workloads())
     fig5.add_argument("--chart", action="store_true",
                       help="render as grouped bars")
-    _add_scale(fig5)
+    _add_scale(fig5, jobs=True)
 
     table1 = sub.add_parser("table1", help="overall savings (table 1)")
-    _add_scale(table1)
+    _add_scale(table1, jobs=True)
 
     sweep = sub.add_parser("sweep", help="free-form size sweep")
     sweep.add_argument("--workload", default="mpeg",
@@ -69,7 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=["casa", "steinke", "ross"],
         choices=["casa", "steinke", "greedy", "ross"],
     )
-    _add_scale(sweep)
+    _add_scale(sweep, jobs=True)
 
     graph = sub.add_parser("graph", help="dump the conflict graph (DOT)")
     graph.add_argument("--workload", default="mpeg",
@@ -110,7 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--budget", type=float, default=30_000.0,
                      help="on-chip area budget (model units)")
     dse.add_argument("--top", type=int, default=8)
-    _add_scale(dse)
+    _add_scale(dse, jobs=True)
 
     explain = sub.add_parser(
         "explain",
@@ -129,8 +159,54 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--no-charts", action="store_true")
     _add_scale(report)
 
+    cache = sub.add_parser(
+        "cache", help="artifact-cache maintenance"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir", default=None,
+        help="artifact-cache directory (default .casa_cache, or "
+             f"${CACHE_DIR_ENV})",
+    )
+
     sub.add_parser("workloads", help="list registered benchmarks")
     return parser
+
+
+def _configure_store(args: argparse.Namespace) -> ArtifactStore:
+    """Install the process-wide store the parsed flags ask for."""
+    if getattr(args, "no_cache", False):
+        store = ArtifactStore()
+    else:
+        cache_dir = getattr(args, "cache_dir", None) \
+            or _default_cache_dir()
+        store = ArtifactStore(cache_dir=cache_dir)
+    set_default_store(store)
+    return store
+
+
+def _run_cache_command(args: argparse.Namespace) -> int:
+    """``casa cache stats`` / ``casa cache clear``."""
+    store = ArtifactStore(
+        cache_dir=args.cache_dir or _default_cache_dir()
+    )
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached artifacts from "
+              f"{store.cache_dir}")
+        return 0
+    entries = store.disk_entries()
+    count, total_bytes = store.disk_usage()
+    print(f"cache dir : {store.cache_dir}")
+    print(f"artifacts : {count}")
+    print(f"bytes     : {total_bytes}")
+    per_stage: dict[str, int] = {}
+    for path in entries:
+        stage = path.name.split("-", 1)[0]
+        per_stage[stage] = per_stage.get(stage, 0) + 1
+    for stage in sorted(per_stage):
+        print(f"  {stage}: {per_stage[stage]}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -142,22 +218,30 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.command == "cache":
+        return _run_cache_command(args)
+
+    _configure_store(args)
+
     if args.command == "fig4":
-        result = run_fig4(args.workload, scale=args.scale, seed=args.seed)
+        result = run_fig4(args.workload, scale=args.scale,
+                          seed=args.seed, jobs=args.jobs)
         print(result.render_chart() if args.chart else result.render())
         print(f"average energy improvement: "
               f"{percent(result.average_energy_improvement)}%")
         return 0
 
     if args.command == "fig5":
-        result = run_fig5(args.workload, scale=args.scale, seed=args.seed)
+        result = run_fig5(args.workload, scale=args.scale,
+                          seed=args.seed, jobs=args.jobs)
         print(result.render_chart() if args.chart else result.render())
         print(f"average energy improvement: "
               f"{percent(result.average_energy_improvement)}%")
         return 0
 
     if args.command == "table1":
-        result = run_table1(scale=args.scale, seed=args.seed)
+        result = run_table1(scale=args.scale, seed=args.seed,
+                            jobs=args.jobs)
         print(result.render())
         print(f"overall: {percent(result.overall_vs_steinke)}% vs. "
               f"Steinke, {percent(result.overall_vs_loop_cache)}% vs. "
@@ -165,12 +249,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "sweep":
+        record = RunRecord()
         points = run_sweep(
             args.workload,
             tuple(args.sizes) if args.sizes else None,
             algorithms=tuple(args.algorithms),
             scale=args.scale,
             seed=args.seed,
+            jobs=args.jobs,
+            record=record,
         )
         headers = ["size (B)"] + [f"{a} (uJ)" for a in args.algorithms]
         rows = [
@@ -180,6 +267,7 @@ def main(argv: list[str] | None = None) -> int:
         ]
         print(format_table(headers, rows,
                            title=f"sweep of {args.workload}"))
+        print(record.render())
         return 0
 
     if args.command == "graph":
@@ -225,7 +313,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "dse":
         from repro.evaluation.dse import explore, render_design_points
         points = explore(args.workload, args.budget, scale=args.scale,
-                         seed=args.seed)
+                         seed=args.seed, jobs=args.jobs)
         print(render_design_points(points, top=args.top))
         best = points[0]
         print(f"best: {best.cache_size}B cache + {best.spm_size}B "

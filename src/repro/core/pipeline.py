@@ -5,6 +5,13 @@ profiling execution, trace generation, baseline cache simulation,
 conflict-graph construction — and then evaluates any number of
 allocation decisions against it: scratchpads of various sizes allocated
 by CASA/Steinke/greedy, or preloaded loop caches allocated by Ross.
+
+The workbench is a thin façade over the staged experiment engine
+(:mod:`repro.engine`): every stage resolves through a
+:class:`~repro.engine.runner.StageRunner`, so results come from the
+content-addressed artifact store whenever the same inputs have been
+profiled or simulated before — in this process or (with an on-disk
+cache) any earlier one.
 """
 
 from __future__ import annotations
@@ -12,6 +19,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.allocation import Allocation
+from repro.engine.artifacts import (
+    AllocationArtifact,
+    BaselineSimArtifact,
+    ConflictGraphArtifact,
+    ExecutionArtifact,
+    TraceArtifact,
+    baseline_digest,
+    execution_digest,
+    graph_digest,
+    result_digest,
+    trace_digest,
+)
+from repro.engine.runner import StageRunner
 from repro.core.casa import CasaAllocator
 from repro.core.conflict_graph import ConflictGraph
 from repro.core.greedy_allocator import GreedyCasaAllocator
@@ -89,19 +109,36 @@ class ExperimentResult:
 
 
 class Workbench:
-    """Profiles a program once and evaluates allocations against it."""
+    """Profiles a program once and evaluates allocations against it.
 
-    def __init__(self, program: Program, config: WorkbenchConfig) -> None:
+    All expensive stages resolve through the engine's stage runner and
+    artifact store: constructing a second workbench with the same
+    program and configuration (even in another process, given an
+    on-disk store) replays no execution and no simulation.
+    """
+
+    def __init__(self, program: Program, config: WorkbenchConfig,
+                 runner: StageRunner | None = None) -> None:
         self._program = program
         self._config = config
+        self._runner = runner if runner is not None else StageRunner()
 
-        execution = execute_program(program, seed=config.seed)
+        exec_key = execution_digest(program, config.seed)
+        execution = self._runner.resolve(
+            "execution", exec_key,
+            lambda: _compute_execution(program, config.seed, exec_key),
+        )
         self._block_sequence = execution.block_sequence
         self._profile = execution.profile
 
-        self._memory_objects = generate_traces(
-            program, self._profile, config.tracegen
+        trace_key = trace_digest(exec_key, config.tracegen)
+        trace = self._runner.resolve(
+            "trace", trace_key,
+            lambda: TraceArtifact(trace_key, generate_traces(
+                program, self._profile, config.tracegen
+            )),
         )
+        self._memory_objects = trace.memory_objects
 
         self._baseline_image = LinkedImage(
             program,
@@ -113,14 +150,40 @@ class Workbench:
             spm_base=config.spm_base,
         )
         self._baseline_config = HierarchyConfig(cache=config.cache)
-        self._baseline_report = simulate(
-            self._baseline_image,
-            self._baseline_config,
-            self._block_sequence,
+        base_key = baseline_digest(
+            trace_key, config.cache, config.main_base, config.spm_base
         )
-        self._graph = ConflictGraph.from_simulation(
-            self._memory_objects, self._baseline_report
+        baseline = self._runner.resolve(
+            "baseline", base_key,
+            lambda: BaselineSimArtifact(base_key, simulate(
+                self._baseline_image,
+                self._baseline_config,
+                self._block_sequence,
+            )),
         )
+        self._baseline_report = baseline.report
+
+        self._graph_digest = graph_digest(base_key)
+        graph_artifact = self._runner.resolve(
+            "graph", self._graph_digest,
+            lambda: ConflictGraphArtifact(
+                self._graph_digest,
+                ConflictGraph.from_simulation(
+                    self._memory_objects, self._baseline_report
+                ),
+            ),
+        )
+        self._graph = graph_artifact.graph
+
+    def attach_runner(self, runner: StageRunner) -> None:
+        """Route subsequent result resolutions through *runner*.
+
+        A memoised workbench keeps the runner that profiled it; a later
+        experiment reusing the memo attaches its own runner so
+        result-stage hits and computes are accounted to *its* run
+        record (and store) rather than the original one's.
+        """
+        self._runner = runner
 
     # -- read-only views ----------------------------------------------------
 
@@ -222,28 +285,56 @@ class Workbench:
 
     # -- allocator front doors -----------------------------------------------
 
-    def run_casa(self, spm_size: int,
-                 allocator: CasaAllocator | None = None) -> ExperimentResult:
-        """Allocate with CASA and simulate the outcome."""
-        allocator = allocator or CasaAllocator()
+    def _allocate_and_evaluate(self, allocator,
+                               spm_size: int) -> ExperimentResult:
+        """Run one scratchpad allocator and simulate its decision."""
         allocation = allocator.allocate(
             self._graph, spm_size, self.spm_energy_model(spm_size)
         )
         return self.evaluate_spm(allocation, spm_size)
 
+    def _cached_result(self, algorithm: str, spm_size: int, compute,
+                       **options) -> ExperimentResult:
+        """Resolve one evaluated allocation through the artifact store."""
+        key = result_digest(
+            self._graph_digest, algorithm, spm_size, options or None
+        )
+        artifact = self._runner.resolve(
+            "result", key, lambda: AllocationArtifact(key, compute())
+        )
+        return artifact.result
+
+    def run_casa(self, spm_size: int,
+                 allocator: CasaAllocator | None = None) -> ExperimentResult:
+        """Allocate with CASA and simulate the outcome.
+
+        A custom *allocator* (non-default configuration) bypasses the
+        artifact store, whose digest only identifies the defaults.
+        """
+        if allocator is not None:
+            return self._allocate_and_evaluate(allocator, spm_size)
+        return self._cached_result(
+            "casa", spm_size,
+            lambda: self._allocate_and_evaluate(CasaAllocator(), spm_size),
+        )
+
     def run_steinke(self, spm_size: int) -> ExperimentResult:
         """Allocate with the Steinke baseline and simulate the outcome."""
-        allocation = SteinkeAllocator().allocate(
-            self._graph, spm_size, self.spm_energy_model(spm_size)
+        return self._cached_result(
+            "steinke", spm_size,
+            lambda: self._allocate_and_evaluate(
+                SteinkeAllocator(), spm_size
+            ),
         )
-        return self.evaluate_spm(allocation, spm_size)
 
     def run_greedy(self, spm_size: int) -> ExperimentResult:
         """Allocate with the greedy ablation and simulate the outcome."""
-        allocation = GreedyCasaAllocator().allocate(
-            self._graph, spm_size, self.spm_energy_model(spm_size)
+        return self._cached_result(
+            "greedy", spm_size,
+            lambda: self._allocate_and_evaluate(
+                GreedyCasaAllocator(), spm_size
+            ),
         )
-        return self.evaluate_spm(allocation, spm_size)
 
     def run_overlay(self, spm_size: int,
                     allocator: "OverlayAllocator | None" = None
@@ -342,6 +433,15 @@ class Workbench:
     def run_ross(self, lc_size: int,
                  max_regions: int = 4) -> ExperimentResult:
         """Allocate a preloaded loop cache with Ross's heuristic."""
+        return self._cached_result(
+            "ross", lc_size,
+            lambda: self._run_ross_direct(lc_size, max_regions),
+            max_regions=max_regions,
+        )
+
+    def _run_ross_direct(self, lc_size: int,
+                         max_regions: int) -> ExperimentResult:
+        """Uncached Ross allocation + loop-cache simulation."""
         lc_config = LoopCacheConfig(size=lc_size, max_regions=max_regions)
         allocation = RossLoopCacheAllocator(lc_config).allocate(
             self._program,
@@ -350,3 +450,12 @@ class Workbench:
             self._graph,
         )
         return self.evaluate_loop_cache(allocation, lc_config)
+
+
+def _compute_execution(program: Program, seed: int,
+                       digest: str) -> ExecutionArtifact:
+    """Run the profiling execution and wrap it as a stage artifact."""
+    execution = execute_program(program, seed=seed)
+    return ExecutionArtifact(
+        digest, execution.block_sequence, execution.profile
+    )

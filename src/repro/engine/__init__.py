@@ -1,0 +1,91 @@
+"""Staged experiment engine: cacheable stages, parallel sweeps.
+
+The experimental flow of the paper's figure 3 decomposes into explicit
+stages — profiling execution, trace formation, baseline cache
+simulation, conflict-graph construction, allocation evaluation — each
+producing a typed artifact with a content-addressed digest:
+
+* :mod:`repro.engine.artifacts` — artifact types and digest chaining;
+* :mod:`repro.engine.store` — two-tier store (in-memory LRU plus an
+  optional on-disk cache under ``.casa_cache/``);
+* :mod:`repro.engine.runner` — stage resolution with hit/compute
+  accounting (:class:`RunRecord`) and the engine-backed
+  :func:`make_workbench`;
+* :mod:`repro.engine.parallel` — :func:`map_points` fans design points
+  across a process pool with deterministic result ordering.
+
+Every consumer — ``Workbench``, the sweep/figure/table harnesses, the
+CLI and the benchmarks — routes through this package, so a warm cache
+eliminates all redundant profiling and simulation work, within a
+process and across processes.
+"""
+
+from repro.engine.artifacts import (
+    SCHEMA_VERSION,
+    AllocationArtifact,
+    BaselineSimArtifact,
+    ConflictGraphArtifact,
+    ExecutionArtifact,
+    TraceArtifact,
+    baseline_digest,
+    canonical,
+    digest_inputs,
+    execution_digest,
+    fingerprint_program,
+    graph_digest,
+    result_digest,
+    trace_digest,
+    workbench_digest,
+)
+from repro.engine.parallel import (
+    POINT_ALGORITHMS,
+    PointSpec,
+    evaluate_point,
+    map_points,
+)
+from repro.engine.runner import (
+    STAGES,
+    RunRecord,
+    StageCount,
+    StageRunner,
+    make_workbench,
+)
+from repro.engine.store import (
+    CACHE_DIR_ENV,
+    ArtifactStore,
+    StoreStats,
+    default_store,
+    set_default_store,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AllocationArtifact",
+    "BaselineSimArtifact",
+    "ConflictGraphArtifact",
+    "ExecutionArtifact",
+    "TraceArtifact",
+    "baseline_digest",
+    "canonical",
+    "digest_inputs",
+    "execution_digest",
+    "fingerprint_program",
+    "graph_digest",
+    "result_digest",
+    "trace_digest",
+    "workbench_digest",
+    "POINT_ALGORITHMS",
+    "PointSpec",
+    "evaluate_point",
+    "map_points",
+    "STAGES",
+    "RunRecord",
+    "StageCount",
+    "StageRunner",
+    "make_workbench",
+    "CACHE_DIR_ENV",
+    "ArtifactStore",
+    "StoreStats",
+    "default_store",
+    "set_default_store",
+]

@@ -1,0 +1,174 @@
+"""Parallel design-point execution over ``concurrent.futures``.
+
+A *design point* is one (workload, scratchpad size, allocator) triple —
+optionally with cache / trace-formation overrides, as design-space
+exploration needs.  :func:`map_points` fans a list of points across a
+process pool (sweeps are embarrassingly parallel per point), falls back
+to serial execution when a pool cannot be created, and always returns
+results in the order of the input points, so parallel output is
+indistinguishable from serial output.
+
+Workers share the parent's on-disk artifact cache (when one is
+configured), so the expensive allocation-independent stages are
+computed once per workbench configuration no matter which worker gets
+there first.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.engine.runner import RunRecord, StageRunner, make_workbench
+from repro.engine.store import ArtifactStore, default_store, \
+    set_default_store
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheConfig
+from repro.traces.tracegen import TraceGenConfig
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import ExperimentResult
+
+#: Algorithms a design point may name (``baseline`` = cache-only).
+POINT_ALGORITHMS = ("casa", "steinke", "greedy", "ross", "baseline")
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One design point of a sweep or exploration.
+
+    Attributes:
+        workload: registered workload name.
+        spm_size: scratchpad / loop-cache capacity in bytes (ignored
+            for ``baseline``).
+        algorithm: one of :data:`POINT_ALGORITHMS`.
+        scale: workload trip-count multiplier.
+        seed: executor seed.
+        cache: I-cache override (``None`` = the workload's default).
+        tracegen: trace-formation override (``None`` = derived from the
+            cache line size and the workload's smallest scratchpad).
+        max_regions: preloadable regions for the ``ross`` allocator.
+    """
+
+    workload: str
+    spm_size: int
+    algorithm: str = "casa"
+    scale: float = 1.0
+    seed: int = 0
+    cache: CacheConfig | None = None
+    tracegen: TraceGenConfig | None = None
+    max_regions: int = 4
+
+
+def evaluate_point(point: PointSpec,
+                   runner: StageRunner | None = None
+                   ) -> "ExperimentResult":
+    """Evaluate one design point through the staged engine.
+
+    Args:
+        point: the design point.
+        runner: stage runner to resolve through (defaults to a fresh
+            runner on the process-wide store).
+
+    Raises:
+        ConfigurationError: for an unknown algorithm.
+    """
+    if point.algorithm not in POINT_ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {point.algorithm!r}; choose from "
+            f"{POINT_ALGORITHMS}"
+        )
+    runner = runner if runner is not None else StageRunner()
+    _, bench = make_workbench(
+        point.workload, point.scale, point.seed,
+        cache=point.cache, tracegen=point.tracegen, runner=runner,
+    )
+    if point.algorithm == "baseline":
+        return bench.baseline_result()
+    if point.algorithm == "casa":
+        return bench.run_casa(point.spm_size)
+    if point.algorithm == "steinke":
+        return bench.run_steinke(point.spm_size)
+    if point.algorithm == "greedy":
+        return bench.run_greedy(point.spm_size)
+    return bench.run_ross(point.spm_size, max_regions=point.max_regions)
+
+
+def _init_worker(cache_dir: str | None) -> None:
+    """Process-pool initializer: point the worker at the shared cache."""
+    set_default_store(ArtifactStore(cache_dir=cache_dir))
+
+
+def _evaluate_in_worker(point: PointSpec):
+    """Worker-side evaluation returning ``(result, record_dict)``."""
+    record = RunRecord()
+    runner = StageRunner(record=record)
+    result = evaluate_point(point, runner=runner)
+    return result, record.as_dict()
+
+
+def _run_serial(points: list[PointSpec],
+                runner: StageRunner | None,
+                record: RunRecord | None) -> list["ExperimentResult"]:
+    if runner is None:
+        runner = StageRunner(record=record)
+    return [evaluate_point(point, runner=runner) for point in points]
+
+
+def map_points(
+    points: list[PointSpec] | tuple[PointSpec, ...],
+    jobs: int = 1,
+    runner: StageRunner | None = None,
+    record: RunRecord | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> list["ExperimentResult"]:
+    """Evaluate *points*, optionally across a process pool.
+
+    Args:
+        points: design points, in the order results are wanted.
+        jobs: worker processes; ``<= 1`` runs serially in-process.
+        runner: stage runner for the serial path (ignored when a pool
+            is used — each worker builds its own).
+        record: run record that receives the merged per-stage counters
+            from every worker (or the serial runner).
+        cache_dir: on-disk cache directory shared with the workers;
+            defaults to the process-wide store's directory.
+
+    Returns:
+        One :class:`~repro.core.pipeline.ExperimentResult` per point,
+        in input order — byte-for-byte identical to a serial run.
+    """
+    points = list(points)
+    for point in points:
+        if point.algorithm not in POINT_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {point.algorithm!r}; choose from "
+                f"{POINT_ALGORITHMS}"
+            )
+    if jobs <= 1 or len(points) <= 1:
+        return _run_serial(points, runner, record)
+
+    if cache_dir is None:
+        cache_dir = default_store().cache_dir
+    init_arg = str(cache_dir) if cache_dir is not None else None
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(points)),
+            initializer=_init_worker,
+            initargs=(init_arg,),
+        ) as pool:
+            outcomes = list(pool.map(_evaluate_in_worker, points))
+    except (OSError, concurrent.futures.process.BrokenProcessPool,
+            pickle.PicklingError):
+        # No usable multiprocessing (restricted sandbox, unpicklable
+        # payload...): degrade to the serial path, same results.
+        return _run_serial(points, runner, record)
+    results: list["ExperimentResult"] = []
+    for result, counts in outcomes:
+        if record is not None:
+            record.merge(counts)
+        results.append(result)
+    return results

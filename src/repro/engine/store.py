@@ -1,0 +1,237 @@
+"""Two-tier content-addressed artifact store.
+
+Tier 1 is an in-memory LRU shared by everything in the process (what
+``functools.lru_cache`` used to approximate, minus the blindness to
+config changes).  Tier 2 is an optional on-disk cache — one pickle per
+artifact under a cache directory (default ``.casa_cache/``) — that
+survives processes and is shared by parallel sweep workers.
+
+Disk entries are versioned and corruption-safe: a file that fails to
+unpickle, carries the wrong schema version or the wrong digest is
+deleted and treated as a miss, so the caller simply recomputes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.engine.artifacts import SCHEMA_VERSION
+
+#: Default number of artifacts kept by the in-memory tier.
+DEFAULT_MEMORY_ITEMS = 256
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_DIR_ENV = "CASA_CACHE_DIR"
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss counters of one :class:`ArtifactStore`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    disk_errors: int = 0
+    per_stage: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory_hits + self.disk_hits
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.memory_hits} memory hits, {self.disk_hits} disk "
+            f"hits, {self.misses} misses, {self.puts} puts, "
+            f"{self.disk_errors} corrupt entries dropped"
+        )
+
+
+class ArtifactStore:
+    """In-memory LRU plus optional on-disk pickle cache, keyed by digest.
+
+    Args:
+        cache_dir: directory for the on-disk tier; ``None`` disables it
+            (memory-only store).
+        memory_items: LRU capacity of the in-memory tier.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None,
+                 memory_items: int = DEFAULT_MEMORY_ITEMS) -> None:
+        self._memory: OrderedDict[tuple[str, str], Any] = OrderedDict()
+        self._memory_items = memory_items
+        self.cache_dir: Path | None = (
+            Path(cache_dir) if cache_dir is not None else None
+        )
+        self.stats = StoreStats()
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, stage: str, digest: str, *,
+            disk: bool = True) -> Any | None:
+        """Return the cached artifact for (*stage*, *digest*) or ``None``.
+
+        Consults the memory tier first, then (when enabled and
+        *disk* is true) the on-disk tier, promoting disk hits into
+        memory.
+        """
+        key = (stage, digest)
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if disk and self.cache_dir is not None:
+            artifact = self._disk_load(stage, digest)
+            if artifact is not None:
+                self.stats.disk_hits += 1
+                self._memory_put(key, artifact)
+                return artifact
+        self.stats.misses += 1
+        return None
+
+    def put(self, stage: str, digest: str, artifact: Any, *,
+            disk: bool = True) -> None:
+        """Cache *artifact* under (*stage*, *digest*) in both tiers."""
+        self.stats.puts += 1
+        self.stats.per_stage[stage] = self.stats.per_stage.get(stage, 0) + 1
+        self._memory_put((stage, digest), artifact)
+        if disk and self.cache_dir is not None:
+            self._disk_store(stage, digest, artifact)
+
+    def get_or_compute(self, stage: str, digest: str,
+                       compute: Callable[[], Any], *,
+                       disk: bool = True) -> tuple[Any, bool]:
+        """Load-or-recompute: return ``(artifact, was_cached)``.
+
+        A corrupted or version-mismatched disk entry counts as a miss —
+        *compute* runs and its result replaces the bad entry.
+        """
+        artifact = self.get(stage, digest, disk=disk)
+        if artifact is not None:
+            return artifact, True
+        artifact = compute()
+        self.put(stage, digest, artifact, disk=disk)
+        return artifact, False
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self, *, memory: bool = True, disk: bool = True) -> int:
+        """Drop cached artifacts; return the number of disk files removed."""
+        if memory:
+            self._memory.clear()
+        removed = 0
+        if disk and self.cache_dir is not None and self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def disk_entries(self) -> list[Path]:
+        """Paths of every on-disk artifact (empty for memory-only)."""
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return []
+        return sorted(self.cache_dir.glob("*.pkl"))
+
+    def disk_usage(self) -> tuple[int, int]:
+        """``(file_count, total_bytes)`` of the on-disk tier."""
+        entries = self.disk_entries()
+        return len(entries), sum(path.stat().st_size for path in entries)
+
+    # -- internals ------------------------------------------------------------
+
+    def _memory_put(self, key: tuple[str, str], artifact: Any) -> None:
+        if key in self._memory:
+            self._memory.move_to_end(key)
+        self._memory[key] = artifact
+        while len(self._memory) > self._memory_items:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _entry_path(self, stage: str, digest: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{stage}-{digest}.pkl"
+
+    def _disk_load(self, stage: str, digest: str) -> Any | None:
+        path = self._entry_path(stage, digest)
+        if not path.is_file():
+            return None
+        try:
+            with path.open("rb") as handle:
+                envelope = pickle.load(handle)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != SCHEMA_VERSION
+                or envelope.get("stage") != stage
+                or envelope.get("digest") != digest
+            ):
+                raise ValueError("stale or foreign cache entry")
+            return envelope["artifact"]
+        except Exception:
+            # Corrupt, truncated, stale-schema or unreadable entry:
+            # drop it and let the caller recompute.
+            self.stats.disk_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_store(self, stage: str, digest: str, artifact: Any) -> None:
+        assert self.cache_dir is not None
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            path = self._entry_path(stage, digest)
+            envelope = {
+                "schema": SCHEMA_VERSION,
+                "stage": stage,
+                "digest": digest,
+                "artifact": artifact,
+            }
+            temp = path.with_suffix(f".tmp.{os.getpid()}")
+            with temp.open("wb") as handle:
+                pickle.dump(envelope, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp, path)
+        except Exception:
+            # A read-only or full filesystem must not break experiments;
+            # the memory tier still holds the artifact.
+            self.stats.disk_errors += 1
+
+
+# -- process-wide default store ----------------------------------------------
+
+_DEFAULT_STORE: ArtifactStore | None = None
+
+
+def default_store() -> ArtifactStore:
+    """The process-wide store used when no store is passed explicitly.
+
+    Memory-only unless the :data:`CACHE_DIR_ENV` environment variable
+    names a cache directory (the CLI configures a disk-backed store
+    explicitly via :func:`set_default_store`).
+    """
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = ArtifactStore(
+            cache_dir=os.environ.get(CACHE_DIR_ENV) or None
+        )
+    return _DEFAULT_STORE
+
+
+def set_default_store(store: ArtifactStore | None) -> ArtifactStore | None:
+    """Replace the process-wide store; returns the previous one."""
+    global _DEFAULT_STORE
+    previous = _DEFAULT_STORE
+    _DEFAULT_STORE = store
+    return previous

@@ -12,13 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.pipeline import Workbench, WorkbenchConfig
 from repro.energy.area import hierarchy_area
+from repro.engine.parallel import PointSpec, map_points
 from repro.errors import ConfigurationError
 from repro.memory.cache import CacheConfig
 from repro.traces.tracegen import TraceGenConfig
 from repro.utils.tables import format_table
-from repro.workloads.registry import get_workload
 
 
 @dataclass
@@ -58,6 +57,8 @@ def explore(
     line_size: int = 16,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: int = 1,
+    record=None,
 ) -> list[DesignPoint]:
     """Evaluate every feasible cache/SPM split under *area_budget*.
 
@@ -65,6 +66,12 @@ def explore(
     Cache-less points are skipped (the trace generator's padding needs
     a line size; a pure-SPM machine is a different architecture), as
     are SPM-less points with no cache.
+
+    The exploration is embarrassingly parallel per design point: every
+    feasible (cache, scratchpad) pair becomes an engine
+    :class:`~repro.engine.parallel.PointSpec` and the whole set is
+    fanned through :func:`~repro.engine.parallel.map_points` with
+    *jobs* workers; *record* collects per-stage hit/compute counters.
 
     Returns:
         Evaluated design points, sorted by energy (best first).
@@ -76,7 +83,8 @@ def explore(
     spm_sizes = spm_sizes if spm_sizes is not None else \
         [0] + _power_of_two_sizes(64, 2048)
 
-    points: list[DesignPoint] = []
+    specs: list[PointSpec] = []
+    metas: list[tuple[int, int, float]] = []
     for cache_size in cache_sizes:
         cache = CacheConfig(size=cache_size, line_size=line_size,
                             associativity=1)
@@ -86,34 +94,39 @@ def explore(
         ]
         if not feasible_spms:
             continue
-        workload = get_workload(workload_name, scale=scale)
-        bench = Workbench(workload.program, WorkbenchConfig(
-            cache=cache,
-            tracegen=TraceGenConfig(
-                line_size=line_size,
-                max_trace_size=max(64, min(
-                    (spm for spm in feasible_spms if spm), default=64
-                )),
-            ),
-            seed=seed,
-        ))
+        tracegen = TraceGenConfig(
+            line_size=line_size,
+            max_trace_size=max(64, min(
+                (spm for spm in feasible_spms if spm), default=64
+            )),
+        )
         for spm in feasible_spms:
-            if spm == 0:
-                result = bench.baseline_result()
-            else:
-                result = bench.run_casa(spm)
-            points.append(DesignPoint(
-                cache_size=cache_size,
+            specs.append(PointSpec(
+                workload=workload_name,
                 spm_size=spm,
-                area=hierarchy_area(cache, spm),
-                energy=result.energy.total,
-                misses=result.report.cache_misses,
+                algorithm="baseline" if spm == 0 else "casa",
+                scale=scale,
+                seed=seed,
+                cache=cache,
+                tracegen=tracegen,
             ))
-    if not points:
+            metas.append((cache_size, spm, hierarchy_area(cache, spm)))
+    if not specs:
         raise ConfigurationError(
             f"no cache/SPM configuration fits an area budget of "
             f"{area_budget}"
         )
+    results = map_points(specs, jobs=jobs, record=record)
+    points = [
+        DesignPoint(
+            cache_size=cache_size,
+            spm_size=spm,
+            area=area,
+            energy=result.energy.total,
+            misses=result.report.cache_misses,
+        )
+        for (cache_size, spm, area), result in zip(metas, results)
+    ]
     points.sort(key=lambda p: p.energy)
     return points
 

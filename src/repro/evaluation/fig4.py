@@ -110,11 +110,18 @@ def run_fig4(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: int = 1,
+    record=None,
 ) -> Fig4Result:
-    """Reproduce figure 4 (optionally on another workload or scale)."""
+    """Reproduce figure 4 (optionally on another workload or scale).
+
+    ``jobs`` fans the sweep's design points across worker processes;
+    ``record`` (a :class:`~repro.engine.runner.RunRecord`) collects the
+    engine's per-stage hit/compute counters.
+    """
     points = run_sweep(
         workload, sizes, algorithms=("casa", "steinke"),
-        scale=scale, seed=seed,
+        scale=scale, seed=seed, jobs=jobs, record=record,
     )
     rows = [
         Fig4Row(

@@ -5,41 +5,42 @@ size while keeping the rest of the instruction-memory subsystem
 invariant, count the accesses to each level, and compute energy from the
 model.  :func:`run_sweep` implements exactly that for any subset of the
 allocators; the figure/table modules post-process its output.
+
+Sweeps run through the staged experiment engine: every (size,
+allocator) pair becomes a :class:`~repro.engine.parallel.PointSpec`
+fanned through :func:`~repro.engine.parallel.map_points`, so a sweep
+can use worker processes (``jobs``), reuses every allocation-independent
+stage from the artifact store, and can report per-stage hit/compute
+counters through a :class:`~repro.engine.runner.RunRecord`.
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
 
-from repro.core.pipeline import ExperimentResult, Workbench, WorkbenchConfig
+from repro.core.pipeline import ExperimentResult, Workbench
+from repro.engine.parallel import PointSpec, map_points
+from repro.engine.runner import RunRecord
+from repro.engine.runner import make_workbench as _engine_make_workbench
 from repro.errors import ConfigurationError
-from repro.traces.tracegen import TraceGenConfig
 from repro.workloads.registry import Workload, get_workload
 
 #: Allocator identifiers accepted by :func:`run_sweep`.
 ALGORITHMS = ("casa", "steinke", "greedy", "ross")
 
 
-@functools.lru_cache(maxsize=8)
 def make_workbench(workload_name: str, scale: float = 1.0,
                    seed: int = 0) -> tuple[Workload, Workbench]:
     """Build (and cache) the profiled workbench of a named workload.
 
-    The workbench construction — execution, trace generation, baseline
-    cache simulation — is the expensive, allocation-independent part of
-    every experiment, so it is shared across figures and benchmarks.
+    Thin compatibility wrapper over the engine's
+    :func:`repro.engine.runner.make_workbench`, which memoises the
+    workbench in the artifact store's memory tier (replacing the old
+    eight-entry ``functools.lru_cache`` that sweeps over many
+    workloads/scales silently thrashed, and whose float ``scale`` keys
+    defeated reuse between ``1`` and ``1.0``).
     """
-    workload = get_workload(workload_name, scale=scale)
-    config = WorkbenchConfig(
-        cache=workload.cache,
-        tracegen=TraceGenConfig(
-            line_size=workload.cache.line_size,
-            max_trace_size=min(workload.spm_sizes),
-        ),
-        seed=seed,
-    )
-    return workload, Workbench(workload.program, config)
+    return _engine_make_workbench(workload_name, scale, seed)
 
 
 @dataclass
@@ -72,6 +73,8 @@ def run_sweep(
     algorithms: tuple[str, ...] = ("casa", "steinke", "ross"),
     scale: float = 1.0,
     seed: int = 0,
+    jobs: int = 1,
+    record: RunRecord | None = None,
 ) -> list[SweepPoint]:
     """Evaluate allocators across scratchpad sizes.
 
@@ -82,6 +85,10 @@ def run_sweep(
         algorithms: subset of :data:`ALGORITHMS`.
         scale: workload trip-count multiplier.
         seed: executor seed.
+        jobs: worker processes for the design points (1 = serial;
+            results are identical either way).
+        record: optional engine run record receiving per-stage
+            hit/compute counters.
 
     Returns:
         One :class:`SweepPoint` per size, in ascending size order.
@@ -92,19 +99,26 @@ def run_sweep(
             f"unknown algorithms {sorted(unknown)}; choose from "
             f"{ALGORITHMS}"
         )
-    workload, bench = make_workbench(workload_name, scale, seed)
-    chosen_sizes = tuple(sorted(sizes or workload.spm_sizes))
+    if sizes is None:
+        sizes = get_workload(workload_name, scale=scale).spm_sizes
+    chosen_sizes = tuple(sorted(sizes))
+    specs = [
+        PointSpec(
+            workload=workload_name,
+            spm_size=size,
+            algorithm=algorithm,
+            scale=scale,
+            seed=seed,
+        )
+        for size in chosen_sizes
+        for algorithm in algorithms
+    ]
+    results = map_points(specs, jobs=jobs, record=record)
     points: list[SweepPoint] = []
-    for size in chosen_sizes:
-        results: dict[str, ExperimentResult] = {}
-        for algorithm in algorithms:
-            if algorithm == "casa":
-                results[algorithm] = bench.run_casa(size)
-            elif algorithm == "steinke":
-                results[algorithm] = bench.run_steinke(size)
-            elif algorithm == "greedy":
-                results[algorithm] = bench.run_greedy(size)
-            else:
-                results[algorithm] = bench.run_ross(size)
-        points.append(SweepPoint(workload_name, size, results))
+    for index, size in enumerate(chosen_sizes):
+        per_algorithm = {
+            algorithm: results[index * len(algorithms) + offset]
+            for offset, algorithm in enumerate(algorithms)
+        }
+        points.append(SweepPoint(workload_name, size, per_algorithm))
     return points

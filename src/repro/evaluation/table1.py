@@ -17,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.evaluation.reporting import microjoules, percent
-from repro.evaluation.sweep import make_workbench, run_sweep
+from repro.evaluation.sweep import run_sweep
 from repro.utils.tables import format_table
+from repro.workloads.registry import get_workload
 
 #: Benchmarks in the paper's table.
 DEFAULT_BENCHMARKS = ("adpcm", "g721", "mpeg")
@@ -127,14 +128,22 @@ def run_table1(
     benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
     scale: float = 1.0,
     seed: int = 0,
+    jobs: int = 1,
+    record=None,
 ) -> Table1Result:
-    """Reproduce table 1 over the registered benchmarks."""
+    """Reproduce table 1 over the registered benchmarks.
+
+    ``jobs`` fans each benchmark's design points across worker
+    processes; ``record`` (a
+    :class:`~repro.engine.runner.RunRecord`) collects the engine's
+    per-stage hit/compute counters.
+    """
     blocks: list[Table1Benchmark] = []
     for name in benchmarks:
-        workload, _ = make_workbench(name, scale, seed)
+        workload = get_workload(name, scale=scale)
         points = run_sweep(
             name, algorithms=("casa", "steinke", "ross"),
-            scale=scale, seed=seed,
+            scale=scale, seed=seed, jobs=jobs, record=record,
         )
         rows = [
             Table1Row(

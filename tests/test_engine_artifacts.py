@@ -1,0 +1,81 @@
+"""Digest semantics of the engine's content-addressed artifacts."""
+
+from __future__ import annotations
+
+from repro.engine.artifacts import (
+    baseline_digest,
+    canonical,
+    execution_digest,
+    fingerprint_program,
+    graph_digest,
+    result_digest,
+    trace_digest,
+    workbench_digest,
+)
+from repro.memory.cache import CacheConfig
+from repro.traces.tracegen import TraceGenConfig
+from repro.workloads.registry import get_workload
+
+CACHE = CacheConfig(size=128, line_size=16, associativity=1)
+TRACEGEN = TraceGenConfig(line_size=16, max_trace_size=64)
+
+
+def test_program_fingerprint_stable_across_rebuilds():
+    first = get_workload("tiny").program
+    second = get_workload("tiny").program
+    assert first is not second
+    assert fingerprint_program(first) == fingerprint_program(second)
+
+
+def test_fingerprint_sees_scale():
+    base = get_workload("tiny", scale=1.0).program
+    scaled = get_workload("tiny", scale=2.0).program
+    assert fingerprint_program(base) != fingerprint_program(scaled)
+
+
+def test_execution_digest_depends_on_seed():
+    program = get_workload("tiny").program
+    assert execution_digest(program, 0) == execution_digest(program, 0)
+    assert execution_digest(program, 0) != execution_digest(program, 1)
+
+
+def test_trace_digest_depends_on_tracegen():
+    assert trace_digest("abc", TRACEGEN) == trace_digest("abc", TRACEGEN)
+    other = TraceGenConfig(line_size=16, max_trace_size=128)
+    assert trace_digest("abc", TRACEGEN) != trace_digest("abc", other)
+    assert trace_digest("abc", TRACEGEN) != trace_digest("xyz", TRACEGEN)
+
+
+def test_baseline_digest_depends_on_cache_geometry():
+    base = baseline_digest("t", CACHE, 0, 0)
+    assert base == baseline_digest("t", CACHE, 0, 0)
+    wider = CacheConfig(size=128, line_size=16, associativity=2)
+    assert base != baseline_digest("t", wider, 0, 0)
+    assert base != baseline_digest("t", CACHE, 4096, 0)
+
+
+def test_result_digest_depends_on_decision_inputs():
+    graph = graph_digest("b")
+    base = result_digest(graph, "casa", 128)
+    assert base == result_digest(graph, "casa", 128)
+    assert base != result_digest(graph, "steinke", 128)
+    assert base != result_digest(graph, "casa", 256)
+    assert base != result_digest(graph, "casa", 128,
+                                 {"max_regions": 2})
+    assert base == result_digest(graph, "casa", 128, None)
+
+
+def test_workbench_digest_normalises_scale():
+    one = workbench_digest("tiny", 1, 0, CACHE, TRACEGEN)
+    one_f = workbench_digest("tiny", 1.0, 0, CACHE, TRACEGEN)
+    half = workbench_digest("tiny", 0.5, 0, CACHE, TRACEGEN)
+    assert one == one_f
+    assert one != half
+
+
+def test_canonical_handles_compound_values():
+    reduced = canonical({"cache": CACHE, "sizes": {128, 64},
+                         "scale": 1.0})
+    assert reduced["cache"]["__class__"] == "CacheConfig"
+    assert reduced["sizes"] == [64, 128]
+    assert reduced["scale"] == "1.0"

@@ -1,0 +1,93 @@
+"""Stage resolution, run records and the engine-backed make_workbench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.runner import RunRecord, StageRunner, make_workbench
+from repro.engine.store import ArtifactStore, set_default_store
+from repro.evaluation.sweep import run_sweep
+
+
+@pytest.fixture
+def disk_store(tmp_path):
+    """A disk-backed store installed as the process default."""
+    store = ArtifactStore(cache_dir=tmp_path / "cache")
+    previous = set_default_store(store)
+    yield store
+    set_default_store(previous)
+
+
+def test_resolve_computes_once_then_hits():
+    runner = StageRunner(store=ArtifactStore())
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "artifact"
+
+    assert runner.resolve("execution", "d", compute) == "artifact"
+    assert runner.resolve("execution", "d", compute) == "artifact"
+    assert len(calls) == 1
+    assert runner.record.computed("execution") == 1
+    assert runner.record.hits("execution") == 1
+
+
+def test_run_record_merge_and_render():
+    record = RunRecord()
+    record.note("execution", hit=False, seconds=0.5)
+    other = RunRecord()
+    other.note("execution", hit=True)
+    other.note("result", hit=False, seconds=0.25)
+    record.merge(other.as_dict())
+    assert record.computed("execution") == 1
+    assert record.hits("execution") == 1
+    assert record.computed("result") == 1
+    assert "execution" in record.render()
+
+
+def test_make_workbench_returns_identical_object(disk_store):
+    _, first = make_workbench("tiny", 0.5, 0)
+    _, second = make_workbench("tiny", 0.5, 0)
+    assert first is second
+
+
+def test_make_workbench_scale_normalisation(disk_store):
+    _, as_int = make_workbench("tiny", 1, 0)
+    _, as_float = make_workbench("tiny", 1.0, 0)
+    assert as_int is as_float
+
+
+def test_warm_sweep_skips_profiling_and_simulation(tmp_path):
+    """Acceptance: a warm-cache rerun of a sweep performs zero
+    profiling executions and zero baseline cache simulations."""
+    cache_dir = tmp_path / "cache"
+    previous = set_default_store(ArtifactStore(cache_dir=cache_dir))
+    try:
+        cold = RunRecord()
+        cold_points = run_sweep("tiny", scale=0.2, record=cold)
+        assert cold.computed("execution") == 1
+        assert cold.computed("baseline") == 1
+
+        # Fresh store, same directory: only the disk tier can answer.
+        set_default_store(ArtifactStore(cache_dir=cache_dir))
+        warm = RunRecord()
+        warm_points = run_sweep("tiny", scale=0.2, record=warm)
+        assert warm.computed("execution") == 0
+        assert warm.computed("baseline") == 0
+        assert warm.computed("trace") == 0
+        assert warm.computed("graph") == 0
+        assert warm.computed("result") == 0
+        assert warm.hits("result") > 0
+
+        cold_energy = [
+            point.energy(name)
+            for point in cold_points for name in point.results
+        ]
+        warm_energy = [
+            point.energy(name)
+            for point in warm_points for name in point.results
+        ]
+        assert warm_energy == cold_energy
+    finally:
+        set_default_store(previous)

@@ -1,0 +1,117 @@
+"""Behaviour of the two-tier artifact store."""
+
+from __future__ import annotations
+
+from repro.engine.store import (
+    ArtifactStore,
+    default_store,
+    set_default_store,
+)
+
+
+def test_memory_roundtrip_and_stats():
+    store = ArtifactStore()
+    assert store.get("execution", "d1") is None
+    store.put("execution", "d1", {"payload": 1})
+    assert store.get("execution", "d1") == {"payload": 1}
+    assert store.stats.memory_hits == 1
+    assert store.stats.misses == 1
+    assert store.stats.puts == 1
+    assert store.stats.hits == 1
+
+
+def test_memory_tier_is_keyed_by_stage_and_digest():
+    store = ArtifactStore()
+    store.put("execution", "d1", "a")
+    assert store.get("trace", "d1") is None
+    assert store.get("execution", "d2") is None
+
+
+def test_lru_eviction():
+    store = ArtifactStore(memory_items=2)
+    store.put("s", "a", 1)
+    store.put("s", "b", 2)
+    assert store.get("s", "a") == 1  # refresh "a"; "b" is now oldest
+    store.put("s", "c", 3)
+    assert store.stats.evictions == 1
+    assert store.get("s", "b") is None
+    assert store.get("s", "a") == 1
+    assert store.get("s", "c") == 3
+
+
+def test_disk_roundtrip_across_store_instances(tmp_path):
+    writer = ArtifactStore(cache_dir=tmp_path)
+    writer.put("trace", "deadbeef", ["obj1", "obj2"])
+    count, total_bytes = writer.disk_usage()
+    assert count == 1 and total_bytes > 0
+
+    reader = ArtifactStore(cache_dir=tmp_path)
+    assert reader.get("trace", "deadbeef") == ["obj1", "obj2"]
+    assert reader.stats.disk_hits == 1
+    # The disk hit was promoted into the memory tier.
+    assert reader.get("trace", "deadbeef") == ["obj1", "obj2"]
+    assert reader.stats.memory_hits == 1
+
+
+def test_corrupted_entry_is_dropped_and_recomputed(tmp_path):
+    store = ArtifactStore(cache_dir=tmp_path)
+    store.put("graph", "feed", "good")
+    [path] = store.disk_entries()
+    path.write_bytes(b"not a pickle")
+
+    fresh = ArtifactStore(cache_dir=tmp_path)
+    artifact, was_cached = fresh.get_or_compute(
+        "graph", "feed", lambda: "recomputed"
+    )
+    assert (artifact, was_cached) == ("recomputed", False)
+    assert fresh.stats.disk_errors == 1
+    # The replacement entry is readable again.
+    again = ArtifactStore(cache_dir=tmp_path)
+    assert again.get("graph", "feed") == "recomputed"
+
+
+def test_foreign_schema_entry_is_a_miss(tmp_path):
+    import pickle
+
+    store = ArtifactStore(cache_dir=tmp_path)
+    store.put("graph", "feed", "good")
+    [path] = store.disk_entries()
+    envelope = pickle.loads(path.read_bytes())
+    envelope["schema"] = -1
+    path.write_bytes(pickle.dumps(envelope))
+
+    fresh = ArtifactStore(cache_dir=tmp_path)
+    assert fresh.get("graph", "feed") is None
+    assert fresh.stats.disk_errors == 1
+    assert not path.is_file()
+
+
+def test_get_or_compute_hits_on_second_call():
+    store = ArtifactStore()
+    calls = []
+    compute = lambda: calls.append(1) or "value"  # noqa: E731
+    first = store.get_or_compute("result", "d", compute)
+    second = store.get_or_compute("result", "d", compute)
+    assert first == ("value", False)
+    assert second == ("value", True)
+    assert len(calls) == 1
+
+
+def test_clear_empties_both_tiers(tmp_path):
+    store = ArtifactStore(cache_dir=tmp_path)
+    store.put("execution", "a", 1)
+    store.put("trace", "b", 2)
+    removed = store.clear()
+    assert removed == 2
+    assert store.get("execution", "a") is None
+    assert store.disk_entries() == []
+
+
+def test_set_default_store_swaps_and_restores():
+    replacement = ArtifactStore()
+    previous = set_default_store(replacement)
+    try:
+        assert default_store() is replacement
+    finally:
+        set_default_store(previous)
+    assert default_store() is not replacement
