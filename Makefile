@@ -6,12 +6,13 @@ PYTHON ?= python
 # install step is needed.
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-smoke exhibits report examples clean
+.PHONY: install test bench bench-smoke exhibits report examples \
+	docs docs-regen clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: bench-smoke
+test: bench-smoke docs
 	$(PYTHON) -m pytest tests/
 
 test-output:
@@ -34,6 +35,16 @@ exhibits:
 
 report:
 	$(PYTHON) -m repro report --output reproduction_report.txt
+
+# Non-mutating documentation checks: docs/API.md must match the
+# docstrings and every relative markdown link must resolve.
+docs:
+	$(PYTHON) scripts/gen_api_docs.py --check
+	$(PYTHON) scripts/check_links.py
+
+# Rewrite docs/API.md from the current docstrings.
+docs-regen:
+	$(PYTHON) scripts/gen_api_docs.py
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

@@ -14,6 +14,8 @@ Runs in seconds on the ``tiny`` workload; wired into ``make test`` via
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.engine import (
@@ -23,6 +25,8 @@ from repro.engine import (
     map_points,
     set_default_store,
 )
+from repro.obs.metrics import MetricsRegistry, inc, set_registry
+from repro.obs.trace import TraceCollector, set_collector, span
 
 SMOKE_SCALE = 0.2
 
@@ -68,3 +72,103 @@ def test_exhibit_cold_then_warm(exhibit, tmp_path):
             == [r.energy.total for r in cold_results]
     finally:
         set_default_store(previous)
+
+
+class _CountingRegistry(MetricsRegistry):
+    """Registry that counts how many metric operations reach it."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.operations = 0
+
+    def _get(self, name, factory):
+        self.operations += 1
+        return super()._get(name, factory)
+
+
+def _observed_run(points, cache_dir):
+    """One fully observed run; returns (record, collector, registry)."""
+    collector = TraceCollector()
+    registry = _CountingRegistry()
+    previous_store = set_default_store(ArtifactStore(cache_dir=cache_dir))
+    previous_collector = set_collector(collector)
+    previous_registry = set_registry(registry)
+    try:
+        record = RunRecord()
+        map_points(points, record=record)
+    finally:
+        set_default_store(previous_store)
+        set_collector(previous_collector)
+        set_registry(previous_registry)
+    return record, collector, registry
+
+
+def test_bench_run_emits_spans_and_metrics(tmp_path):
+    """The observability layer sees the bench workload end to end."""
+    _, collector, registry = _observed_run(
+        EXHIBIT_POINTS["table1"], tmp_path / "cache"
+    )
+    names = set(collector.span_names())
+    assert "point.evaluate" in names
+    assert "engine.resolve.result" in names
+    assert "engine.resolve.workbench" in names
+    assert "ilp.solve" in names
+    assert "sim.hierarchy" in names
+    assert "trace.generate" in names
+    assert "graph.build" in names
+    point_count = collector.span_names().count("point.evaluate")
+    assert point_count == len(EXHIBIT_POINTS["table1"])
+    assert registry.value("ilp.solves") >= 1
+    assert registry.value("graph.builds") == 1
+    assert registry.value("sim.cache_accesses") > 0
+
+
+def _disabled_call_cost(iterations: int = 20_000) -> tuple[float, float]:
+    """Per-call seconds of a disabled span() and a disabled inc()."""
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with span("overhead.probe"):
+            pass
+    span_cost = (time.perf_counter() - started) / iterations
+    started = time.perf_counter()
+    for _ in range(iterations):
+        inc("overhead.probe")
+    inc_cost = (time.perf_counter() - started) / iterations
+    return span_cost, inc_cost
+
+
+def test_disabled_instrumentation_overhead_below_two_percent(tmp_path):
+    """Acceptance: disabled-by-default instrumentation costs < 2%.
+
+    An observed warm run counts exactly how many span and metric
+    operations the bench workload performs; the measured per-call cost
+    of the disabled fast path (one global read + comparison) bounds
+    the total overhead a plain ``make bench-smoke`` run pays.  The
+    warm run is the strict case — it is the fastest run with the
+    highest instrumentation density per second of work.
+    """
+    points = EXHIBIT_POINTS["table1"]
+    cache_dir = tmp_path / "cache"
+    _observed_run(points, cache_dir)  # cold: populate the disk cache
+
+    # Warm observed run: count the instrumented operations.
+    _, collector, registry = _observed_run(points, cache_dir)
+    span_count = len(collector.events())
+    metric_operations = registry.operations
+
+    # Warm *disabled* run: the wall time the bench actually pays.
+    previous_store = set_default_store(ArtifactStore(cache_dir=cache_dir))
+    try:
+        started = time.perf_counter()
+        map_points(points, record=RunRecord())
+        wall = time.perf_counter() - started
+    finally:
+        set_default_store(previous_store)
+
+    span_cost, inc_cost = _disabled_call_cost()
+    overhead = span_count * span_cost + metric_operations * inc_cost
+    assert overhead < 0.02 * wall, (
+        f"disabled instrumentation overhead {overhead * 1e6:.0f} us "
+        f"({span_count} spans, {metric_operations} metric ops) is not "
+        f"< 2% of the {wall * 1e3:.1f} ms warm run"
+    )

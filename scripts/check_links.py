@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Check relative markdown links in the repository's documentation.
+
+Walks every ``*.md`` file at the repository root and under ``docs/``,
+extracts inline links (``[text](target)``), and verifies that each
+relative target resolves to an existing file or directory.  External
+links (``http://``, ``https://``, ``mailto:``) and pure in-page
+anchors (``#section``) are skipped; a ``path#fragment`` target is
+checked for the path part only.
+
+Exit status 1 lists every broken link; used by ``make docs`` (and so
+``make test``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown link: [text](target) — target without spaces.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Target prefixes that are not file references.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files() -> list[Path]:
+    """The documentation set: root-level and docs/ markdown files."""
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file."""
+    problems = []
+    for number, line in enumerate(path.read_text().splitlines(), 1):
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{number}: "
+                    f"broken link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    """CLI entry point; returns the process exit code."""
+    problems: list[str] = []
+    files = markdown_files()
+    for path in files:
+        problems += check_file(path)
+    if problems:
+        sys.stderr.write("\n".join(problems) + "\n")
+        return 1
+    print(f"checked {len(files)} markdown files: all relative links "
+          f"resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,12 +6,19 @@ Commands:
 * ``sweep`` — free-form size sweep of any workload/allocators;
 * ``graph`` — dump a workload's conflict graph as Graphviz DOT;
 * ``cache`` — artifact-cache maintenance (``stats`` / ``clear``);
+* ``report`` — all exhibits as one document, or (given a ``--trace``
+  file) a per-run report of stage timings and cache hit rates;
 * ``workloads`` — list registered benchmarks.
 
 Every experiment command consults the engine's content-addressed
 artifact cache (on disk under ``--cache-dir``, default ``.casa_cache``
 or ``$CASA_CACHE_DIR``); ``--no-cache`` disables the disk tier and
-``--jobs N`` fans sweep design points across worker processes.
+``--jobs N`` fans sweep design points across worker processes.  The
+sweep-shaped commands (``sweep``, ``fig4``, ``fig5``, ``table1``,
+``dse``) additionally accept ``--trace FILE`` (record a Chrome-trace
+run file, viewable in ``chrome://tracing`` / Perfetto and readable by
+``report``) and ``--metrics`` (print the run's metric counters) — see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from typing import Callable
 
 from repro.engine.runner import RunRecord
 from repro.engine.store import ArtifactStore, CACHE_DIR_ENV, \
@@ -28,6 +36,10 @@ from repro.evaluation.fig5 import run_fig5
 from repro.evaluation.sweep import make_workbench, run_sweep
 from repro.evaluation.table1 import run_table1
 from repro.evaluation.reporting import microjoules, percent
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.report import build_run_payload, load_run, \
+    render_run_report, summarise_run, write_run_file
+from repro.obs.trace import TraceCollector, set_collector
 from repro.utils.tables import format_table
 from repro.workloads.registry import available_workloads
 
@@ -60,6 +72,17 @@ def _add_scale(parser: argparse.ArgumentParser,
             "--jobs", type=int, default=1,
             help="worker processes for the sweep's design points "
                  "(default 1 = serial; results are identical)",
+        )
+        parser.add_argument(
+            "--trace", metavar="FILE", default=None,
+            help="record a Chrome-trace run file (open in "
+                 "chrome://tracing or Perfetto; feed to "
+                 "'report FILE')",
+        )
+        parser.add_argument(
+            "--metrics", action="store_true",
+            help="print the run's metric counters (cache statistics, "
+                 "solver work, engine stages)",
         )
 
 
@@ -152,11 +175,24 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_scale(explain)
 
     report = sub.add_parser(
-        "report", help="run every exhibit and print one document"
+        "report",
+        help="run every exhibit and print one document, or render a "
+             "per-run report from a --trace file",
+    )
+    report.add_argument(
+        "run", nargs="?", default=None, metavar="RUNFILE",
+        help="a --trace run file; renders its stage timings, cache "
+             "hit rates and slowest design points instead of "
+             "re-running the exhibits",
     )
     report.add_argument("--output", default=None,
                         help="also write the report to this file")
     report.add_argument("--no-charts", action="store_true")
+    report.add_argument("--json", action="store_true",
+                        help="with RUNFILE: print the report as JSON")
+    report.add_argument("--top", type=int, default=10,
+                        help="with RUNFILE: how many slowest design "
+                             "points to list (default 10)")
     _add_scale(report)
 
     cache = sub.add_parser(
@@ -209,9 +245,73 @@ def _run_cache_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_observed(args: argparse.Namespace,
+                  run: Callable[[RunRecord], int]) -> int:
+    """Run a sweep-shaped command under the requested observability.
+
+    Installs a trace collector (``--trace FILE``) and/or a metrics
+    registry (``--metrics``, implied by ``--trace`` so the run file is
+    self-describing), invokes *run* with a fresh :class:`RunRecord`,
+    restores the previous observability state, then prints the metric
+    table and/or writes the run file.
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    collector = TraceCollector() if trace_path else None
+    registry = MetricsRegistry() \
+        if (want_metrics or collector is not None) else None
+    record = RunRecord()
+    previous_collector = set_collector(collector) \
+        if collector is not None else None
+    previous_registry = set_registry(registry) \
+        if registry is not None else None
+    try:
+        code = run(record)
+    finally:
+        if collector is not None:
+            set_collector(previous_collector)
+        if registry is not None:
+            set_registry(previous_registry)
+    if registry is not None:
+        # Fold the run's per-stage counters in, so ``--metrics`` and
+        # the run file expose the engine.stage.* numbers too.
+        registry.merge(record.metrics.snapshot())
+    if want_metrics and registry is not None:
+        print(registry.render())
+    if collector is not None and trace_path:
+        payload = build_run_payload(
+            command=args.command,
+            collector=collector,
+            record=record,
+            registry=registry,
+            argv=getattr(args, "_argv", None),
+        )
+        write_run_file(trace_path, payload)
+        print(f"trace written to {trace_path} "
+              f"({len(payload['traceEvents'])} spans); inspect with "
+              f"'report {trace_path}' or chrome://tracing")
+    return code
+
+
+def _run_trace_report(args: argparse.Namespace) -> int:
+    """``casa report RUNFILE`` — render a recorded run."""
+    run = load_run(args.run)
+    if args.json:
+        import json
+        text = json.dumps(summarise_run(run, top=args.top), indent=2)
+    else:
+        text = render_run_report(run, top=args.top)
+    print(text)
+    if args.output:
+        import pathlib
+        pathlib.Path(args.output).write_text(text + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
 
     if args.command == "workloads":
         for name in available_workloads():
@@ -221,54 +321,71 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cache":
         return _run_cache_command(args)
 
+    if args.command == "report" and args.run:
+        return _run_trace_report(args)
+
     _configure_store(args)
 
     if args.command == "fig4":
-        result = run_fig4(args.workload, scale=args.scale,
-                          seed=args.seed, jobs=args.jobs)
-        print(result.render_chart() if args.chart else result.render())
-        print(f"average energy improvement: "
-              f"{percent(result.average_energy_improvement)}%")
-        return 0
+        def run_fig4_command(record: RunRecord) -> int:
+            result = run_fig4(args.workload, scale=args.scale,
+                              seed=args.seed, jobs=args.jobs,
+                              record=record)
+            print(result.render_chart() if args.chart
+                  else result.render())
+            print(f"average energy improvement: "
+                  f"{percent(result.average_energy_improvement)}%")
+            return 0
+        return _run_observed(args, run_fig4_command)
 
     if args.command == "fig5":
-        result = run_fig5(args.workload, scale=args.scale,
-                          seed=args.seed, jobs=args.jobs)
-        print(result.render_chart() if args.chart else result.render())
-        print(f"average energy improvement: "
-              f"{percent(result.average_energy_improvement)}%")
-        return 0
+        def run_fig5_command(record: RunRecord) -> int:
+            result = run_fig5(args.workload, scale=args.scale,
+                              seed=args.seed, jobs=args.jobs,
+                              record=record)
+            print(result.render_chart() if args.chart
+                  else result.render())
+            print(f"average energy improvement: "
+                  f"{percent(result.average_energy_improvement)}%")
+            return 0
+        return _run_observed(args, run_fig5_command)
 
     if args.command == "table1":
-        result = run_table1(scale=args.scale, seed=args.seed,
-                            jobs=args.jobs)
-        print(result.render())
-        print(f"overall: {percent(result.overall_vs_steinke)}% vs. "
-              f"Steinke, {percent(result.overall_vs_loop_cache)}% vs. "
-              "loop cache (paper: 21.1% / 28.6%)")
-        return 0
+        def run_table1_command(record: RunRecord) -> int:
+            result = run_table1(scale=args.scale, seed=args.seed,
+                                jobs=args.jobs, record=record)
+            print(result.render())
+            print(f"overall: {percent(result.overall_vs_steinke)}% "
+                  f"vs. Steinke, "
+                  f"{percent(result.overall_vs_loop_cache)}% vs. "
+                  "loop cache (paper: 21.1% / 28.6%)")
+            return 0
+        return _run_observed(args, run_table1_command)
 
     if args.command == "sweep":
-        record = RunRecord()
-        points = run_sweep(
-            args.workload,
-            tuple(args.sizes) if args.sizes else None,
-            algorithms=tuple(args.algorithms),
-            scale=args.scale,
-            seed=args.seed,
-            jobs=args.jobs,
-            record=record,
-        )
-        headers = ["size (B)"] + [f"{a} (uJ)" for a in args.algorithms]
-        rows = [
-            [point.spm_size]
-            + [microjoules(point.energy(a)) for a in args.algorithms]
-            for point in points
-        ]
-        print(format_table(headers, rows,
-                           title=f"sweep of {args.workload}"))
-        print(record.render())
-        return 0
+        def run_sweep_command(record: RunRecord) -> int:
+            points = run_sweep(
+                args.workload,
+                tuple(args.sizes) if args.sizes else None,
+                algorithms=tuple(args.algorithms),
+                scale=args.scale,
+                seed=args.seed,
+                jobs=args.jobs,
+                record=record,
+            )
+            headers = ["size (B)"] + [f"{a} (uJ)"
+                                      for a in args.algorithms]
+            rows = [
+                [point.spm_size]
+                + [microjoules(point.energy(a))
+                   for a in args.algorithms]
+                for point in points
+            ]
+            print(format_table(headers, rows,
+                               title=f"sweep of {args.workload}"))
+            print(record.render())
+            return 0
+        return _run_observed(args, run_sweep_command)
 
     if args.command == "graph":
         _, bench = make_workbench(args.workload, args.scale, args.seed)
@@ -312,13 +429,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "dse":
         from repro.evaluation.dse import explore, render_design_points
-        points = explore(args.workload, args.budget, scale=args.scale,
-                         seed=args.seed, jobs=args.jobs)
-        print(render_design_points(points, top=args.top))
-        best = points[0]
-        print(f"best: {best.cache_size}B cache + {best.spm_size}B "
-              f"scratchpad at {microjoules(best.energy)} uJ")
-        return 0
+
+        def run_dse_command(record: RunRecord) -> int:
+            points = explore(args.workload, args.budget,
+                             scale=args.scale, seed=args.seed,
+                             jobs=args.jobs, record=record)
+            print(render_design_points(points, top=args.top))
+            best = points[0]
+            print(f"best: {best.cache_size}B cache + {best.spm_size}B "
+                  f"scratchpad at {microjoules(best.energy)} uJ")
+            return 0
+        return _run_observed(args, run_dse_command)
 
     if args.command == "explain":
         from repro.core.casa import CasaAllocator

@@ -21,6 +21,8 @@ import networkx as nx
 from repro.energy.model import EnergyModel
 from repro.errors import ConfigurationError
 from repro.memory.stats import SimulationReport
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.traces.memory_object import MemoryObject
 
 
@@ -75,24 +77,31 @@ class ConflictGraph:
                 "conflict graphs must be profiled on a cache-only "
                 "hierarchy (found scratchpad/loop-cache accesses)"
             )
-        graph = cls()
-        for mo in memory_objects:
-            stats = report.mo_stats.get(mo.name)
-            graph.add_node(
-                ConflictNode(
-                    name=mo.name,
-                    fetches=stats.fetches if stats else 0,
-                    size=mo.unpadded_size,
-                    compulsory_misses=(
-                        stats.compulsory_misses if stats else 0
-                    ),
+        with span("graph.build") as build_span:
+            graph = cls()
+            for mo in memory_objects:
+                stats = report.mo_stats.get(mo.name)
+                graph.add_node(
+                    ConflictNode(
+                        name=mo.name,
+                        fetches=stats.fetches if stats else 0,
+                        size=mo.unpadded_size,
+                        compulsory_misses=(
+                            stats.compulsory_misses if stats else 0
+                        ),
+                    )
                 )
-            )
-        for (victim, evictor), count in report.conflict_misses.items():
-            if victim == evictor:
-                graph._nodes[victim].self_misses += count
-            else:
-                graph.add_edge(victim, evictor, count)
+            conflicts = report.conflict_misses.items()
+            for (victim, evictor), count in conflicts:
+                if victim == evictor:
+                    graph._nodes[victim].self_misses += count
+                else:
+                    graph.add_edge(victim, evictor, count)
+            build_span.add(nodes=graph.num_nodes,
+                           edges=graph.num_edges)
+            metrics.inc("graph.builds")
+            metrics.inc("graph.nodes", graph.num_nodes)
+            metrics.inc("graph.edges", graph.num_edges)
         return graph
 
     def add_node(self, node: ConflictNode) -> None:

@@ -48,6 +48,7 @@ from repro.memory.cache import CacheConfig
 from repro.memory.hierarchy import HierarchyConfig, simulate
 from repro.memory.loopcache import LoopCacheConfig
 from repro.memory.stats import SimulationReport
+from repro.obs.trace import span
 from repro.program.executor import execute_program
 from repro.program.program import Program
 from repro.traces.layout import (
@@ -238,6 +239,12 @@ class Workbench:
     def evaluate_spm(self, allocation: Allocation,
                      spm_size: int) -> ExperimentResult:
         """Simulate a scratchpad allocation decision."""
+        with span("workbench.evaluate_spm", spm_size=spm_size,
+                  algorithm=allocation.algorithm):
+            return self._evaluate_spm(allocation, spm_size)
+
+    def _evaluate_spm(self, allocation: Allocation,
+                      spm_size: int) -> ExperimentResult:
         image = LinkedImage(
             self._program,
             self._memory_objects,
@@ -266,6 +273,14 @@ class Workbench:
         self, allocation: Allocation, lc_config: LoopCacheConfig
     ) -> ExperimentResult:
         """Simulate a preloaded-loop-cache decision."""
+        with span("workbench.evaluate_loop_cache",
+                  lc_size=lc_config.size,
+                  algorithm=allocation.algorithm):
+            return self._evaluate_loop_cache(allocation, lc_config)
+
+    def _evaluate_loop_cache(
+        self, allocation: Allocation, lc_config: LoopCacheConfig
+    ) -> ExperimentResult:
         hierarchy = HierarchyConfig(
             cache=self._config.cache, loop_cache=lc_config
         )
@@ -288,9 +303,14 @@ class Workbench:
     def _allocate_and_evaluate(self, allocator,
                                spm_size: int) -> ExperimentResult:
         """Run one scratchpad allocator and simulate its decision."""
-        allocation = allocator.allocate(
-            self._graph, spm_size, self.spm_energy_model(spm_size)
-        )
+        with span("alloc.allocate",
+                  allocator=type(allocator).__name__,
+                  spm_size=spm_size) as alloc_span:
+            allocation = allocator.allocate(
+                self._graph, spm_size, self.spm_energy_model(spm_size)
+            )
+            alloc_span.add(objects=len(allocation.spm_resident),
+                           solver_nodes=allocation.solver_nodes)
         return self.evaluate_spm(allocation, spm_size)
 
     def _cached_result(self, algorithm: str, spm_size: int, compute,

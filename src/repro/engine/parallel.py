@@ -27,6 +27,10 @@ from repro.engine.store import ArtifactStore, default_store, \
     set_default_store
 from repro.errors import ConfigurationError
 from repro.memory.cache import CacheConfig
+from repro.obs.metrics import MetricsRegistry, active_registry, \
+    set_registry
+from repro.obs.trace import TraceCollector, get_collector, \
+    set_collector, span
 from repro.traces.tracegen import TraceGenConfig
 
 if TYPE_CHECKING:
@@ -82,19 +86,23 @@ def evaluate_point(point: PointSpec,
             f"{POINT_ALGORITHMS}"
         )
     runner = runner if runner is not None else StageRunner()
-    _, bench = make_workbench(
-        point.workload, point.scale, point.seed,
-        cache=point.cache, tracegen=point.tracegen, runner=runner,
-    )
-    if point.algorithm == "baseline":
-        return bench.baseline_result()
-    if point.algorithm == "casa":
-        return bench.run_casa(point.spm_size)
-    if point.algorithm == "steinke":
-        return bench.run_steinke(point.spm_size)
-    if point.algorithm == "greedy":
-        return bench.run_greedy(point.spm_size)
-    return bench.run_ross(point.spm_size, max_regions=point.max_regions)
+    with span("point.evaluate", workload=point.workload,
+              algorithm=point.algorithm, spm_size=point.spm_size,
+              scale=point.scale, seed=point.seed):
+        _, bench = make_workbench(
+            point.workload, point.scale, point.seed,
+            cache=point.cache, tracegen=point.tracegen, runner=runner,
+        )
+        if point.algorithm == "baseline":
+            return bench.baseline_result()
+        if point.algorithm == "casa":
+            return bench.run_casa(point.spm_size)
+        if point.algorithm == "steinke":
+            return bench.run_steinke(point.spm_size)
+        if point.algorithm == "greedy":
+            return bench.run_greedy(point.spm_size)
+        return bench.run_ross(point.spm_size,
+                              max_regions=point.max_regions)
 
 
 def _init_worker(cache_dir: str | None) -> None:
@@ -102,12 +110,35 @@ def _init_worker(cache_dir: str | None) -> None:
     set_default_store(ArtifactStore(cache_dir=cache_dir))
 
 
-def _evaluate_in_worker(point: PointSpec):
-    """Worker-side evaluation returning ``(result, record_dict)``."""
-    record = RunRecord()
-    runner = StageRunner(record=record)
-    result = evaluate_point(point, runner=runner)
-    return result, record.as_dict()
+def _evaluate_in_worker(task: tuple[PointSpec, bool, bool]):
+    """Worker-side evaluation of one design point.
+
+    *task* is ``(point, trace, metrics)`` — the flags mirror whether
+    the parent had a collector/registry installed.  Returns
+    ``(result, record_dict, span_events, metrics_snapshot)`` where the
+    last two are ``None`` unless the matching flag was set; the parent
+    merges them back in input order, exactly like the record counters.
+    """
+    point, trace_enabled, metrics_enabled = task
+    collector = TraceCollector() if trace_enabled else None
+    registry = MetricsRegistry() if metrics_enabled else None
+    previous_collector = set_collector(collector) \
+        if trace_enabled else None
+    previous_registry = set_registry(registry) \
+        if metrics_enabled else None
+    try:
+        record = RunRecord()
+        runner = StageRunner(record=record)
+        result = evaluate_point(point, runner=runner)
+    finally:
+        if trace_enabled:
+            set_collector(previous_collector)
+        if metrics_enabled:
+            set_registry(previous_registry)
+    events = [event.as_json() for event in collector.events()] \
+        if collector is not None else None
+    snapshot = registry.snapshot() if registry is not None else None
+    return result, record.as_dict(), events, snapshot
 
 
 def _run_serial(points: list[PointSpec],
@@ -154,21 +185,34 @@ def map_points(
     if cache_dir is None:
         cache_dir = default_store().cache_dir
     init_arg = str(cache_dir) if cache_dir is not None else None
+    collector = get_collector()
+    registry = active_registry()
+    tasks = [
+        (point, collector is not None, registry is not None)
+        for point in points
+    ]
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(jobs, len(points)),
             initializer=_init_worker,
             initargs=(init_arg,),
         ) as pool:
-            outcomes = list(pool.map(_evaluate_in_worker, points))
+            outcomes = list(pool.map(_evaluate_in_worker, tasks))
     except (OSError, concurrent.futures.process.BrokenProcessPool,
             pickle.PicklingError):
         # No usable multiprocessing (restricted sandbox, unpicklable
         # payload...): degrade to the serial path, same results.
         return _run_serial(points, runner, record)
     results: list["ExperimentResult"] = []
-    for result, counts in outcomes:
+    # Worker observability folds back in input order, mirroring the
+    # record merge: the merged span/metric stream is deterministic no
+    # matter which worker finished first.
+    for result, counts, events, snapshot in outcomes:
         if record is not None:
             record.merge(counts)
+        if collector is not None and events:
+            collector.merge(events)
+        if registry is not None and snapshot:
+            registry.merge(snapshot)
         results.append(result)
     return results

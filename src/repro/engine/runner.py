@@ -26,6 +26,8 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.engine.artifacts import workbench_digest
 from repro.engine.store import ArtifactStore, default_store
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span
 from repro.traces.tracegen import TraceGenConfig
 from repro.workloads.registry import Workload, get_workload
 
@@ -47,51 +49,101 @@ class StageCount:
 
 
 class RunRecord:
-    """Per-stage hit/compute/timing accounting of one experiment run."""
+    """Per-stage hit/compute/timing accounting of one experiment run.
+
+    The counters live in a private, always-on
+    :class:`~repro.obs.metrics.MetricsRegistry` (one counter per
+    ``engine.stage.<stage>.{computed,hits,seconds}``), so the record is
+    a *consumer* of the observability layer's metric types rather than
+    a parallel bookkeeping path — ``repro report`` and ``--metrics``
+    read the same numbers this class renders.
+    """
+
+    #: Metric-name prefix of the per-stage counters.
+    METRIC_PREFIX = "engine.stage."
 
     def __init__(self) -> None:
-        self.stages: dict[str, StageCount] = {}
+        self.metrics = MetricsRegistry()
+
+    @property
+    def stages(self) -> dict[str, StageCount]:
+        """Per-stage counters as :class:`StageCount` views."""
+        return {
+            stage: StageCount(
+                computed=int(fields.get("computed", 0)),
+                hits=int(fields.get("hits", 0)),
+                seconds=float(fields.get("seconds", 0.0)),
+            )
+            for stage, fields in self._entries().items()
+        }
+
+    def _entries(self) -> dict[str, dict[str, float]]:
+        entries: dict[str, dict[str, float]] = {}
+        for name in self.metrics.names():
+            if not name.startswith(self.METRIC_PREFIX):
+                continue
+            stage, _, field_name = \
+                name[len(self.METRIC_PREFIX):].rpartition(".")
+            entries.setdefault(stage, {})[field_name] = \
+                self.metrics.value(name)
+        return entries
+
+    def _counter(self, stage: str, field_name: str):
+        return self.metrics.counter(
+            f"{self.METRIC_PREFIX}{stage}.{field_name}"
+        )
 
     def note(self, stage: str, *, hit: bool,
              seconds: float = 0.0) -> None:
         """Record one stage resolution (a store hit or a compute)."""
-        count = self.stages.setdefault(stage, StageCount())
         if hit:
-            count.hits += 1
+            self._counter(stage, "hits").inc()
         else:
-            count.computed += 1
-            count.seconds += seconds
+            self._counter(stage, "computed").inc()
+            self._counter(stage, "seconds").inc(seconds)
 
     def computed(self, stage: str) -> int:
         """How many times *stage* was actually computed."""
-        count = self.stages.get(stage)
-        return count.computed if count else 0
+        return int(self.metrics.value(
+            f"{self.METRIC_PREFIX}{stage}.computed"
+        ))
 
     def hits(self, stage: str) -> int:
         """How many times *stage* was served from the store."""
-        count = self.stages.get(stage)
-        return count.hits if count else 0
+        return int(self.metrics.value(
+            f"{self.METRIC_PREFIX}{stage}.hits"
+        ))
 
     def as_dict(self) -> dict[str, dict[str, float]]:
         """Plain-dict view (picklable, mergeable across processes)."""
         return {
             stage: {
-                "computed": count.computed,
-                "hits": count.hits,
-                "seconds": count.seconds,
+                "computed": int(fields.get("computed", 0)),
+                "hits": int(fields.get("hits", 0)),
+                "seconds": float(fields.get("seconds", 0.0)),
             }
-            for stage, count in self.stages.items()
+            for stage, fields in self._entries().items()
         }
 
     def merge(self, other: "RunRecord | dict") -> None:
-        """Fold another record (or its :meth:`as_dict` form) into this one."""
+        """Fold another record (or its :meth:`as_dict` form) into this one.
+
+        Missing fields in a dict entry count as zero, so partial
+        entries (e.g. hits-only stages from hand-built dicts) merge
+        cleanly instead of raising.
+        """
         entries = other.as_dict() if isinstance(other, RunRecord) \
             else other
         for stage, values in entries.items():
-            count = self.stages.setdefault(stage, StageCount())
-            count.computed += int(values["computed"])
-            count.hits += int(values["hits"])
-            count.seconds += float(values["seconds"])
+            computed = int(values.get("computed", 0))
+            hits = int(values.get("hits", 0))
+            seconds = float(values.get("seconds", 0.0))
+            if computed:
+                self._counter(stage, "computed").inc(computed)
+            if hits:
+                self._counter(stage, "hits").inc(hits)
+            if seconds:
+                self._counter(stage, "seconds").inc(seconds)
 
     def render(self) -> str:
         """One line per stage: computed/cached counts and compute time."""
@@ -133,17 +185,25 @@ class StageRunner:
         resolve their upstream artifacts through this same runner, so a
         request for (say) a conflict graph consults the store at every
         stage on the way up and computes only the missing suffix.
+
+        When tracing is enabled, every resolution emits an
+        ``engine.resolve.<stage>`` span whose ``outcome`` attribute
+        says whether the store served it (``hit``) or *compute* ran
+        (``computed``).
         """
-        artifact = self.store.get(stage, digest, disk=disk)
-        if artifact is not None:
-            self.record.note(stage, hit=True)
+        with span(f"engine.resolve.{stage}") as resolve_span:
+            artifact = self.store.get(stage, digest, disk=disk)
+            if artifact is not None:
+                self.record.note(stage, hit=True)
+                resolve_span.add(outcome="hit")
+                return artifact
+            started = time.perf_counter()
+            artifact = compute()
+            elapsed = time.perf_counter() - started
+            self.store.put(stage, digest, artifact, disk=disk)
+            self.record.note(stage, hit=False, seconds=elapsed)
+            resolve_span.add(outcome="computed")
             return artifact
-        started = time.perf_counter()
-        artifact = compute()
-        elapsed = time.perf_counter() - started
-        self.store.put(stage, digest, artifact, disk=disk)
-        self.record.note(stage, hit=False, seconds=elapsed)
-        return artifact
 
 
 @dataclass(frozen=True)

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from repro.ilp.expr import Variable
 from repro.ilp.model import Model, Sense, SolveResult, SolveStatus
 from repro.ilp.scipy_backend import LpRelaxationSolver, LpSolution
+from repro.obs import metrics
+from repro.obs.trace import span
 
 #: Tolerance below which a value counts as integral.
 INTEGRALITY_TOLERANCE = 1e-6
@@ -63,7 +65,22 @@ class BranchAndBoundSolver:
         self.lp_factory = lp_factory
 
     def solve(self, model: Model) -> SolveResult:
-        """Solve *model* to proven optimality (or the node limit)."""
+        """Solve *model* to proven optimality (or the node limit).
+
+        Emits an ``ilp.solve`` span (variables/constraints in, status
+        and explored nodes out) and the ``ilp.solves`` /
+        ``ilp.bb.nodes`` counters when observability is enabled.
+        """
+        with span("ilp.solve", variables=len(model.variables),
+                  constraints=len(model.constraints)) as solve_span:
+            result = self._solve(model)
+            solve_span.add(status=result.status.name,
+                           nodes=result.nodes_explored)
+            metrics.inc("ilp.solves")
+            metrics.inc("ilp.bb.nodes", result.nodes_explored)
+            return result
+
+    def _solve(self, model: Model) -> SolveResult:
         lp = self.lp_factory(model)
         sense_mult = 1.0 if model.sense is Sense.MINIMIZE else -1.0
 

@@ -17,6 +17,7 @@ from scipy.optimize import linprog
 from repro.errors import SolverError
 from repro.ilp.expr import Variable
 from repro.ilp.model import Model, Sense, SolveStatus
+from repro.obs import metrics
 
 
 @dataclass
@@ -91,6 +92,7 @@ class LpRelaxationSolver:
             The relaxation solution; objective is in the *model's*
             sense (maximisation objectives are returned un-negated).
         """
+        metrics.inc("ilp.lp_solves")
         bounds = []
         overrides = bound_overrides or {}
         for var in self._variables:

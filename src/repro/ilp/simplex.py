@@ -27,6 +27,7 @@ from repro.errors import SolverError
 from repro.ilp.expr import Variable
 from repro.ilp.model import Model, Sense, SolveStatus
 from repro.ilp.scipy_backend import LpSolution
+from repro.obs import metrics
 
 #: Numerical tolerance of the pivoting rules.
 TOLERANCE = 1e-9
@@ -81,6 +82,7 @@ class SimplexLpSolver:
         = None,
     ) -> LpSolution:
         """Solve the LP relaxation under optional bound overrides."""
+        metrics.inc("ilp.lp_solves")
         overrides = bound_overrides or {}
         lowers = np.empty(len(self._variables))
         uppers = np.empty(len(self._variables))
@@ -227,37 +229,44 @@ def _simplex_core(a: np.ndarray, b: np.ndarray, cost: np.ndarray,
                   basis: np.ndarray) -> SolveStatus | None:
     """Primal simplex with Bland's rule on an equality-form tableau.
 
-    Mutates ``a``, ``b`` and ``basis`` in place.
+    Mutates ``a``, ``b`` and ``basis`` in place.  Pivot totals are
+    reported through the ``ilp.simplex.pivots`` counter once per call
+    (never per iteration), so the hot loop carries no instrumentation.
     """
     max_iterations = 50 * (a.shape[0] + a.shape[1] + 10)
-    for _ in range(max_iterations):
-        # reduced costs: cost - cost_B * B^-1 * A (tableau is kept
-        # pivoted, so B^-1*A is `a` itself)
-        reduced = cost - cost[basis] @ a
-        entering = None
-        for j in range(a.shape[1]):
-            if reduced[j] < -TOLERANCE:
-                entering = j  # Bland: smallest index
-                break
-        if entering is None:
-            return None  # optimal
-        # ratio test (Bland: smallest basis index breaks ties)
-        leaving = None
-        best_ratio = math.inf
-        for i in range(a.shape[0]):
-            if a[i, entering] > TOLERANCE:
-                ratio = b[i] / a[i, entering]
-                if ratio < best_ratio - TOLERANCE or (
-                    abs(ratio - best_ratio) <= TOLERANCE
-                    and leaving is not None
-                    and basis[i] < basis[leaving]
-                ):
-                    best_ratio = ratio
-                    leaving = i
-        if leaving is None:
-            return SolveStatus.UNBOUNDED
-        _pivot(a, b, basis, leaving, entering)
-    raise SolverError("simplex did not converge (cycling?)")
+    pivots = 0
+    try:
+        for _ in range(max_iterations):
+            # reduced costs: cost - cost_B * B^-1 * A (tableau is kept
+            # pivoted, so B^-1*A is `a` itself)
+            reduced = cost - cost[basis] @ a
+            entering = None
+            for j in range(a.shape[1]):
+                if reduced[j] < -TOLERANCE:
+                    entering = j  # Bland: smallest index
+                    break
+            if entering is None:
+                return None  # optimal
+            # ratio test (Bland: smallest basis index breaks ties)
+            leaving = None
+            best_ratio = math.inf
+            for i in range(a.shape[0]):
+                if a[i, entering] > TOLERANCE:
+                    ratio = b[i] / a[i, entering]
+                    if ratio < best_ratio - TOLERANCE or (
+                        abs(ratio - best_ratio) <= TOLERANCE
+                        and leaving is not None
+                        and basis[i] < basis[leaving]
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving is None:
+                return SolveStatus.UNBOUNDED
+            _pivot(a, b, basis, leaving, entering)
+            pivots += 1
+        raise SolverError("simplex did not converge (cycling?)")
+    finally:
+        metrics.inc("ilp.simplex.pivots", pivots)
 
 
 def _pivot(a: np.ndarray, b: np.ndarray, basis: np.ndarray,

@@ -23,6 +23,8 @@ from repro.memory.loopcache import LoopCache, LoopCacheConfig, LoopRegion
 from repro.memory.mainmem import MainMemory
 from repro.memory.scratchpad import Scratchpad
 from repro.memory.stats import SimulationReport
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.traces.layout import BlockFetchPlan, FetchSegment, LinkedImage
 
 
@@ -342,8 +344,28 @@ def simulate(
     loop_regions: list[LoopRegion] | None = None,
     block_phases: dict[str, int] | None = None,
 ) -> SimulationReport:
-    """One-call convenience wrapper around the simulator."""
-    simulator = InstructionMemorySimulator(
-        image, config, spm_base=spm_base, loop_regions=loop_regions
-    )
-    return simulator.run(block_sequence, block_phases=block_phases)
+    """One-call convenience wrapper around the simulator.
+
+    Emits a ``sim.hierarchy`` span and, when metrics are enabled,
+    accumulates the report's access totals into the ``sim.*`` counters
+    (``sim.cache_hits``, ``sim.cache_misses``, ``sim.spm_accesses``...)
+    — the numbers ``repro report`` turns into cache hit rates.  The
+    per-fetch inner loop itself carries no instrumentation.
+    """
+    with span("sim.hierarchy",
+              blocks=len(block_sequence)) as sim_span:
+        simulator = InstructionMemorySimulator(
+            image, config, spm_base=spm_base, loop_regions=loop_regions
+        )
+        report = simulator.run(block_sequence,
+                               block_phases=block_phases)
+        sim_span.add(fetches=report.total_fetches,
+                     cache_misses=report.cache_misses)
+        metrics.inc("sim.runs")
+        metrics.inc("sim.fetches", report.total_fetches)
+        metrics.inc("sim.cache_accesses", report.cache_accesses)
+        metrics.inc("sim.cache_hits", report.cache_hits)
+        metrics.inc("sim.cache_misses", report.cache_misses)
+        metrics.inc("sim.spm_accesses", report.spm_accesses)
+        metrics.inc("sim.lc_accesses", report.lc_accesses)
+        return report

@@ -1,0 +1,86 @@
+"""Observability: structured tracing, metrics, and run reports.
+
+Three small modules turn the experiment engine from a black box into a
+design-space-exploration tool you can see inside:
+
+* :mod:`repro.obs.trace` — nestable spans with wall/CPU time and
+  attributes, collected thread-safely and exported as Chrome-trace
+  JSON (``chrome://tracing`` / Perfetto) or JSONL event logs;
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  histograms (simulated cache hits, simplex pivots, branch-and-bound
+  nodes...) with snapshot/merge for worker processes;
+* :mod:`repro.obs.report` — per-run reports (stage timings, cache hit
+  rates, slowest design points) rendered from a ``--trace`` run file.
+
+Both tracing and metrics are **disabled by default**: instrumented
+call sites go through :func:`~repro.obs.trace.span` and
+:func:`~repro.obs.metrics.inc`-style helpers that cost one global read
+and one comparison when no collector/registry is installed.  The CLI's
+``--trace FILE`` and ``--metrics`` flags (on ``sweep``, ``fig4``,
+``fig5``, ``table1`` and ``dse``) install them for one run; see
+``docs/OBSERVABILITY.md`` for the full guide.
+"""
+
+from repro.obs.metrics import (
+    METRIC_TYPES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    inc,
+    metrics_enabled,
+    observe,
+    set_gauge,
+    set_registry,
+)
+from repro.obs.report import (
+    POINT_SPAN,
+    RUN_SCHEMA,
+    RunData,
+    build_run_payload,
+    load_run,
+    render_run_report,
+    summarise_run,
+    write_run_file,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACE_CATEGORY,
+    SpanEvent,
+    TraceCollector,
+    get_collector,
+    set_collector,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "METRIC_TYPES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "active_registry",
+    "inc",
+    "metrics_enabled",
+    "observe",
+    "set_gauge",
+    "set_registry",
+    "POINT_SPAN",
+    "RUN_SCHEMA",
+    "RunData",
+    "build_run_payload",
+    "load_run",
+    "render_run_report",
+    "summarise_run",
+    "write_run_file",
+    "NULL_SPAN",
+    "TRACE_CATEGORY",
+    "SpanEvent",
+    "TraceCollector",
+    "get_collector",
+    "set_collector",
+    "span",
+    "tracing_enabled",
+]

@@ -1,0 +1,268 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+Instrumented code reports *what happened* — cache hits simulated,
+simplex pivots performed, branch-and-bound nodes explored — through
+three primitive types:
+
+* :class:`Counter` — monotonically increasing total (``inc``);
+* :class:`Gauge` — last-written value (``set``);
+* :class:`Histogram` — count/sum/min/max of observed values
+  (``observe``).
+
+A :class:`MetricsRegistry` creates metrics on first use, snapshots
+them as a plain JSON-able dict (:meth:`MetricsRegistry.snapshot`), and
+merges snapshots from worker processes (:meth:`MetricsRegistry.merge`)
+— counters and histograms accumulate, gauges take the incoming value.
+
+Like tracing, metrics are disabled by default: the module-level
+helpers :func:`inc`, :func:`set_gauge` and :func:`observe` write to
+the *active* registry installed via :func:`set_registry` and cost one
+global read and one comparison when none is installed.  The engine's
+:class:`~repro.engine.runner.RunRecord` keeps its per-run stage
+counters in a private, always-on registry of its own — same machinery,
+different lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+#: Snapshot ``type`` tags, one per metric class.
+METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (default 1) to the total."""
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict form for :meth:`MetricsRegistry.snapshot`."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-written value (e.g. a size or a configuration knob)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with *value*."""
+        self.value = value
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict form for :meth:`MetricsRegistry.snapshot`."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Count/sum/min/max summary of observed values."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict form for :meth:`MetricsRegistry.snapshot`."""
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe create-on-first-use registry of named metrics.
+
+    Metric names are dotted, lower-case paths (``ilp.bb.nodes``,
+    ``sim.cache_misses``); ``docs/OBSERVABILITY.md`` lists the
+    conventions and the names the built-in instrumentation emits.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle as a snapshot (locks do not cross processes)."""
+        return {"snapshot": self.snapshot()}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        """Rebuild from a snapshot with a fresh lock."""
+        self.__init__()
+        self.merge(state["snapshot"])
+
+    def _get(self, name: str, factory: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = factory()
+                    self._metrics[name] = metric
+        if not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {factory.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name*, created on first use."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name*, created on first use."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called *name*, created on first use."""
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered metric."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Counter/gauge value (or histogram total) of *name*.
+
+        Returns *default* when the metric does not exist — convenient
+        for reports over runs that skipped an instrumented path.
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.total
+        return metric.value
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All metrics as ``{name: {"type": ..., ...}}`` (JSON-able)."""
+        with self._lock:
+            return {
+                name: metric.snapshot()
+                for name, metric in sorted(self._metrics.items())
+            }
+
+    def merge(self, snapshot: dict[str, dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins, matching their semantics).
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(data["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(data["value"]))
+            elif kind == "histogram":
+                histogram = self.histogram(name)
+                count = int(data["count"])
+                if count:
+                    histogram.count += count
+                    histogram.total += float(data["total"])
+                    histogram.minimum = min(histogram.minimum,
+                                            float(data["min"]))
+                    histogram.maximum = max(histogram.maximum,
+                                            float(data["max"]))
+            else:
+                raise ValueError(
+                    f"unknown metric type {kind!r} for {name!r}"
+                )
+
+    def render(self) -> str:
+        """Human-readable table of every metric, sorted by name."""
+        rows = []
+        for name, data in self.snapshot().items():
+            if data["type"] == "histogram":
+                detail = (
+                    f"count={data['count']} total={data['total']:g} "
+                    f"min={data['min']:g} max={data['max']:g}"
+                )
+            else:
+                detail = f"{data['value']:g}"
+            rows.append(f"  {name:<32} {detail}")
+        if not rows:
+            return "metrics: (none recorded)"
+        return "\n".join(["metrics:"] + rows)
+
+
+# -- process-wide active registry ---------------------------------------------
+
+_ACTIVE: MetricsRegistry | None = None
+
+
+def set_registry(registry: MetricsRegistry | None
+                 ) -> MetricsRegistry | None:
+    """Install (or, with ``None``, remove) the active registry.
+
+    Returns the previously active registry so callers can restore it.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The active registry, or ``None`` when metrics are disabled."""
+    return _ACTIVE
+
+
+def metrics_enabled() -> bool:
+    """Whether a registry is currently installed."""
+    return _ACTIVE is not None
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment counter *name* on the active registry (no-op if none)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge *name* on the active registry (no-op if none)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Observe *value* on histogram *name* (no-op if none active)."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.histogram(name).observe(value)

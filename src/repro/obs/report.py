@@ -1,0 +1,291 @@
+"""Per-run reports: stage timings, cache hit rates, slowest points.
+
+The CLI's ``--trace FILE`` flag saves one self-describing run file: a
+Chrome-trace JSON object whose ``casa`` key embeds the engine's
+:class:`~repro.engine.runner.RunRecord` counters and the metrics
+snapshot of the run.  This module turns such a file back into a
+human-readable report (``repro report FILE``) or a machine-readable
+JSON summary (``repro report FILE --json``):
+
+* per-stage timings and artifact-cache hit rates (from the record);
+* simulated I-cache / scratchpad statistics (from the metrics);
+* the top-N slowest design points (from the ``point.evaluate`` spans).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACE_CATEGORY, TraceCollector
+from repro.utils.tables import format_table
+
+#: Schema version of the embedded ``casa`` run payload.
+RUN_SCHEMA = 1
+
+#: Span name identifying one design-point evaluation.
+POINT_SPAN = "point.evaluate"
+
+
+def build_run_payload(
+    command: str,
+    collector: TraceCollector,
+    record: "Any" = None,
+    registry: MetricsRegistry | None = None,
+    argv: list[str] | None = None,
+) -> dict[str, Any]:
+    """Assemble the trace-file document for one observed run.
+
+    Returns a Chrome-trace JSON object (``traceEvents`` + metadata
+    under ``casa``) ready to be serialised with :func:`json.dump`.
+
+    Args:
+        command: the CLI subcommand (or logical run name).
+        collector: the collector that recorded the run.
+        record: the run's :class:`~repro.engine.runner.RunRecord`
+            (or ``None`` when no engine work was recorded).
+        registry: the run's metrics registry, if metrics were enabled.
+        argv: the command-line arguments, for provenance.
+    """
+    metadata: dict[str, Any] = {
+        "schema": RUN_SCHEMA,
+        "command": command,
+        "record": record.as_dict() if record is not None else {},
+        "metrics": registry.snapshot() if registry is not None else {},
+    }
+    if argv is not None:
+        metadata["argv"] = list(argv)
+    return collector.chrome_trace(metadata=metadata)
+
+
+def write_run_file(path: str | Path, payload: dict[str, Any]) -> None:
+    """Serialise a :func:`build_run_payload` document to *path*."""
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+
+
+@dataclass
+class RunData:
+    """A loaded run file, ready for rendering.
+
+    Attributes:
+        command: the CLI subcommand that produced the run.
+        record: per-stage counters (``RunRecord.as_dict`` form).
+        metrics: the metrics snapshot of the run.
+        spans: the trace events (Chrome-trace dicts, completion order).
+        argv: the recorded command line, when present.
+    """
+
+    command: str
+    record: dict[str, dict[str, float]]
+    metrics: dict[str, dict[str, Any]]
+    spans: list[dict[str, Any]]
+    argv: list[str] = field(default_factory=list)
+
+    def span_names(self) -> list[str]:
+        """Names of the recorded spans, in file order."""
+        return [span["name"] for span in self.spans]
+
+    def point_spans(self) -> list[dict[str, Any]]:
+        """The design-point (:data:`POINT_SPAN`) spans of the run."""
+        return [s for s in self.spans if s["name"] == POINT_SPAN]
+
+    def metric_value(self, name: str, default: float = 0.0) -> float:
+        """Counter/gauge value of metric *name* (or *default*)."""
+        data = self.metrics.get(name)
+        if not data:
+            return default
+        if data.get("type") == "histogram":
+            return float(data.get("total", default))
+        return float(data.get("value", default))
+
+
+def load_run(path: str | Path) -> RunData:
+    """Parse a ``--trace`` run file written by :func:`write_run_file`.
+
+    Raises:
+        ConfigurationError: when the file is not a run file this
+            version can read (missing/foreign ``casa`` metadata).
+    """
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"cannot read run file {path}: {error}")
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ConfigurationError(
+            f"{path} is not a Chrome-trace run file (no traceEvents)"
+        )
+    metadata = document.get("casa")
+    if not isinstance(metadata, dict) or \
+            metadata.get("schema") != RUN_SCHEMA:
+        raise ConfigurationError(
+            f"{path} carries no casa run metadata (was it written by "
+            f"--trace?)"
+        )
+    spans = [
+        event for event in document["traceEvents"]
+        if event.get("ph") == "X" and event.get("cat") == TRACE_CATEGORY
+    ]
+    return RunData(
+        command=str(metadata.get("command", "?")),
+        record=metadata.get("record", {}),
+        metrics=metadata.get("metrics", {}),
+        spans=spans,
+        argv=list(metadata.get("argv", [])),
+    )
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _stage_rows(record: dict[str, dict[str, float]]) -> list[list]:
+    from repro.engine.runner import STAGES
+
+    ordered = [s for s in ("workbench",) + STAGES if s in record]
+    ordered += [s for s in sorted(record) if s not in ordered]
+    rows = []
+    for stage in ordered:
+        entry = record[stage]
+        computed = int(entry.get("computed", 0))
+        hits = int(entry.get("hits", 0))
+        total = computed + hits
+        rate = (100.0 * hits / total) if total else 0.0
+        rows.append([
+            stage, computed, hits, f"{rate:.1f}%",
+            f"{float(entry.get('seconds', 0.0)):.3f}",
+        ])
+    return rows
+
+
+def _cache_lines(run: RunData) -> list[str]:
+    accesses = run.metric_value("sim.cache_accesses")
+    hits = run.metric_value("sim.cache_hits")
+    misses = run.metric_value("sim.cache_misses")
+    spm = run.metric_value("sim.spm_accesses")
+    lines = []
+    if accesses:
+        lines.append(
+            f"simulated I-cache: {accesses:.0f} accesses, "
+            f"{hits:.0f} hits ({100.0 * hits / accesses:.1f}%), "
+            f"{misses:.0f} misses"
+        )
+    if spm:
+        lines.append(f"simulated scratchpad: {spm:.0f} accesses")
+    if not lines:
+        lines.append(
+            "simulated cache statistics: none recorded (fully cached "
+            "run — every stage came from the artifact store)"
+        )
+    return lines
+
+
+def _slowest_points(run: RunData, top: int) -> list[dict[str, Any]]:
+    points = run.point_spans()
+    if not points:
+        points = [s for s in run.spans if not s.get("args", {})
+                  .get("depth", 0)]
+    ranked = sorted(points, key=lambda s: -float(s.get("dur", 0.0)))
+    return ranked[:top]
+
+
+def summarise_run(run: RunData, top: int = 10) -> dict[str, Any]:
+    """The report as plain data (what ``repro report --json`` prints)."""
+    wall_us = max(
+        (float(s.get("ts", 0.0)) + float(s.get("dur", 0.0))
+         for s in run.spans),
+        default=0.0,
+    )
+    stages = {}
+    for stage, entry in run.record.items():
+        computed = int(entry.get("computed", 0))
+        hits = int(entry.get("hits", 0))
+        total = computed + hits
+        stages[stage] = {
+            "computed": computed,
+            "hits": hits,
+            "hit_rate": (hits / total) if total else 0.0,
+            "compute_seconds": float(entry.get("seconds", 0.0)),
+        }
+    slowest = [
+        {
+            "name": span["name"],
+            "duration_ms": float(span.get("dur", 0.0)) / 1e3,
+            "args": {
+                k: v for k, v in span.get("args", {}).items()
+                if k not in ("cpu_us", "depth")
+            },
+        }
+        for span in _slowest_points(run, top)
+    ]
+    return {
+        "command": run.command,
+        "argv": run.argv,
+        "spans": len(run.spans),
+        "wall_ms": wall_us / 1e3,
+        "stages": stages,
+        "metrics": run.metrics,
+        "slowest": slowest,
+    }
+
+
+def render_run_report(run: RunData, top: int = 10) -> str:
+    """Render a loaded run as a markdown report."""
+    summary = summarise_run(run, top=top)
+    lines = [
+        f"# Run report: `{run.command}`",
+        "",
+        f"- spans recorded: {summary['spans']}",
+        f"- wall time (trace): {summary['wall_ms']:.1f} ms",
+    ]
+    if run.argv:
+        lines.append(f"- argv: `{' '.join(run.argv)}`")
+    lines += ["", "## Stage timings", ""]
+    if run.record:
+        lines.append(format_table(
+            ["stage", "computed", "cached", "hit rate", "compute s"],
+            _stage_rows(run.record),
+        ))
+    else:
+        lines.append("(no engine stages recorded)")
+    lines += ["", "## Cache behaviour", ""]
+    lines += [f"- {line}" for line in _cache_lines(run)]
+    store_reads = sum(
+        int(e.get("computed", 0)) + int(e.get("hits", 0))
+        for e in run.record.values()
+    )
+    store_hits = sum(int(e.get("hits", 0)) for e in run.record.values())
+    if store_reads:
+        lines.append(
+            f"- artifact store: {store_hits}/{store_reads} stage "
+            f"resolutions served from cache "
+            f"({100.0 * store_hits / store_reads:.1f}%)"
+        )
+    lines += ["", f"## Slowest design points (top {top})", ""]
+    slowest = summary["slowest"]
+    if slowest:
+        rows = []
+        for entry in slowest:
+            args = entry["args"]
+            label = " ".join(
+                f"{key}={args[key]}" for key in sorted(args)
+            )
+            rows.append([entry["name"], label,
+                         f"{entry['duration_ms']:.2f}"])
+        lines.append(format_table(
+            ["span", "attributes", "ms"], rows,
+        ))
+    else:
+        lines.append("(no spans recorded)")
+    interesting = [
+        name for name in sorted(run.metrics)
+        if name.startswith(("ilp.", "graph.", "trace."))
+    ]
+    if interesting:
+        lines += ["", "## Solver and analysis metrics", ""]
+        for name in interesting:
+            run_value = run.metric_value(name)
+            lines.append(f"- {name}: {run_value:g}")
+    return "\n".join(lines)

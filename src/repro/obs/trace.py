@@ -1,0 +1,331 @@
+"""Structured tracing: nestable spans with a thread-safe collector.
+
+A *span* is one named, timed region of work — a stage resolution, an
+ILP solve, a design-point evaluation — with wall-clock and CPU time
+plus free-form attributes.  Spans nest: the collector tracks a
+per-thread stack, so a ``point.evaluate`` span contains the
+``engine.resolve.*`` spans of the stages it touched, which in turn
+contain the ``ilp.solve`` or ``sim.hierarchy`` spans of any actual
+compute.
+
+Instrumented code never talks to a collector directly; it calls the
+module-level :func:`span` helper::
+
+    with span("ilp.solve", variables=n) as sp:
+        ...
+        sp.add(nodes=result.nodes_explored)
+
+When no collector is installed (the default), :func:`span` returns a
+shared no-op context manager and the instrumented line costs one
+global read and one comparison — the zero-overhead-when-disabled
+guarantee that ``benchmarks/bench_smoke.py`` asserts.  To record a run,
+install a :class:`TraceCollector` via :func:`set_collector`, run the
+experiment, and export with :meth:`TraceCollector.chrome_trace` (a
+``chrome://tracing`` / Perfetto-loadable JSON object) or
+:meth:`TraceCollector.jsonl_lines` (one event per line).
+
+Worker processes each record into their own collector;
+:meth:`TraceCollector.merge` folds their exported events back into the
+parent *in input order*, mirroring how
+:meth:`repro.engine.runner.RunRecord.merge` folds worker counters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Chrome-trace category applied to every emitted event.
+TRACE_CATEGORY = "casa"
+
+
+@dataclass
+class SpanEvent:
+    """One completed span, as recorded by a :class:`TraceCollector`.
+
+    Attributes:
+        name: dotted span name (see ``docs/OBSERVABILITY.md`` for the
+            naming conventions).
+        start_us: start time in microseconds since the collector epoch.
+        duration_us: wall-clock duration in microseconds.
+        cpu_us: CPU (process) time consumed, in microseconds.
+        depth: nesting depth at record time (0 = top level).
+        index: deterministic completion index within the collector.
+        tid: thread/worker track the span ran on (0 = main).
+        args: the span's attributes (must be JSON-serialisable).
+    """
+
+    name: str
+    start_us: float
+    duration_us: float
+    cpu_us: float
+    depth: int
+    index: int
+    tid: int = 0
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def as_chrome_event(self) -> dict[str, Any]:
+        """This span as a Chrome-trace complete (``"ph": "X"``) event."""
+        args = dict(self.args)
+        args["cpu_us"] = round(self.cpu_us, 3)
+        args["depth"] = self.depth
+        return {
+            "name": self.name,
+            "cat": TRACE_CATEGORY,
+            "ph": "X",
+            "pid": 0,
+            "tid": self.tid,
+            "ts": round(self.start_us, 3),
+            "dur": round(self.duration_us, 3),
+            "args": args,
+        }
+
+    def as_json(self) -> dict[str, Any]:
+        """Plain-dict form (used by the JSONL export and merging)."""
+        return {
+            "name": self.name,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "cpu_us": self.cpu_us,
+            "depth": self.depth,
+            "index": self.index,
+            "tid": self.tid,
+            "args": dict(self.args),
+        }
+
+    @staticmethod
+    def from_json(data: dict[str, Any]) -> "SpanEvent":
+        """Rebuild a span event from its :meth:`as_json` form."""
+        return SpanEvent(
+            name=data["name"],
+            start_us=float(data["start_us"]),
+            duration_us=float(data["duration_us"]),
+            cpu_us=float(data["cpu_us"]),
+            depth=int(data["depth"]),
+            index=int(data["index"]),
+            tid=int(data.get("tid", 0)),
+            args=dict(data.get("args", {})),
+        )
+
+
+class _LiveSpan:
+    """Context manager recording one span into a collector."""
+
+    __slots__ = ("_collector", "name", "args", "_start", "_cpu_start",
+                 "_depth")
+
+    def __init__(self, collector: "TraceCollector", name: str,
+                 args: dict[str, Any]) -> None:
+        self._collector = collector
+        self.name = name
+        self.args = args
+
+    def add(self, **attrs: Any) -> None:
+        """Attach further attributes to the span (e.g. results)."""
+        self.args.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._depth = self._collector._push()
+        self._start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        ended = time.perf_counter()
+        cpu_ended = time.process_time()
+        self._collector._record(
+            self.name,
+            self._start,
+            ended - self._start,
+            cpu_ended - self._cpu_start,
+            self._depth,
+            self.args,
+        )
+
+
+class _NullSpan:
+    """Shared no-op span returned by :func:`span` when tracing is off."""
+
+    __slots__ = ()
+
+    def add(self, **attrs: Any) -> None:
+        """Ignore attributes (tracing is disabled)."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+#: The singleton no-op span (never allocates per call site).
+NULL_SPAN = _NullSpan()
+
+
+class TraceCollector:
+    """Thread-safe in-memory collector of :class:`SpanEvent` records.
+
+    Timestamps are microseconds relative to the collector's creation
+    (its *epoch*); completion order assigns each event a deterministic
+    ``index``, so two runs that perform the same work in the same order
+    produce the same event sequence modulo timings.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._events: list[SpanEvent] = []
+        self._local = threading.local()
+        self._thread_ids: dict[int, int] = {}
+
+    # -- recording (called by _LiveSpan) -------------------------------------
+
+    def _push(self) -> int:
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        return depth
+
+    def _record(self, name: str, start: float, duration: float,
+                cpu: float, depth: int, args: dict[str, Any]) -> None:
+        self._local.depth = depth
+        ident = threading.get_ident()
+        with self._lock:
+            tid = self._thread_ids.setdefault(ident,
+                                              len(self._thread_ids))
+            self._events.append(SpanEvent(
+                name=name,
+                start_us=(start - self._epoch) * 1e6,
+                duration_us=duration * 1e6,
+                cpu_us=cpu * 1e6,
+                depth=depth,
+                index=len(self._events),
+                tid=tid,
+                args=args,
+            ))
+
+    # -- public API -----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _LiveSpan:
+        """Open a nestable span recording into this collector."""
+        return _LiveSpan(self, name, attrs)
+
+    def events(self) -> list[SpanEvent]:
+        """Snapshot of the recorded events, in completion order."""
+        with self._lock:
+            return list(self._events)
+
+    def span_names(self) -> list[str]:
+        """Names of the recorded events, in completion order."""
+        return [event.name for event in self.events()]
+
+    def merge(self, events: list[SpanEvent] | list[dict],
+              tid: int | None = None) -> None:
+        """Fold foreign (e.g. worker-process) events into this collector.
+
+        Events are appended *in the given order* and re-indexed, so
+        merging each worker's events in input order reproduces the
+        deterministic ordering of a serial run.  Foreign timestamps are
+        kept relative to the worker's own epoch and shifted onto this
+        collector's timeline at the merge point; *tid* (default: a
+        fresh track per merge) keeps each worker on its own row in a
+        Chrome-trace viewer.
+        """
+        offset_us = (time.perf_counter() - self._epoch) * 1e6
+        with self._lock:
+            if tid is None:
+                used = {event.tid for event in self._events}
+                used.update(self._thread_ids.values())
+                tid = max(used, default=-1) + 1
+            base_us = min(
+                (self._as_event(event).start_us for event in events),
+                default=0.0,
+            )
+            for event in events:
+                span_event = self._as_event(event)
+                self._events.append(SpanEvent(
+                    name=span_event.name,
+                    start_us=span_event.start_us - base_us + offset_us,
+                    duration_us=span_event.duration_us,
+                    cpu_us=span_event.cpu_us,
+                    depth=span_event.depth,
+                    index=len(self._events),
+                    tid=tid,
+                    args=dict(span_event.args),
+                ))
+
+    @staticmethod
+    def _as_event(event: "SpanEvent | dict") -> SpanEvent:
+        if isinstance(event, SpanEvent):
+            return event
+        return SpanEvent.from_json(event)
+
+    # -- exports --------------------------------------------------------------
+
+    def chrome_trace(self, metadata: dict[str, Any] | None = None
+                     ) -> dict[str, Any]:
+        """The run as a Chrome-trace JSON object.
+
+        The returned dict has the standard ``traceEvents`` list (open
+        it in ``chrome://tracing`` or https://ui.perfetto.dev) plus a
+        ``casa`` key carrying *metadata* — run record, metrics
+        snapshot, command line — which trace viewers ignore.
+        """
+        events = self.events()
+        document: dict[str, Any] = {
+            "traceEvents": [event.as_chrome_event() for event in events],
+            "displayTimeUnit": "ms",
+        }
+        if metadata is not None:
+            document["casa"] = metadata
+        return document
+
+    def jsonl_lines(self) -> list[str]:
+        """One compact JSON line per event, in completion order."""
+        return [
+            json.dumps(event.as_json(), sort_keys=True)
+            for event in self.events()
+        ]
+
+
+# -- process-wide active collector --------------------------------------------
+
+_ACTIVE: TraceCollector | None = None
+
+
+def set_collector(collector: TraceCollector | None
+                  ) -> TraceCollector | None:
+    """Install (or, with ``None``, remove) the active collector.
+
+    Returns the previously active collector so callers can restore it.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = collector
+    return previous
+
+
+def get_collector() -> TraceCollector | None:
+    """The active collector, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+def tracing_enabled() -> bool:
+    """Whether a collector is currently installed."""
+    return _ACTIVE is not None
+
+
+def span(name: str, **attrs: Any) -> "_LiveSpan | _NullSpan":
+    """Open a span on the active collector (no-op when disabled).
+
+    This is the one function instrumented code calls.  With no active
+    collector it returns the shared :data:`NULL_SPAN` immediately, so a
+    disabled call site costs one global read, one comparison and the
+    (empty) keyword dict.
+    """
+    collector = _ACTIVE
+    if collector is None:
+        return NULL_SPAN
+    return _LiveSpan(collector, name, attrs)

@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 from repro.errors import TraceError
 from repro.isa import INSTRUCTION_SIZE, Opcode
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.program.basicblock import BasicBlock
 from repro.program.profile import ProfileData
 from repro.program.program import Program
@@ -125,17 +127,22 @@ def generate_traces(
     Returns:
         Memory objects in program order, named ``T0``, ``T1`` ...
     """
-    builder = _TraceBuilder(config)
-    for chain in fallthrough_chains(program):
-        for index, block in enumerate(chain):
-            if index > 0:
-                edge_count = profile.edge_count(chain[index - 1].name,
-                                                block.name)
-                if edge_count < config.min_fallthrough_count:
-                    builder.cut()
-            builder.add_block(block)
-        builder.cut()
-    return builder.finish()
+    with span("trace.generate") as generate_span:
+        builder = _TraceBuilder(config)
+        for chain in fallthrough_chains(program):
+            for index, block in enumerate(chain):
+                if index > 0:
+                    edge_count = profile.edge_count(
+                        chain[index - 1].name, block.name
+                    )
+                    if edge_count < config.min_fallthrough_count:
+                        builder.cut()
+                builder.add_block(block)
+            builder.cut()
+        objects = builder.finish()
+        generate_span.add(objects=len(objects))
+        metrics.inc("trace.generated_objects", len(objects))
+        return objects
 
 
 class _TraceBuilder:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
 from repro.engine.runner import RunRecord, StageRunner, make_workbench
@@ -44,6 +46,73 @@ def test_run_record_merge_and_render():
     assert record.hits("execution") == 1
     assert record.computed("result") == 1
     assert "execution" in record.render()
+
+
+def test_run_record_as_dict_merge_round_trip():
+    """as_dict -> merge reproduces the record exactly, seconds included."""
+    record = RunRecord()
+    record.note("execution", hit=False, seconds=0.125)
+    record.note("execution", hit=True)
+    record.note("graph", hit=False, seconds=0.0625)
+    record.note("result", hit=True)
+    record.note("result", hit=True)
+
+    clone = RunRecord()
+    clone.merge(record.as_dict())
+    assert clone.as_dict() == record.as_dict()
+    # Seconds survive as exact floats (powers of two: no rounding).
+    assert clone.as_dict()["execution"]["seconds"] == 0.125
+    assert clone.stages["graph"].seconds == 0.0625
+
+    # A second round trip keeps accumulating, not overwriting.
+    clone.merge(record.as_dict())
+    assert clone.computed("execution") == 2
+    assert clone.hits("result") == 4
+    assert clone.as_dict()["graph"]["seconds"] == 0.125
+
+
+def test_run_record_merge_accepts_record_directly():
+    source = RunRecord()
+    source.note("trace", hit=False, seconds=0.5)
+    target = RunRecord()
+    target.merge(source)
+    assert target.as_dict() == source.as_dict()
+
+
+def test_run_record_merge_tolerates_partial_entries():
+    """Hand-built dicts may omit fields; missing ones count as zero."""
+    record = RunRecord()
+    record.merge({
+        "execution": {"hits": 2},
+        "graph": {"computed": 1},
+        "result": {},
+    })
+    assert record.hits("execution") == 2
+    assert record.computed("execution") == 0
+    assert record.computed("graph") == 1
+    assert record.as_dict()["execution"]["seconds"] == 0.0
+    # An empty entry creates no counters at all.
+    assert "result" not in record.as_dict()
+
+
+def test_run_record_pickle_round_trip():
+    record = RunRecord()
+    record.note("baseline", hit=False, seconds=0.25)
+    record.note("baseline", hit=True)
+    clone = pickle.loads(pickle.dumps(record))
+    assert clone.as_dict() == record.as_dict()
+    clone.note("baseline", hit=True)  # fresh lock: still usable
+    assert clone.hits("baseline") == 2
+
+
+def test_run_record_stage_views_match_queries():
+    record = RunRecord()
+    record.note("execution", hit=False, seconds=1.5)
+    record.note("execution", hit=True)
+    count = record.stages["execution"]
+    assert count.computed == record.computed("execution") == 1
+    assert count.hits == record.hits("execution") == 1
+    assert count.seconds == 1.5
 
 
 def test_make_workbench_returns_identical_object(disk_store):

@@ -1,0 +1,166 @@
+"""Metrics: counters, gauges, histograms, the registry and merging."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    inc,
+    metrics_enabled,
+    observe,
+    set_gauge,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    """A registry installed as the active one, restored afterwards."""
+    active = MetricsRegistry()
+    previous = set_registry(active)
+    yield active
+    set_registry(previous)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert counter.snapshot() == {"type": "counter", "value": 3.5}
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+        assert gauge.snapshot()["type"] == "gauge"
+
+    def test_histogram(self):
+        histogram = Histogram()
+        for value in (2.0, 8.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 15.0
+        assert histogram.minimum == 2.0
+        assert histogram.maximum == 8.0
+        assert histogram.mean == 5.0
+
+    def test_empty_histogram_snapshot(self):
+        snapshot = Histogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] == 0.0 and snapshot["max"] == 0.0
+        assert Histogram().mean == 0.0
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ilp.solves")
+        counter.inc()
+        assert registry.counter("ilp.solves") is counter
+        assert registry.value("ilp.solves") == 1.0
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_value_default_for_missing_metric(self):
+        assert MetricsRegistry().value("nope", default=7.0) == 7.0
+
+    def test_value_of_histogram_is_total(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(2.0)
+        registry.histogram("h").observe(3.0)
+        assert registry.value("h") == 5.0
+
+    def test_names_and_snapshot_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        assert registry.names() == ["alpha", "zeta"]
+        assert list(registry.snapshot()) == ["alpha", "zeta"]
+
+    def test_merge_semantics(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(2)
+        source.gauge("g").set(9.0)
+        source.histogram("h").observe(4.0)
+        target = MetricsRegistry()
+        target.counter("c").inc(1)
+        target.gauge("g").set(1.0)
+        target.histogram("h").observe(10.0)
+        target.merge(source.snapshot())
+        assert target.value("c") == 3.0
+        assert target.value("g") == 9.0  # last write wins
+        histogram = target.histogram("h")
+        assert histogram.count == 2
+        assert histogram.total == 14.0
+        assert histogram.minimum == 4.0
+        assert histogram.maximum == 10.0
+
+    def test_merge_empty_histogram_is_noop(self):
+        target = MetricsRegistry()
+        target.merge({"h": Histogram().snapshot()})
+        assert target.histogram("h").count == 0
+        assert target.histogram("h").minimum == float("inf")
+
+    def test_merge_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge({"x": {"type": "summary"}})
+
+    def test_render_lists_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("graph.builds").inc(3)
+        registry.histogram("h").observe(1.5)
+        rendered = registry.render()
+        assert "graph.builds" in rendered
+        assert "count=1" in rendered
+        assert MetricsRegistry().render() == "metrics: (none recorded)"
+
+    def test_pickle_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.0)
+        registry.histogram("h").observe(3.0)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.snapshot() == registry.snapshot()
+        clone.counter("c").inc()  # fresh lock: still usable
+        assert clone.value("c") == 5.0
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_are_noops(self):
+        assert active_registry() is None
+        assert not metrics_enabled()
+        inc("ignored")
+        set_gauge("ignored", 1.0)
+        observe("ignored", 1.0)
+
+    def test_helpers_write_to_active_registry(self, registry):
+        assert metrics_enabled()
+        inc("c")
+        inc("c", 2.0)
+        set_gauge("g", 5.0)
+        observe("h", 2.5)
+        assert registry.value("c") == 3.0
+        assert registry.value("g") == 5.0
+        assert registry.histogram("h").count == 1
+
+    def test_set_registry_returns_previous(self):
+        first = MetricsRegistry()
+        previous = set_registry(first)
+        try:
+            assert set_registry(None) is first
+        finally:
+            set_registry(previous)

@@ -1,0 +1,157 @@
+"""Run files and reports: payload building, loading, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.runner import RunRecord
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    POINT_SPAN,
+    RUN_SCHEMA,
+    RunData,
+    build_run_payload,
+    load_run,
+    render_run_report,
+    summarise_run,
+    write_run_file,
+)
+from repro.obs.trace import TraceCollector
+
+
+def make_run_file(path):
+    """Write a small but fully populated run file; returns its path."""
+    collector = TraceCollector()
+    with collector.span(POINT_SPAN, workload="tiny", algorithm="casa",
+                        spm_size=128):
+        with collector.span("ilp.solve", variables=5):
+            pass
+    with collector.span(POINT_SPAN, workload="tiny",
+                        algorithm="steinke", spm_size=128):
+        pass
+    record = RunRecord()
+    record.note("execution", hit=False, seconds=0.5)
+    record.note("result", hit=True)
+    record.note("result", hit=False, seconds=0.25)
+    registry = MetricsRegistry()
+    registry.counter("sim.cache_accesses").inc(100)
+    registry.counter("sim.cache_hits").inc(90)
+    registry.counter("sim.cache_misses").inc(10)
+    registry.counter("sim.spm_accesses").inc(40)
+    registry.counter("ilp.solves").inc(2)
+    payload = build_run_payload(
+        "sweep", collector, record=record, registry=registry,
+        argv=["sweep", "--workload", "tiny"],
+    )
+    file_path = path / "run.json"
+    write_run_file(file_path, payload)
+    return file_path
+
+
+class TestPayload:
+    def test_payload_is_a_chrome_trace_with_metadata(self, tmp_path):
+        path = make_run_file(tmp_path)
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert all(e["ph"] == "X" for e in document["traceEvents"])
+        metadata = document["casa"]
+        assert metadata["schema"] == RUN_SCHEMA
+        assert metadata["command"] == "sweep"
+        assert metadata["record"]["execution"]["computed"] == 1
+        assert metadata["metrics"]["ilp.solves"]["value"] == 2
+        assert metadata["argv"][0] == "sweep"
+
+    def test_payload_without_record_or_registry(self):
+        payload = build_run_payload("fig4", TraceCollector())
+        assert payload["casa"]["record"] == {}
+        assert payload["casa"]["metrics"] == {}
+        assert "argv" not in payload["casa"]
+
+
+class TestLoadRun:
+    def test_round_trip(self, tmp_path):
+        run = load_run(make_run_file(tmp_path))
+        assert run.command == "sweep"
+        assert run.span_names().count(POINT_SPAN) == 2
+        assert len(run.point_spans()) == 2
+        assert run.record["result"]["hits"] == 1
+        assert run.metric_value("sim.cache_accesses") == 100.0
+        assert run.metric_value("missing", default=3.0) == 3.0
+        assert run.argv == ["sweep", "--workload", "tiny"]
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_run(tmp_path / "absent.json")
+
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_run(path)
+
+    def test_rejects_plain_chrome_trace(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        with pytest.raises(ConfigurationError):
+            load_run(path)
+
+    def test_rejects_non_trace_document(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"results": [1, 2, 3]}))
+        with pytest.raises(ConfigurationError):
+            load_run(path)
+
+
+class TestSummarise:
+    def test_summary_fields(self, tmp_path):
+        run = load_run(make_run_file(tmp_path))
+        summary = summarise_run(run, top=1)
+        assert summary["command"] == "sweep"
+        assert summary["spans"] == 3
+        assert summary["wall_ms"] > 0.0
+        assert summary["stages"]["result"]["hits"] == 1
+        assert summary["stages"]["result"]["hit_rate"] == 0.5
+        assert summary["stages"]["execution"]["compute_seconds"] == 0.5
+        assert len(summary["slowest"]) == 1
+        slowest = summary["slowest"][0]
+        assert slowest["name"] == POINT_SPAN
+        assert "cpu_us" not in slowest["args"]
+        json.dumps(summary)  # must be machine-readable
+
+    def test_summary_of_empty_run(self):
+        run = RunData(command="fig5", record={}, metrics={}, spans=[])
+        summary = summarise_run(run)
+        assert summary["spans"] == 0
+        assert summary["wall_ms"] == 0.0
+        assert summary["slowest"] == []
+
+
+class TestRender:
+    def test_report_sections(self, tmp_path):
+        run = load_run(make_run_file(tmp_path))
+        report = render_run_report(run, top=5)
+        assert report.startswith("# Run report: `sweep`")
+        assert "## Stage timings" in report
+        assert "execution" in report
+        assert "## Cache behaviour" in report
+        assert "simulated I-cache: 100 accesses, 90 hits (90.0%)" \
+            in report
+        assert "simulated scratchpad: 40 accesses" in report
+        assert "artifact store: 1/3" in report
+        assert "## Slowest design points (top 5)" in report
+        assert "algorithm=casa" in report
+        assert "## Solver and analysis metrics" in report
+        assert "ilp.solves: 2" in report
+
+    def test_report_of_fully_cached_run(self):
+        run = RunData(command="table1",
+                      record={"result": {"computed": 0, "hits": 3,
+                                         "seconds": 0.0}},
+                      metrics={}, spans=[])
+        report = render_run_report(run)
+        assert "none recorded (fully cached" in report
+        assert "artifact store: 3/3" in report
+        assert "(no spans recorded)" in report

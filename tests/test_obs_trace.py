@@ -1,0 +1,190 @@
+"""Tracing: spans, collectors, merging and the Chrome-trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACE_CATEGORY,
+    SpanEvent,
+    TraceCollector,
+    get_collector,
+    set_collector,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture
+def collector():
+    """A collector installed as the active one, restored afterwards."""
+    active = TraceCollector()
+    previous = set_collector(active)
+    yield active
+    set_collector(previous)
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert get_collector() is None
+        assert not tracing_enabled()
+
+    def test_span_returns_shared_null_span(self):
+        first = span("ilp.solve", variables=3)
+        second = span("anything")
+        assert first is NULL_SPAN
+        assert second is NULL_SPAN
+
+    def test_null_span_is_a_silent_context_manager(self):
+        with span("nothing") as null_span:
+            null_span.add(ignored=True)
+
+
+class TestRecording:
+    def test_records_name_args_and_timing(self, collector):
+        with span("ilp.solve", variables=7) as live:
+            live.add(status="OPTIMAL")
+        (event,) = collector.events()
+        assert event.name == "ilp.solve"
+        assert event.args == {"variables": 7, "status": "OPTIMAL"}
+        assert event.duration_us >= 0.0
+        assert event.cpu_us >= 0.0
+        assert event.tid == 0
+
+    def test_nesting_depth_and_completion_order(self, collector):
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner2"):
+                pass
+        names = collector.span_names()
+        assert names == ["inner", "inner2", "outer"]
+        depths = {e.name: e.depth for e in collector.events()}
+        assert depths == {"outer": 0, "inner": 1, "inner2": 1}
+        assert [e.index for e in collector.events()] == [0, 1, 2]
+
+    def test_depth_restored_after_exception(self, collector):
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+        with span("after"):
+            pass
+        depths = {e.name: e.depth for e in collector.events()}
+        assert depths == {"failing": 0, "after": 0}
+
+    def test_inner_span_starts_after_outer(self, collector):
+        with span("outer"):
+            with span("inner"):
+                pass
+        events = {e.name: e for e in collector.events()}
+        assert events["inner"].start_us >= events["outer"].start_us
+
+
+class TestSpanEvent:
+    def test_json_round_trip(self):
+        event = SpanEvent(
+            name="graph.build", start_us=1.5, duration_us=2.5,
+            cpu_us=2.0, depth=1, index=4, tid=2,
+            args={"nodes": 10},
+        )
+        assert SpanEvent.from_json(event.as_json()) == event
+
+    def test_chrome_event_shape(self):
+        event = SpanEvent(
+            name="sim.hierarchy", start_us=10.0, duration_us=5.0,
+            cpu_us=4.0, depth=0, index=0, args={"blocks": 3},
+        )
+        chrome = event.as_chrome_event()
+        assert chrome["ph"] == "X"
+        assert chrome["cat"] == TRACE_CATEGORY
+        assert chrome["name"] == "sim.hierarchy"
+        assert chrome["ts"] == 10.0
+        assert chrome["dur"] == 5.0
+        assert chrome["args"]["blocks"] == 3
+        assert chrome["args"]["depth"] == 0
+        assert "cpu_us" in chrome["args"]
+
+
+class TestMerge:
+    def test_merge_reindexes_in_input_order(self):
+        parent = TraceCollector()
+        with parent.span("parent.before"):
+            pass
+        worker_events = [
+            SpanEvent("w.first", 0.0, 1.0, 1.0, 0, 0).as_json(),
+            SpanEvent("w.second", 2.0, 1.0, 1.0, 0, 1).as_json(),
+        ]
+        parent.merge(worker_events)
+        names = parent.span_names()
+        assert names == ["parent.before", "w.first", "w.second"]
+        assert [e.index for e in parent.events()] == [0, 1, 2]
+
+    def test_merge_assigns_fresh_tid_per_merge(self):
+        parent = TraceCollector()
+        with parent.span("main"):
+            pass
+        parent.merge([SpanEvent("a", 0.0, 1.0, 1.0, 0, 0)])
+        parent.merge([SpanEvent("b", 0.0, 1.0, 1.0, 0, 0)])
+        tids = {e.name: e.tid for e in parent.events()}
+        assert tids["main"] == 0
+        assert tids["a"] != tids["b"]
+        assert tids["a"] != 0 and tids["b"] != 0
+
+    def test_merge_shifts_onto_parent_timeline(self):
+        parent = TraceCollector()
+        with parent.span("main"):
+            pass
+        foreign = [
+            SpanEvent("w", 1_000_000.0, 1.0, 1.0, 0, 0),
+        ]
+        parent.merge(foreign)
+        merged = parent.events()[-1]
+        # The worker's own epoch offset is stripped: the merged event
+        # lands near the merge point, not a million microseconds out.
+        assert merged.start_us < 1_000_000.0
+        assert merged.start_us >= 0.0
+
+    def test_merge_accepts_explicit_tid(self):
+        parent = TraceCollector()
+        parent.merge([SpanEvent("w", 0.0, 1.0, 1.0, 0, 0)], tid=7)
+        assert parent.events()[0].tid == 7
+
+
+class TestExports:
+    def test_chrome_trace_document(self, collector):
+        with span("point.evaluate", spm_size=128):
+            pass
+        document = collector.chrome_trace(metadata={"command": "sweep"})
+        assert document["displayTimeUnit"] == "ms"
+        assert document["casa"] == {"command": "sweep"}
+        (event,) = document["traceEvents"]
+        assert event["name"] == "point.evaluate"
+        json.dumps(document)  # must be serialisable
+
+    def test_chrome_trace_without_metadata(self):
+        assert "casa" not in TraceCollector().chrome_trace()
+
+    def test_jsonl_lines(self, collector):
+        with span("a"):
+            pass
+        with span("b"):
+            pass
+        lines = collector.jsonl_lines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+
+class TestActiveCollector:
+    def test_set_collector_returns_previous(self):
+        first = TraceCollector()
+        second = TraceCollector()
+        assert set_collector(first) is None
+        try:
+            assert tracing_enabled()
+            assert set_collector(second) is first
+            assert get_collector() is second
+        finally:
+            set_collector(None)
+        assert not tracing_enabled()
