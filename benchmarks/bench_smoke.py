@@ -8,13 +8,20 @@ directory (warm, so the in-memory tier cannot help).  The warm run must
 perform zero profiling executions and zero baseline cache simulations,
 and must reproduce the cold energies exactly.
 
+Also the regression gate: ``repro bench record`` + ``repro bench
+compare`` run against the committed seed baseline
+(``benchmarks/baselines/smoke.jsonl``), and the disabled event-hook
+cost in the cache probe path is bounded below 2%.
+
 Runs in seconds on the ``tiny`` workload; wired into ``make test`` via
 ``make bench-smoke``.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
@@ -27,6 +34,10 @@ from repro.engine import (
 )
 from repro.obs.metrics import MetricsRegistry, inc, set_registry
 from repro.obs.trace import TraceCollector, set_collector, span
+
+#: The committed seed baseline ``make bench-smoke`` gates against.
+BASELINE_HISTORY = Path(__file__).resolve().parent / "baselines" \
+    / "smoke.jsonl"
 
 SMOKE_SCALE = 0.2
 
@@ -172,3 +183,93 @@ def test_disabled_instrumentation_overhead_below_two_percent(tmp_path):
         f"({span_count} spans, {metric_operations} metric ops) is not "
         f"< 2% of the {wall * 1e3:.1f} ms warm run"
     )
+
+
+class _GuardProbe:
+    """Mirrors the cache's bound-recorder guard (slot read + is-None)."""
+
+    __slots__ = ("_recorder",)
+
+    def __init__(self) -> None:
+        self._recorder = None
+
+
+def _disabled_hook_cost(iterations: int = 100_000) -> float:
+    """Per-probe seconds of the disabled event-hook guard."""
+    probe = _GuardProbe()
+    sink = 0
+    started = time.perf_counter()
+    for _ in range(iterations):
+        recorder = probe._recorder
+        if recorder is not None:
+            sink += 1
+    cost = (time.perf_counter() - started) / iterations
+    assert sink == 0
+    return cost
+
+
+def test_disabled_event_hook_overhead_below_two_percent(tmp_path):
+    """Acceptance: the cache's event hooks cost < 2% when disabled.
+
+    Every cache probe pays one bound-attribute read and one ``None``
+    comparison when no recorder is installed.  An observed cold run
+    counts the probes the bench workload performs; the measured
+    per-probe guard cost then bounds the total hook overhead a plain
+    (cold, event-recording off) run pays.  Cold is the strict case —
+    it is the only kind of run that simulates at all.
+    """
+    points = EXHIBIT_POINTS["table1"]
+    _, _, registry = _observed_run(points, tmp_path / "observed")
+    probes = registry.value("sim.cache_accesses")
+    assert probes > 0
+
+    previous_store = set_default_store(
+        ArtifactStore(cache_dir=tmp_path / "disabled")
+    )
+    try:
+        started = time.perf_counter()
+        map_points(points, record=RunRecord())
+        wall = time.perf_counter() - started
+    finally:
+        set_default_store(previous_store)
+
+    overhead = probes * _disabled_hook_cost()
+    assert overhead < 0.02 * wall, (
+        f"disabled event-hook overhead {overhead * 1e6:.0f} us "
+        f"({probes:.0f} cache probes) is not < 2% of the "
+        f"{wall * 1e3:.1f} ms cold run"
+    )
+
+
+def test_bench_record_then_compare_gates_on_baseline(tmp_path):
+    """``repro bench record`` + ``compare`` vs the committed baseline.
+
+    Records a fresh suite snapshot through the CLI, then compares it
+    against ``benchmarks/baselines/smoke.jsonl``: every deterministic
+    metric must match the seed exactly, proving the whole
+    profile/allocate/simulate pipeline still reproduces bit-identical
+    numbers.
+    """
+    from repro.cli import main
+
+    history = tmp_path / "history.jsonl"
+    assert main(["bench", "record", "--history", str(history)]) == 0
+    assert main(["bench", "compare", "--history", str(history),
+                 "--baseline", str(BASELINE_HISTORY)]) == 0
+
+
+def test_bench_compare_fails_on_deviation(tmp_path):
+    """A deterministic metric drifting by any amount exits non-zero."""
+    from repro.cli import main
+    from repro.obs.history import load_history
+
+    snapshot = load_history(BASELINE_HISTORY)[-1]
+    payload = snapshot.as_json()
+    key = "tiny.casa.energy_nj"
+    assert key in payload["metrics"]
+    payload["metrics"][key] += 0.001
+    tampered = tmp_path / "tampered.jsonl"
+    tampered.write_text(json.dumps(payload) + "\n")
+    code = main(["bench", "compare", "--history", str(tampered),
+                 "--baseline", str(BASELINE_HISTORY)])
+    assert code == 1

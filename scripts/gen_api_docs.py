@@ -34,7 +34,9 @@ MODULES = (
     "repro.engine.parallel",
     "repro.obs.trace",
     "repro.obs.metrics",
+    "repro.obs.events",
     "repro.obs.report",
+    "repro.obs.history",
     "repro.workloads.builder",
     "repro.workloads.registry",
     "repro.evaluation.sweep",

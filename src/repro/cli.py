@@ -8,6 +8,11 @@ Commands:
 * ``cache`` — artifact-cache maintenance (``stats`` / ``clear``);
 * ``report`` — all exhibits as one document, or (given a ``--trace``
   file) a per-run report of stage timings and cache hit rates;
+* ``audit`` — replay recorded cache events against the conflict graph
+  (the ``m_ij`` correctness oracle);
+* ``bench`` — benchmark regression tracking (``record`` a metric
+  snapshot / ``compare`` against a committed baseline, non-zero exit
+  on regression);
 * ``workloads`` — list registered benchmarks.
 
 Every experiment command consults the engine's content-addressed
@@ -17,8 +22,9 @@ or ``$CASA_CACHE_DIR``); ``--no-cache`` disables the disk tier and
 sweep-shaped commands (``sweep``, ``fig4``, ``fig5``, ``table1``,
 ``dse``) additionally accept ``--trace FILE`` (record a Chrome-trace
 run file, viewable in ``chrome://tracing`` / Perfetto and readable by
-``report``) and ``--metrics`` (print the run's metric counters) — see
-``docs/OBSERVABILITY.md``.
+``report``), ``--metrics`` (print the run's metric counters) and
+``--events`` (record the cache eviction/miss event stream and print
+its set-pressure summary) — see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.evaluation.fig5 import run_fig5
 from repro.evaluation.sweep import make_workbench, run_sweep
 from repro.evaluation.table1 import run_table1
 from repro.evaluation.reporting import microjoules, percent
+from repro.obs.events import EventRecorder, set_recorder
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.obs.report import build_run_payload, load_run, \
     render_run_report, summarise_run, write_run_file
@@ -84,6 +91,13 @@ def _add_scale(parser: argparse.ArgumentParser,
             help="print the run's metric counters (cache statistics, "
                  "solver work, engine stages)",
         )
+        parser.add_argument(
+            "--events", action="store_true",
+            help="record the cache eviction/miss event stream and "
+                 "print its totals and set-pressure histogram (only "
+                 "simulations actually run emit events; a warm "
+                 "artifact cache serves results without simulating)",
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -121,6 +135,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--algorithms", nargs="+",
         default=["casa", "steinke", "ross"],
         choices=["casa", "steinke", "greedy", "ross"],
+    )
+    sweep.add_argument(
+        "--explain", action="store_true",
+        help="after the table, justify the CASA allocation at the "
+             "largest swept size object by object",
     )
     _add_scale(sweep, jobs=True)
 
@@ -195,6 +214,56 @@ def _build_parser() -> argparse.ArgumentParser:
                              "points to list (default 10)")
     _add_scale(report)
 
+    audit = sub.add_parser(
+        "audit",
+        help="replay cache events against the conflict graph (the "
+             "m_ij correctness oracle); non-zero exit on mismatch",
+    )
+    audit.add_argument("--workload", default="adpcm",
+                       choices=available_workloads())
+    audit.add_argument("--top", type=int, default=8,
+                       help="hottest cache sets to list (default 8)")
+    _add_scale(audit)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark regression tracking: record a metric snapshot "
+             "or compare against a baseline (non-zero exit on "
+             "regression)",
+    )
+    bench.add_argument("action", choices=("record", "compare"))
+    bench.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="JSONL history file — record appends to it (default "
+             "benchmarks/history.jsonl); compare reads its last "
+             "snapshot instead of re-running the suite",
+    )
+    bench.add_argument(
+        "--baseline", default="benchmarks/baselines/smoke.jsonl",
+        metavar="FILE",
+        help="baseline history whose last snapshot compare checks "
+             "against (default benchmarks/baselines/smoke.jsonl)",
+    )
+    bench.add_argument("--name", default="smoke",
+                       help="snapshot name (default smoke)")
+    bench.add_argument("--note", default="",
+                       help="free-form note stored with the snapshot")
+    bench.add_argument(
+        "--workloads", nargs="+", default=None,
+        choices=available_workloads(), metavar="WORKLOAD",
+        help="suite workloads (default: the smoke suite)",
+    )
+    bench.add_argument("--scale", type=float, default=None,
+                       help="suite trip-count multiplier "
+                            "(default: the smoke suite's)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--timing-tolerance", type=float, default=None,
+        help="relative tolerance for timing metrics (default 5.0 = "
+             "within 5x either way; deterministic metrics always "
+             "match exactly)",
+    )
+
     cache = sub.add_parser(
         "cache", help="artifact-cache maintenance"
     )
@@ -249,22 +318,27 @@ def _run_observed(args: argparse.Namespace,
                   run: Callable[[RunRecord], int]) -> int:
     """Run a sweep-shaped command under the requested observability.
 
-    Installs a trace collector (``--trace FILE``) and/or a metrics
-    registry (``--metrics``, implied by ``--trace`` so the run file is
-    self-describing), invokes *run* with a fresh :class:`RunRecord`,
-    restores the previous observability state, then prints the metric
-    table and/or writes the run file.
+    Installs a trace collector (``--trace FILE``), a metrics registry
+    (``--metrics``, implied by ``--trace`` so the run file is
+    self-describing) and/or a cache event recorder (``--events``),
+    invokes *run* with a fresh :class:`RunRecord`, restores the
+    previous observability state, then prints the metric table /
+    event summary and/or writes the run file.
     """
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
+    want_events = getattr(args, "events", False)
     collector = TraceCollector() if trace_path else None
     registry = MetricsRegistry() \
         if (want_metrics or collector is not None) else None
+    recorder = EventRecorder() if want_events else None
     record = RunRecord()
     previous_collector = set_collector(collector) \
         if collector is not None else None
     previous_registry = set_registry(registry) \
         if registry is not None else None
+    previous_recorder = set_recorder(recorder) \
+        if recorder is not None else None
     try:
         code = run(record)
     finally:
@@ -272,6 +346,10 @@ def _run_observed(args: argparse.Namespace,
             set_collector(previous_collector)
         if registry is not None:
             set_registry(previous_registry)
+        if recorder is not None:
+            set_recorder(previous_recorder)
+    if recorder is not None:
+        print(recorder.render())
     if registry is not None:
         # Fold the run's per-stage counters in, so ``--metrics`` and
         # the run file expose the engine.stage.* numbers too.
@@ -291,6 +369,68 @@ def _run_observed(args: argparse.Namespace,
               f"({len(payload['traceEvents'])} spans); inspect with "
               f"'report {trace_path}' or chrome://tracing")
     return code
+
+
+def _run_bench_command(args: argparse.Namespace) -> int:
+    """``casa bench record`` / ``casa bench compare``.
+
+    ``record`` runs the benchmark suite and appends the metric
+    snapshot to ``--history``.  ``compare`` takes the latest snapshot
+    (from ``--history`` if given, else by running the suite fresh) and
+    checks it against the last snapshot of ``--baseline``:
+    deterministic metrics must match exactly, timing metrics get a
+    relative tolerance band, and any regression makes the exit code
+    non-zero so ``make bench-smoke`` can gate on it.
+
+    The suite always runs on a fresh in-memory artifact store, so the
+    recorded numbers measure real simulations and solves, never cache
+    hits.
+    """
+    from repro.obs.history import (
+        ComparePolicy,
+        DEFAULT_SUITE_SCALE,
+        DEFAULT_SUITE_WORKLOADS,
+        collect_suite_metrics,
+        compare_snapshots,
+        load_history,
+        record_suite,
+    )
+
+    workloads = tuple(args.workloads) if args.workloads \
+        else DEFAULT_SUITE_WORKLOADS
+    scale = args.scale if args.scale is not None \
+        else DEFAULT_SUITE_SCALE
+
+    if args.action == "record":
+        history = args.history or "benchmarks/history.jsonl"
+        snapshot = record_suite(
+            history, name=args.name, workloads=workloads,
+            scale=scale, seed=args.seed, note=args.note,
+        )
+        print(f"recorded snapshot {snapshot.name!r} "
+              f"({len(snapshot.metrics)} metrics) to {history}")
+        for metric in sorted(snapshot.metrics):
+            print(f"  {metric} = {snapshot.metrics[metric]}")
+        return 0
+
+    baseline = load_history(args.baseline)[-1]
+    if args.history:
+        latest = load_history(args.history)[-1]
+    else:
+        from repro.obs.history import Snapshot, machine_fingerprint
+        latest = Snapshot(
+            name=args.name,
+            metrics=collect_suite_metrics(workloads, scale,
+                                          seed=args.seed),
+            fingerprint=machine_fingerprint(),
+            config={"workloads": list(workloads), "scale": scale,
+                    "seed": args.seed},
+        )
+    policy = ComparePolicy() if args.timing_tolerance is None \
+        else ComparePolicy(timing_tolerance=args.timing_tolerance)
+    result = compare_snapshots(baseline, latest, policy=policy)
+    print(result.render())
+    return 0 if result.ok else 1
 
 
 def _run_trace_report(args: argparse.Namespace) -> int:
@@ -320,6 +460,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "cache":
         return _run_cache_command(args)
+
+    if args.command == "bench":
+        return _run_bench_command(args)
 
     if args.command == "report" and args.run:
         return _run_trace_report(args)
@@ -384,6 +527,23 @@ def main(argv: list[str] | None = None) -> int:
             print(format_table(headers, rows,
                                title=f"sweep of {args.workload}"))
             print(record.render())
+            if args.explain and "casa" in args.algorithms:
+                from repro.evaluation.explain import (
+                    explain_allocation,
+                    render_explanation,
+                    solver_summary,
+                )
+                _, bench = make_workbench(args.workload, args.scale,
+                                          args.seed)
+                point = points[-1]
+                allocation = point.result("casa").allocation
+                model = bench.spm_energy_model(point.spm_size)
+                print(f"\nCASA at {point.spm_size} B "
+                      f"({allocation.used_bytes} B used); "
+                      f"{solver_summary(allocation)}\n")
+                print(render_explanation(explain_allocation(
+                    bench.conflict_graph, allocation, model
+                )))
             return 0
         return _run_observed(args, run_sweep_command)
 
@@ -446,6 +606,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.evaluation.explain import (
             explain_allocation,
             render_explanation,
+            solver_summary,
         )
 
         _, bench = make_workbench(args.workload, args.scale, args.seed)
@@ -457,10 +618,19 @@ def main(argv: list[str] | None = None) -> int:
             bench.conflict_graph, allocation, model
         )
         print(f"CASA on {args.workload}, {args.spm_size} B scratchpad "
-              f"({allocation.used_bytes} B used, solved in "
-              f"{allocation.solver_nodes} B&B nodes)\n")
+              f"({allocation.used_bytes} B used)")
+        print(solver_summary(allocation) + "\n")
         print(render_explanation(explanations))
         return 0
+
+    if args.command == "audit":
+        from repro.obs.events import audit_workload
+
+        result = audit_workload(args.workload, scale=args.scale,
+                                seed=args.seed)
+        print(result.render())
+        print(result.recorder.render(top=args.top))
+        return 0 if result.ok else 1
 
     if args.command == "report":
         from repro.evaluation.reportgen import generate_report

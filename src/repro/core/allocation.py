@@ -24,6 +24,10 @@ class Allocation:
             energy in nJ (``None`` when the algorithm does not predict
             one, e.g. Ross's greedy heuristic).
         solver_nodes: branch & bound nodes used (0 for non-ILP methods).
+        solver_status: solver outcome (``optimal``, ``node_limit``, ...;
+            empty for non-ILP methods).
+        solver_gap: relative optimality gap the solver proved (``None``
+            for non-ILP methods).
         capacity: the scratchpad/loop-cache capacity allocated against.
         used_bytes: bytes of the capacity actually consumed.
     """
@@ -34,6 +38,8 @@ class Allocation:
     placement: Placement = Placement.COPY
     predicted_energy: float | None = None
     solver_nodes: int = 0
+    solver_status: str = ""
+    solver_gap: float | None = None
     capacity: int = 0
     used_bytes: int = 0
 

@@ -196,6 +196,8 @@ class CasaAllocator:
             placement=Placement.COPY,
             predicted_energy=result.objective,
             solver_nodes=result.nodes_explored,
+            solver_status=result.status.value,
+            solver_gap=result.gap,
             capacity=spm_size,
             used_bytes=used,
         )

@@ -27,6 +27,8 @@ from repro.engine.store import ArtifactStore, default_store, \
     set_default_store
 from repro.errors import ConfigurationError
 from repro.memory.cache import CacheConfig
+from repro.obs.events import EventRecorder, active_recorder, \
+    set_recorder
 from repro.obs.metrics import MetricsRegistry, active_registry, \
     set_registry
 from repro.obs.trace import TraceCollector, get_collector, \
@@ -110,22 +112,26 @@ def _init_worker(cache_dir: str | None) -> None:
     set_default_store(ArtifactStore(cache_dir=cache_dir))
 
 
-def _evaluate_in_worker(task: tuple[PointSpec, bool, bool]):
+def _evaluate_in_worker(task: tuple[PointSpec, bool, bool, bool]):
     """Worker-side evaluation of one design point.
 
-    *task* is ``(point, trace, metrics)`` — the flags mirror whether
-    the parent had a collector/registry installed.  Returns
-    ``(result, record_dict, span_events, metrics_snapshot)`` where the
-    last two are ``None`` unless the matching flag was set; the parent
-    merges them back in input order, exactly like the record counters.
+    *task* is ``(point, trace, metrics, events)`` — the flags mirror
+    whether the parent had a collector/registry/event recorder
+    installed.  Returns ``(result, record_dict, span_events,
+    metrics_snapshot, event_snapshot)`` where the last three are
+    ``None`` unless the matching flag was set; the parent merges them
+    back in input order, exactly like the record counters.
     """
-    point, trace_enabled, metrics_enabled = task
+    point, trace_enabled, metrics_enabled, events_enabled = task
     collector = TraceCollector() if trace_enabled else None
     registry = MetricsRegistry() if metrics_enabled else None
+    recorder = EventRecorder() if events_enabled else None
     previous_collector = set_collector(collector) \
         if trace_enabled else None
     previous_registry = set_registry(registry) \
         if metrics_enabled else None
+    previous_recorder = set_recorder(recorder) \
+        if events_enabled else None
     try:
         record = RunRecord()
         runner = StageRunner(record=record)
@@ -135,10 +141,14 @@ def _evaluate_in_worker(task: tuple[PointSpec, bool, bool]):
             set_collector(previous_collector)
         if metrics_enabled:
             set_registry(previous_registry)
+        if events_enabled:
+            set_recorder(previous_recorder)
     events = [event.as_json() for event in collector.events()] \
         if collector is not None else None
     snapshot = registry.snapshot() if registry is not None else None
-    return result, record.as_dict(), events, snapshot
+    event_snapshot = recorder.snapshot() \
+        if recorder is not None else None
+    return result, record.as_dict(), events, snapshot, event_snapshot
 
 
 def _run_serial(points: list[PointSpec],
@@ -187,8 +197,10 @@ def map_points(
     init_arg = str(cache_dir) if cache_dir is not None else None
     collector = get_collector()
     registry = active_registry()
+    recorder = active_recorder()
     tasks = [
-        (point, collector is not None, registry is not None)
+        (point, collector is not None, registry is not None,
+         recorder is not None)
         for point in points
     ]
     try:
@@ -207,12 +219,14 @@ def map_points(
     # Worker observability folds back in input order, mirroring the
     # record merge: the merged span/metric stream is deterministic no
     # matter which worker finished first.
-    for result, counts, events, snapshot in outcomes:
+    for result, counts, events, snapshot, event_snapshot in outcomes:
         if record is not None:
             record.merge(counts)
         if collector is not None and events:
             collector.merge(events)
         if registry is not None and snapshot:
             registry.merge(snapshot)
+        if recorder is not None and event_snapshot:
+            recorder.merge(event_snapshot)
         results.append(result)
     return results

@@ -96,6 +96,24 @@ def explain_allocation(
     return explanations
 
 
+def solver_summary(allocation: Allocation) -> str:
+    """One-line solver provenance for explanation headers.
+
+    Surfaces the telemetry the branch & bound records into the
+    allocation: outcome status, nodes explored and the proven
+    optimality gap.  Non-ILP allocators (no status) get a placeholder
+    so the header stays well-formed.
+    """
+    if not allocation.solver_status:
+        return f"solver: n/a ({allocation.algorithm} is not ILP-based)"
+    if allocation.solver_gap is None:
+        gap = "gap n/a"
+    else:
+        gap = f"proven gap {allocation.solver_gap * 100:.2f}%"
+    return (f"solver: {allocation.solver_status} after "
+            f"{allocation.solver_nodes} B&B nodes, {gap}")
+
+
 def render_explanation(
     explanations: list[ObjectExplanation],
     top_rejected: int = 5,

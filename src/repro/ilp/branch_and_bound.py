@@ -24,13 +24,24 @@ import math
 from dataclasses import dataclass
 
 from repro.ilp.expr import Variable
-from repro.ilp.model import Model, Sense, SolveResult, SolveStatus
+from repro.ilp.model import (
+    Model,
+    Sense,
+    SolveResult,
+    SolveStatus,
+    SolveTelemetry,
+    relative_gap,
+)
 from repro.ilp.scipy_backend import LpRelaxationSolver, LpSolution
 from repro.obs import metrics
 from repro.obs.trace import span
 
 #: Tolerance below which a value counts as integral.
 INTEGRALITY_TOLERANCE = 1e-6
+
+#: Convergence-trajectory points kept before the sampling stride
+#: doubles (bounds the span payload on huge searches).
+TRAJECTORY_LIMIT = 256
 
 
 @dataclass
@@ -67,41 +78,79 @@ class BranchAndBoundSolver:
     def solve(self, model: Model) -> SolveResult:
         """Solve *model* to proven optimality (or the node limit).
 
-        Emits an ``ilp.solve`` span (variables/constraints in, status
-        and explored nodes out) and the ``ilp.solves`` /
-        ``ilp.bb.nodes`` counters when observability is enabled.
+        Emits an ``ilp.solve`` span carrying the convergence telemetry
+        (status, nodes, depth, incumbent updates, dive outcomes, LP
+        iterations, final gap and the downsampled incumbent/bound
+        trajectory ``repro report`` plots), plus the ``ilp.solves``,
+        ``ilp.bb.*`` and ``ilp.lp_iterations`` aggregates when
+        observability is enabled.
         """
         with span("ilp.solve", variables=len(model.variables),
                   constraints=len(model.constraints)) as solve_span:
             result = self._solve(model)
+            telemetry = result.telemetry
+            assert telemetry is not None
             solve_span.add(status=result.status.name,
-                           nodes=result.nodes_explored)
+                           nodes=result.nodes_explored,
+                           objective=result.objective,
+                           gap=result.gap,
+                           telemetry=telemetry.as_json())
             metrics.inc("ilp.solves")
             metrics.inc("ilp.bb.nodes", result.nodes_explored)
+            metrics.inc("ilp.bb.incumbents", telemetry.incumbent_updates)
+            metrics.inc("ilp.bb.dives", telemetry.dives_attempted)
+            metrics.inc("ilp.bb.dive_hits", telemetry.dives_succeeded)
+            metrics.observe("ilp.bb.max_depth", float(telemetry.max_depth))
+            if result.gap is not None:
+                metrics.set_gauge("ilp.bb.final_gap", result.gap)
             return result
 
     def _solve(self, model: Model) -> SolveResult:
+        telemetry = SolveTelemetry()
         lp = self.lp_factory(model)
         sense_mult = 1.0 if model.sense is Sense.MINIMIZE else -1.0
 
         root = lp.solve()
+        telemetry.lp_iterations += root.iterations
         if root.status is SolveStatus.INFEASIBLE:
-            return SolveResult(SolveStatus.INFEASIBLE, None, {})
+            return SolveResult(SolveStatus.INFEASIBLE, None, {},
+                               telemetry=telemetry)
         if root.status is SolveStatus.UNBOUNDED:
-            return SolveResult(SolveStatus.UNBOUNDED, None, {})
+            return SolveResult(SolveStatus.UNBOUNDED, None, {},
+                               telemetry=telemetry)
         assert root.objective is not None
 
         integer_vars = model.integer_variables
         incumbent = self._rounding_heuristic(model, lp, root, sense_mult)
+        if incumbent is not None:
+            telemetry.incumbent_updates += 1
+
+        # Trajectory sampling: every incumbent update is recorded;
+        # bound progress is sampled every `stride` nodes, doubling the
+        # stride whenever the trajectory hits its size cap.
+        stride = 1
+
+        def record_point(nodes: int, bound_key: float | None) -> None:
+            nonlocal stride
+            telemetry.trajectory.append((
+                nodes,
+                incumbent.objective if incumbent is not None else None,
+                bound_key * sense_mult if bound_key is not None else None,
+            ))
+            if len(telemetry.trajectory) >= TRAJECTORY_LIMIT:
+                del telemetry.trajectory[1::2]
+                stride *= 2
+
+        root_key = sense_mult * root.objective
+        record_point(0, root_key)
 
         counter = itertools.count()
-        heap: list[tuple[float, int, dict]] = []
-        heapq.heappush(
-            heap, (sense_mult * root.objective, next(counter), {})
-        )
+        heap: list[tuple[float, int, dict, int]] = []
+        heapq.heappush(heap, (root_key, next(counter), {}, 0))
         nodes = 0
+        proven_key: float | None = None
         while heap:
-            bound_key, _, overrides = heapq.heappop(heap)
+            bound_key, _, overrides, depth = heapq.heappop(heap)
             if incumbent is not None:
                 cutoff = incumbent.objective_key - self.absolute_gap
                 if self.relative_gap > 0.0:
@@ -112,12 +161,28 @@ class BranchAndBoundSolver:
                         * abs(incumbent.objective_key),
                     )
                 if bound_key >= cutoff:
-                    break  # best-bound first: nothing better remains
+                    # Best-bound first: nothing better remains.  The
+                    # global dual bound is the tighter of the incumbent
+                    # (a feasible point) and the best remaining node
+                    # bound — only a relative/absolute gap setting can
+                    # leave the latter below the incumbent.
+                    proven_key = min(bound_key,
+                                     incumbent.objective_key)
+                    break
             nodes += 1
+            if depth > telemetry.max_depth:
+                telemetry.max_depth = depth
             if nodes > self.max_nodes:
-                return self._finish(SolveStatus.NODE_LIMIT, incumbent, nodes)
+                # The popped node carries the best remaining bound.
+                telemetry.best_bound = bound_key * sense_mult
+                record_point(nodes, bound_key)
+                return self._finish(SolveStatus.NODE_LIMIT, incumbent,
+                                    nodes, telemetry)
+            if nodes % stride == 0:
+                record_point(nodes, bound_key)
 
             solution = lp.solve(overrides)
+            telemetry.lp_iterations += solution.iterations
             if solution.status is not SolveStatus.OPTIMAL:
                 continue
             assert solution.objective is not None
@@ -132,6 +197,8 @@ class BranchAndBoundSolver:
             if fractional is None:
                 incumbent = _Incumbent(node_key, solution.objective,
                                        dict(solution.values))
+                telemetry.incumbent_updates += 1
+                record_point(nodes, bound_key)
                 continue
 
             # Periodic diving heuristic: fix the integers at their
@@ -139,12 +206,15 @@ class BranchAndBoundSolver:
             # variables, and keep the point if feasible.  Strong
             # incumbents early mean aggressive pruning later.
             if nodes % 32 == 1:
-                dived = self._try_dive(model, lp, solution, sense_mult)
+                dived = self._try_dive(model, lp, solution, sense_mult,
+                                       telemetry)
                 if dived is not None and (
                     incumbent is None
                     or dived.objective_key < incumbent.objective_key
                 ):
                     incumbent = dived
+                    telemetry.incumbent_updates += 1
+                    record_point(nodes, bound_key)
 
             variable, value = fractional
             low, high = overrides.get(
@@ -155,26 +225,43 @@ class BranchAndBoundSolver:
             ceil_child = dict(overrides)
             ceil_child[variable] = (math.ceil(value), high)
             for child in (floor_child, ceil_child):
-                heapq.heappush(heap, (node_key, next(counter), child))
+                heapq.heappush(
+                    heap, (node_key, next(counter), child, depth + 1)
+                )
 
         if incumbent is None:
             return SolveResult(SolveStatus.INFEASIBLE, None, {},
-                               nodes_explored=nodes)
-        return self._finish(SolveStatus.OPTIMAL, incumbent, nodes)
+                               nodes_explored=nodes, telemetry=telemetry)
+        # Proven optimal: the dual bound is the last popped bound when
+        # the cutoff fired, else the search space is exhausted and the
+        # incumbent itself is the bound.
+        telemetry.best_bound = (
+            proven_key * sense_mult if proven_key is not None
+            else incumbent.objective
+        )
+        record_point(nodes, proven_key if proven_key is not None
+                     else incumbent.objective_key)
+        return self._finish(SolveStatus.OPTIMAL, incumbent, nodes,
+                            telemetry)
 
     # ------------------------------------------------------------------
 
     @staticmethod
     def _finish(status: SolveStatus, incumbent: _Incumbent | None,
-                nodes: int) -> SolveResult:
+                nodes: int, telemetry: SolveTelemetry) -> SolveResult:
+        telemetry.nodes = nodes
         if incumbent is None:
-            return SolveResult(status, None, {}, nodes_explored=nodes)
+            return SolveResult(status, None, {}, nodes_explored=nodes,
+                               best_bound=telemetry.best_bound,
+                               telemetry=telemetry)
         clean = {
             var: (round(val) if var.is_integer else val)
             for var, val in incumbent.values.items()
         }
         return SolveResult(status, incumbent.objective, clean,
-                           nodes_explored=nodes)
+                           nodes_explored=nodes,
+                           best_bound=telemetry.best_bound,
+                           telemetry=telemetry)
 
     @staticmethod
     def _branching_variable(
@@ -205,20 +292,23 @@ class BranchAndBoundSolver:
 
     @staticmethod
     def _try_dive(model: Model, lp: LpRelaxationSolver,
-                  solution: LpSolution,
-                  sense_mult: float) -> _Incumbent | None:
+                  solution: LpSolution, sense_mult: float,
+                  telemetry: SolveTelemetry) -> _Incumbent | None:
         """Fix integers at rounded values, re-solve for the rest."""
+        telemetry.dives_attempted += 1
         overrides = {}
         for var in model.integer_variables:
             value = float(round(solution.values[var]))
             value = min(max(value, var.lower), var.upper)
             overrides[var] = (value, value)
         fixed = lp.solve(overrides)
+        telemetry.lp_iterations += fixed.iterations
         if fixed.status is not SolveStatus.OPTIMAL:
             return None
         assert fixed.objective is not None
         if not model.is_feasible(fixed.values):
             return None
+        telemetry.dives_succeeded += 1
         return _Incumbent(sense_mult * fixed.objective, fixed.objective,
                           dict(fixed.values))
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Union
 
 from repro.errors import SolverError
@@ -67,6 +67,60 @@ class Constraint:
 
 
 @dataclass
+class SolveTelemetry:
+    """Convergence telemetry of one branch & bound solve.
+
+    Attributes:
+        nodes: explored branch & bound nodes.
+        max_depth: deepest explored node (0 = root only).
+        incumbent_updates: how often a better integral point was found
+            (rounding warm start, integral LP nodes and dives).
+        dives_attempted: periodic diving-heuristic attempts.
+        dives_succeeded: dives that produced a feasible integral point.
+        lp_iterations: simplex iterations (HiGHS) / pivots (built-in
+            backend) summed over every LP relaxation solved.
+        best_bound: the proven dual bound in the model's sense.
+        trajectory: downsampled ``(node, incumbent, bound)`` points —
+            the gap-over-nodes curve ``repro report`` renders.
+    """
+
+    nodes: int = 0
+    max_depth: int = 0
+    incumbent_updates: int = 0
+    dives_attempted: int = 0
+    dives_succeeded: int = 0
+    lp_iterations: int = 0
+    best_bound: float | None = None
+    trajectory: list[tuple[int, float | None, float | None]] = field(
+        default_factory=list
+    )
+
+    def as_json(self) -> dict:
+        """Plain-dict form for span attributes and run files."""
+        return {
+            "nodes": self.nodes,
+            "max_depth": self.max_depth,
+            "incumbent_updates": self.incumbent_updates,
+            "dives_attempted": self.dives_attempted,
+            "dives_succeeded": self.dives_succeeded,
+            "lp_iterations": self.lp_iterations,
+            "best_bound": self.best_bound,
+            "trajectory": [list(point) for point in self.trajectory],
+        }
+
+
+def relative_gap(objective: float | None,
+                 best_bound: float | None) -> float | None:
+    """Relative optimality gap ``|obj - bound| / max(1, |obj|)``.
+
+    ``None`` when either side is unknown (no incumbent / no bound).
+    """
+    if objective is None or best_bound is None:
+        return None
+    return abs(objective - best_bound) / max(1.0, abs(objective))
+
+
+@dataclass
 class SolveResult:
     """Solution of a model.
 
@@ -75,17 +129,28 @@ class SolveResult:
         objective: objective value (``None`` unless a solution exists).
         values: assignment of every model variable.
         nodes_explored: branch & bound nodes processed (0 for pure LPs).
+        best_bound: proven dual bound in the model's sense (equals the
+            objective for proven-optimal solves).
+        telemetry: convergence telemetry, when the branch & bound
+            solver produced it.
     """
 
     status: SolveStatus
     objective: float | None
     values: dict[Variable, float]
     nodes_explored: int = 0
+    best_bound: float | None = None
+    telemetry: SolveTelemetry | None = None
 
     @property
     def is_optimal(self) -> bool:
         """Whether a proven-optimal solution was found."""
         return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def gap(self) -> float | None:
+        """Relative optimality gap (``None`` when unknown)."""
+        return relative_gap(self.objective, self.best_bound)
 
     def value(self, variable: Variable) -> float:
         """Value of one variable in the solution."""

@@ -22,11 +22,21 @@ from repro.obs import metrics
 
 @dataclass
 class LpSolution:
-    """Solution of one LP relaxation."""
+    """Solution of one LP relaxation.
+
+    Attributes:
+        status: relaxation outcome.
+        objective: objective in the model's sense (``None`` unless
+            optimal).
+        values: assignment of every model variable.
+        iterations: simplex iterations the backend spent (HiGHS ``nit``
+            / built-in backend pivots).
+    """
 
     status: SolveStatus
     objective: float | None
     values: dict[Variable, float]
+    iterations: int = 0
 
 
 class LpRelaxationSolver:
@@ -110,10 +120,14 @@ class LpRelaxationSolver:
             bounds=bounds,
             method="highs",
         )
+        iterations = int(getattr(result, "nit", 0) or 0)
+        metrics.inc("ilp.lp_iterations", iterations)
         if result.status == 2:
-            return LpSolution(SolveStatus.INFEASIBLE, None, {})
+            return LpSolution(SolveStatus.INFEASIBLE, None, {},
+                              iterations=iterations)
         if result.status == 3:
-            return LpSolution(SolveStatus.UNBOUNDED, None, {})
+            return LpSolution(SolveStatus.UNBOUNDED, None, {},
+                              iterations=iterations)
         if result.status != 0:
             raise SolverError(f"HiGHS failed: {result.message}")
 
@@ -124,4 +138,5 @@ class LpRelaxationSolver:
             self._objective_sign * float(result.fun)
             + self._objective_constant
         )
-        return LpSolution(SolveStatus.OPTIMAL, objective, values)
+        return LpSolution(SolveStatus.OPTIMAL, objective, values,
+                          iterations=iterations)

@@ -113,11 +113,12 @@ class SimplexLpSolver:
                 rhs.append(upper - lowers[i])
                 senses.append("<=")
 
-        solution = _two_phase_simplex(
+        solution, pivots = _two_phase_simplex(
             np.array(self._c), rows, np.array(rhs), senses
         )
+        metrics.inc("ilp.lp_iterations", pivots)
         if isinstance(solution, SolveStatus):
-            return LpSolution(solution, None, {})
+            return LpSolution(solution, None, {}, iterations=pivots)
         y = solution
         x = lowers + y
         values = {
@@ -127,7 +128,8 @@ class SimplexLpSolver:
             self._objective_sign * float(np.dot(self._c, x))
             + self._objective_constant
         )
-        return LpSolution(SolveStatus.OPTIMAL, objective, values)
+        return LpSolution(SolveStatus.OPTIMAL, objective, values,
+                          iterations=pivots)
 
 
 def _two_phase_simplex(
@@ -138,9 +140,11 @@ def _two_phase_simplex(
 ):
     """Minimise ``c'y`` s.t. ``rows y (<=|=) rhs``, ``y >= 0``.
 
-    Returns the optimal ``y`` vector, or a :class:`SolveStatus` for
-    infeasible/unbounded problems.
+    Returns ``(y, pivots)`` with the optimal ``y`` vector, or
+    ``(status, pivots)`` for infeasible/unbounded problems — *pivots*
+    is the total simplex pivot count over both phases.
     """
+    total_pivots = 0
     num_vars = len(c)
     num_rows = len(rows)
 
@@ -186,12 +190,14 @@ def _two_phase_simplex(
     if uses_artificials:
         phase1_cost = np.zeros(total)
         phase1_cost[art_pos:] = 1.0
-        status = _simplex_core(a, b, phase1_cost, basis)
+        status, pivots = _simplex_core(a, b, phase1_cost, basis)
+        total_pivots += pivots
         if status is SolveStatus.UNBOUNDED:
-            return SolveStatus.INFEASIBLE  # phase 1 cannot be unbounded
+            # phase 1 cannot be unbounded
+            return SolveStatus.INFEASIBLE, total_pivots
         objective = float(np.dot(phase1_cost[basis], b))
         if objective > 1e-7:
-            return SolveStatus.INFEASIBLE
+            return SolveStatus.INFEASIBLE, total_pivots
         # Drive any remaining artificials out of the basis.
         for i in range(num_rows):
             if basis[i] >= art_pos:
@@ -215,23 +221,26 @@ def _two_phase_simplex(
         a_trim = a_trim[keep]
         b = b[keep]
         basis = basis[keep]
-    status = _simplex_core(a_trim, b, cost_trim, basis)
+    status, pivots = _simplex_core(a_trim, b, cost_trim, basis)
+    total_pivots += pivots
     if status is SolveStatus.UNBOUNDED:
-        return SolveStatus.UNBOUNDED
+        return SolveStatus.UNBOUNDED, total_pivots
 
     y = np.zeros(art_pos)
     for i, var in enumerate(basis):
         y[var] = b[i]
-    return y[:num_vars]
+    return y[:num_vars], total_pivots
 
 
 def _simplex_core(a: np.ndarray, b: np.ndarray, cost: np.ndarray,
-                  basis: np.ndarray) -> SolveStatus | None:
+                  basis: np.ndarray) -> tuple[SolveStatus | None, int]:
     """Primal simplex with Bland's rule on an equality-form tableau.
 
-    Mutates ``a``, ``b`` and ``basis`` in place.  Pivot totals are
-    reported through the ``ilp.simplex.pivots`` counter once per call
-    (never per iteration), so the hot loop carries no instrumentation.
+    Mutates ``a``, ``b`` and ``basis`` in place and returns
+    ``(status, pivots)`` — status ``None`` on optimality.  Pivot totals
+    are reported through the ``ilp.simplex.pivots`` counter once per
+    call (never per iteration), so the hot loop carries no
+    instrumentation.
     """
     max_iterations = 50 * (a.shape[0] + a.shape[1] + 10)
     pivots = 0
@@ -246,7 +255,7 @@ def _simplex_core(a: np.ndarray, b: np.ndarray, cost: np.ndarray,
                     entering = j  # Bland: smallest index
                     break
             if entering is None:
-                return None  # optimal
+                return None, pivots  # optimal
             # ratio test (Bland: smallest basis index breaks ties)
             leaving = None
             best_ratio = math.inf
@@ -261,7 +270,7 @@ def _simplex_core(a: np.ndarray, b: np.ndarray, cost: np.ndarray,
                         best_ratio = ratio
                         leaving = i
             if leaving is None:
-                return SolveStatus.UNBOUNDED
+                return SolveStatus.UNBOUNDED, pivots
             _pivot(a, b, basis, leaving, entering)
             pivots += 1
         raise SolverError("simplex did not converge (cycling?)")

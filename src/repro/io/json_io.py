@@ -96,6 +96,8 @@ def allocation_to_dict(allocation: Allocation) -> dict[str, Any]:
         "placement": allocation.placement.value,
         "predicted_energy": allocation.predicted_energy,
         "solver_nodes": allocation.solver_nodes,
+        "solver_status": allocation.solver_status,
+        "solver_gap": allocation.solver_gap,
         "capacity": allocation.capacity,
         "used_bytes": allocation.used_bytes,
     }
@@ -118,6 +120,8 @@ def allocation_from_dict(data: dict[str, Any]) -> Allocation:
         placement=Placement(data["placement"]),
         predicted_energy=data.get("predicted_energy"),
         solver_nodes=data.get("solver_nodes", 0),
+        solver_status=data.get("solver_status", ""),
+        solver_gap=data.get("solver_gap"),
         capacity=data.get("capacity", 0),
         used_bytes=data.get("used_bytes", 0),
     )

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.memory.replacement import ReplacementPolicy, make_policy
+from repro.obs.events import CacheEvent, active_recorder
 from repro.utils.bitops import is_power_of_two, log2_int
 
 
@@ -87,8 +88,14 @@ class Cache:
     the name of the memory object that owns it.
     """
 
-    def __init__(self, config: CacheConfig) -> None:
+    def __init__(self, config: CacheConfig, label: str = "L1") -> None:
         self._config = config
+        #: event-stream label distinguishing cache levels (``L1``/``L2``).
+        self.label = label
+        # The recorder is bound once at construction: the disabled-path
+        # cost per probe is one attribute read and one None comparison
+        # (bench_smoke budgets it under the 2% overhead gate).
+        self._recorder = active_recorder()
         self._set_bits = log2_int(config.num_sets)
         self._sets = [
             _CacheSet(config.associativity, config.policy)
@@ -137,17 +144,27 @@ class Cache:
         """
         index = line_id % len(self._sets)
         cache_set = self._sets[index]
+        recorder = self._recorder
         for way, resident in enumerate(cache_set.lines):
             if resident == line_id:
                 self.hits += 1
                 self.mo_hits[owner] += 1
                 cache_set.policy.on_hit(way)
+                if recorder is not None and recorder.record_hits:
+                    recorder.record(CacheEvent(
+                        kind="hit", seq=recorder.next_seq(),
+                        cache=self.label, set_index=index,
+                        line_id=line_id, mo=owner, way=way,
+                        phase=self.phase,
+                    ))
                 return True
 
         # Miss: classify, pick a victim, fill.
         self.misses += 1
         self.mo_misses[owner] += 1
-        if line_id not in self._seen_lines:
+        compulsory = line_id not in self._seen_lines
+        evictor: str | None = None
+        if compulsory:
             self._seen_lines.add(line_id)
             self.compulsory_misses += 1
             self.mo_compulsory[owner] += 1
@@ -157,6 +174,12 @@ class Cache:
             if evictor is not None:
                 self.conflict_misses[(owner, evictor)] += 1
                 self.phase_conflicts[(self.phase, owner, evictor)] += 1
+        if recorder is not None:
+            recorder.record(CacheEvent(
+                kind="miss", seq=recorder.next_seq(), cache=self.label,
+                set_index=index, line_id=line_id, mo=owner,
+                evictor=evictor, compulsory=compulsory, phase=self.phase,
+            ))
 
         victim_way = None
         for way, resident in enumerate(cache_set.lines):
@@ -168,6 +191,18 @@ class Cache:
             evicted_line = cache_set.lines[victim_way]
             assert evicted_line is not None
             self._evicted_by[evicted_line] = owner
+            if recorder is not None:
+                victim_owner = cache_set.owners[victim_way]
+                assert victim_owner is not None
+                recorder.record(CacheEvent(
+                    kind="evict", seq=recorder.next_seq(),
+                    cache=self.label, set_index=index,
+                    line_id=evicted_line, mo=victim_owner,
+                    evictor=owner, way=victim_way, phase=self.phase,
+                    policy_state=(cache_set.policy.state()
+                                  if recorder.record_policy_state
+                                  else None),
+                ))
         cache_set.lines[victim_way] = line_id
         cache_set.owners[victim_way] = owner
         cache_set.policy.on_fill(victim_way)

@@ -24,6 +24,7 @@ from repro.memory.mainmem import MainMemory
 from repro.memory.scratchpad import Scratchpad
 from repro.memory.stats import SimulationReport
 from repro.obs import metrics
+from repro.obs.events import active_recorder
 from repro.obs.trace import span
 from repro.traces.layout import BlockFetchPlan, FetchSegment, LinkedImage
 
@@ -86,7 +87,7 @@ class InstructionMemorySimulator:
         self._config = config
         self.cache = Cache(config.cache) if config.cache else None
         self.l2_cache = (
-            Cache(config.l2_cache) if config.l2_cache else None
+            Cache(config.l2_cache, label="L2") if config.l2_cache else None
         )
         self.main_memory = MainMemory()
         self.scratchpad = (
@@ -216,8 +217,7 @@ class InstructionMemorySimulator:
         if self.l2_cache is not None:
             report.l2_hits = self.l2_cache.hits
             report.l2_misses = self.l2_cache.misses
-        if not report.check_identities():
-            raise SimulationError("fetch accounting identity violated")
+        report.assert_identities()
         return report
 
     def _overlay_transition(self, report: SimulationReport,
@@ -368,4 +368,10 @@ def simulate(
         metrics.inc("sim.cache_misses", report.cache_misses)
         metrics.inc("sim.spm_accesses", report.spm_accesses)
         metrics.inc("sim.lc_accesses", report.lc_accesses)
+        recorder = active_recorder()
+        if recorder is not None:
+            sim_span.add(events=recorder.total_events)
+            metrics.set_gauge("events.total", float(recorder.total_events))
+            for kind, count in recorder.counts.items():
+                metrics.set_gauge(f"events.{kind}", float(count))
         return report

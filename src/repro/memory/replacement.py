@@ -34,6 +34,14 @@ class ReplacementPolicy(abc.ABC):
     def victim(self) -> int:
         """Way to evict next (called only when the set is full)."""
 
+    def state(self) -> tuple[int, ...]:
+        """Snapshot of the policy's way ordering for event auditing.
+
+        Age-ordered way indices, oldest (next victim) first; stateless
+        policies return an empty tuple.
+        """
+        return ()
+
 
 class LruPolicy(ReplacementPolicy):
     """Least-recently-used replacement."""
@@ -54,6 +62,9 @@ class LruPolicy(ReplacementPolicy):
     def victim(self) -> int:
         return self._order[0]
 
+    def state(self) -> tuple[int, ...]:
+        return tuple(self._order)
+
 
 class FifoPolicy(ReplacementPolicy):
     """First-in-first-out replacement (hits do not refresh age)."""
@@ -71,6 +82,9 @@ class FifoPolicy(ReplacementPolicy):
 
     def victim(self) -> int:
         return self._order[0]
+
+    def state(self) -> tuple[int, ...]:
+        return tuple(self._order)
 
 
 class RandomPolicy(ReplacementPolicy):

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.errors import SimulationError
+
 
 @dataclass
 class MemoryObjectStats:
@@ -30,6 +32,18 @@ class MemoryObjectStats:
         return self.fetches == (
             self.spm_accesses + self.lc_accesses
             + self.cache_hits + self.cache_misses
+        )
+
+    def identity_breakdown(self) -> str:
+        """The eq. 4 counters of this object, spelled out for errors."""
+        served = (self.spm_accesses + self.lc_accesses
+                  + self.cache_hits + self.cache_misses)
+        return (
+            f"{self.name!r}: fetches={self.fetches} != "
+            f"spm={self.spm_accesses} + lc={self.lc_accesses} + "
+            f"cache_hits={self.cache_hits} + "
+            f"cache_misses={self.cache_misses} (= {served}, "
+            f"off by {self.fetches - served:+d})"
         )
 
 
@@ -129,6 +143,28 @@ class SimulationReport:
     def check_identities(self) -> bool:
         """Verify eq. 4 for every memory object."""
         return all(s.check_identity() for s in self.mo_stats.values())
+
+    def identity_violations(self) -> list[MemoryObjectStats]:
+        """The objects whose counters violate eq. 4 (normally empty)."""
+        return [s for s in self.mo_stats.values()
+                if not s.check_identity()]
+
+    def assert_identities(self) -> None:
+        """Raise a descriptive error if any object violates eq. 4.
+
+        The :class:`~repro.errors.SimulationError` names every
+        offending object with its full counter breakdown, so a broken
+        fetch path is diagnosable from the message alone.
+        """
+        violations = self.identity_violations()
+        if violations:
+            details = "; ".join(
+                s.identity_breakdown() for s in violations
+            )
+            raise SimulationError(
+                "fetch accounting identity (eq. 4) violated for "
+                f"{len(violations)} memory object(s): {details}"
+            )
 
     def summary(self) -> str:
         """One-paragraph human-readable summary."""

@@ -1,6 +1,6 @@
-"""Observability: structured tracing, metrics, and run reports.
+"""Observability: tracing, metrics, events, run reports and histories.
 
-Three small modules turn the experiment engine from a black box into a
+Five small modules turn the experiment engine from a black box into a
 design-space-exploration tool you can see inside:
 
 * :mod:`repro.obs.trace` — nestable spans with wall/CPU time and
@@ -9,18 +9,51 @@ design-space-exploration tool you can see inside:
 * :mod:`repro.obs.metrics` — a registry of counters, gauges and
   histograms (simulated cache hits, simplex pivots, branch-and-bound
   nodes...) with snapshot/merge for worker processes;
+* :mod:`repro.obs.events` — structured cache eviction/miss event
+  streams (bounded ring + reservoir sample) and the replay oracle that
+  cross-checks the conflict graph's ``m_ij`` (``repro audit``);
 * :mod:`repro.obs.report` — per-run reports (stage timings, cache hit
-  rates, slowest design points) rendered from a ``--trace`` run file.
+  rates, solver convergence, slowest design points) rendered from a
+  ``--trace`` run file;
+* :mod:`repro.obs.history` — JSONL benchmark snapshots and baseline
+  comparison (``repro bench record`` / ``repro bench compare``).
 
-Both tracing and metrics are **disabled by default**: instrumented
-call sites go through :func:`~repro.obs.trace.span` and
-:func:`~repro.obs.metrics.inc`-style helpers that cost one global read
-and one comparison when no collector/registry is installed.  The CLI's
-``--trace FILE`` and ``--metrics`` flags (on ``sweep``, ``fig4``,
-``fig5``, ``table1`` and ``dse``) install them for one run; see
-``docs/OBSERVABILITY.md`` for the full guide.
+Tracing, metrics and event recording are all **disabled by default**:
+instrumented call sites go through :func:`~repro.obs.trace.span`,
+:func:`~repro.obs.metrics.inc`-style helpers and the cache's bound
+recorder, costing one global read and one comparison when nothing is
+installed.  The CLI's ``--trace FILE``, ``--metrics`` and ``--events``
+flags (on ``sweep``, ``fig4``, ``fig5``, ``table1`` and ``dse``)
+install them for one run; see ``docs/OBSERVABILITY.md`` for the full
+guide.
 """
 
+from repro.obs.events import (
+    EVENT_KINDS,
+    AuditMismatch,
+    AuditResult,
+    CacheEvent,
+    EventRecorder,
+    ReplayedAttribution,
+    active_recorder,
+    audit_conflict_graph,
+    audit_workload,
+    recording_enabled,
+    replay_attribution,
+    set_recorder,
+)
+from repro.obs.history import (
+    ComparePolicy,
+    CompareResult,
+    Regression,
+    Snapshot,
+    append_snapshot,
+    collect_suite_metrics,
+    compare_snapshots,
+    load_history,
+    machine_fingerprint,
+    record_suite,
+)
 from repro.obs.metrics import (
     METRIC_TYPES,
     Counter,
@@ -56,6 +89,28 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "EVENT_KINDS",
+    "AuditMismatch",
+    "AuditResult",
+    "CacheEvent",
+    "EventRecorder",
+    "ReplayedAttribution",
+    "active_recorder",
+    "audit_conflict_graph",
+    "audit_workload",
+    "recording_enabled",
+    "replay_attribution",
+    "set_recorder",
+    "ComparePolicy",
+    "CompareResult",
+    "Regression",
+    "Snapshot",
+    "append_snapshot",
+    "collect_suite_metrics",
+    "compare_snapshots",
+    "load_history",
+    "machine_fingerprint",
+    "record_suite",
     "METRIC_TYPES",
     "Counter",
     "Gauge",

@@ -1,0 +1,382 @@
+"""Benchmark regression tracking: JSONL metric histories.
+
+``repro bench record`` runs a small deterministic benchmark suite and
+appends one :class:`Snapshot` — named metrics (energy totals, cache hit
+rates, solver nodes, wall time) plus a machine/config fingerprint — to
+a JSONL history file.  ``repro bench compare`` checks the latest
+snapshot against a baseline with per-metric policies:
+
+* **deterministic** metrics (energies, counters, hit rates) must match
+  the baseline *exactly* — the whole pipeline is seeded and replayed,
+  so any drift is a real behaviour change;
+* **timing** metrics (names ending in ``.seconds`` or containing
+  ``wall``) get a relative tolerance band, defaulting to a generous
+  ±500% so only order-of-magnitude regressions trip CI;
+* a metric present in the baseline but missing from the latest run is
+  a regression; a *new* metric is reported but passes.
+
+A non-empty regression list maps to a non-zero CLI exit status, which
+is what lets ``make bench-smoke`` gate on the committed seed baseline
+(``benchmarks/baselines/smoke.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Schema version of one history line.
+HISTORY_SCHEMA = 1
+
+#: Default relative tolerance for timing metrics (5.0 = ±500%).
+DEFAULT_TIMING_TOLERANCE = 5.0
+
+#: Name fragments marking a metric as a timing (tolerance-banded).
+TIMING_MARKERS = (".seconds", "wall", "duration")
+
+
+def machine_fingerprint() -> dict[str, str]:
+    """Identify the machine/toolchain a snapshot was recorded on."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+@dataclass
+class Snapshot:
+    """One recorded benchmark run.
+
+    Attributes:
+        name: logical suite name (e.g. ``smoke``).
+        metrics: flat metric name -> value map.
+        fingerprint: machine/toolchain identity at record time.
+        config: suite configuration (workloads, scale, seed ...).
+        recorded_at: Unix timestamp of the recording.
+        note: free-form annotation (e.g. a commit subject).
+    """
+
+    name: str
+    metrics: dict[str, float]
+    fingerprint: dict[str, str] = field(
+        default_factory=machine_fingerprint
+    )
+    config: dict = field(default_factory=dict)
+    recorded_at: float = 0.0
+    note: str = ""
+
+    def as_json(self) -> dict:
+        """One JSONL line's payload."""
+        return {
+            "schema": HISTORY_SCHEMA,
+            "name": self.name,
+            "metrics": self.metrics,
+            "fingerprint": self.fingerprint,
+            "config": self.config,
+            "recorded_at": self.recorded_at,
+            "note": self.note,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "Snapshot":
+        """Rebuild a snapshot from its :meth:`as_json` form."""
+        if data.get("schema") != HISTORY_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported history schema {data.get('schema')!r}"
+            )
+        return Snapshot(
+            name=data.get("name", "?"),
+            metrics={k: float(v) for k, v in data["metrics"].items()},
+            fingerprint=dict(data.get("fingerprint", {})),
+            config=dict(data.get("config", {})),
+            recorded_at=float(data.get("recorded_at", 0.0)),
+            note=str(data.get("note", "")),
+        )
+
+
+def append_snapshot(path: str | Path, snapshot: Snapshot) -> None:
+    """Append one snapshot line to a JSONL history file."""
+    history_path = Path(path)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a") as handle:
+        handle.write(json.dumps(snapshot.as_json(), sort_keys=True))
+        handle.write("\n")
+
+
+def load_history(path: str | Path) -> list[Snapshot]:
+    """Load every snapshot of a JSONL history file, oldest first."""
+    history_path = Path(path)
+    if not history_path.exists():
+        raise ConfigurationError(f"no history file at {history_path}")
+    snapshots = []
+    for lineno, line in enumerate(
+            history_path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            snapshots.append(Snapshot.from_json(json.loads(line)))
+        except (json.JSONDecodeError, KeyError) as error:
+            raise ConfigurationError(
+                f"{history_path}:{lineno}: bad history line ({error})"
+            )
+    if not snapshots:
+        raise ConfigurationError(f"{history_path} holds no snapshots")
+    return snapshots
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComparePolicy:
+    """Per-metric matching rules of one comparison.
+
+    Attributes:
+        timing_tolerance: allowed relative deviation of timing metrics.
+        timing_markers: name fragments classifying a metric as timing.
+        tolerances: explicit per-metric relative tolerances, overriding
+            the classification (0.0 = exact).
+    """
+
+    timing_tolerance: float = DEFAULT_TIMING_TOLERANCE
+    timing_markers: tuple[str, ...] = TIMING_MARKERS
+    tolerances: dict[str, float] = field(default_factory=dict)
+
+    def tolerance_for(self, metric: str) -> float:
+        """Allowed relative deviation of one metric (0.0 = exact)."""
+        if metric in self.tolerances:
+            return self.tolerances[metric]
+        if any(marker in metric for marker in self.timing_markers):
+            return self.timing_tolerance
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that deviated from its baseline.
+
+    Attributes:
+        metric: metric name.
+        baseline: baseline value (``None`` for unexpected new metrics).
+        latest: latest value (``None`` when the metric disappeared).
+        tolerance: the relative tolerance that applied.
+    """
+
+    metric: str
+    baseline: float | None
+    latest: float | None
+    tolerance: float
+
+    def describe(self) -> str:
+        """One-line human-readable form."""
+        if self.latest is None:
+            return f"{self.metric}: missing (baseline {self.baseline:g})"
+        if self.baseline is None:
+            return f"{self.metric}: unexpected ({self.latest:g})"
+        delta = self.latest - self.baseline
+        relative = abs(delta) / max(1e-12, abs(self.baseline))
+        bound = (f"exact match required" if self.tolerance == 0.0
+                 else f"tolerance ±{100.0 * self.tolerance:.0f}%")
+        return (
+            f"{self.metric}: {self.baseline:g} -> {self.latest:g} "
+            f"({delta:+g}, {100.0 * relative:.2f}% off; {bound})"
+        )
+
+
+@dataclass
+class CompareResult:
+    """Outcome of one baseline comparison.
+
+    Attributes:
+        baseline_name: suite name of the baseline snapshot.
+        regressions: deviating metrics (empty = pass).
+        checked: metrics compared.
+        new_metrics: metrics in the latest run with no baseline (these
+            pass, but are listed so baselines get refreshed).
+        fingerprint_changed: machine/toolchain differs from the
+            baseline's (context for exact-match failures).
+    """
+
+    baseline_name: str
+    regressions: list[Regression]
+    checked: int
+    new_metrics: list[str] = field(default_factory=list)
+    fingerprint_changed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether every checked metric stayed within its policy."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """Human-readable verdict."""
+        lines = [
+            f"bench compare vs {self.baseline_name!r}: "
+            f"{self.checked} metrics checked"
+        ]
+        if self.fingerprint_changed:
+            lines.append(
+                "  note: machine/toolchain fingerprint differs from "
+                "the baseline"
+            )
+        if self.new_metrics:
+            lines.append(
+                f"  {len(self.new_metrics)} new metric(s) without a "
+                f"baseline: {', '.join(sorted(self.new_metrics))}"
+            )
+        if self.ok:
+            lines.append("  OK — no regressions")
+        else:
+            lines.append(f"  {len(self.regressions)} REGRESSION(S):")
+            lines += [f"  - {r.describe()}" for r in self.regressions]
+        return "\n".join(lines)
+
+
+def compare_snapshots(
+    baseline: Snapshot,
+    latest: Snapshot,
+    policy: ComparePolicy | None = None,
+) -> CompareResult:
+    """Check *latest* against *baseline* under *policy*.
+
+    Every baseline metric must be present in the latest snapshot and
+    within its tolerance (exact for deterministic metrics).  Metrics
+    only the latest snapshot has are collected in ``new_metrics`` and
+    do not fail the comparison.
+    """
+    policy = policy or ComparePolicy()
+    regressions: list[Regression] = []
+    for metric in sorted(baseline.metrics):
+        expected = baseline.metrics[metric]
+        tolerance = policy.tolerance_for(metric)
+        actual = latest.metrics.get(metric)
+        if actual is None:
+            regressions.append(
+                Regression(metric, expected, None, tolerance)
+            )
+            continue
+        if tolerance == 0.0:
+            if actual != expected:
+                regressions.append(
+                    Regression(metric, expected, actual, tolerance)
+                )
+        else:
+            deviation = abs(actual - expected) / max(
+                1e-12, abs(expected)
+            )
+            if deviation > tolerance:
+                regressions.append(
+                    Regression(metric, expected, actual, tolerance)
+                )
+    new_metrics = sorted(set(latest.metrics) - set(baseline.metrics))
+    return CompareResult(
+        baseline_name=baseline.name,
+        regressions=regressions,
+        checked=len(baseline.metrics),
+        new_metrics=new_metrics,
+        fingerprint_changed=(
+            baseline.fingerprint != latest.fingerprint
+        ),
+    )
+
+
+# -- the recorded suite -------------------------------------------------------
+
+#: Workloads of the default ``bench record`` suite.
+DEFAULT_SUITE_WORKLOADS = ("tiny", "adpcm")
+
+#: Scale of the default suite (matches ``make bench-smoke``).
+DEFAULT_SUITE_SCALE = 0.2
+
+
+def collect_suite_metrics(
+    workloads: tuple[str, ...] = DEFAULT_SUITE_WORKLOADS,
+    scale: float = DEFAULT_SUITE_SCALE,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Run the benchmark suite and collect its named metrics.
+
+    Every workload is profiled in a **fresh memory-only store** (a warm
+    disk cache would skip the simulations whose counters we snapshot)
+    and evaluated with CASA and Steinke at its smallest scratchpad.
+    Deterministic outputs (energies, hit rates, node/iteration counts)
+    come out bit-identical run over run; only ``wall.seconds`` varies.
+    """
+    # Local imports keep repro.obs importable without the engine.
+    from repro.engine.runner import StageRunner, make_workbench
+    from repro.engine.store import ArtifactStore
+    from repro.obs.metrics import MetricsRegistry, set_registry
+
+    started = time.perf_counter()
+    metrics: dict[str, float] = {}
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        for name in workloads:
+            runner = StageRunner(store=ArtifactStore())
+            workload, bench = make_workbench(
+                name, scale=scale, seed=seed, runner=runner
+            )
+            spm_size = min(workload.spm_sizes)
+            baseline = bench.baseline_result()
+            report = baseline.report
+            prefix = f"{name}"
+            metrics[f"{prefix}.baseline.energy_nj"] = \
+                baseline.total_energy
+            metrics[f"{prefix}.baseline.fetches"] = \
+                float(report.total_fetches)
+            accesses = report.cache_accesses
+            metrics[f"{prefix}.baseline.cache_hit_rate"] = (
+                report.cache_hits / accesses if accesses else 0.0
+            )
+            for algorithm, run in (
+                ("casa", bench.run_casa),
+                ("steinke", bench.run_steinke),
+            ):
+                result = run(spm_size)
+                allocation = result.allocation
+                metrics[f"{prefix}.{algorithm}.energy_nj"] = \
+                    result.total_energy
+                metrics[f"{prefix}.{algorithm}.spm_objects"] = \
+                    float(len(allocation.spm_resident))
+                metrics[f"{prefix}.{algorithm}.solver_nodes"] = \
+                    float(allocation.solver_nodes)
+    finally:
+        set_registry(previous)
+    for counter in ("ilp.bb.nodes", "ilp.lp_solves",
+                    "ilp.lp_iterations", "sim.runs", "sim.fetches"):
+        metrics[f"suite.{counter}"] = registry.value(counter)
+    metrics["wall.seconds"] = time.perf_counter() - started
+    return metrics
+
+
+def record_suite(
+    path: str | Path,
+    name: str = "smoke",
+    workloads: tuple[str, ...] = DEFAULT_SUITE_WORKLOADS,
+    scale: float = DEFAULT_SUITE_SCALE,
+    seed: int = 0,
+    note: str = "",
+) -> Snapshot:
+    """Run the suite, append the snapshot to *path*, and return it."""
+    snapshot = Snapshot(
+        name=name,
+        metrics=collect_suite_metrics(workloads, scale, seed),
+        config={
+            "workloads": list(workloads),
+            "scale": scale,
+            "seed": seed,
+        },
+        recorded_at=time.time(),
+        note=note,
+    )
+    append_snapshot(path, snapshot)
+    return snapshot

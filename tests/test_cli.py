@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -53,6 +55,74 @@ class TestCli:
     def test_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
             main(["fig4", "--workload", "doom"])
+
+
+class TestExplainOutput:
+    def test_explain_header_carries_solver_telemetry(self, capsys):
+        assert main(["explain", "--workload", "tiny", "--spm-size",
+                     "128", "--scale", "0.2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "solver: optimal after" in out
+        assert "proven gap" in out
+
+    def test_sweep_explain_flag(self, capsys):
+        code = main([
+            "sweep", "--workload", "tiny", "--sizes", "64", "128",
+            "--algorithms", "casa", "--scale", "0.2", "--explain",
+            "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CASA at 128 B" in out
+        assert "scratchpad residents" in out
+
+
+class TestEventsFlag:
+    def test_sweep_events_prints_stream_summary(self, capsys):
+        code = main([
+            "sweep", "--workload", "tiny", "--sizes", "64",
+            "--algorithms", "casa", "--scale", "0.2", "--events",
+            "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache events:" in out
+        assert "misses" in out
+
+
+class TestAuditCommand:
+    def test_audit_passes(self, capsys):
+        assert main(["audit", "--workload", "tiny", "--scale", "0.5",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "conflict-graph audit of 'tiny'" in out
+        assert "OK" in out
+
+
+class TestBenchCommand:
+    def test_record_then_compare_round_trip(self, capsys, tmp_path):
+        history = tmp_path / "history.jsonl"
+        assert main(["bench", "record", "--history", str(history),
+                     "--workloads", "tiny", "--scale", "0.2"]) == 0
+        assert "recorded snapshot" in capsys.readouterr().out
+        code = main(["bench", "compare", "--history", str(history),
+                     "--baseline", str(history), "--workloads",
+                     "tiny", "--scale", "0.2"])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_fails_on_drift(self, capsys, tmp_path):
+        history = tmp_path / "history.jsonl"
+        assert main(["bench", "record", "--history", str(history),
+                     "--workloads", "tiny", "--scale", "0.2"]) == 0
+        payload = json.loads(history.read_text().splitlines()[-1])
+        payload["metrics"]["tiny.casa.energy_nj"] += 1.0
+        drifted = tmp_path / "drifted.jsonl"
+        drifted.write_text(json.dumps(payload) + "\n")
+        code = main(["bench", "compare", "--history", str(drifted),
+                     "--baseline", str(history)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
 
 
 class TestReportCommand:

@@ -1,0 +1,179 @@
+"""Cache event auditing: recorder bounds, replay oracle, workload audits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conflict_graph import ConflictGraph, ConflictNode
+from repro.errors import ConfigurationError
+from repro.memory.cache import Cache, CacheConfig
+from repro.obs.events import (
+    CacheEvent,
+    EventRecorder,
+    active_recorder,
+    audit_conflict_graph,
+    audit_workload,
+    recording_enabled,
+    replay_attribution,
+    set_recorder,
+)
+
+
+@pytest.fixture
+def recorder():
+    """An audit-mode recorder installed as the active one."""
+    active = EventRecorder(audit=True)
+    previous = set_recorder(active)
+    yield active
+    set_recorder(previous)
+
+
+def run_alternating(recorder, rounds: int = 5) -> Cache:
+    """Alternate A (line 0) and B (line 2) through one set of a
+    2-set direct-mapped cache: every access misses, and each miss
+    after the first pair is caused by the other object."""
+    cache = Cache(CacheConfig(size=32, line_size=16, associativity=1))
+    for _ in range(rounds):
+        assert cache.access_line(0, "A") is False
+        assert cache.access_line(2, "B") is False
+    return cache
+
+
+class TestRecorder:
+    def test_disabled_by_default(self):
+        assert active_recorder() is None
+        assert not recording_enabled()
+
+    def test_counts_and_pressure(self, recorder):
+        run_alternating(recorder, rounds=5)
+        assert recorder.counts["miss"] == 10
+        assert recorder.counts["evict"] == 9  # all but the first fill
+        assert recorder.counts["hit"] == 0  # hits off by default
+        assert recorder.pressure_histogram() == [(0, 10, 9)]
+
+    def test_hits_recorded_when_asked(self):
+        active = EventRecorder(record_hits=True)
+        previous = set_recorder(active)
+        try:
+            cache = Cache(CacheConfig(size=32, line_size=16,
+                                      associativity=1))
+            cache.access_line(0, "A")
+            cache.access_line(0, "A")
+        finally:
+            set_recorder(previous)
+        assert active.counts["hit"] == 1
+
+    def test_ring_and_reservoir_bounded(self):
+        active = EventRecorder(ring_size=4, reservoir_size=3)
+        previous = set_recorder(active)
+        try:
+            run_alternating(active, rounds=10)
+        finally:
+            set_recorder(previous)
+        assert len(active.ring()) == 4
+        assert len(active.reservoir()) == 3
+        assert active.total_events == 39
+        # The ring holds the newest events, oldest first.
+        assert [e.seq for e in active.ring()] == [35, 36, 37, 38]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EventRecorder(ring_size=0)
+        with pytest.raises(ConfigurationError):
+            EventRecorder(reservoir_size=-1)
+
+    def test_event_json_round_trip(self, recorder):
+        run_alternating(recorder, rounds=2)
+        for event in recorder.events():
+            assert CacheEvent.from_json(event.as_json()) == event
+
+    def test_snapshot_merge(self, recorder):
+        run_alternating(recorder, rounds=3)
+        snapshot = recorder.snapshot()
+        other = EventRecorder()
+        other.merge(snapshot)
+        assert other.total_events == recorder.total_events
+        assert other.counts == recorder.counts
+        assert other.pressure_histogram() == \
+            recorder.pressure_histogram()
+
+    def test_policy_state_recorded(self):
+        active = EventRecorder(audit=True, record_policy_state=True)
+        previous = set_recorder(active)
+        try:
+            run_alternating(active, rounds=2)
+        finally:
+            set_recorder(previous)
+        evicts = [e for e in active.events() if e.kind == "evict"]
+        assert evicts and all(e.policy_state is not None
+                              for e in evicts)
+
+
+class TestReplayOracle:
+    def test_analytic_alternating_conflict(self, recorder):
+        """Two objects sharing one direct-mapped set, N rounds each:
+        m_AB = m_BA = N - 1 and one compulsory miss per object."""
+        rounds = 7
+        run_alternating(recorder, rounds=rounds)
+        replay = replay_attribution(recorder.events())
+        assert replay.conflicts == {
+            ("A", "B"): rounds - 1,
+            ("B", "A"): rounds - 1,
+        }
+        assert replay.compulsory == {"A": 1, "B": 1}
+        assert replay.misses == {"A": rounds, "B": rounds}
+
+    def test_replay_matches_cache_counters(self, recorder):
+        cache = run_alternating(recorder, rounds=5)
+        replay = replay_attribution(recorder.events())
+        assert dict(replay.conflicts) == dict(cache.conflict_misses)
+
+    def test_audit_passes_on_exact_graph(self, recorder):
+        rounds = 4
+        run_alternating(recorder, rounds=rounds)
+        graph = ConflictGraph()
+        graph.add_node(ConflictNode("A", fetches=rounds, size=16,
+                                    compulsory_misses=1))
+        graph.add_node(ConflictNode("B", fetches=rounds, size=16,
+                                    compulsory_misses=1))
+        graph.add_edge("A", "B", rounds - 1)
+        graph.add_edge("B", "A", rounds - 1)
+        assert audit_conflict_graph(graph, recorder.events()) == []
+
+    def test_audit_flags_wrong_edge_and_compulsory(self, recorder):
+        rounds = 4
+        run_alternating(recorder, rounds=rounds)
+        graph = ConflictGraph()
+        graph.add_node(ConflictNode("A", fetches=rounds, size=16,
+                                    compulsory_misses=2))  # wrong
+        graph.add_node(ConflictNode("B", fetches=rounds, size=16,
+                                    compulsory_misses=1))
+        graph.add_edge("A", "B", rounds)  # wrong: should be N - 1
+        graph.add_edge("B", "A", rounds - 1)
+        mismatches = audit_conflict_graph(graph, recorder.events())
+        kinds = sorted(m.kind for m in mismatches)
+        assert kinds == ["compulsory", "edge"]
+        edge = next(m for m in mismatches if m.kind == "edge")
+        assert (edge.victim, edge.evictor) == ("A", "B")
+        assert edge.graph_value == rounds
+        assert edge.replayed_value == rounds - 1
+        assert "graph says" in edge.describe()
+
+
+class TestWorkloadAudit:
+    @pytest.mark.parametrize("workload,scale", [
+        ("tiny", 0.5),
+        ("adpcm", 0.2),
+    ])
+    def test_conflict_graph_is_exact(self, workload, scale):
+        """Acceptance: the profiled conflict graph's m_ij matches the
+        event replay exactly on real workloads."""
+        result = audit_workload(workload, scale=scale)
+        assert result.ok, result.render()
+        assert result.events > 0
+        assert "OK" in result.render()
+
+    def test_recorder_restored_after_audit(self):
+        assert active_recorder() is None
+        audit_workload("tiny", scale=0.5)
+        assert active_recorder() is None

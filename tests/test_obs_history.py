@@ -1,0 +1,139 @@
+"""Benchmark histories: snapshots, JSONL round trips, compare policies."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.history import (
+    ComparePolicy,
+    Snapshot,
+    append_snapshot,
+    compare_snapshots,
+    load_history,
+    machine_fingerprint,
+)
+
+
+def make_snapshot(metrics, name="smoke", **overrides) -> Snapshot:
+    return Snapshot(name=name, metrics=dict(metrics), **overrides)
+
+
+class TestSnapshotIo:
+    def test_json_round_trip(self):
+        snapshot = make_snapshot({"a.energy_nj": 1.5}, note="n",
+                                 recorded_at=12.0)
+        again = Snapshot.from_json(snapshot.as_json())
+        assert again == snapshot
+
+    def test_schema_rejected(self):
+        payload = make_snapshot({"a": 1.0}).as_json()
+        payload["schema"] = 99
+        with pytest.raises(ConfigurationError):
+            Snapshot.from_json(payload)
+
+    def test_append_and_load(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        append_snapshot(path, make_snapshot({"a": 1.0}, name="first"))
+        append_snapshot(path, make_snapshot({"a": 2.0}, name="second"))
+        snapshots = load_history(path)
+        assert [s.name for s in snapshots] == ["first", "second"]
+        assert snapshots[-1].metrics == {"a": 2.0}
+
+    def test_load_missing_and_empty(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_history(tmp_path / "absent.jsonl")
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        with pytest.raises(ConfigurationError):
+            load_history(empty)
+
+    def test_load_bad_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError, match="bad.jsonl:1"):
+            load_history(path)
+
+
+class TestComparePolicy:
+    def test_deterministic_metrics_are_exact(self):
+        policy = ComparePolicy()
+        assert policy.tolerance_for("tiny.casa.energy_nj") == 0.0
+
+    def test_timing_metrics_get_the_band(self):
+        policy = ComparePolicy(timing_tolerance=2.0)
+        assert policy.tolerance_for("wall.seconds") == 2.0
+        assert policy.tolerance_for("stage.duration_ms") == 2.0
+
+    def test_explicit_override_wins(self):
+        policy = ComparePolicy(tolerances={"wall.seconds": 0.0})
+        assert policy.tolerance_for("wall.seconds") == 0.0
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        base = make_snapshot({"a": 1.0, "wall.seconds": 0.2})
+        result = compare_snapshots(base, make_snapshot(base.metrics))
+        assert result.ok
+        assert result.checked == 2
+        assert "OK" in result.render()
+
+    def test_deterministic_deviation_regresses(self):
+        base = make_snapshot({"a.energy_nj": 100.0})
+        latest = make_snapshot({"a.energy_nj": 100.0001})
+        result = compare_snapshots(base, latest)
+        assert not result.ok
+        assert result.regressions[0].metric == "a.energy_nj"
+        assert "exact match required" in \
+            result.regressions[0].describe()
+
+    def test_timing_within_band_passes(self):
+        base = make_snapshot({"wall.seconds": 0.1})
+        latest = make_snapshot({"wall.seconds": 0.4})
+        assert compare_snapshots(base, latest).ok
+
+    def test_timing_outside_band_regresses(self):
+        base = make_snapshot({"wall.seconds": 0.1})
+        latest = make_snapshot({"wall.seconds": 0.1 * 7})
+        result = compare_snapshots(base, latest)
+        assert not result.ok
+        assert "tolerance" in result.regressions[0].describe()
+
+    def test_missing_metric_regresses_new_metric_passes(self):
+        base = make_snapshot({"a": 1.0, "gone": 2.0})
+        latest = make_snapshot({"a": 1.0, "fresh": 3.0})
+        result = compare_snapshots(base, latest)
+        assert not result.ok
+        assert result.regressions[0].metric == "gone"
+        assert result.regressions[0].latest is None
+        assert result.new_metrics == ["fresh"]
+        assert "fresh" in result.render()
+
+    def test_fingerprint_change_is_a_note_not_a_failure(self):
+        base = make_snapshot({"a": 1.0},
+                             fingerprint={"python": "0.0"})
+        latest = make_snapshot({"a": 1.0},
+                               fingerprint=machine_fingerprint())
+        result = compare_snapshots(base, latest)
+        assert result.ok
+        assert result.fingerprint_changed
+        assert "fingerprint differs" in result.render()
+
+    def test_render_lists_every_regression(self):
+        base = make_snapshot({"a": 1.0, "b": 2.0})
+        latest = make_snapshot({"a": 9.0, "b": 8.0})
+        rendered = compare_snapshots(base, latest).render()
+        assert "2 REGRESSION(S)" in rendered
+        assert "a: 1 -> 9" in rendered
+
+
+def test_history_lines_are_sorted_json(tmp_path):
+    """Lines are stable (sorted keys) so committed baselines diff
+    cleanly."""
+    path = tmp_path / "history.jsonl"
+    append_snapshot(path, make_snapshot({"b": 2.0, "a": 1.0}))
+    line = path.read_text().strip()
+    payload = json.loads(line)
+    assert line == json.dumps(payload, sort_keys=True)
