@@ -22,9 +22,13 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Cold/warm engine smoke: one tiny design point per exhibit, asserting
-# that a warm artifact cache does zero profiling or simulation work.
+# that a warm artifact cache does zero profiling or simulation work,
+# that the vector kernel is >=5x the reference on a fig4-shaped sweep,
+# and that the kernel's differential verification passes.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_smoke.py
+	$(PYTHON) -m repro verify-kernel --workloads tiny adpcm \
+		--trials 10 --scale 0.5 --no-cache
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

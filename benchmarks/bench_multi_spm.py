@@ -29,7 +29,7 @@ def results(mpeg_bench):
     split = MultiScratchpadAllocator([
         ScratchpadSpec("spm0", 256),
         ScratchpadSpec("spm1", 256),
-    ], relative_gap=0.01).allocate(graph, model)
+    ], relative_gap=0.01).allocate(graph, energy=model)
     return single, split
 
 
@@ -42,7 +42,7 @@ def test_multi_spm_report(benchmark, mpeg_bench, results):
         return MultiScratchpadAllocator([
             ScratchpadSpec("spm0", 256),
             ScratchpadSpec("spm1", 256),
-        ], relative_gap=0.01).allocate(graph, model)
+        ], relative_gap=0.01).allocate(graph, energy=model)
 
     benchmark.pedantic(solve_split, rounds=1, iterations=1)
 

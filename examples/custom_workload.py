@@ -12,14 +12,7 @@ Usage::
     python examples/custom_workload.py
 """
 
-from repro import (
-    CacheConfig,
-    CasaAllocator,
-    GreedyCasaAllocator,
-    SteinkeAllocator,
-    Workbench,
-    WorkbenchConfig,
-)
+from repro import CacheConfig, CasaAllocator, Session
 from repro.traces import TraceGenConfig
 from repro.workloads import Call, Loop, ProgramBuilder, Seq, Straight
 
@@ -48,28 +41,30 @@ def build_program():
 
 def main() -> None:
     program = build_program()
-    bench = Workbench(program, WorkbenchConfig(
-        cache=CacheConfig(size=256, line_size=16, associativity=1),
+    spm_size = 128
+    session = Session(
+        program,
+        CacheConfig(size=256, line_size=16, associativity=1),
+        spm_size,
         tracegen=TraceGenConfig(line_size=16, max_trace_size=128),
-    ))
+    )
 
     print(f"program: {program.size} B, "
-          f"{len(bench.memory_objects)} memory objects")
-    report = bench.baseline_report
+          f"{len(session.workbench.memory_objects)} memory objects")
+    report = session.simulate()
     print(f"baseline: {report.cache_misses} misses "
           f"({report.conflict_miss_total} conflict)")
 
-    graph = bench.conflict_graph
+    graph = session.conflict_graph()
     print("\nconflict graph (DOT):")
     print(graph.to_dot())
 
-    spm_size = 128
-    model = bench.spm_energy_model(spm_size)
+    model = session.energy_model()
     print(f"\nallocations for a {spm_size} B scratchpad:")
     for allocator_result, label in (
-        (bench.run_casa(spm_size), "CASA (exact ILP)"),
-        (bench.run_greedy(spm_size), "greedy CASA"),
-        (bench.run_steinke(spm_size), "Steinke (cache-blind)"),
+        (session.evaluate("casa"), "CASA (exact ILP)"),
+        (session.evaluate("greedy"), "greedy CASA"),
+        (session.evaluate("steinke"), "Steinke (cache-blind)"),
     ):
         report = allocator_result.report
         print(f"  {label:22s}: "

@@ -44,7 +44,7 @@ def main() -> None:
 
     allocator = MultiScratchpadAllocator(specs)
     model = bench.spm_energy_model(128)  # cache energies are what matter
-    allocation = allocator.allocate(bench.conflict_graph, model)
+    allocation = allocator.allocate(bench.conflict_graph, energy=model)
 
     graph = bench.conflict_graph
     headers = ["object", "scratchpad", "size B", "fetches"]

@@ -13,7 +13,7 @@ Usage::
 
 import sys
 
-from repro import Workbench, WorkbenchConfig, get_workload
+from repro import Session, get_workload
 from repro.core.phases import detect_phases
 from repro.traces import TraceGenConfig
 from repro.utils.tables import format_table
@@ -31,13 +31,13 @@ def main() -> None:
         print(f"  phase {phase.index}: {phase.name} "
               f"({len(phase.blocks)} top-level blocks)")
 
-    bench = Workbench(workload.program, WorkbenchConfig(
-        cache=workload.cache,
+    session = Session(
+        workload.program, workload.cache, spm_size,
         tracegen=TraceGenConfig(line_size=16, max_trace_size=spm_size),
-    ))
+    )
 
-    static = bench.run_casa(spm_size)
-    overlay = bench.run_overlay(spm_size)
+    static = session.evaluate("casa")
+    overlay = session.evaluate("overlay")
 
     headers = ["allocation", "energy uJ", "I-cache misses",
                "SPM accesses", "copy words"]

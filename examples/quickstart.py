@@ -2,43 +2,41 @@
 """Quickstart: allocate a scratchpad for a small workload with CASA.
 
 Runs the full pipeline of the paper's figure 3 on the bundled `tiny`
-workload: execute + profile, generate traces, simulate the baseline
-cache, build the conflict graph, solve the CASA ILP, and re-simulate
-with the chosen objects on the scratchpad.
+workload through the :class:`repro.Session` facade: execute + profile,
+generate traces, simulate the baseline cache, build the conflict
+graph, solve the CASA ILP, and re-simulate with the chosen objects on
+the scratchpad.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro import Workbench, WorkbenchConfig, get_workload
-from repro.traces import TraceGenConfig
+from repro import Session
 from repro.utils.units import format_energy
 
 
 def main() -> None:
-    workload = get_workload("tiny")
-    bench = Workbench(
-        workload.program,
-        WorkbenchConfig(
-            cache=workload.cache,
-            tracegen=TraceGenConfig(
-                line_size=workload.cache.line_size, max_trace_size=64
-            ),
-        ),
-    )
+    session = Session("tiny")
+    bench = session.workbench   # the underlying pipeline, when needed
 
-    print(f"workload: {workload.name} ({workload.program.size} bytes, "
-          f"{workload.program.num_blocks} basic blocks)")
+    program = bench.program
+    print(f"workload: tiny ({program.size} bytes, "
+          f"{program.num_blocks} basic blocks)")
     print(f"traces (memory objects): {len(bench.memory_objects)}")
     for mo in bench.memory_objects:
         print(f"  {mo.describe()}")
 
-    baseline = bench.baseline_result()
-    print(f"\ncache-only energy: {format_energy(baseline.total_energy)}")
+    graph = session.conflict_graph()
+    print(f"conflict graph: {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges")
+
+    baseline = session.evaluate("baseline")
+    print(f"\ncache-only energy: "
+          f"{format_energy(baseline.total_energy)}")
 
     for spm_size in (64, 128):
-        result = bench.run_casa(spm_size)
+        result = session.evaluate("casa", spm_size=spm_size)
         saving = (1 - result.total_energy / baseline.total_energy) * 100
         print(f"\nscratchpad {spm_size} B  (CASA)")
         print(f"  resident objects : "

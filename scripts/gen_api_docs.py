@@ -27,7 +27,11 @@ OUTPUT = REPO_ROOT / "docs" / "API.md"
 
 #: The curated public API, in presentation order.
 MODULES = (
+    "repro.api",
     "repro.core.pipeline",
+    "repro.memory.kernel.stream",
+    "repro.memory.kernel.vector",
+    "repro.memory.kernel.verify",
     "repro.engine.artifacts",
     "repro.engine.store",
     "repro.engine.runner",

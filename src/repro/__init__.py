@@ -10,26 +10,25 @@ solver, the Steinke and Ross baselines, and the figure/table harnesses.
 
 Quickstart::
 
-    from repro import Workbench, WorkbenchConfig, get_workload
-    from repro.traces import TraceGenConfig
+    from repro import Session
 
-    workload = get_workload("mpeg", scale=0.1)
-    bench = Workbench(
-        workload.program,
-        WorkbenchConfig(
-            cache=workload.cache,
-            tracegen=TraceGenConfig(
-                line_size=workload.cache.line_size, max_trace_size=128
-            ),
-        ),
-    )
-    result = bench.run_casa(spm_size=256)
+    session = Session("mpeg", spm_size=256, scale=0.1)
+    result = session.evaluate("casa")
     print(result.energy.total, result.allocation.spm_resident)
+
+:class:`~repro.api.Session` wraps the full figure-3 pipeline; the
+underlying pieces (:class:`~repro.core.pipeline.Workbench`, the
+allocator classes, :func:`~repro.core.make_allocator`) stay public
+for fine-grained control.
 """
 
+from repro.api import Session
 from repro.core import (
+    ALLOCATOR_NAMES,
     Allocation,
+    Allocator,
     CasaAllocator,
+    make_allocator,
     CasaConfig,
     ConflictGraph,
     ExperimentResult,
@@ -50,7 +49,11 @@ from repro.workloads import available_workloads, get_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALLOCATOR_NAMES",
     "Allocation",
+    "Allocator",
+    "Session",
+    "make_allocator",
     "CasaAllocator",
     "CasaConfig",
     "ConflictGraph",

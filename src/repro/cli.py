@@ -10,6 +10,9 @@ Commands:
   file) a per-run report of stage timings and cache hit rates;
 * ``audit`` — replay recorded cache events against the conflict graph
   (the ``m_ij`` correctness oracle);
+* ``verify-kernel`` — differentially verify the vectorized simulation
+  kernel against the reference simulator (non-zero exit on any
+  difference);
 * ``bench`` — benchmark regression tracking (``record`` a metric
   snapshot / ``compare`` against a committed baseline, non-zero exit
   on regression);
@@ -18,7 +21,9 @@ Commands:
 Every experiment command consults the engine's content-addressed
 artifact cache (on disk under ``--cache-dir``, default ``.casa_cache``
 or ``$CASA_CACHE_DIR``); ``--no-cache`` disables the disk tier and
-``--jobs N`` fans sweep design points across worker processes.  The
+``--jobs N`` fans sweep design points across worker processes, and
+``--backend`` selects the simulation backend (``reference`` |
+``vector`` | ``auto``).  The
 sweep-shaped commands (``sweep``, ``fig4``, ``fig5``, ``table1``,
 ``dse``) additionally accept ``--trace FILE`` (record a Chrome-trace
 run file, viewable in ``chrome://tracing`` / Perfetto and readable by
@@ -34,12 +39,13 @@ import os
 import sys
 from typing import Callable
 
+from repro.api import Session
 from repro.engine.runner import RunRecord
 from repro.engine.store import ArtifactStore, CACHE_DIR_ENV, \
     set_default_store
 from repro.evaluation.fig4 import run_fig4
 from repro.evaluation.fig5 import run_fig5
-from repro.evaluation.sweep import make_workbench, run_sweep
+from repro.evaluation.sweep import run_sweep
 from repro.evaluation.table1 import run_table1
 from repro.evaluation.reporting import microjoules, percent
 from repro.obs.events import EventRecorder, set_recorder
@@ -53,6 +59,12 @@ from repro.workloads.registry import available_workloads
 
 def _default_cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV) or ".casa_cache"
+
+
+def _session(args: argparse.Namespace) -> Session:
+    """The command's workload/scale/seed/backend as one Session."""
+    return Session(args.workload, scale=args.scale, seed=args.seed,
+                   backend=args.backend)
 
 
 def _add_scale(parser: argparse.ArgumentParser,
@@ -73,6 +85,13 @@ def _add_scale(parser: argparse.ArgumentParser,
     parser.add_argument(
         "--no-cache", action="store_true",
         help="do not read or write the on-disk artifact cache",
+    )
+    parser.add_argument(
+        "--backend", default=None,
+        choices=("reference", "vector", "auto"),
+        help="simulation backend (default: $CASA_BACKEND, then "
+             "'auto' = the vectorized kernel whenever it can replay "
+             "the run exactly)",
     )
     if jobs:
         parser.add_argument(
@@ -224,6 +243,23 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--top", type=int, default=8,
                        help="hottest cache sets to list (default 8)")
     _add_scale(audit)
+
+    verify = sub.add_parser(
+        "verify-kernel",
+        help="differentially verify the vector kernel against the "
+             "reference simulator; non-zero exit on any difference",
+    )
+    verify.add_argument(
+        "--workloads", nargs="+", default=None,
+        choices=available_workloads(), metavar="WORKLOAD",
+        help="workloads of the end-to-end and audit checks "
+             "(default: tiny adpcm)",
+    )
+    verify.add_argument(
+        "--trials", type=int, default=50,
+        help="randomized probe-level trials (default 50)",
+    )
+    _add_scale(verify)
 
     bench = sub.add_parser(
         "bench",
@@ -473,7 +509,7 @@ def main(argv: list[str] | None = None) -> int:
         def run_fig4_command(record: RunRecord) -> int:
             result = run_fig4(args.workload, scale=args.scale,
                               seed=args.seed, jobs=args.jobs,
-                              record=record)
+                              record=record, backend=args.backend)
             print(result.render_chart() if args.chart
                   else result.render())
             print(f"average energy improvement: "
@@ -485,7 +521,7 @@ def main(argv: list[str] | None = None) -> int:
         def run_fig5_command(record: RunRecord) -> int:
             result = run_fig5(args.workload, scale=args.scale,
                               seed=args.seed, jobs=args.jobs,
-                              record=record)
+                              record=record, backend=args.backend)
             print(result.render_chart() if args.chart
                   else result.render())
             print(f"average energy improvement: "
@@ -496,7 +532,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "table1":
         def run_table1_command(record: RunRecord) -> int:
             result = run_table1(scale=args.scale, seed=args.seed,
-                                jobs=args.jobs, record=record)
+                                jobs=args.jobs, record=record,
+                                backend=args.backend)
             print(result.render())
             print(f"overall: {percent(result.overall_vs_steinke)}% "
                   f"vs. Steinke, "
@@ -515,6 +552,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 jobs=args.jobs,
                 record=record,
+                backend=args.backend,
             )
             headers = ["size (B)"] + [f"{a} (uJ)"
                                       for a in args.algorithms]
@@ -533,29 +571,27 @@ def main(argv: list[str] | None = None) -> int:
                     render_explanation,
                     solver_summary,
                 )
-                _, bench = make_workbench(args.workload, args.scale,
-                                          args.seed)
+                session = _session(args)
                 point = points[-1]
                 allocation = point.result("casa").allocation
-                model = bench.spm_energy_model(point.spm_size)
+                model = session.energy_model(point.spm_size)
                 print(f"\nCASA at {point.spm_size} B "
                       f"({allocation.used_bytes} B used); "
                       f"{solver_summary(allocation)}\n")
                 print(render_explanation(explain_allocation(
-                    bench.conflict_graph, allocation, model
+                    session.conflict_graph(), allocation, model
                 )))
             return 0
         return _run_observed(args, run_sweep_command)
 
     if args.command == "graph":
-        _, bench = make_workbench(args.workload, args.scale, args.seed)
-        print(bench.conflict_graph.to_dot())
+        print(_session(args).conflict_graph().to_dot())
         return 0
 
     if args.command == "overlay":
-        _, bench = make_workbench(args.workload, args.scale, args.seed)
-        static = bench.run_casa(args.spm_size)
-        overlay = bench.run_overlay(args.spm_size)
+        session = _session(args)
+        static = session.evaluate("casa", args.spm_size)
+        overlay = session.evaluate("overlay", args.spm_size)
         gain = (1 - overlay.energy.total / static.energy.total) * 100
         print(f"static CASA : {microjoules(static.energy.total)} uJ")
         print(f"overlay     : {microjoules(overlay.energy.total)} uJ "
@@ -567,11 +603,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.wcet import compute_wcet
         from repro.traces.layout import LinkedImage
 
-        _, bench = make_workbench(args.workload, args.scale, args.seed)
+        session = _session(args)
+        bench = session.workbench
         baseline_image = LinkedImage(bench.program,
                                      bench.memory_objects)
         baseline = compute_wcet(bench.program, baseline_image)
-        result = bench.run_casa(args.spm_size)
+        result = session.evaluate("casa", args.spm_size)
         image = LinkedImage(
             bench.program, bench.memory_objects,
             spm_resident=result.allocation.spm_resident,
@@ -593,7 +630,8 @@ def main(argv: list[str] | None = None) -> int:
         def run_dse_command(record: RunRecord) -> int:
             points = explore(args.workload, args.budget,
                              scale=args.scale, seed=args.seed,
-                             jobs=args.jobs, record=record)
+                             jobs=args.jobs, record=record,
+                             backend=args.backend)
             print(render_design_points(points, top=args.top))
             best = points[0]
             print(f"best: {best.cache_size}B cache + {best.spm_size}B "
@@ -602,20 +640,17 @@ def main(argv: list[str] | None = None) -> int:
         return _run_observed(args, run_dse_command)
 
     if args.command == "explain":
-        from repro.core.casa import CasaAllocator
         from repro.evaluation.explain import (
             explain_allocation,
             render_explanation,
             solver_summary,
         )
 
-        _, bench = make_workbench(args.workload, args.scale, args.seed)
-        model = bench.spm_energy_model(args.spm_size)
-        allocation = CasaAllocator().allocate(
-            bench.conflict_graph, args.spm_size, model
-        )
+        session = _session(args)
+        model = session.energy_model(args.spm_size)
+        allocation = session.allocate("casa", args.spm_size)
         explanations = explain_allocation(
-            bench.conflict_graph, allocation, model
+            session.conflict_graph(), allocation, model
         )
         print(f"CASA on {args.workload}, {args.spm_size} B scratchpad "
               f"({allocation.used_bytes} B used)")
@@ -627,10 +662,20 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.events import audit_workload
 
         result = audit_workload(args.workload, scale=args.scale,
-                                seed=args.seed)
+                                seed=args.seed, backend=args.backend)
         print(result.render())
         print(result.recorder.render(top=args.top))
         return 0 if result.ok else 1
+
+    if args.command == "verify-kernel":
+        from repro.memory.kernel import verify_kernel
+
+        report = verify_kernel(
+            workloads=args.workloads, trials=args.trials,
+            seed=args.seed, scale=args.scale,
+        )
+        print(report.render())
+        return 0 if report.ok else 1
 
     if args.command == "report":
         from repro.evaluation.reportgen import generate_report
@@ -649,11 +694,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         from repro.traces.layout import LinkedImage
 
-        workload, bench = make_workbench(args.workload, args.scale,
-                                         args.seed)
+        session = _session(args)
+        bench = session.workbench
         image = LinkedImage(bench.program, bench.memory_objects)
-        pressures = cache_set_pressure(image, workload.cache,
-                                       bench.conflict_graph)
+        pressures = cache_set_pressure(image, bench.config.cache,
+                                       session.conflict_graph())
         print(render_pressure_table(pressures, top=args.top))
         return 0
 

@@ -12,9 +12,16 @@
   paper sketches in section 4;
 * :mod:`repro.core.pipeline` — the end-to-end experimental workflow of
   figure 3.
+
+Every allocator conforms to the :class:`Allocator` protocol —
+``allocate(graph, capacity, energy, *, context)`` — and can be built
+by name through :func:`make_allocator`, which is what the
+:class:`repro.api.Session` facade and the CLI use.
 """
 
-from repro.core.allocation import Allocation
+from typing import Any, Protocol, runtime_checkable
+
+from repro.core.allocation import Allocation, AllocationContext
 from repro.core.annealing import AnnealingAllocator, AnnealingConfig
 from repro.core.casa import CasaAllocator, CasaConfig
 from repro.core.conflict_graph import ConflictGraph, ConflictNode
@@ -40,9 +47,100 @@ from repro.core.unified import (
     UnifiedCasaAllocator,
     unified_steinke,
 )
+from repro.energy.model import EnergyModel
+from repro.errors import ConfigurationError
+from repro.memory.loopcache import LoopCacheConfig
+
+
+@runtime_checkable
+class Allocator(Protocol):
+    """The unified allocator interface.
+
+    Every allocation method — CASA's ILP, Steinke's knapsack, the
+    greedy and annealing ablations, Ross's loop-cache heuristic, the
+    multi-scratchpad extension — exposes one entry point:
+
+    ``allocate(graph, capacity, energy, *, context)``
+
+    where *graph* is the profiled conflict graph, *capacity* the
+    scratchpad / loop-cache budget in bytes, *energy* the per-event
+    energy model, and *context* an optional
+    :class:`~repro.core.allocation.AllocationContext` carrying the
+    profiled program, memory objects and baseline image for methods
+    that inspect program structure (Ross).  Allocators ignore the
+    inputs they do not need.
+    """
+
+    name: str
+
+    def allocate(
+        self,
+        graph: ConflictGraph,
+        capacity: int | None = None,
+        energy: EnergyModel | None = None,
+        *,
+        context: AllocationContext | None = None,
+    ) -> Any:
+        """Decide an allocation for *graph* within *capacity* bytes."""
+        ...
+
+
+#: Allocator factories keyed by canonical (lower-case, dash) name.
+_ALLOCATOR_FACTORIES = {
+    "casa": lambda cfg: CasaAllocator(CasaConfig(**cfg))
+    if cfg else CasaAllocator(),
+    "steinke": lambda cfg: SteinkeAllocator(**cfg),
+    "greedy": lambda cfg: GreedyCasaAllocator(**cfg),
+    "greedy-casa": lambda cfg: GreedyCasaAllocator(**cfg),
+    "anneal": lambda cfg: AnnealingAllocator(AnnealingConfig(**cfg))
+    if cfg else AnnealingAllocator(),
+    "annealing": lambda cfg: AnnealingAllocator(AnnealingConfig(**cfg))
+    if cfg else AnnealingAllocator(),
+    "ross": lambda cfg: RossLoopCacheAllocator(LoopCacheConfig(**cfg)),
+    "multi-spm": lambda cfg: MultiScratchpadAllocator(**cfg),
+    "casa-multi-spm": lambda cfg: MultiScratchpadAllocator(**cfg),
+}
+
+#: Canonical names :func:`make_allocator` accepts.
+ALLOCATOR_NAMES = tuple(sorted(_ALLOCATOR_FACTORIES))
+
+
+def make_allocator(name: str, **cfg: Any) -> Allocator:
+    """Build an allocator by name.
+
+    Args:
+        name: one of :data:`ALLOCATOR_NAMES` (case-insensitive;
+            underscores and dashes are interchangeable).
+        **cfg: options forwarded to the allocator's configuration —
+            e.g. ``make_allocator("casa", conflict_term=False)``,
+            ``make_allocator("ross", size=256, max_regions=4)`` or
+            ``make_allocator("anneal", iterations=2000)``.
+
+    Raises:
+        ConfigurationError: for an unknown name or options the named
+            allocator does not accept.
+    """
+    key = name.strip().lower().replace("_", "-")
+    factory = _ALLOCATOR_FACTORIES.get(key)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown allocator {name!r}; choose from "
+            f"{', '.join(ALLOCATOR_NAMES)}"
+        )
+    try:
+        return factory(dict(cfg))
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad options for allocator {name!r}: {exc}"
+        ) from None
+
 
 __all__ = [
+    "ALLOCATOR_NAMES",
     "Allocation",
+    "AllocationContext",
+    "Allocator",
+    "make_allocator",
     "AnnealingAllocator",
     "AnnealingConfig",
     "OverlayAllocation",

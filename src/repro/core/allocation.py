@@ -1,11 +1,42 @@
-"""Allocation results shared by all allocators."""
+"""Allocation results and inputs shared by all allocators."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.memory.loopcache import LoopRegion
 from repro.traces.layout import Placement
+
+if TYPE_CHECKING:
+    from repro.program.program import Program
+    from repro.traces.layout import LinkedImage
+    from repro.traces.memory_object import MemoryObject
+
+
+@dataclass(frozen=True)
+class AllocationContext:
+    """Profiling context an allocator may consult beyond the graph.
+
+    Most allocators decide from the conflict graph and the energy
+    model alone; the ones that inspect program structure (Ross's
+    loop-region heuristic) additionally receive the profiled program,
+    its memory objects and the baseline linked image through this
+    bundle.  The unified ``allocate(graph, capacity, energy, *,
+    context)`` protocol (see :class:`repro.core.Allocator`) passes it
+    to every allocator, which is free to ignore it.
+
+    Attributes:
+        program: the profiled program.
+        memory_objects: the trace-formation output.
+        image: the baseline (cache-only) linked image.
+        extras: free-form additional inputs for future allocators.
+    """
+
+    program: "Program | None" = None
+    memory_objects: "list[MemoryObject] | None" = None
+    image: "LinkedImage | None" = None
+    extras: dict[str, Any] | None = None
 
 
 @dataclass

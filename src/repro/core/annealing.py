@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.allocation import Allocation
+from repro.core.allocation import Allocation, AllocationContext
 from repro.core.conflict_graph import ConflictGraph
 from repro.energy.model import EnergyModel
 from repro.traces.layout import Placement
@@ -53,12 +53,16 @@ class AnnealingAllocator:
         graph: ConflictGraph,
         spm_size: int,
         energy: EnergyModel,
+        *,
+        context: AllocationContext | None = None,
     ) -> Allocation:
         """Anneal from the empty allocation.
 
         Moves that would overflow the scratchpad are rejected outright;
         uphill moves are accepted with the Metropolis probability.
+        *context* is accepted for protocol conformance and ignored.
         """
+        del context
         config = self._config
         rng = DeterministicRng(config.seed)
         candidates = [

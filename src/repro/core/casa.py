@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.allocation import Allocation
+from repro.core.allocation import Allocation, AllocationContext
 from repro.core.conflict_graph import ConflictGraph
 from repro.energy.model import EnergyModel
 from repro.errors import SolverError
@@ -162,13 +162,20 @@ class CasaAllocator:
         graph: ConflictGraph,
         spm_size: int,
         energy: EnergyModel,
+        *,
+        context: AllocationContext | None = None,
     ) -> Allocation:
         """Pick the optimal scratchpad-resident set.
+
+        *context* is accepted for :class:`repro.core.Allocator`
+        protocol conformance and ignored — the ILP decides from the
+        graph and the energy model alone.
 
         Raises:
             SolverError: if the ILP cannot be solved to optimality
                 within the node limit.
         """
+        del context
         model, location = self.build_model(graph, spm_size, energy)
         if not location:
             return Allocation(

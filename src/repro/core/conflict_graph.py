@@ -15,6 +15,7 @@ replaced its lines.  Two refinements the implementation keeps explicit
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import networkx as nx
 
@@ -189,19 +190,26 @@ class ConflictGraph:
             + sum(node.self_misses for node in self._nodes.values())
         )
 
-    def subgraph(self, names: set[str] | frozenset[str]
-                 ) -> "ConflictGraph":
+    def subgraph(self, names: "Iterable[str]") -> "ConflictGraph":
         """Restriction of the graph to *names* (edges inside the set).
 
         Useful to focus the ILP on the hottest objects of very large
         programs.
+
+        Node and edge insertion order of the result follow *this*
+        graph's insertion (layout) order — never the iteration order
+        of *names*, which may be an unordered set.  Two graphs built
+        from bit-identical simulations therefore produce bit-identical
+        subgraphs (same ``node_names``, same ``edges()`` order)
+        whatever container the caller restricts by.
         """
-        unknown = set(names) - set(self._nodes)
+        chosen = frozenset(names)
+        unknown = chosen - set(self._nodes)
         if unknown:
             raise ConfigurationError(f"unknown objects: {sorted(unknown)}")
         result = ConflictGraph()
         for node in self._nodes.values():
-            if node.name in names:
+            if node.name in chosen:
                 result.add_node(ConflictNode(
                     name=node.name,
                     fetches=node.fetches,
@@ -210,14 +218,19 @@ class ConflictGraph:
                     self_misses=node.self_misses,
                 ))
         for (victim, evictor), weight in self._edges.items():
-            if victim in names and evictor in names:
+            if victim in chosen and evictor in chosen:
                 result.add_edge(victim, evictor, weight)
         return result
 
     def hottest(self, count: int) -> "ConflictGraph":
-        """Subgraph of the *count* objects with the most fetches."""
+        """Subgraph of the *count* objects with the most fetches.
+
+        Ties are broken by insertion order (the sort is stable), and
+        the resulting subgraph keeps this graph's insertion order, so
+        the selection is fully deterministic.
+        """
         ranked = sorted(self._nodes.values(), key=lambda n: -n.fetches)
-        return self.subgraph({node.name for node in ranked[:count]})
+        return self.subgraph(node.name for node in ranked[:count])
 
     # ------------------------------------------------------------------
     # Energy prediction (the model behind eqs. 11/12)

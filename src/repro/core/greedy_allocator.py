@@ -10,7 +10,7 @@ quantifies what exactness buys.
 
 from __future__ import annotations
 
-from repro.core.allocation import Allocation
+from repro.core.allocation import Allocation, AllocationContext
 from repro.core.conflict_graph import ConflictGraph
 from repro.energy.model import EnergyModel
 from repro.traces.layout import Placement
@@ -29,8 +29,14 @@ class GreedyCasaAllocator:
         graph: ConflictGraph,
         spm_size: int,
         energy: EnergyModel,
+        *,
+        context: AllocationContext | None = None,
     ) -> Allocation:
-        """Iteratively pick the best gain-per-byte object that fits."""
+        """Iteratively pick the best gain-per-byte object that fits.
+
+        *context* is accepted for protocol conformance and ignored.
+        """
+        del context
         selected: set[str] = set()
         remaining = spm_size
         current = graph.predicted_energy(

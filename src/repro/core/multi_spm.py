@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.allocation import AllocationContext
 from repro.core.conflict_graph import ConflictGraph
 from repro.energy.banakar import scratchpad_access_energy
 from repro.energy.model import EnergyModel
@@ -101,12 +102,28 @@ class MultiScratchpadAllocator:
         self._relative_gap = relative_gap
 
     def allocate(self, graph: ConflictGraph,
-                 energy: EnergyModel) -> MultiSpmAllocation:
+                 capacity: int | None = None,
+                 energy: EnergyModel | None = None,
+                 *,
+                 context: AllocationContext | None = None
+                 ) -> MultiSpmAllocation:
         """Solve the extended ILP.
 
-        *energy* supplies the cache hit/miss energies; each scratchpad's
-        access energy comes from its spec.
+        Follows the unified allocator protocol: *capacity* and
+        *context* are accepted and ignored — each scratchpad's
+        capacity comes from its :class:`ScratchpadSpec`.  *energy*
+        supplies the cache hit/miss energies; each scratchpad's access
+        energy comes from its spec.
+
+        Raises:
+            SolverError: when *energy* is omitted, or when the ILP
+                cannot be solved within the node limit.
         """
+        del capacity, context
+        if energy is None:
+            raise SolverError(
+                "multi-scratchpad allocation requires an energy model"
+            )
         model = Model("casa-multi-spm", Sense.MINIMIZE)
         assign: dict[tuple[str, str], object] = {}
         location: dict[str, LinExpr] = {}

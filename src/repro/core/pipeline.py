@@ -18,17 +18,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.allocation import Allocation
+from repro.core.allocation import Allocation, AllocationContext
 from repro.engine.artifacts import (
     AllocationArtifact,
     BaselineSimArtifact,
     ConflictGraphArtifact,
     ExecutionArtifact,
+    StreamArtifact,
     TraceArtifact,
     baseline_digest,
     execution_digest,
     graph_digest,
     result_digest,
+    stream_digest,
     trace_digest,
 )
 from repro.engine.runner import StageRunner
@@ -45,7 +47,12 @@ from repro.energy.model import (
 )
 from repro.errors import ConfigurationError
 from repro.memory.cache import CacheConfig
-from repro.memory.hierarchy import HierarchyConfig, simulate
+from repro.memory.hierarchy import (
+    HierarchyConfig,
+    resolve_backend,
+    simulate,
+)
+from repro.memory.kernel import FetchStream, compile_stream
 from repro.memory.loopcache import LoopCacheConfig
 from repro.memory.stats import SimulationReport
 from repro.obs.trace import span
@@ -71,6 +78,11 @@ class WorkbenchConfig:
         seed: executor seed for probabilistic branches.
         main_base: base address of the main-memory code image.
         spm_base: base address of the scratchpad region.
+        backend: simulation backend — ``reference``, ``vector`` or
+            ``auto`` (``None`` consults the ``CASA_BACKEND``
+            environment variable, then defaults to ``auto``).  The
+            loop-cache, overlay and phase-tracked simulations always
+            use the reference interpreter regardless of this knob.
     """
 
     cache: CacheConfig = CacheConfig()
@@ -78,6 +90,7 @@ class WorkbenchConfig:
     seed: int = 0
     main_base: int = MAIN_BASE
     spm_base: int = SPM_BASE
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.cache.line_size != self.tracegen.line_size:
@@ -85,6 +98,7 @@ class WorkbenchConfig:
                 "trace padding must match the cache line size "
                 f"({self.tracegen.line_size} != {self.cache.line_size})"
             )
+        resolve_backend(self.backend)
 
 
 @dataclass
@@ -140,6 +154,7 @@ class Workbench:
             )),
         )
         self._memory_objects = trace.memory_objects
+        self._trace_key = trace_key
 
         self._baseline_image = LinkedImage(
             program,
@@ -156,10 +171,8 @@ class Workbench:
         )
         baseline = self._runner.resolve(
             "baseline", base_key,
-            lambda: BaselineSimArtifact(base_key, simulate(
-                self._baseline_image,
-                self._baseline_config,
-                self._block_sequence,
+            lambda: BaselineSimArtifact(base_key, self._simulate_image(
+                self._baseline_image, self._baseline_config
             )),
         )
         self._baseline_report = baseline.report
@@ -230,6 +243,56 @@ class Workbench:
 
     # -- evaluation ----------------------------------------------------------
 
+    def allocation_context(self) -> AllocationContext:
+        """The profiling context handed to every allocator."""
+        return AllocationContext(
+            program=self._program,
+            memory_objects=list(self._memory_objects),
+            image=self._baseline_image,
+        )
+
+    def _resolve_stream(self, image: LinkedImage) -> FetchStream:
+        """Resolve the compiled fetch stream of *image* (cached).
+
+        The stream is a per-(program, layout) engine artifact: any
+        earlier run — in this process or, with a disk store, any
+        process — that compiled the same layout over the same executed
+        block sequence serves it from the store.
+        """
+        key = stream_digest(
+            self._trace_key,
+            image.spm_resident,
+            image.placement,
+            self._config.main_base,
+            self._config.spm_base,
+        )
+        artifact = self._runner.resolve(
+            "stream", key,
+            lambda: StreamArtifact(key, compile_stream(
+                image, self._block_sequence,
+                spm_base=self._config.spm_base,
+            )),
+        )
+        return artifact.stream
+
+    def _simulate_image(self, image: LinkedImage,
+                        hierarchy: HierarchyConfig) -> SimulationReport:
+        """Simulate *image* under the configured backend.
+
+        When the backend may take the vector path, the compiled fetch
+        stream is resolved through the artifact store first so a sweep
+        compiles each layout once.
+        """
+        stream = None
+        if resolve_backend(self._config.backend) != "reference":
+            stream = self._resolve_stream(image)
+        return simulate(
+            image, hierarchy, self._block_sequence,
+            spm_base=self._config.spm_base,
+            backend=self._config.backend,
+            stream=stream,
+        )
+
     def spm_energy_model(self, spm_size: int) -> EnergyModel:
         """Per-event energies of the cache + scratchpad hierarchy."""
         return build_energy_model(
@@ -257,10 +320,7 @@ class Workbench:
         hierarchy = HierarchyConfig(
             cache=self._config.cache, spm_size=spm_size
         )
-        report = simulate(
-            image, hierarchy, self._block_sequence,
-            spm_base=self._config.spm_base,
-        )
+        report = self._simulate_image(image, hierarchy)
         model = build_energy_model(hierarchy)
         return ExperimentResult(
             allocation=allocation,
@@ -289,6 +349,7 @@ class Workbench:
             hierarchy,
             self._block_sequence,
             loop_regions=list(allocation.loop_regions),
+            backend="reference",
         )
         model = build_energy_model(hierarchy)
         return ExperimentResult(
@@ -307,7 +368,8 @@ class Workbench:
                   allocator=type(allocator).__name__,
                   spm_size=spm_size) as alloc_span:
             allocation = allocator.allocate(
-                self._graph, spm_size, self.spm_energy_model(spm_size)
+                self._graph, spm_size, self.spm_energy_model(spm_size),
+                context=self.allocation_context(),
             )
             alloc_span.add(objects=len(allocation.spm_resident),
                            solver_nodes=allocation.solver_nodes)
@@ -446,6 +508,7 @@ class Workbench:
                 self._baseline_config,
                 self._block_sequence,
                 block_phases=partition.block_phase,
+                backend="reference",
             )
             self._phase_profile_cache = (partition, report)
         return self._phase_profile_cache
@@ -464,10 +527,7 @@ class Workbench:
         """Uncached Ross allocation + loop-cache simulation."""
         lc_config = LoopCacheConfig(size=lc_size, max_regions=max_regions)
         allocation = RossLoopCacheAllocator(lc_config).allocate(
-            self._program,
-            self._memory_objects,
-            self._baseline_image,
-            self._graph,
+            self._graph, context=self.allocation_context()
         )
         return self.evaluate_loop_cache(allocation, lc_config)
 

@@ -13,10 +13,12 @@ program, mapped to the address spans their memory objects occupy in the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.core.allocation import Allocation
+from repro.core.allocation import Allocation, AllocationContext
 from repro.core.conflict_graph import ConflictGraph
+from repro.energy.model import EnergyModel
+from repro.errors import ConfigurationError
 from repro.memory.loopcache import LoopCacheConfig, LoopRegion
 from repro.program.cfg import ControlFlowGraph
 from repro.program.program import Program
@@ -55,8 +57,15 @@ class RossLoopCacheAllocator:
         memory_objects: list[MemoryObject],
         image: LinkedImage,
         graph: ConflictGraph,
+        config: LoopCacheConfig | None = None,
     ) -> list[_Candidate]:
-        """Enumerate loop and function regions with their fetch counts."""
+        """Enumerate loop and function regions with their fetch counts.
+
+        *config* overrides the constructor's loop-cache parameters
+        (used by :meth:`allocate` when called with an explicit
+        capacity).
+        """
+        config = config if config is not None else self._config
         block_home: dict[str, set[str]] = {}
         for mo in memory_objects:
             for fragment in mo.fragments:
@@ -78,7 +87,7 @@ class RossLoopCacheAllocator:
                 for n in mo_names
             )
             span = (start, end)
-            if span in seen_spans or end - start > self._config.size:
+            if span in seen_spans or end - start > config.size:
                 return
             seen_spans.add(span)
             covered = [
@@ -108,14 +117,39 @@ class RossLoopCacheAllocator:
 
     def allocate(
         self,
-        program: Program,
-        memory_objects: list[MemoryObject],
-        image: LinkedImage,
         graph: ConflictGraph,
+        capacity: int | None = None,
+        energy: EnergyModel | None = None,
+        *,
+        context: AllocationContext | None = None,
     ) -> Allocation:
-        """Greedily preload the densest non-overlapping regions."""
+        """Greedily preload the densest non-overlapping regions.
+
+        Follows the unified :class:`repro.core.Allocator` protocol:
+        the loop-region candidates come from the program structure, so
+        *context* must carry the profiled program, its memory objects
+        and the baseline image.  *capacity* (when given) overrides the
+        constructor configuration's loop-cache size; *energy* is
+        ignored — the heuristic ranks by fetch density alone.
+
+        Raises:
+            ConfigurationError: when *context* lacks the program,
+                memory objects or image.
+        """
+        del energy
+        if context is None or context.program is None \
+                or context.memory_objects is None \
+                or context.image is None:
+            raise ConfigurationError(
+                "ross allocation requires an AllocationContext with "
+                "program, memory_objects and image"
+            )
+        config = self._config
+        if capacity is not None and capacity != config.size:
+            config = replace(config, size=capacity)
         candidates = self.candidate_regions(
-            program, memory_objects, image, graph
+            context.program, context.memory_objects, context.image,
+            graph, config=config,
         )
         candidates.sort(key=lambda c: (-c.density, c.region.start))
 
@@ -123,9 +157,9 @@ class RossLoopCacheAllocator:
         used = 0
         for candidate in candidates:
             region = candidate.region
-            if len(chosen) >= self._config.max_regions:
+            if len(chosen) >= config.max_regions:
                 break
-            if used + region.size > self._config.size:
+            if used + region.size > config.size:
                 continue
             if any(
                 region.start < other.end and other.start < region.end
@@ -139,6 +173,6 @@ class RossLoopCacheAllocator:
             algorithm=self.name,
             loop_regions=tuple(chosen),
             placement=Placement.COPY,
-            capacity=self._config.size,
+            capacity=config.size,
             used_bytes=used,
         )

@@ -18,7 +18,7 @@ ways the paper calls out (section 2):
 
 from __future__ import annotations
 
-from repro.core.allocation import Allocation
+from repro.core.allocation import Allocation, AllocationContext
 from repro.core.conflict_graph import ConflictGraph
 from repro.energy.model import EnergyModel
 from repro.ilp.knapsack import KnapsackItem, knapsack_01
@@ -35,6 +35,8 @@ class SteinkeAllocator:
         graph: ConflictGraph,
         spm_size: int,
         energy: EnergyModel,
+        *,
+        context: AllocationContext | None = None,
     ) -> Allocation:
         """Select the scratchpad set by execution-count profit.
 
@@ -42,7 +44,9 @@ class SteinkeAllocator:
         ``f_i * (E_Cache_hit - E_SP_hit)`` — the saving Steinke's model
         *predicts*, treating every fetch as a uniform-cost access (the
         first imprecision: the constant term of eq. 5 is all it sees).
+        *context* is accepted for protocol conformance and ignored.
         """
+        del context
         items = [
             KnapsackItem(
                 name=node.name,

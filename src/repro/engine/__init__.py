@@ -26,6 +26,7 @@ from repro.engine.artifacts import (
     BaselineSimArtifact,
     ConflictGraphArtifact,
     ExecutionArtifact,
+    StreamArtifact,
     TraceArtifact,
     baseline_digest,
     canonical,
@@ -34,6 +35,7 @@ from repro.engine.artifacts import (
     fingerprint_program,
     graph_digest,
     result_digest,
+    stream_digest,
     trace_digest,
     workbench_digest,
 )
@@ -64,6 +66,7 @@ __all__ = [
     "BaselineSimArtifact",
     "ConflictGraphArtifact",
     "ExecutionArtifact",
+    "StreamArtifact",
     "TraceArtifact",
     "baseline_digest",
     "canonical",
@@ -72,6 +75,7 @@ __all__ = [
     "fingerprint_program",
     "graph_digest",
     "result_digest",
+    "stream_digest",
     "trace_digest",
     "workbench_digest",
     "POINT_ALGORITHMS",

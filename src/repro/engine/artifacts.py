@@ -26,6 +26,7 @@ from typing import Any, ClassVar
 
 from repro.core.conflict_graph import ConflictGraph
 from repro.memory.cache import CacheConfig
+from repro.memory.kernel.stream import FetchStream
 from repro.memory.stats import SimulationReport
 from repro.program.profile import ProfileData
 from repro.program.program import Program
@@ -141,6 +142,29 @@ def trace_digest(execution: str, tracegen: TraceGenConfig) -> str:
     return digest_inputs("trace", execution=execution, tracegen=tracegen)
 
 
+def stream_digest(trace: str, spm_resident: frozenset[str],
+                  placement: Any,
+                  main_base: int, spm_base: int) -> str:
+    """Digest of one compiled fetch stream (per program + layout).
+
+    The stream is a pure function of the executed block sequence
+    (chained through *trace*, which embeds the execution digest) and
+    the linked image's layout inputs — the scratchpad-resident set,
+    placement policy and base addresses.  Neither the cache
+    configuration nor the scratchpad capacity participates: every
+    cache geometry of a sweep replays the same stream, and the
+    capacity only gates which resident sets are legal.
+    """
+    return digest_inputs(
+        "stream",
+        trace=trace,
+        spm_resident=spm_resident,
+        placement=placement,
+        main_base=main_base,
+        spm_base=spm_base,
+    )
+
+
 def baseline_digest(trace: str, cache: CacheConfig,
                     main_base: int, spm_base: int) -> str:
     """Digest of the baseline (cache-only) simulation stage."""
@@ -180,8 +204,16 @@ def result_digest(graph: str, algorithm: str, spm_size: int,
 
 
 def workbench_digest(workload: str, scale: float, seed: int,
-                     cache: CacheConfig, tracegen: TraceGenConfig) -> str:
-    """Digest identifying one profiled workbench (in-memory memo key)."""
+                     cache: CacheConfig, tracegen: TraceGenConfig,
+                     backend: str | None = None) -> str:
+    """Digest identifying one profiled workbench (in-memory memo key).
+
+    The *backend* knob participates here — the memoised workbench
+    carries its backend in its configuration, so requests for
+    different backends must not share a memo — but deliberately not
+    in any stage digest: both backends produce bit-identical
+    artifacts, which therefore stay shared across backends.
+    """
     return digest_inputs(
         "workbench",
         workload=workload,
@@ -189,6 +221,7 @@ def workbench_digest(workload: str, scale: float, seed: int,
         seed=seed,
         cache=cache,
         tracegen=tracegen,
+        backend=backend or "",
     )
 
 
@@ -214,6 +247,16 @@ class TraceArtifact:
     STAGE: ClassVar[str] = "trace"
     digest: str
     memory_objects: list[MemoryObject]
+
+
+@dataclass(frozen=True)
+class StreamArtifact:
+    """A compiled fetch stream (the vector kernel's input form)."""
+
+    #: Store stage name.
+    STAGE: ClassVar[str] = "stream"
+    digest: str
+    stream: FetchStream
 
 
 @dataclass(frozen=True)

@@ -57,6 +57,9 @@ class PointSpec:
         tracegen: trace-formation override (``None`` = derived from the
             cache line size and the workload's smallest scratchpad).
         max_regions: preloadable regions for the ``ross`` allocator.
+        backend: simulation backend (``reference`` | ``vector`` |
+            ``auto``; ``None`` defers to ``CASA_BACKEND``, then
+            ``auto``).
     """
 
     workload: str
@@ -67,6 +70,7 @@ class PointSpec:
     cache: CacheConfig | None = None
     tracegen: TraceGenConfig | None = None
     max_regions: int = 4
+    backend: str | None = None
 
 
 def evaluate_point(point: PointSpec,
@@ -94,6 +98,7 @@ def evaluate_point(point: PointSpec,
         _, bench = make_workbench(
             point.workload, point.scale, point.seed,
             cache=point.cache, tracegen=point.tracegen, runner=runner,
+            backend=point.backend,
         )
         if point.algorithm == "baseline":
             return bench.baseline_result()

@@ -36,7 +36,8 @@ if TYPE_CHECKING:
     from repro.memory.cache import CacheConfig
 
 #: Stage names in dependency order (the runner's resolution chain).
-STAGES = ("execution", "trace", "baseline", "graph", "result")
+STAGES = ("execution", "trace", "stream", "baseline", "graph",
+          "result")
 
 
 @dataclass
@@ -222,6 +223,7 @@ def make_workbench(
     cache: "CacheConfig | None" = None,
     tracegen: TraceGenConfig | None = None,
     runner: StageRunner | None = None,
+    backend: str | None = None,
 ) -> tuple[Workload, "Workbench"]:
     """Build (and memoise) the profiled workbench of a named workload.
 
@@ -243,6 +245,10 @@ def make_workbench(
             line size and the workload's smallest scratchpad).
         runner: stage runner to resolve through (defaults to a fresh
             runner on the process-wide store).
+        backend: simulation backend knob forwarded to the workbench
+            configuration (``reference`` | ``vector`` | ``auto``;
+            ``None`` defers to the ``CASA_BACKEND`` environment
+            variable, then ``auto``).
 
     Returns:
         ``(workload, workbench)`` — the workload metadata and the
@@ -258,12 +264,14 @@ def make_workbench(
         max_trace_size=min(workload.spm_sizes),
     )
     digest = workbench_digest(
-        workload_name, scale, seed, cache_config, tracegen_config
+        workload_name, scale, seed, cache_config, tracegen_config,
+        backend=backend,
     )
 
     def build() -> WorkbenchMemo:
         config = WorkbenchConfig(
-            cache=cache_config, tracegen=tracegen_config, seed=seed
+            cache=cache_config, tracegen=tracegen_config, seed=seed,
+            backend=backend,
         )
         bench = Workbench(workload.program, config, runner=runner)
         return WorkbenchMemo(

@@ -59,6 +59,7 @@ def explore(
     seed: int = 0,
     jobs: int = 1,
     record=None,
+    backend: str | None = None,
 ) -> list[DesignPoint]:
     """Evaluate every feasible cache/SPM split under *area_budget*.
 
@@ -71,7 +72,8 @@ def explore(
     feasible (cache, scratchpad) pair becomes an engine
     :class:`~repro.engine.parallel.PointSpec` and the whole set is
     fanned through :func:`~repro.engine.parallel.map_points` with
-    *jobs* workers; *record* collects per-stage hit/compute counters.
+    *jobs* workers; *record* collects per-stage hit/compute counters
+    and *backend* picks the simulation backend for every point.
 
     Returns:
         Evaluated design points, sorted by energy (best first).
@@ -109,6 +111,7 @@ def explore(
                 seed=seed,
                 cache=cache,
                 tracegen=tracegen,
+                backend=backend,
             ))
             metas.append((cache_size, spm, hierarchy_area(cache, spm)))
     if not specs:

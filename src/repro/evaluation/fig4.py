@@ -112,16 +112,19 @@ def run_fig4(
     seed: int = 0,
     jobs: int = 1,
     record=None,
+    backend: str | None = None,
 ) -> Fig4Result:
     """Reproduce figure 4 (optionally on another workload or scale).
 
     ``jobs`` fans the sweep's design points across worker processes;
     ``record`` (a :class:`~repro.engine.runner.RunRecord`) collects the
-    engine's per-stage hit/compute counters.
+    engine's per-stage hit/compute counters; ``backend`` picks the
+    simulation backend.
     """
     points = run_sweep(
         workload, sizes, algorithms=("casa", "steinke"),
         scale=scale, seed=seed, jobs=jobs, record=record,
+        backend=backend,
     )
     rows = [
         Fig4Row(

@@ -113,16 +113,19 @@ def run_fig5(
     seed: int = 0,
     jobs: int = 1,
     record=None,
+    backend: str | None = None,
 ) -> Fig5Result:
     """Reproduce figure 5 (optionally on another workload or scale).
 
     ``jobs`` fans the sweep's design points across worker processes;
     ``record`` (a :class:`~repro.engine.runner.RunRecord`) collects the
-    engine's per-stage hit/compute counters.
+    engine's per-stage hit/compute counters; ``backend`` picks the
+    simulation backend.
     """
     points = run_sweep(
         workload, sizes, algorithms=("casa", "ross"),
         scale=scale, seed=seed, jobs=jobs, record=record,
+        backend=backend,
     )
     rows = [
         Fig5Row(

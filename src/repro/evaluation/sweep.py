@@ -30,7 +30,8 @@ ALGORITHMS = ("casa", "steinke", "greedy", "ross")
 
 
 def make_workbench(workload_name: str, scale: float = 1.0,
-                   seed: int = 0) -> tuple[Workload, Workbench]:
+                   seed: int = 0, backend: str | None = None
+                   ) -> tuple[Workload, Workbench]:
     """Build (and cache) the profiled workbench of a named workload.
 
     Thin compatibility wrapper over the engine's
@@ -40,7 +41,8 @@ def make_workbench(workload_name: str, scale: float = 1.0,
     workloads/scales silently thrashed, and whose float ``scale`` keys
     defeated reuse between ``1`` and ``1.0``).
     """
-    return _engine_make_workbench(workload_name, scale, seed)
+    return _engine_make_workbench(workload_name, scale, seed,
+                                  backend=backend)
 
 
 @dataclass
@@ -75,6 +77,7 @@ def run_sweep(
     seed: int = 0,
     jobs: int = 1,
     record: RunRecord | None = None,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Evaluate allocators across scratchpad sizes.
 
@@ -89,6 +92,9 @@ def run_sweep(
             results are identical either way).
         record: optional engine run record receiving per-stage
             hit/compute counters.
+        backend: simulation backend for every design point
+            (``reference`` | ``vector`` | ``auto``; ``None`` defers to
+            ``CASA_BACKEND``, then ``auto``).
 
     Returns:
         One :class:`SweepPoint` per size, in ascending size order.
@@ -109,6 +115,7 @@ def run_sweep(
             algorithm=algorithm,
             scale=scale,
             seed=seed,
+            backend=backend,
         )
         for size in chosen_sizes
         for algorithm in algorithms

@@ -130,13 +130,15 @@ def run_table1(
     seed: int = 0,
     jobs: int = 1,
     record=None,
+    backend: str | None = None,
 ) -> Table1Result:
     """Reproduce table 1 over the registered benchmarks.
 
     ``jobs`` fans each benchmark's design points across worker
     processes; ``record`` (a
     :class:`~repro.engine.runner.RunRecord`) collects the engine's
-    per-stage hit/compute counters.
+    per-stage hit/compute counters; ``backend`` picks the simulation
+    backend.
     """
     blocks: list[Table1Benchmark] = []
     for name in benchmarks:
@@ -144,6 +146,7 @@ def run_table1(
         points = run_sweep(
             name, algorithms=("casa", "steinke", "ross"),
             scale=scale, seed=seed, jobs=jobs, record=record,
+            backend=backend,
         )
         rows = [
             Table1Row(

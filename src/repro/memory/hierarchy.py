@@ -15,10 +15,13 @@ fetch stream is cycle-exact with respect to block ordering.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.memory.cache import Cache, CacheConfig
+from repro.memory.kernel.stream import FetchStream, compile_stream
+from repro.memory.kernel.vector import simulate_stream, unsupported_reason
 from repro.memory.loopcache import LoopCache, LoopCacheConfig, LoopRegion
 from repro.memory.mainmem import MainMemory
 from repro.memory.scratchpad import Scratchpad
@@ -27,6 +30,29 @@ from repro.obs import metrics
 from repro.obs.events import active_recorder
 from repro.obs.trace import span
 from repro.traces.layout import BlockFetchPlan, FetchSegment, LinkedImage
+
+#: Valid values of the simulation ``backend`` knob.
+BACKENDS = ("reference", "vector", "auto")
+
+#: Environment override consulted when no backend is passed explicitly.
+BACKEND_ENV_VAR = "CASA_BACKEND"
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalize a backend choice.
+
+    ``None`` falls back to the :data:`BACKEND_ENV_VAR` environment
+    variable and finally to ``"auto"`` (use the vector kernel whenever
+    it can replay the run exactly, the reference simulator otherwise).
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "auto"
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown simulation backend {backend!r} "
+            f"(choose from {', '.join(BACKENDS)})"
+        )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -336,6 +362,39 @@ class InstructionMemorySimulator:
             remaining -= words_in_line
 
 
+def _choose_backend(
+    backend: str,
+    config: HierarchyConfig,
+    loop_regions: list[LoopRegion] | None,
+    block_phases: dict[str, int] | None,
+) -> str:
+    """Pick the concrete simulator for one run.
+
+    ``auto`` silently falls back to the reference simulator when the
+    kernel cannot replay the run exactly; ``vector`` raises on
+    structurally unsupported configurations but degrades gracefully
+    when an event recorder is active (event streams require per-probe
+    interpretation).  Fallbacks are counted in the
+    ``sim.kernel.fallbacks`` metric.
+    """
+    if backend == "reference":
+        return "reference"
+    reason = unsupported_reason(
+        config, block_phases=block_phases, loop_regions=loop_regions
+    )
+    if reason is None and active_recorder() is not None:
+        reason = "event recording requires the reference simulator"
+        if backend == "vector":
+            metrics.inc("sim.kernel.fallbacks")
+            return "reference"
+    if reason is None:
+        return "vector"
+    if backend == "vector":
+        raise ConfigurationError(f"backend 'vector': {reason}")
+    metrics.inc("sim.kernel.fallbacks")
+    return "reference"
+
+
 def simulate(
     image: LinkedImage,
     config: HierarchyConfig,
@@ -343,8 +402,17 @@ def simulate(
     spm_base: int | None = None,
     loop_regions: list[LoopRegion] | None = None,
     block_phases: dict[str, int] | None = None,
+    backend: str | None = None,
+    stream: FetchStream | None = None,
 ) -> SimulationReport:
     """One-call convenience wrapper around the simulator.
+
+    Dispatches between the reference interpreter and the vectorized
+    kernel (:mod:`repro.memory.kernel`) according to *backend*
+    (``reference`` | ``vector`` | ``auto``; ``None`` consults the
+    ``CASA_BACKEND`` environment variable, then defaults to ``auto``).
+    Both backends produce bit-identical reports; *stream* lets callers
+    reuse a pre-compiled fetch stream (e.g. an engine artifact).
 
     Emits a ``sim.hierarchy`` span and, when metrics are enabled,
     accumulates the report's access totals into the ``sim.*`` counters
@@ -352,13 +420,23 @@ def simulate(
     — the numbers ``repro report`` turns into cache hit rates.  The
     per-fetch inner loop itself carries no instrumentation.
     """
-    with span("sim.hierarchy",
-              blocks=len(block_sequence)) as sim_span:
-        simulator = InstructionMemorySimulator(
-            image, config, spm_base=spm_base, loop_regions=loop_regions
-        )
-        report = simulator.run(block_sequence,
-                               block_phases=block_phases)
+    backend = resolve_backend(backend)
+    chosen = _choose_backend(backend, config, loop_regions, block_phases)
+    with span("sim.hierarchy", blocks=len(block_sequence),
+              backend=chosen) as sim_span:
+        if chosen == "vector":
+            if stream is None:
+                stream = compile_stream(
+                    image, block_sequence, spm_base=spm_base
+                )
+            report = simulate_stream(stream, config, spm_base=spm_base)
+        else:
+            simulator = InstructionMemorySimulator(
+                image, config, spm_base=spm_base,
+                loop_regions=loop_regions
+            )
+            report = simulator.run(block_sequence,
+                                   block_phases=block_phases)
         sim_span.add(fetches=report.total_fetches,
                      cache_misses=report.cache_misses)
         metrics.inc("sim.runs")

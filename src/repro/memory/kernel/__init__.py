@@ -1,0 +1,57 @@
+"""Vectorized simulation kernel (the ``vector`` backend).
+
+The reference simulator in :mod:`repro.memory.hierarchy` interprets the
+fetch stream word by word in Python — clear, but slow.  This package
+trades the interpreter for three array passes:
+
+1. :func:`~repro.memory.kernel.stream.compile_stream` materializes the
+   fetch-address stream of one (program, layout) pair once, as compact
+   int64/int32 arrays (a :class:`~repro.memory.kernel.stream.FetchStream`
+   — cacheable as an engine artifact);
+2. the stream is expanded into cache-line probes per line size (memoised
+   on the stream, so a multi-configuration sweep pays it once);
+3. :func:`~repro.memory.kernel.vector.simulate_stream` replays the
+   probes through a set-associative LRU/FIFO cache model with
+   conflict-miss attribution — fully vectorized for direct-mapped
+   caches, per-set chronological replay over small arrays otherwise —
+   and emits a :class:`~repro.memory.stats.SimulationReport` that is
+   bit-identical to the reference simulator's (same counters, same
+   dict/Counter insertion orders).
+
+:func:`~repro.memory.kernel.vector.simulate_many` batches several cache
+configurations over one stream (the fig4/DSE sweep shape).  The
+differential harness in :mod:`repro.memory.kernel.verify` backs the
+``repro verify-kernel`` command.
+"""
+
+from repro.memory.kernel.stream import (
+    FetchStream,
+    ProbeStream,
+    compile_stream,
+)
+from repro.memory.kernel.vector import (
+    KernelUnsupported,
+    simulate_many,
+    simulate_stream,
+    unsupported_reason,
+)
+from repro.memory.kernel.verify import (
+    VerifyCase,
+    VerifyReport,
+    report_differences,
+    verify_kernel,
+)
+
+__all__ = [
+    "FetchStream",
+    "KernelUnsupported",
+    "ProbeStream",
+    "VerifyCase",
+    "VerifyReport",
+    "compile_stream",
+    "report_differences",
+    "simulate_many",
+    "simulate_stream",
+    "unsupported_reason",
+    "verify_kernel",
+]

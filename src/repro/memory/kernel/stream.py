@@ -1,0 +1,304 @@
+"""Fetch-stream compilation: block sequence -> compact arrays.
+
+The reference simulator re-walks the fetch plans on every run.  The
+kernel instead *compiles* the (image, block sequence) pair once into a
+:class:`FetchStream` — four parallel arrays over fetch segments — and
+every cache configuration replays those arrays.  The compilation is the
+only per-block Python loop left; it replicates the reference
+simulator's call/return tail semantics exactly (see
+:mod:`repro.memory.hierarchy`): a block ending in a call pushes its
+trace-exit tail onto a stack and the matching return pops and fetches
+it, while a plain tail is fetched only when control actually leaves via
+the fall-through edge.
+
+Line-probe expansion (one entry per cache-line touch) depends only on
+the line size, so it is memoised on the stream and shared across every
+cache geometry of a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import metrics
+from repro.obs.trace import span
+from repro.traces.layout import LinkedImage
+
+#: Bytes per instruction word (mirrors ``repro.isa.INSTRUCTION_SIZE``).
+_WORD = 4
+
+
+@dataclass(frozen=True)
+class ProbeStream:
+    """Cache-line probes of a stream, for one line size.
+
+    One entry per line *touch* in chronological order — exactly the
+    probes the reference simulator issues via ``Cache.access_line``.
+
+    Attributes:
+        line: memory line id of each probe (int64).
+        owner: memory-object index of each probe (int32, indexes the
+            stream's ``mo_names``).
+        words: instruction words served by each probe (int64).
+        first: whether the probe is the globally first touch of its
+            line (a compulsory miss under any replacement policy).
+        line_order: stable argsort of ``line`` — shared by the
+            first-touch mask and the replay's previous-occurrence
+            computation, so it is paid once per line size, not per
+            cache configuration.
+    """
+
+    line: np.ndarray
+    owner: np.ndarray
+    words: np.ndarray
+    first: np.ndarray
+    line_order: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.line.shape[0])
+
+
+@dataclass(eq=False)
+class FetchStream:
+    """The fetch-address stream of one (program, layout) pair.
+
+    Four parallel arrays over fetch *segments* (runs of consecutively
+    fetched words), in chronological order.  The compiled form is
+    deterministic; compare two streams with :meth:`same_as`.
+
+    Attributes:
+        mo_names: memory-object names; ``seg_mo`` indexes this tuple.
+        seg_mo: per-segment memory-object index (int32).
+        seg_addr: per-segment first byte address (int64).
+        seg_words: per-segment word count (int64).
+        seg_on_spm: per-segment scratchpad residency flag (bool).
+        num_blocks: executed basic blocks (for the report).
+        spm_base: scratchpad base address used by the layout.
+    """
+
+    mo_names: tuple[str, ...]
+    seg_mo: np.ndarray
+    seg_addr: np.ndarray
+    seg_words: np.ndarray
+    seg_on_spm: np.ndarray
+    num_blocks: int
+    spm_base: int
+    _probe_cache: dict[int, ProbeStream] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _first_seen: list[int] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __getstate__(self):
+        """Pickle without the memoised probe expansions."""
+        state = self.__dict__.copy()
+        state["_probe_cache"] = {}
+        state["_first_seen"] = None
+        return state
+
+    def same_as(self, other: "FetchStream") -> bool:
+        """Whether two compiled streams are identical."""
+        return (
+            self.mo_names == other.mo_names
+            and self.num_blocks == other.num_blocks
+            and self.spm_base == other.spm_base
+            and np.array_equal(self.seg_mo, other.seg_mo)
+            and np.array_equal(self.seg_addr, other.seg_addr)
+            and np.array_equal(self.seg_words, other.seg_words)
+            and np.array_equal(self.seg_on_spm, other.seg_on_spm)
+        )
+
+    @property
+    def num_segments(self) -> int:
+        """Number of fetch segments."""
+        return int(self.seg_mo.shape[0])
+
+    @property
+    def total_words(self) -> int:
+        """Total instruction-word fetches of the stream."""
+        return int(self.seg_words.sum())
+
+    @property
+    def spm_words(self) -> int:
+        """Words served by the scratchpad."""
+        return int(self.seg_words[self.seg_on_spm].sum())
+
+    def mo_first_seen(self) -> list[int]:
+        """Memory-object indices in order of first fetch (memoised).
+
+        This is the insertion order of the reference report's
+        ``mo_stats`` dict, which the kernel reproduces bit-identically.
+        """
+        if self._first_seen is None:
+            if self.num_segments == 0:
+                self._first_seen = []
+            else:
+                _, first_pos = np.unique(self.seg_mo,
+                                         return_index=True)
+                self._first_seen = \
+                    self.seg_mo[np.sort(first_pos)].tolist()
+        return list(self._first_seen)
+
+    def probes(self, line_size: int) -> ProbeStream:
+        """Expand the cache-path segments into line probes (memoised).
+
+        A segment of ``w`` words starting at byte ``a`` touches the
+        lines ``a // line_size .. (a + 4w - 4) // line_size``; each
+        probe serves the words of the segment that fall inside its
+        line.  Probe order is segment order, lines ascending within a
+        segment — the reference simulator's exact probe order.
+        """
+        cached = self._probe_cache.get(line_size)
+        if cached is not None:
+            return cached
+
+        mask = ~self.seg_on_spm
+        addr = self.seg_addr[mask]
+        words = self.seg_words[mask]
+        mo = self.seg_mo[mask]
+
+        if addr.shape[0] == 0:
+            empty_i64 = np.zeros(0, dtype=np.int64)
+            probe = ProbeStream(
+                line=empty_i64,
+                owner=np.zeros(0, dtype=np.int32),
+                words=empty_i64.copy(),
+                first=np.zeros(0, dtype=bool),
+                line_order=empty_i64.copy(),
+            )
+            self._probe_cache[line_size] = probe
+            return probe
+
+        first_line = addr // line_size
+        last_line = (addr + _WORD * words - _WORD) // line_size
+        nlines = last_line - first_line + 1
+        total = int(nlines.sum())
+
+        starts = np.cumsum(nlines) - nlines
+        probe_seg = np.repeat(
+            np.arange(addr.shape[0], dtype=np.int64), nlines
+        )
+        intra = np.arange(total, dtype=np.int64) - starts[probe_seg]
+        line = first_line[probe_seg] + intra
+        owner = mo[probe_seg]
+
+        line_start = line * line_size
+        seg_start = addr[probe_seg]
+        seg_end = seg_start + _WORD * words[probe_seg]
+        begin = np.maximum(seg_start, line_start)
+        end = np.minimum(seg_end, line_start + line_size)
+        probe_words = (end - begin) // _WORD
+
+        order = np.argsort(line, kind="stable")
+        sorted_lines = line[order]
+        first_sorted = np.empty(total, dtype=bool)
+        first_sorted[0] = True
+        first_sorted[1:] = sorted_lines[1:] != sorted_lines[:-1]
+        first = np.empty(total, dtype=bool)
+        first[order] = first_sorted
+
+        probe = ProbeStream(
+            line=line, owner=owner, words=probe_words, first=first,
+            line_order=order,
+        )
+        self._probe_cache[line_size] = probe
+        return probe
+
+
+def compile_stream(
+    image: LinkedImage,
+    block_sequence: list[str],
+    spm_base: int | None = None,
+) -> FetchStream:
+    """Compile a block sequence into a :class:`FetchStream`.
+
+    Replicates the reference simulator's segment emission order,
+    including the pending-call-tail stack: calls push their trace-exit
+    tail, returns pop and fetch it, and plain tails are fetched only
+    when the next executed block is the plan's fall-through successor.
+
+    Args:
+        image: the linked image whose fetch plans to replay.
+        block_sequence: executed block names (from the executor).
+        spm_base: scratchpad base address (defaults to the layout
+            default, as in the reference simulator).
+    """
+    with span("sim.kernel.compile", blocks=len(block_sequence)):
+        metrics.inc("sim.kernel.streams")
+        return _compile(image, block_sequence, spm_base)
+
+
+def _compile(
+    image: LinkedImage,
+    block_sequence: list[str],
+    spm_base: int | None,
+) -> FetchStream:
+    if spm_base is None:
+        spm_base = 0x0040_0000
+    mo_names = tuple(mo.name for mo in image.memory_objects)
+    mo_index = {name: i for i, name in enumerate(mo_names)}
+
+    # Per-block compiled form: segment field lists plus control flags.
+    compiled: dict[str, tuple] = {}
+    for name, plan in image.all_plans().items():
+        seg_fields = (
+            [mo_index[s.mo_name] for s in plan.segments],
+            [s.address for s in plan.segments],
+            [s.num_words for s in plan.segments],
+            [s.on_spm for s in plan.segments],
+        )
+        tail = plan.tail_jump
+        tail_fields = None
+        if tail is not None:
+            tail_fields = (
+                mo_index[tail.mo_name], tail.address,
+                tail.num_words, tail.on_spm,
+            )
+        compiled[name] = (
+            seg_fields, tail_fields, plan.fallthrough,
+            plan.ends_with_call, plan.ends_with_return,
+        )
+
+    out_mo: list[int] = []
+    out_addr: list[int] = []
+    out_words: list[int] = []
+    out_spm: list[bool] = []
+    pending_tails: list[tuple | None] = []
+    last_index = len(block_sequence) - 1
+
+    for index, block_name in enumerate(block_sequence):
+        (seg_mo, seg_addr, seg_words, seg_spm), tail, fallthrough, \
+            is_call, is_return = compiled[block_name]
+        out_mo.extend(seg_mo)
+        out_addr.extend(seg_addr)
+        out_words.extend(seg_words)
+        out_spm.extend(seg_spm)
+        if is_call:
+            pending_tails.append(tail)
+        elif tail is not None:
+            if index < last_index and \
+                    block_sequence[index + 1] == fallthrough:
+                out_mo.append(tail[0])
+                out_addr.append(tail[1])
+                out_words.append(tail[2])
+                out_spm.append(tail[3])
+        if is_return and pending_tails:
+            popped = pending_tails.pop()
+            if popped is not None:
+                out_mo.append(popped[0])
+                out_addr.append(popped[1])
+                out_words.append(popped[2])
+                out_spm.append(popped[3])
+
+    return FetchStream(
+        mo_names=mo_names,
+        seg_mo=np.asarray(out_mo, dtype=np.int32),
+        seg_addr=np.asarray(out_addr, dtype=np.int64),
+        seg_words=np.asarray(out_words, dtype=np.int64),
+        seg_on_spm=np.asarray(out_spm, dtype=bool),
+        num_blocks=len(block_sequence),
+        spm_base=spm_base,
+    )

@@ -1,0 +1,418 @@
+"""Vectorized set-associative cache replay over compiled streams.
+
+Two replay strategies, both bit-identical to
+:meth:`repro.memory.cache.Cache.access_line`:
+
+* **direct-mapped** caches are replayed with pure array ops: a probe
+  hits iff the previous probe of its set touched the same line, the
+  globally first touch of a line is its compulsory miss, and the
+  evictor of a non-compulsory miss is the owner of the probe that
+  followed the line's previous occurrence within its set (in a
+  direct-mapped cache that probe necessarily evicted it);
+* **set-associative** LRU/FIFO caches are replayed per set: probes are
+  bucketed by set index with one stable argsort, then each set's small
+  subsequence is interpreted chronologically with an insertion-ordered
+  dict as the recency/fill queue — the per-set state never leaves a
+  cache-friendly working set.
+
+Conflict events carry their global probe index, so the report's
+``conflict_misses`` Counter is rebuilt in the reference simulator's
+exact key order (first chronological occurrence of each (victim,
+evictor) pair).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.memory.cache import CacheConfig
+from repro.memory.kernel.stream import FetchStream, compile_stream
+from repro.memory.stats import MemoryObjectStats, SimulationReport
+from repro.obs import metrics
+from repro.obs.trace import span
+
+#: Replacement policies the kernel replays exactly.
+SUPPORTED_POLICIES = ("lru", "fifo")
+
+
+class KernelUnsupported(SimulationError):
+    """The vector kernel cannot replay this configuration exactly.
+
+    Raised for loop-cache hierarchies, phase-tracked runs and
+    replacement policies outside :data:`SUPPORTED_POLICIES`; the
+    ``auto`` backend catches it and falls back to the reference
+    simulator.
+    """
+
+
+def unsupported_reason(
+    config,
+    block_phases=None,
+    loop_regions=None,
+) -> str | None:
+    """Why the kernel cannot handle a run, or ``None`` if it can.
+
+    Args:
+        config: a :class:`~repro.memory.hierarchy.HierarchyConfig`.
+        block_phases: phase map of the intended run, if any.
+        loop_regions: preloaded loop regions of the intended run.
+    """
+    if config.loop_cache is not None:
+        return "loop-cache hierarchies use the reference simulator"
+    if loop_regions:
+        return "loop regions require the reference simulator"
+    if block_phases is not None:
+        return "phase-tracked (overlay) runs use the reference simulator"
+    for cache in (config.cache, config.l2_cache):
+        if cache is not None and cache.policy not in SUPPORTED_POLICIES:
+            return (
+                f"replacement policy {cache.policy!r} is not vectorized "
+                f"(supported: {', '.join(SUPPORTED_POLICIES)})"
+            )
+    return None
+
+
+@dataclass(frozen=True)
+class _Replay:
+    """Outcome of replaying one cache level over a probe stream."""
+
+    hit: np.ndarray          # bool[N]
+    conflict_idx: np.ndarray  # int64[C], ascending probe indices
+    victim: np.ndarray       # int32[C] memory-object index
+    evictor: np.ndarray      # int32[C] memory-object index
+
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_I32 = np.zeros(0, dtype=np.int32)
+
+
+def _set_indices(line: np.ndarray, num_sets: int) -> np.ndarray:
+    """Set index of every probe, in the narrowest sortable dtype.
+
+    ``num_sets`` is a power of two, so the modulo is a mask; narrowing
+    to uint16 lets numpy's stable radix sort finish in two passes.
+    """
+    set_idx = line & (num_sets - 1)
+    if num_sets <= (1 << 16):
+        return set_idx.astype(np.uint16)
+    if num_sets <= (1 << 32):
+        return set_idx.astype(np.uint32)
+    return set_idx
+
+
+def _replay_direct(line: np.ndarray, owner: np.ndarray,
+                   num_sets: int, attribute: bool,
+                   line_order: np.ndarray | None = None) -> _Replay:
+    """Fully vectorized replay of a direct-mapped cache."""
+    total = line.shape[0]
+    hit = np.zeros(total, dtype=bool)
+    if total == 0:
+        return _Replay(hit, _EMPTY_I64, _EMPTY_I32, _EMPTY_I32)
+
+    set_idx = _set_indices(line, num_sets)
+    set_order = np.argsort(set_idx, kind="stable")
+    lines_by_set = line[set_order]
+    same_set = set_idx[set_order][1:] == set_idx[set_order][:-1]
+    hit_sorted = np.zeros(total, dtype=bool)
+    hit_sorted[1:] = same_set & (lines_by_set[1:] == lines_by_set[:-1])
+    hit[set_order] = hit_sorted
+
+    if not attribute:
+        return _Replay(hit, _EMPTY_I64, _EMPTY_I32, _EMPTY_I32)
+
+    # Previous occurrence of the same line (global probe index).
+    if line_order is None:
+        line_order = np.argsort(line, kind="stable")
+    prev = np.full(total, -1, dtype=np.int64)
+    same_line = line[line_order][1:] == line[line_order][:-1]
+    prev[line_order[1:][same_line]] = line_order[:-1][same_line]
+
+    # Next probe within the same set (global probe index).
+    nxt = np.full(total, -1, dtype=np.int64)
+    nxt[set_order[:-1][same_set]] = set_order[1:][same_set]
+
+    # A non-compulsory miss of line L was evicted by the probe that
+    # followed L's previous occurrence in the set: that probe found L
+    # resident, missed, and displaced it (associativity 1).
+    victims = np.flatnonzero(~hit & (prev >= 0))
+    evict_probe = nxt[prev[victims]]
+    valid = evict_probe >= 0
+    victims = victims[valid]
+    evict_probe = evict_probe[valid]
+    return _Replay(
+        hit=hit,
+        conflict_idx=victims.astype(np.int64),
+        victim=owner[victims],
+        evictor=owner[evict_probe],
+    )
+
+
+def _replay_assoc(line: np.ndarray, owner: np.ndarray,
+                  config: CacheConfig, attribute: bool) -> _Replay:
+    """Per-set chronological replay of a set-associative cache."""
+    total = line.shape[0]
+    hit = np.zeros(total, dtype=bool)
+    if total == 0:
+        return _Replay(hit, _EMPTY_I64, _EMPTY_I32, _EMPTY_I32)
+
+    num_ways = config.associativity
+    move_on_hit = config.policy == "lru"
+    set_idx = _set_indices(line, config.num_sets)
+    set_order = np.argsort(set_idx, kind="stable")
+    cuts = np.flatnonzero(np.diff(set_idx[set_order])) + 1
+    events: list[tuple[int, int, int]] = []
+
+    for group in np.split(set_order, cuts):
+        lines_l = line[group].tolist()
+        owners_l = owner[group].tolist()
+        idx_l = group.tolist()
+        # Insertion order is the recency (LRU) / fill (FIFO) queue.
+        resident: dict[int, None] = {}
+        evicted_by: dict[int, int] = {}
+        flags = []
+        for pos, line_id in enumerate(lines_l):
+            if line_id in resident:
+                flags.append(True)
+                if move_on_hit:
+                    del resident[line_id]
+                    resident[line_id] = None
+                continue
+            flags.append(False)
+            probe_owner = owners_l[pos]
+            if attribute:
+                evictor = evicted_by.get(line_id)
+                if evictor is not None:
+                    events.append((idx_l[pos], probe_owner, evictor))
+            if len(resident) >= num_ways:
+                victim_line = next(iter(resident))
+                del resident[victim_line]
+                evicted_by[victim_line] = probe_owner
+            resident[line_id] = None
+        hit[group] = flags
+
+    if not events:
+        return _Replay(hit, _EMPTY_I64, _EMPTY_I32, _EMPTY_I32)
+    events.sort()
+    idx, victims, evictors = zip(*events)
+    return _Replay(
+        hit=hit,
+        conflict_idx=np.asarray(idx, dtype=np.int64),
+        victim=np.asarray(victims, dtype=np.int32),
+        evictor=np.asarray(evictors, dtype=np.int32),
+    )
+
+
+def _replay(line: np.ndarray, owner: np.ndarray,
+            config: CacheConfig, attribute: bool,
+            line_order: np.ndarray | None = None) -> _Replay:
+    if config.associativity == 1:
+        return _replay_direct(line, owner, config.num_sets, attribute,
+                              line_order=line_order)
+    return _replay_assoc(line, owner, config, attribute)
+
+
+def _counts(ids: np.ndarray, size: int,
+            weights: np.ndarray | None = None) -> np.ndarray:
+    """Per-memory-object totals as an exact int64 array."""
+    if weights is None:
+        return np.bincount(ids, minlength=size).astype(np.int64)
+    return np.bincount(
+        ids, weights=weights.astype(np.float64), minlength=size
+    ).astype(np.int64)
+
+
+def _conflict_counters(replay: _Replay, names: tuple[str, ...]
+                       ) -> tuple[Counter, Counter]:
+    """Rebuild conflict Counters in reference key order.
+
+    The reference creates a ``(victim, evictor)`` key the first time
+    that pair conflicts; replaying the events in ascending probe order
+    reproduces that insertion order exactly.
+    """
+    conflicts: Counter = Counter()
+    phase_conflicts: Counter = Counter()
+    if replay.conflict_idx.size == 0:
+        return conflicts, phase_conflicts
+    num = len(names)
+    keys = replay.victim.astype(np.int64) * num + replay.evictor
+    uniq, first_pos, counts = np.unique(
+        keys, return_index=True, return_counts=True
+    )
+    for slot in np.argsort(first_pos, kind="stable").tolist():
+        victim, evictor = divmod(int(uniq[slot]), num)
+        pair = (names[victim], names[evictor])
+        conflicts[pair] = int(counts[slot])
+        phase_conflicts[(0,) + pair] = int(counts[slot])
+    return conflicts, phase_conflicts
+
+
+def simulate_stream(
+    stream: FetchStream,
+    config,
+    spm_base: int | None = None,
+) -> SimulationReport:
+    """Replay a compiled stream through a hierarchy configuration.
+
+    Produces a :class:`~repro.memory.stats.SimulationReport` that is
+    bit-identical to the reference simulator's — including the
+    insertion order of ``mo_stats`` (first-fetch order) and of the
+    conflict Counters (first-conflict order).
+
+    Args:
+        stream: compiled fetch stream (see :func:`compile_stream`).
+        config: a :class:`~repro.memory.hierarchy.HierarchyConfig`.
+        spm_base: scratchpad base address override (defaults to the
+            base recorded in the stream).
+
+    Raises:
+        KernelUnsupported: for configurations the kernel cannot replay
+            exactly (see :func:`unsupported_reason`).
+        SimulationError: on scratchpad mapping violations, exactly as
+            the reference simulator.
+    """
+    reason = unsupported_reason(config)
+    if reason is not None:
+        raise KernelUnsupported(reason)
+
+    names = stream.mo_names
+    num_mos = len(names)
+    seg_mo = stream.seg_mo
+    seg_words = stream.seg_words
+    spm_mask = stream.seg_on_spm
+
+    with span("sim.kernel.replay", segments=stream.num_segments,
+              words=stream.total_words) as replay_span:
+        fetches = _counts(seg_mo, num_mos, seg_words)
+
+        spm_accesses = np.zeros(num_mos, dtype=np.int64)
+        if spm_mask.any():
+            if not config.spm_size:
+                first = int(seg_mo[int(np.argmax(spm_mask))])
+                raise SimulationError(
+                    f"segment of {names[first]!r} mapped to a "
+                    "scratchpad that does not exist"
+                )
+            base = spm_base if spm_base is not None else stream.spm_base
+            spm_addr = stream.seg_addr[spm_mask]
+            spm_words = seg_words[spm_mask]
+            low = int(spm_addr.min())
+            high = int((spm_addr + 4 * spm_words).max())
+            if low < base or high > base + config.spm_size:
+                raise SimulationError(
+                    f"scratchpad access [{low:#x},{high:#x}) outside "
+                    f"[{base:#x},{base + config.spm_size:#x})"
+                )
+            spm_accesses = _counts(seg_mo[spm_mask], num_mos, spm_words)
+
+        conflicts: Counter = Counter()
+        phase_conflicts: Counter = Counter()
+        l2_hits = 0
+        l2_misses = 0
+        if config.cache is None:
+            cache_mask = ~spm_mask
+            cache_misses = _counts(
+                seg_mo[cache_mask], num_mos, seg_words[cache_mask]
+            )
+            cache_hits = np.zeros(num_mos, dtype=np.int64)
+            compulsory = np.zeros(num_mos, dtype=np.int64)
+            main_memory_words = int(cache_misses.sum())
+        else:
+            cache_cfg = config.cache
+            probes = stream.probes(cache_cfg.line_size)
+            replay = _replay(probes.line, probes.owner, cache_cfg,
+                             attribute=True,
+                             line_order=probes.line_order)
+            hit = replay.hit
+            miss = ~hit
+            owner = probes.owner
+            cache_hits = (
+                _counts(owner[hit], num_mos, probes.words[hit])
+                + _counts(owner[miss], num_mos, probes.words[miss] - 1)
+            )
+            cache_misses = _counts(owner[miss], num_mos)
+            compulsory = _counts(owner[probes.first], num_mos)
+            conflicts, phase_conflicts = _conflict_counters(replay, names)
+
+            miss_probes = int(cache_misses.sum())
+            if config.l2_cache is not None:
+                l2_replay = _replay(
+                    probes.line[miss], owner[miss], config.l2_cache,
+                    attribute=False,
+                )
+                l2_hits = int(l2_replay.hit.sum())
+                l2_misses = miss_probes - l2_hits
+                main_memory_words = l2_misses * cache_cfg.words_per_line
+            else:
+                main_memory_words = miss_probes * cache_cfg.words_per_line
+            replay_span.add(probes=len(probes), misses=miss_probes)
+            metrics.inc("sim.kernel.probes", len(probes))
+
+        report = SimulationReport(
+            num_block_executions=stream.num_blocks
+        )
+        for mo_idx in stream.mo_first_seen():
+            report.mo_stats[names[mo_idx]] = MemoryObjectStats(
+                name=names[mo_idx],
+                fetches=int(fetches[mo_idx]),
+                spm_accesses=int(spm_accesses[mo_idx]),
+                cache_hits=int(cache_hits[mo_idx]),
+                cache_misses=int(cache_misses[mo_idx]),
+                compulsory_misses=int(compulsory[mo_idx]),
+            )
+        report.conflict_misses = conflicts
+        report.phase_conflicts = phase_conflicts
+        report.main_memory_words = main_memory_words
+        report.l2_hits = l2_hits
+        report.l2_misses = l2_misses
+        metrics.inc("sim.kernel.simulations")
+        report.assert_identities()
+        return report
+
+
+def simulate(
+    image,
+    config,
+    block_sequence: list[str],
+    spm_base: int | None = None,
+) -> SimulationReport:
+    """Compile and replay in one call (kernel-only entry point).
+
+    Prefer :func:`repro.memory.hierarchy.simulate` with
+    ``backend="vector"`` — it adds the dispatch, spans and metrics.
+    """
+    stream = compile_stream(image, block_sequence, spm_base=spm_base)
+    return simulate_stream(stream, config, spm_base=spm_base)
+
+
+def simulate_many(
+    stream: FetchStream,
+    configs,
+    spm_base: int | None = None,
+) -> list[SimulationReport]:
+    """Replay one stream under many hierarchy configurations.
+
+    The expensive parts of a configuration sweep — stream compilation
+    and the per-line-size probe expansion — are shared: the stream is
+    compiled once by the caller and each distinct line size is expanded
+    once (memoised on the stream).  This is the fig4/DSE shape: one
+    fixed trace, thousands of cache configurations.
+
+    Args:
+        stream: compiled fetch stream.
+        configs: iterable of hierarchy configurations.
+        spm_base: scratchpad base override applied to every run.
+
+    Returns:
+        One report per configuration, in input order.
+    """
+    configs = list(configs)
+    metrics.inc("sim.kernel.batches")
+    with span("sim.kernel.batch", configs=len(configs)):
+        return [
+            simulate_stream(stream, config, spm_base=spm_base)
+            for config in configs
+        ]

@@ -500,7 +500,8 @@ class AuditResult:
 
 
 def audit_workload(workload_name: str, scale: float = 1.0,
-                   seed: int = 0) -> AuditResult:
+                   seed: int = 0,
+                   backend: str | None = None) -> AuditResult:
     """Run the conflict-graph oracle end to end for one workload.
 
     Rebuilds the workload's profiling setup, replays the baseline
@@ -509,6 +510,18 @@ def audit_workload(workload_name: str, scale: float = 1.0,
     attribution.  The audit simulation always runs fresh — a warm
     artifact store cannot serve it, because the point is to observe
     the events the cache actually emits.
+
+    Args:
+        workload_name: registered workload to audit.
+        scale: trip-count multiplier.
+        seed: executor seed.
+        backend: which backend builds the audited conflict graph.
+            Event recording structurally requires the reference
+            interpreter, so the replayed event stream always comes
+            from the reference run; with ``backend="vector"`` the
+            audited graph is instead built from the vector kernel's
+            report, turning the audit into a cross-backend
+            differential check of the conflict attribution.
     """
     # Local imports: this module must stay importable from the cache
     # layer without dragging the whole pipeline in.
@@ -517,9 +530,11 @@ def audit_workload(workload_name: str, scale: float = 1.0,
     from repro.memory.hierarchy import (
         HierarchyConfig,
         InstructionMemorySimulator,
+        resolve_backend,
     )
     from repro.traces.layout import LinkedImage, Placement
 
+    resolved = resolve_backend(backend)
     workload, bench = make_workbench(workload_name, scale, seed)
     config = bench.config
     image = LinkedImage(
@@ -531,15 +546,21 @@ def audit_workload(workload_name: str, scale: float = 1.0,
         main_base=config.main_base,
         spm_base=config.spm_base,
     )
+    hierarchy = HierarchyConfig(cache=config.cache)
     recorder = EventRecorder(audit=True, record_policy_state=True)
     previous = set_recorder(recorder)
     try:
-        simulator = InstructionMemorySimulator(
-            image, HierarchyConfig(cache=config.cache)
-        )
+        simulator = InstructionMemorySimulator(image, hierarchy)
         report = simulator.run(bench.block_sequence)
     finally:
         set_recorder(previous)
+    if resolved == "vector":
+        from repro.memory.kernel.vector import simulate as kernel_simulate
+
+        report = kernel_simulate(
+            image, hierarchy, bench.block_sequence,
+            spm_base=config.spm_base,
+        )
     graph = ConflictGraph.from_simulation(bench.memory_objects, report)
     mismatches = audit_conflict_graph(graph, recorder.events())
     return AuditResult(

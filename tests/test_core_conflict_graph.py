@@ -173,3 +173,34 @@ class TestExport:
         dot = graph_abc().to_dot()
         assert dot.startswith("digraph")
         assert '"A" -> "B" [label="300"]' in dot
+
+
+class TestDeterminism:
+    """subgraph/hottest order is independent of input iteration."""
+
+    def test_subgraph_order_follows_parent(self):
+        graph = graph_abc()
+        expected = graph.subgraph(["A", "B", "C"])
+        for names in (["C", "B", "A"], {"A", "B", "C"},
+                      frozenset({"C", "A", "B"})):
+            sub = graph.subgraph(names)
+            assert sub.node_names == expected.node_names
+            assert sub.edges() == expected.edges()
+
+    def test_subgraph_accepts_generator(self):
+        graph = graph_abc()
+        sub = graph.subgraph(name for name in ("B", "A"))
+        assert sub.node_names == ["A", "B"]
+        assert sub.edges() == [("A", "B", 300), ("B", "A", 250)]
+
+    def test_hottest_breaks_ties_by_insertion(self):
+        graph = ConflictGraph()
+        for name in ("X", "Y", "Z"):
+            graph.add_node(ConflictNode(name, fetches=100, size=16))
+        assert graph.hottest(2).node_names == ["X", "Y"]
+
+    def test_hottest_keeps_parent_order(self):
+        graph = graph_abc()
+        # B and A are hottest; the subgraph still lists A first
+        # because the parent inserted it first.
+        assert graph.hottest(2).node_names == ["A", "B"]

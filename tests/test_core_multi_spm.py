@@ -49,7 +49,7 @@ class TestAllocation:
         allocator = MultiScratchpadAllocator(
             [ScratchpadSpec("s0", 32), ScratchpadSpec("s1", 32)]
         )
-        allocation = allocator.allocate(graph, MODEL)
+        allocation = allocator.allocate(graph, energy=MODEL)
         assert set(allocation.assignment.values()) <= {"s0", "s1"}
         assert len(allocation.assignment) == 2  # both objects placed
 
@@ -58,8 +58,8 @@ class TestAllocation:
             [(f"n{i}", 100 * (5 - i), 32) for i in range(5)]
         )
         specs = [ScratchpadSpec("s0", 64), ScratchpadSpec("s1", 32)]
-        allocation = MultiScratchpadAllocator(specs).allocate(graph,
-                                                              MODEL)
+        allocation = MultiScratchpadAllocator(specs).allocate(
+            graph, energy=MODEL)
         for spec in specs:
             used = sum(
                 graph.node(name).size
@@ -76,7 +76,7 @@ class TestAllocation:
         size = 96
         multi = MultiScratchpadAllocator(
             [ScratchpadSpec("only", size)]
-        ).allocate(graph, MODEL)
+        ).allocate(graph, energy=MODEL)
         # compare against CASA with the same E_SP (the spec's model)
         casa_model = EnergyModel(
             cache_hit=MODEL.cache_hit, cache_miss=MODEL.cache_miss,
@@ -91,14 +91,14 @@ class TestAllocation:
         # in the cheaper (smaller) one.
         graph = make_graph([("hot", 10_000, 32), ("warm", 100, 32)])
         specs = [ScratchpadSpec("small", 32), ScratchpadSpec("big", 4096)]
-        allocation = MultiScratchpadAllocator(specs).allocate(graph,
-                                                              MODEL)
+        allocation = MultiScratchpadAllocator(specs).allocate(
+            graph, energy=MODEL)
         assert allocation.assignment["hot"] == "small"
 
     def test_solver_reports_nodes(self):
         graph = make_graph([("A", 100, 32)])
         allocation = MultiScratchpadAllocator(
             [ScratchpadSpec("s", 64)]
-        ).allocate(graph, MODEL)
+        ).allocate(graph, energy=MODEL)
         assert allocation.solver_nodes >= 0
         assert allocation.predicted_energy > 0

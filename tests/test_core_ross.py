@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.allocation import AllocationContext
 from repro.core.ross import RossLoopCacheAllocator
 from repro.memory.loopcache import LoopCacheConfig
 from repro.program.executor import execute_program
@@ -71,7 +72,9 @@ class TestAllocation:
             workload.program, cache=workload.cache)
         allocator = RossLoopCacheAllocator(
             LoopCacheConfig(size=4096, max_regions=2))
-        allocation = allocator.allocate(program, mos, image, graph)
+        allocation = allocator.allocate(
+            graph, context=AllocationContext(
+                program=program, memory_objects=mos, image=image))
         assert len(allocation.loop_regions) <= 2
 
     def test_respects_capacity(self):
@@ -80,7 +83,9 @@ class TestAllocation:
             workload.program, cache=workload.cache)
         allocator = RossLoopCacheAllocator(
             LoopCacheConfig(size=256, max_regions=4))
-        allocation = allocator.allocate(program, mos, image, graph)
+        allocation = allocator.allocate(
+            graph, context=AllocationContext(
+                program=program, memory_objects=mos, image=image))
         assert allocation.used_bytes <= 256
         assert allocation.capacity == 256
 
@@ -90,7 +95,9 @@ class TestAllocation:
             workload.program, cache=workload.cache)
         allocator = RossLoopCacheAllocator(
             LoopCacheConfig(size=1024, max_regions=4))
-        allocation = allocator.allocate(program, mos, image, graph)
+        allocation = allocator.allocate(
+            graph, context=AllocationContext(
+                program=program, memory_objects=mos, image=image))
         regions = list(allocation.loop_regions)
         for i, a in enumerate(regions):
             for b in regions[i + 1:]:
@@ -100,7 +107,9 @@ class TestAllocation:
         program, mos, image, graph = setup(make_loop_program(trip=100))
         allocator = RossLoopCacheAllocator(
             LoopCacheConfig(size=4096, max_regions=1))
-        allocation = allocator.allocate(program, mos, image, graph)
+        allocation = allocator.allocate(
+            graph, context=AllocationContext(
+                program=program, memory_objects=mos, image=image))
         assert len(allocation.loop_regions) == 1
         # the loop body is the densest candidate
         assert allocation.loop_regions[0].name.startswith("loop:")
@@ -109,7 +118,9 @@ class TestAllocation:
         program, mos, image, graph = setup(make_loop_program())
         allocator = RossLoopCacheAllocator(
             LoopCacheConfig(size=1024, max_regions=4))
-        allocation = allocator.allocate(program, mos, image, graph)
+        allocation = allocator.allocate(
+            graph, context=AllocationContext(
+                program=program, memory_objects=mos, image=image))
         assert allocation.algorithm == "ross"
         assert allocation.spm_resident == frozenset()
         assert "regions" in allocation.describe()

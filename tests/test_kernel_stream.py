@@ -1,0 +1,115 @@
+"""Tests for repro.memory.kernel.stream (fetch-stream compilation)."""
+
+import pickle
+
+import numpy as np
+
+from repro.engine.runner import StageRunner, make_workbench
+from repro.engine.store import ArtifactStore
+from repro.memory.kernel import compile_stream
+from repro.traces.layout import LinkedImage, Placement
+
+
+def baseline_image(bench):
+    """Cache-only image of a profiled workbench."""
+    return LinkedImage(
+        bench.program,
+        bench.memory_objects,
+        spm_resident=frozenset(),
+        spm_size=0,
+        placement=Placement.COPY,
+        main_base=bench.config.main_base,
+        spm_base=bench.config.spm_base,
+    )
+
+
+class TestCompile:
+    def test_total_words_match_reference_fetches(self, tiny_workbench):
+        stream = compile_stream(baseline_image(tiny_workbench),
+                                tiny_workbench.block_sequence)
+        report = tiny_workbench.baseline_report
+        assert stream.total_words == report.total_fetches
+        assert stream.num_blocks == report.num_block_executions
+
+    def test_mo_first_seen_matches_report_order(self, tiny_workbench):
+        stream = compile_stream(baseline_image(tiny_workbench),
+                                tiny_workbench.block_sequence)
+        names = [stream.mo_names[i] for i in stream.mo_first_seen()]
+        assert names == list(tiny_workbench.baseline_report.mo_stats)
+
+    def test_spm_words_follow_residency(self, tiny_workbench):
+        bench = tiny_workbench
+        resident = frozenset({bench.memory_objects[0].name})
+        image = LinkedImage(
+            bench.program, bench.memory_objects,
+            spm_resident=resident, spm_size=128,
+            placement=Placement.COPY,
+            main_base=bench.config.main_base,
+            spm_base=bench.config.spm_base,
+        )
+        stream = compile_stream(image, bench.block_sequence,
+                                spm_base=bench.config.spm_base)
+        assert stream.spm_words > 0
+        assert stream.spm_words < stream.total_words
+
+    def test_same_as(self, tiny_workbench):
+        image = baseline_image(tiny_workbench)
+        first = compile_stream(image, tiny_workbench.block_sequence)
+        second = compile_stream(image, tiny_workbench.block_sequence)
+        assert first.same_as(second)
+        assert second.same_as(first)
+
+
+class TestProbes:
+    def test_memoised_per_line_size(self, tiny_workbench):
+        stream = compile_stream(baseline_image(tiny_workbench),
+                                tiny_workbench.block_sequence)
+        assert stream.probes(16) is stream.probes(16)
+        assert stream.probes(16) is not stream.probes(32)
+
+    def test_probe_words_sum_to_stream_words(self, tiny_workbench):
+        stream = compile_stream(baseline_image(tiny_workbench),
+                                tiny_workbench.block_sequence)
+        for line_size in (8, 16, 32):
+            probes = stream.probes(line_size)
+            assert int(probes.words.sum()) == stream.total_words
+
+    def test_first_marks_every_line_once(self, tiny_workbench):
+        stream = compile_stream(baseline_image(tiny_workbench),
+                                tiny_workbench.block_sequence)
+        probes = stream.probes(16)
+        assert int(probes.first.sum()) == \
+            np.unique(probes.line).shape[0]
+
+    def test_pickle_drops_probe_cache(self, tiny_workbench):
+        stream = compile_stream(baseline_image(tiny_workbench),
+                                tiny_workbench.block_sequence)
+        stream.probes(16)
+        clone = pickle.loads(pickle.dumps(stream))
+        assert clone._probe_cache == {}
+        assert clone.same_as(stream)
+
+
+class TestStreamArtifact:
+    def test_stream_stage_cached_across_evaluations(self):
+        store = ArtifactStore()
+        runner = StageRunner(store=store)
+        _, bench = make_workbench("tiny", runner=runner,
+                                  backend="vector")
+        result = bench.run_casa(64)
+        computed = runner.record.computed("stream")
+        assert computed >= 1
+        # Re-simulating the same layout serves the compiled stream
+        # from the store instead of compiling it again.
+        bench.evaluate_spm(result.allocation, 64)
+        assert runner.record.computed("stream") == computed
+        assert runner.record.hits("stream") >= 1
+
+    def test_reference_backend_never_compiles_streams(self):
+        store = ArtifactStore()
+        runner = StageRunner(store=store)
+        _, bench = make_workbench("tiny", runner=runner,
+                                  backend="reference")
+        bench.run_casa(64)
+        assert runner.record.computed("stream") == 0
+        assert runner.record.hits("stream") == 0
