@@ -6,13 +6,13 @@ PYTHON ?= python
 # install step is needed.
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-smoke exhibits report examples \
-	docs docs-regen clean
+.PHONY: install test bench bench-smoke chaos-smoke exhibits report \
+	examples docs docs-regen clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: bench-smoke docs
+test: bench-smoke chaos-smoke docs
 	$(PYTHON) -m pytest tests/
 
 test-output:
@@ -29,6 +29,16 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_smoke.py
 	$(PYTHON) -m repro verify-kernel --workloads tiny adpcm \
 		--trials 10 --scale 0.5 --no-cache
+
+# Chaos differential gate: a small sweep under a canned fault plan
+# (store corruption on read and write, one worker fault, one solver
+# fault, one kernel fault) must heal to results bit-identical to the
+# fault-free run, with at least one retry proving the plan bit.
+chaos-smoke:
+	$(PYTHON) -m repro chaos --workload tiny --scale 0.2 --jobs 2 \
+		--min-retries 1 --faults "store.read:error@nth=1;\
+	store.write:error@nth=1;worker.exec:error@nth=2;\
+	ilp.solve:error@nth=1;kernel.replay:error@nth=1"
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

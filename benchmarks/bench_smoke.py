@@ -34,6 +34,8 @@ from repro.engine import (
 )
 from repro.obs.metrics import MetricsRegistry, inc, set_registry
 from repro.obs.trace import TraceCollector, set_collector, span
+from repro.resilience.faults import FaultPlan, maybe_inject, \
+    set_fault_plan
 
 #: The committed seed baseline ``make bench-smoke`` gates against.
 BASELINE_HISTORY = Path(__file__).resolve().parent / "baselines" \
@@ -238,6 +240,67 @@ def test_disabled_event_hook_overhead_below_two_percent(tmp_path):
         f"disabled event-hook overhead {overhead * 1e6:.0f} us "
         f"({probes:.0f} cache probes) is not < 2% of the "
         f"{wall * 1e3:.1f} ms cold run"
+    )
+
+
+class _CountingFaultPlan(FaultPlan):
+    """Plan with no rules that counts how many sites consult it."""
+
+    def __init__(self) -> None:
+        super().__init__([])
+        self.consultations = 0
+
+    def match(self, site, attempt):
+        """Count the call and never fire."""
+        self.consultations += 1
+        return None
+
+
+def _disabled_inject_cost(iterations: int = 100_000) -> float:
+    """Per-call seconds of maybe_inject() with no plan installed."""
+    started = time.perf_counter()
+    for _ in range(iterations):
+        maybe_inject("store.read")
+    return (time.perf_counter() - started) / iterations
+
+
+def test_disabled_fault_injection_overhead_below_two_percent(tmp_path):
+    """Acceptance: disabled fault-injection sites cost < 2%.
+
+    A run under an empty counting plan measures how many times the
+    bench workload actually reaches an injection site; the measured
+    per-call cost of the disabled fast path (one global read + one
+    ``None`` comparison) then bounds the overhead a plain, uninjected
+    run pays for having the sites compiled in.
+    """
+    points = EXHIBIT_POINTS["table1"]
+    cache_dir = tmp_path / "cache"
+    plan = _CountingFaultPlan()
+    previous_plan = set_fault_plan(plan)
+    previous_store = set_default_store(ArtifactStore(cache_dir=cache_dir))
+    try:
+        map_points(points, record=RunRecord())
+    finally:
+        set_default_store(previous_store)
+        set_fault_plan(previous_plan)
+    sites_reached = plan.consultations
+    assert sites_reached > 0
+
+    previous_store = set_default_store(
+        ArtifactStore(cache_dir=tmp_path / "disabled")
+    )
+    try:
+        started = time.perf_counter()
+        map_points(points, record=RunRecord())
+        wall = time.perf_counter() - started
+    finally:
+        set_default_store(previous_store)
+
+    overhead = sites_reached * _disabled_inject_cost()
+    assert overhead < 0.02 * wall, (
+        f"disabled fault-injection overhead {overhead * 1e6:.0f} us "
+        f"({sites_reached} site consultations) is not < 2% of the "
+        f"{wall * 1e3:.1f} ms run"
     )
 
 

@@ -41,6 +41,9 @@ MODULES = (
     "repro.obs.events",
     "repro.obs.report",
     "repro.obs.history",
+    "repro.resilience.faults",
+    "repro.resilience.healing",
+    "repro.resilience.chaos",
     "repro.workloads.builder",
     "repro.workloads.registry",
     "repro.evaluation.sweep",

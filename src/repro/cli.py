@@ -16,6 +16,11 @@ Commands:
 * ``bench`` — benchmark regression tracking (``record`` a metric
   snapshot / ``compare`` against a committed baseline, non-zero exit
   on regression);
+* ``chaos`` — chaos differential gate: run a sweep under an injected
+  fault plan (``--faults`` / ``$CASA_FAULTS``) through the
+  self-healing layer and assert bit-identical results versus the
+  fault-free run (non-zero exit on divergence, silent plans, or too
+  few retries — see ``docs/ROBUSTNESS.md``);
 * ``workloads`` — list registered benchmarks.
 
 Every experiment command consults the engine's content-addressed
@@ -299,6 +304,41 @@ def _build_parser() -> argparse.ArgumentParser:
              "within 5x either way; deterministic metrics always "
              "match exactly)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a sweep under an injected fault plan and assert "
+             "bit-identical results vs. the fault-free run; non-zero "
+             "exit on divergence",
+    )
+    chaos.add_argument("--workload", default="tiny",
+                       choices=available_workloads())
+    chaos.add_argument("--sizes", type=int, nargs="+", default=None,
+                       help="scratchpad sizes in bytes (default 64 128)")
+    chaos.add_argument(
+        "--algorithms", nargs="+",
+        default=["casa", "steinke"],
+        choices=["casa", "steinke", "greedy", "ross"],
+    )
+    chaos.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault plan, e.g. 'store.read:error@nth=1;"
+             "worker.exec:crash@nth=2' (default: $CASA_FAULTS)",
+    )
+    chaos.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="retry budget per design point (default 3)",
+    )
+    chaos.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-point evaluation timeout in seconds (default none)",
+    )
+    chaos.add_argument(
+        "--min-retries", type=int, default=0,
+        help="fail unless the healing layer retried at least this "
+             "many times (proves the plan actually bit; default 0)",
+    )
+    _add_scale(chaos, jobs=True)
 
     cache = sub.add_parser(
         "cache", help="artifact-cache maintenance"
@@ -657,6 +697,42 @@ def main(argv: list[str] | None = None) -> int:
         print(solver_summary(allocation) + "\n")
         print(render_explanation(explanations))
         return 0
+
+    if args.command == "chaos":
+        from repro.resilience.chaos import run_chaos
+        from repro.resilience.faults import FAULTS_ENV, FaultPlan
+        from repro.resilience.healing import RetryPolicy
+
+        def run_chaos_command(record: RunRecord) -> int:
+            del record  # chaos runs its own instrumented passes
+            spec = args.faults if args.faults is not None \
+                else os.environ.get(FAULTS_ENV, "")
+            plan = FaultPlan.from_spec(spec) if spec else FaultPlan()
+            policy = RetryPolicy(max_attempts=args.max_attempts,
+                                 timeout_s=args.timeout)
+            result = run_chaos(
+                args.workload,
+                sizes=tuple(args.sizes) if args.sizes else None,
+                algorithms=tuple(args.algorithms),
+                plan=plan,
+                scale=args.scale,
+                seed=args.seed,
+                jobs=args.jobs,
+                policy=policy,
+            )
+            print(result.render())
+            if not result.ok:
+                return 1
+            if plan.rules and result.injected == 0:
+                print("chaos: FAIL — a fault plan was installed but "
+                      "no fault ever fired")
+                return 1
+            if result.retries < args.min_retries:
+                print(f"chaos: FAIL — expected >= {args.min_retries} "
+                      f"retries, saw {result.retries}")
+                return 1
+            return 0
+        return _run_observed(args, run_chaos_command)
 
     if args.command == "audit":
         from repro.obs.events import audit_workload

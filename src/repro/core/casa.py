@@ -22,12 +22,15 @@ contribution.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.core.allocation import Allocation, AllocationContext
 from repro.core.conflict_graph import ConflictGraph
 from repro.energy.model import EnergyModel
-from repro.errors import SolverError
+from repro.core.greedy_allocator import GreedyCasaAllocator
+from repro.errors import DegradedResultError, SolverError
+from repro.obs import metrics
 from repro.ilp import (
     BranchAndBoundSolver,
     LinExpr,
@@ -47,11 +50,21 @@ class CasaConfig:
         conflict_term: include the conflict-edge terms (the paper's
             contribution); disable only for ablation studies.
         max_nodes: branch & bound node limit.
+        max_seconds: branch & bound wall-clock budget (``None`` =
+            unlimited).
+        fallback: what to do when the solve budget is exhausted
+            (``NODE_LIMIT`` / ``TIME_LIMIT``): ``"greedy"`` degrades
+            to :class:`~repro.core.greedy_allocator.GreedyCasaAllocator`
+            and tags the allocation ``solver_status="degraded"``;
+            ``"raise"`` raises
+            :class:`~repro.errors.DegradedResultError` instead.
     """
 
     include_compulsory: bool = True
     conflict_term: bool = True
     max_nodes: int = 200_000
+    max_seconds: float | None = None
+    fallback: str = "greedy"
 
 
 class CasaAllocator:
@@ -171,9 +184,18 @@ class CasaAllocator:
         protocol conformance and ignored — the ILP decides from the
         graph and the energy model alone.
 
+        When the solve budget (``max_nodes`` / ``max_seconds``) runs
+        out, the configured degradation ladder applies: with
+        ``fallback="greedy"`` the greedy heuristic takes over and the
+        returned allocation carries ``solver_status="degraded"`` (plus
+        the nodes the exact solver burned), so reports can surface the
+        loss of optimality.
+
         Raises:
-            SolverError: if the ILP cannot be solved to optimality
-                within the node limit.
+            DegradedResultError: budget exhausted and
+                ``fallback="raise"``.
+            SolverError: the ILP is infeasible/unbounded or the solve
+                errored (never budget exhaustion).
         """
         del context
         model, location = self.build_model(graph, spm_size, energy)
@@ -186,8 +208,14 @@ class CasaAllocator:
                 capacity=spm_size,
                 used_bytes=0,
             )
-        solver = BranchAndBoundSolver(max_nodes=self._config.max_nodes)
+        solver = BranchAndBoundSolver(
+            max_nodes=self._config.max_nodes,
+            max_seconds=self._config.max_seconds,
+        )
         result = model.solve(solver)
+        if result.status in (SolveStatus.NODE_LIMIT,
+                             SolveStatus.TIME_LIMIT):
+            return self._degrade(graph, spm_size, energy, result)
         if result.status is not SolveStatus.OPTIMAL:
             raise SolverError(
                 f"CASA ILP not solved to optimality: {result.status.value}"
@@ -207,4 +235,33 @@ class CasaAllocator:
             solver_gap=result.gap,
             capacity=spm_size,
             used_bytes=used,
+        )
+
+    def _degrade(self, graph: ConflictGraph, spm_size: int,
+                 energy: EnergyModel, result) -> Allocation:
+        """Apply the budget-exhaustion ladder (greedy or raise).
+
+        The greedy fallback is deterministic and budget-free, so a
+        degraded sweep still completes with a valid (merely
+        sub-optimal) allocation; ``solver_status="degraded"`` and the
+        exact solver's node count are carried into the result.
+        """
+        if self._config.fallback != "greedy":
+            raise DegradedResultError(
+                f"CASA solve budget exhausted "
+                f"({result.status.value} after "
+                f"{result.nodes_explored} nodes) and greedy fallback "
+                f"is disabled",
+                site="ilp.solve",
+            )
+        metrics.inc("solver.degraded")
+        greedy = GreedyCasaAllocator(
+            include_compulsory=self._config.include_compulsory
+        )
+        allocation = greedy.allocate(graph, spm_size, energy)
+        return dataclasses.replace(
+            allocation,
+            algorithm=self.name,
+            solver_status="degraded",
+            solver_nodes=result.nodes_explored,
         )

@@ -17,6 +17,7 @@ there first.
 from __future__ import annotations
 
 import concurrent.futures
+import concurrent.futures.process
 import os
 import pickle
 from dataclasses import dataclass
@@ -25,7 +26,9 @@ from typing import TYPE_CHECKING
 from repro.engine.runner import RunRecord, StageRunner, make_workbench
 from repro.engine.store import ArtifactStore, default_store, \
     set_default_store
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InjectedFault
+from repro.resilience.faults import FaultPlan, active_fault_plan, \
+    maybe_inject, set_fault_attempt, set_fault_plan
 from repro.memory.cache import CacheConfig
 from repro.obs.events import EventRecorder, active_recorder, \
     set_recorder
@@ -95,6 +98,9 @@ def evaluate_point(point: PointSpec,
     with span("point.evaluate", workload=point.workload,
               algorithm=point.algorithm, spm_size=point.spm_size,
               scale=point.scale, seed=point.seed):
+        maybe_inject("worker.exec", workload=point.workload,
+                     algorithm=point.algorithm,
+                     spm_size=point.spm_size)
         _, bench = make_workbench(
             point.workload, point.scale, point.seed,
             cache=point.cache, tracegen=point.tracegen, runner=runner,
@@ -112,22 +118,35 @@ def evaluate_point(point: PointSpec,
                               max_regions=point.max_regions)
 
 
-def _init_worker(cache_dir: str | None) -> None:
-    """Process-pool initializer: point the worker at the shared cache."""
+def _init_worker(cache_dir: str | None,
+                 fault_spec: str | None = None) -> None:
+    """Process-pool initializer: point the worker at the shared cache.
+
+    When a fault plan is active in the parent, its spec rides along so
+    workers replay the same rules even under the ``spawn`` start
+    method (``fork`` would inherit the plan, but the spec makes the
+    behaviour start-method independent — with fresh per-process rule
+    state either way).
+    """
     set_default_store(ArtifactStore(cache_dir=cache_dir))
+    if fault_spec:
+        set_fault_plan(FaultPlan.from_spec(fault_spec))
 
 
-def _evaluate_in_worker(task: tuple[PointSpec, bool, bool, bool]):
+def _evaluate_in_worker(task: tuple[PointSpec, bool, bool, bool, int]):
     """Worker-side evaluation of one design point.
 
-    *task* is ``(point, trace, metrics, events)`` — the flags mirror
-    whether the parent had a collector/registry/event recorder
-    installed.  Returns ``(result, record_dict, span_events,
-    metrics_snapshot, event_snapshot)`` where the last three are
-    ``None`` unless the matching flag was set; the parent merges them
-    back in input order, exactly like the record counters.
+    *task* is ``(point, trace, metrics, events, attempt)`` — the flags
+    mirror whether the parent had a collector/registry/event recorder
+    installed, and *attempt* is the retry attempt the self-healing
+    layer is on (0 for plain :func:`map_points`).  Returns ``(result,
+    record_dict, span_events, metrics_snapshot, event_snapshot)``
+    where the middle three are ``None`` unless the matching flag was
+    set; the parent merges them back in input order, exactly like the
+    record counters.
     """
-    point, trace_enabled, metrics_enabled, events_enabled = task
+    point, trace_enabled, metrics_enabled, events_enabled, attempt = task
+    set_fault_attempt(attempt)
     collector = TraceCollector() if trace_enabled else None
     registry = MetricsRegistry() if metrics_enabled else None
     recorder = EventRecorder() if events_enabled else None
@@ -154,6 +173,12 @@ def _evaluate_in_worker(task: tuple[PointSpec, bool, bool, bool]):
     event_snapshot = recorder.snapshot() \
         if recorder is not None else None
     return result, record.as_dict(), events, snapshot, event_snapshot
+
+
+def _active_fault_spec() -> str | None:
+    """Spec of the parent's fault plan, for worker initializers."""
+    plan = active_fault_plan()
+    return plan.spec() if plan is not None and plan.rules else None
 
 
 def _run_serial(points: list[PointSpec],
@@ -205,18 +230,19 @@ def map_points(
     recorder = active_recorder()
     tasks = [
         (point, collector is not None, registry is not None,
-         recorder is not None)
+         recorder is not None, 0)
         for point in points
     ]
     try:
+        maybe_inject("worker.spawn", jobs=jobs)
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(jobs, len(points)),
             initializer=_init_worker,
-            initargs=(init_arg,),
+            initargs=(init_arg, _active_fault_spec()),
         ) as pool:
             outcomes = list(pool.map(_evaluate_in_worker, tasks))
     except (OSError, concurrent.futures.process.BrokenProcessPool,
-            pickle.PicklingError):
+            pickle.PicklingError, InjectedFault):
         # No usable multiprocessing (restricted sandbox, unpicklable
         # payload...): degrade to the serial path, same results.
         return _run_serial(points, runner, record)

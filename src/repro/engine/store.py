@@ -8,7 +8,12 @@ survives processes and is shared by parallel sweep workers.
 
 Disk entries are versioned and corruption-safe: a file that fails to
 unpickle, carries the wrong schema version or the wrong digest is
-deleted and treated as a miss, so the caller simply recomputes.
+moved into a ``quarantine/`` subdirectory (preserved for post-mortem
+inspection), logged as a typed
+:class:`~repro.errors.CacheCorruptionError`, and treated as a miss, so
+the caller simply recomputes.  Writes are atomic (write-to-temp +
+``os.replace``) and temp files orphaned by killed processes are
+removed when a store opens the directory.
 """
 
 from __future__ import annotations
@@ -21,6 +26,29 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.engine.artifacts import SCHEMA_VERSION
+from repro.errors import CacheCorruptionError, InjectedFault
+from repro.obs import metrics
+from repro.resilience.faults import maybe_inject
+
+#: Subdirectory of the cache dir where corrupt entries are preserved.
+QUARANTINE_DIR = "quarantine"
+
+#: Exceptions that mean "this pickle is corrupt or stale", as opposed
+#: to programming errors that must propagate.  Unpickling arbitrary
+#: bytes can raise most of these; anything else re-raises.
+_CORRUPTION_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    AttributeError,
+    ImportError,
+    MemoryError,
+    OSError,
+    InjectedFault,
+)
 
 #: Default number of artifacts kept by the in-memory tier.
 DEFAULT_MEMORY_ITEMS = 256
@@ -39,6 +67,7 @@ class StoreStats:
     puts: int = 0
     evictions: int = 0
     disk_errors: int = 0
+    quarantined: int = 0
     per_stage: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -72,6 +101,8 @@ class ArtifactStore:
             Path(cache_dir) if cache_dir is not None else None
         )
         self.stats = StoreStats()
+        self.corruptions: list[CacheCorruptionError] = []
+        self._sweep_orphans()
 
     # -- lookup ---------------------------------------------------------------
 
@@ -124,12 +155,21 @@ class ArtifactStore:
     # -- maintenance ----------------------------------------------------------
 
     def clear(self, *, memory: bool = True, disk: bool = True) -> int:
-        """Drop cached artifacts; return the number of disk files removed."""
+        """Drop cached artifacts; return the number of disk files removed.
+
+        Clearing the disk tier also empties the quarantine directory.
+        """
         if memory:
             self._memory.clear()
         removed = 0
         if disk and self.cache_dir is not None and self.cache_dir.is_dir():
             for path in self.cache_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for path in self.quarantined_entries():
                 try:
                     path.unlink()
                     removed += 1
@@ -142,6 +182,16 @@ class ArtifactStore:
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return []
         return sorted(self.cache_dir.glob("*.pkl"))
+
+    def quarantined_entries(self) -> list[Path]:
+        """Paths of every quarantined (corrupt) artifact file."""
+        if self.cache_dir is None:
+            return []
+        quarantine = self.cache_dir / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return []
+        return sorted(path for path in quarantine.iterdir()
+                      if path.is_file())
 
     def disk_usage(self) -> tuple[int, int]:
         """``(file_count, total_bytes)`` of the on-disk tier."""
@@ -167,6 +217,7 @@ class ArtifactStore:
         if not path.is_file():
             return None
         try:
+            maybe_inject("store.read", stage=stage, digest=digest)
             with path.open("rb") as handle:
                 envelope = pickle.load(handle)
             if (
@@ -177,36 +228,83 @@ class ArtifactStore:
             ):
                 raise ValueError("stale or foreign cache entry")
             return envelope["artifact"]
-        except Exception:
+        except _CORRUPTION_ERRORS as error:
             # Corrupt, truncated, stale-schema or unreadable entry:
-            # drop it and let the caller recompute.
-            self.stats.disk_errors += 1
+            # quarantine it and let the caller recompute.  Anything
+            # outside _CORRUPTION_ERRORS is a real bug and propagates.
+            self._quarantine(path, stage, digest, error)
+            return None
+
+    def _quarantine(self, path: Path, stage: str, digest: str,
+                    error: BaseException) -> None:
+        """Move a corrupt entry aside and log a typed corruption record."""
+        assert self.cache_dir is not None
+        self.stats.disk_errors += 1
+        self.stats.quarantined += 1
+        metrics.inc("store.quarantined")
+        try:
+            quarantine = self.cache_dir / QUARANTINE_DIR
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            # Quarantining is best-effort; at minimum get the bad
+            # entry out of the lookup path.
             try:
                 path.unlink()
             except OSError:
                 pass
-            return None
+        self.corruptions.append(CacheCorruptionError(
+            f"corrupt cache entry for stage {stage!r}: "
+            f"{type(error).__name__}: {error}",
+            stage=stage, digest=digest, path=str(path),
+        ))
+
+    def _sweep_orphans(self) -> None:
+        """Remove temp files orphaned by killed writer processes.
+
+        Atomic writes go through ``<entry>.tmp.<pid>``; a process that
+        dies mid-write leaves the temp file behind.  Files belonging to
+        the current process are left alone (a concurrent write may be
+        in flight).
+        """
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return
+        own_suffix = f".tmp.{os.getpid()}"
+        for path in self.cache_dir.glob("*.tmp.*"):
+            if path.name.endswith(own_suffix):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def _disk_store(self, stage: str, digest: str, artifact: Any) -> None:
         assert self.cache_dir is not None
+        path = self._entry_path(stage, digest)
+        temp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
+            maybe_inject("store.write", stage=stage, digest=digest)
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            path = self._entry_path(stage, digest)
             envelope = {
                 "schema": SCHEMA_VERSION,
                 "stage": stage,
                 "digest": digest,
                 "artifact": artifact,
             }
-            temp = path.with_suffix(f".tmp.{os.getpid()}")
             with temp.open("wb") as handle:
                 pickle.dump(envelope, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(temp, path)
-        except Exception:
-            # A read-only or full filesystem must not break experiments;
-            # the memory tier still holds the artifact.
+        except (OSError, pickle.PicklingError, TypeError,
+                AttributeError, InjectedFault):
+            # A read-only or full filesystem (or unpicklable artifact)
+            # must not break experiments; the memory tier still holds
+            # the artifact.  Unexpected errors propagate.
             self.stats.disk_errors += 1
+            try:
+                temp.unlink()
+            except OSError:
+                pass
 
 
 # -- process-wide default store ----------------------------------------------

@@ -54,3 +54,121 @@ class AllocationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was mis-specified or an unknown benchmark was requested."""
+
+
+# -- resilience -----------------------------------------------------------------
+#
+# The errors below carry structured context (the failing injection
+# *site* and/or design *point*) so the self-healing sweep layer
+# (:mod:`repro.resilience`) can report exactly what failed where.  They
+# cross process boundaries, so each defines ``__reduce__`` to keep its
+# attributes through pickling.
+
+
+class CacheCorruptionError(ReproError):
+    """An on-disk artifact failed to load and was quarantined.
+
+    The store recovers transparently (the artifact is recomputed); this
+    type records *what* was corrupt for the store's corruption log and
+    the resilience report.
+
+    Attributes:
+        stage: engine stage of the corrupt artifact.
+        digest: content digest of the corrupt artifact.
+        path: original on-disk location (before quarantining).
+    """
+
+    def __init__(self, message: str = "", stage: str = "",
+                 digest: str = "", path: str = "") -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.digest = digest
+        self.path = path
+
+    def __reduce__(self):
+        """Preserve the structured attributes across pickling."""
+        return (
+            type(self),
+            (str(self), self.stage, self.digest, self.path),
+        )
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died (or a crash fault was injected).
+
+    Attributes:
+        site: the fault-injection site or subsystem that crashed.
+        point: short description of the design point being evaluated.
+    """
+
+    def __init__(self, message: str = "", site: str = "",
+                 point: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+        self.point = point
+
+    def __reduce__(self):
+        """Preserve the structured attributes across pickling."""
+        return (type(self), (str(self), self.site, self.point))
+
+
+class PointTimeoutError(ReproError):
+    """One design point exceeded its per-point evaluation timeout.
+
+    Attributes:
+        point: short description of the design point that timed out.
+        seconds: the timeout that was exceeded.
+    """
+
+    def __init__(self, message: str = "", point: str = "",
+                 seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.point = point
+        self.seconds = seconds
+
+    def __reduce__(self):
+        """Preserve the structured attributes across pickling."""
+        return (type(self), (str(self), self.point, self.seconds))
+
+
+class DegradedResultError(ReproError):
+    """A degradation ladder was reached but degrading was disallowed.
+
+    Raised e.g. by the CASA allocator when its solve budget is
+    exhausted and the configuration forbids the greedy fallback.
+
+    Attributes:
+        site: the subsystem that wanted to degrade (e.g. ``ilp.solve``).
+        point: short description of the affected design point, if any.
+    """
+
+    def __init__(self, message: str = "", site: str = "",
+                 point: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+        self.point = point
+
+    def __reduce__(self):
+        """Preserve the structured attributes across pickling."""
+        return (type(self), (str(self), self.site, self.point))
+
+
+class InjectedFault(ReproError):
+    """A fault raised by the deterministic fault-injection framework.
+
+    Only ever raised when a :class:`repro.resilience.FaultPlan` is
+    active; production code paths treat it exactly like the real
+    failure it stands in for (corrupt artifact, failed solve, crashed
+    worker ...).
+
+    Attributes:
+        site: the injection site that fired.
+    """
+
+    def __init__(self, message: str = "", site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+
+    def __reduce__(self):
+        """Preserve the structured attributes across pickling."""
+        return (type(self), (str(self), self.site))

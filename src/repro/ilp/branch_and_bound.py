@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass
 
 from repro.ilp.expr import Variable
@@ -35,6 +36,7 @@ from repro.ilp.model import (
 from repro.ilp.scipy_backend import LpRelaxationSolver, LpSolution
 from repro.obs import metrics
 from repro.obs.trace import span
+from repro.resilience.faults import maybe_inject
 
 #: Tolerance below which a value counts as integral.
 INTEGRALITY_TOLERANCE = 1e-6
@@ -59,13 +61,18 @@ class BranchAndBoundSolver:
             is returned with :attr:`SolveStatus.NODE_LIMIT`.
         absolute_gap: prove optimality once ``best_bound`` is within
             this absolute distance of the incumbent.
+        max_seconds: wall-clock budget; when exceeded the best
+            incumbent is returned with :attr:`SolveStatus.TIME_LIMIT`
+            (``None`` = unlimited).
     """
 
     def __init__(self, max_nodes: int = 200_000,
                  absolute_gap: float = 1e-6,
                  relative_gap: float = 0.0,
-                 lp_factory=LpRelaxationSolver) -> None:
+                 lp_factory=LpRelaxationSolver,
+                 max_seconds: float | None = None) -> None:
         self.max_nodes = max_nodes
+        self.max_seconds = max_seconds
         self.absolute_gap = absolute_gap
         #: stop once the incumbent is proven within this relative
         #: distance of the best bound (0 = prove exact optimality).
@@ -87,6 +94,7 @@ class BranchAndBoundSolver:
         """
         with span("ilp.solve", variables=len(model.variables),
                   constraints=len(model.constraints)) as solve_span:
+            maybe_inject("ilp.solve", variables=len(model.variables))
             result = self._solve(model)
             telemetry = result.telemetry
             assert telemetry is not None
@@ -107,6 +115,8 @@ class BranchAndBoundSolver:
 
     def _solve(self, model: Model) -> SolveResult:
         telemetry = SolveTelemetry()
+        deadline = (time.monotonic() + self.max_seconds
+                    if self.max_seconds is not None else None)
         lp = self.lp_factory(model)
         sense_mult = 1.0 if model.sense is Sense.MINIMIZE else -1.0
 
@@ -177,6 +187,11 @@ class BranchAndBoundSolver:
                 telemetry.best_bound = bound_key * sense_mult
                 record_point(nodes, bound_key)
                 return self._finish(SolveStatus.NODE_LIMIT, incumbent,
+                                    nodes, telemetry)
+            if deadline is not None and time.monotonic() > deadline:
+                telemetry.best_bound = bound_key * sense_mult
+                record_point(nodes, bound_key)
+                return self._finish(SolveStatus.TIME_LIMIT, incumbent,
                                     nodes, telemetry)
             if nodes % stride == 0:
                 record_point(nodes, bound_key)

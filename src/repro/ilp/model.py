@@ -26,6 +26,7 @@ class SolveStatus(enum.Enum):
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
     ERROR = "error"
 
 

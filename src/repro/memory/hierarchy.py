@@ -18,10 +18,12 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, InjectedFault, \
+    SimulationError
 from repro.memory.cache import Cache, CacheConfig
 from repro.memory.kernel.stream import FetchStream, compile_stream
-from repro.memory.kernel.vector import simulate_stream, unsupported_reason
+from repro.memory.kernel.vector import KernelUnsupported, \
+    simulate_stream, unsupported_reason
 from repro.memory.loopcache import LoopCache, LoopCacheConfig, LoopRegion
 from repro.memory.mainmem import MainMemory
 from repro.memory.scratchpad import Scratchpad
@@ -29,6 +31,7 @@ from repro.memory.stats import SimulationReport
 from repro.obs import metrics
 from repro.obs.events import active_recorder
 from repro.obs.trace import span
+from repro.resilience.faults import maybe_inject
 from repro.traces.layout import BlockFetchPlan, FetchSegment, LinkedImage
 
 #: Valid values of the simulation ``backend`` knob.
@@ -424,13 +427,27 @@ def simulate(
     chosen = _choose_backend(backend, config, loop_regions, block_phases)
     with span("sim.hierarchy", blocks=len(block_sequence),
               backend=chosen) as sim_span:
+        report = None
         if chosen == "vector":
-            if stream is None:
-                stream = compile_stream(
-                    image, block_sequence, spm_base=spm_base
-                )
-            report = simulate_stream(stream, config, spm_base=spm_base)
-        else:
+            # Degradation ladder: any kernel fault — injected via the
+            # ``kernel.replay`` site or a genuine replay limitation
+            # surfacing late — falls back to the reference
+            # interpreter, which is bit-identical by construction.
+            try:
+                maybe_inject("kernel.replay",
+                             blocks=len(block_sequence))
+                if stream is None:
+                    stream = compile_stream(
+                        image, block_sequence, spm_base=spm_base
+                    )
+                report = simulate_stream(stream, config,
+                                         spm_base=spm_base)
+            except (InjectedFault, KernelUnsupported):
+                metrics.inc("sim.kernel.fallbacks")
+                metrics.inc("resilience.kernel_fallbacks")
+                sim_span.add(fallback="reference")
+                chosen = "reference"
+        if report is None:
             simulator = InstructionMemorySimulator(
                 image, config, spm_base=spm_base,
                 loop_regions=loop_regions

@@ -354,6 +354,16 @@ def collect_suite_metrics(
     for counter in ("ilp.bb.nodes", "ilp.lp_solves",
                     "ilp.lp_iterations", "sim.runs", "sim.fetches"):
         metrics[f"suite.{counter}"] = registry.value(counter)
+    # Resilience counters: all must stay exactly zero on the clean
+    # path — any non-zero value means faults, retries or fallbacks
+    # crept into an uninjected run, which the baseline compare flags.
+    for counter in ("faults.injected", "resilience.retries",
+                    "resilience.degraded_points",
+                    "resilience.failed_points",
+                    "resilience.pool_restarts",
+                    "resilience.kernel_fallbacks",
+                    "solver.degraded", "store.quarantined"):
+        metrics[f"suite.{counter}"] = registry.value(counter)
     metrics.update(measure_kernel_speedup(scale=scale, seed=seed))
     metrics["wall.seconds"] = time.perf_counter() - started
     return metrics

@@ -280,6 +280,46 @@ def _convergence_lines(run: RunData) -> list[str]:
     return lines
 
 
+#: Resilience counters surfaced in the report, with display labels.
+_RESILIENCE_METRICS = (
+    ("faults.injected", "faults injected"),
+    ("resilience.retries", "point retries"),
+    ("resilience.degraded_points", "degraded points"),
+    ("resilience.failed_points", "failed points"),
+    ("resilience.pool_restarts", "worker-pool restarts"),
+    ("resilience.kernel_fallbacks", "kernel fallbacks"),
+    ("solver.degraded", "solver degradations (CASA→greedy)"),
+    ("store.quarantined", "quarantined artifacts"),
+)
+
+
+def _resilience_lines(run: RunData) -> list[str]:
+    """The resilience section (empty when nothing eventful happened).
+
+    Sourced from the fault-injection and self-healing metrics (see
+    ``docs/ROBUSTNESS.md``); a clean, fault-free run records all-zero
+    counters and gets no section at all.
+    """
+    entries = [
+        (label, run.metric_value(name))
+        for name, label in _RESILIENCE_METRICS
+    ]
+    if not any(value for _, value in entries):
+        return []
+    lines = ["", "## Resilience", ""]
+    for label, value in entries:
+        if value:
+            lines.append(f"- {label}: {value:g}")
+    sites = sorted(
+        name for name in run.metrics
+        if name.startswith("faults.injected.")
+    )
+    for name in sites:
+        site = name[len("faults.injected."):]
+        lines.append(f"  - at {site}: {run.metric_value(name):g}")
+    return lines
+
+
 def _slowest_points(run: RunData, top: int) -> list[dict[str, Any]]:
     points = run.point_spans()
     if not points:
@@ -318,6 +358,12 @@ def summarise_run(run: RunData, top: int = 10) -> dict[str, Any]:
         }
         for span in _slowest_points(run, top)
     ]
+    resilience = {
+        name.replace("faults.injected", "injected")
+        .replace("resilience.", "").replace("solver.", "solver_")
+        .replace("store.", "store_"): run.metric_value(name)
+        for name, _ in _RESILIENCE_METRICS
+    }
     return {
         "command": run.command,
         "argv": run.argv,
@@ -327,6 +373,7 @@ def summarise_run(run: RunData, top: int = 10) -> dict[str, Any]:
         "metrics": run.metrics,
         "slowest": slowest,
         "solves": _solve_summaries(run),
+        "resilience": resilience,
     }
 
 
@@ -379,6 +426,7 @@ def render_run_report(run: RunData, top: int = 10) -> str:
     else:
         lines.append("(no spans recorded)")
     lines += _convergence_lines(run)
+    lines += _resilience_lines(run)
     interesting = [
         name for name in sorted(run.metrics)
         if name.startswith(("ilp.", "graph.", "trace."))

@@ -1,0 +1,455 @@
+"""Self-healing sweep execution: retries, timeouts, pool restarts.
+
+:func:`map_points_healed` is the resilient sibling of
+:func:`repro.engine.parallel.map_points`: same design points, same
+deterministic input-order results, but each point is evaluated under a
+:class:`RetryPolicy` — bounded retry-with-backoff, an optional
+per-point timeout, and worker-crash detection with process-pool
+restart — and the sweep returns a :class:`HealedRun` of per-point
+:class:`PointOutcome` records instead of raising on the first failure.
+
+The healing loop leans on one invariant of the fault framework:
+injection rules skip retry attempts unless explicitly opted in
+(``retries``), so a bounded number of retries always converges to the
+fault-free result.  Because every stage of the engine is deterministic,
+a retried or recomputed point is bit-identical to a never-faulted one —
+which is exactly what the chaos gate (:mod:`repro.resilience.chaos`)
+asserts.
+
+Healing metrics: ``resilience.retries``, ``resilience.failed_points``,
+``resilience.degraded_points``, ``resilience.pool_restarts``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import concurrent.futures.process
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.parallel import (
+    POINT_ALGORITHMS,
+    PointSpec,
+    _active_fault_spec,
+    _evaluate_in_worker,
+    _init_worker,
+    evaluate_point,
+)
+from repro.engine.runner import RunRecord, StageRunner
+from repro.engine.store import default_store
+from repro.errors import ConfigurationError, InjectedFault, \
+    PointTimeoutError
+from repro.obs import metrics
+from repro.obs.events import active_recorder
+from repro.obs.metrics import active_registry
+from repro.obs.trace import get_collector
+from repro.resilience.faults import maybe_inject, set_fault_attempt
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import ExperimentResult
+
+#: The statuses a :class:`PointOutcome` may carry.
+OUTCOME_STATUSES = ("ok", "retried", "degraded", "failed")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard :func:`map_points_healed` tries before giving up.
+
+    Attributes:
+        max_attempts: total tries per point (1 = no retries).
+        backoff_s: sleep before the first retry, in seconds.
+        backoff_factor: multiplier applied to the backoff per retry.
+        timeout_s: per-point evaluation timeout (``None`` = none).
+            On the pool path the bound covers waiting for the worker,
+            so queueing behind other points counts toward it; size it
+            for the whole batch or raise ``jobs``.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    timeout_s: float | None = None
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retrying after failed attempt *attempt*."""
+        return self.backoff_s * (self.backoff_factor ** attempt)
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one design point of a healed sweep.
+
+    Attributes:
+        index: position of the point in the input list.
+        point: the design point itself.
+        status: one of :data:`OUTCOME_STATUSES` — ``ok`` (first try),
+            ``retried`` (succeeded after >= 1 retry), ``degraded``
+            (succeeded but a degradation ladder fired, e.g. the CASA
+            solver fell back to greedy) or ``failed`` (no result).
+        attempts: evaluation attempts consumed (>= 1).
+        error: structured record of the last failure —
+            ``{"type", "message", "site"}`` — or ``None``.
+        result: the experiment result, or ``None`` when failed.
+    """
+
+    index: int
+    point: PointSpec
+    status: str
+    attempts: int
+    error: dict[str, str] | None = None
+    result: "ExperimentResult | None" = None
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this outcome."""
+        label = (f"{self.point.workload}/{self.point.algorithm}"
+                 f"@{self.point.spm_size}")
+        text = f"{label}: {self.status} after {self.attempts} attempt(s)"
+        if self.error is not None:
+            text += f" — {self.error['type']}: {self.error['message']}"
+        return text
+
+
+@dataclass
+class HealedRun:
+    """The outcome of a self-healing sweep, one record per point.
+
+    Attributes:
+        outcomes: per-point outcomes, in input order.
+    """
+
+    outcomes: list[PointOutcome] = field(default_factory=list)
+
+    @property
+    def results(self) -> list["ExperimentResult | None"]:
+        """Per-point results in input order (``None`` where failed)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every point produced a result (possibly retried)."""
+        return all(o.status != "failed" for o in self.outcomes)
+
+    def counts(self) -> dict[str, int]:
+        """Outcome-status histogram (statuses with zero count omitted)."""
+        totals: dict[str, int] = {}
+        for outcome in self.outcomes:
+            totals[outcome.status] = totals.get(outcome.status, 0) + 1
+        return totals
+
+    def failure_report(self) -> str:
+        """Multi-line report of every non-``ok`` outcome (may be empty)."""
+        lines = [outcome.describe() for outcome in self.outcomes
+                 if outcome.status != "ok"]
+        return "\n".join(lines)
+
+
+def _describe_point(point: PointSpec) -> str:
+    """Short identifier of a point for error records."""
+    return f"{point.workload}/{point.algorithm}@{point.spm_size}"
+
+
+def _error_record(error: BaseException) -> dict[str, str]:
+    """The structured ``PointOutcome.error`` form of an exception."""
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "site": str(getattr(error, "site", "")),
+    }
+
+
+def _finish_outcome(index: int, point: PointSpec, attempts: int,
+                    result: "ExperimentResult",
+                    error: BaseException | None) -> PointOutcome:
+    """Build the outcome of a successful evaluation.
+
+    Distinguishes ``ok`` / ``retried`` / ``degraded`` and counts
+    degraded points; *error* is the last failure before the
+    success, kept for the report.
+    """
+    allocation = getattr(result, "allocation", None)
+    if getattr(allocation, "solver_status", "") == "degraded":
+        metrics.inc("resilience.degraded_points")
+        status = "degraded"
+    elif attempts > 1:
+        status = "retried"
+    else:
+        status = "ok"
+    return PointOutcome(
+        index=index, point=point, status=status, attempts=attempts,
+        error=_error_record(error) if error is not None else None,
+        result=result,
+    )
+
+
+def _failed_outcome(index: int, point: PointSpec, attempts: int,
+                    error: BaseException) -> PointOutcome:
+    """Build (and count) the outcome of an exhausted point."""
+    metrics.inc("resilience.failed_points")
+    return PointOutcome(
+        index=index, point=point, status="failed", attempts=attempts,
+        error=_error_record(error), result=None,
+    )
+
+
+def _evaluate_with_timeout(point: PointSpec, runner: StageRunner,
+                           timeout_s: float | None
+                           ) -> "ExperimentResult":
+    """Serial-path evaluation with an optional wall-clock bound.
+
+    The bounded variant runs the evaluation on a daemon thread and
+    abandons it on timeout (Python threads cannot be killed; the
+    orphaned thread finishes in the background while the sweep moves
+    on).  Raises :class:`~repro.errors.PointTimeoutError` on timeout.
+    """
+    if timeout_s is None:
+        return evaluate_point(point, runner=runner)
+    box: dict[str, Any] = {}
+
+    def target() -> None:
+        try:
+            box["result"] = evaluate_point(point, runner=runner)
+        except BaseException as error:  # noqa: BLE001 — forwarded below
+            box["error"] = error
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise PointTimeoutError(
+            f"point {_describe_point(point)} exceeded {timeout_s:g}s",
+            point=_describe_point(point), seconds=timeout_s,
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def _heal_serial(points: list[PointSpec], policy: RetryPolicy,
+                 record: RunRecord | None) -> HealedRun:
+    """Serial healing loop: retry each point in-process."""
+    runner = StageRunner(record=record)
+    outcomes = []
+    for index, point in enumerate(points):
+        last_error: BaseException | None = None
+        outcome = None
+        for attempt in range(policy.max_attempts):
+            set_fault_attempt(attempt)
+            try:
+                result = _evaluate_with_timeout(
+                    point, runner, policy.timeout_s)
+            except Exception as error:  # contained: reported per point
+                last_error = error
+                if attempt + 1 < policy.max_attempts:
+                    metrics.inc("resilience.retries")
+                    time.sleep(policy.backoff_for(attempt))
+                continue
+            finally:
+                set_fault_attempt(0)
+            outcome = _finish_outcome(index, point, attempt + 1,
+                                      result, last_error)
+            break
+        if outcome is None:
+            assert last_error is not None
+            outcome = _failed_outcome(index, point,
+                                      policy.max_attempts, last_error)
+        outcomes.append(outcome)
+    return HealedRun(outcomes)
+
+
+def _heal_pooled(points: list[PointSpec], jobs: int,
+                 policy: RetryPolicy, record: RunRecord | None,
+                 cache_dir: str | os.PathLike | None) -> HealedRun:
+    """Pool healing loop: per-point retries plus pool restarts.
+
+    Raises whatever pool *creation* raises (including an injected
+    ``worker.spawn`` fault) — the caller degrades to the serial
+    healing path, mirroring plain ``map_points``.  Once a pool exists,
+    a broken pool (worker crash) or a per-point timeout restarts it
+    and re-runs every unfinished point with its attempt counter
+    advanced, so injected first-attempt faults cannot recur and the
+    loop provably terminates.
+    """
+    n = len(points)
+    if cache_dir is None:
+        cache_dir = default_store().cache_dir
+    init_arg = str(cache_dir) if cache_dir is not None else None
+    collector = get_collector()
+    registry = active_registry()
+    recorder = active_recorder()
+    flags = (collector is not None, registry is not None,
+             recorder is not None)
+
+    def make_pool() -> concurrent.futures.ProcessPoolExecutor:
+        maybe_inject("worker.spawn", jobs=jobs)
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, n),
+            initializer=_init_worker,
+            initargs=(init_arg, _active_fault_spec()),
+        )
+
+    def submit(pool, index: int, attempt: int):
+        task = (points[index], *flags, attempt)
+        return pool.submit(_evaluate_in_worker, task)
+
+    pool = make_pool()
+    outcomes: list[PointOutcome | None] = [None] * n
+    payloads: list[tuple | None] = [None] * n
+    attempts = [0] * n
+    last_errors: list[BaseException | None] = [None] * n
+    try:
+        pending = set(range(n))
+        futures = {index: submit(pool, index, 0) for index in pending}
+
+        def restart(bump: set[int]) -> None:
+            """Replace the pool; re-run *pending* with bumped attempts."""
+            nonlocal pool
+            metrics.inc("resilience.pool_restarts")
+            pool.shutdown(wait=False, cancel_futures=True)
+            for index in bump:
+                attempts[index] += 1
+            exhausted = {index for index in pending
+                         if attempts[index] >= policy.max_attempts}
+            for index in exhausted:
+                error = last_errors[index]
+                assert error is not None
+                outcomes[index] = _failed_outcome(
+                    index, points[index], attempts[index], error)
+            pending.difference_update(exhausted)
+            pool = make_pool()
+            for index in pending:
+                if attempts[index] > 0:
+                    metrics.inc("resilience.retries")
+                futures[index] = submit(pool, index, attempts[index])
+
+        while pending:
+            index = min(pending)
+            future = futures[index]
+            try:
+                payload = future.result(timeout=policy.timeout_s)
+            except concurrent.futures.TimeoutError:
+                # The worker is wedged on this point; the only safe
+                # move is a whole-pool restart.  Every unfinished
+                # point re-runs with its attempt advanced (injected
+                # first-attempt faults cannot recur).
+                error = PointTimeoutError(
+                    f"point {_describe_point(points[index])} exceeded "
+                    f"{policy.timeout_s:g}s",
+                    point=_describe_point(points[index]),
+                    seconds=policy.timeout_s or 0.0,
+                )
+                for other in pending:
+                    last_errors[other] = error if other == index \
+                        else (last_errors[other] or error)
+                restart(set(pending))
+                continue
+            except concurrent.futures.process.BrokenProcessPool \
+                    as error:
+                # A worker died (crash fault or real).  Which point
+                # killed it is unknowable, so every unfinished point
+                # retries on a fresh pool.
+                for other in pending:
+                    last_errors[other] = last_errors[other] or error
+                restart(set(pending))
+                continue
+            except Exception as error:  # worker raised for this point
+                last_errors[index] = error
+                attempts[index] += 1
+                if attempts[index] < policy.max_attempts:
+                    metrics.inc("resilience.retries")
+                    time.sleep(policy.backoff_for(attempts[index] - 1))
+                    try:
+                        futures[index] = submit(pool, index,
+                                                attempts[index])
+                    except concurrent.futures.process.BrokenProcessPool \
+                            as broken:
+                        # Another point's crash broke the pool while
+                        # this one was being retried.
+                        for other in pending:
+                            last_errors[other] = \
+                                last_errors[other] or broken
+                        restart(set(pending) - {index})
+                else:
+                    outcomes[index] = _failed_outcome(
+                        index, points[index], attempts[index], error)
+                    pending.discard(index)
+                continue
+            payloads[index] = payload
+            outcomes[index] = _finish_outcome(
+                index, points[index], attempts[index] + 1, payload[0],
+                last_errors[index])
+            pending.discard(index)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # Fold worker observability back in input order, exactly like
+    # plain map_points (failed points contribute nothing).
+    for payload in payloads:
+        if payload is None:
+            continue
+        _, counts, events, snapshot, event_snapshot = payload
+        if record is not None:
+            record.merge(counts)
+        if collector is not None and events:
+            collector.merge(events)
+        if registry is not None and snapshot:
+            registry.merge(snapshot)
+        if recorder is not None and event_snapshot:
+            recorder.merge(event_snapshot)
+    final = [outcome for outcome in outcomes if outcome is not None]
+    assert len(final) == n
+    return HealedRun(final)
+
+
+def map_points_healed(
+    points: list[PointSpec] | tuple[PointSpec, ...],
+    jobs: int = 1,
+    policy: RetryPolicy | None = None,
+    record: RunRecord | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> HealedRun:
+    """Evaluate *points* with self-healing; never raises per-point.
+
+    The resilient counterpart of
+    :func:`repro.engine.parallel.map_points`: failures are retried
+    under *policy* (with backoff), worker crashes restart the pool,
+    per-point timeouts are enforced, and the sweep always completes,
+    returning a :class:`HealedRun` whose outcomes (and results) are in
+    input order.  Points that still fail after ``policy.max_attempts``
+    tries are reported as ``failed`` outcomes with a structured error
+    instead of aborting the sweep.
+
+    Args:
+        points: design points, in the order outcomes are wanted.
+        jobs: worker processes; ``<= 1`` heals serially in-process.
+        policy: retry/timeout policy (default :class:`RetryPolicy`).
+        record: run record receiving merged per-stage counters from
+            successful evaluations.
+        cache_dir: on-disk cache directory shared with workers;
+            defaults to the process-wide store's directory.
+
+    Raises:
+        ConfigurationError: for an unknown algorithm (checked up
+            front — a misconfigured sweep is a bug, not a fault).
+    """
+    points = list(points)
+    policy = policy if policy is not None else RetryPolicy()
+    for point in points:
+        if point.algorithm not in POINT_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {point.algorithm!r}; choose from "
+                f"{POINT_ALGORITHMS}"
+            )
+    if jobs > 1 and len(points) > 1:
+        try:
+            return _heal_pooled(points, jobs, policy, record, cache_dir)
+        except (OSError, pickle.PicklingError, InjectedFault):
+            # No usable multiprocessing (restricted sandbox,
+            # unpicklable payload, injected spawn fault): heal
+            # serially instead, same results.
+            pass
+    return _heal_serial(points, policy, record)

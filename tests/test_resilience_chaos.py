@@ -1,0 +1,73 @@
+"""The chaos differential gate: faults in, bit-identical results out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.chaos import ChaosResult, run_chaos
+from repro.resilience.faults import (
+    FaultPlan,
+    active_fault_plan,
+    set_fault_plan,
+)
+from repro.resilience.healing import RetryPolicy
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    """No injection plan leaks into or out of these tests."""
+    set_fault_plan(None)
+    yield
+    set_fault_plan(None)
+
+
+def test_chaos_heals_store_solver_and_kernel_faults():
+    result = run_chaos(
+        workload="tiny",
+        sizes=(64,),
+        algorithms=("casa", "steinke"),
+        spec="store.read:error@nth=1;store.write:error@nth=1;"
+             "ilp.solve:error@nth=1;kernel.replay:error@nth=1",
+        scale=0.2,
+        policy=RetryPolicy(backoff_s=0.001),
+    )
+    assert result.ok, result.render()
+    assert result.divergences == []
+    assert result.points == 2
+    assert result.injected >= 4
+    assert set(result.site_counts) >= {"store.read", "ilp.solve"}
+    assert result.retries >= 1
+    assert result.quarantined >= 1
+    assert result.failed == 0
+    rendered = result.render()
+    assert "OK (bit-identical under faults)" in rendered
+    assert "faults injected" in rendered
+
+
+def test_chaos_without_faults_is_trivially_identical():
+    result = run_chaos(workload="tiny", sizes=(64,),
+                       algorithms=("casa",), scale=0.2)
+    assert result.ok
+    assert result.injected == 0
+    assert result.retries == 0
+    assert result.outcome_counts == {"ok": 1}
+
+
+def test_chaos_restores_ambient_plan_and_reports_divergence_shape():
+    ambient = FaultPlan.from_spec("ilp.solve:error@nth=99")
+    set_fault_plan(ambient)
+    result = run_chaos(workload="tiny", sizes=(64,),
+                       algorithms=("casa",), scale=0.2,
+                       spec="worker.exec:error@nth=1",
+                       policy=RetryPolicy(backoff_s=0.001))
+    assert active_fault_plan() is ambient
+    assert result.ok
+    assert result.outcome_counts.get("retried", 0) == 1
+
+
+def test_chaos_result_render_lists_divergences():
+    result = ChaosResult(workload="tiny", points=1, ok=False,
+                         divergences=["tiny/casa@64: clean != faulty"])
+    rendered = result.render()
+    assert "DIVERGED" in rendered
+    assert "DIVERGENCE: tiny/casa@64" in rendered

@@ -1,0 +1,179 @@
+"""Deterministic fault injection: spec grammar, firing rules, metrics."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError, InjectedFault, WorkerCrashError
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.resilience.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    FaultRule,
+    active_fault_plan,
+    maybe_inject,
+    set_fault_attempt,
+    set_fault_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    """No plan and attempt 0 before and after every test."""
+    set_fault_plan(None)
+    set_fault_attempt(0)
+    yield
+    set_fault_plan(None)
+    set_fault_attempt(0)
+
+
+@pytest.fixture
+def registry():
+    """A metrics registry installed as the active one."""
+    active = MetricsRegistry()
+    previous = set_registry(active)
+    yield active
+    set_registry(previous)
+
+
+class TestSpecGrammar:
+    def test_minimal_rule_defaults_to_error_nth_1(self):
+        plan = FaultPlan.from_spec("store.read")
+        [rule] = plan.rules
+        assert rule.kind == "error"
+        assert rule.nth == 1
+        assert rule.limit == 1
+
+    def test_full_grammar_round_trips(self):
+        spec = ("store.read:corrupt@nth=2;"
+                "ilp.solve:error@p=0.25,seed=7;"
+                "worker.exec:sleep=0.5@nth=1,retries;"
+                "worker.exec:crash@nth=3,limit=2")
+        plan = FaultPlan.from_spec(spec)
+        assert FaultPlan.from_spec(plan.spec()).spec() == plan.spec()
+        sleep_rule = plan.rules[2]
+        assert sleep_rule.sleep_s == 0.5
+        assert sleep_rule.on_retries
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("store.reed:error@nth=1")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("store.read:explode")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("store.read:error@when=later")
+
+    def test_bad_attribute_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("store.read:error@nth=first")
+
+    def test_value_on_non_sleep_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_spec("store.read:error=0.5")
+
+    def test_nth_and_probability_are_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(site="store.read", nth=1, probability=0.5)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "ilp.solve:error@nth=2")
+        plan = FaultPlan.from_env()
+        assert plan is not None and plan.rules[0].nth == 2
+        monkeypatch.delenv(FAULTS_ENV)
+        assert FaultPlan.from_env() is None
+
+
+class TestFiring:
+    def test_nth_fires_exactly_once(self):
+        rule = FaultRule(site="store.read", nth=3)
+        fires = [rule.should_fire(0) for _ in range(6)]
+        assert fires == [False, False, True, False, False, False]
+
+    def test_limit_extends_nth_fires(self):
+        rule = FaultRule(site="store.read", nth=2, limit=3)
+        fires = [rule.should_fire(0) for _ in range(6)]
+        assert fires == [False, True, True, True, False, False]
+
+    def test_probability_is_deterministic_per_seed(self):
+        first = FaultRule(site="store.read", probability=0.5, seed=11)
+        second = FaultRule(site="store.read", probability=0.5, seed=11)
+        pattern = [first.should_fire(0) for _ in range(32)]
+        assert pattern == [second.should_fire(0) for _ in range(32)]
+        assert any(pattern) and not all(pattern)
+
+    def test_reset_replays_the_same_pattern(self):
+        rule = FaultRule(site="store.read", probability=0.5, seed=3,
+                         limit=None)
+        pattern = [rule.should_fire(0) for _ in range(16)]
+        rule.reset()
+        assert rule.calls == 0 and rule.fires == 0
+        assert [rule.should_fire(0) for _ in range(16)] == pattern
+
+    def test_retry_attempts_skipped_by_default(self):
+        rule = FaultRule(site="store.read", nth=1)
+        assert not rule.should_fire(1)
+        assert rule.calls == 0  # retry calls are not even counted
+        assert rule.should_fire(0)
+
+    def test_retries_flag_opts_into_retry_attempts(self):
+        rule = FaultRule(site="store.read", nth=1, on_retries=True)
+        assert rule.should_fire(2)
+
+    def test_match_advances_every_rule_watching_a_site(self):
+        plan = FaultPlan.from_spec(
+            "store.read:error@nth=1;store.read:corrupt@nth=2")
+        assert plan.match("store.read", 0).kind == "error"
+        assert plan.match("store.read", 0).kind == "corrupt"
+        assert plan.match("store.read", 0) is None
+        assert plan.injected == 2
+        assert plan.counts() == {"store.read": 2}
+
+
+class TestMaybeInject:
+    def test_noop_without_a_plan(self):
+        assert active_fault_plan() is None
+        maybe_inject("store.read")  # must not raise
+
+    def test_error_kind_raises_and_counts(self, registry):
+        set_fault_plan(FaultPlan.from_spec("ilp.solve:error@nth=1"))
+        with pytest.raises(InjectedFault) as excinfo:
+            maybe_inject("ilp.solve")
+        assert excinfo.value.site == "ilp.solve"
+        assert registry.value("faults.injected") == 1
+        assert registry.value("faults.injected.ilp.solve") == 1
+        maybe_inject("ilp.solve")  # limit exhausted: silent
+        assert registry.value("faults.injected") == 1
+
+    def test_sleep_kind_returns_after_delay(self):
+        set_fault_plan(
+            FaultPlan.from_spec("worker.exec:sleep=0.01@nth=1"))
+        maybe_inject("worker.exec")  # must not raise
+
+    def test_crash_kind_raises_worker_crash_in_main_process(self):
+        set_fault_plan(FaultPlan.from_spec("worker.exec:crash@nth=1"))
+        with pytest.raises(WorkerCrashError):
+            maybe_inject("worker.exec", point="tiny/casa@64")
+
+    def test_retry_attempt_suppresses_injection(self):
+        set_fault_plan(FaultPlan.from_spec("store.read:error@nth=1"))
+        set_fault_attempt(1)
+        maybe_inject("store.read")  # must not raise
+        set_fault_attempt(0)
+        with pytest.raises(InjectedFault):
+            maybe_inject("store.read")
+
+
+class TestPickling:
+    def test_plan_pickles_as_spec_with_fresh_state(self):
+        plan = FaultPlan.from_spec("store.read:error@nth=1")
+        assert plan.match("store.read", 0) is not None
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.spec() == plan.spec()
+        assert clone.injected == 0  # runtime state does not travel
+        assert clone.match("store.read", 0) is not None

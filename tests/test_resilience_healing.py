@@ -1,0 +1,182 @@
+"""Self-healing sweeps: retries, timeouts, crashes, fallbacks."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine.parallel import PointSpec, map_points
+from repro.engine.store import ArtifactStore, set_default_store
+from repro.errors import ConfigurationError
+from repro.obs.events import EventRecorder, set_recorder
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.resilience.faults import (
+    FaultPlan,
+    set_fault_attempt,
+    set_fault_plan,
+)
+from repro.resilience.healing import (
+    RetryPolicy,
+    _finish_outcome,
+    map_points_healed,
+)
+
+POINTS = [
+    PointSpec("tiny", 64, "casa", scale=0.2),
+    PointSpec("tiny", 64, "steinke", scale=0.2),
+    PointSpec("tiny", 128, "casa", scale=0.2),
+    PointSpec("tiny", 128, "steinke", scale=0.2),
+]
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    """No injection plan leaks into or out of these tests."""
+    set_fault_plan(None)
+    set_fault_attempt(0)
+    yield
+    set_fault_plan(None)
+    set_fault_attempt(0)
+
+
+@pytest.fixture
+def registry():
+    """A metrics registry installed as the active one."""
+    active = MetricsRegistry()
+    previous = set_registry(active)
+    yield active
+    set_registry(previous)
+
+
+@pytest.fixture
+def shared_cache(tmp_path):
+    """A disk-backed default store the worker pool can share."""
+    previous = set_default_store(
+        ArtifactStore(cache_dir=tmp_path / "cache")
+    )
+    yield
+    set_default_store(previous)
+
+
+def signatures(results):
+    """The deterministic observables of a result list."""
+    return [(r.energy.total, r.report.cache_misses,
+             tuple(sorted(r.allocation.spm_resident)))
+            for r in results]
+
+
+def test_transient_fault_is_retried_to_identical_result(registry):
+    points = POINTS[:2]
+    clean = map_points(points, jobs=1)
+    set_fault_plan(FaultPlan.from_spec("worker.exec:error@nth=1"))
+    healed = map_points_healed(
+        points, policy=RetryPolicy(backoff_s=0.001))
+    assert healed.ok
+    assert healed.counts() == {"retried": 1, "ok": 1}
+    [retried] = [o for o in healed.outcomes if o.status == "retried"]
+    assert retried.attempts == 2
+    assert retried.error == {
+        "type": "InjectedFault",
+        "message": "injected fault at worker.exec",
+        "site": "worker.exec",
+    }
+    assert signatures(healed.results) == signatures(clean)
+    assert registry.value("resilience.retries") == 1
+    assert registry.value("resilience.failed_points") == 0
+
+
+def test_persistent_fault_exhausts_attempts_without_aborting(registry):
+    points = POINTS[:2]
+    # `retries` + limit=2 keeps the fault firing on both attempts of
+    # the first point; the second point must still complete.
+    set_fault_plan(FaultPlan.from_spec(
+        "worker.exec:error@nth=1,limit=2,retries"))
+    healed = map_points_healed(
+        points, policy=RetryPolicy(max_attempts=2, backoff_s=0.001))
+    assert not healed.ok
+    assert healed.counts() == {"failed": 1, "ok": 1}
+    failed = healed.outcomes[0]
+    assert failed.attempts == 2
+    assert failed.error is not None
+    assert failed.error["type"] == "InjectedFault"
+    assert "worker.exec" in failed.describe()
+    assert healed.results[0] is None
+    assert healed.results[1] is not None
+    assert healed.failure_report() != ""
+    assert registry.value("resilience.failed_points") == 1
+
+
+def test_sleep_fault_trips_timeout_then_retry_succeeds(registry):
+    set_fault_plan(FaultPlan.from_spec("worker.exec:sleep=2@nth=1"))
+    healed = map_points_healed(
+        POINTS[:1],
+        policy=RetryPolicy(max_attempts=2, backoff_s=0.001,
+                           timeout_s=0.2),
+    )
+    assert healed.ok
+    [outcome] = healed.outcomes
+    assert outcome.status == "retried"
+    assert outcome.error is not None
+    assert outcome.error["type"] == "PointTimeoutError"
+    assert registry.value("resilience.retries") == 1
+
+
+def test_spawn_fault_degrades_plain_map_points_to_serial(
+        shared_cache, registry):
+    clean = map_points(POINTS, jobs=1)
+    set_fault_plan(FaultPlan.from_spec("worker.spawn:error@nth=1"))
+    fallen_back = map_points(POINTS, jobs=2)
+    assert signatures(fallen_back) == signatures(clean)
+    assert registry.value("faults.injected.worker.spawn") == 1
+
+
+def test_spawn_fault_degrades_healed_pool_to_serial(
+        shared_cache, registry):
+    clean = map_points(POINTS, jobs=1)
+    set_fault_plan(FaultPlan.from_spec("worker.spawn:error@nth=1"))
+    healed = map_points_healed(POINTS, jobs=2,
+                               policy=RetryPolicy(backoff_s=0.001))
+    assert healed.ok
+    assert signatures(healed.results) == signatures(clean)
+    assert registry.value("faults.injected.worker.spawn") == 1
+
+
+def test_worker_crash_mid_batch_heals_and_forwards_observability(
+        shared_cache, registry):
+    clean = map_points(POINTS, jobs=1)
+    set_default_store(ArtifactStore())  # drop the warmed memory tier
+    recorder = EventRecorder()
+    previous_recorder = set_recorder(recorder)
+    try:
+        set_fault_plan(FaultPlan.from_spec("worker.exec:crash@nth=2"))
+        healed = map_points_healed(
+            POINTS, jobs=2, policy=RetryPolicy(backoff_s=0.001))
+    finally:
+        set_recorder(previous_recorder)
+    assert healed.ok
+    assert signatures(healed.results) == signatures(clean)
+    assert registry.value("resilience.pool_restarts") >= 1
+    assert registry.value("resilience.retries") >= 1
+    # Worker-side observability still merges back after the restart.
+    assert registry.value("sim.runs") >= 1
+    assert recorder.total_events > 0
+
+
+def test_unknown_algorithm_rejected_up_front():
+    with pytest.raises(ConfigurationError):
+        map_points_healed([PointSpec("tiny", 64, "annealing")])
+
+
+def test_finish_outcome_classifies_degraded_results(registry):
+    point = POINTS[0]
+    degraded = SimpleNamespace(
+        allocation=SimpleNamespace(solver_status="degraded"))
+    optimal = SimpleNamespace(
+        allocation=SimpleNamespace(solver_status="optimal"))
+    assert _finish_outcome(0, point, 1, degraded, None).status \
+        == "degraded"
+    assert _finish_outcome(0, point, 2, optimal, None).status \
+        == "retried"
+    assert _finish_outcome(0, point, 1, optimal, None).status == "ok"
+    assert registry.value("resilience.degraded_points") == 1

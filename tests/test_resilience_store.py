@@ -1,0 +1,129 @@
+"""Store robustness: quarantine, atomic writes, orphan cleanup."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.engine.store import QUARANTINE_DIR, ArtifactStore
+from repro.errors import CacheCorruptionError
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.resilience.faults import FaultPlan, set_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    """No injection plan leaks into or out of these tests."""
+    set_fault_plan(None)
+    yield
+    set_fault_plan(None)
+
+
+@pytest.fixture
+def registry():
+    """A metrics registry installed as the active one."""
+    active = MetricsRegistry()
+    previous = set_registry(active)
+    yield active
+    set_registry(previous)
+
+
+def test_corrupt_entry_is_quarantined_not_deleted(tmp_path, registry):
+    store = ArtifactStore(cache_dir=tmp_path)
+    store.put("graph", "feed", "good")
+    [path] = store.disk_entries()
+    path.write_bytes(b"not a pickle")
+
+    reader = ArtifactStore(cache_dir=tmp_path)
+    assert reader.get("graph", "feed") is None
+    assert reader.stats.quarantined == 1
+    # The bad bytes are preserved for post-mortem inspection.
+    [kept] = reader.quarantined_entries()
+    assert kept.parent.name == QUARANTINE_DIR
+    assert kept.read_bytes() == b"not a pickle"
+    assert not path.exists()
+    [record] = reader.corruptions
+    assert isinstance(record, CacheCorruptionError)
+    assert record.stage == "graph" and record.digest == "feed"
+    assert registry.value("store.quarantined") == 1
+
+
+def test_recompute_replaces_quarantined_entry(tmp_path):
+    store = ArtifactStore(cache_dir=tmp_path)
+    store.put("trace", "d1", [1, 2])
+    [path] = store.disk_entries()
+    path.write_bytes(pickle.dumps({"schema": -1}))
+    store.clear(memory=True, disk=False)
+
+    artifact, cached = store.get_or_compute("trace", "d1",
+                                            lambda: [3, 4])
+    assert (artifact, cached) == ([3, 4], False)
+    assert store.stats.quarantined == 1
+    # The recomputed artifact went back to disk and reads cleanly.
+    fresh = ArtifactStore(cache_dir=tmp_path)
+    assert fresh.get("trace", "d1") == [3, 4]
+    assert fresh.stats.quarantined == 0
+
+
+def test_injected_read_fault_exercises_quarantine(tmp_path):
+    store = ArtifactStore(cache_dir=tmp_path)
+    store.put("execution", "d2", {"n": 1})
+    store.clear(memory=True, disk=False)
+    set_fault_plan(FaultPlan.from_spec("store.read:corrupt@nth=1"))
+    assert store.get("execution", "d2") is None
+    assert store.stats.quarantined == 1
+    # The fault fired once; the recompute-and-replace path is clean.
+    store.put("execution", "d2", {"n": 1})
+    store.clear(memory=True, disk=False)
+    assert store.get("execution", "d2") == {"n": 1}
+
+
+def test_injected_write_fault_keeps_memory_tier(tmp_path):
+    store = ArtifactStore(cache_dir=tmp_path)
+    set_fault_plan(FaultPlan.from_spec("store.write:error@nth=1"))
+    store.put("graph", "d3", "artifact")
+    assert store.disk_entries() == []
+    assert list(tmp_path.glob("*.tmp.*")) == []  # temp file cleaned
+    assert store.stats.disk_errors == 1
+    assert store.get("graph", "d3") == "artifact"  # memory tier holds
+
+
+def test_orphaned_temp_files_swept_on_open(tmp_path):
+    orphan = tmp_path / "graph-dead.pkl.tmp.99999"
+    own = tmp_path / f"graph-live.pkl.tmp.{os.getpid()}"
+    orphan.write_bytes(b"partial write")
+    own.write_bytes(b"in flight")
+    ArtifactStore(cache_dir=tmp_path)
+    assert not orphan.exists()
+    assert own.exists()  # current process may still be writing it
+
+
+def test_clear_empties_quarantine_too(tmp_path):
+    store = ArtifactStore(cache_dir=tmp_path)
+    store.put("graph", "feed", "good")
+    [path] = store.disk_entries()
+    path.write_bytes(b"junk")
+    store.clear(memory=True, disk=False)
+    assert store.get("graph", "feed") is None
+    assert len(store.quarantined_entries()) == 1
+    store.clear()
+    assert store.quarantined_entries() == []
+
+
+def test_unexpected_errors_still_propagate(tmp_path, monkeypatch):
+    store = ArtifactStore(cache_dir=tmp_path)
+    store.put("graph", "feed", "good")
+    store.clear(memory=True, disk=False)
+
+    class Boom(Exception):
+        """Not a corruption shape: must escape the quarantine net."""
+
+    def explode(handle):
+        raise Boom()
+
+    monkeypatch.setattr("repro.engine.store.pickle.load", explode)
+    with pytest.raises(Boom):
+        store.get("graph", "feed")
+    assert store.stats.quarantined == 0
