@@ -23,12 +23,15 @@ bench:
 
 # Cold/warm engine smoke: one tiny design point per exhibit, asserting
 # that a warm artifact cache does zero profiling or simulation work,
-# that the vector kernel is >=5x the reference on a fig4-shaped sweep,
-# and that the kernel's differential verification passes.
+# that the vector kernel is >=5x the reference (and the grid pipeline
+# >=3x the per-point path) on a fig4-shaped sweep, and that the kernel
+# and grid differential verifications pass.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_smoke.py
 	$(PYTHON) -m repro verify-kernel --workloads tiny adpcm \
 		--trials 10 --scale 0.5 --no-cache
+	$(PYTHON) -m repro verify-grid --workloads tiny adpcm \
+		--scale 0.5 --no-cache
 
 # Chaos differential gate: a small sweep under a canned fault plan
 # (store corruption on read and write, one worker fault, one solver

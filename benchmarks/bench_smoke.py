@@ -320,12 +320,40 @@ def test_vector_backend_speedup_at_least_5x():
     assert metrics["kernel.wall.speedup"] >= 5.0, metrics
 
 
+def test_grid_replay_speedup_at_least_3x():
+    """Acceptance: single-pass grid replay is ≥3× the per-point path.
+
+    Times a constant-geometry cache axis (line 16, 32/64 sets, 1–8
+    ways, all LRU) over the fig4-shaped image set through one
+    :func:`simulate_grid` call per image versus one vector-backend
+    replay per configuration with the compiled stream reused — the
+    same measurement ``repro bench record`` snapshots as
+    ``grid.wall.speedup``.  Best of two runs, so one scheduler hiccup
+    cannot fail the gate.
+    """
+    from repro.obs.history import measure_grid_speedup
+
+    metrics = measure_grid_speedup()
+    if metrics["grid.wall.speedup"] < 3.0:
+        metrics = max(metrics, measure_grid_speedup(),
+                      key=lambda m: m["grid.wall.speedup"])
+    assert metrics["grid.wall.speedup"] >= 3.0, metrics
+
+
 def test_verify_kernel_smoke():
     """``repro verify-kernel`` passes on the smoke workload."""
     from repro.cli import main
 
     assert main(["verify-kernel", "--workloads", "tiny",
                  "--trials", "5", "--no-cache"]) == 0
+
+
+def test_verify_grid_smoke():
+    """``repro verify-grid`` passes on the smoke workload."""
+    from repro.cli import main
+
+    assert main(["verify-grid", "--workloads", "tiny",
+                 "--no-cache"]) == 0
 
 
 def test_bench_record_then_compare_gates_on_baseline(tmp_path):

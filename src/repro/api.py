@@ -14,6 +14,7 @@ consumer assembled it from scattered pieces (``Workbench`` +
     graph = session.conflict_graph()        # the paper's G = (X, E)
     decision = session.allocate("casa")     # just the decision
     result = session.evaluate("casa")       # decision + energy
+    curve = session.sweep("casa")           # whole capacity axis
 
 Sessions are cheap to create: all profiling work is deferred to the
 first call that needs it and resolved through the engine's artifact
@@ -224,6 +225,43 @@ class Session:
             f"unknown evaluation method {method!r}; choose from "
             f"{', '.join(EVALUATE_METHODS)}"
         )
+
+    def sweep(self, method: str = "casa",
+              spm_sizes: tuple[int, ...] | None = None,
+              **options: Any) -> list[ExperimentResult]:
+        """Evaluate *method* across a whole capacity axis.
+
+        Routes through the grid pipeline
+        (:meth:`~repro.core.pipeline.Workbench.run_grid`): the
+        workbench profiles once, capacities solve in ascending order —
+        CASA warm-starting each branch & bound from its neighbour's
+        incumbent — and every step's result is bit-identical to the
+        corresponding :meth:`evaluate` call.
+
+        Args:
+            method: ``casa`` | ``steinke`` | ``greedy`` | ``ross`` |
+                ``baseline``.
+            spm_sizes: the capacity axis in bytes (defaults to the
+                named workload's table-1 sizes; a raw-program session
+                must pass it explicitly).
+            **options: method options (``ross`` accepts
+                ``max_regions``).
+
+        Returns:
+            One result per capacity, in the order of *spm_sizes*.
+        """
+        if spm_sizes is None:
+            if self._workload_name is None:
+                raise ConfigurationError(
+                    "this session has no default capacity axis; pass "
+                    "spm_sizes= to sweep()"
+                )
+            from repro.workloads.registry import get_workload
+            spm_sizes = get_workload(
+                self._workload_name, scale=self._scale
+            ).spm_sizes
+        return self.workbench.run_grid(method, tuple(spm_sizes),
+                                       **options)
 
     # -- supporting accessors -------------------------------------------------
 

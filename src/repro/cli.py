@@ -13,6 +13,10 @@ Commands:
 * ``verify-kernel`` — differentially verify the vectorized simulation
   kernel against the reference simulator (non-zero exit on any
   difference);
+* ``verify-grid`` — differentially verify the grid pipeline
+  (single-pass multi-configuration replay, warm-started solves)
+  against the per-point path: bit-identical reports and allocations
+  or non-zero exit;
 * ``bench`` — benchmark regression tracking (``record`` a metric
   snapshot / ``compare`` against a committed baseline, non-zero exit
   on regression);
@@ -30,7 +34,11 @@ or ``$CASA_CACHE_DIR``); ``--no-cache`` disables the disk tier and
 ``--backend`` selects the simulation backend (``reference`` |
 ``vector`` | ``auto``).  The
 sweep-shaped commands (``sweep``, ``fig4``, ``fig5``, ``table1``,
-``dse``) additionally accept ``--trace FILE`` (record a Chrome-trace
+``dse``) run the grid pipeline by default (one work unit per
+allocator covering its whole capacity axis, with single-pass cache
+replay and warm-started solves; ``--per-point`` restores one unit per
+(size, allocator) pair, with identical results) and additionally
+accept ``--trace FILE`` (record a Chrome-trace
 run file, viewable in ``chrome://tracing`` / Perfetto and readable by
 ``report``), ``--metrics`` (print the run's metric counters) and
 ``--events`` (record the cache eviction/miss event stream and print
@@ -70,6 +78,16 @@ def _session(args: argparse.Namespace) -> Session:
     """The command's workload/scale/seed/backend as one Session."""
     return Session(args.workload, scale=args.scale, seed=args.seed,
                    backend=args.backend)
+
+
+def _add_per_point(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--per-point", action="store_true",
+        help="schedule one design point per (size, allocator) pair "
+             "instead of the default grid path (one chunk per "
+             "allocator with single-pass cache replay and "
+             "warm-started solves); results are identical",
+    )
 
 
 def _add_scale(parser: argparse.ArgumentParser,
@@ -137,6 +155,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=available_workloads())
     fig4.add_argument("--chart", action="store_true",
                       help="render as grouped bars")
+    _add_per_point(fig4)
     _add_scale(fig4, jobs=True)
 
     fig5 = sub.add_parser("fig5",
@@ -145,9 +164,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=available_workloads())
     fig5.add_argument("--chart", action="store_true",
                       help="render as grouped bars")
+    _add_per_point(fig5)
     _add_scale(fig5, jobs=True)
 
     table1 = sub.add_parser("table1", help="overall savings (table 1)")
+    _add_per_point(table1)
     _add_scale(table1, jobs=True)
 
     sweep = sub.add_parser("sweep", help="free-form size sweep")
@@ -165,6 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="after the table, justify the CASA allocation at the "
              "largest swept size object by object",
     )
+    _add_per_point(sweep)
     _add_scale(sweep, jobs=True)
 
     graph = sub.add_parser("graph", help="dump the conflict graph (DOT)")
@@ -206,6 +228,7 @@ def _build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--budget", type=float, default=30_000.0,
                      help="on-chip area budget (model units)")
     dse.add_argument("--top", type=int, default=8)
+    _add_per_point(dse)
     _add_scale(dse, jobs=True)
 
     explain = sub.add_parser(
@@ -265,6 +288,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="randomized probe-level trials (default 50)",
     )
     _add_scale(verify)
+
+    verify_grid = sub.add_parser(
+        "verify-grid",
+        help="differentially verify the grid pipeline against the "
+             "per-point path (bit-identical reports and allocations); "
+             "non-zero exit on any divergence or zero-coverage grid",
+    )
+    verify_grid.add_argument(
+        "--workloads", nargs="+", default=None,
+        choices=available_workloads(), metavar="WORKLOAD",
+        help="workloads of the sweep-level checks (default: tiny "
+             "adpcm)",
+    )
+    _add_scale(verify_grid)
 
     bench = sub.add_parser(
         "bench",
@@ -549,7 +586,8 @@ def main(argv: list[str] | None = None) -> int:
         def run_fig4_command(record: RunRecord) -> int:
             result = run_fig4(args.workload, scale=args.scale,
                               seed=args.seed, jobs=args.jobs,
-                              record=record, backend=args.backend)
+                              record=record, backend=args.backend,
+                              grid=not args.per_point)
             print(result.render_chart() if args.chart
                   else result.render())
             print(f"average energy improvement: "
@@ -561,7 +599,8 @@ def main(argv: list[str] | None = None) -> int:
         def run_fig5_command(record: RunRecord) -> int:
             result = run_fig5(args.workload, scale=args.scale,
                               seed=args.seed, jobs=args.jobs,
-                              record=record, backend=args.backend)
+                              record=record, backend=args.backend,
+                              grid=not args.per_point)
             print(result.render_chart() if args.chart
                   else result.render())
             print(f"average energy improvement: "
@@ -573,7 +612,8 @@ def main(argv: list[str] | None = None) -> int:
         def run_table1_command(record: RunRecord) -> int:
             result = run_table1(scale=args.scale, seed=args.seed,
                                 jobs=args.jobs, record=record,
-                                backend=args.backend)
+                                backend=args.backend,
+                                grid=not args.per_point)
             print(result.render())
             print(f"overall: {percent(result.overall_vs_steinke)}% "
                   f"vs. Steinke, "
@@ -593,6 +633,7 @@ def main(argv: list[str] | None = None) -> int:
                 jobs=args.jobs,
                 record=record,
                 backend=args.backend,
+                grid=not args.per_point,
             )
             headers = ["size (B)"] + [f"{a} (uJ)"
                                       for a in args.algorithms]
@@ -671,7 +712,8 @@ def main(argv: list[str] | None = None) -> int:
             points = explore(args.workload, args.budget,
                              scale=args.scale, seed=args.seed,
                              jobs=args.jobs, record=record,
-                             backend=args.backend)
+                             backend=args.backend,
+                             grid=not args.per_point)
             print(render_design_points(points, top=args.top))
             best = points[0]
             print(f"best: {best.cache_size}B cache + {best.spm_size}B "
@@ -749,6 +791,16 @@ def main(argv: list[str] | None = None) -> int:
         report = verify_kernel(
             workloads=args.workloads, trials=args.trials,
             seed=args.seed, scale=args.scale,
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if args.command == "verify-grid":
+        from repro.evaluation.verify_grid import verify_grid
+
+        report = verify_grid(
+            workloads=args.workloads, seed=args.seed,
+            scale=args.scale,
         )
         print(report.render())
         return 0 if report.ok else 1

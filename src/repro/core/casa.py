@@ -170,6 +170,29 @@ class CasaAllocator:
             or graph.victims_of(node.name)
         )
 
+    def warm_start_values(
+        self,
+        graph: ConflictGraph,
+        spm_resident: frozenset[str],
+    ) -> dict[str, float]:
+        """Variable values (by name) encoding a known resident set.
+
+        Used to seed the branch & bound of a neighbouring sweep step:
+        ``l[name] = 0`` for resident objects, 1 otherwise, with every
+        linearisation product ``L[i,j]`` set consistently so the point
+        evaluates exactly.
+        """
+        values = {
+            f"l[{name}]": 0.0 if name in spm_resident else 1.0
+            for name in graph.node_names
+        }
+        if self._config.conflict_term:
+            for victim, evictor, _ in graph.edges():
+                values[f"L[{victim},{evictor}]"] = (
+                    values[f"l[{victim}]"] * values[f"l[{evictor}]"]
+                )
+        return values
+
     def allocate(
         self,
         graph: ConflictGraph,
@@ -177,12 +200,17 @@ class CasaAllocator:
         energy: EnergyModel,
         *,
         context: AllocationContext | None = None,
+        warm_start: frozenset[str] | None = None,
     ) -> Allocation:
         """Pick the optimal scratchpad-resident set.
 
         *context* is accepted for :class:`repro.core.Allocator`
         protocol conformance and ignored — the ILP decides from the
         graph and the energy model alone.
+
+        *warm_start* names a resident set known to be good (usually
+        the previous capacity step's allocation); it seeds the branch
+        & bound incumbent and cannot change the returned optimum.
 
         When the solve budget (``max_nodes`` / ``max_seconds``) runs
         out, the configured degradation ladder applies: with
@@ -211,6 +239,10 @@ class CasaAllocator:
         solver = BranchAndBoundSolver(
             max_nodes=self._config.max_nodes,
             max_seconds=self._config.max_seconds,
+            warm_start=(
+                self.warm_start_values(graph, warm_start)
+                if warm_start is not None else None
+            ),
         )
         result = model.solve(solver)
         if result.status in (SolveStatus.NODE_LIMIT,

@@ -24,11 +24,15 @@ from repro.engine.artifacts import (
     BaselineSimArtifact,
     ConflictGraphArtifact,
     ExecutionArtifact,
+    GridSimArtifact,
     StreamArtifact,
     TraceArtifact,
     baseline_digest,
     execution_digest,
     graph_digest,
+    grid_digest,
+    grid_result_digest,
+    grid_sim_digest,
     result_digest,
     stream_digest,
     trace_digest,
@@ -55,6 +59,7 @@ from repro.memory.hierarchy import (
 from repro.memory.kernel import FetchStream, compile_stream
 from repro.memory.loopcache import LoopCacheConfig
 from repro.memory.stats import SimulationReport
+from repro.obs import metrics
 from repro.obs.trace import span
 from repro.program.executor import execute_program
 from repro.program.program import Program
@@ -251,6 +256,16 @@ class Workbench:
             image=self._baseline_image,
         )
 
+    def _stream_key(self, image: LinkedImage) -> str:
+        """Digest of *image*'s compiled fetch stream (cheap, no compile)."""
+        return stream_digest(
+            self._trace_key,
+            image.spm_resident,
+            image.placement,
+            self._config.main_base,
+            self._config.spm_base,
+        )
+
     def _resolve_stream(self, image: LinkedImage) -> FetchStream:
         """Resolve the compiled fetch stream of *image* (cached).
 
@@ -259,13 +274,7 @@ class Workbench:
         process — that compiled the same layout over the same executed
         block sequence serves it from the store.
         """
-        key = stream_digest(
-            self._trace_key,
-            image.spm_resident,
-            image.placement,
-            self._config.main_base,
-            self._config.spm_base,
-        )
+        key = self._stream_key(image)
         artifact = self._runner.resolve(
             "stream", key,
             lambda: StreamArtifact(key, compile_stream(
@@ -292,6 +301,61 @@ class Workbench:
             backend=self._config.backend,
             stream=stream,
         )
+
+    def simulate_image_grid(self, image: LinkedImage,
+                            configs) -> list[SimulationReport]:
+        """Replay *image* under a whole cache axis, as one artifact.
+
+        The axis (a :class:`~repro.memory.kernel.grid.SweepGrid` or any
+        iterable of hierarchy configs) resolves to a single ``grid_sim``
+        artifact: the kernel replays every geometry it supports in one
+        stack-distance pass per scan group, while configurations the
+        kernel cannot replay — and every configuration of a
+        reference-backend session — go through the reference
+        interpreter per config (counted in ``sim.kernel.fallbacks``
+        when a kernel session had to divert).  Reports are
+        bit-identical to :meth:`_simulate_image` per config, which the
+        ``repro verify-grid`` gate enforces.
+        """
+        from repro.memory.kernel import SweepGrid, simulate_grid, \
+            unsupported_reason
+
+        grid = configs if isinstance(configs, SweepGrid) \
+            else SweepGrid.of(configs)
+        key = grid_sim_digest(self._stream_key(image), grid.describe())
+
+        def compute() -> GridSimArtifact:
+            reports: list[SimulationReport | None] = [None] * len(grid)
+            use_kernel = \
+                resolve_backend(self._config.backend) != "reference"
+            covered = [
+                index for index, cfg in enumerate(grid.configs)
+                if use_kernel and unsupported_reason(cfg) is None
+            ]
+            if covered:
+                stream = self._resolve_stream(image)
+                subgrid = SweepGrid.of(
+                    grid.configs[index] for index in covered
+                )
+                replayed = simulate_grid(
+                    stream, subgrid, spm_base=self._config.spm_base
+                )
+                for index, report in zip(covered, replayed):
+                    reports[index] = report
+            for index, cfg in enumerate(grid.configs):
+                if reports[index] is not None:
+                    continue
+                if use_kernel:
+                    metrics.inc("sim.kernel.fallbacks")
+                reports[index] = simulate(
+                    image, cfg, self._block_sequence,
+                    spm_base=self._config.spm_base,
+                    backend="reference",
+                )
+            return GridSimArtifact(key, reports)
+
+        artifact = self._runner.resolve("grid_sim", key, compute)
+        return list(artifact.reports)
 
     def spm_energy_model(self, spm_size: int) -> EnergyModel:
         """Per-event energies of the cache + scratchpad hierarchy."""
@@ -361,15 +425,23 @@ class Workbench:
 
     # -- allocator front doors -----------------------------------------------
 
-    def _allocate_and_evaluate(self, allocator,
-                               spm_size: int) -> ExperimentResult:
-        """Run one scratchpad allocator and simulate its decision."""
+    def _allocate_and_evaluate(
+        self, allocator, spm_size: int,
+        warm_start: frozenset[str] | None = None,
+    ) -> ExperimentResult:
+        """Run one scratchpad allocator and simulate its decision.
+
+        *warm_start* (a resident set from a neighbouring capacity
+        step) is forwarded to allocators that accept it — currently
+        CASA's branch & bound — and left out otherwise.
+        """
+        kwargs = {} if warm_start is None else {"warm_start": warm_start}
         with span("alloc.allocate",
                   allocator=type(allocator).__name__,
                   spm_size=spm_size) as alloc_span:
             allocation = allocator.allocate(
                 self._graph, spm_size, self.spm_energy_model(spm_size),
-                context=self.allocation_context(),
+                context=self.allocation_context(), **kwargs,
             )
             alloc_span.add(objects=len(allocation.spm_resident),
                            solver_nodes=allocation.solver_nodes)
@@ -417,6 +489,73 @@ class Workbench:
                 GreedyCasaAllocator(), spm_size
             ),
         )
+
+    def run_grid(self, algorithm: str, spm_sizes,
+                 max_regions: int = 4) -> list[ExperimentResult]:
+        """Evaluate one allocator across a whole capacity axis.
+
+        Capacities are solved in ascending order so each CASA step can
+        warm-start its branch & bound from the previous step's
+        resident set (``ilp.warm_start.*`` telemetry counts the
+        adoptions); the conflict graph is profiled once and shared by
+        every step.  Results come back in the order of *spm_sizes*.
+
+        Each step resolves through the artifact store under a digest
+        chained off the whole axis (:func:`grid_result_digest`), so
+        grid runs never serve — or are served by — the per-point
+        ``result`` entries: warm-started solver telemetry stays
+        attributable to its axis.
+
+        Args:
+            algorithm: ``casa`` | ``steinke`` | ``greedy`` | ``ross``
+                | ``baseline``.
+            spm_sizes: scratchpad (or, for Ross, loop-cache)
+                capacities in bytes.
+            max_regions: Ross's region budget (ignored otherwise).
+        """
+        sizes = tuple(spm_sizes)
+        if algorithm == "baseline":
+            return [self.baseline_result() for _ in sizes]
+        steppers = {
+            "casa": lambda size, warm: self._allocate_and_evaluate(
+                CasaAllocator(), size, warm_start=warm
+            ),
+            "steinke": lambda size, warm: self._allocate_and_evaluate(
+                SteinkeAllocator(), size
+            ),
+            "greedy": lambda size, warm: self._allocate_and_evaluate(
+                GreedyCasaAllocator(), size
+            ),
+            "ross": lambda size, warm: self._run_ross_direct(
+                size, max_regions
+            ),
+        }
+        if algorithm not in steppers:
+            raise ConfigurationError(
+                f"unknown grid algorithm {algorithm!r} "
+                f"(expected one of {sorted(steppers)} or 'baseline')"
+            )
+        step = steppers[algorithm]
+        ordered = tuple(sorted(set(sizes)))
+        options = {"max_regions": max_regions} \
+            if algorithm == "ross" else None
+        grid_key = grid_digest(
+            self._graph_digest, algorithm, ordered, options
+        )
+        by_size: dict[int, ExperimentResult] = {}
+        warm: frozenset[str] | None = None
+        for size in ordered:
+            key = grid_result_digest(grid_key, size)
+
+            def compute(size=size, warm=warm, key=key):
+                return AllocationArtifact(key, step(size, warm))
+
+            result = self._runner.resolve("result", key, compute).result
+            by_size[size] = result
+            # Thread the chain even through store hits so every step
+            # sees the same predecessor regardless of cache warmth.
+            warm = result.allocation.spm_resident
+        return [by_size[size] for size in sizes]
 
     def run_overlay(self, spm_size: int,
                     allocator: "OverlayAllocator | None" = None

@@ -12,7 +12,10 @@ producing a typed artifact with a content-addressed digest:
   accounting (:class:`RunRecord`) and the engine-backed
   :func:`make_workbench`;
 * :mod:`repro.engine.parallel` — :func:`map_points` fans design points
-  across a process pool with deterministic result ordering.
+  across a process pool with deterministic result ordering;
+* :mod:`repro.engine.grid` — :class:`GridChunk` schedules a whole
+  capacity axis as one work unit (single-pass cache replay,
+  warm-started solves).
 
 Every consumer — ``Workbench``, the sweep/figure/table harnesses, the
 CLI and the benchmarks — routes through this package, so a warm cache
@@ -26,6 +29,7 @@ from repro.engine.artifacts import (
     BaselineSimArtifact,
     ConflictGraphArtifact,
     ExecutionArtifact,
+    GridSimArtifact,
     StreamArtifact,
     TraceArtifact,
     baseline_digest,
@@ -34,10 +38,18 @@ from repro.engine.artifacts import (
     execution_digest,
     fingerprint_program,
     graph_digest,
+    grid_digest,
+    grid_result_digest,
+    grid_sim_digest,
     result_digest,
     stream_digest,
     trace_digest,
     workbench_digest,
+)
+from repro.engine.grid import (
+    CHUNK_ALGORITHMS,
+    GridChunk,
+    evaluate_chunk,
 )
 from repro.engine.parallel import (
     POINT_ALGORITHMS,
@@ -66,6 +78,7 @@ __all__ = [
     "BaselineSimArtifact",
     "ConflictGraphArtifact",
     "ExecutionArtifact",
+    "GridSimArtifact",
     "StreamArtifact",
     "TraceArtifact",
     "baseline_digest",
@@ -74,10 +87,16 @@ __all__ = [
     "execution_digest",
     "fingerprint_program",
     "graph_digest",
+    "grid_digest",
+    "grid_result_digest",
+    "grid_sim_digest",
     "result_digest",
     "stream_digest",
     "trace_digest",
     "workbench_digest",
+    "CHUNK_ALGORITHMS",
+    "GridChunk",
+    "evaluate_chunk",
     "POINT_ALGORITHMS",
     "PointSpec",
     "evaluate_point",

@@ -118,6 +118,21 @@ def evaluate_point(point: PointSpec,
                               max_regions=point.max_regions)
 
 
+def _evaluate_spec(spec, runner: StageRunner | None = None):
+    """Evaluate one work unit — a :class:`PointSpec` or a grid chunk.
+
+    The engine's schedulers (:func:`map_points` and the self-healing
+    ladder on top of it) accept both unit shapes; a
+    :class:`~repro.engine.grid.GridChunk` — recognised by its
+    ``spm_sizes`` axis — evaluates to a result *list*, a point to a
+    single result.
+    """
+    if hasattr(spec, "spm_sizes"):
+        from repro.engine.grid import evaluate_chunk
+        return evaluate_chunk(spec, runner=runner)
+    return evaluate_point(spec, runner=runner)
+
+
 def _init_worker(cache_dir: str | None,
                  fault_spec: str | None = None) -> None:
     """Process-pool initializer: point the worker at the shared cache.
@@ -159,7 +174,7 @@ def _evaluate_in_worker(task: tuple[PointSpec, bool, bool, bool, int]):
     try:
         record = RunRecord()
         runner = StageRunner(record=record)
-        result = evaluate_point(point, runner=runner)
+        result = _evaluate_spec(point, runner=runner)
     finally:
         if trace_enabled:
             set_collector(previous_collector)
@@ -186,7 +201,7 @@ def _run_serial(points: list[PointSpec],
                 record: RunRecord | None) -> list["ExperimentResult"]:
     if runner is None:
         runner = StageRunner(record=record)
-    return [evaluate_point(point, runner=runner) for point in points]
+    return [_evaluate_spec(point, runner=runner) for point in points]
 
 
 def map_points(
@@ -199,7 +214,10 @@ def map_points(
     """Evaluate *points*, optionally across a process pool.
 
     Args:
-        points: design points, in the order results are wanted.
+        points: work units — :class:`PointSpec` design points and/or
+            :class:`~repro.engine.grid.GridChunk` capacity axes — in
+            the order results are wanted (a chunk's result is the
+            *list* of its per-capacity results).
         jobs: worker processes; ``<= 1`` runs serially in-process.
         runner: stage runner for the serial path (ignored when a pool
             is used — each worker builds its own).

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.energy.area import hierarchy_area
+from repro.engine.grid import GridChunk
 from repro.engine.parallel import PointSpec, map_points
 from repro.errors import ConfigurationError
 from repro.memory.cache import CacheConfig
@@ -60,6 +61,7 @@ def explore(
     jobs: int = 1,
     record=None,
     backend: str | None = None,
+    grid: bool = True,
 ) -> list[DesignPoint]:
     """Evaluate every feasible cache/SPM split under *area_budget*.
 
@@ -68,12 +70,16 @@ def explore(
     a line size; a pure-SPM machine is a different architecture), as
     are SPM-less points with no cache.
 
-    The exploration is embarrassingly parallel per design point: every
-    feasible (cache, scratchpad) pair becomes an engine
-    :class:`~repro.engine.parallel.PointSpec` and the whole set is
-    fanned through :func:`~repro.engine.parallel.map_points` with
-    *jobs* workers; *record* collects per-stage hit/compute counters
-    and *backend* picks the simulation backend for every point.
+    On the default grid path each cache configuration contributes one
+    :class:`~repro.engine.grid.GridChunk` per allocator covering its
+    whole feasible scratchpad axis (the capacity steps share the
+    conflict graph and warm-start each other's solves); ``grid=False``
+    schedules one :class:`~repro.engine.parallel.PointSpec` per
+    (cache, scratchpad) pair instead, with identical results.  Either
+    unit shape fans through
+    :func:`~repro.engine.parallel.map_points` with *jobs* workers;
+    *record* collects per-stage hit/compute counters and *backend*
+    picks the simulation backend for every point.
 
     Returns:
         Evaluated design points, sorted by energy (best first).
@@ -85,8 +91,8 @@ def explore(
     spm_sizes = spm_sizes if spm_sizes is not None else \
         [0] + _power_of_two_sizes(64, 2048)
 
-    specs: list[PointSpec] = []
-    metas: list[tuple[int, int, float]] = []
+    units: list[PointSpec | GridChunk] = []
+    metas: list[list[tuple[int, int, float]]] = []
     for cache_size in cache_sizes:
         cache = CacheConfig(size=cache_size, line_size=line_size,
                             associativity=1)
@@ -102,34 +108,52 @@ def explore(
                 (spm for spm in feasible_spms if spm), default=64
             )),
         )
-        for spm in feasible_spms:
-            specs.append(PointSpec(
-                workload=workload_name,
-                spm_size=spm,
-                algorithm="baseline" if spm == 0 else "casa",
-                scale=scale,
-                seed=seed,
-                cache=cache,
-                tracegen=tracegen,
-                backend=backend,
-            ))
-            metas.append((cache_size, spm, hierarchy_area(cache, spm)))
-    if not specs:
+        common = dict(
+            workload=workload_name, scale=scale, seed=seed,
+            cache=cache, tracegen=tracegen, backend=backend,
+        )
+        if grid:
+            for algorithm in ("baseline", "casa"):
+                axis = tuple(
+                    spm for spm in feasible_spms
+                    if (spm == 0) == (algorithm == "baseline")
+                )
+                if not axis:
+                    continue
+                units.append(GridChunk(
+                    spm_sizes=axis, algorithm=algorithm, **common
+                ))
+                metas.append([
+                    (cache_size, spm, hierarchy_area(cache, spm))
+                    for spm in axis
+                ])
+        else:
+            for spm in feasible_spms:
+                units.append(PointSpec(
+                    spm_size=spm,
+                    algorithm="baseline" if spm == 0 else "casa",
+                    **common,
+                ))
+                metas.append(
+                    [(cache_size, spm, hierarchy_area(cache, spm))]
+                )
+    if not units:
         raise ConfigurationError(
             f"no cache/SPM configuration fits an area budget of "
             f"{area_budget}"
         )
-    results = map_points(specs, jobs=jobs, record=record)
-    points = [
-        DesignPoint(
-            cache_size=cache_size,
-            spm_size=spm,
-            area=area,
-            energy=result.energy.total,
-            misses=result.report.cache_misses,
-        )
-        for (cache_size, spm, area), result in zip(metas, results)
-    ]
+    outcomes = map_points(units, jobs=jobs, record=record)
+    points = []
+    for meta, outcome in zip(metas, outcomes):
+        results = outcome if isinstance(outcome, list) else [outcome]
+        for (cache_size, spm, area), result in zip(meta, results):
+            points.append(DesignPoint(
+                cache_size=cache_size,
+                spm_size=spm,
+                area=area,
+                energy=result.energy.total,
+                misses=result.report.cache_misses,
+            ))
     points.sort(key=lambda p: p.energy)
     return points
 

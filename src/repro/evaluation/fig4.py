@@ -113,18 +113,20 @@ def run_fig4(
     jobs: int = 1,
     record=None,
     backend: str | None = None,
+    grid: bool = True,
 ) -> Fig4Result:
     """Reproduce figure 4 (optionally on another workload or scale).
 
-    ``jobs`` fans the sweep's design points across worker processes;
+    ``jobs`` fans the sweep's work units across worker processes;
     ``record`` (a :class:`~repro.engine.runner.RunRecord`) collects the
     engine's per-stage hit/compute counters; ``backend`` picks the
-    simulation backend.
+    simulation backend; ``grid=False`` trades the grid path for
+    per-point scheduling (identical results).
     """
     points = run_sweep(
         workload, sizes, algorithms=("casa", "steinke"),
         scale=scale, seed=seed, jobs=jobs, record=record,
-        backend=backend,
+        backend=backend, grid=grid,
     )
     rows = [
         Fig4Row(

@@ -6,12 +6,19 @@ invariant, count the accesses to each level, and compute energy from the
 model.  :func:`run_sweep` implements exactly that for any subset of the
 allocators; the figure/table modules post-process its output.
 
-Sweeps run through the staged experiment engine: every (size,
-allocator) pair becomes a :class:`~repro.engine.parallel.PointSpec`
-fanned through :func:`~repro.engine.parallel.map_points`, so a sweep
-can use worker processes (``jobs``), reuses every allocation-independent
-stage from the artifact store, and can report per-stage hit/compute
-counters through a :class:`~repro.engine.runner.RunRecord`.
+Sweeps run through the staged experiment engine.  On the default grid
+path each requested allocator becomes one
+:class:`~repro.engine.grid.GridChunk` covering the whole capacity
+axis — the workbench profiles once, the kernel replays the cache work
+in shared passes, and CASA warm-starts each capacity step's branch &
+bound from its neighbour.  ``grid=False`` falls back to one
+:class:`~repro.engine.parallel.PointSpec` per (size, allocator) pair —
+bit-identical results (the ``repro verify-grid`` gate enforces it),
+finer-grained parallelism.  Either unit shape fans through
+:func:`~repro.engine.parallel.map_points`, so a sweep can use worker
+processes (``jobs``), reuses every allocation-independent stage from
+the artifact store, and can report per-stage hit/compute counters
+through a :class:`~repro.engine.runner.RunRecord`.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.pipeline import ExperimentResult, Workbench
+from repro.engine.grid import GridChunk
 from repro.engine.parallel import PointSpec, map_points
 from repro.engine.runner import RunRecord
 from repro.engine.runner import make_workbench as _engine_make_workbench
@@ -78,6 +86,7 @@ def run_sweep(
     jobs: int = 1,
     record: RunRecord | None = None,
     backend: str | None = None,
+    grid: bool = True,
 ) -> list[SweepPoint]:
     """Evaluate allocators across scratchpad sizes.
 
@@ -88,13 +97,17 @@ def run_sweep(
         algorithms: subset of :data:`ALGORITHMS`.
         scale: workload trip-count multiplier.
         seed: executor seed.
-        jobs: worker processes for the design points (1 = serial;
-            results are identical either way).
+        jobs: worker processes for the work units (1 = serial; results
+            are identical either way).
         record: optional engine run record receiving per-stage
             hit/compute counters.
         backend: simulation backend for every design point
             (``reference`` | ``vector`` | ``auto``; ``None`` defers to
             ``CASA_BACKEND``, then ``auto``).
+        grid: schedule one grid chunk per allocator (single-pass cache
+            replay, warm-started solves) instead of one design point
+            per (size, allocator) pair.  Results are bit-identical
+            either way.
 
     Returns:
         One :class:`SweepPoint` per size, in ascending size order.
@@ -108,6 +121,26 @@ def run_sweep(
     if sizes is None:
         sizes = get_workload(workload_name, scale=scale).spm_sizes
     chosen_sizes = tuple(sorted(sizes))
+    if grid:
+        chunks = [
+            GridChunk(
+                workload=workload_name,
+                spm_sizes=chosen_sizes,
+                algorithm=algorithm,
+                scale=scale,
+                seed=seed,
+                backend=backend,
+            )
+            for algorithm in algorithms
+        ]
+        axes = map_points(chunks, jobs=jobs, record=record)
+        return [
+            SweepPoint(workload_name, size, {
+                algorithm: axes[offset][index]
+                for offset, algorithm in enumerate(algorithms)
+            })
+            for index, size in enumerate(chosen_sizes)
+        ]
     specs = [
         PointSpec(
             workload=workload_name,

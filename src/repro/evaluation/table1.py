@@ -131,14 +131,16 @@ def run_table1(
     jobs: int = 1,
     record=None,
     backend: str | None = None,
+    grid: bool = True,
 ) -> Table1Result:
     """Reproduce table 1 over the registered benchmarks.
 
-    ``jobs`` fans each benchmark's design points across worker
+    ``jobs`` fans each benchmark's work units across worker
     processes; ``record`` (a
     :class:`~repro.engine.runner.RunRecord`) collects the engine's
     per-stage hit/compute counters; ``backend`` picks the simulation
-    backend.
+    backend; ``grid=False`` trades the grid path for per-point
+    scheduling (identical results).
     """
     blocks: list[Table1Benchmark] = []
     for name in benchmarks:
@@ -146,7 +148,7 @@ def run_table1(
         points = run_sweep(
             name, algorithms=("casa", "steinke", "ross"),
             scale=scale, seed=seed, jobs=jobs, record=record,
-            backend=backend,
+            backend=backend, grid=grid,
         )
         rows = [
             Table1Row(

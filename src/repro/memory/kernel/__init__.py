@@ -19,11 +19,16 @@ trades the interpreter for three array passes:
    dict/Counter insertion orders).
 
 :func:`~repro.memory.kernel.vector.simulate_many` batches several cache
-configurations over one stream (the fig4/DSE sweep shape).  The
-differential harness in :mod:`repro.memory.kernel.verify` backs the
-``repro verify-kernel`` command.
+configurations over one stream (the fig4/DSE sweep shape); since the
+grid refactor it delegates to
+:func:`~repro.memory.kernel.grid.simulate_grid`, which replays every
+LRU geometry of a :class:`~repro.memory.kernel.grid.SweepGrid` in one
+stack-distance pass per (line size, set count) group.  The
+differential harnesses in :mod:`repro.memory.kernel.verify` back the
+``repro verify-kernel`` and ``repro verify-grid`` commands.
 """
 
+from repro.memory.kernel.grid import SweepGrid, simulate_grid
 from repro.memory.kernel.stream import (
     FetchStream,
     ProbeStream,
@@ -46,10 +51,12 @@ __all__ = [
     "FetchStream",
     "KernelUnsupported",
     "ProbeStream",
+    "SweepGrid",
     "VerifyCase",
     "VerifyReport",
     "compile_stream",
     "report_differences",
+    "simulate_grid",
     "simulate_many",
     "simulate_stream",
     "unsupported_reason",

@@ -153,6 +153,9 @@ class FetchStream:
         """
         cached = self._probe_cache.get(line_size)
         if cached is not None:
+            # A sweep re-used a memoised expansion instead of
+            # re-deriving the ProbeStream for this line size.
+            metrics.inc("sim.kernel.stream_reuse")
             return cached
 
         mask = ~self.seg_on_spm

@@ -250,6 +250,108 @@ def _conflict_counters(replay: _Replay, names: tuple[str, ...]
     return conflicts, phase_conflicts
 
 
+def assemble_report(
+    stream: FetchStream,
+    config,
+    spm_base: int | None,
+    probes,
+    replay: _Replay | None,
+) -> SimulationReport:
+    """Assemble a report from a precomputed L1 replay.
+
+    Shared by the per-configuration path (:func:`simulate_stream`) and
+    the grid path (:func:`repro.memory.kernel.grid.simulate_grid`), so
+    both produce byte-for-byte identical reports from the same replay
+    outcome.  ``probes``/``replay`` are ``None`` for cache-less
+    hierarchies.
+    """
+    names = stream.mo_names
+    num_mos = len(names)
+    seg_mo = stream.seg_mo
+    seg_words = stream.seg_words
+    spm_mask = stream.seg_on_spm
+
+    fetches = _counts(seg_mo, num_mos, seg_words)
+
+    spm_accesses = np.zeros(num_mos, dtype=np.int64)
+    if spm_mask.any():
+        if not config.spm_size:
+            first = int(seg_mo[int(np.argmax(spm_mask))])
+            raise SimulationError(
+                f"segment of {names[first]!r} mapped to a "
+                "scratchpad that does not exist"
+            )
+        base = spm_base if spm_base is not None else stream.spm_base
+        spm_addr = stream.seg_addr[spm_mask]
+        spm_words = seg_words[spm_mask]
+        low = int(spm_addr.min())
+        high = int((spm_addr + 4 * spm_words).max())
+        if low < base or high > base + config.spm_size:
+            raise SimulationError(
+                f"scratchpad access [{low:#x},{high:#x}) outside "
+                f"[{base:#x},{base + config.spm_size:#x})"
+            )
+        spm_accesses = _counts(seg_mo[spm_mask], num_mos, spm_words)
+
+    conflicts: Counter = Counter()
+    phase_conflicts: Counter = Counter()
+    l2_hits = 0
+    l2_misses = 0
+    if config.cache is None:
+        cache_mask = ~spm_mask
+        cache_misses = _counts(
+            seg_mo[cache_mask], num_mos, seg_words[cache_mask]
+        )
+        cache_hits = np.zeros(num_mos, dtype=np.int64)
+        compulsory = np.zeros(num_mos, dtype=np.int64)
+        main_memory_words = int(cache_misses.sum())
+    else:
+        cache_cfg = config.cache
+        hit = replay.hit
+        miss = ~hit
+        owner = probes.owner
+        cache_hits = (
+            _counts(owner[hit], num_mos, probes.words[hit])
+            + _counts(owner[miss], num_mos, probes.words[miss] - 1)
+        )
+        cache_misses = _counts(owner[miss], num_mos)
+        compulsory = _counts(owner[probes.first], num_mos)
+        conflicts, phase_conflicts = _conflict_counters(replay, names)
+
+        miss_probes = int(cache_misses.sum())
+        if config.l2_cache is not None:
+            l2_replay = _replay(
+                probes.line[miss], owner[miss], config.l2_cache,
+                attribute=False,
+            )
+            l2_hits = int(l2_replay.hit.sum())
+            l2_misses = miss_probes - l2_hits
+            main_memory_words = l2_misses * cache_cfg.words_per_line
+        else:
+            main_memory_words = miss_probes * cache_cfg.words_per_line
+
+    report = SimulationReport(
+        num_block_executions=stream.num_blocks
+    )
+    for mo_idx in stream.mo_first_seen():
+        report.mo_stats[names[mo_idx]] = MemoryObjectStats(
+            name=names[mo_idx],
+            fetches=int(fetches[mo_idx]),
+            spm_accesses=int(spm_accesses[mo_idx]),
+            cache_hits=int(cache_hits[mo_idx]),
+            cache_misses=int(cache_misses[mo_idx]),
+            compulsory_misses=int(compulsory[mo_idx]),
+        )
+    report.conflict_misses = conflicts
+    report.phase_conflicts = phase_conflicts
+    report.main_memory_words = main_memory_words
+    report.l2_hits = l2_hits
+    report.l2_misses = l2_misses
+    metrics.inc("sim.kernel.simulations")
+    report.assert_identities()
+    return report
+
+
 def simulate_stream(
     stream: FetchStream,
     config,
@@ -278,99 +380,19 @@ def simulate_stream(
     if reason is not None:
         raise KernelUnsupported(reason)
 
-    names = stream.mo_names
-    num_mos = len(names)
-    seg_mo = stream.seg_mo
-    seg_words = stream.seg_words
-    spm_mask = stream.seg_on_spm
-
     with span("sim.kernel.replay", segments=stream.num_segments,
               words=stream.total_words) as replay_span:
-        fetches = _counts(seg_mo, num_mos, seg_words)
-
-        spm_accesses = np.zeros(num_mos, dtype=np.int64)
-        if spm_mask.any():
-            if not config.spm_size:
-                first = int(seg_mo[int(np.argmax(spm_mask))])
-                raise SimulationError(
-                    f"segment of {names[first]!r} mapped to a "
-                    "scratchpad that does not exist"
-                )
-            base = spm_base if spm_base is not None else stream.spm_base
-            spm_addr = stream.seg_addr[spm_mask]
-            spm_words = seg_words[spm_mask]
-            low = int(spm_addr.min())
-            high = int((spm_addr + 4 * spm_words).max())
-            if low < base or high > base + config.spm_size:
-                raise SimulationError(
-                    f"scratchpad access [{low:#x},{high:#x}) outside "
-                    f"[{base:#x},{base + config.spm_size:#x})"
-                )
-            spm_accesses = _counts(seg_mo[spm_mask], num_mos, spm_words)
-
-        conflicts: Counter = Counter()
-        phase_conflicts: Counter = Counter()
-        l2_hits = 0
-        l2_misses = 0
-        if config.cache is None:
-            cache_mask = ~spm_mask
-            cache_misses = _counts(
-                seg_mo[cache_mask], num_mos, seg_words[cache_mask]
-            )
-            cache_hits = np.zeros(num_mos, dtype=np.int64)
-            compulsory = np.zeros(num_mos, dtype=np.int64)
-            main_memory_words = int(cache_misses.sum())
-        else:
-            cache_cfg = config.cache
-            probes = stream.probes(cache_cfg.line_size)
-            replay = _replay(probes.line, probes.owner, cache_cfg,
+        probes = None
+        replay = None
+        if config.cache is not None:
+            probes = stream.probes(config.cache.line_size)
+            replay = _replay(probes.line, probes.owner, config.cache,
                              attribute=True,
                              line_order=probes.line_order)
-            hit = replay.hit
-            miss = ~hit
-            owner = probes.owner
-            cache_hits = (
-                _counts(owner[hit], num_mos, probes.words[hit])
-                + _counts(owner[miss], num_mos, probes.words[miss] - 1)
-            )
-            cache_misses = _counts(owner[miss], num_mos)
-            compulsory = _counts(owner[probes.first], num_mos)
-            conflicts, phase_conflicts = _conflict_counters(replay, names)
-
-            miss_probes = int(cache_misses.sum())
-            if config.l2_cache is not None:
-                l2_replay = _replay(
-                    probes.line[miss], owner[miss], config.l2_cache,
-                    attribute=False,
-                )
-                l2_hits = int(l2_replay.hit.sum())
-                l2_misses = miss_probes - l2_hits
-                main_memory_words = l2_misses * cache_cfg.words_per_line
-            else:
-                main_memory_words = miss_probes * cache_cfg.words_per_line
+            miss_probes = len(probes) - int(replay.hit.sum())
             replay_span.add(probes=len(probes), misses=miss_probes)
             metrics.inc("sim.kernel.probes", len(probes))
-
-        report = SimulationReport(
-            num_block_executions=stream.num_blocks
-        )
-        for mo_idx in stream.mo_first_seen():
-            report.mo_stats[names[mo_idx]] = MemoryObjectStats(
-                name=names[mo_idx],
-                fetches=int(fetches[mo_idx]),
-                spm_accesses=int(spm_accesses[mo_idx]),
-                cache_hits=int(cache_hits[mo_idx]),
-                cache_misses=int(cache_misses[mo_idx]),
-                compulsory_misses=int(compulsory[mo_idx]),
-            )
-        report.conflict_misses = conflicts
-        report.phase_conflicts = phase_conflicts
-        report.main_memory_words = main_memory_words
-        report.l2_hits = l2_hits
-        report.l2_misses = l2_misses
-        metrics.inc("sim.kernel.simulations")
-        report.assert_identities()
-        return report
+        return assemble_report(stream, config, spm_base, probes, replay)
 
 
 def simulate(
@@ -401,6 +423,12 @@ def simulate_many(
     once (memoised on the stream).  This is the fig4/DSE shape: one
     fixed trace, thousands of cache configurations.
 
+    Since the grid refactor this is a thin wrapper over
+    :func:`repro.memory.kernel.grid.simulate_grid`: LRU shapes are
+    replayed in a single stack-distance pass per (line size, set
+    count) group and only FIFO / unsupported shapes fall back to the
+    per-configuration replay above.
+
     Args:
         stream: compiled fetch stream.
         configs: iterable of hierarchy configurations.
@@ -409,10 +437,9 @@ def simulate_many(
     Returns:
         One report per configuration, in input order.
     """
-    configs = list(configs)
+    from repro.memory.kernel.grid import SweepGrid, simulate_grid
+
+    grid = SweepGrid.of(configs)
     metrics.inc("sim.kernel.batches")
-    with span("sim.kernel.batch", configs=len(configs)):
-        return [
-            simulate_stream(stream, config, spm_base=spm_base)
-            for config in configs
-        ]
+    with span("sim.kernel.batch", configs=len(grid)):
+        return simulate_grid(stream, grid, spm_base=spm_base)

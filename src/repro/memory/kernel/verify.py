@@ -290,8 +290,17 @@ def _config_grid() -> list:
     return configs
 
 
-def _workload_images(workload_name: str, scale: float, seed: int):
-    """Baseline and scratchpad-resident images of one workload."""
+def workload_images(workload_name: str, scale: float, seed: int):
+    """Baseline and scratchpad-resident images of one workload.
+
+    Shared fixture of the kernel and grid differential gates: the
+    cache-only image plus (when anything fits) a greedy-filled
+    scratchpad image at the workload's smallest table-1 size.
+
+    Returns:
+        ``(bench, images)`` where each image entry is a
+        ``(label, image, spm_size)`` triple.
+    """
     from repro.engine.runner import make_workbench
     from repro.traces.layout import LinkedImage, Placement
 
@@ -334,7 +343,7 @@ def _workload_cases(workload_name: str, scale: float,
     from repro.memory.kernel.stream import compile_stream
     from repro.memory.kernel.vector import simulate_stream
 
-    bench, images = _workload_images(workload_name, scale, seed)
+    bench, images = workload_images(workload_name, scale, seed)
     config = bench.config
     cases: list[VerifyCase] = []
     for label, image, spm_size in images:

@@ -365,6 +365,7 @@ def collect_suite_metrics(
                     "solver.degraded", "store.quarantined"):
         metrics[f"suite.{counter}"] = registry.value(counter)
     metrics.update(measure_kernel_speedup(scale=scale, seed=seed))
+    metrics.update(measure_grid_speedup(scale=scale, seed=seed))
     metrics["wall.seconds"] = time.perf_counter() - started
     return metrics
 
@@ -445,6 +446,100 @@ def measure_kernel_speedup(
         "kernel.vector.seconds": vector,
         "kernel.reference.seconds": reference,
         "kernel.wall.speedup": reference / vector,
+    }
+
+
+def measure_grid_speedup(
+    workload_name: str = "adpcm",
+    scale: float = DEFAULT_SUITE_SCALE,
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Time a multi-configuration sweep grid-wise and point-wise.
+
+    The per-point baseline here is the *vector kernel* with the
+    stream already compiled and reused — i.e. the best the pre-grid
+    pipeline could do — replaying a constant-geometry cache axis
+    (line 16, 32/64 sets, 1–8 ways, all LRU: the shape where the
+    single-pass stack-distance scan shares the most work) one
+    configuration at a time, for the fig4-shaped image set of one
+    workload.  The grid path replays the same axis through one
+    :func:`~repro.memory.kernel.grid.simulate_grid` call per image.
+    Streams are compiled once per image *outside* the timers — in the
+    engine both paths resolve the same cached ``stream`` artifact, so
+    compilation is steady-state-free on either side.  Returns timing
+    metrics only (``grid.*.seconds`` and the ``grid.wall.speedup``
+    ratio).
+    """
+    from repro.engine.runner import StageRunner, make_workbench
+    from repro.engine.store import ArtifactStore
+    from repro.memory.cache import CacheConfig
+    from repro.memory.hierarchy import HierarchyConfig, simulate
+    from repro.memory.kernel import SweepGrid, compile_stream, \
+        simulate_grid
+    from repro.traces.layout import LinkedImage, Placement
+
+    runner = StageRunner(store=ArtifactStore())
+    workload, bench = make_workbench(
+        workload_name, scale=scale, seed=seed, runner=runner
+    )
+    config = bench.config
+    line_size = 16
+
+    def image_for(spm_size: int) -> LinkedImage:
+        resident: set[str] = set()
+        used = 0
+        for mo in bench.memory_objects:
+            if spm_size and used + mo.unpadded_size <= spm_size:
+                resident.add(mo.name)
+                used += mo.unpadded_size
+        return LinkedImage(
+            bench.program, bench.memory_objects,
+            spm_resident=frozenset(resident), spm_size=spm_size,
+            placement=Placement.COPY,
+            main_base=config.main_base, spm_base=config.spm_base,
+        )
+
+    def axis_for(spm_size: int) -> SweepGrid:
+        return SweepGrid.of(
+            HierarchyConfig(
+                cache=CacheConfig(
+                    size=line_size * ways * num_sets,
+                    line_size=line_size, associativity=ways,
+                ),
+                spm_size=spm_size,
+            )
+            for num_sets in (32, 64)
+            for ways in (1, 2, 4, 8)
+        )
+
+    sweep = []
+    for size in (0, *workload.spm_sizes):
+        image = image_for(size)
+        stream = compile_stream(image, bench.block_sequence,
+                                spm_base=config.spm_base)
+        sweep.append((image, stream, axis_for(size)))
+
+    def timed(single_pass: bool) -> float:
+        started = time.perf_counter()
+        for _ in range(repeats):
+            for image, stream, axis in sweep:
+                if single_pass:
+                    simulate_grid(stream, axis,
+                                  spm_base=config.spm_base)
+                    continue
+                for hierarchy in axis:
+                    simulate(image, hierarchy, bench.block_sequence,
+                             spm_base=config.spm_base,
+                             backend="vector", stream=stream)
+        return time.perf_counter() - started
+
+    single_pass = timed(single_pass=True)
+    per_point = timed(single_pass=False)
+    return {
+        "grid.single_pass.seconds": single_pass,
+        "grid.per_point.seconds": per_point,
+        "grid.wall.speedup": per_point / single_pass,
     }
 
 

@@ -9,7 +9,8 @@ JSON summary (``repro report FILE --json``):
 
 * per-stage timings and artifact-cache hit rates (from the record);
 * simulated I-cache / scratchpad statistics (from the metrics);
-* the top-N slowest design points (from the ``point.evaluate`` spans).
+* the top-N slowest work units (from the ``point.evaluate`` and
+  ``chunk.evaluate`` spans).
 """
 
 from __future__ import annotations
@@ -29,6 +30,9 @@ RUN_SCHEMA = 1
 
 #: Span name identifying one design-point evaluation.
 POINT_SPAN = "point.evaluate"
+
+#: Span name identifying one grid-chunk evaluation (a capacity axis).
+CHUNK_SPAN = "chunk.evaluate"
 
 #: Span name identifying one branch & bound solve.
 SOLVE_SPAN = "ilp.solve"
@@ -93,8 +97,14 @@ class RunData:
         return [span["name"] for span in self.spans]
 
     def point_spans(self) -> list[dict[str, Any]]:
-        """The design-point (:data:`POINT_SPAN`) spans of the run."""
-        return [s for s in self.spans if s["name"] == POINT_SPAN]
+        """The work-unit spans of the run.
+
+        Design points (:data:`POINT_SPAN`) and grid chunks
+        (:data:`CHUNK_SPAN`) both count — a sweep schedules one or
+        the other depending on its ``grid`` flag.
+        """
+        return [s for s in self.spans
+                if s["name"] in (POINT_SPAN, CHUNK_SPAN)]
 
     def solver_spans(self) -> list[dict[str, Any]]:
         """The branch & bound (:data:`SOLVE_SPAN`) spans of the run."""

@@ -9,6 +9,9 @@ divergence means a resilience mechanism leaked state (a retry that
 was not idempotent, a quarantine that changed a result, a fallback
 that was not exact) and fails the gate.
 
+The sweep schedules one self-healed grid chunk per allocator by
+default — proving the retry/restart ladder on the grid pipeline's
+unit shape — with ``grid=False`` falling back to per-point units.
 The faulty pass runs against a throwaway on-disk cache that is warmed
 first and then stripped of its memory tier, so ``store.read`` faults
 genuinely exercise the quarantine-and-recompute ladder rather than
@@ -21,6 +24,7 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass, field
 
+from repro.engine.grid import GridChunk
 from repro.engine.parallel import PointSpec
 from repro.engine.store import ArtifactStore, set_default_store
 from repro.obs.metrics import MetricsRegistry, active_registry, \
@@ -69,6 +73,20 @@ def _signature(result) -> tuple:
 def _label(point: PointSpec) -> str:
     """Short display label of a design point."""
     return f"{point.workload}/{point.algorithm}@{point.spm_size}"
+
+
+def _unit_signatures(result) -> list[tuple] | None:
+    """Per-point signatures of one work unit's result.
+
+    A grid chunk's result is a list (one entry per capacity step), a
+    design point's a single experiment result; either way the return
+    value is one signature per compared point, or ``None`` when the
+    unit produced nothing.
+    """
+    if result is None:
+        return None
+    steps = result if isinstance(result, list) else [result]
+    return [_signature(step) for step in steps]
 
 
 @dataclass
@@ -171,6 +189,7 @@ def run_chaos(
     seed: int = 0,
     jobs: int = 1,
     policy: RetryPolicy | None = None,
+    grid: bool = True,
 ) -> ChaosResult:
     """Run the chaos differential gate on one workload.
 
@@ -186,6 +205,10 @@ def run_chaos(
         jobs: worker processes of the faulty pass (the clean pass is
             always serial — it is the reference).
         policy: retry/timeout policy of the faulty pass.
+        grid: schedule one healed grid chunk per allocator (the grid
+            pipeline's unit shape — the whole chunk retries as one),
+            rather than one design point per (size, allocator) pair.
+            The compared observables are identical either way.
 
     Returns:
         A :class:`ChaosResult`; ``result.ok`` is the gate verdict.
@@ -193,23 +216,36 @@ def run_chaos(
     if plan is None:
         plan = FaultPlan.from_spec(spec) if spec else FaultPlan()
     sizes = tuple(sizes) if sizes else DEFAULT_SIZES
-    points = [
-        PointSpec(workload, size, algorithm, scale=scale, seed=seed)
-        for algorithm in algorithms
-        for size in sizes
-    ]
+    if grid:
+        units: list = [
+            GridChunk(workload=workload, spm_sizes=sizes,
+                      algorithm=algorithm, scale=scale, seed=seed)
+            for algorithm in algorithms
+        ]
+        labels = [
+            [f"{workload}/{algorithm}@{size}" for size in sizes]
+            for algorithm in algorithms
+        ]
+    else:
+        units = [
+            PointSpec(workload, size, algorithm, scale=scale,
+                      seed=seed)
+            for algorithm in algorithms
+            for size in sizes
+        ]
+        labels = [[_label(point)] for point in units]
+    total_points = sum(len(group) for group in labels)
 
     # Reference pass: serial, memory-only store, injection disabled.
     previous_plan = set_fault_plan(None)
     previous_store = set_default_store(ArtifactStore())
     try:
-        clean = map_points_healed(points, jobs=1)
+        clean = map_points_healed(units, jobs=1)
     finally:
         set_default_store(previous_store)
         set_fault_plan(previous_plan)
     clean_signatures = [
-        _signature(result) if result is not None else None
-        for result in clean.results
+        _unit_signatures(result) for result in clean.results
     ]
 
     # Faulty pass: throwaway disk cache, warmed then stripped of its
@@ -224,7 +260,7 @@ def run_chaos(
         previous_store = set_default_store(store)
         previous_plan = set_fault_plan(None)
         try:
-            map_points_healed(points, jobs=1)  # warm the disk tier
+            map_points_healed(units, jobs=1)  # warm the disk tier
             store.clear(memory=True, disk=False)
             for path in store.disk_entries():
                 if path.name.startswith("result-"):
@@ -234,7 +270,7 @@ def run_chaos(
             previous_registry = set_registry(registry)
             try:
                 faulty = map_points_healed(
-                    points, jobs=jobs, policy=policy, cache_dir=tmp)
+                    units, jobs=jobs, policy=policy, cache_dir=tmp)
             finally:
                 set_registry(previous_registry)
         finally:
@@ -243,23 +279,26 @@ def run_chaos(
         quarantined = store.stats.quarantined
 
     divergences = []
-    for index, point in enumerate(points):
+    for index, unit_labels in enumerate(labels):
         outcome = faulty.outcomes[index]
         expected = clean_signatures[index]
         if outcome.result is None:
             divergences.append(
-                f"{_label(point)}: no result after healing "
+                f"{' '.join(unit_labels)}: no result after healing "
                 f"({outcome.error['type'] if outcome.error else '?'})"
             )
             continue
-        actual = _signature(outcome.result)
+        actual = _unit_signatures(outcome.result)
         if expected is None:
             divergences.append(
-                f"{_label(point)}: clean run failed to evaluate")
-        elif actual != expected:
-            divergences.append(
-                f"{_label(point)}: clean {expected} != faulty {actual}"
-            )
+                f"{' '.join(unit_labels)}: clean run failed to "
+                f"evaluate")
+            continue
+        for label, exp, act in zip(unit_labels, expected, actual):
+            if exp != act:
+                divergences.append(
+                    f"{label}: clean {exp} != faulty {act}"
+                )
 
     site_counts = {
         name[len("faults.injected."):]: int(registry.value(name))
@@ -281,7 +320,7 @@ def run_chaos(
     counts = faulty.counts()
     return ChaosResult(
         workload=workload,
-        points=len(points),
+        points=total_points,
         ok=not divergences and faulty.ok,
         divergences=divergences,
         injected=injected,

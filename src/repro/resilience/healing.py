@@ -36,8 +36,8 @@ from repro.engine.parallel import (
     PointSpec,
     _active_fault_spec,
     _evaluate_in_worker,
+    _evaluate_spec,
     _init_worker,
-    evaluate_point,
 )
 from repro.engine.runner import RunRecord, StageRunner
 from repro.engine.store import default_store
@@ -94,7 +94,8 @@ class PointOutcome:
         attempts: evaluation attempts consumed (>= 1).
         error: structured record of the last failure —
             ``{"type", "message", "site"}`` — or ``None``.
-        result: the experiment result, or ``None`` when failed.
+        result: the experiment result (a result *list* when the work
+            unit was a grid chunk), or ``None`` when failed.
     """
 
     index: int
@@ -106,8 +107,7 @@ class PointOutcome:
 
     def describe(self) -> str:
         """One-line human-readable summary of this outcome."""
-        label = (f"{self.point.workload}/{self.point.algorithm}"
-                 f"@{self.point.spm_size}")
+        label = _describe_point(self.point)
         text = f"{label}: {self.status} after {self.attempts} attempt(s)"
         if self.error is not None:
             text += f" — {self.error['type']}: {self.error['message']}"
@@ -148,8 +148,12 @@ class HealedRun:
         return "\n".join(lines)
 
 
-def _describe_point(point: PointSpec) -> str:
-    """Short identifier of a point for error records."""
+def _describe_point(point) -> str:
+    """Short identifier of a point (or grid chunk) for error records."""
+    sizes = getattr(point, "spm_sizes", None)
+    if sizes is not None:
+        axis = "+".join(str(size) for size in sizes)
+        return f"{point.workload}/{point.algorithm}@[{axis}]"
     return f"{point.workload}/{point.algorithm}@{point.spm_size}"
 
 
@@ -169,10 +173,16 @@ def _finish_outcome(index: int, point: PointSpec, attempts: int,
 
     Distinguishes ``ok`` / ``retried`` / ``degraded`` and counts
     degraded points; *error* is the last failure before the
-    success, kept for the report.
+    success, kept for the report.  A grid chunk's result is a list —
+    the outcome is ``degraded`` when *any* capacity step degraded.
     """
-    allocation = getattr(result, "allocation", None)
-    if getattr(allocation, "solver_status", "") == "degraded":
+    steps = result if isinstance(result, list) else [result]
+    degraded = any(
+        getattr(getattr(step, "allocation", None),
+                "solver_status", "") == "degraded"
+        for step in steps
+    )
+    if degraded:
         metrics.inc("resilience.degraded_points")
         status = "degraded"
     elif attempts > 1:
@@ -207,12 +217,12 @@ def _evaluate_with_timeout(point: PointSpec, runner: StageRunner,
     on).  Raises :class:`~repro.errors.PointTimeoutError` on timeout.
     """
     if timeout_s is None:
-        return evaluate_point(point, runner=runner)
+        return _evaluate_spec(point, runner=runner)
     box: dict[str, Any] = {}
 
     def target() -> None:
         try:
-            box["result"] = evaluate_point(point, runner=runner)
+            box["result"] = _evaluate_spec(point, runner=runner)
         except BaseException as error:  # noqa: BLE001 — forwarded below
             box["error"] = error
 
@@ -424,7 +434,11 @@ def map_points_healed(
     instead of aborting the sweep.
 
     Args:
-        points: design points, in the order outcomes are wanted.
+        points: work units — design points and/or
+            :class:`~repro.engine.grid.GridChunk` capacity axes — in
+            the order outcomes are wanted (a chunk's outcome carries
+            the *list* of its per-capacity results, and the whole
+            chunk retries as one unit).
         jobs: worker processes; ``<= 1`` heals serially in-process.
         policy: retry/timeout policy (default :class:`RetryPolicy`).
         record: run record receiving merged per-stage counters from

@@ -1,0 +1,283 @@
+"""Grid pipeline: single-pass replay, warm starts, grid chunks.
+
+The grid pipeline's contract is that batching is purely a wall-clock
+optimisation: :func:`~repro.memory.kernel.grid.simulate_grid` must
+match per-configuration simulation bit for bit, a warm-started branch
+& bound must return the cold solve's exact optimum, and a sweep
+scheduled as :class:`~repro.engine.grid.GridChunk` work units must
+reproduce the per-point path's reports and allocations byte for byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.casa import CasaAllocator
+from repro.core.pipeline import Workbench, WorkbenchConfig
+from repro.engine.grid import CHUNK_ALGORITHMS, GridChunk, \
+    evaluate_chunk
+from repro.engine.parallel import PointSpec, evaluate_point, \
+    map_points
+from repro.engine.runner import StageRunner, make_workbench
+from repro.engine.store import ArtifactStore, set_default_store
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig, simulate
+from repro.memory.kernel import SweepGrid, compile_stream, \
+    report_differences, simulate_grid
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.traces.layout import LinkedImage
+from repro.traces.tracegen import TraceGenConfig
+from repro.workloads.synthetic import random_program
+
+LINE_SIZES = (8, 16, 32)
+ASSOCIATIVITIES = (1, 2, 4)
+
+
+def lru_axis(spm_size: int = 0) -> SweepGrid:
+    """The satellite grid: line {8,16,32} x assoc {1,2,4}, all LRU."""
+    return SweepGrid.of(
+        HierarchyConfig(
+            cache=CacheConfig(
+                size=line_size * associativity * 4,
+                line_size=line_size,
+                associativity=associativity,
+            ),
+            spm_size=spm_size,
+        )
+        for line_size in LINE_SIZES
+        for associativity in ASSOCIATIVITIES
+    )
+
+
+class TestGridOnRandomPrograms:
+    """simulate_grid == per-config vector == reference, property-based."""
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=10, deadline=None)
+    def test_grid_matches_vector_and_reference(self, seed):
+        program = random_program(seed, num_functions=3, max_depth=2)
+        bench = Workbench(program, WorkbenchConfig(
+            cache=CacheConfig(size=64, line_size=16, associativity=1),
+            tracegen=TraceGenConfig(line_size=16, max_trace_size=32),
+        ))
+        config = bench.config
+        image = LinkedImage(bench.program, bench.memory_objects)
+        stream = compile_stream(image, bench.block_sequence,
+                                spm_base=config.spm_base)
+        grid = lru_axis()
+        covered, fallback = grid.coverage()
+        assert covered == len(grid) and fallback == 0
+        from_grid = simulate_grid(stream, grid,
+                                  spm_base=config.spm_base)
+        for hierarchy, grid_report in zip(grid, from_grid):
+            reference = simulate(
+                image, hierarchy, bench.block_sequence,
+                spm_base=config.spm_base, backend="reference",
+            )
+            vector = simulate(
+                image, hierarchy, bench.block_sequence,
+                spm_base=config.spm_base, backend="vector",
+                stream=stream,
+            )
+            assert not report_differences(reference, grid_report)
+            assert not report_differences(reference, vector)
+
+
+class TestWarmStartEquivalence:
+    """A warm-started solve returns the cold solve's exact optimum."""
+
+    def test_warm_equals_cold_across_the_axis(self, adpcm_workbench):
+        bench = adpcm_workbench
+        graph = bench.conflict_graph
+        allocator = CasaAllocator()
+        previous = frozenset()
+        for size in (64, 128, 256):
+            energy = bench.spm_energy_model(size)
+            cold = allocator.allocate(graph, size, energy)
+            warm = allocator.allocate(graph, size, energy,
+                                      warm_start=previous)
+            assert warm.spm_resident == cold.spm_resident
+            assert warm.predicted_energy == cold.predicted_energy
+            assert warm.solver_status == cold.solver_status
+            previous = cold.spm_resident
+
+    def test_run_grid_records_warm_start_telemetry(self):
+        registry = MetricsRegistry()
+        previous_registry = set_registry(registry)
+        try:
+            runner = StageRunner(store=ArtifactStore())
+            workload, bench = make_workbench("adpcm", 0.5, 0,
+                                             runner=runner)
+            bench.run_grid("casa", tuple(sorted(workload.spm_sizes)))
+        finally:
+            set_registry(previous_registry)
+        # The first capacity step is necessarily cold; every later
+        # step seeds from its neighbour and (on adpcm) the incumbent
+        # beats the rounding heuristic at least once.
+        assert registry.value("ilp.warm_start.hits") >= 1
+        assert registry.value("ilp.warm_start.bound_improvement") > 0
+
+
+class TestRunGrid:
+    """Workbench.run_grid == the per-size run_* entry points."""
+
+    def test_matches_per_size_runs(self, tiny_workbench):
+        bench = tiny_workbench
+        sizes = (64, 128)
+        for algorithm, run in (("casa", bench.run_casa),
+                               ("steinke", bench.run_steinke),
+                               ("greedy", bench.run_greedy)):
+            grid_results = bench.run_grid(algorithm, sizes)
+            for size, from_grid in zip(sizes, grid_results):
+                single = run(size)
+                assert not report_differences(single.report,
+                                              from_grid.report)
+                assert single.allocation.spm_resident == \
+                    from_grid.allocation.spm_resident
+                assert single.energy.total == from_grid.energy.total
+
+    def test_preserves_requested_order(self, tiny_workbench):
+        ascending = tiny_workbench.run_grid("greedy", (64, 128))
+        descending = tiny_workbench.run_grid("greedy", (128, 64))
+        assert [r.allocation.capacity for r in descending] == [128, 64]
+        assert descending[1].energy.total == ascending[0].energy.total
+
+    def test_rejects_unknown_algorithm(self, tiny_workbench):
+        with pytest.raises(ConfigurationError):
+            tiny_workbench.run_grid("nonsense", (64,))
+
+
+class TestSimulateImageGrid:
+    """One grid_sim artifact covers the whole cache axis."""
+
+    def test_reports_match_and_artifact_is_reused(self):
+        runner = StageRunner(store=ArtifactStore())
+        workload, bench = make_workbench("tiny", 0.2, 0,
+                                         runner=runner)
+        image = LinkedImage(bench.program, bench.memory_objects)
+        grid = lru_axis()
+        first = bench.simulate_image_grid(image, grid)
+        assert len(first) == len(grid)
+        for hierarchy, grid_report in zip(grid, first):
+            reference = simulate(
+                image, hierarchy, bench.block_sequence,
+                spm_base=bench.config.spm_base, backend="reference",
+            )
+            assert not report_differences(reference, grid_report)
+        stages = runner.record.stages
+        assert stages["grid_sim"].computed == 1
+        second = bench.simulate_image_grid(image, grid)
+        stages = runner.record.stages
+        assert stages["grid_sim"].computed == 1
+        assert stages["grid_sim"].hits == 1
+        for a, b in zip(first, second):
+            assert not report_differences(a, b)
+
+
+class TestGridChunks:
+    """GridChunk scheduling reproduces the per-point path exactly."""
+
+    def _fresh(self, work):
+        previous = set_default_store(ArtifactStore())
+        try:
+            return work()
+        finally:
+            set_default_store(previous)
+
+    def test_chunk_matches_points(self):
+        chunk = GridChunk(workload="tiny", spm_sizes=(64, 128),
+                          algorithm="casa", scale=0.2)
+        from_chunk = self._fresh(lambda: evaluate_chunk(chunk))
+        from_points = self._fresh(lambda: [
+            evaluate_point(PointSpec("tiny", size, "casa", scale=0.2))
+            for size in (64, 128)
+        ])
+        assert len(from_chunk) == len(from_points)
+        for single, grid_result in zip(from_points, from_chunk):
+            assert not report_differences(single.report,
+                                          grid_result.report)
+            assert single.allocation.spm_resident == \
+                grid_result.allocation.spm_resident
+            assert single.energy.total == grid_result.energy.total
+
+    def test_chunk_rejects_unknown_algorithm(self):
+        assert "casa" in CHUNK_ALGORITHMS
+        with pytest.raises(ConfigurationError):
+            evaluate_chunk(GridChunk(workload="tiny",
+                                     spm_sizes=(64,),
+                                     algorithm="nonsense"))
+
+    def test_map_points_mixes_chunks_and_points(self):
+        units = [
+            GridChunk(workload="tiny", spm_sizes=(64, 128),
+                      algorithm="greedy", scale=0.2),
+            PointSpec("tiny", 64, "greedy", scale=0.2),
+        ]
+        results = self._fresh(lambda: map_points(units))
+        assert isinstance(results[0], list) and len(results[0]) == 2
+        assert not isinstance(results[1], list)
+        assert results[0][0].energy.total == results[1].energy.total
+
+    def test_healed_chunk_retries_as_one_unit(self):
+        from repro.resilience.faults import FaultPlan, set_fault_plan
+        from repro.resilience.healing import map_points_healed
+
+        chunk = GridChunk(workload="tiny", spm_sizes=(64, 128),
+                          algorithm="greedy", scale=0.2)
+        clean = self._fresh(lambda: map_points_healed([chunk]))
+        plan = FaultPlan.from_spec("worker.exec:error@nth=1")
+        previous_plan = set_fault_plan(plan)
+        try:
+            healed = self._fresh(
+                lambda: map_points_healed([chunk])
+            )
+        finally:
+            set_fault_plan(previous_plan)
+        outcome = healed.outcomes[0]
+        assert outcome.status in ("ok", "retried")
+        assert outcome.attempts == 2
+        assert "@[64+128]" in outcome.describe()
+        for expected, actual in zip(clean.results[0],
+                                    outcome.result):
+            assert expected.energy.total == actual.energy.total
+
+
+class TestVerifyGridGate:
+    """The differential gate passes, and zero coverage fails it."""
+
+    def test_gate_passes_on_tiny(self):
+        from repro.evaluation.verify_grid import verify_grid
+
+        report = verify_grid(workloads=("tiny",), scale=0.2)
+        assert report.ok, report.render()
+
+    def test_zero_coverage_grid_fails(self):
+        from repro.evaluation.verify_grid import _coverage_case
+
+        fifo_only = SweepGrid.of([HierarchyConfig(
+            cache=CacheConfig(size=128, line_size=16,
+                              associativity=2, policy="fifo"),
+        )])
+        case = _coverage_case(fifo_only)
+        assert not case.ok
+        assert "zero-coverage" in case.differences[0]
+
+    def test_allocation_comparison_ignores_solver_nodes(self):
+        from dataclasses import replace
+
+        from repro.core.allocation import Allocation
+        from repro.evaluation.verify_grid import \
+            allocation_differences
+
+        base = Allocation(algorithm="casa",
+                          spm_resident=frozenset({"a"}),
+                          predicted_energy=1.0, solver_nodes=7,
+                          solver_status="optimal", capacity=64,
+                          used_bytes=8)
+        assert not allocation_differences(
+            base, replace(base, solver_nodes=3))
+        assert allocation_differences(
+            base, replace(base, spm_resident=frozenset()))

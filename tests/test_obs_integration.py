@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 
 from repro.cli import main
-from repro.obs.report import POINT_SPAN
+from repro.obs.report import CHUNK_SPAN, POINT_SPAN
 
 #: Timing-only span attributes, excluded from identity comparisons.
 TIMING_ARGS = ("cpu_us", "depth")
@@ -34,7 +34,7 @@ def traced_sweep(tmp_path, label, extra=()):
 
 
 def point_signatures(document):
-    """Sorted functional signatures of the ``point.evaluate`` spans."""
+    """Sorted functional signatures of the work-unit spans."""
     return sorted(
         tuple(sorted(
             (key, value)
@@ -42,7 +42,7 @@ def point_signatures(document):
             if key not in TIMING_ARGS
         ))
         for event in document["traceEvents"]
-        if event["name"] == POINT_SPAN
+        if event["name"] in (POINT_SPAN, CHUNK_SPAN)
     )
 
 
@@ -68,8 +68,9 @@ def test_parallel_trace_matches_serial(tmp_path, capsys):
     assert serial_names == parallel_names
     assert point_signatures(serial) == point_signatures(parallel)
 
-    # The expected instrumentation is present on a cold run.
-    assert POINT_SPAN in serial_names
+    # The expected instrumentation is present on a cold run (the
+    # sweep schedules grid chunks by default).
+    assert CHUNK_SPAN in serial_names
     assert "engine.resolve.result" in serial_names
     assert "ilp.solve" in serial_names
     assert "sim.hierarchy" in serial_names
