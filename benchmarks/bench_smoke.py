@@ -356,6 +356,100 @@ def test_verify_grid_smoke():
                  "--no-cache"]) == 0
 
 
+@pytest.mark.parametrize("workload", ["tiny", "adpcm"])
+def test_policy_suite_opt_is_the_floor(workload):
+    """The snapshotted Belady row never beats an online policy.
+
+    ``repro bench record`` snapshots ``<workload>.policy.<name>.misses``
+    for every deterministic policy at two ways; offline optimality
+    means the ``opt`` row must be <= every other row, whatever the
+    workload or seed.
+    """
+    from repro.obs.history import SUITE_POLICIES, \
+        measure_policy_misses
+
+    misses = measure_policy_misses(workload, scale=SMOKE_SCALE)
+    floor = misses[f"{workload}.policy.opt.misses"]
+    for policy in SUITE_POLICIES:
+        assert floor <= misses[f"{workload}.policy.{policy}.misses"], \
+            policy
+
+
+@pytest.mark.parametrize("policy", ["lfu", "2q"])
+def test_policy_sweep_stays_on_the_kernel(policy, tmp_path):
+    """An LFU/2Q sweep under ``auto`` never leaves the vector kernel.
+
+    Set-associative non-stack policies cannot join the single-pass
+    scan, but their per-config replay is still vectorized: the grid
+    counts them in ``sim.grid.per_config`` and ``sim.kernel.fallbacks``
+    (reserved for reference-interpreter diversions) must stay zero.
+    """
+    from dataclasses import replace
+
+    from repro.engine.grid import GridChunk
+    from repro.workloads.registry import get_workload
+
+    cache = replace(
+        get_workload("tiny", scale=SMOKE_SCALE).cache,
+        associativity=2, policy=policy,
+    )
+    registry = MetricsRegistry()
+    previous_store = set_default_store(
+        ArtifactStore(cache_dir=tmp_path / "cache")
+    )
+    previous_registry = set_registry(registry)
+    try:
+        map_points(
+            [GridChunk(workload="tiny", spm_sizes=(64, 128),
+                       algorithm="casa", scale=SMOKE_SCALE,
+                       cache=cache, backend="auto")],
+            record=RunRecord(),
+        )
+    finally:
+        set_default_store(previous_store)
+        set_registry(previous_registry)
+    assert registry.value("sim.kernel.fallbacks") == 0
+
+
+@pytest.mark.parametrize("policy", ["lfu", "2q"])
+def test_grid_replays_policy_configs_without_leaving_kernel(policy):
+    """A grid axis with a set-associative LFU/2Q member stays vector.
+
+    The single-pass scan cannot cover non-stack policies, so the grid
+    replays them one at a time — but on the vector kernel's per-set
+    interpreters (``sim.grid.per_config``), never the reference
+    interpreter (``sim.kernel.fallbacks`` stays zero).
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.memory.cache import CacheConfig
+    from repro.memory.hierarchy import HierarchyConfig
+    from repro.memory.kernel import SweepGrid, compile_stream, \
+        simulate_grid
+    from repro.memory.kernel.verify import workload_images
+
+    bench, images = workload_images("tiny", SMOKE_SCALE, 0)
+    _, image, _ = images[0]
+    stream = compile_stream(image, bench.block_sequence,
+                            spm_base=bench.config.spm_base)
+    axis = SweepGrid.of([
+        HierarchyConfig(cache=CacheConfig(size=128, line_size=16,
+                                          associativity=2,
+                                          policy="lru")),
+        HierarchyConfig(cache=dc_replace(
+            bench.config.cache, associativity=2, policy=policy,
+        )),
+    ])
+    registry = MetricsRegistry()
+    previous_registry = set_registry(registry)
+    try:
+        simulate_grid(stream, axis, spm_base=bench.config.spm_base)
+    finally:
+        set_registry(previous_registry)
+    assert registry.value("sim.grid.per_config") == 1
+    assert registry.value("sim.kernel.fallbacks") == 0
+
+
 def test_bench_record_then_compare_gates_on_baseline(tmp_path):
     """``repro bench record`` + ``compare`` vs the committed baseline.
 

@@ -228,7 +228,8 @@ class Session:
 
     def sweep(self, method: str = "casa",
               spm_sizes: tuple[int, ...] | None = None,
-              **options: Any) -> list[ExperimentResult]:
+              policies: list[str] | None = None,
+              **options: Any):
         """Evaluate *method* across a whole capacity axis.
 
         Routes through the grid pipeline
@@ -244,11 +245,20 @@ class Session:
             spm_sizes: the capacity axis in bytes (defaults to the
                 named workload's table-1 sizes; a raw-program session
                 must pass it explicitly).
+            policies: replacement policies to cross with the capacity
+                axis (any
+                :func:`~repro.memory.replacement.available_policies`
+                names, e.g. ``["lru", "lfu", "2q", "opt"]``).  Each
+                policy is profiled and allocated under its own cache
+                configuration; include ``"opt"`` to sweep the Belady
+                lower bound alongside the online policies.
             **options: method options (``ross`` accepts
                 ``max_regions``).
 
         Returns:
-            One result per capacity, in the order of *spm_sizes*.
+            Without *policies*: one result per capacity, in the order
+            of *spm_sizes*.  With *policies*: a dict mapping each
+            policy name to that list, in the order given.
         """
         if spm_sizes is None:
             if self._workload_name is None:
@@ -260,8 +270,44 @@ class Session:
             spm_sizes = get_workload(
                 self._workload_name, scale=self._scale
             ).spm_sizes
+        if policies is not None:
+            from repro.memory.replacement import available_policies
+            known = available_policies()
+            for name in policies:
+                if name not in known:
+                    from repro.errors import UnknownPolicyError
+                    raise UnknownPolicyError(name, known)
+            return {
+                name: self._with_policy(name).workbench.run_grid(
+                    method, tuple(spm_sizes), **options
+                )
+                for name in dict.fromkeys(policies)
+            }
         return self.workbench.run_grid(method, tuple(spm_sizes),
                                        **options)
+
+    def _with_policy(self, policy: str) -> "Session":
+        """A sibling session whose cache uses *policy*.
+
+        Built from the resolved workbench configuration, so the cache
+        geometry and trace formation — and therefore the memory
+        objects every allocator sees — are identical across the
+        policy axis; only victim selection differs.
+        """
+        from dataclasses import replace
+
+        base = self.workbench.config
+        workload = self._workload_name \
+            if self._workload_name is not None else self._program
+        return Session(
+            workload,
+            cache=replace(base.cache, policy=policy),
+            spm_size=self._spm_size,
+            scale=self._scale,
+            seed=self._seed,
+            backend=self._backend,
+            tracegen=base.tracegen,
+        )
 
     # -- supporting accessors -------------------------------------------------
 

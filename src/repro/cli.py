@@ -56,6 +56,7 @@ from repro.api import Session
 from repro.engine.runner import RunRecord
 from repro.engine.store import ArtifactStore, CACHE_DIR_ENV, \
     set_default_store
+from repro.memory.replacement import available_policies
 from repro.evaluation.fig4 import run_fig4
 from repro.evaluation.fig5 import run_fig5
 from repro.evaluation.sweep import run_sweep
@@ -228,6 +229,20 @@ def _build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--budget", type=float, default=30_000.0,
                      help="on-chip area budget (model units)")
     dse.add_argument("--top", type=int, default=8)
+    dse.add_argument(
+        "--policies", nargs="+", default=None,
+        choices=available_policies(), metavar="POLICY",
+        help="open the replacement-policy axis: cross these policies "
+             f"({', '.join(available_policies())}) with the cache "
+             "sizes and report each point against the Belady (opt) "
+             "miss floor of its own layout — see docs/POLICIES.md",
+    )
+    dse.add_argument(
+        "--assoc", type=int, default=1,
+        help="associativity of every explored cache (default 1 = "
+             "direct mapped, where all policies collapse; raise it "
+             "to make --policies meaningful)",
+    )
     _add_per_point(dse)
     _add_scale(dse, jobs=True)
 
@@ -270,6 +285,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=available_workloads())
     audit.add_argument("--top", type=int, default=8,
                        help="hottest cache sets to list (default 8)")
+    audit.add_argument(
+        "--policy", default=None, choices=available_policies(),
+        help="replace the workload's cache policy before auditing "
+             "(the m_ij re-derivation is policy-agnostic, so the "
+             "audit must pass under every policy)",
+    )
+    audit.add_argument(
+        "--assoc", type=int, default=None,
+        help="replace the workload's cache associativity before "
+             "auditing (the paper's caches are mostly direct mapped, "
+             "where every policy collapses)",
+    )
     _add_scale(audit)
 
     verify = sub.add_parser(
@@ -713,7 +740,9 @@ def main(argv: list[str] | None = None) -> int:
                              scale=args.scale, seed=args.seed,
                              jobs=args.jobs, record=record,
                              backend=args.backend,
-                             grid=not args.per_point)
+                             grid=not args.per_point,
+                             policies=args.policies,
+                             associativity=args.assoc)
             print(render_design_points(points, top=args.top))
             best = points[0]
             print(f"best: {best.cache_size}B cache + {best.spm_size}B "
@@ -780,7 +809,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.events import audit_workload
 
         result = audit_workload(args.workload, scale=args.scale,
-                                seed=args.seed, backend=args.backend)
+                                seed=args.seed, backend=args.backend,
+                                policy=args.policy,
+                                associativity=args.assoc)
         print(result.render())
         print(result.recorder.render(top=args.top))
         return 0 if result.ok else 1

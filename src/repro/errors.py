@@ -20,6 +20,29 @@ class ConfigurationError(ReproError):
     """
 
 
+class UnknownPolicyError(ConfigurationError):
+    """A cache replacement policy name is not in the policy registry.
+
+    Attributes:
+        name: the unrecognised policy name as given.
+        choices: the valid names, sorted (one shared registry feeds
+            :func:`repro.memory.replacement.make_policy`, the CLI help
+            text and the docs).
+    """
+
+    def __init__(self, name: str, choices: tuple[str, ...] = ()) -> None:
+        super().__init__(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {', '.join(choices) if choices else '(none)'}"
+        )
+        self.name = name
+        self.choices = choices
+
+    def __reduce__(self):
+        """Preserve the structured attributes across pickling."""
+        return (type(self), (self.name, self.choices))
+
+
 class LayoutError(ReproError):
     """A program layout is inconsistent (overlapping or unmapped ranges)."""
 

@@ -6,24 +6,32 @@ which (cache size, scratchpad size) pair — with CASA managing the
 scratchpad — minimises energy?  This module enumerates the feasible
 power-of-two configurations under a budget, runs the full pipeline on
 each, and reports the frontier.
+
+The replacement policy is a third axis (``policies=``, CLI
+``--policies``): each policy gets its own profiling run, conflict
+graph and allocations, and every design point is reported against the
+offline-optimal (Belady) miss count of *its own* allocated layout —
+the same probe stream replayed under OPT, so the bound is structurally
+never beaten (see ``docs/POLICIES.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.energy.area import hierarchy_area
 from repro.engine.grid import GridChunk
 from repro.engine.parallel import PointSpec, map_points
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownPolicyError
 from repro.memory.cache import CacheConfig
+from repro.memory.replacement import available_policies
 from repro.traces.tracegen import TraceGenConfig
 from repro.utils.tables import format_table
 
 
 @dataclass
 class DesignPoint:
-    """One (cache, scratchpad) configuration, evaluated.
+    """One (cache, scratchpad, policy) configuration, evaluated.
 
     Attributes:
         cache_size: I-cache capacity in bytes (0 = no cache).
@@ -32,6 +40,11 @@ class DesignPoint:
         energy: total instruction-memory energy (nJ) with CASA managing
             the scratchpad.
         misses: I-cache misses of the evaluated run.
+        policy: replacement policy of the evaluated cache.
+        opt_misses: Belady-optimal miss count for the point's allocated
+            layout (``None`` when no policy axis was requested).  Always
+            ``<= misses``: same image, same probe stream, offline
+            optimum.
     """
 
     cache_size: int
@@ -39,6 +52,8 @@ class DesignPoint:
     area: float
     energy: float
     misses: int
+    policy: str = "lru"
+    opt_misses: int | None = None
 
 
 def _power_of_two_sizes(low: int, high: int) -> list[int]:
@@ -62,6 +77,8 @@ def explore(
     record=None,
     backend: str | None = None,
     grid: bool = True,
+    policies: list[str] | None = None,
+    associativity: int = 1,
 ) -> list[DesignPoint]:
     """Evaluate every feasible cache/SPM split under *area_budget*.
 
@@ -81,81 +98,165 @@ def explore(
     *record* collects per-stage hit/compute counters and *backend*
     picks the simulation backend for every point.
 
+    Args:
+        policies: replacement policies to cross with the cache sizes
+            (any :func:`~repro.memory.replacement.available_policies`
+            names).  Opens the policy axis: each policy is profiled
+            and allocated independently, and every design point also
+            carries the Belady-optimal miss count of its own layout
+            (one extra reference-backend replay per point).  ``None``
+            keeps the classic single-axis exploration (default LRU,
+            no OPT bound).
+        associativity: ways of every explored cache (1 = direct
+            mapped, where all policies collapse — raise it to make
+            the policy axis meaningful).
+
     Returns:
         Evaluated design points, sorted by energy (best first).
 
     Raises:
         ConfigurationError: if no configuration fits the budget.
+        UnknownPolicyError: for a policy name outside the registry.
     """
     cache_sizes = cache_sizes or _power_of_two_sizes(128, 4096)
     spm_sizes = spm_sizes if spm_sizes is not None else \
         [0] + _power_of_two_sizes(64, 2048)
+    policy_axis: list[str | None]
+    if policies is None:
+        policy_axis = [None]
+    else:
+        known = available_policies()
+        for name in policies:
+            if name not in known:
+                raise UnknownPolicyError(name, known)
+        policy_axis = list(dict.fromkeys(policies))
 
     units: list[PointSpec | GridChunk] = []
-    metas: list[list[tuple[int, int, float]]] = []
+    metas: list[list[tuple[CacheConfig, TraceGenConfig, int, float]]] = []
     for cache_size in cache_sizes:
-        cache = CacheConfig(size=cache_size, line_size=line_size,
-                            associativity=1)
-        feasible_spms = [
-            spm for spm in spm_sizes
-            if hierarchy_area(cache, spm) <= area_budget
-        ]
-        if not feasible_spms:
-            continue
-        tracegen = TraceGenConfig(
-            line_size=line_size,
-            max_trace_size=max(64, min(
-                (spm for spm in feasible_spms if spm), default=64
-            )),
-        )
-        common = dict(
-            workload=workload_name, scale=scale, seed=seed,
-            cache=cache, tracegen=tracegen, backend=backend,
-        )
-        if grid:
-            for algorithm in ("baseline", "casa"):
-                axis = tuple(
-                    spm for spm in feasible_spms
-                    if (spm == 0) == (algorithm == "baseline")
-                )
-                if not axis:
-                    continue
-                units.append(GridChunk(
-                    spm_sizes=axis, algorithm=algorithm, **common
-                ))
-                metas.append([
-                    (cache_size, spm, hierarchy_area(cache, spm))
-                    for spm in axis
-                ])
-        else:
-            for spm in feasible_spms:
-                units.append(PointSpec(
-                    spm_size=spm,
-                    algorithm="baseline" if spm == 0 else "casa",
-                    **common,
-                ))
-                metas.append(
-                    [(cache_size, spm, hierarchy_area(cache, spm))]
-                )
+        for policy in policy_axis:
+            cache = CacheConfig(
+                size=cache_size, line_size=line_size,
+                associativity=associativity,
+                policy=policy if policy is not None else "lru",
+            )
+            feasible_spms = [
+                spm for spm in spm_sizes
+                if hierarchy_area(cache, spm) <= area_budget
+            ]
+            if not feasible_spms:
+                continue
+            tracegen = TraceGenConfig(
+                line_size=line_size,
+                max_trace_size=max(64, min(
+                    (spm for spm in feasible_spms if spm), default=64
+                )),
+            )
+            common = dict(
+                workload=workload_name, scale=scale, seed=seed,
+                cache=cache, tracegen=tracegen, backend=backend,
+            )
+            if grid:
+                for algorithm in ("baseline", "casa"):
+                    axis = tuple(
+                        spm for spm in feasible_spms
+                        if (spm == 0) == (algorithm == "baseline")
+                    )
+                    if not axis:
+                        continue
+                    units.append(GridChunk(
+                        spm_sizes=axis, algorithm=algorithm, **common
+                    ))
+                    metas.append([
+                        (cache, tracegen, spm,
+                         hierarchy_area(cache, spm))
+                        for spm in axis
+                    ])
+            else:
+                for spm in feasible_spms:
+                    units.append(PointSpec(
+                        spm_size=spm,
+                        algorithm="baseline" if spm == 0 else "casa",
+                        **common,
+                    ))
+                    metas.append([
+                        (cache, tracegen, spm,
+                         hierarchy_area(cache, spm))
+                    ])
     if not units:
         raise ConfigurationError(
             f"no cache/SPM configuration fits an area budget of "
             f"{area_budget}"
         )
     outcomes = map_points(units, jobs=jobs, record=record)
+    with_bound = policies is not None
+    opt_bound = _OptBound(workload_name, scale, seed) if with_bound \
+        else None
     points = []
     for meta, outcome in zip(metas, outcomes):
         results = outcome if isinstance(outcome, list) else [outcome]
-        for (cache_size, spm, area), result in zip(meta, results):
+        for (cache, tracegen, spm, area), result in zip(meta, results):
+            opt_misses = None
+            if opt_bound is not None:
+                opt_misses = opt_bound.misses(
+                    cache, tracegen, spm, result.allocation
+                )
             points.append(DesignPoint(
-                cache_size=cache_size,
+                cache_size=cache.size,
                 spm_size=spm,
                 area=area,
                 energy=result.energy.total,
                 misses=result.report.cache_misses,
+                policy=cache.policy,
+                opt_misses=opt_misses,
             ))
     points.sort(key=lambda p: p.energy)
     return points
+
+
+class _OptBound:
+    """Belady lower bounds for explored design points.
+
+    One OPT-policy workbench per explored cache geometry (memoised);
+    each design point's allocated layout is re-simulated through it on
+    the reference backend — the only interpreter that can drive the
+    next-use oracle — so the bound shares the point's exact probe
+    stream and can never beat it unfairly.  The explicit
+    ``backend="reference"`` keeps these replays out of the
+    ``sim.kernel.fallbacks`` count.
+    """
+
+    def __init__(self, workload_name: str, scale: float,
+                 seed: int) -> None:
+        self._workload = workload_name
+        self._scale = scale
+        self._seed = seed
+        self._benches: dict[tuple, object] = {}
+
+    def _bench(self, cache: CacheConfig, tracegen: TraceGenConfig):
+        # The point's exact tracegen matters: the allocation names the
+        # memory objects that trace formation produced, so the OPT
+        # replay must rebuild the identical layout.
+        opt_cache = replace(cache, policy="opt")
+        key = (opt_cache, tracegen)
+        bench = self._benches.get(key)
+        if bench is None:
+            from repro.engine.runner import make_workbench
+
+            _, bench = make_workbench(
+                self._workload, self._scale, self._seed,
+                cache=opt_cache, tracegen=tracegen,
+                backend="reference",
+            )
+            self._benches[key] = bench
+        return bench
+
+    def misses(self, cache: CacheConfig, tracegen: TraceGenConfig,
+               spm_size: int, allocation) -> int:
+        """OPT miss count of *allocation*'s layout under *cache*."""
+        bench = self._bench(cache, tracegen)
+        result = bench.evaluate_spm(allocation, spm_size)
+        return result.report.cache_misses
 
 
 def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
@@ -184,14 +285,24 @@ def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
 
 def render_design_points(points: list[DesignPoint],
                          top: int = 10) -> str:
-    """Render the best *top* configurations as a table."""
+    """Render the best *top* configurations as a table.
+
+    When the points carry a policy axis, two extra columns report the
+    policy and the Belady (OPT) miss floor of each point's layout.
+    """
+    with_policy = any(p.opt_misses is not None for p in points)
     headers = ["cache", "scratchpad", "area", "energy uJ",
                "I-cache misses"]
-    rows = [
-        [f"{p.cache_size}B", f"{p.spm_size}B", f"{p.area:.0f}",
-         f"{p.energy / 1e3:.2f}", p.misses]
-        for p in points[:top]
-    ]
+    if with_policy:
+        headers += ["policy", "OPT floor"]
+    rows = []
+    for p in points[:top]:
+        row = [f"{p.cache_size}B", f"{p.spm_size}B", f"{p.area:.0f}",
+               f"{p.energy / 1e3:.2f}", p.misses]
+        if with_policy:
+            row += [p.policy,
+                    p.opt_misses if p.opt_misses is not None else "-"]
+        rows.append(row)
     return format_table(headers, rows,
                         title="best cache/scratchpad splits under "
                               "the area budget")

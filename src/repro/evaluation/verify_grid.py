@@ -17,9 +17,9 @@ contract from three directions:
 2. **Replay** — committed workloads' baseline and scratchpad-resident
    streams are replayed through :func:`simulate_grid` across the
    line-size × associativity LRU cross product (plus one
-   set-associative FIFO configuration exercising the grid's own
-   per-config fallback) and compared field by field against the
-   reference simulator.
+   set-associative configuration per non-stack policy — FIFO, LFU,
+   2Q — exercising the grid's own per-config fallback) and compared
+   field by field against the reference simulator.
 3. **Sweep** — a full allocator sweep runs twice on fresh artifact
    stores, once as grid chunks and once per-point, and every
    (size, allocator) cell is compared: full report, energy total, and
@@ -123,9 +123,10 @@ def verification_axis(spm_size: int) -> SweepGrid:
     """The cache axis the replay check sweeps.
 
     The full line-size × associativity LRU cross product at a fixed
-    small capacity (so conflicts occur), plus one set-associative FIFO
-    configuration that the single-pass scan cannot cover — proving the
-    grid's own per-config fallback path returns exact results too.
+    small capacity (so conflicts occur), plus one set-associative
+    configuration per non-stack kernel-supported policy (FIFO, LFU,
+    2Q) that the single-pass scan cannot cover — proving the grid's
+    own per-config fallback path returns exact results too.
     """
     from repro.memory.hierarchy import HierarchyConfig
 
@@ -141,11 +142,12 @@ def verification_axis(spm_size: int) -> SweepGrid:
                 ),
                 spm_size=spm_size,
             ))
-    configs.append(HierarchyConfig(
-        cache=CacheConfig(size=128, line_size=16, associativity=2,
-                          policy="fifo"),
-        spm_size=spm_size,
-    ))
+    for policy in ("fifo", "lfu", "2q"):
+        configs.append(HierarchyConfig(
+            cache=CacheConfig(size=128, line_size=16, associativity=2,
+                              policy=policy),
+            spm_size=spm_size,
+        ))
     return SweepGrid.of(configs)
 
 

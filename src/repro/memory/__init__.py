@@ -17,10 +17,17 @@ from repro.memory.hierarchy import (
 from repro.memory.loopcache import LoopCache, LoopCacheConfig, LoopRegion
 from repro.memory.mainmem import MainMemory
 from repro.memory.replacement import (
+    POLICIES,
+    ArcPolicy,
     FifoPolicy,
+    LfuPolicy,
     LruPolicy,
+    OptOracle,
+    OptPolicy,
     RandomPolicy,
     ReplacementPolicy,
+    TwoQPolicy,
+    available_policies,
     make_policy,
 )
 from repro.memory.scratchpad import Scratchpad
@@ -36,10 +43,17 @@ __all__ = [
     "LoopCacheConfig",
     "LoopRegion",
     "MainMemory",
+    "POLICIES",
+    "ArcPolicy",
     "FifoPolicy",
+    "LfuPolicy",
     "LruPolicy",
+    "OptOracle",
+    "OptPolicy",
     "RandomPolicy",
     "ReplacementPolicy",
+    "TwoQPolicy",
+    "available_policies",
     "make_policy",
     "Scratchpad",
     "MemoryObjectStats",

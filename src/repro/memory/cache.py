@@ -27,7 +27,10 @@ class CacheConfig:
         size: capacity in bytes.
         line_size: line (block) size in bytes.
         associativity: number of ways (1 = direct mapped).
-        policy: replacement policy name (``lru``, ``fifo``, ``random``).
+        policy: replacement policy name — any entry of
+            :data:`repro.memory.replacement.POLICIES` (``lru``,
+            ``fifo``, ``random``, ``lfu``, ``2q``, ``arc``, ``opt``;
+            see ``docs/POLICIES.md``).
     """
 
     size: int = 2048
@@ -101,6 +104,10 @@ class Cache:
             _CacheSet(config.associativity, config.policy)
             for _ in range(config.num_sets)
         ]
+        # Zero-arg factory producing a fresh next-use oracle for
+        # line-aware policies that need one (OPT); kept so flush() can
+        # rebuild oracle state alongside the sets.
+        self._oracle_factory = None
         # For every memory line currently NOT in the cache but seen
         # before: the owner of the line that evicted it last.
         self._evicted_by: dict[int, str] = {}
@@ -145,11 +152,17 @@ class Cache:
         index = line_id % len(self._sets)
         cache_set = self._sets[index]
         recorder = self._recorder
+        policy = cache_set.policy
+        # line_aware is a class attribute (False for the classic
+        # policies), so the hot path pays one attribute check.
+        line_aware = policy.line_aware
+        if line_aware:
+            policy.note_access(line_id)
         for way, resident in enumerate(cache_set.lines):
             if resident == line_id:
                 self.hits += 1
                 self.mo_hits[owner] += 1
-                cache_set.policy.on_hit(way)
+                policy.on_hit(way)
                 if recorder is not None and recorder.record_hits:
                     recorder.record(CacheEvent(
                         kind="hit", seq=recorder.next_seq(),
@@ -180,6 +193,8 @@ class Cache:
                 set_index=index, line_id=line_id, mo=owner,
                 evictor=evictor, compulsory=compulsory, phase=self.phase,
             ))
+        if line_aware:
+            policy.note_miss(line_id)
 
         victim_way = None
         for way, resident in enumerate(cache_set.lines):
@@ -187,10 +202,12 @@ class Cache:
                 victim_way = way
                 break
         if victim_way is None:
-            victim_way = cache_set.policy.victim()
+            victim_way = policy.victim()
             evicted_line = cache_set.lines[victim_way]
             assert evicted_line is not None
             self._evicted_by[evicted_line] = owner
+            if line_aware:
+                policy.note_evict(evicted_line)
             if recorder is not None:
                 victim_owner = cache_set.owners[victim_way]
                 assert victim_owner is not None
@@ -199,13 +216,15 @@ class Cache:
                     cache=self.label, set_index=index,
                     line_id=evicted_line, mo=victim_owner,
                     evictor=owner, way=victim_way, phase=self.phase,
-                    policy_state=(cache_set.policy.state()
+                    policy_state=(policy.state()
                                   if recorder.record_policy_state
                                   else None),
                 ))
         cache_set.lines[victim_way] = line_id
         cache_set.owners[victim_way] = owner
-        cache_set.policy.on_fill(victim_way)
+        policy.on_fill(victim_way)
+        if line_aware:
+            policy.note_fill(victim_way, line_id)
         return False
 
     def contains_line(self, line_id: int) -> bool:
@@ -237,6 +256,30 @@ class Cache:
         self.mo_misses.clear()
         self.mo_compulsory.clear()
 
+    def attach_oracle(self, factory) -> None:
+        """Bind a next-use oracle for line-aware policies (OPT).
+
+        Args:
+            factory: zero-arg callable returning a fresh
+                :class:`~repro.memory.replacement.OptOracle`-compatible
+                oracle.  A factory (not an instance) because oracles
+                are consumed as the stream replays: :meth:`flush`
+                rebuilds the sets and needs a pristine oracle to match.
+
+        The oracle is shared across all sets — every probe touches
+        exactly one set, so the per-set policies advance it exactly
+        once per probe, in stream order.
+        """
+        self._oracle_factory = factory
+        self._install_oracle()
+
+    def _install_oracle(self) -> None:
+        oracle = self._oracle_factory()
+        for cache_set in self._sets:
+            attach = getattr(cache_set.policy, "attach", None)
+            if attach is not None:
+                attach(oracle)
+
     def flush(self) -> None:
         """Invalidate all lines and forget eviction history."""
         config = self._config
@@ -246,3 +289,5 @@ class Cache:
         ]
         self._evicted_by.clear()
         self._seen_lines.clear()
+        if self._oracle_factory is not None:
+            self._install_oracle()

@@ -26,6 +26,7 @@ from repro.memory.kernel.vector import KernelUnsupported, \
     simulate_stream, unsupported_reason
 from repro.memory.loopcache import LoopCache, LoopCacheConfig, LoopRegion
 from repro.memory.mainmem import MainMemory
+from repro.memory.replacement import OptOracle
 from repro.memory.scratchpad import Scratchpad
 from repro.memory.stats import SimulationReport
 from repro.obs import metrics
@@ -87,6 +88,14 @@ class HierarchyConfig:
             )
         if self.spm_size < 0:
             raise ConfigurationError(f"negative spm size: {self.spm_size}")
+        if (self.cache is not None and self.cache.policy == "opt"
+                and self.loop_cache is not None):
+            # The OPT oracle is precomputed from the compiled fetch
+            # stream; a loop cache filters probes word-by-word, so the
+            # oracle would no longer match the L1's probe order.
+            raise ConfigurationError(
+                "the 'opt' policy cannot be combined with a loop cache"
+            )
         if self.l2_cache is not None:
             if self.cache is None:
                 raise ConfigurationError(
@@ -99,6 +108,14 @@ class HierarchyConfig:
             if self.l2_cache.line_size != self.cache.line_size:
                 raise ConfigurationError(
                     "L1 and L2 line sizes must match in this model"
+                )
+            if self.l2_cache.policy == "opt":
+                # The L2's probe stream is the L1's miss stream, which
+                # depends on the L1 replay — there is no precomputable
+                # next-use oracle for it.
+                raise ConfigurationError(
+                    "the 'opt' policy is only available on the L1 "
+                    "(the L2 probe stream is not precomputable)"
                 )
 
 
@@ -193,6 +210,15 @@ class InstructionMemorySimulator:
         resident_sizes: dict[str, int] | None,
         charge_initial_copies: bool = False,
     ) -> SimulationReport:
+        if self.cache is not None and \
+                self.cache.config.policy == "opt":
+            if phase_plans is not None:
+                raise ConfigurationError(
+                    "the 'opt' policy cannot drive overlay runs: "
+                    "per-phase relinking changes the fetch plans, so "
+                    "the next-use oracle is not precomputable"
+                )
+            self._install_opt_oracle(block_sequence)
         report = SimulationReport(num_block_executions=len(block_sequence))
         plans = self._image.all_plans()
         pending_tails: list[FetchSegment | None] = []
@@ -248,6 +274,21 @@ class InstructionMemorySimulator:
             report.l2_misses = self.l2_cache.misses
         report.assert_identities()
         return report
+
+    def _install_opt_oracle(self, block_sequence: list[str]) -> None:
+        """Precompute Belady's next-use index for an OPT-policy L1.
+
+        The compiled :class:`~repro.memory.kernel.stream.ProbeStream`
+        for the L1's line size is positionally identical to the
+        ``access_line`` calls this replay is about to issue (the
+        property ``repro verify-kernel`` enforces), so its ``line``
+        column is exactly the future the oracle needs.
+        """
+        assert self.cache is not None
+        line_size = self.cache.config.line_size
+        stream = compile_stream(self._image, block_sequence)
+        lines = stream.probes(line_size).line.tolist()
+        self.cache.attach_oracle(lambda: OptOracle(lines))
 
     def _overlay_transition(self, report: SimulationReport,
                             old: frozenset[str] | None,

@@ -22,12 +22,19 @@ Two properties keep the scan cheap:
   anything deeper misses everywhere, and its eviction attribution was
   already recorded when it crossed each tracked depth.
 
-FIFO is not a stack algorithm (hits do not refresh recency), so
-set-associative FIFO shapes — and anything
+Of the replacement policies only LRU is a stack algorithm (FIFO hits
+do not refresh recency; LFU/2Q/ARC/OPT violate inclusion outright), so
+set-associative non-LRU shapes — and anything
 :func:`~repro.memory.kernel.vector.unsupported_reason` rejects — fall
-back to the per-configuration replay, counted in
-``sim.kernel.fallbacks``.  Direct-mapped members reuse the vectorized
-direct replay, one per group regardless of replacement policy.
+back to per-configuration replay: FIFO/LFU/2Q land on the vector
+kernel's per-set interpreters (counted in ``sim.grid.per_config`` —
+they never leave the kernel), while ARC/OPT/random configs must be
+pre-routed to the reference simulator by the caller (the engine's
+``simulate_image_grid`` does this, counting ``sim.kernel.fallbacks``),
+since :func:`~repro.memory.kernel.vector.simulate_stream` raises for
+them.
+Direct-mapped members of kernel-supported policies reuse the
+vectorized direct replay, one per group regardless of policy.
 """
 
 from __future__ import annotations
@@ -106,9 +113,12 @@ class SweepGrid:
             ``(groups, plain, fallback)`` where ``groups`` maps
             ``(line_size, num_sets)`` to member config indices that
             the single-pass scan covers (LRU, or direct-mapped under
-            any policy), ``plain`` lists cache-less configs (no replay
-            needed at all), and ``fallback`` lists configs that must
-            be replayed one at a time.
+            any kernel-supported policy), ``plain`` lists cache-less
+            configs (no replay needed at all), and ``fallback`` lists
+            configs that must be replayed one at a time — non-stack
+            policies (FIFO/LFU/2Q) per-config on the vector kernel,
+            kernel-unsupported ones (ARC/OPT/random, loop caches) on
+            whatever the caller routes them to.
         """
         groups: dict[tuple[int, int], list[int]] = {}
         plain: list[int] = []
@@ -309,7 +319,11 @@ def simulate_grid(
                 stream, configs[i], spm_base, None, None
             )
         for i in fallback:
-            metrics.inc("sim.kernel.fallbacks")
+            # Still the vector kernel — just one replay per config
+            # instead of a shared scan.  `sim.kernel.fallbacks` is
+            # reserved for runs that leave the kernel for the
+            # reference interpreter.
+            metrics.inc("sim.grid.per_config")
             reports[i] = simulate_stream(
                 stream, configs[i], spm_base=spm_base
             )

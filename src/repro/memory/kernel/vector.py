@@ -9,11 +9,20 @@ Two replay strategies, both bit-identical to
   evictor of a non-compulsory miss is the owner of the probe that
   followed the line's previous occurrence within its set (in a
   direct-mapped cache that probe necessarily evicted it);
-* **set-associative** LRU/FIFO caches are replayed per set: probes are
-  bucketed by set index with one stable argsort, then each set's small
-  subsequence is interpreted chronologically with an insertion-ordered
-  dict as the recency/fill queue — the per-set state never leaves a
-  cache-friendly working set.
+* **set-associative** LRU/FIFO/LFU/2Q caches are replayed per set:
+  probes are bucketed by set index with one stable argsort, then each
+  set's small subsequence is interpreted chronologically with
+  insertion-ordered dicts as the recency/fill/frequency queues — the
+  per-set state never leaves a cache-friendly working set.  The
+  line-keyed interpreters are exact because the reference fills empty
+  ways in ascending order before ever evicting, making line <-> way a
+  bijection within each set.
+
+ARC and OPT track state beyond the resident ways (ghost lists, a
+next-use oracle), and seeded random replacement is inherently
+sequential; all three stay on the reference interpreter via the
+``auto`` fallback matrix (counted in ``sim.kernel.fallbacks`` —
+fallback cost measured in ``docs/POLICIES.md``).
 
 Conflict events carry their global probe index, so the report's
 ``conflict_misses`` Counter is rebuilt in the reference simulator's
@@ -36,16 +45,16 @@ from repro.obs import metrics
 from repro.obs.trace import span
 
 #: Replacement policies the kernel replays exactly.
-SUPPORTED_POLICIES = ("lru", "fifo")
+SUPPORTED_POLICIES = ("lru", "fifo", "lfu", "2q")
 
 
 class KernelUnsupported(SimulationError):
     """The vector kernel cannot replay this configuration exactly.
 
     Raised for loop-cache hierarchies, phase-tracked runs and
-    replacement policies outside :data:`SUPPORTED_POLICIES`; the
-    ``auto`` backend catches it and falls back to the reference
-    simulator.
+    replacement policies outside :data:`SUPPORTED_POLICIES`
+    (``random``, ``arc``, ``opt``); the ``auto`` backend catches it
+    and falls back to the reference simulator.
     """
 
 
@@ -151,6 +160,89 @@ def _replay_direct(line: np.ndarray, owner: np.ndarray,
     )
 
 
+def _replay_set_lfu(lines_l: list, owners_l: list, idx_l: list,
+                    num_ways: int, attribute: bool,
+                    events: list) -> list[bool]:
+    """One set's chronological LFU replay, keyed by line.
+
+    Mirrors :class:`~repro.memory.replacement.LfuPolicy` exactly: dict
+    insertion order is the recency queue (refreshed on hits and fills,
+    like the reference's way order), and the victim is the first
+    strictly-minimal reference count scanning LRU-first.
+    """
+    resident: dict[int, int] = {}  # line -> refcount, LRU first.
+    evicted_by: dict[int, int] = {}
+    flags = []
+    for pos, line_id in enumerate(lines_l):
+        count = resident.pop(line_id, None)
+        if count is not None:
+            flags.append(True)
+            resident[line_id] = count + 1
+            continue
+        flags.append(False)
+        probe_owner = owners_l[pos]
+        if attribute:
+            evictor = evicted_by.get(line_id)
+            if evictor is not None:
+                events.append((idx_l[pos], probe_owner, evictor))
+        if len(resident) >= num_ways:
+            victim_line = next(iter(resident))
+            best = resident[victim_line]
+            for cand, cnt in resident.items():
+                if cnt < best:
+                    victim_line, best = cand, cnt
+            del resident[victim_line]
+            evicted_by[victim_line] = probe_owner
+        resident[line_id] = 1
+    return flags
+
+
+def _replay_set_2q(lines_l: list, owners_l: list, idx_l: list,
+                   num_ways: int, attribute: bool,
+                   events: list) -> list[bool]:
+    """One set's chronological 2Q replay, keyed by line.
+
+    Mirrors :class:`~repro.memory.replacement.TwoQPolicy` exactly: A1
+    is a FIFO of once-seen lines, a hit there promotes into the Am LRU
+    queue, and victims drain A1 while it exceeds Kin (or Am is empty).
+    """
+    a1: dict[int, None] = {}  # once-seen, FIFO order.
+    am: dict[int, None] = {}  # reheated, LRU order.
+    kin = max(1, num_ways // 4)
+    evicted_by: dict[int, int] = {}
+    flags = []
+    for pos, line_id in enumerate(lines_l):
+        if line_id in a1:
+            flags.append(True)
+            del a1[line_id]
+            am[line_id] = None
+            continue
+        if line_id in am:
+            flags.append(True)
+            del am[line_id]
+            am[line_id] = None
+            continue
+        flags.append(False)
+        probe_owner = owners_l[pos]
+        if attribute:
+            evictor = evicted_by.get(line_id)
+            if evictor is not None:
+                events.append((idx_l[pos], probe_owner, evictor))
+        if len(a1) + len(am) >= num_ways:
+            if a1 and (len(a1) > kin or not am):
+                victim_line = next(iter(a1))
+                del a1[victim_line]
+            elif am:
+                victim_line = next(iter(am))
+                del am[victim_line]
+            else:
+                victim_line = next(iter(a1))
+                del a1[victim_line]
+            evicted_by[victim_line] = probe_owner
+        a1[line_id] = None
+    return flags
+
+
 def _replay_assoc(line: np.ndarray, owner: np.ndarray,
                   config: CacheConfig, attribute: bool) -> _Replay:
     """Per-set chronological replay of a set-associative cache."""
@@ -160,39 +252,53 @@ def _replay_assoc(line: np.ndarray, owner: np.ndarray,
         return _Replay(hit, _EMPTY_I64, _EMPTY_I32, _EMPTY_I32)
 
     num_ways = config.associativity
-    move_on_hit = config.policy == "lru"
+    policy = config.policy
     set_idx = _set_indices(line, config.num_sets)
     set_order = np.argsort(set_idx, kind="stable")
     cuts = np.flatnonzero(np.diff(set_idx[set_order])) + 1
     events: list[tuple[int, int, int]] = []
 
-    for group in np.split(set_order, cuts):
-        lines_l = line[group].tolist()
-        owners_l = owner[group].tolist()
-        idx_l = group.tolist()
-        # Insertion order is the recency (LRU) / fill (FIFO) queue.
-        resident: dict[int, None] = {}
-        evicted_by: dict[int, int] = {}
-        flags = []
-        for pos, line_id in enumerate(lines_l):
-            if line_id in resident:
-                flags.append(True)
-                if move_on_hit:
-                    del resident[line_id]
-                    resident[line_id] = None
-                continue
-            flags.append(False)
-            probe_owner = owners_l[pos]
-            if attribute:
-                evictor = evicted_by.get(line_id)
-                if evictor is not None:
-                    events.append((idx_l[pos], probe_owner, evictor))
-            if len(resident) >= num_ways:
-                victim_line = next(iter(resident))
-                del resident[victim_line]
-                evicted_by[victim_line] = probe_owner
-            resident[line_id] = None
-        hit[group] = flags
+    if policy in ("lru", "fifo"):
+        move_on_hit = policy == "lru"
+        for group in np.split(set_order, cuts):
+            lines_l = line[group].tolist()
+            owners_l = owner[group].tolist()
+            idx_l = group.tolist()
+            # Insertion order is the recency (LRU) / fill (FIFO) queue.
+            resident: dict[int, None] = {}
+            evicted_by: dict[int, int] = {}
+            flags = []
+            for pos, line_id in enumerate(lines_l):
+                if line_id in resident:
+                    flags.append(True)
+                    if move_on_hit:
+                        del resident[line_id]
+                        resident[line_id] = None
+                    continue
+                flags.append(False)
+                probe_owner = owners_l[pos]
+                if attribute:
+                    evictor = evicted_by.get(line_id)
+                    if evictor is not None:
+                        events.append((idx_l[pos], probe_owner, evictor))
+                if len(resident) >= num_ways:
+                    victim_line = next(iter(resident))
+                    del resident[victim_line]
+                    evicted_by[victim_line] = probe_owner
+                resident[line_id] = None
+            hit[group] = flags
+    elif policy in ("lfu", "2q"):
+        replay_set = _replay_set_lfu if policy == "lfu" else _replay_set_2q
+        for group in np.split(set_order, cuts):
+            hit[group] = replay_set(
+                line[group].tolist(), owner[group].tolist(),
+                group.tolist(), num_ways, attribute, events,
+            )
+    else:
+        raise KernelUnsupported(
+            f"replacement policy {policy!r} is not vectorized "
+            f"(supported: {', '.join(SUPPORTED_POLICIES)})"
+        )
 
     if not events:
         return _Replay(hit, _EMPTY_I64, _EMPTY_I32, _EMPTY_I32)
@@ -426,8 +532,8 @@ def simulate_many(
     Since the grid refactor this is a thin wrapper over
     :func:`repro.memory.kernel.grid.simulate_grid`: LRU shapes are
     replayed in a single stack-distance pass per (line size, set
-    count) group and only FIFO / unsupported shapes fall back to the
-    per-configuration replay above.
+    count) group and only non-stack (FIFO/LFU/2Q) / unsupported
+    shapes fall back to the per-configuration replay above.
 
     Args:
         stream: compiled fetch stream.

@@ -7,16 +7,17 @@ reference simulator.  This module checks that contract from three
 independent directions:
 
 1. **Randomized probe-level replay** — random cache geometries
-   (power-of-two line size, associativity and set count, LRU or FIFO)
-   are driven with random line-probe sequences through both the
-   reference :class:`~repro.memory.cache.Cache` and the kernel's
-   replay, comparing every per-probe hit/miss outcome and the full
-   conflict attribution.
+   (power-of-two line size, associativity and set count, any
+   kernel-supported policy: LRU, FIFO, LFU or 2Q) are driven with
+   random line-probe sequences through both the reference
+   :class:`~repro.memory.cache.Cache` and the kernel's replay,
+   comparing every per-probe hit/miss outcome and the full conflict
+   attribution.
 2. **End-to-end workload replay** — committed workloads are simulated
    under a grid of hierarchy configurations (direct-mapped and
-   set-associative, both policies, several line sizes, with and
-   without a scratchpad and an L2) through both backends, and the two
-   reports are compared field by field.
+   set-associative, every kernel-supported policy, several line
+   sizes, with and without a scratchpad and an L2) through both
+   backends, and the two reports are compared field by field.
 3. **Audit cross-check** — the conflict graph built from a
    *vector-backend* report is audited against the event stream the
    *reference* simulator actually emitted
@@ -46,7 +47,7 @@ DEFAULT_WORKLOADS = ("tiny", "adpcm")
 #: the random generator and the end-to-end configuration grid.
 LINE_SIZES = (8, 16, 32)
 ASSOCIATIVITIES = (1, 2, 4)
-POLICIES = ("lru", "fifo")
+POLICIES = ("lru", "fifo", "lfu", "2q")
 
 
 def report_differences(reference: SimulationReport,
@@ -269,8 +270,9 @@ def _config_grid() -> list:
     """Hierarchy configurations of the end-to-end check.
 
     Covers the kernel's whole supported surface: the line / way /
-    policy cross product at a fixed small capacity (so conflicts
-    occur), plus one two-level (L1+L2) configuration.
+    policy cross product (every :data:`POLICIES` member) at a fixed
+    small capacity (so conflicts occur), plus one two-level (L1+L2)
+    configuration.
     """
     from repro.memory.hierarchy import HierarchyConfig
 

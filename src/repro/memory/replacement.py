@@ -2,20 +2,41 @@
 
 Each cache set owns one policy instance tracking the order of its ways.
 The paper's conflict-graph definition is policy-agnostic ("using the
-cache replacement policy"); LRU is the default, FIFO and seeded random
-are provided for sensitivity studies.
+cache replacement policy"); LRU is the default.  FIFO and seeded random
+are provided for sensitivity studies, and the adaptive suite — LFU, 2Q
+and ARC — plus the offline-optimal OPT (Belady) open the policy axis of
+the design space.  OPT is driven by a precomputed next-use oracle (see
+:class:`OptOracle`) and serves as the provable miss-count lower bound
+the online policies are reported against.
+
+Policies that need to see *line identities* (not just way indices) set
+:attr:`ReplacementPolicy.line_aware` and receive the ``note_*`` hooks
+from :class:`repro.memory.cache.Cache`; the way-index-only policies pay
+nothing for them.  See ``docs/POLICIES.md`` for per-policy semantics,
+``state()`` shapes and audit caveats.
 """
 
 from __future__ import annotations
 
 import abc
+from collections import deque
+from typing import Iterable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownPolicyError
 from repro.utils.rng import DeterministicRng
+
+#: Sentinel next-use distance for a line that is never fetched again.
+NEVER = -1
 
 
 class ReplacementPolicy(abc.ABC):
     """Victim selection and usage tracking for one cache set."""
+
+    #: Policies that track line identities set this to ``True``; the
+    #: cache then calls the ``note_*`` hooks.  Way-index-only policies
+    #: (LRU, FIFO, random, LFU, 2Q) leave it ``False`` so the probe hot
+    #: path stays a single attribute check.
+    line_aware = False
 
     def __init__(self, num_ways: int) -> None:
         if num_ways < 1:
@@ -35,12 +56,31 @@ class ReplacementPolicy(abc.ABC):
         """Way to evict next (called only when the set is full)."""
 
     def state(self) -> tuple[int, ...]:
-        """Snapshot of the policy's way ordering for event auditing.
+        """Snapshot of the policy's bookkeeping for event auditing.
 
-        Age-ordered way indices, oldest (next victim) first; stateless
-        policies return an empty tuple.
+        The shape is policy-defined (documented per policy in
+        ``docs/POLICIES.md``): the classic age-ordered policies return
+        way indices oldest (next victim) first, richer policies encode
+        their lists/counters, and stateless policies return ``()``.
         """
         return ()
+
+    # -- line-aware hooks (no-ops unless ``line_aware``) -------------------
+    #
+    # The cache only calls these when ``line_aware`` is set, so the
+    # default implementations exist purely as interface documentation.
+
+    def note_access(self, line_id: int) -> None:
+        """Observe a probe for *line_id* (hit or miss), in stream order."""
+
+    def note_miss(self, line_id: int) -> None:
+        """Observe a miss for *line_id*, before victim selection."""
+
+    def note_evict(self, line_id: int) -> None:
+        """Observe that resident *line_id* was just evicted."""
+
+    def note_fill(self, way: int, line_id: int) -> None:
+        """Observe that *line_id* was just filled into *way*."""
 
 
 class LruPolicy(ReplacementPolicy):
@@ -105,20 +145,329 @@ class RandomPolicy(ReplacementPolicy):
         return self._rng.uniform_int(0, self.num_ways - 1)
 
 
-_POLICIES = {
+class LfuPolicy(ReplacementPolicy):
+    """Least-frequently-used replacement with LRU tie-breaking.
+
+    Each way carries a reference count (reset to 1 on fill, incremented
+    on hit); the victim is the way with the smallest count, and among
+    equal counts the least recently touched way loses.  The recency
+    order refreshes on both hits and fills, so a tie between two
+    cold ways resolves against the one untouched longest.
+    """
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        self._counts = [0] * num_ways
+        self._order = list(range(num_ways))  # LRU first, like LruPolicy.
+
+    def on_hit(self, way: int) -> None:
+        self._counts[way] += 1
+        self._order.remove(way)
+        self._order.append(way)
+
+    def on_fill(self, way: int) -> None:
+        self._counts[way] = 1
+        self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self) -> int:
+        best = self._order[0]
+        for way in self._order[1:]:
+            if self._counts[way] < self._counts[best]:
+                best = way
+        return best
+
+    def state(self) -> tuple[int, ...]:
+        """Recency-ordered ``(way, count)`` pairs, flattened, LRU first."""
+        flat: list[int] = []
+        for way in self._order:
+            flat += (way, self._counts[way])
+        return tuple(flat)
+
+
+class TwoQPolicy(ReplacementPolicy):
+    """Simplified 2Q replacement (Johnson & Shasha) within one set.
+
+    Ways seen exactly once live in the FIFO probation queue A1; a hit
+    while in A1 promotes the way into the LRU main queue Am.  Victims
+    come from A1 while it exceeds its target share ``Kin`` (a quarter
+    of the ways, at least one) or whenever Am is empty; otherwise the
+    Am LRU way loses.  This is the no-ghost ("2Q simplified") variant:
+    with only ``num_ways`` slots per set there is no room for a
+    meaningful A1out history, so demoted ways restart in A1.
+    """
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        self._a1: list[int] = []  # FIFO, oldest first.
+        self._am: list[int] = []  # LRU,  oldest first.
+        self._kin = max(1, num_ways // 4)
+
+    def on_hit(self, way: int) -> None:
+        if way in self._a1:
+            self._a1.remove(way)
+            self._am.append(way)
+        else:
+            self._am.remove(way)
+            self._am.append(way)
+
+    def on_fill(self, way: int) -> None:
+        if way in self._a1:
+            self._a1.remove(way)
+        elif way in self._am:
+            self._am.remove(way)
+        self._a1.append(way)
+
+    def victim(self) -> int:
+        if self._a1 and (len(self._a1) > self._kin or not self._am):
+            return self._a1[0]
+        if self._am:
+            return self._am[0]
+        return self._a1[0]
+
+    def state(self) -> tuple[int, ...]:
+        """``(len(A1), *A1, *Am)`` — both queues oldest first."""
+        return (len(self._a1), *self._a1, *self._am)
+
+
+class ArcPolicy(ReplacementPolicy):
+    """Adaptive replacement cache (Megiddo & Modha) for one set.
+
+    Resident ways split into T1 (seen once recently) and T2 (seen at
+    least twice); evicted line ids are remembered in the ghost lists B1
+    and B2, whose hits steer the adaptation target ``p`` (the desired
+    size of T1).  ARC needs to see line identities to maintain its
+    ghosts, so it is :attr:`line_aware`: the cache feeds it misses,
+    evictions and fills via the ``note_*`` hooks.
+
+    Owner-attribution caveat: the ghost lists influence *which* way is
+    victimised but the conflict-graph attribution (``m_ij``) still
+    charges the evictor that triggered the miss, exactly as for the
+    other policies — the audit replay re-derives it bit-for-bit.
+    """
+
+    line_aware = True
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        self._t1: list[int] = []  # ways, LRU first
+        self._t2: list[int] = []  # ways, LRU first
+        self._b1: deque[int] = deque()  # ghost line ids, LRU first
+        self._b2: deque[int] = deque()  # ghost line ids, LRU first
+        self._p = 0  # adaptation target for len(T1)
+        self._lines: dict[int, int] = {}  # way -> resident line id
+        self._insert_target = "t1"
+        self._ghost_target = "b1"
+        self._was_b2_hit = False
+
+    def on_hit(self, way: int) -> None:
+        # Cases I: any resident hit moves the way to T2's MRU end.
+        if way in self._t1:
+            self._t1.remove(way)
+        else:
+            self._t2.remove(way)
+        self._t2.append(way)
+
+    def on_fill(self, way: int) -> None:
+        pass  # placement happens in note_fill, which knows the line id.
+
+    def note_miss(self, line_id: int) -> None:
+        c = self.num_ways
+        self._was_b2_hit = False
+        if line_id in self._b1:
+            # Case II: ghost hit in B1 — grow p, promote into T2.
+            delta = max(1, len(self._b2) // max(1, len(self._b1)))
+            self._p = min(c, self._p + delta)
+            self._b1.remove(line_id)
+            self._insert_target = "t2"
+        elif line_id in self._b2:
+            # Case III: ghost hit in B2 — shrink p, promote into T2.
+            delta = max(1, len(self._b1) // max(1, len(self._b2)))
+            self._p = max(0, self._p - delta)
+            self._b2.remove(line_id)
+            self._insert_target = "t2"
+            self._was_b2_hit = True
+        else:
+            # Case IV: brand-new line — trim the directory to 2c.
+            if len(self._t1) + len(self._b1) >= c and self._b1:
+                self._b1.popleft()
+            elif (len(self._t1) + len(self._t2) + len(self._b1)
+                    + len(self._b2) >= 2 * c and self._b2):
+                self._b2.popleft()
+            self._insert_target = "t1"
+
+    def victim(self) -> int:
+        # REPLACE(p): prefer T1's LRU way when T1 is over target (or
+        # exactly on target and the miss was a B2 ghost hit).
+        if self._t1 and (len(self._t1) > self._p
+                         or (self._was_b2_hit
+                             and len(self._t1) == self._p)):
+            way = self._t1.pop(0)
+            self._ghost_target = "b1"
+        elif self._t2:
+            way = self._t2.pop(0)
+            self._ghost_target = "b2"
+        else:
+            way = self._t1.pop(0)
+            self._ghost_target = "b1"
+        return way
+
+    def note_evict(self, line_id: int) -> None:
+        ghost = self._b1 if self._ghost_target == "b1" else self._b2
+        ghost.append(line_id)
+        while len(ghost) > self.num_ways:
+            ghost.popleft()
+
+    def note_fill(self, way: int, line_id: int) -> None:
+        # Empty-way fills never pass through victim(), so the way may
+        # still be unlisted; victimised ways were already popped there.
+        if way in self._t1:
+            self._t1.remove(way)
+        elif way in self._t2:
+            self._t2.remove(way)
+        target = self._t1 if self._insert_target == "t1" else self._t2
+        target.append(way)
+        self._lines[way] = line_id
+
+    def state(self) -> tuple[int, ...]:
+        """``(p, len(T1), *T1, *T2)`` — way lists LRU first."""
+        return (self._p, len(self._t1), *self._t1, *self._t2)
+
+
+class OptOracle:
+    """Next-use index for Belady's OPT, built from a probe line stream.
+
+    Feed it the full sequence of cache-line ids the cache will be
+    probed with (the ``line`` column of a compiled
+    :class:`~repro.memory.kernel.stream.ProbeStream`, which is
+    positionally identical to the reference interpreter's
+    ``access_line`` calls).  Each probe consumes one occurrence via
+    :meth:`advance`, after which :meth:`next_use` answers "when is this
+    line needed again?" strictly in the future.
+    """
+
+    def __init__(self, lines: Iterable[int]) -> None:
+        occurrences: dict[int, deque[int]] = {}
+        count = 0
+        for position, line_id in enumerate(lines):
+            occurrences.setdefault(line_id, deque()).append(position)
+            count += 1
+        self._occurrences = occurrences
+        self.total_probes = count
+
+    def advance(self, line_id: int) -> None:
+        """Consume the current occurrence of *line_id* (probe start)."""
+        pending = self._occurrences.get(line_id)
+        if pending:
+            pending.popleft()
+
+    def next_use(self, line_id: int) -> int:
+        """Next future probe position for *line_id*, or :data:`NEVER`."""
+        pending = self._occurrences.get(line_id)
+        if pending:
+            return pending[0]
+        return NEVER
+
+
+class OptPolicy(ReplacementPolicy):
+    """Belady's offline-optimal replacement (MIN).
+
+    Evicts the resident line whose next use lies farthest in the
+    future (preferring lines never fetched again, then the lowest way
+    index among ties).  Requires an :class:`OptOracle` attached via
+    :meth:`Cache.attach_oracle <repro.memory.cache.Cache.attach_oracle>`
+    before the first eviction — the simulator precomputes it from the
+    compiled :class:`~repro.memory.kernel.stream.FetchStream`, which is
+    why OPT is only available for the L1 of oracle-compatible runs (no
+    loop cache, no overlay phases, no L2 placement).  OPT's miss count
+    is the provable lower bound every online policy is reported
+    against in ``repro dse --policies``.
+    """
+
+    line_aware = True
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        self._oracle: OptOracle | None = None
+        self._lines: dict[int, int] = {}  # way -> resident line id
+
+    def attach(self, oracle: OptOracle) -> None:
+        """Bind the shared next-use oracle (one per cache)."""
+        self._oracle = oracle
+
+    def on_hit(self, way: int) -> None:
+        pass
+
+    def on_fill(self, way: int) -> None:
+        pass
+
+    def note_access(self, line_id: int) -> None:
+        if self._oracle is None:
+            raise ConfigurationError(
+                "OptPolicy needs a next-use oracle; attach one with "
+                "Cache.attach_oracle() (the hierarchy simulator does "
+                "this automatically for oracle-compatible runs)"
+            )
+        self._oracle.advance(line_id)
+
+    def note_fill(self, way: int, line_id: int) -> None:
+        self._lines[way] = line_id
+
+    def victim(self) -> int:
+        oracle = self._oracle
+        assert oracle is not None  # note_access raised already if not
+        best_way = 0
+        best_use = oracle.next_use(self._lines[0])
+        if best_use == NEVER:
+            return best_way
+        for way in range(1, self.num_ways):
+            use = oracle.next_use(self._lines[way])
+            if use == NEVER:
+                return way
+            if use > best_use:
+                best_way, best_use = way, use
+        return best_way
+
+    def state(self) -> tuple[int, ...]:
+        """Per-way next-use probe positions (:data:`NEVER` = no reuse)."""
+        if self._oracle is None:
+            return ()
+        return tuple(
+            self._oracle.next_use(self._lines[way])
+            if way in self._lines else NEVER
+            for way in range(self.num_ways)
+        )
+
+
+#: The one policy registry: ``make_policy``, the CLI help text, the DSE
+#: axis and the docs all source their name lists from here.
+POLICIES: dict[str, type[ReplacementPolicy]] = {
     "lru": LruPolicy,
     "fifo": FifoPolicy,
     "random": RandomPolicy,
+    "lfu": LfuPolicy,
+    "2q": TwoQPolicy,
+    "arc": ArcPolicy,
+    "opt": OptPolicy,
 }
+
+# Backwards-compatible alias (pre-policy-suite name).
+_POLICIES = POLICIES
+
+
+def available_policies() -> tuple[str, ...]:
+    """All registered policy names, sorted."""
+    return tuple(sorted(POLICIES))
 
 
 def make_policy(name: str, num_ways: int) -> ReplacementPolicy:
-    """Create a policy by name (``lru``, ``fifo`` or ``random``)."""
+    """Create a policy by registry name (see :func:`available_policies`).
+
+    Raises:
+        UnknownPolicyError: *name* is not in :data:`POLICIES`.
+    """
     try:
-        factory = _POLICIES[name.lower()]
+        factory = POLICIES[name.lower()]
     except KeyError:
-        raise ConfigurationError(
-            f"unknown replacement policy {name!r}; "
-            f"choose from {sorted(_POLICIES)}"
-        ) from None
+        raise UnknownPolicyError(name, available_policies()) from None
     return factory(num_ways)

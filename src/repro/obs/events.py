@@ -501,7 +501,9 @@ class AuditResult:
 
 def audit_workload(workload_name: str, scale: float = 1.0,
                    seed: int = 0,
-                   backend: str | None = None) -> AuditResult:
+                   backend: str | None = None,
+                   policy: str | None = None,
+                   associativity: int | None = None) -> AuditResult:
     """Run the conflict-graph oracle end to end for one workload.
 
     Rebuilds the workload's profiling setup, replays the baseline
@@ -522,6 +524,16 @@ def audit_workload(workload_name: str, scale: float = 1.0,
             audited graph is instead built from the vector kernel's
             report, turning the audit into a cross-backend
             differential check of the conflict attribution.
+        policy: replacement-policy override for the audited cache
+            (any :func:`repro.memory.replacement.available_policies`
+            name); ``None`` keeps the workload's configured policy.
+            The ``m_ij`` re-derivation is policy-agnostic — evict
+            events carry the owner/evictor pair whatever chose the
+            victim — so the audit is exact under every policy.
+        associativity: way-count override for the audited cache
+            (``None`` keeps the workload's).  Most paper caches are
+            direct mapped, where every policy collapses; raising this
+            gives a policy override real eviction pressure.
     """
     # Local imports: this module must stay importable from the cache
     # layer without dragging the whole pipeline in.
@@ -537,6 +549,16 @@ def audit_workload(workload_name: str, scale: float = 1.0,
     resolved = resolve_backend(backend)
     workload, bench = make_workbench(workload_name, scale, seed)
     config = bench.config
+    cache_config = config.cache
+    if policy is not None or associativity is not None:
+        from dataclasses import replace
+
+        overrides: dict = {}
+        if policy is not None:
+            overrides["policy"] = policy
+        if associativity is not None:
+            overrides["associativity"] = associativity
+        cache_config = replace(cache_config, **overrides)
     image = LinkedImage(
         bench.program,
         bench.memory_objects,
@@ -546,7 +568,7 @@ def audit_workload(workload_name: str, scale: float = 1.0,
         main_base=config.main_base,
         spm_base=config.spm_base,
     )
-    hierarchy = HierarchyConfig(cache=config.cache)
+    hierarchy = HierarchyConfig(cache=cache_config)
     recorder = EventRecorder(audit=True, record_policy_state=True)
     previous = set_recorder(recorder)
     try:

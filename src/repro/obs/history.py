@@ -364,9 +364,70 @@ def collect_suite_metrics(
                     "resilience.kernel_fallbacks",
                     "solver.degraded", "store.quarantined"):
         metrics[f"suite.{counter}"] = registry.value(counter)
+    for name in workloads:
+        metrics.update(measure_policy_misses(name, scale=scale,
+                                             seed=seed))
     metrics.update(measure_kernel_speedup(scale=scale, seed=seed))
     metrics.update(measure_grid_speedup(scale=scale, seed=seed))
     metrics["wall.seconds"] = time.perf_counter() - started
+    return metrics
+
+
+#: Policies the suite snapshots baseline misses for.  ``random`` is
+#: excluded only because its victims consume an RNG stream unrelated
+#: to the workload seed; every deterministic policy participates, and
+#: ``opt`` gives the snapshot a Belady floor the smoke test asserts
+#: is never beaten.
+SUITE_POLICIES = ("lru", "fifo", "lfu", "2q", "arc", "opt")
+
+
+def measure_policy_misses(
+    workload_name: str,
+    scale: float = DEFAULT_SUITE_SCALE,
+    seed: int = 0,
+    associativity: int = 2,
+) -> dict[str, float]:
+    """Baseline I-cache misses of one workload per replacement policy.
+
+    Simulates the workload's cache-only image once per
+    :data:`SUITE_POLICIES` member with the paper cache widened to
+    *associativity* ways (direct mapped, every policy collapses to
+    the same behaviour).  All runs use the reference backend — the
+    only interpreter that can drive the OPT next-use oracle — so the
+    numbers are deterministic and the ``opt`` row is a true Belady
+    floor for the others.  Runs after the suite registry is restored,
+    like the speedup measurements, so the exact-match ``suite.sim.*``
+    counters are untouched.
+    """
+    from dataclasses import replace
+
+    from repro.engine.runner import StageRunner, make_workbench
+    from repro.engine.store import ArtifactStore
+    from repro.memory.hierarchy import HierarchyConfig, simulate
+    from repro.traces.layout import LinkedImage, Placement
+
+    runner = StageRunner(store=ArtifactStore())
+    workload, bench = make_workbench(
+        workload_name, scale=scale, seed=seed, runner=runner
+    )
+    config = bench.config
+    image = LinkedImage(
+        bench.program, bench.memory_objects,
+        spm_resident=frozenset(), spm_size=0,
+        placement=Placement.COPY,
+        main_base=config.main_base, spm_base=config.spm_base,
+    )
+    metrics: dict[str, float] = {}
+    for policy in SUITE_POLICIES:
+        cache = replace(config.cache, associativity=associativity,
+                        policy=policy)
+        report = simulate(
+            image, HierarchyConfig(cache=cache),
+            bench.block_sequence, spm_base=config.spm_base,
+            backend="reference",
+        )
+        metrics[f"{workload_name}.policy.{policy}.misses"] = \
+            float(report.cache_misses)
     return metrics
 
 

@@ -12,6 +12,9 @@ that was not exact) and fails the gate.
 The sweep schedules one self-healed grid chunk per allocator by
 default — proving the retry/restart ladder on the grid pipeline's
 unit shape — with ``grid=False`` falling back to per-point units.
+Either shape adds one policy-varied configuration (the workload's
+cache as 2-way LFU) so a non-default replacement policy rides through
+the same ladder.
 The faulty pass runs against a throwaway on-disk cache that is warmed
 first and then stripped of its memory tier, so ``store.read`` faults
 genuinely exercise the quarantine-and-recompute ladder rather than
@@ -216,16 +219,38 @@ def run_chaos(
     if plan is None:
         plan = FaultPlan.from_spec(spec) if spec else FaultPlan()
     sizes = tuple(sizes) if sizes else DEFAULT_SIZES
+    # One policy-varied configuration rides along with every chaos
+    # sweep: the workload's cache made 2-way LFU, so the healing
+    # ladder is proven over a non-default replacement policy (the
+    # per-config vector fallback path) too.
+    from dataclasses import replace as _replace
+
+    from repro.workloads.registry import get_workload
+
+    varied_cache = _replace(
+        get_workload(workload, scale=scale).cache,
+        associativity=2, policy="lfu",
+    )
+    varied_algorithm = algorithms[0]
     if grid:
         units: list = [
             GridChunk(workload=workload, spm_sizes=sizes,
                       algorithm=algorithm, scale=scale, seed=seed)
             for algorithm in algorithms
         ]
+        units.append(GridChunk(
+            workload=workload, spm_sizes=sizes[:1],
+            algorithm=varied_algorithm, scale=scale, seed=seed,
+            cache=varied_cache,
+        ))
         labels = [
             [f"{workload}/{algorithm}@{size}" for size in sizes]
             for algorithm in algorithms
         ]
+        labels.append([
+            f"{workload}/{varied_algorithm}@{size}[lfu,2way]"
+            for size in sizes[:1]
+        ])
     else:
         units = [
             PointSpec(workload, size, algorithm, scale=scale,
@@ -234,6 +259,11 @@ def run_chaos(
             for size in sizes
         ]
         labels = [[_label(point)] for point in units]
+        units.append(PointSpec(
+            workload, sizes[0], varied_algorithm, scale=scale,
+            seed=seed, cache=varied_cache,
+        ))
+        labels.append([_label(units[-1]) + "[lfu,2way]"])
     total_points = sum(len(group) for group in labels)
 
     # Reference pass: serial, memory-only store, injection disabled.

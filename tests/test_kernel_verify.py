@@ -74,7 +74,7 @@ class TestRandomConfig:
         for _ in range(200):
             config = random_cache_config(rng)
             assert isinstance(config, CacheConfig)
-            assert config.policy in ("lru", "fifo")
+            assert config.policy in ("lru", "fifo", "lfu", "2q")
             assert config.num_sets >= 1
 
     def test_deterministic_for_a_seed(self):

@@ -1,12 +1,22 @@
 """Tests for repro.memory.replacement."""
 
+import pickle
+
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownPolicyError
 from repro.memory.replacement import (
+    NEVER,
+    POLICIES,
+    ArcPolicy,
     FifoPolicy,
+    LfuPolicy,
     LruPolicy,
+    OptOracle,
+    OptPolicy,
     RandomPolicy,
+    TwoQPolicy,
+    available_policies,
     make_policy,
 )
 from repro.utils.rng import DeterministicRng
@@ -54,15 +64,164 @@ class TestRandom:
         assert all(0 <= v < 4 for v in victims_a)
 
 
+class TestLfu:
+    def test_victim_is_least_frequent(self):
+        policy = LfuPolicy(3)
+        for way in (0, 1, 2):
+            policy.on_fill(way)
+        policy.on_hit(0)
+        policy.on_hit(0)
+        policy.on_hit(2)
+        assert policy.victim() == 1
+
+    def test_lru_breaks_frequency_ties(self):
+        policy = LfuPolicy(3)
+        for way in (0, 1, 2):
+            policy.on_fill(way)
+        # All counts equal; way 0 is the least recently touched.
+        assert policy.victim() == 0
+        policy.on_hit(0)  # refreshes recency but also bumps count
+        assert policy.victim() == 1
+
+    def test_fill_resets_count(self):
+        policy = LfuPolicy(2)
+        policy.on_fill(0)
+        policy.on_fill(1)
+        policy.on_hit(0)
+        policy.on_hit(0)
+        policy.on_fill(1)  # new line in way 1, count back to 1
+        assert policy.victim() == 1
+
+    def test_state_is_lru_first_pairs(self):
+        policy = LfuPolicy(2)
+        policy.on_fill(0)
+        policy.on_fill(1)
+        policy.on_hit(0)
+        assert policy.state() == (1, 1, 0, 2)
+
+
+class TestTwoQ:
+    def test_once_seen_ways_evict_first(self):
+        policy = TwoQPolicy(4)  # kin = 1
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        policy.on_hit(1)  # promotes way 1 to Am
+        # A1 holds [0, 2, 3] > kin, so its head evicts first.
+        assert policy.victim() == 0
+
+    def test_am_evicts_lru_when_a1_drained(self):
+        policy = TwoQPolicy(2)  # kin = 1
+        policy.on_fill(0)
+        policy.on_fill(1)
+        policy.on_hit(0)
+        policy.on_hit(1)  # both promoted: A1 empty, Am = [0, 1]
+        assert policy.victim() == 0
+        policy.on_hit(0)  # Am order now [1, 0]
+        assert policy.victim() == 1
+
+    def test_state_carries_a1_length(self):
+        policy = TwoQPolicy(4)
+        for way in (0, 1, 2):
+            policy.on_fill(way)
+        policy.on_hit(1)
+        assert policy.state() == (2, 0, 2, 1)
+
+
+class TestArc:
+    def test_is_line_aware(self):
+        assert ArcPolicy.line_aware
+        assert not LruPolicy.line_aware
+
+    def test_ghost_hit_adapts_partition(self):
+        policy = ArcPolicy(2)
+        # Fill two lines, evict one, then miss on its ghost: p grows.
+        for line, way in ((10, 0), (11, 1)):
+            policy.note_access(line)
+            policy.note_miss(line)
+            policy.on_fill(way)
+            policy.note_fill(way, line)
+        policy.note_access(12)
+        policy.note_miss(12)
+        victim = policy.victim()
+        policy.note_evict(10 if victim == 0 else 11)
+        policy.on_fill(victim)
+        policy.note_fill(victim, 12)
+        evicted = 10 if victim == 0 else 11
+        before = policy.state()[0]
+        policy.note_access(evicted)
+        policy.note_miss(evicted)  # recency-ghost hit
+        assert policy.state()[0] > before
+
+    def test_behaves_like_lru_without_reuse(self):
+        # A pure scan (no hits, no ghost hits) evicts in fill order.
+        policy = ArcPolicy(2)
+        for line, way in ((1, 0), (2, 1)):
+            policy.note_access(line)
+            policy.note_miss(line)
+            policy.on_fill(way)
+            policy.note_fill(way, line)
+        policy.note_access(3)
+        policy.note_miss(3)
+        assert policy.victim() == 0
+
+
+class TestOpt:
+    def test_oracle_tracks_next_use(self):
+        oracle = OptOracle([5, 6, 5, 7])
+        oracle.advance(5)
+        assert oracle.next_use(5) == 2
+        assert oracle.next_use(6) == 1
+        assert oracle.next_use(7) == 3
+        oracle.advance(6)
+        oracle.advance(5)
+        assert oracle.next_use(5) == NEVER
+
+    def test_victim_is_farthest_next_use(self):
+        # Trace: 0 1 2 0 1 ...; at the miss on line 2, line 0 is used
+        # at position 3 and line 1 at position 4 — Belady evicts 1.
+        trace = [0, 1, 2, 0, 1]
+        policy = OptPolicy(2)
+        policy.attach(OptOracle(trace))
+        for line, way in ((0, 0), (1, 1)):
+            policy.note_access(line)
+            policy.note_miss(line)
+            policy.on_fill(way)
+            policy.note_fill(way, line)
+        policy.note_access(2)
+        policy.note_miss(2)
+        assert policy.victim() == 1
+
+    def test_requires_oracle(self):
+        policy = OptPolicy(2)
+        with pytest.raises(ConfigurationError):
+            policy.note_access(0)
+
+
 class TestFactory:
     def test_known_names(self):
         assert isinstance(make_policy("lru", 2), LruPolicy)
         assert isinstance(make_policy("FIFO", 2), FifoPolicy)
         assert isinstance(make_policy("random", 2), RandomPolicy)
+        assert isinstance(make_policy("lfu", 2), LfuPolicy)
+        assert isinstance(make_policy("2q", 2), TwoQPolicy)
+        assert isinstance(make_policy("arc", 2), ArcPolicy)
+        assert isinstance(make_policy("opt", 2), OptPolicy)
+
+    def test_registry_and_listing_agree(self):
+        assert available_policies() == tuple(sorted(POLICIES))
 
     def test_unknown_name(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(UnknownPolicyError) as excinfo:
             make_policy("plru", 2)
+        assert excinfo.value.name == "plru"
+        assert excinfo.value.choices == available_policies()
+        assert "lfu" in str(excinfo.value)
+
+    def test_unknown_name_error_pickles(self):
+        error = UnknownPolicyError("plru", available_policies())
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.name == "plru"
+        assert clone.choices == available_policies()
 
     def test_way_count_validated(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,123 @@
+"""Integration tests of the replacement-policy suite.
+
+Three angles on the new policies (see ``docs/POLICIES.md``):
+
+* reference-vs-vector equivalence for the kernel-supported non-stack
+  policies (LFU, 2Q) across the line-size × associativity grid on
+  committed workloads;
+* the Belady (OPT) policy against an analytic oracle and against every
+  online policy — offline optimality must never be beaten;
+* the ``m_ij`` audit under every new policy, proving conflict
+  attribution stays exact when victim selection changes.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import HierarchyConfig, simulate
+from repro.memory.kernel.stream import compile_stream
+from repro.memory.kernel.vector import simulate_stream
+from repro.memory.kernel.verify import (
+    report_differences,
+    workload_images,
+)
+from repro.memory.replacement import OptOracle, available_policies
+
+
+def _run_policy(trace, num_ways, policy):
+    """Misses of *trace* through a one-set *num_ways* cache."""
+    line_size = 8
+    config = CacheConfig(
+        size=line_size * num_ways,
+        line_size=line_size,
+        associativity=num_ways,
+        policy=policy,
+    )
+    cache = Cache(config)
+    if policy == "opt":
+        cache.attach_oracle(lambda: OptOracle(list(trace)))
+    misses = 0
+    for line in trace:
+        if not cache.access_line(line, f"mo{line}"):
+            misses += 1
+    return misses
+
+
+class TestOptLowerBound:
+    #: Online policies OPT must never lose to (random excluded only
+    #: because its victims depend on an unrelated RNG stream; it is
+    #: still covered by the sweep below).
+    ONLINE = ("lru", "fifo", "lfu", "2q", "arc")
+
+    def test_analytic_cyclic_trace(self):
+        # The textbook thrash case: 0 1 2 repeated through 2 ways.
+        # LRU/FIFO miss every probe (9); Belady keeps the sooner-used
+        # line and hits once per cycle after the cold start (6).
+        trace = [0, 1, 2] * 3
+        assert _run_policy(trace, 2, "lru") == 9
+        assert _run_policy(trace, 2, "fifo") == 9
+        assert _run_policy(trace, 2, "opt") == 6
+
+    @pytest.mark.parametrize("policy", ONLINE)
+    def test_never_beaten_cyclic(self, policy):
+        trace = [0, 1, 2, 3] * 4
+        assert _run_policy(trace, 2, "opt") <= \
+            _run_policy(trace, 2, policy)
+
+    @pytest.mark.parametrize("policy", sorted(available_policies()))
+    def test_never_beaten_mixed(self, policy):
+        # A reuse-heavy trace with a scan in the middle, 2 and 4 ways.
+        trace = [0, 1, 0, 2, 0, 1, 3, 4, 5, 6, 0, 1, 0, 2, 1] * 2
+        for ways in (2, 4):
+            assert _run_policy(trace, ways, "opt") <= \
+                _run_policy(trace, ways, policy)
+
+
+@pytest.mark.parametrize("workload_name", ["tiny", "adpcm"])
+@pytest.mark.parametrize("policy", ["lfu", "2q"])
+@pytest.mark.parametrize("line_size", [8, 16, 32])
+@pytest.mark.parametrize("associativity", [1, 2, 4])
+def test_vector_kernel_matches_reference(workload_name, policy,
+                                         line_size, associativity):
+    """LFU/2Q replay bit-identically on the vector kernel."""
+    bench, images = workload_images(workload_name, 1.0, 0)
+    config = bench.config
+    hierarchy = HierarchyConfig(cache=CacheConfig(
+        size=line_size * associativity * 4,
+        line_size=line_size,
+        associativity=associativity,
+        policy=policy,
+    ))
+    for label, image, spm_size in images:
+        stream = compile_stream(image, bench.block_sequence,
+                                spm_base=config.spm_base)
+        sized = replace(hierarchy, spm_size=spm_size)
+        reference = simulate(
+            image, sized, bench.block_sequence,
+            spm_base=config.spm_base, backend="reference",
+        )
+        vector = simulate_stream(stream, sized,
+                                 spm_base=config.spm_base)
+        assert report_differences(reference, vector) == [], \
+            f"{workload_name}/{label}"
+
+
+@pytest.mark.parametrize("workload_name", ["tiny", "adpcm"])
+@pytest.mark.parametrize("policy", ["lfu", "2q", "arc", "opt"])
+def test_audit_passes_under_every_policy(workload_name, policy):
+    """The m_ij re-derivation is exact whatever evicts the victim."""
+    from repro.obs.events import audit_workload
+
+    result = audit_workload(workload_name, policy=policy)
+    assert result.ok, result.render()
+
+
+@pytest.mark.parametrize("policy", ["lfu", "2q", "arc", "opt"])
+def test_audit_passes_set_associative(policy):
+    """Audit with real eviction pressure: a 2-way cache on adpcm."""
+    from repro.obs.events import audit_workload
+
+    result = audit_workload("adpcm", policy=policy, associativity=2)
+    assert result.ok, result.render()

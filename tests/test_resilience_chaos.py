@@ -33,7 +33,8 @@ def test_chaos_heals_store_solver_and_kernel_faults():
     )
     assert result.ok, result.render()
     assert result.divergences == []
-    assert result.points == 2
+    # casa@64 + steinke@64 + the policy-varied (2-way LFU) rider.
+    assert result.points == 3
     assert result.injected >= 4
     assert set(result.site_counts) >= {"store.read", "ilp.solve"}
     assert result.retries >= 1
@@ -50,7 +51,8 @@ def test_chaos_without_faults_is_trivially_identical():
     assert result.ok
     assert result.injected == 0
     assert result.retries == 0
-    assert result.outcome_counts == {"ok": 1}
+    # The casa chunk plus the policy-varied (2-way LFU) rider.
+    assert result.outcome_counts == {"ok": 2}
 
 
 def test_chaos_restores_ambient_plan_and_reports_divergence_shape():
