@@ -41,6 +41,9 @@ MODULES = (
     "repro.obs.events",
     "repro.obs.report",
     "repro.obs.history",
+    "repro.obs.live",
+    "repro.obs.logging",
+    "repro.obs.profiler",
     "repro.resilience.faults",
     "repro.resilience.healing",
     "repro.resilience.chaos",

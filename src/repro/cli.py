@@ -40,9 +40,15 @@ replay and warm-started solves; ``--per-point`` restores one unit per
 (size, allocator) pair, with identical results) and additionally
 accept ``--trace FILE`` (record a Chrome-trace
 run file, viewable in ``chrome://tracing`` / Perfetto and readable by
-``report``), ``--metrics`` (print the run's metric counters) and
+``report``), ``--metrics`` (print the run's metric counters),
 ``--events`` (record the cache eviction/miss event stream and print
-its set-pressure summary) — see ``docs/OBSERVABILITY.md``.
+its set-pressure summary), and the live telemetry flags — ``--watch``
+(in-terminal progress + ETA + worker liveness), ``--telemetry FILE``
+(periodic JSONL snapshots) with ``--telemetry-interval`` /
+``--stall-timeout``, ``--prom FILE`` (Prometheus text exposition),
+``--log FILE`` (run_id-correlated structured JSON log) and
+``--profile-sample FILE`` (collapsed-stack sampling profile) — see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -140,6 +146,46 @@ def _add_scale(parser: argparse.ArgumentParser,
                  "print its totals and set-pressure histogram (only "
                  "simulations actually run emit events; a warm "
                  "artifact cache serves results without simulating)",
+        )
+        parser.add_argument(
+            "--watch", action="store_true",
+            help="paint a live single-line progress display (units "
+                 "done, ETA, worker liveness, latency percentiles) "
+                 "on stderr while the command runs",
+        )
+        parser.add_argument(
+            "--telemetry", metavar="FILE", default=None,
+            help="append periodic JSONL progress snapshots "
+                 "(progress, counters, percentile summaries, worker "
+                 "health) to FILE while the command runs",
+        )
+        parser.add_argument(
+            "--telemetry-interval", type=float, default=1.0,
+            metavar="SEC",
+            help="seconds between telemetry snapshots (default 1.0)",
+        )
+        parser.add_argument(
+            "--prom", metavar="FILE", default=None,
+            help="render each telemetry snapshot to FILE in "
+                 "Prometheus text exposition format (atomically "
+                 "replaced every interval)",
+        )
+        parser.add_argument(
+            "--stall-timeout", type=float, default=30.0, metavar="SEC",
+            help="flag a worker as stalled when its current unit has "
+                 "run this long without finishing (default 30)",
+        )
+        parser.add_argument(
+            "--log", metavar="FILE", default=None,
+            help="append structured JSON log events (run_id-"
+                 "correlated engine stages, retries, chaos passes) "
+                 "to FILE",
+        )
+        parser.add_argument(
+            "--profile-sample", metavar="FILE", default=None,
+            help="sample the main thread's wall-clock stacks while "
+                 "the command runs and write a collapsed-stack "
+                 "profile (flamegraph.pl / speedscope input) to FILE",
         )
 
 
@@ -464,24 +510,85 @@ def _run_observed(args: argparse.Namespace,
     invokes *run* with a fresh :class:`RunRecord`, restores the
     previous observability state, then prints the metric table /
     event summary and/or writes the run file.
+
+    The live telemetry flags layer on the same scaffolding: ``--log``
+    opens a run_id-correlated structured log; ``--watch`` /
+    ``--telemetry`` / ``--prom`` install a
+    :class:`~repro.obs.live.ProgressBus` (which implies a metrics
+    registry, so percentiles have a source) and start the matching
+    consumer threads; ``--profile-sample`` runs the sampling profiler
+    around the whole command.  None of this changes the run's
+    deterministic outputs — live consumers only *read* snapshots.
     """
+    from repro.obs.live import ProgressBus, TelemetryWriter, \
+        WatchRenderer, set_progress_sink
+    from repro.obs.logging import RunLog, log_event, new_run_id, \
+        set_run_log
+
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
     want_events = getattr(args, "events", False)
+    want_watch = getattr(args, "watch", False)
+    telemetry_path = getattr(args, "telemetry", None)
+    prom_path = getattr(args, "prom", None)
+    log_path = getattr(args, "log", None)
+    profile_path = getattr(args, "profile_sample", None)
+    live_on = bool(want_watch or telemetry_path or prom_path)
+
     collector = TraceCollector() if trace_path else None
     registry = MetricsRegistry() \
-        if (want_metrics or collector is not None) else None
+        if (want_metrics or collector is not None or live_on) else None
     recorder = EventRecorder() if want_events else None
     record = RunRecord()
+
+    run_id = new_run_id() \
+        if (live_on or log_path or profile_path or trace_path) else None
+    run_log = RunLog(log_path, run_id=run_id) if log_path else None
+    bus = ProgressBus(run_id=run_id,
+                      stall_timeout=getattr(args, "stall_timeout",
+                                            30.0)) if live_on else None
+    watcher = WatchRenderer(bus, registry) if want_watch else None
+    telemetry = TelemetryWriter(
+        bus, telemetry_path, registry,
+        interval=getattr(args, "telemetry_interval", 1.0),
+        prom_path=prom_path,
+    ) if bus is not None and (telemetry_path or prom_path) else None
+    profiler = None
+    if profile_path:
+        from repro.obs.profiler import SamplingProfiler
+        profiler = SamplingProfiler()
+
     previous_collector = set_collector(collector) \
         if collector is not None else None
     previous_registry = set_registry(registry) \
         if registry is not None else None
     previous_recorder = set_recorder(recorder) \
         if recorder is not None else None
+    previous_log = set_run_log(run_log) if run_log is not None else None
+    previous_sink = set_progress_sink(bus) if bus is not None else None
+    log_event("run.start", command=args.command,
+              argv=getattr(args, "_argv", None))
+    if telemetry is not None:
+        telemetry.start()
+    if watcher is not None:
+        watcher.start()
+    if profiler is not None:
+        profiler.start()
     try:
         code = run(record)
     finally:
+        if profiler is not None:
+            profiler.stop()
+        if watcher is not None:
+            watcher.stop()
+        if telemetry is not None:
+            telemetry.stop()
+        log_event("run.done", command=args.command)
+        if bus is not None:
+            set_progress_sink(previous_sink)
+        if run_log is not None:
+            set_run_log(previous_log)
+            run_log.close()
         if collector is not None:
             set_collector(previous_collector)
         if registry is not None:
@@ -496,6 +603,18 @@ def _run_observed(args: argparse.Namespace,
         registry.merge(record.metrics.snapshot())
     if want_metrics and registry is not None:
         print(registry.render())
+    if profiler is not None and profile_path:
+        profiler.write(profile_path)
+        print(f"profile written to {profile_path} "
+              f"({profiler.sample_count} samples, "
+              f"{len(profiler.samples)} stacks)")
+    if telemetry_path:
+        print(f"telemetry written to {telemetry_path} "
+              f"({telemetry.snapshots_written} snapshots)"
+              if telemetry is not None else
+              f"telemetry written to {telemetry_path}")
+    if log_path:
+        print(f"log written to {log_path} (run id {run_id})")
     if collector is not None and trace_path:
         payload = build_run_payload(
             command=args.command,
@@ -503,6 +622,8 @@ def _run_observed(args: argparse.Namespace,
             record=record,
             registry=registry,
             argv=getattr(args, "_argv", None),
+            run_id=run_id,
+            profile=profiler.stats() if profiler is not None else None,
         )
         write_run_file(trace_path, payload)
         print(f"trace written to {trace_path} "

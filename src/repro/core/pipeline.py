@@ -16,6 +16,7 @@ cache) any earlier one.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.allocation import Allocation, AllocationContext
@@ -550,7 +551,12 @@ class Workbench:
             def compute(size=size, warm=warm, key=key):
                 return AllocationArtifact(key, step(size, warm))
 
+            # Each capacity step is one logical design point: its wall
+            # time feeds the live point.evaluate percentile sketch.
+            started = time.perf_counter()
             result = self._runner.resolve("result", key, compute).result
+            metrics.observe("point.evaluate.seconds",
+                            time.perf_counter() - started)
             by_size[size] = result
             # Thread the chain even through store hits so every step
             # sees the same predecessor regardless of cache warmth.

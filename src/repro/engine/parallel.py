@@ -20,6 +20,9 @@ import concurrent.futures
 import concurrent.futures.process
 import os
 import pickle
+import shutil
+import tempfile
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -30,8 +33,11 @@ from repro.errors import ConfigurationError, InjectedFault
 from repro.resilience.faults import FaultPlan, active_fault_plan, \
     maybe_inject, set_fault_attempt, set_fault_plan
 from repro.memory.cache import CacheConfig
+from repro.obs import live
 from repro.obs.events import EventRecorder, active_recorder, \
     set_recorder
+from repro.obs.logging import active_log_spec, install_from_spec, \
+    log_event
 from repro.obs.metrics import MetricsRegistry, active_registry, \
     set_registry
 from repro.obs.trace import TraceCollector, get_collector, \
@@ -118,6 +124,22 @@ def evaluate_point(point: PointSpec,
                               max_regions=point.max_regions)
 
 
+def _describe_spec(spec) -> str:
+    """Short progress label of a work unit (point or grid chunk)."""
+    sizes = getattr(spec, "spm_sizes", None)
+    if sizes is not None:
+        axis = "+".join(str(size) for size in sizes)
+        return f"{spec.workload}/{spec.algorithm}@[{axis}]"
+    return f"{spec.workload}/{spec.algorithm}@{spec.spm_size}"
+
+
+def _evaluate_spec_inner(spec, runner: StageRunner | None = None):
+    if hasattr(spec, "spm_sizes"):
+        from repro.engine.grid import evaluate_chunk
+        return evaluate_chunk(spec, runner=runner)
+    return evaluate_point(spec, runner=runner)
+
+
 def _evaluate_spec(spec, runner: StageRunner | None = None):
     """Evaluate one work unit — a :class:`PointSpec` or a grid chunk.
 
@@ -126,26 +148,53 @@ def _evaluate_spec(spec, runner: StageRunner | None = None):
     :class:`~repro.engine.grid.GridChunk` — recognised by its
     ``spm_sizes`` axis — evaluates to a result *list*, a point to a
     single result.
+
+    This is the engine's unit boundary, so it also carries the live
+    instrumentation: unit start/finish notes to the active progress
+    sink (stall detection keys off the start note) and a per-unit
+    wall-time observation into the ``point.evaluate.seconds`` /
+    ``chunk.evaluate.seconds`` percentile histograms.  Both are free
+    when no sink and no registry are installed.
     """
-    if hasattr(spec, "spm_sizes"):
-        from repro.engine.grid import evaluate_chunk
-        return evaluate_chunk(spec, runner=runner)
-    return evaluate_point(spec, runner=runner)
+    registry = active_registry()
+    if live.active_sink() is None and registry is None:
+        return _evaluate_spec_inner(spec, runner=runner)
+    label = _describe_spec(spec)
+    live.note_unit_started(label)
+    start = time.perf_counter()
+    try:
+        result = _evaluate_spec_inner(spec, runner=runner)
+    finally:
+        seconds = time.perf_counter() - start
+        if registry is not None:
+            name = "chunk.evaluate.seconds" \
+                if hasattr(spec, "spm_sizes") else "point.evaluate.seconds"
+            registry.histogram(name).observe(seconds)
+        live.note_unit_finished(label, seconds)
+    return result
 
 
 def _init_worker(cache_dir: str | None,
-                 fault_spec: str | None = None) -> None:
+                 fault_spec: str | None = None,
+                 heartbeat_dir: str | None = None,
+                 log_spec: tuple[str, str] | None = None) -> None:
     """Process-pool initializer: point the worker at the shared cache.
 
     When a fault plan is active in the parent, its spec rides along so
     workers replay the same rules even under the ``spawn`` start
     method (``fork`` would inherit the plan, but the spec makes the
     behaviour start-method independent — with fresh per-process rule
-    state either way).
+    state either way).  When the parent has live telemetry on, the
+    heartbeat directory and run-log spec ride along the same way: the
+    worker installs a :class:`~repro.obs.live.HeartbeatWriter` sink
+    and reopens the parent's structured log under the same ``run_id``.
     """
     set_default_store(ArtifactStore(cache_dir=cache_dir))
     if fault_spec:
         set_fault_plan(FaultPlan.from_spec(fault_spec))
+    if heartbeat_dir:
+        live.set_progress_sink(live.HeartbeatWriter(heartbeat_dir))
+    install_from_spec(log_spec)
 
 
 def _evaluate_in_worker(task: tuple[PointSpec, bool, bool, bool, int]):
@@ -196,6 +245,41 @@ def _active_fault_spec() -> str | None:
     return plan.spec() if plan is not None and plan.rules else None
 
 
+def _setup_worker_live() -> tuple[str | None, "live.ProgressBus | None"]:
+    """Create a heartbeat directory when a progress bus is installed.
+
+    Returns ``(heartbeat_dir, bus)`` — both ``None`` when live
+    telemetry is off (the common case), in which case nothing is
+    created and the pool initializer receives ``None``.
+    """
+    sink = live.active_sink()
+    if not isinstance(sink, live.ProgressBus):
+        return None, None
+    directory = tempfile.mkdtemp(prefix="repro-hb-")
+    sink.attach_heartbeat_dir(directory)
+    return directory, sink
+
+
+def _teardown_worker_live(directory: str | None,
+                          bus: "live.ProgressBus | None",
+                          absorb: bool) -> None:
+    """Detach and remove a pooled map's heartbeat directory.
+
+    With ``absorb=True`` (pool completed and its metric payloads were
+    merged) the workers' final done-counts fold into the bus so
+    progress stays monotone after the files disappear; with ``False``
+    (pool failed, serial fallback re-runs everything) the partial
+    counts are discarded.
+    """
+    if directory is None or bus is None:
+        return
+    if absorb:
+        bus.detach_heartbeat_dir()
+    else:
+        bus.attach_heartbeat_dir(None)
+    shutil.rmtree(directory, ignore_errors=True)
+
+
 def _run_serial(points: list[PointSpec],
                 runner: StageRunner | None,
                 record: RunRecord | None) -> list["ExperimentResult"]:
@@ -237,6 +321,8 @@ def map_points(
                 f"unknown algorithm {point.algorithm!r}; choose from "
                 f"{POINT_ALGORITHMS}"
             )
+    live.note_total(len(points))
+    log_event("map.start", units=len(points), jobs=jobs)
     if jobs <= 1 or len(points) <= 1:
         return _run_serial(points, runner, record)
 
@@ -251,18 +337,22 @@ def map_points(
          recorder is not None, 0)
         for point in points
     ]
+    heartbeat_dir, bus = _setup_worker_live()
     try:
         maybe_inject("worker.spawn", jobs=jobs)
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(jobs, len(points)),
             initializer=_init_worker,
-            initargs=(init_arg, _active_fault_spec()),
+            initargs=(init_arg, _active_fault_spec(), heartbeat_dir,
+                      active_log_spec()),
         ) as pool:
             outcomes = list(pool.map(_evaluate_in_worker, tasks))
     except (OSError, concurrent.futures.process.BrokenProcessPool,
             pickle.PicklingError, InjectedFault):
         # No usable multiprocessing (restricted sandbox, unpicklable
         # payload...): degrade to the serial path, same results.
+        _teardown_worker_live(heartbeat_dir, bus, absorb=False)
+        log_event("map.fallback", mode="serial", units=len(points))
         return _run_serial(points, runner, record)
     results: list["ExperimentResult"] = []
     # Worker observability folds back in input order, mirroring the
@@ -278,4 +368,6 @@ def map_points(
         if recorder is not None and event_snapshot:
             recorder.merge(event_snapshot)
         results.append(result)
+    _teardown_worker_live(heartbeat_dir, bus, absorb=True)
+    log_event("map.done", units=len(points), jobs=jobs)
     return results

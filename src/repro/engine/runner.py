@@ -26,6 +26,8 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.engine.artifacts import workbench_digest
 from repro.engine.store import ArtifactStore, default_store
+from repro.obs.live import note_phase
+from repro.obs.logging import log_event
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import span
 from repro.traces.tracegen import TraceGenConfig
@@ -190,9 +192,12 @@ class StageRunner:
         When tracing is enabled, every resolution emits an
         ``engine.resolve.<stage>`` span whose ``outcome`` attribute
         says whether the store served it (``hit``) or *compute* ran
-        (``computed``).
+        (``computed``).  Under live telemetry the stage also lands on
+        the progress bus (current-activity display) and computed
+        resolutions emit a ``stage.computed`` structured-log event.
         """
         with span(f"engine.resolve.{stage}") as resolve_span:
+            note_phase(stage)
             artifact = self.store.get(stage, digest, disk=disk)
             if artifact is not None:
                 self.record.note(stage, hit=True)
@@ -204,6 +209,8 @@ class StageRunner:
             self.store.put(stage, digest, artifact, disk=disk)
             self.record.note(stage, hit=False, seconds=elapsed)
             resolve_span.add(outcome="computed")
+            log_event("stage.computed", stage=stage,
+                      seconds=round(elapsed, 6))
             return artifact
 
 

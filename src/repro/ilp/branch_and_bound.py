@@ -35,6 +35,7 @@ from repro.ilp.model import (
 )
 from repro.ilp.scipy_backend import LpRelaxationSolver, LpSolution
 from repro.obs import metrics
+from repro.obs.live import note_phase
 from repro.obs.trace import span
 from repro.resilience.faults import maybe_inject
 
@@ -106,7 +107,11 @@ class BranchAndBoundSolver:
         with span("ilp.solve", variables=len(model.variables),
                   constraints=len(model.constraints)) as solve_span:
             maybe_inject("ilp.solve", variables=len(model.variables))
+            note_phase("ilp.solve")
+            started = time.perf_counter()
             result = self._solve(model)
+            metrics.observe("ilp.solve.seconds",
+                            time.perf_counter() - started)
             telemetry = result.telemetry
             assert telemetry is not None
             solve_span.add(status=result.status.name,

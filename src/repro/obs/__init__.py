@@ -1,6 +1,6 @@
-"""Observability: tracing, metrics, events, run reports and histories.
+"""Observability: tracing, metrics, events, reports and live telemetry.
 
-Five small modules turn the experiment engine from a black box into a
+Eight small modules turn the experiment engine from a black box into a
 design-space-exploration tool you can see inside:
 
 * :mod:`repro.obs.trace` — nestable spans with wall/CPU time and
@@ -8,24 +8,36 @@ design-space-exploration tool you can see inside:
   JSON (``chrome://tracing`` / Perfetto) or JSONL event logs;
 * :mod:`repro.obs.metrics` — a registry of counters, gauges and
   histograms (simulated cache hits, simplex pivots, branch-and-bound
-  nodes...) with snapshot/merge for worker processes;
+  nodes...) with mergeable log-bucket percentile sketches and
+  snapshot/merge for worker processes;
 * :mod:`repro.obs.events` — structured cache eviction/miss event
   streams (bounded ring + reservoir sample) and the replay oracle that
   cross-checks the conflict graph's ``m_ij`` (``repro audit``);
 * :mod:`repro.obs.report` — per-run reports (stage timings, cache hit
-  rates, solver convergence, slowest design points) rendered from a
-  ``--trace`` run file;
+  rates, solver convergence, percentile tables, slowest design points)
+  rendered from a ``--trace`` run file;
 * :mod:`repro.obs.history` — JSONL benchmark snapshots and baseline
-  comparison (``repro bench record`` / ``repro bench compare``).
+  comparison (``repro bench record`` / ``repro bench compare``);
+* :mod:`repro.obs.live` — the live telemetry pipeline: a thread-safe
+  :class:`~repro.obs.live.ProgressBus` fed by the engine, worker
+  heartbeats with stall detection, the ``--watch`` single-line
+  renderer, and periodic ``telemetry.jsonl`` / Prometheus exporters;
+* :mod:`repro.obs.logging` — structured JSONL logs with a per-run
+  ``run_id`` threaded through the engine, workers and resilience
+  retries (``--log FILE``);
+* :mod:`repro.obs.profiler` — a sampling wall-clock profiler emitting
+  collapsed-stack output (``--profile-sample FILE``).
 
-Tracing, metrics and event recording are all **disabled by default**:
-instrumented call sites go through :func:`~repro.obs.trace.span`,
-:func:`~repro.obs.metrics.inc`-style helpers and the cache's bound
-recorder, costing one global read and one comparison when nothing is
-installed.  The CLI's ``--trace FILE``, ``--metrics`` and ``--events``
-flags (on ``sweep``, ``fig4``, ``fig5``, ``table1`` and ``dse``)
-install them for one run; see ``docs/OBSERVABILITY.md`` for the full
-guide.
+Tracing, metrics, event recording and live telemetry are all
+**disabled by default**: instrumented call sites go through
+:func:`~repro.obs.trace.span`, :func:`~repro.obs.metrics.inc`-style
+helpers, :func:`~repro.obs.live.note_unit_finished`-style hooks and
+the cache's bound recorder, costing one global read and one comparison
+when nothing is installed.  The CLI's ``--trace FILE``, ``--metrics``,
+``--events``, ``--watch``, ``--telemetry FILE``, ``--log FILE`` and
+``--profile-sample FILE`` flags (on ``sweep``, ``fig4``, ``fig5``,
+``table1`` and ``dse``) install them for one run; see
+``docs/OBSERVABILITY.md`` for the full guide.
 """
 
 from repro.obs.events import (
@@ -54,6 +66,33 @@ from repro.obs.history import (
     machine_fingerprint,
     record_suite,
 )
+from repro.obs.live import (
+    DEFAULT_STALL_TIMEOUT,
+    HeartbeatWriter,
+    ProgressBus,
+    ProgressSnapshot,
+    TelemetryWriter,
+    WatchRenderer,
+    WorkerHealth,
+    active_sink,
+    format_watch_line,
+    note_phase,
+    note_total,
+    note_unit_finished,
+    note_unit_started,
+    render_prometheus,
+    set_progress_sink,
+)
+from repro.obs.logging import (
+    RunLog,
+    active_log_spec,
+    active_run_id,
+    active_run_log,
+    install_from_spec,
+    log_event,
+    new_run_id,
+    set_run_log,
+)
 from repro.obs.metrics import (
     METRIC_TYPES,
     Counter,
@@ -66,6 +105,10 @@ from repro.obs.metrics import (
     observe,
     set_gauge,
     set_registry,
+)
+from repro.obs.profiler import (
+    DEFAULT_INTERVAL,
+    SamplingProfiler,
 )
 from repro.obs.report import (
     POINT_SPAN,
@@ -111,6 +154,31 @@ __all__ = [
     "load_history",
     "machine_fingerprint",
     "record_suite",
+    "DEFAULT_STALL_TIMEOUT",
+    "HeartbeatWriter",
+    "ProgressBus",
+    "ProgressSnapshot",
+    "TelemetryWriter",
+    "WatchRenderer",
+    "WorkerHealth",
+    "active_sink",
+    "format_watch_line",
+    "note_phase",
+    "note_total",
+    "note_unit_finished",
+    "note_unit_started",
+    "render_prometheus",
+    "set_progress_sink",
+    "RunLog",
+    "active_log_spec",
+    "active_run_id",
+    "active_run_log",
+    "install_from_spec",
+    "log_event",
+    "new_run_id",
+    "set_run_log",
+    "DEFAULT_INTERVAL",
+    "SamplingProfiler",
     "METRIC_TYPES",
     "Counter",
     "Gauge",

@@ -7,7 +7,8 @@ three primitive types:
 * :class:`Counter` — monotonically increasing total (``inc``);
 * :class:`Gauge` — last-written value (``set``);
 * :class:`Histogram` — count/sum/min/max of observed values
-  (``observe``).
+  (``observe``) plus a fixed log-bucket sketch that answers
+  streaming percentile queries (:meth:`Histogram.percentile`).
 
 A :class:`MetricsRegistry` creates metrics on first use, snapshots
 them as a plain JSON-able dict (:meth:`MetricsRegistry.snapshot`), and
@@ -25,6 +26,7 @@ different lifetime.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any
 
@@ -66,16 +68,32 @@ class Gauge:
         return {"type": "gauge", "value": self.value}
 
 
-class Histogram:
-    """Count/sum/min/max summary of observed values."""
+#: Natural log of the histogram bucket base ``2**(1/8)`` (≈ 1.0905),
+#: giving ~9% relative resolution per bucket across the full float range.
+BUCKET_LOG_BASE = math.log(2.0) / 8.0
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+
+class Histogram:
+    """Count/sum/min/max summary plus a log-bucket percentile sketch.
+
+    Positive observations land in fixed geometric buckets of base
+    ``2**(1/8)`` (index ``floor(log(v) / BUCKET_LOG_BASE)``); zero and
+    negative values are tallied separately in ``zeros``.  Because the
+    bucket for a value is a pure function of the value, merging shard
+    histograms (worker processes) yields *exactly* the same sketch as
+    observing every value in one registry — percentiles are mergeable.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "zeros",
+                 "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.zeros = 0
+        self.buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -85,11 +103,69 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if value > 0.0:
+            index = math.floor(math.log(value) / BUCKET_LOG_BASE)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+        else:
+            self.zeros += 1
 
     @property
     def mean(self) -> float:
         """Mean of the observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, data: dict[str, Any]) -> None:
+        """Fold a histogram :meth:`snapshot` dict into this histogram.
+
+        Empty snapshots are no-ops.  Snapshots that predate the
+        percentile sketch carry no ``zeros``/``buckets`` keys; their
+        count/total/min/max still fold in.
+        """
+        count = int(data["count"])
+        if not count:
+            return
+        self.count += count
+        self.total += float(data["total"])
+        self.minimum = min(self.minimum, float(data["min"]))
+        self.maximum = max(self.maximum, float(data["max"]))
+        self.zeros += int(data.get("zeros", 0))
+        for raw_index, n in data.get("buckets", {}).items():
+            index = int(raw_index)
+            self.buckets[index] = self.buckets.get(index, 0) + int(n)
+
+    def percentile(self, q: float) -> float:
+        """The *q*-quantile (``0 <= q <= 1``) from the bucket sketch.
+
+        Returns the geometric midpoint of the bucket holding the
+        rank-``ceil(q * count)`` observation, clamped to the exact
+        observed ``[min, max]`` range; 0 when the histogram is empty.
+        Accurate to the ~9% bucket resolution.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = self.zeros
+        if rank <= cumulative:
+            return min(self.minimum, 0.0)
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if rank <= cumulative:
+                midpoint = math.exp((index + 0.5) * BUCKET_LOG_BASE)
+                return min(max(midpoint, self.minimum), self.maximum)
+        return self.maximum
+
+    def summary(self) -> dict[str, float]:
+        """Count/mean/min/max plus p50/p90/p99 as a plain dict."""
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
 
     def snapshot(self) -> dict[str, Any]:
         """Plain-dict form for :meth:`MetricsRegistry.snapshot`."""
@@ -99,6 +175,8 @@ class Histogram:
             "total": self.total,
             "min": self.minimum if self.count else 0.0,
             "max": self.maximum if self.count else 0.0,
+            "zeros": self.zeros,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
         }
 
 
@@ -168,6 +246,15 @@ class MetricsRegistry:
             return metric.total
         return metric.value
 
+    def counters(self) -> dict[str, float]:
+        """Name → value of every registered counter, sorted by name."""
+        with self._lock:
+            return {
+                name: metric.value
+                for name, metric in sorted(self._metrics.items())
+                if isinstance(metric, Counter)
+            }
+
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """All metrics as ``{name: {"type": ..., ...}}`` (JSON-able)."""
         with self._lock:
@@ -189,15 +276,7 @@ class MetricsRegistry:
             elif kind == "gauge":
                 self.gauge(name).set(float(data["value"]))
             elif kind == "histogram":
-                histogram = self.histogram(name)
-                count = int(data["count"])
-                if count:
-                    histogram.count += count
-                    histogram.total += float(data["total"])
-                    histogram.minimum = min(histogram.minimum,
-                                            float(data["min"]))
-                    histogram.maximum = max(histogram.maximum,
-                                            float(data["max"]))
+                self.histogram(name).merge(data)
             else:
                 raise ValueError(
                     f"unknown metric type {kind!r} for {name!r}"
@@ -208,9 +287,12 @@ class MetricsRegistry:
         rows = []
         for name, data in self.snapshot().items():
             if data["type"] == "histogram":
+                metric = self._metrics[name]
                 detail = (
                     f"count={data['count']} total={data['total']:g} "
-                    f"min={data['min']:g} max={data['max']:g}"
+                    f"min={data['min']:g} max={data['max']:g} "
+                    f"p50={metric.percentile(0.5):g} "
+                    f"p99={metric.percentile(0.99):g}"
                 )
             else:
                 detail = f"{data['value']:g}"

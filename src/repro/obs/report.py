@@ -44,6 +44,8 @@ def build_run_payload(
     record: "Any" = None,
     registry: MetricsRegistry | None = None,
     argv: list[str] | None = None,
+    run_id: str | None = None,
+    profile: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the trace-file document for one observed run.
 
@@ -57,6 +59,9 @@ def build_run_payload(
             (or ``None`` when no engine work was recorded).
         registry: the run's metrics registry, if metrics were enabled.
         argv: the command-line arguments, for provenance.
+        run_id: structured-log correlation id of the run, if any.
+        profile: :meth:`~repro.obs.profiler.SamplingProfiler.stats`
+            of the run's sampling profile, if one was taken.
     """
     metadata: dict[str, Any] = {
         "schema": RUN_SCHEMA,
@@ -66,6 +71,10 @@ def build_run_payload(
     }
     if argv is not None:
         metadata["argv"] = list(argv)
+    if run_id is not None:
+        metadata["run_id"] = run_id
+    if profile is not None:
+        metadata["profile"] = profile
     return collector.chrome_trace(metadata=metadata)
 
 
@@ -84,6 +93,8 @@ class RunData:
         metrics: the metrics snapshot of the run.
         spans: the trace events (Chrome-trace dicts, completion order).
         argv: the recorded command line, when present.
+        run_id: structured-log correlation id, when one was minted.
+        profile: sampling-profiler stats, when a profile was taken.
     """
 
     command: str
@@ -91,6 +102,8 @@ class RunData:
     metrics: dict[str, dict[str, Any]]
     spans: list[dict[str, Any]]
     argv: list[str] = field(default_factory=list)
+    run_id: str | None = None
+    profile: dict[str, Any] = field(default_factory=dict)
 
     def span_names(self) -> list[str]:
         """Names of the recorded spans, in file order."""
@@ -152,6 +165,8 @@ def load_run(path: str | Path) -> RunData:
         metrics=metadata.get("metrics", {}),
         spans=spans,
         argv=list(metadata.get("argv", [])),
+        run_id=metadata.get("run_id"),
+        profile=metadata.get("profile", {}) or {},
     )
 
 
@@ -291,9 +306,12 @@ def _convergence_lines(run: RunData) -> list[str]:
 
 
 #: Resilience counters surfaced in the report, with display labels.
+#: ``resilience.retry.seconds`` is a histogram — its *total* is the
+#: wall time the healing layer spent on attempts after each first try.
 _RESILIENCE_METRICS = (
     ("faults.injected", "faults injected"),
     ("resilience.retries", "point retries"),
+    ("resilience.retry.seconds", "retry wall time (s)"),
     ("resilience.degraded_points", "degraded points"),
     ("resilience.failed_points", "failed points"),
     ("resilience.pool_restarts", "worker-pool restarts"),
@@ -301,6 +319,92 @@ _RESILIENCE_METRICS = (
     ("solver.degraded", "solver degradations (CASA→greedy)"),
     ("store.quarantined", "quarantined artifacts"),
 )
+
+
+def histogram_summary(data: dict[str, Any]) -> dict[str, float]:
+    """p50/p90/p99 summary of one snapshot-form histogram metric.
+
+    Rebuilds the log-bucket sketch from the snapshot dict (the form
+    run files store) and returns
+    :meth:`~repro.obs.metrics.Histogram.summary`.  Snapshots written
+    before the percentile sketch existed have no buckets; their
+    percentiles degrade to the observed min/max clamp.
+    """
+    registry = MetricsRegistry()
+    registry.merge({"h": dict(data, type="histogram")})
+    return registry.histogram("h").summary()
+
+
+def _histogram_entries(run: RunData) -> dict[str, dict[str, float]]:
+    """Summaries of every histogram metric in the run, sorted by name."""
+    return {
+        name: histogram_summary(data)
+        for name, data in sorted(run.metrics.items())
+        if data.get("type") == "histogram"
+    }
+
+
+def _histogram_lines(run: RunData) -> list[str]:
+    """The histogram/percentile section (empty without histograms)."""
+    entries = _histogram_entries(run)
+    if not entries:
+        return []
+    rows = []
+    for name, summary in entries.items():
+        rows.append([
+            name, int(summary["count"]),
+            f"{summary['mean']:.4g}", f"{summary['p50']:.4g}",
+            f"{summary['p90']:.4g}", f"{summary['p99']:.4g}",
+            f"{summary['max']:.4g}",
+        ])
+    return [
+        "", "## Histogram metrics", "",
+        format_table(
+            ["metric", "count", "mean", "p50", "p90", "p99", "max"],
+            rows,
+        ),
+    ]
+
+
+def _profile_lines(run: RunData, wall_ms: float) -> list[str]:
+    """The sampling-profile section, reconciled against span wall time."""
+    profile = run.profile
+    if not profile:
+        return []
+    samples = int(profile.get("samples", 0))
+    interval = float(profile.get("interval_s", 0.0))
+    estimated = float(profile.get("estimated_busy_s", 0.0))
+    duration = float(profile.get("duration_s", 0.0))
+    lines = [
+        "", "## Sampling profile", "",
+        f"- samples: {samples} at {interval * 1e3:.1f} ms intervals "
+        f"over {duration:.2f} s",
+        f"- estimated busy time: {estimated:.2f} s "
+        f"(samples × interval)",
+    ]
+    wall_s = wall_ms / 1e3
+    if wall_s > 0:
+        ratio = estimated / wall_s
+        if ratio <= 1.0:
+            lines.append(
+                f"- traced span wall time: {wall_s:.2f} s — the "
+                f"profiler saw {100.0 * ratio:.0f}% of it (the rest "
+                f"was spent outside the sampled thread, e.g. in pool "
+                f"workers)"
+            )
+        else:
+            lines.append(
+                f"- traced span wall time: {wall_s:.2f} s — less than "
+                f"the {estimated:.2f} s the profiler saw (time outside "
+                f"any span, e.g. argument parsing or output rendering)"
+            )
+    hot = profile.get("hot") or []
+    if hot:
+        lines += ["", format_table(
+            ["function", "samples"],
+            [[entry["function"], entry["samples"]] for entry in hot],
+        )]
+    return lines
 
 
 def _resilience_lines(run: RunData) -> list[str]:
@@ -376,14 +480,17 @@ def summarise_run(run: RunData, top: int = 10) -> dict[str, Any]:
     }
     return {
         "command": run.command,
+        "run_id": run.run_id,
         "argv": run.argv,
         "spans": len(run.spans),
         "wall_ms": wall_us / 1e3,
         "stages": stages,
         "metrics": run.metrics,
+        "histograms": _histogram_entries(run),
         "slowest": slowest,
         "solves": _solve_summaries(run),
         "resilience": resilience,
+        "profile": run.profile,
     }
 
 
@@ -396,6 +503,8 @@ def render_run_report(run: RunData, top: int = 10) -> str:
         f"- spans recorded: {summary['spans']}",
         f"- wall time (trace): {summary['wall_ms']:.1f} ms",
     ]
+    if run.run_id:
+        lines.append(f"- run id: `{run.run_id}`")
     if run.argv:
         lines.append(f"- argv: `{' '.join(run.argv)}`")
     lines += ["", "## Stage timings", ""]
@@ -435,8 +544,10 @@ def render_run_report(run: RunData, top: int = 10) -> str:
         ))
     else:
         lines.append("(no spans recorded)")
+    lines += _histogram_lines(run)
     lines += _convergence_lines(run)
     lines += _resilience_lines(run)
+    lines += _profile_lines(run, summary["wall_ms"])
     interesting = [
         name for name in sorted(run.metrics)
         if name.startswith(("ilp.", "graph.", "trace."))

@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from repro.engine.grid import GridChunk
 from repro.engine.parallel import PointSpec
 from repro.engine.store import ArtifactStore, set_default_store
+from repro.obs.live import note_phase
+from repro.obs.logging import log_event
 from repro.obs.metrics import MetricsRegistry, active_registry, \
     set_registry
 from repro.resilience.faults import FaultPlan, set_fault_plan
@@ -267,6 +269,8 @@ def run_chaos(
     total_points = sum(len(group) for group in labels)
 
     # Reference pass: serial, memory-only store, injection disabled.
+    note_phase("chaos.clean")
+    log_event("chaos.pass", phase="clean", units=len(units))
     previous_plan = set_fault_plan(None)
     previous_store = set_default_store(ArtifactStore())
     try:
@@ -284,6 +288,9 @@ def run_chaos(
     # stage is evicted from the warm cache so every point re-runs its
     # allocation and simulation — otherwise the ilp.solve and
     # kernel.replay sites would sit behind a cache hit and never fire.
+    note_phase("chaos.faulty")
+    log_event("chaos.pass", phase="faulty", units=len(units),
+              jobs=jobs)
     registry = MetricsRegistry()
     with tempfile.TemporaryDirectory(prefix="casa-chaos-") as tmp:
         store = ArtifactStore(cache_dir=tmp)
@@ -348,6 +355,8 @@ def run_chaos(
         outer.merge(registry.snapshot())
 
     counts = faulty.counts()
+    log_event("chaos.done", ok=not divergences and faulty.ok,
+              injected=injected, points=total_points)
     return ChaosResult(
         workload=workload,
         points=total_points,

@@ -38,6 +38,8 @@ from repro.engine.parallel import (
     _evaluate_in_worker,
     _evaluate_spec,
     _init_worker,
+    _setup_worker_live,
+    _teardown_worker_live,
 )
 from repro.engine.runner import RunRecord, StageRunner
 from repro.engine.store import default_store
@@ -45,6 +47,8 @@ from repro.errors import ConfigurationError, InjectedFault, \
     PointTimeoutError
 from repro.obs import metrics
 from repro.obs.events import active_recorder
+from repro.obs.live import note_total
+from repro.obs.logging import active_log_spec, active_run_id, log_event
 from repro.obs.metrics import active_registry
 from repro.obs.trace import get_collector
 from repro.resilience.faults import maybe_inject, set_fault_attempt
@@ -96,6 +100,13 @@ class PointOutcome:
             ``{"type", "message", "site"}`` — or ``None``.
         result: the experiment result (a result *list* when the work
             unit was a grid chunk), or ``None`` when failed.
+        wall_s: total wall time spent on this point across all
+            attempts, in seconds.
+        attempt_seconds: per-attempt wall times in attempt order, so
+            the report can show where retry time went (everything
+            after the first entry is retry cost).
+        run_id: correlation id of the structured run log active when
+            the outcome was built, or ``None`` when logging was off.
     """
 
     index: int
@@ -104,6 +115,14 @@ class PointOutcome:
     attempts: int
     error: dict[str, str] | None = None
     result: "ExperimentResult | None" = None
+    wall_s: float = 0.0
+    attempt_seconds: list[float] = field(default_factory=list)
+    run_id: str | None = None
+
+    @property
+    def retry_s(self) -> float:
+        """Wall seconds spent on attempts after the first."""
+        return sum(self.attempt_seconds[1:])
 
     def describe(self) -> str:
         """One-line human-readable summary of this outcome."""
@@ -147,6 +166,16 @@ class HealedRun:
                  if outcome.status != "ok"]
         return "\n".join(lines)
 
+    @property
+    def wall_s(self) -> float:
+        """Total wall seconds across all points and attempts."""
+        return sum(outcome.wall_s for outcome in self.outcomes)
+
+    @property
+    def retry_wall_s(self) -> float:
+        """Wall seconds spent on retry attempts (after each first try)."""
+        return sum(outcome.retry_s for outcome in self.outcomes)
+
 
 def _describe_point(point) -> str:
     """Short identifier of a point (or grid chunk) for error records."""
@@ -166,9 +195,20 @@ def _error_record(error: BaseException) -> dict[str, str]:
     }
 
 
+def _note_attempt_times(attempt_seconds: list[float] | None
+                        ) -> tuple[float, list[float]]:
+    """Total wall time and the retry-seconds metric for an outcome."""
+    durations = list(attempt_seconds or ())
+    for seconds in durations[1:]:
+        metrics.observe("resilience.retry.seconds", seconds)
+    return sum(durations), durations
+
+
 def _finish_outcome(index: int, point: PointSpec, attempts: int,
                     result: "ExperimentResult",
-                    error: BaseException | None) -> PointOutcome:
+                    error: BaseException | None,
+                    attempt_seconds: list[float] | None = None
+                    ) -> PointOutcome:
     """Build the outcome of a successful evaluation.
 
     Distinguishes ``ok`` / ``retried`` / ``degraded`` and counts
@@ -189,20 +229,28 @@ def _finish_outcome(index: int, point: PointSpec, attempts: int,
         status = "retried"
     else:
         status = "ok"
+    wall, durations = _note_attempt_times(attempt_seconds)
     return PointOutcome(
         index=index, point=point, status=status, attempts=attempts,
         error=_error_record(error) if error is not None else None,
-        result=result,
+        result=result, wall_s=wall, attempt_seconds=durations,
+        run_id=active_run_id(),
     )
 
 
 def _failed_outcome(index: int, point: PointSpec, attempts: int,
-                    error: BaseException) -> PointOutcome:
+                    error: BaseException,
+                    attempt_seconds: list[float] | None = None
+                    ) -> PointOutcome:
     """Build (and count) the outcome of an exhausted point."""
     metrics.inc("resilience.failed_points")
+    log_event("point.failed", point=_describe_point(point),
+              attempts=attempts, error=type(error).__name__)
+    wall, durations = _note_attempt_times(attempt_seconds)
     return PointOutcome(
         index=index, point=point, status="failed", attempts=attempts,
-        error=_error_record(error), result=None,
+        error=_error_record(error), result=None, wall_s=wall,
+        attempt_seconds=durations, run_id=active_run_id(),
     )
 
 
@@ -247,26 +295,35 @@ def _heal_serial(points: list[PointSpec], policy: RetryPolicy,
     for index, point in enumerate(points):
         last_error: BaseException | None = None
         outcome = None
+        durations: list[float] = []
         for attempt in range(policy.max_attempts):
             set_fault_attempt(attempt)
+            started = time.perf_counter()
             try:
                 result = _evaluate_with_timeout(
                     point, runner, policy.timeout_s)
             except Exception as error:  # contained: reported per point
+                durations.append(time.perf_counter() - started)
                 last_error = error
                 if attempt + 1 < policy.max_attempts:
                     metrics.inc("resilience.retries")
+                    log_event("point.retry",
+                              point=_describe_point(point),
+                              attempt=attempt + 1,
+                              error=type(error).__name__)
                     time.sleep(policy.backoff_for(attempt))
                 continue
             finally:
                 set_fault_attempt(0)
+            durations.append(time.perf_counter() - started)
             outcome = _finish_outcome(index, point, attempt + 1,
-                                      result, last_error)
+                                      result, last_error, durations)
             break
         if outcome is None:
             assert last_error is not None
             outcome = _failed_outcome(index, point,
-                                      policy.max_attempts, last_error)
+                                      policy.max_attempts, last_error,
+                                      durations)
         outcomes.append(outcome)
     return HealedRun(outcomes)
 
@@ -293,20 +350,32 @@ def _heal_pooled(points: list[PointSpec], jobs: int,
     recorder = active_recorder()
     flags = (collector is not None, registry is not None,
              recorder is not None)
+    heartbeat_dir, bus = _setup_worker_live()
 
     def make_pool() -> concurrent.futures.ProcessPoolExecutor:
         maybe_inject("worker.spawn", jobs=jobs)
         return concurrent.futures.ProcessPoolExecutor(
             max_workers=min(jobs, n),
             initializer=_init_worker,
-            initargs=(init_arg, _active_fault_spec()),
+            initargs=(init_arg, _active_fault_spec(), heartbeat_dir,
+                      active_log_spec()),
         )
+
+    started = [0.0] * n
+    durations: list[list[float]] = [[] for _ in range(n)]
 
     def submit(pool, index: int, attempt: int):
         task = (points[index], *flags, attempt)
+        started[index] = time.perf_counter()
         return pool.submit(_evaluate_in_worker, task)
 
-    pool = make_pool()
+    try:
+        pool = make_pool()
+    except BaseException:
+        # Pool creation failed (the caller degrades to serial
+        # healing); drop the heartbeat dir before propagating.
+        _teardown_worker_live(heartbeat_dir, bus, absorb=False)
+        raise
     outcomes: list[PointOutcome | None] = [None] * n
     payloads: list[tuple | None] = [None] * n
     attempts = [0] * n
@@ -319,16 +388,20 @@ def _heal_pooled(points: list[PointSpec], jobs: int,
             """Replace the pool; re-run *pending* with bumped attempts."""
             nonlocal pool
             metrics.inc("resilience.pool_restarts")
+            log_event("pool.restart", pending=len(pending))
             pool.shutdown(wait=False, cancel_futures=True)
             for index in bump:
                 attempts[index] += 1
+                durations[index].append(
+                    time.perf_counter() - started[index])
             exhausted = {index for index in pending
                          if attempts[index] >= policy.max_attempts}
             for index in exhausted:
                 error = last_errors[index]
                 assert error is not None
                 outcomes[index] = _failed_outcome(
-                    index, points[index], attempts[index], error)
+                    index, points[index], attempts[index], error,
+                    durations[index])
             pending.difference_update(exhausted)
             pool = make_pool()
             for index in pending:
@@ -367,10 +440,16 @@ def _heal_pooled(points: list[PointSpec], jobs: int,
                 restart(set(pending))
                 continue
             except Exception as error:  # worker raised for this point
+                durations[index].append(
+                    time.perf_counter() - started[index])
                 last_errors[index] = error
                 attempts[index] += 1
                 if attempts[index] < policy.max_attempts:
                     metrics.inc("resilience.retries")
+                    log_event("point.retry",
+                              point=_describe_point(points[index]),
+                              attempt=attempts[index],
+                              error=type(error).__name__)
                     time.sleep(policy.backoff_for(attempts[index] - 1))
                     try:
                         futures[index] = submit(pool, index,
@@ -385,13 +464,16 @@ def _heal_pooled(points: list[PointSpec], jobs: int,
                         restart(set(pending) - {index})
                 else:
                     outcomes[index] = _failed_outcome(
-                        index, points[index], attempts[index], error)
+                        index, points[index], attempts[index], error,
+                        durations[index])
                     pending.discard(index)
                 continue
+            durations[index].append(
+                time.perf_counter() - started[index])
             payloads[index] = payload
             outcomes[index] = _finish_outcome(
                 index, points[index], attempts[index] + 1, payload[0],
-                last_errors[index])
+                last_errors[index], durations[index])
             pending.discard(index)
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
@@ -410,6 +492,7 @@ def _heal_pooled(points: list[PointSpec], jobs: int,
             registry.merge(snapshot)
         if recorder is not None and event_snapshot:
             recorder.merge(event_snapshot)
+    _teardown_worker_live(heartbeat_dir, bus, absorb=True)
     final = [outcome for outcome in outcomes if outcome is not None]
     assert len(final) == n
     return HealedRun(final)
@@ -458,6 +541,9 @@ def map_points_healed(
                 f"unknown algorithm {point.algorithm!r}; choose from "
                 f"{POINT_ALGORITHMS}"
             )
+    note_total(len(points))
+    log_event("heal.start", units=len(points), jobs=jobs,
+              max_attempts=policy.max_attempts)
     if jobs > 1 and len(points) > 1:
         try:
             return _heal_pooled(points, jobs, policy, record, cache_dir)

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import re
 
 import pytest
 
@@ -142,3 +143,88 @@ class TestDseCommand:
         out = capsys.readouterr().out
         assert "best:" in out
         assert "area budget" in out
+
+
+class TestLiveTelemetryCli:
+    BASE = ["sweep", "--workload", "tiny", "--sizes", "64", "128",
+            "--algorithms", "casa", "--scale", "0.2", "--no-cache"]
+
+    def test_sweep_with_full_live_pipeline(self, capsys, tmp_path):
+        telemetry = tmp_path / "telemetry.jsonl"
+        prom = tmp_path / "metrics.prom"
+        profile = tmp_path / "profile.txt"
+        log = tmp_path / "run.log"
+        code = main(self.BASE + [
+            "--jobs", "2", "--watch",
+            "--telemetry", str(telemetry), "--telemetry-interval",
+            "0.05", "--prom", str(prom),
+            "--profile-sample", str(profile), "--log", str(log),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "casa (uJ)" in captured.out, "results still render"
+        assert "eta" in captured.err, "--watch paints to stderr"
+        # Telemetry: at least two snapshots, monotone in time and done.
+        records = [json.loads(line)
+                   for line in telemetry.read_text().splitlines()]
+        assert len(records) >= 2
+        assert all(r["kind"] == "snapshot" for r in records)
+        assert [r["done"] for r in records] \
+            == sorted(r["done"] for r in records)
+        # The grid pipeline may bundle several sizes into one chunk
+        # unit, so assert completion rather than a unit count.
+        assert records[-1]["total"] >= 1
+        assert records[-1]["done"] == records[-1]["total"]
+        run_id = records[-1]["run_id"]
+        assert run_id and len(run_id) == 12
+        assert "point.evaluate" in records[-1]["percentiles"]
+        # Prometheus exposition file from the final snapshot.
+        assert "repro_units_done" in prom.read_text()
+        # Collapsed-stack profile is non-empty and well-formed.
+        assert f"profile written to {profile}" in captured.out
+        profile_text = profile.read_text()
+        assert profile_text.strip()
+        for line in profile_text.splitlines():
+            assert int(line.rsplit(" ", 1)[1]) > 0
+        # Structured log brackets the run with the same run_id.
+        events = [json.loads(line)
+                  for line in log.read_text().splitlines()]
+        assert events[0]["event"] == "run.start"
+        assert events[-1]["event"] == "run.done"
+        assert {e["run_id"] for e in events} == {run_id}
+        assert any(e["event"] == "map.start" for e in events)
+
+    def test_live_flags_leave_metrics_bit_identical(self, capsys,
+                                                    tmp_path):
+        """--watch/--telemetry must not change deterministic metrics."""
+
+        def deterministic(text):
+            # Drop timing histograms and live-artifact notices, and
+            # blank the wall-clock column of the stage table — every
+            # remaining byte must match exactly.
+            lines = []
+            for line in text.splitlines():
+                if ".seconds" in line:
+                    continue
+                if line.startswith(("profile written",
+                                    "telemetry written",
+                                    "log written")):
+                    continue
+                lines.append(re.sub(r"\d+\.\d+ s$", "<t>", line))
+            return lines
+
+        assert main(self.BASE + ["--metrics"]) == 0
+        plain = capsys.readouterr().out
+        assert main(self.BASE + [
+            "--metrics", "--watch",
+            "--telemetry", str(tmp_path / "t.jsonl"),
+            "--profile-sample", str(tmp_path / "p.txt"),
+        ]) == 0
+        live = capsys.readouterr().out
+        assert deterministic(live) == deterministic(plain)
+
+    def test_stall_timeout_flag_parses(self, capsys, tmp_path):
+        assert main(self.BASE + [
+            "--watch", "--stall-timeout", "5",
+        ]) == 0
+        assert "casa (uJ)" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Structured JSONL run logs and the run-id correlation machinery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.logging import (
+    RunLog,
+    active_log_spec,
+    active_run_id,
+    active_run_log,
+    install_from_spec,
+    log_event,
+    new_run_id,
+    set_run_log,
+)
+
+
+@pytest.fixture
+def run_log(tmp_path):
+    """An installed RunLog, closed and restored afterwards."""
+    log = RunLog(str(tmp_path / "run.log"), run_id="cafe00112233")
+    previous = set_run_log(log)
+    yield log
+    set_run_log(previous)
+    log.close()
+
+
+def read_lines(log: RunLog) -> list[dict]:
+    with open(log.path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle]
+
+
+class TestRunId:
+    def test_new_run_id_shape(self):
+        run_id = new_run_id()
+        assert len(run_id) == 12
+        int(run_id, 16)  # hex
+        assert new_run_id() != run_id
+
+
+class TestRunLog:
+    def test_event_lines_carry_envelope(self, run_log):
+        run_log.event("stage.computed", stage="trace", seconds=0.25)
+        run_log.event("run.done")
+        first, second = read_lines(run_log)
+        assert first["event"] == "stage.computed"
+        assert first["run_id"] == "cafe00112233"
+        assert first["source"] == "main"
+        assert first["stage"] == "trace"
+        assert first["seconds"] == 0.25
+        assert second["event"] == "run.done"
+        assert second["ts"] >= first["ts"]
+
+    def test_close_is_idempotent_and_reopens_on_event(self, run_log):
+        run_log.event("a")
+        run_log.close()
+        run_log.close()
+        run_log.event("b")
+        assert [r["event"] for r in read_lines(run_log)] == ["a", "b"]
+
+    def test_no_file_until_first_event(self, tmp_path):
+        log = RunLog(str(tmp_path / "lazy.log"))
+        assert not (tmp_path / "lazy.log").exists()
+        log.event("x")
+        log.close()
+        assert (tmp_path / "lazy.log").exists()
+
+
+class TestModuleHelpers:
+    def test_disabled_log_event_is_noop(self):
+        assert active_run_log() is None
+        assert active_run_id() is None
+        assert active_log_spec() is None
+        log_event("ignored", detail=1)
+
+    def test_active_helpers(self, run_log):
+        assert active_run_log() is run_log
+        assert active_run_id() == "cafe00112233"
+        assert active_log_spec() == (run_log.path, "cafe00112233")
+        log_event("hello", n=2)
+        [record] = read_lines(run_log)
+        assert record["event"] == "hello" and record["n"] == 2
+
+    def test_install_from_spec_appends_as_worker(self, run_log):
+        run_log.event("parent")
+        spec = active_log_spec()
+        previous = set_run_log(None)
+        try:
+            install_from_spec(spec)
+            log_event("child")
+            worker_log = active_run_log()
+            assert worker_log is not None
+            assert worker_log.source.startswith("worker-")
+            worker_log.close()
+        finally:
+            set_run_log(previous)
+        parent, child = read_lines(run_log)
+        assert parent["source"] == "main"
+        assert child["source"].startswith("worker-")
+        assert child["run_id"] == parent["run_id"]
+
+    def test_install_from_none_spec_is_noop(self):
+        previous = set_run_log(None)
+        try:
+            install_from_spec(None)
+            assert active_run_log() is None
+        finally:
+            set_run_log(previous)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pickle
+import random
 
 import pytest
 
@@ -59,6 +60,139 @@ class TestPrimitives:
         assert snapshot["count"] == 0
         assert snapshot["min"] == 0.0 and snapshot["max"] == 0.0
         assert Histogram().mean == 0.0
+
+
+class TestPercentiles:
+    """Log-bucket percentile sketches: accuracy, merging, edge cases."""
+
+    def test_empty_percentile_is_zero(self):
+        histogram = Histogram()
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.percentile(0.99) == 0.0
+
+    def test_single_value_all_quantiles(self):
+        histogram = Histogram()
+        histogram.observe(3.7)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert histogram.percentile(q) == pytest.approx(3.7)
+
+    def test_zeros_and_negatives_land_in_zero_bucket(self):
+        histogram = Histogram()
+        histogram.observe(0.0)
+        histogram.observe(-2.0)
+        histogram.observe(10.0)
+        # Two of three observations are <= 0, so the median is the
+        # non-positive bucket's representative (the recorded minimum).
+        assert histogram.percentile(0.5) == -2.0
+        assert histogram.percentile(1.0) == pytest.approx(10.0, rel=0.1)
+
+    def test_percentile_accuracy_within_bucket_resolution(self):
+        rng = random.Random(20260808)
+        histogram = Histogram()
+        values = [rng.lognormvariate(0.0, 1.0) for _ in range(5000)]
+        for value in values:
+            histogram.observe(value)
+        values.sort()
+        for q in (0.5, 0.9, 0.99):
+            exact = values[min(len(values) - 1, int(q * len(values)))]
+            approx = histogram.percentile(q)
+            # Buckets are log-spaced at base 2**(1/8) (~9% wide); the
+            # geometric-midpoint estimate stays within one bucket.
+            assert abs(approx - exact) / exact < 0.10
+
+    def test_percentiles_clamped_to_observed_range(self):
+        histogram = Histogram()
+        histogram.observe(5.0)
+        histogram.observe(5.1)
+        assert histogram.percentile(0.0) >= 5.0
+        assert histogram.percentile(1.0) <= 5.1
+
+    def test_merge_of_shards_is_exact(self):
+        """Merging shard snapshots must equal a single-pass histogram."""
+        rng = random.Random(7)
+        values = [rng.expovariate(1.0) for _ in range(2000)] + [0.0, 0.0]
+        whole = Histogram()
+        shards = [Histogram() for _ in range(4)]
+        for index, value in enumerate(values):
+            whole.observe(value)
+            shards[index % 4].observe(value)
+        merged = Histogram()
+        for shard in shards:
+            merged.merge(shard.snapshot())
+        ours, theirs = merged.snapshot(), whole.snapshot()
+        # total is a float sum, so summation order costs one ulp;
+        # everything feeding the percentile sketch must match exactly.
+        assert ours.pop("total") == pytest.approx(theirs.pop("total"))
+        assert ours == theirs
+        for q in (0.5, 0.9, 0.99):
+            assert merged.percentile(q) == whole.percentile(q)
+
+    def test_merge_order_does_not_matter(self):
+        a, b = Histogram(), Histogram()
+        for value in (0.1, 1.0, 10.0):
+            a.observe(value)
+        for value in (0.5, 5.0):
+            b.observe(value)
+        ab = Histogram()
+        ab.merge(a.snapshot())
+        ab.merge(b.snapshot())
+        ba = Histogram()
+        ba.merge(b.snapshot())
+        ba.merge(a.snapshot())
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_merge_tolerates_legacy_snapshot_without_buckets(self):
+        """Old payloads lack zeros/buckets; merge must not crash."""
+        target = Histogram()
+        target.observe(2.0)
+        legacy = {
+            "type": "histogram",
+            "count": 3,
+            "total": 9.0,
+            "min": 1.0,
+            "max": 5.0,
+        }
+        target.merge(legacy)
+        assert target.count == 4
+        assert target.total == 11.0
+        # Percentiles still answer (from the buckets that do exist).
+        assert target.percentile(0.99) >= 1.0
+
+    def test_summary_keys(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert set(summary) == {
+            "count",
+            "total",
+            "mean",
+            "min",
+            "max",
+            "p50",
+            "p90",
+            "p99",
+        }
+        assert summary["count"] == 3
+        assert summary["p50"] <= summary["p90"] <= summary["p99"]
+
+    def test_snapshot_contains_buckets(self):
+        histogram = Histogram()
+        histogram.observe(4.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["zeros"] == 0
+        assert len(snapshot["buckets"]) == 1
+
+    def test_registry_counters_view(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h").observe(1.0)
+        assert registry.counters() == {"c": 2.0}
+
+    def test_render_shows_percentiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.5)
+        assert "p50" in registry.render()
 
 
 class TestRegistry:

@@ -22,7 +22,7 @@ from repro.obs.report import (
 from repro.obs.trace import TraceCollector
 
 
-def make_run_file(path):
+def make_run_file(path, run_id=None, profile=None):
     """Write a small but fully populated run file; returns its path."""
     collector = TraceCollector()
     with collector.span(POINT_SPAN, workload="tiny", algorithm="casa",
@@ -42,13 +42,25 @@ def make_run_file(path):
     registry.counter("sim.cache_misses").inc(10)
     registry.counter("sim.spm_accesses").inc(40)
     registry.counter("ilp.solves").inc(2)
+    for value in (0.01, 0.02, 0.04):
+        registry.histogram("point.evaluate.seconds").observe(value)
     payload = build_run_payload(
         "sweep", collector, record=record, registry=registry,
         argv=["sweep", "--workload", "tiny"],
+        run_id=run_id, profile=profile,
     )
     file_path = path / "run.json"
     write_run_file(file_path, payload)
     return file_path
+
+
+PROFILE = {
+    "samples": 40,
+    "interval_s": 0.005,
+    "duration_s": 0.25,
+    "estimated_busy_s": 0.2,
+    "hot": [{"function": "repro.core.pipeline:run_grid", "samples": 25}],
+}
 
 
 class TestPayload:
@@ -155,3 +167,44 @@ class TestRender:
         assert "none recorded (fully cached" in report
         assert "artifact store: 3/3" in report
         assert "(no spans recorded)" in report
+
+
+class TestHistogramsAndProfile:
+    def test_summary_includes_histograms_run_id_and_profile(
+            self, tmp_path):
+        run = load_run(make_run_file(tmp_path, run_id="abc123def456",
+                                     profile=PROFILE))
+        summary = summarise_run(run)
+        assert summary["run_id"] == "abc123def456"
+        assert summary["profile"]["samples"] == 40
+        entry = summary["histograms"]["point.evaluate.seconds"]
+        assert entry["count"] == 3
+        assert entry["p50"] <= entry["p90"] <= entry["p99"]
+        assert entry["max"] == pytest.approx(0.04)
+        json.dumps(summary)  # must stay machine-readable
+
+    def test_report_renders_histogram_table_and_profile(self, tmp_path):
+        run = load_run(make_run_file(tmp_path, run_id="abc123def456",
+                                     profile=PROFILE))
+        report = render_run_report(run)
+        assert "- run id: `abc123def456`" in report
+        assert "## Histogram metrics" in report
+        for column in ("metric", "count", "mean", "p50", "p90", "p99",
+                       "max"):
+            assert f"| {column}" in report
+        assert "point.evaluate.seconds" in report
+        assert "## Sampling profile" in report
+        assert "- samples: 40 at 5.0 ms intervals" in report
+        assert "estimated busy time: 0.20 s" in report
+        assert "traced span wall time:" in report
+        assert "repro.core.pipeline:run_grid" in report
+
+    def test_report_without_histograms_or_profile_omits_sections(
+            self, tmp_path):
+        run = load_run(make_run_file(tmp_path))
+        run.metrics = {k: v for k, v in run.metrics.items()
+                       if v.get("type") != "histogram"}
+        report = render_run_report(run)
+        assert "## Histogram metrics" not in report
+        assert "## Sampling profile" not in report
+        assert "- run id:" not in report

@@ -163,6 +163,56 @@ def test_worker_crash_mid_batch_heals_and_forwards_observability(
     assert recorder.total_events > 0
 
 
+def test_outcomes_carry_wall_time_and_attempt_durations(registry):
+    set_fault_plan(FaultPlan.from_spec("worker.exec:error@nth=1"))
+    healed = map_points_healed(
+        POINTS[:2], policy=RetryPolicy(backoff_s=0.001))
+    assert healed.ok
+    for outcome in healed.outcomes:
+        assert outcome.wall_s > 0
+        assert len(outcome.attempt_seconds) == outcome.attempts
+        assert outcome.wall_s == pytest.approx(
+            sum(outcome.attempt_seconds))
+    [retried] = [o for o in healed.outcomes if o.status == "retried"]
+    assert retried.retry_s == pytest.approx(
+        sum(retried.attempt_seconds[1:]))
+    assert retried.retry_s < retried.wall_s
+    # Run-level aggregates mirror the per-outcome fields.
+    assert healed.wall_s == pytest.approx(
+        sum(o.wall_s for o in healed.outcomes))
+    assert healed.retry_wall_s == pytest.approx(retried.retry_s)
+    # Retry wall time also lands in the metrics histogram.
+    histogram = registry.histogram("resilience.retry.seconds")
+    assert histogram.count == 1
+    assert histogram.total == pytest.approx(retried.retry_s, rel=1e-3)
+
+
+def test_failed_outcome_still_records_attempt_durations(registry):
+    set_fault_plan(FaultPlan.from_spec(
+        "worker.exec:error@nth=1,limit=2,retries"))
+    healed = map_points_healed(
+        POINTS[:1], policy=RetryPolicy(max_attempts=2, backoff_s=0.001))
+    assert not healed.ok
+    [failed] = healed.outcomes
+    assert failed.status == "failed"
+    assert len(failed.attempt_seconds) == 2
+    assert failed.wall_s > 0
+
+
+def test_outcomes_carry_active_run_id(tmp_path):
+    from repro.obs.logging import RunLog, set_run_log
+
+    log = RunLog(str(tmp_path / "run.log"), run_id="feedbeefcafe")
+    previous = set_run_log(log)
+    try:
+        healed = map_points_healed(POINTS[:1],
+                                   policy=RetryPolicy(backoff_s=0.001))
+    finally:
+        set_run_log(previous)
+        log.close()
+    assert healed.outcomes[0].run_id == "feedbeefcafe"
+
+
 def test_unknown_algorithm_rejected_up_front():
     with pytest.raises(ConfigurationError):
         map_points_healed([PointSpec("tiny", 64, "annealing")])
