@@ -6,13 +6,13 @@ PYTHON ?= python
 # install step is needed.
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-smoke chaos-smoke exhibits report \
-	examples docs docs-regen clean
+.PHONY: install test bench bench-smoke chaos-smoke serve-smoke \
+	exhibits report examples docs docs-regen clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: bench-smoke chaos-smoke docs
+test: bench-smoke chaos-smoke serve-smoke docs
 	$(PYTHON) -m pytest tests/
 
 test-output:
@@ -42,6 +42,17 @@ chaos-smoke:
 		--min-retries 1 --faults "store.read:error@nth=1;\
 	store.write:error@nth=1;worker.exec:error@nth=2;\
 	ilp.solve:error@nth=1;kernel.replay:error@nth=1"
+
+# Serving smoke gate: a real `repro serve` subprocess on an ephemeral
+# port must absorb a 500-request closed-loop mixed-verb burst with
+# zero failures, a bounded p99 and a non-zero micro-batching coalesce
+# count, and the recorded serve.* bench row must match the committed
+# seed baseline (throughput/latency within the timing tolerance band,
+# request counters exactly).
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+	$(PYTHON) -m repro bench compare \
+		--baseline benchmarks/baselines/smoke.jsonl
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -36,6 +36,12 @@ MODULES = (
     "repro.engine.store",
     "repro.engine.runner",
     "repro.engine.parallel",
+    "repro.io.serde",
+    "repro.serve.schema",
+    "repro.serve.batching",
+    "repro.serve.service",
+    "repro.serve.daemon",
+    "repro.serve.loadgen",
     "repro.obs.trace",
     "repro.obs.metrics",
     "repro.obs.events",

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Drive a running ``repro serve`` daemon with closed-loop load.
+
+Thin argparse front of :func:`repro.serve.loadgen.run_load`: workers
+issue a configurable mix of the wire verbs against the daemon's URL
+and the run's throughput, failure count and latency percentiles print
+as JSON (machine-readable for the smoke gate and ad-hoc profiling).
+
+Usage:
+    python scripts/loadgen.py http://127.0.0.1:8787 \
+        --requests 500 --workers 4 --mix "simulate=1,evaluate=2"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("url", help="daemon base URL "
+                                    "(http://host:port)")
+    parser.add_argument("--requests", type=int, default=100,
+                        help="total requests across all workers")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="closed-loop worker threads")
+    parser.add_argument("--mix", default=None,
+                        help="verb mix, e.g. 'simulate=1,evaluate=2' "
+                             "(verbs: simulate, allocate, evaluate, "
+                             "sweep)")
+    parser.add_argument("--workload", default="tiny",
+                        help="workload every request names")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="trip-count multiplier of every request")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="executor seed of every request")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request socket timeout in seconds")
+    args = parser.parse_args(argv)
+
+    from repro.serve.loadgen import DEFAULT_MIX, run_load
+
+    report = run_load(
+        args.url, requests=args.requests, workers=args.workers,
+        mix=args.mix or DEFAULT_MIX, workload=args.workload,
+        scale=args.scale, seed=args.seed, timeout_s=args.timeout,
+    )
+    print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    return 1 if report.failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

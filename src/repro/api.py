@@ -309,6 +309,112 @@ class Session:
             tracegen=base.tracegen,
         )
 
+    # -- wire adapters --------------------------------------------------------
+
+    def as_request(self, verb: str, *, tenant: str = "default",
+                   **options: Any):
+        """This session's configuration as a ``repro serve`` request.
+
+        The wire schemas (:mod:`repro.serve.schema`) are the canonical
+        public API of the verbs; this adapter builds the request a
+        remote daemon would answer exactly like the local call.
+
+        Args:
+            verb: ``simulate`` | ``conflict_graph`` | ``allocate`` |
+                ``evaluate`` | ``sweep``.
+            tenant: artifact-store shard on the serving side.
+            **options: verb options — ``allocate``/``evaluate`` accept
+                ``method``, ``spm_size`` and ``max_regions``;
+                ``sweep`` accepts ``method``, ``spm_sizes`` and
+                ``max_regions``.
+
+        Raises:
+            ConfigurationError: for a raw-program session (programs
+                cannot travel as JSON; the wire API serves registered
+                workloads only) or an unknown verb.
+        """
+        if self._workload_name is None:
+            raise ConfigurationError(
+                "only sessions over registered workloads can become "
+                "serve requests (a raw Program cannot travel as JSON)"
+            )
+        from repro.serve import schema
+
+        common = {
+            "workload": self._workload_name,
+            "scale": self._scale,
+            "seed": self._seed,
+            "cache": self._cache,
+            "tracegen": self._tracegen,
+            "backend": self._backend,
+            "tenant": tenant,
+        }
+        if verb == "simulate":
+            return schema.SimulateRequest(**common)
+        if verb == "conflict_graph":
+            return schema.ConflictGraphRequest(**common)
+        if verb in ("allocate", "evaluate"):
+            cls = schema.AllocateRequest if verb == "allocate" \
+                else schema.EvaluateRequest
+            return cls(
+                algorithm=options.get("method", "casa"),
+                spm_size=options.get("spm_size", self._spm_size),
+                max_regions=options.get("max_regions", 4),
+                **common,
+            )
+        if verb == "sweep":
+            sizes = options.get("spm_sizes")
+            return schema.SweepRequest(
+                algorithm=options.get("method", "casa"),
+                spm_sizes=tuple(sizes) if sizes is not None else None,
+                max_regions=options.get("max_regions", 4),
+                **common,
+            )
+        raise ConfigurationError(
+            f"unknown serve verb {verb!r}; choose from simulate, "
+            "conflict_graph, allocate, evaluate, sweep"
+        )
+
+    @staticmethod
+    def from_response(response):
+        """Decode a serve response into the local verb's return type.
+
+        ``SimulateResponse`` → :class:`SimulationReport`,
+        ``ConflictGraphResponse`` → :class:`ConflictGraph`,
+        ``AllocateResponse`` → an allocation decision,
+        ``EvaluateResponse`` → :class:`ExperimentResult`,
+        ``SweepResponse`` → a result list — the same objects the
+        corresponding :class:`Session` method returns locally.
+
+        Raises:
+            ConfigurationError: for a ``failed`` response (the error
+                record is included) or an unknown response type.
+        """
+        from repro.io import serde
+        from repro.serve import schema
+
+        if response.status == "failed":
+            error = response.error or {}
+            raise ConfigurationError(
+                "serve request failed: "
+                f"{error.get('type', 'unknown')}: "
+                f"{error.get('message', '(no message)')}"
+            )
+        if isinstance(response, schema.SimulateResponse):
+            return serde.report_from_dict(response.report)
+        if isinstance(response, schema.ConflictGraphResponse):
+            return serde.conflict_graph_from_dict(response.graph)
+        if isinstance(response, schema.AllocateResponse):
+            return serde.allocation_from_dict(response.allocation)
+        if isinstance(response, schema.EvaluateResponse):
+            return serde.experiment_result_from_dict(response.result)
+        if isinstance(response, schema.SweepResponse):
+            return [serde.experiment_result_from_dict(step)
+                    for step in response.results]
+        raise ConfigurationError(
+            f"cannot decode response type {type(response).__name__}"
+        )
+
     # -- supporting accessors -------------------------------------------------
 
     def context(self) -> AllocationContext:

@@ -25,6 +25,10 @@ Commands:
   self-healing layer and assert bit-identical results versus the
   fault-free run (non-zero exit on divergence, silent plans, or too
   few retries — see ``docs/ROBUSTNESS.md``);
+* ``serve`` — run the long-running allocation daemon (HTTP/JSON wire
+  API over the Session verbs, micro-batched solves, multi-tenant
+  artifact stores, ``/healthz`` + ``/metrics`` — see
+  ``docs/SERVING.md``);
 * ``workloads`` — list registered benchmarks.
 
 Every experiment command consults the engine's content-addressed
@@ -450,6 +454,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_scale(chaos, jobs=True)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the allocation daemon (HTTP/JSON; see "
+             "docs/SERVING.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default loopback)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port; 0 picks an ephemeral port "
+                            "(default 8787)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for multi-chunk "
+                            "batches (default 1)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch flush threshold (default 8)")
+    serve.add_argument("--max-delay", type=float, default=0.02,
+                       help="micro-batch flush deadline in seconds "
+                            "(default 0.02)")
+    serve.add_argument(
+        "--store-backend", default="memory", metavar="SPEC",
+        help="tenant-store backend spec: 'memory[:bytes]', "
+             "'disk[:root]' or a registered backend name "
+             "(default memory)",
+    )
+    serve.add_argument(
+        "--stall-timeout", type=float, default=30.0,
+        help="seconds before /healthz flags a stalled solve "
+             "(default 30)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="retry budget per work unit (default 3)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-work-unit evaluation timeout in seconds "
+             "(default none)",
+    )
+    serve.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection plan for chaos testing the daemon",
+    )
+    serve.add_argument(
+        "--log", default=None, metavar="FILE",
+        help="append run_id-correlated structured JSON events to FILE",
+    )
+
     cache = sub.add_parser(
         "cache", help="artifact-cache maintenance"
     )
@@ -694,6 +745,38 @@ def _run_bench_command(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _run_serve_command(args: argparse.Namespace) -> int:
+    """``casa serve`` — run the allocation daemon in the foreground.
+
+    Prints ``serving on http://HOST:PORT`` once bound (the smoke
+    harness parses that line to learn an ephemeral port) and serves
+    until interrupted.
+    """
+    from repro.resilience.healing import RetryPolicy
+    from repro.serve import AllocationService, ServiceConfig
+    from repro.serve.daemon import run_daemon
+
+    config = ServiceConfig(
+        jobs=args.jobs,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay,
+        store_backend=args.store_backend,
+        retry=RetryPolicy(max_attempts=args.max_attempts,
+                          timeout_s=args.timeout),
+        stall_timeout=args.stall_timeout,
+        fault_spec=args.faults or os.environ.get("CASA_FAULTS"),
+        log_path=args.log,
+    )
+    service = AllocationService(config)
+
+    def announce(url: str) -> None:
+        print(f"serving on {url}", flush=True)
+
+    run_daemon(service, host=args.host, port=args.port,
+               announce=announce)
+    return 0
+
+
 def _run_trace_report(args: argparse.Namespace) -> int:
     """``casa report RUNFILE`` — render a recorded run."""
     run = load_run(args.run)
@@ -724,6 +807,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         return _run_bench_command(args)
+
+    if args.command == "serve":
+        return _run_serve_command(args)
 
     if args.command == "report" and args.run:
         return _run_trace_report(args)

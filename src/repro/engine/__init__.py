@@ -6,8 +6,9 @@ simulation, conflict-graph construction, allocation evaluation — each
 producing a typed artifact with a content-addressed digest:
 
 * :mod:`repro.engine.artifacts` — artifact types and digest chaining;
-* :mod:`repro.engine.store` — two-tier store (in-memory LRU plus an
-  optional on-disk cache under ``.casa_cache/``);
+* :mod:`repro.engine.store` — tiered store over pluggable
+  :class:`~repro.engine.store.StorageBackend` tiers (in-memory LRU
+  plus, by default, an on-disk cache under ``.casa_cache/``);
 * :mod:`repro.engine.runner` — stage resolution with hit/compute
   accounting (:class:`RunRecord`) and the engine-backed
   :func:`make_workbench`;
@@ -67,8 +68,16 @@ from repro.engine.runner import (
 from repro.engine.store import (
     CACHE_DIR_ENV,
     ArtifactStore,
+    BackendStats,
+    DiskBackend,
+    KeyValueBackend,
+    MemoryBackend,
+    StorageBackend,
     StoreStats,
+    available_backends,
     default_store,
+    make_backend,
+    register_backend,
     set_default_store,
 )
 
@@ -108,7 +117,15 @@ __all__ = [
     "make_workbench",
     "CACHE_DIR_ENV",
     "ArtifactStore",
+    "BackendStats",
+    "DiskBackend",
+    "KeyValueBackend",
+    "MemoryBackend",
+    "StorageBackend",
     "StoreStats",
+    "available_backends",
     "default_store",
+    "make_backend",
+    "register_backend",
     "set_default_store",
 ]

@@ -1,10 +1,24 @@
-"""Two-tier content-addressed artifact store.
+"""Tiered content-addressed artifact store over pluggable backends.
 
-Tier 1 is an in-memory LRU shared by everything in the process (what
-``functools.lru_cache`` used to approximate, minus the blindness to
-config changes).  Tier 2 is an optional on-disk cache — one pickle per
-artifact under a cache directory (default ``.casa_cache/``) — that
-survives processes and is shared by parallel sweep workers.
+The store composes two tiers behind the :class:`StorageBackend`
+protocol (``get`` / ``put`` / ``delete`` / ``entries`` / ``usage``):
+
+* a front :class:`MemoryBackend` — an in-process LRU with an optional
+  byte budget (admission *and* eviction are size-aware once a budget
+  is set), what ``functools.lru_cache`` used to approximate;
+* an optional persistent tier — by default the :class:`DiskBackend`,
+  one pickle per artifact under a cache directory (default
+  ``.casa_cache/``) that survives processes and is shared by parallel
+  sweep workers; any other registered backend
+  (:func:`register_backend` / :func:`make_backend`) slots in the same
+  place, e.g. the :class:`KeyValueBackend` adapter for remote stores.
+
+Backends are selected by **spec string** — ``"memory[:bytes]"``,
+``"disk[:path]"``, ``"kv"`` or any registered name — mirroring the
+``make_policy`` / ``make_allocator`` registries, with a typed
+:class:`~repro.errors.UnknownBackendError` for unknown names.  Each
+backend counts its own hits/misses/puts/evictions and reports them as
+``store.backend.<name>.*`` metrics.
 
 Disk entries are versioned and corruption-safe: a file that fails to
 unpickle, carries the wrong schema version or the wrong digest is
@@ -12,21 +26,26 @@ moved into a ``quarantine/`` subdirectory (preserved for post-mortem
 inspection), logged as a typed
 :class:`~repro.errors.CacheCorruptionError`, and treated as a miss, so
 the caller simply recomputes.  Writes are atomic (write-to-temp +
-``os.replace``) and temp files orphaned by killed processes are
-removed when a store opens the directory.
+``os.replace``); temp files orphaned by killed processes are removed
+when a store opens the directory, rate-limited by a marker file so a
+daemon creating per-tenant stores does not rescan the tree per
+request.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, MutableMapping, Protocol, \
+    runtime_checkable
 
 from repro.engine.artifacts import SCHEMA_VERSION
-from repro.errors import CacheCorruptionError, InjectedFault
+from repro.errors import CacheCorruptionError, ConfigurationError, \
+    InjectedFault, UnknownBackendError
 from repro.obs import metrics
 from repro.resilience.faults import maybe_inject
 
@@ -55,6 +74,551 @@ DEFAULT_MEMORY_ITEMS = 256
 
 #: Environment variable overriding the default on-disk cache location.
 CACHE_DIR_ENV = "CASA_CACHE_DIR"
+
+#: Marker file recording when a directory last had its write-temp
+#: orphans swept (see :meth:`DiskBackend.sweep_orphans`).
+SWEEP_MARKER = ".orphan_sweep"
+
+#: Seconds between orphan sweeps of one cache directory.  A daemon
+#: building per-tenant stores constructs :class:`DiskBackend` objects
+#: far more often than writers die, so sweeps are rate-limited.
+SWEEP_INTERVAL_S = 300.0
+
+
+@dataclass
+class BackendStats:
+    """Hit/miss counters of one :class:`StorageBackend`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    errors: int = 0
+    quarantined: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.puts} puts, {self.evictions} evictions"
+        )
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """One tier of artifact storage, keyed by ``(stage, digest)``.
+
+    The protocol is deliberately small — five methods plus a ``name``
+    and a :class:`BackendStats` — so remote stores (key-value
+    services, object stores) can adapt in a page of code; see
+    :class:`KeyValueBackend` for the reference adapter and
+    :func:`register_backend` for the registry hook.
+    """
+
+    #: Identity used in ``store.backend.<name>.*`` metrics.
+    name: str
+    #: Per-backend hit/miss accounting.
+    stats: BackendStats
+
+    def get(self, stage: str, digest: str) -> Any | None:
+        """Return the artifact for (*stage*, *digest*) or ``None``."""
+        ...
+
+    def put(self, stage: str, digest: str, artifact: Any) -> None:
+        """Store *artifact* under (*stage*, *digest*)."""
+        ...
+
+    def delete(self, stage: str, digest: str) -> bool:
+        """Drop one entry; return whether it existed."""
+        ...
+
+    def entries(self) -> list[tuple[str, str]]:
+        """Every stored ``(stage, digest)`` key, sorted."""
+        ...
+
+    def usage(self) -> tuple[int, int]:
+        """``(entry_count, total_bytes)`` held by this backend."""
+        ...
+
+
+def _count(backend: "StorageBackend", event: str,
+           amount: float = 1.0) -> None:
+    """Emit one per-backend metric (no-op without a registry)."""
+    metrics.inc(f"store.backend.{backend.name}.{event}", amount)
+
+
+class MemoryBackend:
+    """In-process LRU tier with item and optional byte budgets.
+
+    Args:
+        max_items: LRU capacity in artifacts.
+        max_bytes: byte budget; ``None`` disables size accounting
+            entirely (no serialisation cost per put).  With a budget,
+            each artifact is sized by its pickle length — an artifact
+            larger than the whole budget is *not admitted* (the caller
+            keeps its reference; the cache stays useful), and puts
+            evict from the LRU tail until the budget holds.
+            Unpicklable artifacts (e.g. memory-only workbench memos)
+            count as zero bytes and stay item-bounded only.
+        name: metric identity (``store.backend.<name>.*``).
+    """
+
+    def __init__(self, max_items: int = DEFAULT_MEMORY_ITEMS,
+                 max_bytes: int | None = None,
+                 name: str = "memory") -> None:
+        self.name = name
+        self.max_items = max_items
+        self.max_bytes = max_bytes
+        self.stats = BackendStats()
+        self._entries: OrderedDict[tuple[str, str],
+                                   tuple[Any, int]] = OrderedDict()
+        self._bytes = 0
+
+    def _size_of(self, artifact: Any) -> int:
+        if self.max_bytes is None:
+            return 0
+        try:
+            return len(pickle.dumps(
+                artifact, protocol=pickle.HIGHEST_PROTOCOL))
+        except (pickle.PicklingError, TypeError, AttributeError):
+            return 0
+
+    def get(self, stage: str, digest: str) -> Any | None:
+        """Return the artifact for (*stage*, *digest*) or ``None``."""
+        key = (stage, digest)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            _count(self, "misses")
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        _count(self, "hits")
+        return entry[0]
+
+    def put(self, stage: str, digest: str, artifact: Any) -> None:
+        """Admit *artifact*, evicting from the LRU tail as needed."""
+        size = self._size_of(artifact)
+        if self.max_bytes is not None and size > self.max_bytes:
+            _count(self, "rejected")
+            return
+        key = (stage, digest)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        self._entries[key] = (artifact, size)
+        self._bytes += size
+        self.stats.puts += 1
+        _count(self, "puts")
+        while len(self._entries) > self.max_items or (
+            self.max_bytes is not None and self._bytes > self.max_bytes
+        ):
+            _, (_, dropped) = self._entries.popitem(last=False)
+            self._bytes -= dropped
+            self.stats.evictions += 1
+            _count(self, "evictions")
+
+    def delete(self, stage: str, digest: str) -> bool:
+        """Drop one entry; return whether it existed."""
+        entry = self._entries.pop((stage, digest), None)
+        if entry is None:
+            return False
+        self._bytes -= entry[1]
+        return True
+
+    def entries(self) -> list[tuple[str, str]]:
+        """Every cached ``(stage, digest)`` key, sorted."""
+        return sorted(self._entries)
+
+    def usage(self) -> tuple[int, int]:
+        """``(entry_count, total_bytes)`` (bytes 0 without a budget)."""
+        return len(self._entries), self._bytes
+
+    def clear(self) -> int:
+        """Drop every entry; return how many were dropped."""
+        removed = len(self._entries)
+        self._entries.clear()
+        self._bytes = 0
+        return removed
+
+
+class DiskBackend:
+    """On-disk pickle tier: one versioned envelope per artifact.
+
+    Bit-compatible with every ``.casa_cache/`` layout this repository
+    has ever written: entries live at ``{dir}/{stage}-{digest}.pkl``
+    as ``{schema, stage, digest, artifact}`` pickles; corrupt or stale
+    files are quarantined under ``quarantine/`` and recorded in
+    :attr:`corruptions`; writes are atomic (temp + ``os.replace``).
+
+    Args:
+        cache_dir: directory of the tier (created on first write).
+        sweep_interval_s: minimum seconds between orphan-temp sweeps
+            of this directory (marker-file rate limit).
+        name: metric identity (``store.backend.<name>.*``).
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike,
+                 sweep_interval_s: float = SWEEP_INTERVAL_S,
+                 name: str = "disk") -> None:
+        self.name = name
+        self.cache_dir = Path(cache_dir)
+        self.stats = BackendStats()
+        self.corruptions: list[CacheCorruptionError] = []
+        self.sweep_interval_s = sweep_interval_s
+        self.sweep_orphans()
+
+    # -- protocol -------------------------------------------------------------
+
+    def get(self, stage: str, digest: str) -> Any | None:
+        """Load one entry, quarantining it if corrupt or stale."""
+        path = self._entry_path(stage, digest)
+        if not path.is_file():
+            self.stats.misses += 1
+            _count(self, "misses")
+            return None
+        try:
+            maybe_inject("store.read", stage=stage, digest=digest)
+            with path.open("rb") as handle:
+                envelope = pickle.load(handle)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != SCHEMA_VERSION
+                or envelope.get("stage") != stage
+                or envelope.get("digest") != digest
+            ):
+                raise ValueError("stale or foreign cache entry")
+            self.stats.hits += 1
+            _count(self, "hits")
+            return envelope["artifact"]
+        except _CORRUPTION_ERRORS as error:
+            # Corrupt, truncated, stale-schema or unreadable entry:
+            # quarantine it and let the caller recompute.  Anything
+            # outside _CORRUPTION_ERRORS is a real bug and propagates.
+            self._quarantine(path, stage, digest, error)
+            self.stats.misses += 1
+            _count(self, "misses")
+            return None
+
+    def put(self, stage: str, digest: str, artifact: Any) -> None:
+        """Write one entry atomically; failures never propagate."""
+        path = self._entry_path(stage, digest)
+        temp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            maybe_inject("store.write", stage=stage, digest=digest)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            envelope = {
+                "schema": SCHEMA_VERSION,
+                "stage": stage,
+                "digest": digest,
+                "artifact": artifact,
+            }
+            with temp.open("wb") as handle:
+                pickle.dump(envelope, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp, path)
+            self.stats.puts += 1
+            _count(self, "puts")
+        except (OSError, pickle.PicklingError, TypeError,
+                AttributeError, InjectedFault):
+            # A read-only or full filesystem (or unpicklable artifact)
+            # must not break experiments; the memory tier still holds
+            # the artifact.  Unexpected errors propagate.
+            self.stats.errors += 1
+            _count(self, "errors")
+            try:
+                temp.unlink()
+            except OSError:
+                pass
+
+    def delete(self, stage: str, digest: str) -> bool:
+        """Unlink one entry; return whether it existed."""
+        try:
+            self._entry_path(stage, digest).unlink()
+            return True
+        except OSError:
+            return False
+
+    def entries(self) -> list[tuple[str, str]]:
+        """Every stored ``(stage, digest)`` key, sorted."""
+        keys = []
+        for path in self.paths():
+            stem = path.name[: -len(".pkl")]
+            stage, _, digest = stem.partition("-")
+            if digest:
+                keys.append((stage, digest))
+        return sorted(keys)
+
+    def usage(self) -> tuple[int, int]:
+        """``(file_count, total_bytes)`` of the on-disk tier."""
+        paths = self.paths()
+        return len(paths), sum(path.stat().st_size for path in paths)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def paths(self) -> list[Path]:
+        """Paths of every on-disk artifact file, sorted."""
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(self.cache_dir.glob("*.pkl"))
+
+    def quarantined_paths(self) -> list[Path]:
+        """Paths of every quarantined (corrupt) artifact file."""
+        quarantine = self.cache_dir / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return []
+        return sorted(path for path in quarantine.iterdir()
+                      if path.is_file())
+
+    def clear(self) -> int:
+        """Remove every entry (and the quarantine); return the count."""
+        removed = 0
+        if not self.cache_dir.is_dir():
+            return removed
+        for path in self.paths() + self.quarantined_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def sweep_orphans(self, force: bool = False) -> None:
+        """Remove temp files orphaned by killed writer processes.
+
+        Atomic writes go through ``<entry>.tmp.<pid>``; a process that
+        dies mid-write leaves the temp file behind.  Files belonging
+        to the current process are left alone (a concurrent write may
+        be in flight).  The scan is rate-limited through the
+        :data:`SWEEP_MARKER` file's mtime — one sweep per
+        ``sweep_interval_s`` per directory, however many stores open
+        it — unless *force* is true.
+        """
+        if not self.cache_dir.is_dir():
+            return
+        marker = self.cache_dir / SWEEP_MARKER
+        if not force:
+            try:
+                age = time.time() - marker.stat().st_mtime
+                if 0 <= age < self.sweep_interval_s:
+                    return
+            except OSError:
+                pass  # no marker yet: sweep and create it
+        own_suffix = f".tmp.{os.getpid()}"
+        for path in self.cache_dir.glob("*.tmp.*"):
+            if path.name.endswith(own_suffix):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            marker.touch()
+            os.utime(marker)
+        except OSError:
+            pass  # read-only tree: sweep ran, rate limit just won't
+
+    # -- internals ------------------------------------------------------------
+
+    def _entry_path(self, stage: str, digest: str) -> Path:
+        return self.cache_dir / f"{stage}-{digest}.pkl"
+
+    def _quarantine(self, path: Path, stage: str, digest: str,
+                    error: BaseException) -> None:
+        """Move a corrupt entry aside and log a typed corruption record."""
+        self.stats.errors += 1
+        self.stats.quarantined += 1
+        _count(self, "errors")
+        metrics.inc("store.quarantined")
+        try:
+            quarantine = self.cache_dir / QUARANTINE_DIR
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            # Quarantining is best-effort; at minimum get the bad
+            # entry out of the lookup path.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.corruptions.append(CacheCorruptionError(
+            f"corrupt cache entry for stage {stage!r}: "
+            f"{type(error).__name__}: {error}",
+            stage=stage, digest=digest, path=str(path),
+        ))
+
+
+class KeyValueBackend:
+    """Reference adapter from the protocol to a key-value service.
+
+    Stores the same versioned pickle envelopes the disk tier writes,
+    but as *bytes under string keys* in any mutable mapping — the
+    shape of every remote key-value store (Redis, memcached, an
+    object store bucket).  A real remote backend supplies a mapping
+    proxy whose ``__getitem__`` / ``__setitem__`` do network I/O and
+    registers itself under a name (:func:`register_backend`); this
+    in-process dict variant is what the backend contract test runs
+    and doubles as a shared-nothing tier for tests and demos.
+
+    Args:
+        mapping: the key → envelope-bytes mapping (default a dict).
+        name: metric identity (``store.backend.<name>.*``).
+    """
+
+    def __init__(self, mapping: MutableMapping[str, bytes] | None = None,
+                 name: str = "kv") -> None:
+        self.name = name
+        self.stats = BackendStats()
+        self.mapping: MutableMapping[str, bytes] = \
+            mapping if mapping is not None else {}
+
+    @staticmethod
+    def _key(stage: str, digest: str) -> str:
+        return f"{stage}-{digest}"
+
+    def get(self, stage: str, digest: str) -> Any | None:
+        """Fetch and unpickle one envelope; corrupt values are misses."""
+        raw = self.mapping.get(self._key(stage, digest))
+        if raw is None:
+            self.stats.misses += 1
+            _count(self, "misses")
+            return None
+        try:
+            envelope = pickle.loads(raw)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != SCHEMA_VERSION
+                or envelope.get("stage") != stage
+                or envelope.get("digest") != digest
+            ):
+                raise ValueError("stale or foreign cache entry")
+        except _CORRUPTION_ERRORS:
+            self.mapping.pop(self._key(stage, digest), None)
+            self.stats.errors += 1
+            self.stats.misses += 1
+            _count(self, "errors")
+            return None
+        self.stats.hits += 1
+        _count(self, "hits")
+        return envelope["artifact"]
+
+    def put(self, stage: str, digest: str, artifact: Any) -> None:
+        """Pickle one envelope into the mapping (skip unpicklables)."""
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "stage": stage,
+            "digest": digest,
+            "artifact": artifact,
+        }
+        try:
+            raw = pickle.dumps(envelope,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            self.stats.errors += 1
+            _count(self, "errors")
+            return
+        self.mapping[self._key(stage, digest)] = raw
+        self.stats.puts += 1
+        _count(self, "puts")
+
+    def delete(self, stage: str, digest: str) -> bool:
+        """Drop one entry; return whether it existed."""
+        return self.mapping.pop(
+            self._key(stage, digest), None) is not None
+
+    def entries(self) -> list[tuple[str, str]]:
+        """Every stored ``(stage, digest)`` key, sorted."""
+        keys = []
+        for key in self.mapping:
+            stage, _, digest = key.partition("-")
+            if digest:
+                keys.append((stage, digest))
+        return sorted(keys)
+
+    def usage(self) -> tuple[int, int]:
+        """``(entry_count, total_bytes)`` of the mapping."""
+        return len(self.mapping), sum(
+            len(raw) for raw in self.mapping.values())
+
+    def clear(self) -> int:
+        """Drop every entry; return how many were dropped."""
+        removed = len(self.mapping)
+        self.mapping.clear()
+        return removed
+
+
+# -- backend registry ----------------------------------------------------------
+
+
+def _default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV) or ".casa_cache"
+
+
+def _make_memory(arg: str | None) -> MemoryBackend:
+    if arg is None:
+        return MemoryBackend()
+    try:
+        budget = int(arg)
+    except ValueError:
+        raise ConfigurationError(
+            f"memory backend wants a byte budget, got {arg!r}"
+        )
+    return MemoryBackend(max_bytes=budget)
+
+
+def _make_disk(arg: str | None) -> DiskBackend:
+    return DiskBackend(arg if arg else _default_cache_dir())
+
+
+def _make_kv(arg: str | None) -> KeyValueBackend:
+    del arg  # the in-process variant has nothing to configure
+    return KeyValueBackend()
+
+
+_BACKENDS: dict[str, Callable[[str | None], Any]] = {
+    "memory": _make_memory,
+    "disk": _make_disk,
+    "kv": _make_kv,
+}
+
+
+def register_backend(name: str,
+                     factory: Callable[[str | None], Any]) -> None:
+    """Register a storage backend *factory* under *name*.
+
+    The hook for remote backends: *factory* receives the text after
+    the first ``:`` of a spec (or ``None``) and returns a
+    :class:`StorageBackend`.  Registered names are accepted anywhere
+    a backend spec is — ``ArtifactStore(backend=...)``,
+    ``default_store(backend=...)``, ``repro serve --store-backend``.
+    """
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (feeds errors and CLI help)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def make_backend(spec: str) -> Any:
+    """Build one :class:`StorageBackend` from a spec string.
+
+    Grammar: ``name[:arg]`` — ``"memory"``, ``"memory:1048576"``
+    (byte budget), ``"disk"``, ``"disk:/var/cache/casa"``, or any
+    :func:`register_backend` name with its argument.
+
+    Raises:
+        UnknownBackendError: for a name outside the registry.
+        ConfigurationError: for a malformed argument.
+    """
+    name, _, arg = spec.partition(":")
+    factory = _BACKENDS.get(name)
+    if factory is None:
+        raise UnknownBackendError(name, available_backends())
+    return factory(arg if arg else None)
+
+
+# -- the two-tier store --------------------------------------------------------
 
 
 @dataclass
@@ -85,24 +649,63 @@ class StoreStats:
 
 
 class ArtifactStore:
-    """In-memory LRU plus optional on-disk pickle cache, keyed by digest.
+    """Memory LRU plus an optional persistent backend, keyed by digest.
 
     Args:
-        cache_dir: directory for the on-disk tier; ``None`` disables it
-            (memory-only store).
-        memory_items: LRU capacity of the in-memory tier.
+        cache_dir: directory for a :class:`DiskBackend` persistent
+            tier; ``None`` disables it (memory-only store).  Ignored
+            when *backend* names a tier of its own.
+        memory_items: LRU item capacity of the in-memory tier.
+        backend: the persistent tier as a spec string
+            (``"memory[:bytes]"``, ``"disk[:path]"``, a registered
+            name — see :func:`make_backend`) or a ready
+            :class:`StorageBackend`.  ``"memory[:bytes]"`` configures
+            the *front* tier instead (a memory-only store, optionally
+            byte-budgeted).
+        memory_bytes: byte budget of the in-memory tier (``None`` =
+            item-bounded only).
     """
 
     def __init__(self, cache_dir: str | os.PathLike | None = None,
-                 memory_items: int = DEFAULT_MEMORY_ITEMS) -> None:
-        self._memory: OrderedDict[tuple[str, str], Any] = OrderedDict()
-        self._memory_items = memory_items
-        self.cache_dir: Path | None = (
-            Path(cache_dir) if cache_dir is not None else None
-        )
+                 memory_items: int = DEFAULT_MEMORY_ITEMS, *,
+                 backend: "str | StorageBackend | None" = None,
+                 memory_bytes: int | None = None) -> None:
+        persist: Any = None
+        if isinstance(backend, str):
+            name, _, arg = backend.partition(":")
+            if name == "memory":
+                if arg:
+                    memory_bytes = _make_memory(arg).max_bytes
+            else:
+                if name == "disk" and not arg and cache_dir is not None:
+                    persist = DiskBackend(cache_dir)
+                else:
+                    persist = make_backend(backend)
+        elif backend is not None:
+            persist = backend
+        elif cache_dir is not None:
+            persist = DiskBackend(cache_dir)
+        self._memory = MemoryBackend(max_items=memory_items,
+                                     max_bytes=memory_bytes)
+        self._persist = persist
+        self.cache_dir: Path | None = getattr(persist, "cache_dir",
+                                              None)
         self.stats = StoreStats()
-        self.corruptions: list[CacheCorruptionError] = []
-        self._sweep_orphans()
+
+    @property
+    def memory_backend(self) -> MemoryBackend:
+        """The in-memory front tier."""
+        return self._memory
+
+    @property
+    def persistent_backend(self) -> Any:
+        """The persistent tier, or ``None`` for memory-only stores."""
+        return self._persist
+
+    @property
+    def corruptions(self) -> list[CacheCorruptionError]:
+        """Corruption records of the persistent tier (may be empty)."""
+        return getattr(self._persist, "corruptions", [])
 
     # -- lookup ---------------------------------------------------------------
 
@@ -111,19 +714,20 @@ class ArtifactStore:
         """Return the cached artifact for (*stage*, *digest*) or ``None``.
 
         Consults the memory tier first, then (when enabled and
-        *disk* is true) the on-disk tier, promoting disk hits into
+        *disk* is true) the persistent tier, promoting its hits into
         memory.
         """
-        key = (stage, digest)
-        if key in self._memory:
-            self._memory.move_to_end(key)
+        artifact = self._memory.get(stage, digest)
+        if artifact is not None:
             self.stats.memory_hits += 1
-            return self._memory[key]
-        if disk and self.cache_dir is not None:
-            artifact = self._disk_load(stage, digest)
+            return artifact
+        if disk and self._persist is not None:
+            artifact = self._persist.get(stage, digest)
+            self._sync_persist_stats()
             if artifact is not None:
                 self.stats.disk_hits += 1
-                self._memory_put(key, artifact)
+                self._memory.put(stage, digest, artifact)
+                self.stats.evictions = self._memory.stats.evictions
                 return artifact
         self.stats.misses += 1
         return None
@@ -133,17 +737,19 @@ class ArtifactStore:
         """Cache *artifact* under (*stage*, *digest*) in both tiers."""
         self.stats.puts += 1
         self.stats.per_stage[stage] = self.stats.per_stage.get(stage, 0) + 1
-        self._memory_put((stage, digest), artifact)
-        if disk and self.cache_dir is not None:
-            self._disk_store(stage, digest, artifact)
+        self._memory.put(stage, digest, artifact)
+        self.stats.evictions = self._memory.stats.evictions
+        if disk and self._persist is not None:
+            self._persist.put(stage, digest, artifact)
+            self._sync_persist_stats()
 
     def get_or_compute(self, stage: str, digest: str,
                        compute: Callable[[], Any], *,
                        disk: bool = True) -> tuple[Any, bool]:
         """Load-or-recompute: return ``(artifact, was_cached)``.
 
-        A corrupted or version-mismatched disk entry counts as a miss —
-        *compute* runs and its result replaces the bad entry.
+        A corrupted or version-mismatched persistent entry counts as a
+        miss — *compute* runs and its result replaces the bad entry.
         """
         artifact = self.get(stage, digest, disk=disk)
         if artifact is not None:
@@ -155,156 +761,42 @@ class ArtifactStore:
     # -- maintenance ----------------------------------------------------------
 
     def clear(self, *, memory: bool = True, disk: bool = True) -> int:
-        """Drop cached artifacts; return the number of disk files removed.
+        """Drop cached artifacts; return persistent entries removed.
 
         Clearing the disk tier also empties the quarantine directory.
         """
         if memory:
             self._memory.clear()
         removed = 0
-        if disk and self.cache_dir is not None and self.cache_dir.is_dir():
-            for path in self.cache_dir.glob("*.pkl"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-            for path in self.quarantined_entries():
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        if disk and self._persist is not None:
+            removed = self._persist.clear()
         return removed
 
     def disk_entries(self) -> list[Path]:
-        """Paths of every on-disk artifact (empty for memory-only)."""
-        if self.cache_dir is None or not self.cache_dir.is_dir():
-            return []
-        return sorted(self.cache_dir.glob("*.pkl"))
+        """Paths of every on-disk artifact (empty for non-disk tiers)."""
+        if isinstance(self._persist, DiskBackend):
+            return self._persist.paths()
+        return []
 
     def quarantined_entries(self) -> list[Path]:
         """Paths of every quarantined (corrupt) artifact file."""
-        if self.cache_dir is None:
-            return []
-        quarantine = self.cache_dir / QUARANTINE_DIR
-        if not quarantine.is_dir():
-            return []
-        return sorted(path for path in quarantine.iterdir()
-                      if path.is_file())
+        if isinstance(self._persist, DiskBackend):
+            return self._persist.quarantined_paths()
+        return []
 
     def disk_usage(self) -> tuple[int, int]:
-        """``(file_count, total_bytes)`` of the on-disk tier."""
-        entries = self.disk_entries()
-        return len(entries), sum(path.stat().st_size for path in entries)
+        """``(entry_count, total_bytes)`` of the persistent tier."""
+        if self._persist is None:
+            return 0, 0
+        return self._persist.usage()
 
     # -- internals ------------------------------------------------------------
 
-    def _memory_put(self, key: tuple[str, str], artifact: Any) -> None:
-        if key in self._memory:
-            self._memory.move_to_end(key)
-        self._memory[key] = artifact
-        while len(self._memory) > self._memory_items:
-            self._memory.popitem(last=False)
-            self.stats.evictions += 1
-
-    def _entry_path(self, stage: str, digest: str) -> Path:
-        assert self.cache_dir is not None
-        return self.cache_dir / f"{stage}-{digest}.pkl"
-
-    def _disk_load(self, stage: str, digest: str) -> Any | None:
-        path = self._entry_path(stage, digest)
-        if not path.is_file():
-            return None
-        try:
-            maybe_inject("store.read", stage=stage, digest=digest)
-            with path.open("rb") as handle:
-                envelope = pickle.load(handle)
-            if (
-                not isinstance(envelope, dict)
-                or envelope.get("schema") != SCHEMA_VERSION
-                or envelope.get("stage") != stage
-                or envelope.get("digest") != digest
-            ):
-                raise ValueError("stale or foreign cache entry")
-            return envelope["artifact"]
-        except _CORRUPTION_ERRORS as error:
-            # Corrupt, truncated, stale-schema or unreadable entry:
-            # quarantine it and let the caller recompute.  Anything
-            # outside _CORRUPTION_ERRORS is a real bug and propagates.
-            self._quarantine(path, stage, digest, error)
-            return None
-
-    def _quarantine(self, path: Path, stage: str, digest: str,
-                    error: BaseException) -> None:
-        """Move a corrupt entry aside and log a typed corruption record."""
-        assert self.cache_dir is not None
-        self.stats.disk_errors += 1
-        self.stats.quarantined += 1
-        metrics.inc("store.quarantined")
-        try:
-            quarantine = self.cache_dir / QUARANTINE_DIR
-            quarantine.mkdir(parents=True, exist_ok=True)
-            os.replace(path, quarantine / path.name)
-        except OSError:
-            # Quarantining is best-effort; at minimum get the bad
-            # entry out of the lookup path.
-            try:
-                path.unlink()
-            except OSError:
-                pass
-        self.corruptions.append(CacheCorruptionError(
-            f"corrupt cache entry for stage {stage!r}: "
-            f"{type(error).__name__}: {error}",
-            stage=stage, digest=digest, path=str(path),
-        ))
-
-    def _sweep_orphans(self) -> None:
-        """Remove temp files orphaned by killed writer processes.
-
-        Atomic writes go through ``<entry>.tmp.<pid>``; a process that
-        dies mid-write leaves the temp file behind.  Files belonging to
-        the current process are left alone (a concurrent write may be
-        in flight).
-        """
-        if self.cache_dir is None or not self.cache_dir.is_dir():
-            return
-        own_suffix = f".tmp.{os.getpid()}"
-        for path in self.cache_dir.glob("*.tmp.*"):
-            if path.name.endswith(own_suffix):
-                continue
-            try:
-                path.unlink()
-            except OSError:
-                pass
-
-    def _disk_store(self, stage: str, digest: str, artifact: Any) -> None:
-        assert self.cache_dir is not None
-        path = self._entry_path(stage, digest)
-        temp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            maybe_inject("store.write", stage=stage, digest=digest)
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            envelope = {
-                "schema": SCHEMA_VERSION,
-                "stage": stage,
-                "digest": digest,
-                "artifact": artifact,
-            }
-            with temp.open("wb") as handle:
-                pickle.dump(envelope, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp, path)
-        except (OSError, pickle.PicklingError, TypeError,
-                AttributeError, InjectedFault):
-            # A read-only or full filesystem (or unpicklable artifact)
-            # must not break experiments; the memory tier still holds
-            # the artifact.  Unexpected errors propagate.
-            self.stats.disk_errors += 1
-            try:
-                temp.unlink()
-            except OSError:
-                pass
+    def _sync_persist_stats(self) -> None:
+        """Mirror the persistent tier's error counters into stats."""
+        persist = self._persist
+        self.stats.disk_errors = persist.stats.errors
+        self.stats.quarantined = persist.stats.quarantined
 
 
 # -- process-wide default store ----------------------------------------------
@@ -312,24 +804,40 @@ class ArtifactStore:
 _DEFAULT_STORE: ArtifactStore | None = None
 
 
-def default_store() -> ArtifactStore:
+def default_store(backend: str | None = None) -> ArtifactStore:
     """The process-wide store used when no store is passed explicitly.
 
-    Memory-only unless the :data:`CACHE_DIR_ENV` environment variable
-    names a cache directory (the CLI configures a disk-backed store
-    explicitly via :func:`set_default_store`).
+    Created on first use: from the *backend* spec when one is given
+    (``"memory[:bytes]"`` / ``"disk[:path]"`` / a registered name —
+    see :func:`make_backend`), otherwise memory-only unless the
+    :data:`CACHE_DIR_ENV` environment variable names a cache
+    directory (the CLI configures a disk-backed store explicitly via
+    :func:`set_default_store`).  Once a store exists, it is returned
+    as-is; pass a spec to :func:`set_default_store` to replace it.
     """
     global _DEFAULT_STORE
     if _DEFAULT_STORE is None:
-        _DEFAULT_STORE = ArtifactStore(
-            cache_dir=os.environ.get(CACHE_DIR_ENV) or None
-        )
+        if backend is not None:
+            _DEFAULT_STORE = ArtifactStore(backend=backend)
+        else:
+            _DEFAULT_STORE = ArtifactStore(
+                cache_dir=os.environ.get(CACHE_DIR_ENV) or None
+            )
     return _DEFAULT_STORE
 
 
-def set_default_store(store: ArtifactStore | None) -> ArtifactStore | None:
-    """Replace the process-wide store; returns the previous one."""
+def set_default_store(store: ArtifactStore | str | None
+                      ) -> ArtifactStore | None:
+    """Replace the process-wide store; returns the previous one.
+
+    Accepts a ready :class:`ArtifactStore`, a backend spec string
+    (``"disk:/tmp/cache"`` builds the store for you), or ``None`` to
+    drop the current store (the next :func:`default_store` call
+    creates a fresh one).
+    """
     global _DEFAULT_STORE
     previous = _DEFAULT_STORE
+    if isinstance(store, str):
+        store = ArtifactStore(backend=store)
     _DEFAULT_STORE = store
     return previous

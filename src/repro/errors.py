@@ -43,6 +43,29 @@ class UnknownPolicyError(ConfigurationError):
         return (type(self), (self.name, self.choices))
 
 
+class UnknownBackendError(ConfigurationError):
+    """A storage backend name is not in the backend registry.
+
+    Attributes:
+        name: the unrecognised backend name as given.
+        choices: the valid names, sorted (the registry feeds
+            :func:`repro.engine.store.make_backend`, the CLI help text
+            and the docs).
+    """
+
+    def __init__(self, name: str, choices: tuple[str, ...] = ()) -> None:
+        super().__init__(
+            f"unknown storage backend {name!r}; "
+            f"choose from {', '.join(choices) if choices else '(none)'}"
+        )
+        self.name = name
+        self.choices = choices
+
+    def __reduce__(self):
+        """Preserve the structured attributes across pickling."""
+        return (type(self), (self.name, self.choices))
+
+
 class LayoutError(ReproError):
     """A program layout is inconsistent (overlapping or unmapped ranges)."""
 

@@ -1,180 +1,49 @@
-"""JSON (de)serialisation of conflict graphs, allocations and reports."""
+"""Deprecated alias of :mod:`repro.io.serde`.
+
+The per-class JSON helpers that used to live here are consolidated in
+:mod:`repro.io.serde` (one module for every pipeline artefact — the
+payloads the ``repro serve`` wire schemas embed).  Importing a name
+through this module still works but emits a :class:`DeprecationWarning`;
+update call sites to ``from repro.io.serde import ...`` (or the
+``repro.io`` package re-exports).
+"""
 
 from __future__ import annotations
 
-import json
-import pathlib
-from typing import Any
+import warnings
 
-from repro.core.allocation import Allocation
-from repro.core.conflict_graph import ConflictGraph, ConflictNode
-from repro.errors import ConfigurationError
-from repro.memory.loopcache import LoopRegion
-from repro.memory.stats import SimulationReport
-from repro.traces.layout import Placement
+from repro.io import serde as _serde
 
-#: Format tag written into every file for forward compatibility.
-FORMAT_VERSION = 1
-
-
-# ----------------------------------------------------------------------
-# Conflict graphs
-# ----------------------------------------------------------------------
-
-
-def conflict_graph_to_dict(graph: ConflictGraph) -> dict[str, Any]:
-    """Serialise a conflict graph to plain data."""
-    return {
-        "format": FORMAT_VERSION,
-        "kind": "conflict_graph",
-        "nodes": [
-            {
-                "name": node.name,
-                "fetches": node.fetches,
-                "size": node.size,
-                "compulsory_misses": node.compulsory_misses,
-                "self_misses": node.self_misses,
-            }
-            for node in graph.nodes()
-        ],
-        "edges": [
-            {"victim": victim, "evictor": evictor, "misses": weight}
-            for victim, evictor, weight in graph.edges()
-        ],
-    }
+#: Names forwarded to :mod:`repro.io.serde` (the module's old surface).
+_FORWARDED = (
+    "FORMAT_VERSION",
+    "allocation_from_dict",
+    "allocation_to_dict",
+    "conflict_graph_from_dict",
+    "conflict_graph_to_dict",
+    "load_allocation",
+    "load_conflict_graph",
+    "report_to_dict",
+    "save_allocation",
+    "save_conflict_graph",
+)
 
 
-def conflict_graph_from_dict(data: dict[str, Any]) -> ConflictGraph:
-    """Rebuild a conflict graph serialised by
-    :func:`conflict_graph_to_dict`."""
-    if data.get("kind") != "conflict_graph":
-        raise ConfigurationError(
-            f"not a conflict graph payload: kind={data.get('kind')!r}"
+def __getattr__(name: str):
+    """Forward old ``json_io`` names to serde with a deprecation warning."""
+    if name in _FORWARDED:
+        warnings.warn(
+            f"repro.io.json_io.{name} is deprecated; import it from "
+            "repro.io.serde (or the repro.io package) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    graph = ConflictGraph()
-    for node in data["nodes"]:
-        graph.add_node(ConflictNode(
-            name=node["name"],
-            fetches=node["fetches"],
-            size=node["size"],
-            compulsory_misses=node.get("compulsory_misses", 0),
-            self_misses=node.get("self_misses", 0),
-        ))
-    for edge in data["edges"]:
-        graph.add_edge(edge["victim"], edge["evictor"], edge["misses"])
-    return graph
-
-
-def save_conflict_graph(graph: ConflictGraph, path) -> None:
-    """Write a conflict graph as JSON."""
-    payload = conflict_graph_to_dict(graph)
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
-
-
-def load_conflict_graph(path) -> ConflictGraph:
-    """Read a conflict graph written by :func:`save_conflict_graph`."""
-    data = json.loads(pathlib.Path(path).read_text())
-    return conflict_graph_from_dict(data)
-
-
-# ----------------------------------------------------------------------
-# Allocations
-# ----------------------------------------------------------------------
-
-
-def allocation_to_dict(allocation: Allocation) -> dict[str, Any]:
-    """Serialise an allocation decision to plain data."""
-    return {
-        "format": FORMAT_VERSION,
-        "kind": "allocation",
-        "algorithm": allocation.algorithm,
-        "spm_resident": sorted(allocation.spm_resident),
-        "loop_regions": [
-            {"name": r.name, "start": r.start, "size": r.size}
-            for r in allocation.loop_regions
-        ],
-        "placement": allocation.placement.value,
-        "predicted_energy": allocation.predicted_energy,
-        "solver_nodes": allocation.solver_nodes,
-        "solver_status": allocation.solver_status,
-        "solver_gap": allocation.solver_gap,
-        "capacity": allocation.capacity,
-        "used_bytes": allocation.used_bytes,
-    }
-
-
-def allocation_from_dict(data: dict[str, Any]) -> Allocation:
-    """Rebuild an allocation serialised by
-    :func:`allocation_to_dict`."""
-    if data.get("kind") != "allocation":
-        raise ConfigurationError(
-            f"not an allocation payload: kind={data.get('kind')!r}"
-        )
-    return Allocation(
-        algorithm=data["algorithm"],
-        spm_resident=frozenset(data["spm_resident"]),
-        loop_regions=tuple(
-            LoopRegion(name=r["name"], start=r["start"], size=r["size"])
-            for r in data["loop_regions"]
-        ),
-        placement=Placement(data["placement"]),
-        predicted_energy=data.get("predicted_energy"),
-        solver_nodes=data.get("solver_nodes", 0),
-        solver_status=data.get("solver_status", ""),
-        solver_gap=data.get("solver_gap"),
-        capacity=data.get("capacity", 0),
-        used_bytes=data.get("used_bytes", 0),
+        return getattr(_serde, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
     )
 
 
-def save_allocation(allocation: Allocation, path) -> None:
-    """Write an allocation as JSON."""
-    payload = allocation_to_dict(allocation)
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
-
-
-def load_allocation(path) -> Allocation:
-    """Read an allocation written by :func:`save_allocation`."""
-    data = json.loads(pathlib.Path(path).read_text())
-    return allocation_from_dict(data)
-
-
-# ----------------------------------------------------------------------
-# Reports (export only: reports are measurement results)
-# ----------------------------------------------------------------------
-
-
-def report_to_dict(report: SimulationReport) -> dict[str, Any]:
-    """Serialise a simulation report's counters to plain data."""
-    return {
-        "format": FORMAT_VERSION,
-        "kind": "simulation_report",
-        "totals": {
-            "fetches": report.total_fetches,
-            "spm_accesses": report.spm_accesses,
-            "lc_accesses": report.lc_accesses,
-            "cache_hits": report.cache_hits,
-            "cache_misses": report.cache_misses,
-            "compulsory_misses": report.compulsory_misses,
-            "conflict_misses": report.conflict_miss_total,
-            "main_memory_words": report.main_memory_words,
-            "lc_controller_checks": report.lc_controller_checks,
-            "overlay_copy_words": report.overlay_copy_words,
-        },
-        "objects": {
-            name: {
-                "fetches": stats.fetches,
-                "spm_accesses": stats.spm_accesses,
-                "lc_accesses": stats.lc_accesses,
-                "cache_hits": stats.cache_hits,
-                "cache_misses": stats.cache_misses,
-                "compulsory_misses": stats.compulsory_misses,
-            }
-            for name, stats in sorted(report.mo_stats.items())
-        },
-        "conflicts": [
-            {"victim": victim, "evictor": evictor, "misses": count}
-            for (victim, evictor), count in
-            sorted(report.conflict_misses.items())
-        ],
-    }
+def __dir__() -> list[str]:
+    """Advertise the forwarded names for introspection."""
+    return sorted(_FORWARDED)

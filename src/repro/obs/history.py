@@ -369,6 +369,7 @@ def collect_suite_metrics(
                                              seed=seed))
     metrics.update(measure_kernel_speedup(scale=scale, seed=seed))
     metrics.update(measure_grid_speedup(scale=scale, seed=seed))
+    metrics.update(measure_serve_latency(scale=scale, seed=seed))
     metrics["wall.seconds"] = time.perf_counter() - started
     return metrics
 
@@ -601,6 +602,48 @@ def measure_grid_speedup(
         "grid.single_pass.seconds": single_pass,
         "grid.per_point.seconds": per_point,
         "grid.wall.speedup": per_point / single_pass,
+    }
+
+
+def measure_serve_latency(
+    requests: int = 24,
+    workers: int = 3,
+    workload_name: str = "tiny",
+    scale: float = DEFAULT_SUITE_SCALE,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Throughput and latency percentiles of one serve-daemon burst.
+
+    Starts the ``repro serve`` stack on a background thread with an
+    ephemeral port and drives it with a short closed-loop mixed-verb
+    burst (:func:`repro.serve.loadgen.run_load`).  Returns the timing
+    metrics (``serve.wall.rps`` and the ``serve.latency.*.seconds``
+    percentiles, tolerance-banded by the compare policy) plus two
+    exact-match counters: ``serve.requests.total`` (the burst size)
+    and ``serve.requests.failed``, which must stay zero — any failed
+    request under a clean run is a behaviour change the baseline
+    compare flags.  Runs *after* the suite registry is restored; the
+    service installs its own private registry for the burst.
+    """
+    from repro.serve.daemon import start_in_thread
+    from repro.serve.loadgen import run_load
+    from repro.serve.service import AllocationService, ServiceConfig
+
+    service = AllocationService(ServiceConfig(max_delay_s=0.02))
+    handle = start_in_thread(service)
+    try:
+        report = run_load(
+            handle.url, requests=requests, workers=workers,
+            workload=workload_name, scale=scale, seed=seed,
+        )
+    finally:
+        handle.stop()
+    return {
+        "serve.wall.rps": report.rps,
+        "serve.latency.p50.seconds": report.latency["p50"],
+        "serve.latency.p99.seconds": report.latency["p99"],
+        "serve.requests.total": float(report.requests),
+        "serve.requests.failed": float(report.failures),
     }
 
 

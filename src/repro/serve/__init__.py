@@ -1,0 +1,69 @@
+"""Allocation-as-a-service: the ``repro serve`` daemon stack.
+
+Layers, bottom up:
+
+* :mod:`repro.serve.schema` — versioned wire request/response
+  dataclasses (the canonical public API of the Session verbs);
+* :mod:`repro.serve.batching` — the micro-batching queue coalescing
+  compatible requests into shared grid chunks;
+* :mod:`repro.serve.service` — :class:`AllocationService`, which runs
+  batches through the resilience layer over tenant-sharded artifact
+  stores;
+* :mod:`repro.serve.daemon` — the asyncio HTTP/JSON listener with
+  ``/healthz`` and ``/metrics``;
+* :mod:`repro.serve.loadgen` — the closed-loop load generator behind
+  ``scripts/loadgen.py`` and the smoke gate.
+"""
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.daemon import (
+    DaemonHandle,
+    ServeDaemon,
+    run_daemon,
+    start_in_thread,
+)
+from repro.serve.loadgen import LoadReport, parse_mix, run_load
+from repro.serve.schema import (
+    SCHEMA_VERSION,
+    AllocateRequest,
+    AllocateResponse,
+    ConflictGraphRequest,
+    ConflictGraphResponse,
+    ErrorResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    SimulateRequest,
+    SimulateResponse,
+    SweepRequest,
+    SweepResponse,
+    request_from_json,
+    response_from_json,
+)
+from repro.serve.service import AllocationService, ServiceConfig
+
+__all__ = [
+    "MicroBatcher",
+    "DaemonHandle",
+    "ServeDaemon",
+    "run_daemon",
+    "start_in_thread",
+    "LoadReport",
+    "parse_mix",
+    "run_load",
+    "SCHEMA_VERSION",
+    "AllocateRequest",
+    "AllocateResponse",
+    "ConflictGraphRequest",
+    "ConflictGraphResponse",
+    "ErrorResponse",
+    "EvaluateRequest",
+    "EvaluateResponse",
+    "SimulateRequest",
+    "SimulateResponse",
+    "SweepRequest",
+    "SweepResponse",
+    "request_from_json",
+    "response_from_json",
+    "AllocationService",
+    "ServiceConfig",
+]

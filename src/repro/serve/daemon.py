@@ -1,0 +1,292 @@
+"""The asyncio HTTP/JSON front of the allocation service.
+
+A deliberately small stdlib-only HTTP/1.1 server (no web framework in
+the dependency budget): request line + headers + ``Content-Length``
+body in, JSON out, keep-alive connections.  Routes:
+
+* ``POST /v1/simulate`` | ``/v1/conflict_graph`` | ``/v1/allocate`` |
+  ``/v1/evaluate`` | ``/v1/sweep`` — one
+  :mod:`repro.serve.schema` request per call; the response envelope
+  carries the healed outcome status even for failed solves (HTTP 200),
+  while malformed payloads get HTTP 400 and unknown routes 404.
+* ``GET /healthz`` — 200 while no worker is stalled, 503 otherwise
+  (body: the JSON progress snapshot).
+* ``GET /metrics`` — Prometheus text exposition of the service's
+  progress, percentiles and counters.
+
+:func:`run_daemon` is the blocking entry point behind ``repro serve``;
+:func:`start_in_thread` runs the same daemon on a background thread
+for tests, benches and the smoke gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError, ReproError
+from repro.serve.schema import request_from_json
+from repro.serve.service import AllocationService
+
+#: URL prefix of the verb endpoints.
+API_PREFIX = "/v1/"
+
+#: HTTP reason phrases for the status codes the daemon emits.
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+def _http_response(status: int, body: bytes,
+                   content_type: str = "application/json") -> bytes:
+    """Serialise one HTTP/1.1 response with keep-alive headers."""
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def _json_body(payload: dict[str, Any]) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+class ServeDaemon:
+    """One HTTP listener bound to one :class:`AllocationService`.
+
+    Args:
+        service: the engine-facing service answering the requests.
+        host: interface to bind (default loopback).
+        port: TCP port; ``0`` picks an ephemeral port, readable from
+            :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, service: AllocationService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound listener."""
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the listener (resolving an ephemeral port request)."""
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Close the listener and wait for it to wind down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the listener must be started)."""
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """Serve one keep-alive connection until EOF or ``close``."""
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                response = await self._route(method, path, body)
+                writer.write(response)
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.LimitOverrunError):
+            pass  # client went away mid-exchange
+        except asyncio.CancelledError:
+            pass  # daemon shutting down with the connection open
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        """Parse one HTTP request; ``None`` on a closed connection."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, separator, value = line.partition(":")
+            if separator:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> bytes:
+        """Dispatch one parsed request to the service."""
+        if path == "/healthz":
+            if method != "GET":
+                return _http_response(
+                    405, _json_body({"error": "GET only"}))
+            healthy, snapshot = self.service.healthz()
+            payload = snapshot.to_json()
+            payload["healthy"] = healthy
+            return _http_response(200 if healthy else 503,
+                                  _json_body(payload))
+        if path == "/metrics":
+            if method != "GET":
+                return _http_response(
+                    405, _json_body({"error": "GET only"}))
+            text = self.service.metrics_text()
+            return _http_response(
+                200, text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4")
+        if path.startswith(API_PREFIX):
+            if method != "POST":
+                return _http_response(
+                    405, _json_body({"error": "POST only"}))
+            verb = path[len(API_PREFIX):]
+            return await self._verb(verb, body)
+        return _http_response(
+            404, _json_body({"error": f"no route {path!r}"}))
+
+    async def _verb(self, verb: str, body: bytes) -> bytes:
+        """Decode, execute and encode one schema-typed verb call."""
+        try:
+            data = json.loads(body.decode("utf-8"))
+            if not isinstance(data, dict):
+                raise ConfigurationError(
+                    "request body must be a JSON object")
+            data.setdefault("kind", verb)
+            request = request_from_json(data)
+            if request.kind != verb:
+                raise ConfigurationError(
+                    f"kind {request.kind!r} posted to /v1/{verb}")
+        except (ValueError, ReproError) as error:
+            return _http_response(400, _json_body({
+                "error": f"{type(error).__name__}: {error}"}))
+        response = await self.service.handle(request)
+        return _http_response(200, _json_body(response.to_json()))
+
+
+def run_daemon(service: AllocationService, host: str = "127.0.0.1",
+               port: int = 0,
+               announce: Callable[[str], None] | None = None) -> None:
+    """Run the daemon in the foreground until interrupted.
+
+    Starts the service (instruments installed process-wide), binds the
+    listener, calls *announce* with the bound base URL, and serves
+    until ``KeyboardInterrupt`` — then unwinds both cleanly.
+    """
+    async def main() -> None:
+        daemon = ServeDaemon(service, host, port)
+        await daemon.start()
+        if announce is not None:
+            announce(daemon.url)
+        try:
+            await daemon.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await daemon.stop()
+
+    service.start()
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+
+
+class DaemonHandle:
+    """A daemon running on a background thread (tests and benches).
+
+    Attributes:
+        url: base URL of the bound listener.
+        port: bound TCP port.
+    """
+
+    def __init__(self, daemon: ServeDaemon,
+                 loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread,
+                 service: AllocationService) -> None:
+        self._daemon = daemon
+        self._loop = loop
+        self._thread = thread
+        self._service = service
+        self.url = daemon.url
+        self.port = daemon.port
+
+    def stop(self) -> None:
+        """Stop the listener, the event loop and the service."""
+        asyncio.run_coroutine_threadsafe(
+            self._daemon.stop(), self._loop).result(timeout=10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._service.stop()
+
+
+def start_in_thread(service: AllocationService,
+                    host: str = "127.0.0.1",
+                    port: int = 0) -> DaemonHandle:
+    """Start the service + daemon on a background thread.
+
+    Returns a :class:`DaemonHandle` once the listener is bound; the
+    caller owns the handle and must :meth:`~DaemonHandle.stop` it.
+    """
+    service.start()
+    ready = threading.Event()
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        daemon = ServeDaemon(service, host, port)
+        loop.run_until_complete(daemon.start())
+        box["daemon"] = daemon
+        box["loop"] = loop
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(asyncio.gather(
+                    *pending, return_exceptions=True))
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="serve-daemon",
+                              daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30):
+        service.stop()
+        raise RuntimeError("serve daemon failed to bind a listener")
+    return DaemonHandle(box["daemon"], box["loop"], thread, service)

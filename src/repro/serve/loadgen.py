@@ -1,0 +1,225 @@
+"""Closed-loop load generator for the ``repro serve`` daemon.
+
+:func:`run_load` drives a running daemon with a configurable mix of
+verbs from closed-loop worker threads (each worker issues its next
+request only after the previous one returns — the classic closed
+system, so offered load adapts to service capacity instead of piling
+up).  Latencies feed the mergeable log-bucket
+:class:`~repro.obs.metrics.Histogram` sketch, so the resulting
+:class:`LoadReport` carries streaming p50/p90/p99 percentiles; a
+request counts as failed when HTTP status is not 200 or the response
+envelope's ``status`` is ``failed``.
+
+``scripts/loadgen.py`` wraps this module behind an argparse CLI; the
+smoke gate (``make serve-smoke``) and the bench suite's serve row both
+route through :func:`run_load`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram
+from repro.serve.schema import (
+    AllocateRequest,
+    EvaluateRequest,
+    SimulateRequest,
+    SweepRequest,
+)
+
+#: Default verb mix: mostly single-point work, some whole-axis sweeps.
+DEFAULT_MIX = "simulate=1,allocate=1,evaluate=2,sweep=1"
+
+#: The verbs a mix may name.
+MIX_VERBS = ("simulate", "allocate", "evaluate", "sweep")
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run.
+
+    Attributes:
+        requests: requests issued.
+        failures: requests that failed (HTTP != 200 or response
+            ``status`` == ``failed``).
+        wall_s: wall time of the whole run in seconds.
+        statuses: response-status histogram (``ok`` / ``retried`` /
+            ``degraded`` / ``failed`` / ``http:<code>``).
+        latency: latency summary of all requests
+            (count/mean/min/max/p50/p90/p99, seconds).
+    """
+
+    requests: int = 0
+    failures: int = 0
+    wall_s: float = 0.0
+    statuses: dict[str, int] = field(default_factory=dict)
+    latency: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def rps(self) -> float:
+        """Sustained throughput in requests per second."""
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-dict form for reports and the smoke gate."""
+        return {
+            "requests": self.requests,
+            "failures": self.failures,
+            "wall_s": round(self.wall_s, 6),
+            "rps": round(self.rps, 3),
+            "statuses": dict(sorted(self.statuses.items())),
+            "latency": self.latency,
+        }
+
+
+def parse_mix(text: str) -> list[str]:
+    """Expand a ``verb=weight,...`` mix into a round-robin verb list.
+
+    ``"simulate=1,evaluate=2"`` becomes
+    ``["simulate", "evaluate", "evaluate"]``; workers walk this list
+    round-robin by global request index, so the realised mix is
+    deterministic for a given request count.
+    """
+    expanded: list[str] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        verb, separator, weight_text = part.partition("=")
+        verb = verb.strip()
+        if verb not in MIX_VERBS:
+            raise ConfigurationError(
+                f"unknown mix verb {verb!r}; choose from {MIX_VERBS}"
+            )
+        try:
+            weight = int(weight_text) if separator else 1
+        except ValueError:
+            raise ConfigurationError(
+                f"bad mix weight in {part!r}"
+            )
+        expanded.extend([verb] * weight)
+    if not expanded:
+        raise ConfigurationError(f"empty verb mix {text!r}")
+    return expanded
+
+
+def _build_payload(verb: str, index: int, workload: str, scale: float,
+                   seed: int, axis: tuple[int, ...]) -> dict[str, Any]:
+    """The request payload of global request *index* (deterministic)."""
+    if verb == "simulate":
+        return SimulateRequest(workload, scale=scale,
+                               seed=seed).to_json()
+    if verb == "allocate":
+        return AllocateRequest(
+            workload, scale=scale, seed=seed,
+            spm_size=axis[index % len(axis)]).to_json()
+    if verb == "evaluate":
+        return EvaluateRequest(
+            workload, scale=scale, seed=seed,
+            spm_size=axis[index % len(axis)]).to_json()
+    assert verb == "sweep"
+    return SweepRequest(workload, scale=scale, seed=seed,
+                        spm_sizes=axis).to_json()
+
+
+def run_load(url: str, requests: int = 100, workers: int = 4,
+             mix: str = DEFAULT_MIX, workload: str = "tiny",
+             scale: float = 0.2, seed: int = 0,
+             spm_sizes: tuple[int, ...] | None = None,
+             timeout_s: float = 60.0) -> LoadReport:
+    """Drive the daemon at *url* with closed-loop workers.
+
+    Args:
+        url: daemon base URL (``http://host:port``).
+        requests: total requests across all workers.
+        workers: closed-loop worker threads.
+        mix: verb mix spec (see :func:`parse_mix`).
+        workload: workload every request names.
+        scale: trip-count multiplier of every request.
+        seed: executor seed of every request.
+        spm_sizes: capacity axis cycled by allocate/evaluate and swept
+            whole (``None`` = the workload's table-1 axis).
+        timeout_s: per-request socket timeout.
+
+    Returns:
+        The aggregated :class:`LoadReport`.
+    """
+    parsed = urllib.parse.urlsplit(url)
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port or 80
+    verbs = parse_mix(mix)
+    if spm_sizes is None:
+        from repro.workloads.registry import get_workload
+
+        spm_sizes = get_workload(workload, scale=scale).spm_sizes
+    axis = tuple(spm_sizes)
+
+    counter = itertools.count()
+    lock = threading.Lock()
+    histogram = Histogram()
+    statuses: dict[str, int] = {}
+    failures = [0]
+
+    def worker() -> None:
+        connection = http.client.HTTPConnection(host, port,
+                                                timeout=timeout_s)
+        try:
+            while True:
+                index = next(counter)
+                if index >= requests:
+                    return
+                verb = verbs[index % len(verbs)]
+                payload = _build_payload(verb, index, workload, scale,
+                                         seed, axis)
+                body = json.dumps(payload)
+                started = time.perf_counter()
+                try:
+                    connection.request(
+                        "POST", f"/v1/{verb}", body=body,
+                        headers={"Content-Type": "application/json"})
+                    reply = connection.getresponse()
+                    raw = reply.read()
+                    elapsed = time.perf_counter() - started
+                    if reply.status != 200:
+                        label = f"http:{reply.status}"
+                        failed = True
+                    else:
+                        data = json.loads(raw.decode("utf-8"))
+                        label = data.get("status", "ok")
+                        failed = label == "failed"
+                except (OSError, ValueError) as error:
+                    elapsed = time.perf_counter() - started
+                    label = f"error:{type(error).__name__}"
+                    failed = True
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout_s)
+                with lock:
+                    histogram.observe(elapsed)
+                    statuses[label] = statuses.get(label, 0) + 1
+                    if failed:
+                        failures[0] += 1
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=worker, name=f"loadgen-{i}")
+               for i in range(max(1, workers))]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    summary = {key: round(value, 6)
+               for key, value in histogram.summary().items()}
+    return LoadReport(requests=histogram.count, failures=failures[0],
+                      wall_s=wall, statuses=statuses, latency=summary)

@@ -1,0 +1,408 @@
+"""The allocation service: batched solves over tenant-sharded stores.
+
+:class:`AllocationService` is the daemon's engine-facing half, usable
+without any HTTP in front of it (the benches and tests drive it
+directly).  It owns:
+
+* a :class:`~repro.serve.batching.MicroBatcher` that coalesces
+  compatible requests into :class:`~repro.engine.grid.GridChunk` work
+  units;
+* a single-threaded executor on which batches run through
+  :func:`~repro.resilience.healing.map_points_healed` — the resilience
+  layer's retry/timeout/degradation ladders apply to every request,
+  and its per-outcome status/attempts/error records flow back into
+  the response envelopes;
+* one :class:`~repro.engine.store.ArtifactStore` per ``tenant`` —
+  built from a backend spec string (see
+  :func:`~repro.engine.store.make_backend`) and swapped in as the
+  process default around each tenant's batch, so tenants never share
+  cache entries;
+* a :class:`~repro.obs.live.ProgressBus` and a private
+  :class:`~repro.obs.metrics.MetricsRegistry` feeding the daemon's
+  ``/healthz`` and ``/metrics`` endpoints, correlated by one
+  ``run_id`` in the structured run log.
+
+Service metrics: ``serve.requests.<verb>``, ``serve.requests.total``,
+``serve.requests.failed``, ``serve.request.seconds``,
+``serve.batch.*`` (see :mod:`repro.serve.batching`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Hashable
+
+from repro.api import Session
+from repro.engine.grid import GridChunk
+from repro.engine.store import ArtifactStore, set_default_store
+from repro.io.serde import (
+    allocation_to_dict,
+    conflict_graph_to_dict,
+    experiment_result_to_dict,
+    report_to_dict,
+)
+from repro.obs.live import (
+    DEFAULT_STALL_TIMEOUT,
+    ProgressBus,
+    ProgressSnapshot,
+    render_prometheus,
+    set_progress_sink,
+)
+from repro.obs.logging import RunLog, log_event, new_run_id, set_run_log
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.resilience.faults import FaultPlan, set_fault_plan
+from repro.resilience.healing import (
+    HealedRun,
+    PointOutcome,
+    RetryPolicy,
+    map_points_healed,
+)
+from repro.serve.batching import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY_S,
+    Group,
+    MicroBatcher,
+)
+from repro.serve.schema import (
+    AllocateRequest,
+    AllocateResponse,
+    ConflictGraphRequest,
+    ConflictGraphResponse,
+    ErrorResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    SimulateRequest,
+    SimulateResponse,
+    SweepRequest,
+    SweepResponse,
+)
+
+#: Placeholder capacity carried by pure-simulate chunks (the baseline
+#: algorithm returns one result per axis entry and ignores the value).
+BASELINE_SIZE = 0
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`AllocationService`.
+
+    Attributes:
+        jobs: worker processes for multi-chunk batches (``<= 1`` runs
+            solves serially on the executor thread).
+        max_batch: micro-batching flush threshold (requests per
+            group).
+        max_delay_s: micro-batching flush deadline in seconds.
+        store_backend: backend spec for tenant stores —
+            ``"memory[:bytes]"``, ``"disk[:root]"`` or a registered
+            backend name (default in-memory).  A ``disk`` spec's path
+            is the *root*; each tenant gets ``root/<tenant>/``.
+        store_root: root directory for ``disk`` tenant stores when
+            the spec names none.
+        retry: per-work-unit retry/timeout policy.
+        stall_timeout: seconds a solve may run before ``/healthz``
+            reports the worker as stalled.
+        fault_spec: optional fault-injection plan installed for the
+            service's lifetime (chaos tests).
+        log_path: optional structured-log (JSONL) path; events carry
+            the service's ``run_id``.
+    """
+
+    jobs: int = 1
+    max_batch: int = DEFAULT_MAX_BATCH
+    max_delay_s: float = DEFAULT_MAX_DELAY_S
+    store_backend: str | None = None
+    store_root: str | os.PathLike | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    stall_timeout: float = DEFAULT_STALL_TIMEOUT
+    fault_spec: str | None = None
+    log_path: str | None = None
+
+
+class AllocationService:
+    """Session verbs as a long-running, batching, multi-tenant service.
+
+    Lifecycle: :meth:`start` installs the service's registry, progress
+    bus, optional fault plan and optional run log as the process-wide
+    active instruments (returning the previous ones to :meth:`stop`);
+    the HTTP daemon (:mod:`repro.serve.daemon`) then feeds
+    :meth:`handle` from its event loop.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.run_id = new_run_id()
+        self.registry = MetricsRegistry()
+        self.bus = ProgressBus(self.run_id,
+                               stall_timeout=self.config.stall_timeout)
+        self.batcher = MicroBatcher(
+            self._execute_groups_async,
+            max_batch=self.config.max_batch,
+            max_delay_s=self.config.max_delay_s,
+            registry=self.registry,
+        )
+        self._stores: dict[str, ArtifactStore] = {}
+        self._store_lock = threading.Lock()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-exec")
+        self._started = False
+        self._previous: dict[str, Any] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Install the service's instruments process-wide (idempotent)."""
+        if self._started:
+            return
+        self._previous["registry"] = set_registry(self.registry)
+        self._previous["sink"] = set_progress_sink(self.bus)
+        if self.config.fault_spec:
+            self._previous["plan"] = set_fault_plan(
+                FaultPlan.from_spec(self.config.fault_spec))
+        if self.config.log_path:
+            self._previous["log"] = set_run_log(
+                RunLog(self.config.log_path, run_id=self.run_id,
+                       source="serve"))
+        self._started = True
+        log_event("serve.start", jobs=self.config.jobs,
+                  max_batch=self.config.max_batch,
+                  backend=self.config.store_backend or "memory")
+
+    def stop(self) -> None:
+        """Restore the previous instruments and drain the executor."""
+        if not self._started:
+            return
+        log_event("serve.stop")
+        self._executor.shutdown(wait=True)
+        set_registry(self._previous.get("registry"))
+        set_progress_sink(self._previous.get("sink"))
+        if "plan" in self._previous:
+            set_fault_plan(self._previous["plan"])
+        if "log" in self._previous:
+            set_run_log(self._previous["log"])
+        self._previous = {}
+        self._started = False
+
+    # -- tenant stores --------------------------------------------------------
+
+    def tenant_store(self, tenant: str) -> ArtifactStore:
+        """The artifact store shard of *tenant* (created on first use)."""
+        with self._store_lock:
+            store = self._stores.get(tenant)
+            if store is None:
+                store = self._make_tenant_store(tenant)
+                self._stores[tenant] = store
+            return store
+
+    def _make_tenant_store(self, tenant: str) -> ArtifactStore:
+        spec = self.config.store_backend or "memory"
+        name, _, arg = spec.partition(":")
+        if name == "disk":
+            root = Path(arg or self.config.store_root or ".casa_cache")
+            return ArtifactStore(backend=f"disk:{root / tenant}")
+        return ArtifactStore(backend=spec)
+
+    @contextmanager
+    def _using_store(self, tenant: str):
+        """Swap the process default store to *tenant*'s for a batch."""
+        previous = set_default_store(self.tenant_store(tenant))
+        try:
+            yield
+        finally:
+            set_default_store(previous)
+
+    # -- request handling -----------------------------------------------------
+
+    async def handle(self, request) -> Any:
+        """Answer one request; never raises (failures become responses)."""
+        verb = type(request).kind
+        self.registry.counter(f"serve.requests.{verb}").inc()
+        self.registry.counter("serve.requests.total").inc()
+        started = time.perf_counter()
+        try:
+            if isinstance(request, ConflictGraphRequest):
+                loop = asyncio.get_running_loop()
+                response = await loop.run_in_executor(
+                    self._executor, self._run_conflict_graph, request)
+            else:
+                response = await self.batcher.submit(
+                    self._compat_key(request), request)
+        except Exception as error:  # contained: reported per request
+            self.registry.counter("serve.errors").inc()
+            response = ErrorResponse(
+                error={"type": type(error).__name__,
+                       "message": str(error),
+                       "site": str(getattr(error, "site", ""))},
+                attempts=1, run_id=self.run_id,
+            )
+        if response.status == "failed":
+            self.registry.counter("serve.requests.failed").inc()
+        self.registry.histogram("serve.request.seconds").observe(
+            time.perf_counter() - started)
+        return response
+
+    @staticmethod
+    def _compat_key(request) -> Hashable:
+        """The batching key: requests sharing it solve as one chunk."""
+        algorithm = getattr(request, "algorithm", "baseline")
+        if isinstance(request, SimulateRequest):
+            algorithm = "baseline"
+        return (
+            request.tenant, request.workload, request.scale,
+            request.seed, request.cache, request.tracegen,
+            request.backend, algorithm,
+            getattr(request, "max_regions", 4),
+        )
+
+    # -- batch execution (executor thread) ------------------------------------
+
+    async def _execute_groups_async(
+            self, groups: list[Group]) -> list[list[Any]]:
+        """Run the drained groups on the service executor."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self._execute_groups, groups)
+
+    def _execute_groups(self, groups: list[Group]) -> list[list[Any]]:
+        """Solve every group, one tenant at a time, one chunk per group.
+
+        Groups of the same tenant share one
+        :func:`~repro.resilience.healing.map_points_healed` call (and
+        its process pool when ``jobs > 1``); each group becomes one
+        grid chunk whose capacity axis merges every member request's
+        sizes.
+        """
+        by_tenant: dict[str, list[int]] = {}
+        for index, (key, _) in enumerate(groups):
+            by_tenant.setdefault(key[0], []).append(index)
+        responses: list[list[Any] | None] = [None] * len(groups)
+        for tenant, indexes in by_tenant.items():
+            chunks = []
+            axes = []
+            for index in indexes:
+                key, requests = groups[index]
+                chunk, axis = self._build_chunk(key, requests)
+                chunks.append(chunk)
+                axes.append(axis)
+            with self._using_store(tenant):
+                run: HealedRun = map_points_healed(
+                    chunks, jobs=self.config.jobs,
+                    policy=self.config.retry,
+                )
+            for outcome, index, axis in zip(run.outcomes, indexes,
+                                            axes):
+                _, requests = groups[index]
+                responses[index] = [
+                    self._respond(request, outcome, axis)
+                    for request in requests
+                ]
+        return [entries if entries is not None else []
+                for entries in responses]
+
+    def _build_chunk(self, key: Hashable,
+                     requests: list[Any]
+                     ) -> tuple[GridChunk, tuple[int, ...]]:
+        """One grid chunk covering every size the group's requests want."""
+        (_, workload, scale, seed, cache, tracegen, backend,
+         algorithm, max_regions) = key
+        sizes: set[int] = set()
+        for request in requests:
+            sizes.update(self._request_sizes(request))
+        axis = tuple(sorted(sizes))
+        return GridChunk(
+            workload=workload, spm_sizes=axis, algorithm=algorithm,
+            scale=scale, seed=seed, cache=cache, tracegen=tracegen,
+            max_regions=max_regions, backend=backend,
+        ), axis
+
+    def _request_sizes(self, request) -> tuple[int, ...]:
+        """The capacities one request needs out of its group's chunk."""
+        if isinstance(request, SimulateRequest):
+            return (BASELINE_SIZE,)
+        if isinstance(request, SweepRequest):
+            if request.spm_sizes is not None:
+                return tuple(request.spm_sizes)
+            return self._default_axis(request)
+        size = request.spm_size
+        if size is None:
+            size = min(self._default_axis(request))
+        return (size,)
+
+    @staticmethod
+    def _default_axis(request) -> tuple[int, ...]:
+        """A request's workload-default capacity axis (table 1)."""
+        from repro.workloads.registry import get_workload
+
+        return get_workload(request.workload,
+                            scale=request.scale).spm_sizes
+
+    def _respond(self, request, outcome: PointOutcome,
+                 axis: tuple[int, ...]):
+        """Map one healed chunk outcome back onto one member request."""
+        if outcome.status == "failed" or outcome.result is None:
+            return ErrorResponse(error=outcome.error,
+                                 attempts=outcome.attempts,
+                                 run_id=outcome.run_id or self.run_id)
+        results = outcome.result
+        run_id = outcome.run_id or self.run_id
+        steps = [results[axis.index(size)]
+                 for size in self._request_sizes(request)]
+        degraded = any(
+            getattr(getattr(step, "allocation", None),
+                    "solver_status", "") == "degraded"
+            for step in steps
+        )
+        status = "degraded" if degraded else (
+            "retried" if outcome.attempts > 1 else "ok")
+        envelope = {"status": status, "attempts": outcome.attempts,
+                    "error": outcome.error, "run_id": run_id}
+        if isinstance(request, SimulateRequest):
+            return SimulateResponse(
+                report=report_to_dict(steps[0].report), **envelope)
+        if isinstance(request, AllocateRequest):
+            return AllocateResponse(
+                allocation=allocation_to_dict(steps[0].allocation),
+                **envelope)
+        if isinstance(request, EvaluateRequest):
+            return EvaluateResponse(
+                result=experiment_result_to_dict(steps[0]), **envelope)
+        assert isinstance(request, SweepRequest)
+        return SweepResponse(
+            spm_sizes=self._request_sizes(request),
+            results=tuple(experiment_result_to_dict(step)
+                          for step in steps),
+            **envelope)
+
+    def _run_conflict_graph(self, request: ConflictGraphRequest
+                            ) -> ConflictGraphResponse:
+        """Profile one conflict graph directly (unbatched verb)."""
+        with self._using_store(request.tenant):
+            session = Session(
+                request.workload, cache=request.cache,
+                scale=request.scale, seed=request.seed,
+                backend=request.backend, tracegen=request.tracegen,
+            )
+            graph = session.conflict_graph()
+        return ConflictGraphResponse(
+            graph=conflict_graph_to_dict(graph), run_id=self.run_id)
+
+    # -- health and metrics ---------------------------------------------------
+
+    def snapshot(self) -> ProgressSnapshot:
+        """Progress/health snapshot over the service registry."""
+        return self.bus.snapshot(self.registry)
+
+    def healthz(self) -> tuple[bool, ProgressSnapshot]:
+        """``(healthy, snapshot)`` — unhealthy when any worker stalls."""
+        snapshot = self.snapshot()
+        return not snapshot.stalled, snapshot
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body (Prometheus text exposition format)."""
+        return render_prometheus(self.snapshot())

@@ -1,0 +1,111 @@
+"""Round-trips of the consolidated serde module and its legacy shim."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import Session
+from repro.energy.model import EnergyModel
+from repro.errors import ConfigurationError
+from repro.io.serde import (
+    allocation_from_dict,
+    allocation_to_dict,
+    energy_breakdown_from_dict,
+    energy_breakdown_to_dict,
+    energy_model_from_dict,
+    energy_model_to_dict,
+    experiment_result_from_dict,
+    experiment_result_to_dict,
+    report_from_dict,
+    report_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    """One evaluated design point of the tiny workload."""
+    return Session("tiny", scale=0.2, seed=0).evaluate(spm_size=64)
+
+
+def test_report_roundtrip(tiny_result):
+    first = report_to_dict(tiny_result.report)
+    rebuilt = report_from_dict(first)
+    second = report_to_dict(rebuilt)
+    assert second["totals"] == first["totals"]
+    assert second["objects"] == first["objects"]
+    assert second["conflicts"] == first["conflicts"]
+
+
+def test_report_rederives_aggregates(tiny_result):
+    report = tiny_result.report
+    rebuilt = report_from_dict(report_to_dict(report))
+    assert rebuilt.total_fetches == report.total_fetches
+    assert rebuilt.cache_misses == report.cache_misses
+    assert rebuilt.conflict_miss_total == report.conflict_miss_total
+
+
+def test_report_tolerates_old_payload(tiny_result):
+    data = report_to_dict(tiny_result.report)
+    for key in ("num_block_executions", "l2_hits", "l2_misses"):
+        del data["totals"][key]
+    rebuilt = report_from_dict(data)
+    assert rebuilt.l2_hits == 0
+    assert rebuilt.num_block_executions == 0
+
+
+def test_energy_model_roundtrip():
+    model = EnergyModel()
+    assert energy_model_from_dict(energy_model_to_dict(model)) == model
+
+
+def test_energy_breakdown_roundtrip(tiny_result):
+    energy = tiny_result.energy
+    rebuilt = energy_breakdown_from_dict(
+        energy_breakdown_to_dict(energy))
+    assert rebuilt == energy
+    assert rebuilt.total == pytest.approx(energy.total)
+
+
+def test_allocation_roundtrip(tiny_result):
+    allocation = tiny_result.allocation
+    rebuilt = allocation_from_dict(allocation_to_dict(allocation))
+    assert rebuilt.algorithm == allocation.algorithm
+    assert rebuilt.spm_resident == allocation.spm_resident
+    assert rebuilt.capacity == allocation.capacity
+
+
+def test_experiment_result_roundtrip(tiny_result):
+    data = experiment_result_to_dict(tiny_result)
+    rebuilt = experiment_result_from_dict(data)
+    assert rebuilt.energy.total == pytest.approx(
+        tiny_result.energy.total)
+    assert rebuilt.allocation.spm_resident == \
+        tiny_result.allocation.spm_resident
+    assert experiment_result_to_dict(rebuilt) == data
+
+
+def test_kind_mismatch_is_rejected(tiny_result):
+    data = report_to_dict(tiny_result.report)
+    data["kind"] = "allocation"
+    with pytest.raises(ConfigurationError):
+        report_from_dict(data)
+
+
+def test_json_io_shim_warns_and_forwards():
+    import repro.io.json_io as json_io
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        forwarded = json_io.report_to_dict
+    assert any(issubclass(w.category, DeprecationWarning)
+               for w in caught)
+    assert forwarded is report_to_dict
+
+
+def test_json_io_shim_rejects_unknown_names():
+    import repro.io.json_io as json_io
+
+    with pytest.raises(AttributeError):
+        json_io.no_such_helper

@@ -1,0 +1,147 @@
+"""Wire-schema round-trips and the Session request/response adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheConfig
+from repro.serve.schema import (
+    SCHEMA_VERSION,
+    AllocateRequest,
+    AllocateResponse,
+    ConflictGraphRequest,
+    ErrorResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    SimulateRequest,
+    SimulateResponse,
+    SweepRequest,
+    SweepResponse,
+    request_from_json,
+    response_from_json,
+)
+from repro.traces.tracegen import TraceGenConfig
+
+REQUESTS = [
+    SimulateRequest("tiny", scale=0.5, seed=3),
+    ConflictGraphRequest("adpcm", tenant="team-a"),
+    AllocateRequest("tiny", algorithm="steinke", spm_size=128),
+    EvaluateRequest("tiny", algorithm="casa", spm_size=64,
+                    max_regions=2),
+    SweepRequest("tiny", algorithm="greedy", spm_sizes=(64, 128)),
+    SimulateRequest(
+        "tiny",
+        cache=CacheConfig(size=256, line_size=16, associativity=2),
+        tracegen=TraceGenConfig(line_size=16, max_trace_size=32),
+        backend="vector",
+    ),
+]
+
+
+@pytest.mark.parametrize("request_obj", REQUESTS,
+                         ids=lambda r: type(r).__name__)
+def test_request_roundtrip(request_obj):
+    payload = request_obj.to_json()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["kind"] == request_obj.kind
+    assert request_from_json(payload) == request_obj
+
+
+def test_request_version_rejection():
+    payload = SimulateRequest("tiny").to_json()
+    payload["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(ConfigurationError):
+        request_from_json(payload)
+    del payload["schema_version"]
+    with pytest.raises(ConfigurationError):
+        request_from_json(payload)
+
+
+def test_request_unknown_kind():
+    with pytest.raises(ConfigurationError):
+        request_from_json({"kind": "teleport", "schema_version": 1,
+                           "workload": "tiny"})
+
+
+def test_request_requires_workload():
+    payload = SimulateRequest("tiny").to_json()
+    payload["workload"] = ""
+    with pytest.raises(ConfigurationError):
+        request_from_json(payload)
+
+
+def test_request_unknown_algorithm():
+    payload = EvaluateRequest("tiny").to_json()
+    payload["algorithm"] = "oracle"
+    with pytest.raises(ConfigurationError):
+        request_from_json(payload)
+
+
+RESPONSES = [
+    SimulateResponse(report={"kind": "simulation_report"},
+                     run_id="abc123"),
+    AllocateResponse(allocation={"kind": "allocation"},
+                     status="retried", attempts=2),
+    EvaluateResponse(result={"kind": "experiment_result"},
+                     status="degraded"),
+    SweepResponse(spm_sizes=(64, 128),
+                  results=({"kind": "experiment_result"},) * 2),
+    ErrorResponse(error={"type": "SolverError", "message": "boom",
+                         "site": "allocation"}),
+]
+
+
+@pytest.mark.parametrize("response_obj", RESPONSES,
+                         ids=lambda r: type(r).__name__)
+def test_response_roundtrip(response_obj):
+    payload = response_obj.to_json()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert response_from_json(payload) == response_obj
+
+
+def test_response_rejects_unknown_status():
+    payload = SimulateResponse(report={}).to_json()
+    payload["status"] = "confused"
+    with pytest.raises(ConfigurationError):
+        response_from_json(payload)
+
+
+class TestSessionAdapters:
+    """Session.as_request / Session.from_response mirror the verbs."""
+
+    def test_simulate_request(self):
+        session = Session("tiny", scale=0.2, seed=1)
+        request = session.as_request("simulate")
+        assert request == SimulateRequest("tiny", scale=0.2, seed=1)
+
+    def test_evaluate_request_carries_options(self):
+        session = Session("tiny", scale=0.2)
+        request = session.as_request(
+            "evaluate", method="steinke", spm_size=128,
+            tenant="team-b")
+        assert request.algorithm == "steinke"
+        assert request.spm_size == 128
+        assert request.tenant == "team-b"
+
+    def test_sweep_request_takes_axis(self):
+        request = Session("tiny").as_request(
+            "sweep", spm_sizes=(64, 128))
+        assert request.spm_sizes == (64, 128)
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Session("tiny").as_request("teleport")
+
+    def test_raw_program_sessions_cannot_travel(self, loop_program):
+        session = Session(loop_program)
+        with pytest.raises(ConfigurationError):
+            session.as_request("simulate")
+
+    def test_from_response_rejects_failures(self):
+        response = ErrorResponse(
+            error={"type": "SolverError", "message": "boom",
+                   "site": "allocation"})
+        with pytest.raises(ConfigurationError):
+            Session.from_response(response)
