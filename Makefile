@@ -7,12 +7,12 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: install test bench bench-smoke chaos-smoke serve-smoke \
-	exhibits report examples docs docs-regen clean
+	serve-chaos-smoke exhibits report examples docs docs-regen clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: bench-smoke chaos-smoke serve-smoke docs
+test: bench-smoke chaos-smoke serve-smoke serve-chaos-smoke docs
 	$(PYTHON) -m pytest tests/
 
 test-output:
@@ -53,6 +53,17 @@ serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
 	$(PYTHON) -m repro bench compare \
 		--baseline benchmarks/baselines/smoke.jsonl
+
+# Serve-layer chaos gate: a real daemon subprocess under 2x overload,
+# adversarial clients (slow-loris, mid-request disconnects, malformed
+# and oversized payloads, unknown verbs, deadline storms) and a
+# SIGTERM mid-load must never crash or print a traceback; refusals
+# are structured 503 sheds whose per-reason counters sum exactly to
+# serve.shed.total, accepted-request p99 stays bounded, and the drain
+# exits 0 with zero client-visible connection resets.
+serve-chaos-smoke:
+	$(PYTHON) -m repro serve-chaos --requests 24 \
+		--adversarial-count 2
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -39,9 +39,12 @@ MODULES = (
     "repro.io.serde",
     "repro.serve.schema",
     "repro.serve.batching",
+    "repro.serve.admission",
+    "repro.serve.breaker",
     "repro.serve.service",
     "repro.serve.daemon",
     "repro.serve.loadgen",
+    "repro.serve.chaos",
     "repro.obs.trace",
     "repro.obs.metrics",
     "repro.obs.events",

@@ -500,6 +500,80 @@ def _build_parser() -> argparse.ArgumentParser:
         "--log", default=None, metavar="FILE",
         help="append run_id-correlated structured JSON events to FILE",
     )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admission bound on concurrently admitted requests; "
+             "excess sheds with a structured 503 (default 64, "
+             "<= 0 unbounded)",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=None,
+        help="per-tenant concurrent-request bound (default none)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="rolling-window failures that open a verb's circuit "
+             "breaker (default 5, <= 0 disables breakers)",
+    )
+    serve.add_argument(
+        "--breaker-window", type=float, default=30.0,
+        help="breaker rolling-window width in seconds (default 30)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=5.0,
+        help="seconds an open breaker waits before half-opening "
+             "(default 5)",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="Retry-After hint on shed responses in seconds "
+             "(default 1)",
+    )
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=1 << 20,
+        help="refuse request bodies above this size with a "
+             "structured 400 (default 1 MiB)",
+    )
+    serve.add_argument(
+        "--client-timeout", type=float, default=30.0,
+        help="bound on each read from a client; slower clients are "
+             "disconnected (default 30, <= 0 unbounded)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds in-flight requests get to finish after "
+             "SIGTERM/SIGINT (default 10)",
+    )
+
+    serve_chaos = sub.add_parser(
+        "serve-chaos",
+        help="chaos-test a real daemon subprocess: overload, "
+             "adversarial clients and SIGTERM drain "
+             "(see docs/SERVING.md)",
+    )
+    serve_chaos.add_argument(
+        "--workload", default="tiny",
+        help="workload every request names (default tiny)")
+    serve_chaos.add_argument(
+        "--scale", type=float, default=0.2,
+        help="trip-count multiplier (default 0.2)")
+    serve_chaos.add_argument(
+        "--requests", type=int, default=48,
+        help="overload-phase request count (default 48)")
+    serve_chaos.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="the gate daemon's admission limit; the overload phase "
+             "runs twice as many workers (default 4)")
+    serve_chaos.add_argument(
+        "--p99-limit", type=float, default=2.0,
+        help="bound on accepted-request p99 under overload, in "
+             "seconds (default 2.0)")
+    serve_chaos.add_argument(
+        "--adversarial-count", type=int, default=3,
+        help="connections per adversarial client mode (default 3)")
+    serve_chaos.add_argument(
+        "--show-output", action="store_true",
+        help="print the daemon subprocess's combined output")
 
     cache = sub.add_parser(
         "cache", help="artifact-cache maintenance"
@@ -766,6 +840,12 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         stall_timeout=args.stall_timeout,
         fault_spec=args.faults or os.environ.get("CASA_FAULTS"),
         log_path=args.log,
+        max_inflight=args.max_inflight,
+        tenant_quota=args.tenant_quota,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window_s=args.breaker_window,
+        breaker_cooldown_s=args.breaker_cooldown,
+        retry_after_s=args.retry_after,
     )
     service = AllocationService(config)
 
@@ -773,8 +853,30 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         print(f"serving on {url}", flush=True)
 
     run_daemon(service, host=args.host, port=args.port,
-               announce=announce)
+               announce=announce,
+               max_body_bytes=args.max_body_bytes,
+               client_timeout_s=args.client_timeout,
+               drain_timeout_s=args.drain_timeout)
     return 0
+
+
+def _run_serve_chaos_command(args: argparse.Namespace) -> int:
+    """``casa serve-chaos`` — the serve-layer chaos gate."""
+    from repro.serve.chaos import run_serve_chaos
+
+    result = run_serve_chaos(
+        workload=args.workload,
+        scale=args.scale,
+        requests=args.requests,
+        max_inflight=args.max_inflight,
+        p99_limit_s=args.p99_limit,
+        adversarial_count=args.adversarial_count,
+    )
+    print(result.render())
+    if args.show_output or not result.ok:
+        print("--- daemon output ---")
+        print(result.daemon_output, end="")
+    return 0 if result.ok else 1
 
 
 def _run_trace_report(args: argparse.Namespace) -> int:
@@ -810,6 +912,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve_command(args)
+
+    if args.command == "serve-chaos":
+        return _run_serve_chaos_command(args)
 
     if args.command == "report" and args.run:
         return _run_trace_report(args)

@@ -370,6 +370,7 @@ def collect_suite_metrics(
     metrics.update(measure_kernel_speedup(scale=scale, seed=seed))
     metrics.update(measure_grid_speedup(scale=scale, seed=seed))
     metrics.update(measure_serve_latency(scale=scale, seed=seed))
+    metrics.update(measure_serve_overload(scale=scale, seed=seed))
     metrics["wall.seconds"] = time.perf_counter() - started
     return metrics
 
@@ -645,6 +646,104 @@ def measure_serve_latency(
         "serve.requests.total": float(report.requests),
         "serve.requests.failed": float(report.failures),
     }
+
+
+def measure_serve_overload(
+    sheds: int = 8,
+    requests: int = 16,
+    workload_name: str = "tiny",
+    scale: float = DEFAULT_SUITE_SCALE,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Hardening-layer counters and overload latency of the service.
+
+    Three short segments, the first two fully deterministic:
+
+    1. **admission** — a service bounded to one in-flight request
+       holds a slow solve in the micro-batcher while *sheds* more
+       requests arrive; every one must shed, so
+       ``serve.overload.shed.total`` is exactly *sheds*.
+    2. **breaker** — a service with ``breaker_threshold=2`` sees two
+       genuinely failing requests (an unknown workload; healed faults
+       never count), so ``serve.overload.breaker.opens`` is exactly 1
+       and the next request sheds with reason ``breaker``.
+    3. **overload latency** — a real daemon with ``max_inflight=2``
+       under ``2x`` closed-loop workers; the accepted-request p99
+       (``serve.overload.latency.p99.seconds``, tolerance-banded) is
+       the number the hardening layer protects, while
+       ``serve.overload.failed`` must stay exactly zero — under
+       admission control every refusal is a structured shed, never a
+       failure.
+    """
+    import asyncio
+
+    from repro.serve.daemon import start_in_thread
+    from repro.serve.loadgen import run_load
+    from repro.serve.schema import EvaluateRequest, SimulateRequest
+    from repro.serve.service import AllocationService, ServiceConfig
+
+    metrics: dict[str, float] = {}
+
+    # Segment 1: exactly `sheds` overload sheds behind one slow solve.
+    service = AllocationService(ServiceConfig(
+        max_inflight=1, max_delay_s=0.3))
+    service.start()
+    try:
+        async def admission_scenario() -> None:
+            slow = asyncio.ensure_future(service.handle(
+                EvaluateRequest(workload_name, scale=scale,
+                                seed=seed, spm_size=64)))
+            await asyncio.sleep(0.05)  # admitted, queued in batcher
+            for _ in range(sheds):
+                response = await service.handle(EvaluateRequest(
+                    workload_name, scale=scale, seed=seed,
+                    spm_size=64))
+                assert response.status == "shed"
+            await slow
+
+        asyncio.run(admission_scenario())
+    finally:
+        service.stop()
+    metrics["serve.overload.shed.total"] = \
+        service.registry.value("serve.shed.total")
+
+    # Segment 2: two hard failures open the verb's breaker once.
+    service = AllocationService(ServiceConfig(breaker_threshold=2))
+    service.start()
+    try:
+        async def breaker_scenario() -> None:
+            for _ in range(2):
+                await service.handle(
+                    SimulateRequest("no-such-workload"))
+            response = await service.handle(
+                SimulateRequest("no-such-workload"))
+            assert response.status == "shed"
+
+        asyncio.run(breaker_scenario())
+    finally:
+        service.stop()
+    metrics["serve.overload.breaker.opens"] = \
+        service.registry.value("serve.breaker.opens")
+
+    # Segment 3: accepted-request latency under 2x overload.
+    service = AllocationService(ServiceConfig(
+        max_inflight=2, max_delay_s=0.02))
+    handle = start_in_thread(service)
+    try:
+        run_load(handle.url, requests=4, workers=1,
+                 mix="evaluate=1", workload=workload_name,
+                 scale=scale, seed=seed)  # warm the artifact cache
+        report = run_load(
+            handle.url, requests=requests, workers=4,
+            mix="evaluate=1", workload=workload_name, scale=scale,
+            seed=seed,
+        )
+    finally:
+        handle.stop()
+    metrics["serve.overload.latency.p99.seconds"] = \
+        report.accepted_latency["p99"]
+    metrics["serve.overload.failed"] = float(report.failures)
+    return metrics
 
 
 def record_suite(

@@ -66,6 +66,9 @@ SITES = (
     "worker.exec",
     "ilp.solve",
     "kernel.replay",
+    "serve.accept",
+    "serve.parse",
+    "serve.respond",
 )
 
 #: Fault kinds a rule may request.

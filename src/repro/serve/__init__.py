@@ -6,25 +6,45 @@ Layers, bottom up:
   dataclasses (the canonical public API of the Session verbs);
 * :mod:`repro.serve.batching` — the micro-batching queue coalescing
   compatible requests into shared grid chunks;
+* :mod:`repro.serve.breaker` / :mod:`repro.serve.admission` — the
+  hardening layer: per-verb circuit breakers behind an admission
+  controller enforcing max-in-flight, per-tenant quotas and drain;
 * :mod:`repro.serve.service` — :class:`AllocationService`, which runs
-  batches through the resilience layer over tenant-sharded artifact
-  stores;
+  admitted batches through the resilience layer over tenant-sharded
+  artifact stores, propagating per-request deadlines;
 * :mod:`repro.serve.daemon` — the asyncio HTTP/JSON listener with
-  ``/healthz`` and ``/metrics``;
-* :mod:`repro.serve.loadgen` — the closed-loop load generator behind
-  ``scripts/loadgen.py`` and the smoke gate.
+  ``/healthz``, ``/readyz`` and ``/metrics``, graceful drain and
+  adversarial-client defenses;
+* :mod:`repro.serve.loadgen` — the closed-loop load generator (and
+  adversarial client modes) behind ``scripts/loadgen.py`` and the
+  smoke gates;
+* :mod:`repro.serve.chaos` — the ``repro serve-chaos`` differential
+  gate: overload, adversarial clients and drain against a real
+  daemon subprocess.
 """
 
+from repro.serve.admission import (
+    SHED_REASONS,
+    AdmissionController,
+    AdmissionTicket,
+)
 from repro.serve.batching import MicroBatcher
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.daemon import (
     DaemonHandle,
     ServeDaemon,
     run_daemon,
     start_in_thread,
 )
-from repro.serve.loadgen import LoadReport, parse_mix, run_load
+from repro.serve.loadgen import (
+    LoadReport,
+    parse_mix,
+    run_adversarial,
+    run_load,
+)
 from repro.serve.schema import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     AllocateRequest,
     AllocateResponse,
     ConflictGraphRequest,
@@ -32,6 +52,7 @@ from repro.serve.schema import (
     ErrorResponse,
     EvaluateRequest,
     EvaluateResponse,
+    ShedResponse,
     SimulateRequest,
     SimulateResponse,
     SweepRequest,
@@ -42,15 +63,21 @@ from repro.serve.schema import (
 from repro.serve.service import AllocationService, ServiceConfig
 
 __all__ = [
+    "SHED_REASONS",
+    "AdmissionController",
+    "AdmissionTicket",
     "MicroBatcher",
+    "CircuitBreaker",
     "DaemonHandle",
     "ServeDaemon",
     "run_daemon",
     "start_in_thread",
     "LoadReport",
     "parse_mix",
+    "run_adversarial",
     "run_load",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "AllocateRequest",
     "AllocateResponse",
     "ConflictGraphRequest",
@@ -58,6 +85,7 @@ __all__ = [
     "ErrorResponse",
     "EvaluateRequest",
     "EvaluateResponse",
+    "ShedResponse",
     "SimulateRequest",
     "SimulateResponse",
     "SweepRequest",

@@ -1,0 +1,141 @@
+"""Per-verb circuit breakers for the allocation service.
+
+A circuit breaker protects callers from a verb whose work path has
+started failing persistently: instead of queueing every doomed request
+into the executor (occupying batch slots and worker time), the breaker
+*opens* after a threshold of failures inside a rolling window and the
+service answers with a fast structured 503 until the path proves
+healthy again.  The classic three states:
+
+* **closed** — requests flow; failures are tracked in the rolling
+  window.  When the window holds ``threshold`` failures the breaker
+  opens (``serve.breaker.opens`` counts every transition).
+* **open** — requests shed immediately (``serve.shed.breaker``).
+  After ``cooldown_s`` the next request is admitted as a *probe* and
+  the breaker moves to half-open.
+* **half-open** — up to ``probes`` concurrent probe requests run; one
+  success closes the breaker (window cleared), one failure re-opens
+  it and restarts the cooldown.
+
+What counts as a failure is the *service's* notion — a response whose
+``status`` is ``failed``.  Shed requests never reach
+:meth:`CircuitBreaker.record` (a breaker fed by its own sheds would
+latch open forever), and ``deadline_exceeded`` responses are the
+client's budget choice, not a health signal.
+
+State is exported as the ``serve.breaker.state.<verb>`` gauge
+(:data:`STATE_VALUES`: 0 closed, 1 half-open, 2 open) and every
+transition is logged to the structured run log as a
+``serve.breaker`` event.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable
+
+#: Breaker states in increasing order of distress.
+CLOSED, HALF_OPEN, OPEN = "closed", "half_open", "open"
+
+#: Gauge encoding of the states (``serve.breaker.state.<verb>``).
+STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Default consecutive-window failure count that opens the breaker.
+DEFAULT_THRESHOLD = 5
+
+#: Default rolling-window width in seconds.
+DEFAULT_WINDOW_S = 30.0
+
+#: Default seconds an open breaker waits before probing.
+DEFAULT_COOLDOWN_S = 5.0
+
+
+class CircuitBreaker:
+    """Rolling-window failure breaker for one verb.
+
+    Args:
+        threshold: failures inside the window that open the breaker
+            (``<= 0`` disables the breaker entirely — it never opens).
+        window_s: rolling-window width in seconds.
+        cooldown_s: seconds an open breaker waits before letting a
+            probe request through (half-open).
+        probes: concurrent probe requests admitted while half-open.
+        clock: monotonic time source (overridable for tests).
+    """
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD,
+                 window_s: float = DEFAULT_WINDOW_S,
+                 cooldown_s: float = DEFAULT_COOLDOWN_S,
+                 probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.threshold = threshold
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self.probes = probes
+        self._clock = clock
+        self.state = CLOSED
+        self.opens = 0
+        self._failures: deque[float] = deque()
+        self._opened_at = 0.0
+        self._inflight_probes = 0
+
+    def _trim(self, now: float) -> None:
+        """Drop window entries older than ``window_s``."""
+        horizon = now - self.window_s
+        while self._failures and self._failures[0] < horizon:
+            self._failures.popleft()
+
+    def allow(self) -> bool:
+        """Whether a new request may pass (advances open → half-open).
+
+        Returns ``False`` exactly when the request should be shed; a
+        ``True`` from a non-closed breaker admits a probe whose
+        :meth:`record` outcome decides the next state.
+        """
+        if self.threshold <= 0 or self.state == CLOSED:
+            return True
+        now = self._clock()
+        if self.state == OPEN:
+            if now - self._opened_at < self.cooldown_s:
+                return False
+            self.state = HALF_OPEN
+            self._inflight_probes = 0
+        if self._inflight_probes >= self.probes:
+            return False
+        self._inflight_probes += 1
+        return True
+
+    def record(self, ok: bool) -> None:
+        """Feed the outcome of one admitted request into the breaker."""
+        if self.threshold <= 0:
+            return
+        now = self._clock()
+        if self.state == HALF_OPEN:
+            self._inflight_probes = max(0, self._inflight_probes - 1)
+            if ok:
+                self.state = CLOSED
+                self._failures.clear()
+            else:
+                self.state = OPEN
+                self.opens += 1
+                self._opened_at = now
+            return
+        if self.state == OPEN:
+            # A request admitted before the flip resolved late; its
+            # outcome is stale — the open window already decided.
+            return
+        if ok:
+            return
+        self._failures.append(now)
+        self._trim(now)
+        if len(self._failures) >= self.threshold:
+            self.state = OPEN
+            self.opens += 1
+            self._opened_at = now
+            self._failures.clear()
+
+    @property
+    def state_value(self) -> int:
+        """The gauge encoding of the current state."""
+        return STATE_VALUES[self.state]

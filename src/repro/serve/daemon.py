@@ -8,30 +8,65 @@ body in, JSON out, keep-alive connections.  Routes:
   ``/v1/evaluate`` | ``/v1/sweep`` — one
   :mod:`repro.serve.schema` request per call; the response envelope
   carries the healed outcome status even for failed solves (HTTP 200),
-  while malformed payloads get HTTP 400 and unknown routes 404.
-* ``GET /healthz`` — 200 while no worker is stalled, 503 otherwise
-  (body: the JSON progress snapshot).
+  shed requests get 503 + ``Retry-After``, malformed payloads a
+  *schema-shaped* 400 (an ``error.response`` body, never a bare HTTP
+  error or a 500) and unknown routes 404.
+* ``GET /healthz`` — liveness: 200 while no worker is stalled and the
+  daemon is not draining (body: the JSON progress snapshot).
+* ``GET /readyz`` — readiness: 200 while new requests would be
+  admitted; flips to 503 the instant a drain begins.
 * ``GET /metrics`` — Prometheus text exposition of the service's
-  progress, percentiles and counters.
+  progress, percentiles, counters and gauges.
+
+Hardening at this layer (the service handles admission/deadlines):
+
+* bodies above ``max_body_bytes`` and oversized header blocks are
+  refused with structured 400s before any allocation work;
+* reads are bounded by ``client_timeout_s`` so a slow-loris client
+  cannot hold a connection open indefinitely
+  (``serve.client_timeouts``);
+* a client that disconnects mid-request has its in-flight work
+  cancelled (``serve.client_disconnects``) instead of leaking an
+  orphaned solve or a stack trace;
+* the ``serve.accept`` / ``serve.parse`` / ``serve.respond`` fault
+  sites let the chaos harness fail each stage deliberately.
 
 :func:`run_daemon` is the blocking entry point behind ``repro serve``;
-:func:`start_in_thread` runs the same daemon on a background thread
-for tests, benches and the smoke gate.
+on SIGTERM/SIGINT it drains gracefully — new work sheds immediately,
+``/healthz`` and ``/readyz`` flip to 503, pending batches flush,
+in-flight requests get ``drain_timeout_s`` to finish, and the process
+exits 0.  :func:`start_in_thread` runs the same daemon on a background
+thread for tests, benches and the smoke gate.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError, ReproError
-from repro.serve.schema import request_from_json
+from repro.obs.logging import log_event
+from repro.resilience.faults import maybe_inject
+from repro.serve.schema import ErrorResponse, request_from_json
 from repro.serve.service import AllocationService
 
 #: URL prefix of the verb endpoints.
 API_PREFIX = "/v1/"
+
+#: Default bound on request body size.
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+#: Default bound on how long one read from a client may take.
+DEFAULT_CLIENT_TIMEOUT_S = 30.0
+
+#: Default budget for in-flight requests to finish during drain.
+DEFAULT_DRAIN_TIMEOUT_S = 10.0
+
+#: How often the respond-wait loop re-checks client liveness.
+_DISCONNECT_POLL_S = 0.02
 
 #: HTTP reason phrases for the status codes the daemon emits.
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -40,7 +75,9 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
 
 
 def _http_response(status: int, body: bytes,
-                   content_type: str = "application/json") -> bytes:
+                   content_type: str = "application/json",
+                   extra_headers: dict[str, str] | None = None
+                   ) -> bytes:
     """Serialise one HTTP/1.1 response with keep-alive headers."""
     reason = _REASONS.get(status, "Unknown")
     head = (
@@ -48,13 +85,52 @@ def _http_response(status: int, body: bytes,
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: keep-alive\r\n"
-        "\r\n"
     )
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += "\r\n"
     return head.encode("latin-1") + body
 
 
 def _json_body(payload: dict[str, Any]) -> bytes:
     return json.dumps(payload).encode("utf-8")
+
+
+def _error_body(error_type: str, message: str,
+                site: str = "serve.parse") -> bytes:
+    """A schema-shaped error payload (an ``error.response`` body)."""
+    return _json_body(ErrorResponse(
+        error={"type": error_type, "message": message, "site": site},
+    ).to_json())
+
+
+class _HttpError(Exception):
+    """A request refused at the HTTP layer with a structured body.
+
+    Attributes:
+        status: HTTP status to answer with.
+        error_type: the structured error's ``type`` field.
+        message: the structured error's ``message`` field.
+        close: whether the connection must close afterwards (set when
+            the offending bytes were never consumed, e.g. an
+            oversized body left unread on the socket).
+    """
+
+    def __init__(self, status: int, error_type: str, message: str,
+                 close: bool = False) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+        self.close = close
+
+    def response(self) -> bytes:
+        return _http_response(
+            self.status, _error_body(self.error_type, self.message))
+
+
+class _SlowClient(Exception):
+    """A read from the client exceeded ``client_timeout_s``."""
 
 
 class ServeDaemon:
@@ -65,13 +141,24 @@ class ServeDaemon:
         host: interface to bind (default loopback).
         port: TCP port; ``0`` picks an ephemeral port, readable from
             :attr:`port` after :meth:`start`.
+        max_body_bytes: refuse request bodies above this size with a
+            structured 400 (``<= 0`` = unbounded).
+        client_timeout_s: bound on each read from a client; a
+            slower-than-this client is disconnected
+            (``None``/``<= 0`` = unbounded).
     """
 
     def __init__(self, service: AllocationService,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 client_timeout_s: float | None =
+                 DEFAULT_CLIENT_TIMEOUT_S) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.client_timeout_s = client_timeout_s \
+            if client_timeout_s and client_timeout_s > 0 else None
         self._server: asyncio.AbstractServer | None = None
 
     @property
@@ -97,41 +184,142 @@ class ServeDaemon:
         assert self._server is not None
         await self._server.serve_forever()
 
+    async def drain(self, timeout_s: float =
+                    DEFAULT_DRAIN_TIMEOUT_S) -> bool:
+        """Gracefully wind down: shed new work, finish in-flight.
+
+        The listener stays open throughout so already-connected
+        clients observe structured 503s instead of connection resets;
+        :meth:`stop` closes it afterwards.  Returns whether all
+        in-flight work finished inside *timeout_s*.
+        """
+        return await self.service.drain(timeout_s)
+
     # -- connection handling --------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        self.service.registry.counter(name).inc()
 
     async def _client(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         """Serve one keep-alive connection until EOF or ``close``."""
         try:
-            while True:
-                request = await self._read_request(reader)
-                if request is None:
-                    break
-                method, path, headers, body = request
-                response = await self._route(method, path, body)
-                writer.write(response)
-                await writer.drain()
-                if headers.get("connection", "").lower() == "close":
-                    break
-        except (ConnectionResetError, BrokenPipeError,
-                asyncio.LimitOverrunError):
-            pass  # client went away mid-exchange
+            maybe_inject("serve.accept")
+            await self._exchange_loop(reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            self._count("serve.client_disconnects")
+        except _SlowClient:
+            self._count("serve.client_timeouts")
         except asyncio.CancelledError:
             pass  # daemon shutting down with the connection open
+        except Exception as error:
+            # An injected serve.accept fault or anything else the
+            # stages missed: close this connection, never the daemon.
+            self._count("serve.connection_errors")
+            log_event("serve.connection_error",
+                      error=type(error).__name__, message=str(error))
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                # CancelledError: the daemon is shutting down and
+                # cancelled this task mid-close; the transport is
+                # already going away, so finish quietly instead of
+                # surfacing a cancellation traceback from the loop.
                 pass
 
-    @staticmethod
-    async def _read_request(reader: asyncio.StreamReader):
-        """Parse one HTTP request; ``None`` on a closed connection."""
+    async def _exchange_loop(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """The request/response loop of one keep-alive connection."""
+        while True:
+            try:
+                request = await self._read_request(reader)
+            except _HttpError as error:
+                writer.write(error.response())
+                await writer.drain()
+                if error.close:
+                    return
+                continue
+            if request is None:
+                return
+            method, path, headers, body = request
+            response = await self._respond(reader, writer, method,
+                                           path, body)
+            if response is None:
+                return  # client disconnected mid-request
+            maybe_inject("serve.respond")
+            writer.write(response)
+            await writer.drain()
+            if headers.get("connection", "").lower() == "close":
+                return
+
+    async def _respond(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter, method: str,
+                       path: str, body: bytes) -> bytes | None:
+        """Run the route while watching for a client disconnect.
+
+        The route runs as its own task; if the client goes away while
+        it is in flight the task is cancelled — the cancellation
+        propagates through the service (releasing the admission slot)
+        so orphaned work never occupies the executor.  Returns
+        ``None`` when the client disconnected.
+        """
+        route = asyncio.ensure_future(
+            self._route(method, path, body))
+        while True:
+            done, _ = await asyncio.wait(
+                {route}, timeout=_DISCONNECT_POLL_S)
+            gone = reader.at_eof() or writer.is_closing() \
+                or reader.exception() is not None
+            if done:
+                # Fast routes can finish inside the first poll window;
+                # writing into a freshly closed loopback socket does
+                # not raise, so the disconnect must be noticed here or
+                # it leaves no trace at all.  (A well-behaved client
+                # never half-closes before reading its response, so
+                # EOF at this point always means the client is gone.)
+                if gone:
+                    self._count("serve.client_disconnects")
+                    route.exception()  # retrieve, nobody to tell
+                    return None
+                return route.result()
+            if gone:
+                self._count("serve.client_disconnects")
+                route.cancel()
+                try:
+                    await route
+                except (asyncio.CancelledError, Exception):
+                    pass
+                return None
+
+    async def _read(self, awaitable):
+        """One bounded read; :class:`_SlowClient` on timeout."""
+        if self.client_timeout_s is None:
+            return await awaitable
         try:
-            head = await reader.readuntil(b"\r\n\r\n")
+            return await asyncio.wait_for(awaitable,
+                                          self.client_timeout_s)
+        except asyncio.TimeoutError:
+            raise _SlowClient() from None
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one HTTP request; ``None`` on a closed connection.
+
+        Raises :class:`_HttpError` for refusals that deserve a
+        structured 400 and :class:`_SlowClient` when the client is
+        too slow to finish a read.
+        """
+        try:
+            head = await self._read(reader.readuntil(b"\r\n\r\n"))
         except (asyncio.IncompleteReadError, ConnectionResetError):
             return None
+        except asyncio.LimitOverrunError:
+            raise _HttpError(
+                400, "OversizedHeader",
+                "request header block exceeds the stream limit",
+                close=True) from None
         lines = head.decode("latin-1").split("\r\n")
         parts = lines[0].split(" ")
         if len(parts) < 2:
@@ -142,8 +330,23 @@ class ServeDaemon:
             name, separator, value = line.partition(":")
             if separator:
                 headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or 0)
-        body = await reader.readexactly(length) if length else b""
+        try:
+            length = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            raise _HttpError(
+                400, "MalformedRequest",
+                "content-length is not an integer",
+                close=True) from None
+        if 0 < self.max_body_bytes < length:
+            raise _HttpError(
+                400, "OversizedBody",
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit", close=True)
+        try:
+            body = await self._read(reader.readexactly(length)) \
+                if length else b""
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
         return method, path, headers, body
 
     async def _route(self, method: str, path: str,
@@ -152,16 +355,26 @@ class ServeDaemon:
         if path == "/healthz":
             if method != "GET":
                 return _http_response(
-                    405, _json_body({"error": "GET only"}))
+                    405, _error_body("MethodNotAllowed", "GET only"))
             healthy, snapshot = self.service.healthz()
             payload = snapshot.to_json()
             payload["healthy"] = healthy
+            payload["draining"] = self.service.draining
             return _http_response(200 if healthy else 503,
                                   _json_body(payload))
+        if path == "/readyz":
+            if method != "GET":
+                return _http_response(
+                    405, _error_body("MethodNotAllowed", "GET only"))
+            ready = self.service.readyz()
+            return _http_response(
+                200 if ready else 503,
+                _json_body({"ready": ready,
+                            "draining": self.service.draining}))
         if path == "/metrics":
             if method != "GET":
                 return _http_response(
-                    405, _json_body({"error": "GET only"}))
+                    405, _error_body("MethodNotAllowed", "GET only"))
             text = self.service.metrics_text()
             return _http_response(
                 200, text.encode("utf-8"),
@@ -169,50 +382,92 @@ class ServeDaemon:
         if path.startswith(API_PREFIX):
             if method != "POST":
                 return _http_response(
-                    405, _json_body({"error": "POST only"}))
+                    405, _error_body("MethodNotAllowed", "POST only"))
             verb = path[len(API_PREFIX):]
             return await self._verb(verb, body)
         return _http_response(
-            404, _json_body({"error": f"no route {path!r}"}))
+            404, _error_body("UnknownRoute", f"no route {path!r}",
+                             site="serve.route"))
 
     async def _verb(self, verb: str, body: bytes) -> bytes:
         """Decode, execute and encode one schema-typed verb call."""
         try:
+            maybe_inject("serve.parse")
             data = json.loads(body.decode("utf-8"))
             if not isinstance(data, dict):
                 raise ConfigurationError(
                     "request body must be a JSON object")
             data.setdefault("kind", verb)
-            request = request_from_json(data)
-            if request.kind != verb:
+            if data.get("kind") != verb:
                 raise ConfigurationError(
-                    f"kind {request.kind!r} posted to /v1/{verb}")
+                    f"kind {data.get('kind')!r} posted to /v1/{verb}")
+            request = request_from_json(data)
+        except json.JSONDecodeError as error:
+            return _http_response(
+                400, _error_body("MalformedRequest",
+                                 f"invalid JSON: {error}"))
+        except UnicodeDecodeError:
+            return _http_response(
+                400, _error_body("MalformedRequest",
+                                 "request body is not valid UTF-8"))
         except (ValueError, ReproError) as error:
-            return _http_response(400, _json_body({
-                "error": f"{type(error).__name__}: {error}"}))
+            error_type = "UnknownVerb" \
+                if "unknown request kind" in str(error) \
+                else type(error).__name__
+            return _http_response(
+                400, _error_body(error_type, str(error)))
         response = await self.service.handle(request)
-        return _http_response(200, _json_body(response.to_json()))
+        payload = _json_body(response.to_json())
+        if response.status == "shed":
+            return _http_response(
+                503, payload,
+                extra_headers={"Retry-After":
+                               f"{response.retry_after_s:g}"})
+        return _http_response(200, payload)
 
 
 def run_daemon(service: AllocationService, host: str = "127.0.0.1",
                port: int = 0,
-               announce: Callable[[str], None] | None = None) -> None:
+               announce: Callable[[str], None] | None = None,
+               max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+               client_timeout_s: float | None =
+               DEFAULT_CLIENT_TIMEOUT_S,
+               drain_timeout_s: float =
+               DEFAULT_DRAIN_TIMEOUT_S) -> None:
     """Run the daemon in the foreground until interrupted.
 
     Starts the service (instruments installed process-wide), binds the
     listener, calls *announce* with the bound base URL, and serves
-    until ``KeyboardInterrupt`` — then unwinds both cleanly.
+    until SIGTERM/SIGINT — then drains gracefully: admission refuses
+    new work (``/healthz`` and ``/readyz`` flip to 503 immediately),
+    pending batches flush, in-flight requests get *drain_timeout_s* to
+    finish, and both daemon and service unwind cleanly (exit 0).
     """
     async def main() -> None:
-        daemon = ServeDaemon(service, host, port)
+        daemon = ServeDaemon(service, host, port,
+                             max_body_bytes=max_body_bytes,
+                             client_timeout_s=client_timeout_s)
         await daemon.start()
         if announce is not None:
             announce(daemon.url)
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stopping.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without support
+        serving = asyncio.ensure_future(daemon.serve_forever())
         try:
-            await daemon.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await stopping.wait()
+            log_event("serve.signal")
+            await daemon.drain(drain_timeout_s)
         finally:
+            serving.cancel()
+            try:
+                await serving
+            except asyncio.CancelledError:
+                pass
             await daemon.stop()
 
     service.start()
@@ -243,6 +498,13 @@ class DaemonHandle:
         self.url = daemon.url
         self.port = daemon.port
 
+    def drain(self, timeout_s: float =
+              DEFAULT_DRAIN_TIMEOUT_S) -> bool:
+        """Run a graceful drain on the daemon's loop (blocking)."""
+        return asyncio.run_coroutine_threadsafe(
+            self._daemon.drain(timeout_s), self._loop
+        ).result(timeout=timeout_s + 10)
+
     def stop(self) -> None:
         """Stop the listener, the event loop and the service."""
         asyncio.run_coroutine_threadsafe(
@@ -254,7 +516,10 @@ class DaemonHandle:
 
 def start_in_thread(service: AllocationService,
                     host: str = "127.0.0.1",
-                    port: int = 0) -> DaemonHandle:
+                    port: int = 0,
+                    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                    client_timeout_s: float | None =
+                    DEFAULT_CLIENT_TIMEOUT_S) -> DaemonHandle:
     """Start the service + daemon on a background thread.
 
     Returns a :class:`DaemonHandle` once the listener is bound; the
@@ -267,7 +532,9 @@ def start_in_thread(service: AllocationService,
     def runner() -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
-        daemon = ServeDaemon(service, host, port)
+        daemon = ServeDaemon(service, host, port,
+                             max_body_bytes=max_body_bytes,
+                             client_timeout_s=client_timeout_s)
         loop.run_until_complete(daemon.start())
         box["daemon"] = daemon
         box["loop"] = loop

@@ -9,10 +9,13 @@ objects travel as the canonical :mod:`repro.io.serde` payloads, so a
 response body decodes back into the same domain objects a local
 session returns (:meth:`repro.api.Session.from_response`).
 
-Version policy: :data:`SCHEMA_VERSION` bumps on any
-backwards-incompatible change; a daemon rejects requests whose
-``schema_version`` it does not speak (and clients likewise responses),
-so version skew fails loudly at the edge instead of deep in a solve.
+Version policy: :data:`SCHEMA_VERSION` is what this build *emits*;
+:data:`SUPPORTED_SCHEMA_VERSIONS` is what it *accepts*.  Purely
+additive changes (version 2 added the optional ``deadline_ms`` request
+field and the ``shed`` / ``deadline_exceeded`` statuses) keep older
+versions in the supported set, so a v1 client keeps working against a
+v2 daemon; a truly incompatible change drops them, and version skew
+then fails loudly at the edge instead of deep in a solve.
 """
 
 from __future__ import annotations
@@ -25,24 +28,34 @@ from repro.errors import ConfigurationError
 from repro.memory.cache import CacheConfig
 from repro.traces.tracegen import TraceGenConfig
 
-#: Wire format version; bumped on backwards-incompatible changes.
-SCHEMA_VERSION = 1
+#: Wire format version this build emits.  v2 added the optional
+#: ``deadline_ms`` request field plus the ``shed`` and
+#: ``deadline_exceeded`` response statuses.
+SCHEMA_VERSION = 2
+
+#: Versions this build accepts (v1 payloads simply lack the
+#: additive v2 fields, so they decode with the defaults).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Tenant used when a request does not name one.
 DEFAULT_TENANT = "default"
 
-#: The statuses a response may carry (mirrors
-#: :data:`repro.resilience.healing.OUTCOME_STATUSES`).
-RESPONSE_STATUSES = ("ok", "retried", "degraded", "failed")
+#: The statuses a response may carry: the healed-evaluation outcomes
+#: (mirroring :data:`repro.resilience.healing.OUTCOME_STATUSES`) plus
+#: the two service-level refusals — ``deadline_exceeded`` (the
+#: request's ``deadline_ms`` budget ran out) and ``shed`` (admission
+#: control refused it; retry later).
+RESPONSE_STATUSES = ("ok", "retried", "degraded", "failed",
+                     "deadline_exceeded", "shed")
 
 
 def _require_version(data: dict[str, Any]) -> None:
-    """Reject payloads from a different schema version."""
+    """Reject payloads from an unsupported schema version."""
     version = data.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ConfigurationError(
             f"unsupported schema_version {version!r} "
-            f"(this build speaks {SCHEMA_VERSION})"
+            f"(this build speaks {SUPPORTED_SCHEMA_VERSIONS})"
         )
 
 
@@ -109,6 +122,11 @@ class _RequestBase:
         backend: simulation backend (``reference`` | ``vector`` |
             ``auto`` | ``None``).
         tenant: artifact-store shard this request's caching lands in.
+        deadline_ms: optional end-to-end budget in milliseconds,
+            measured from the moment the daemon admits the request.
+            A request that cannot finish inside the budget is answered
+            with status ``deadline_exceeded`` instead of occupying a
+            worker (``None`` = no deadline, the v1 behavior).
     """
 
     workload: str
@@ -118,6 +136,7 @@ class _RequestBase:
     tracegen: TraceGenConfig | None = None
     backend: str | None = None
     tenant: str = DEFAULT_TENANT
+    deadline_ms: int | None = None
 
     #: Wire discriminator; overridden per subclass.
     kind = ""
@@ -134,6 +153,7 @@ class _RequestBase:
             "tracegen": _tracegen_to_dict(self.tracegen),
             "backend": self.backend,
             "tenant": self.tenant,
+            "deadline_ms": self.deadline_ms,
         }
 
     def to_json(self) -> dict[str, Any]:
@@ -145,6 +165,13 @@ def _common_kwargs(data: dict[str, Any]) -> dict[str, Any]:
     """Decode the shared request fields from a payload dict."""
     if not data.get("workload"):
         raise ConfigurationError("request payload names no workload")
+    deadline_ms = data.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, int) or deadline_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be a positive integer, "
+                f"got {deadline_ms!r}"
+            )
     return {
         "workload": data["workload"],
         "scale": data.get("scale", 1.0),
@@ -153,6 +180,7 @@ def _common_kwargs(data: dict[str, Any]) -> dict[str, Any]:
         "tracegen": _tracegen_from_dict(data.get("tracegen")),
         "backend": data.get("backend"),
         "tenant": data.get("tenant", DEFAULT_TENANT),
+        "deadline_ms": deadline_ms,
     }
 
 
@@ -518,12 +546,49 @@ class ErrorResponse(_ResponseBase):
         return cls(**_outcome_kwargs(data))
 
 
+@dataclass(frozen=True)
+class ShedResponse(_ResponseBase):
+    """A request admission control refused (``status`` = ``shed``).
+
+    Travels with HTTP 503 + a ``Retry-After`` header; the body mirrors
+    the header so non-HTTP transports see the same hint.
+
+    Attributes:
+        reason: why admission refused — one of
+            :data:`repro.serve.admission.SHED_REASONS`.
+        retry_after_s: how long the client should back off.
+    """
+
+    status: str = "shed"
+    reason: str = "overload"
+    retry_after_s: float = 1.0
+
+    kind = "shed.response"
+
+    def to_json(self) -> dict[str, Any]:
+        """The full response as a JSON-able dict."""
+        data = self._common_json()
+        data["reason"] = self.reason
+        data["retry_after_s"] = self.retry_after_s
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ShedResponse":
+        """Decode a :meth:`to_json` payload (version-checked)."""
+        _require_version(data)
+        return cls(
+            reason=data.get("reason", "overload"),
+            retry_after_s=data.get("retry_after_s", 1.0),
+            **_outcome_kwargs(data),
+        )
+
+
 #: Wire ``kind`` → response class, the client's decoding table.
 RESPONSE_KINDS: dict[str, type] = {
     cls.kind: cls
     for cls in (SimulateResponse, ConflictGraphResponse,
                 AllocateResponse, EvaluateResponse, SweepResponse,
-                ErrorResponse)
+                ErrorResponse, ShedResponse)
 }
 
 

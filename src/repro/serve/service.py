@@ -22,9 +22,22 @@ directly).  It owns:
   ``/healthz`` and ``/metrics`` endpoints, correlated by one
   ``run_id`` in the structured run log.
 
+The hardening layer sits in front of all of that: every request first
+passes the :class:`~repro.serve.admission.AdmissionController` (drain
+→ per-verb circuit breaker → max-in-flight → tenant quota; refusals
+become :class:`~repro.serve.schema.ShedResponse`), and an admitted
+request's optional ``deadline_ms`` budget is tracked from admission —
+requests that expire while queued in the micro-batcher are answered
+``deadline_exceeded`` without ever touching a worker, and when every
+live member of a batch carries a deadline the batch's
+:class:`~repro.resilience.healing.RetryPolicy` timeout is tightened
+to the nearest one.
+
 Service metrics: ``serve.requests.<verb>``, ``serve.requests.total``,
 ``serve.requests.failed``, ``serve.request.seconds``,
-``serve.batch.*`` (see :mod:`repro.serve.batching`).
+``serve.batch.*`` (see :mod:`repro.serve.batching`),
+``serve.shed.*``/``serve.inflight``/``serve.breaker.*`` (see
+:mod:`repro.serve.admission`) and ``serve.deadline.*`` (below).
 """
 
 from __future__ import annotations
@@ -35,7 +48,7 @@ import os
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Hashable
 
@@ -64,11 +77,21 @@ from repro.resilience.healing import (
     RetryPolicy,
     map_points_healed,
 )
+from repro.serve.admission import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_RETRY_AFTER_S,
+    AdmissionController,
+    AdmissionTicket,
+)
 from repro.serve.batching import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_DELAY_S,
     Group,
     MicroBatcher,
+)
+from repro.serve.breaker import (
+    DEFAULT_COOLDOWN_S,
+    DEFAULT_WINDOW_S,
 )
 from repro.serve.schema import (
     AllocateRequest,
@@ -78,6 +101,7 @@ from repro.serve.schema import (
     ErrorResponse,
     EvaluateRequest,
     EvaluateResponse,
+    ShedResponse,
     SimulateRequest,
     SimulateResponse,
     SweepRequest,
@@ -87,6 +111,34 @@ from repro.serve.schema import (
 #: Placeholder capacity carried by pure-simulate chunks (the baseline
 #: algorithm returns one result per axis entry and ignores the value).
 BASELINE_SIZE = 0
+
+
+@dataclass
+class _Pending:
+    """One admitted request travelling through the micro-batcher.
+
+    Attributes:
+        request: the wire request.
+        deadline: absolute :func:`time.monotonic` expiry derived from
+            the request's ``deadline_ms`` at admission (``None`` = no
+            deadline).
+    """
+
+    request: Any
+    deadline: float | None = None
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the deadline has passed."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) \
+            >= self.deadline
+
+    def remaining(self, now: float) -> float:
+        """Seconds of budget left (``inf`` without a deadline)."""
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - now
 
 
 @dataclass
@@ -112,6 +164,18 @@ class ServiceConfig:
             service's lifetime (chaos tests).
         log_path: optional structured-log (JSONL) path; events carry
             the service's ``run_id``.
+        max_inflight: admission bound on concurrently admitted
+            requests (``<= 0`` = unbounded).
+        tenant_quota: per-tenant concurrent-request bound (``None``
+            or ``<= 0`` = unbounded).
+        breaker_threshold: rolling-window failures that open a verb's
+            circuit breaker (``<= 0`` disables breakers, the
+            default).
+        breaker_window_s: breaker rolling-window width in seconds.
+        breaker_cooldown_s: seconds an open breaker waits before
+            half-opening.
+        retry_after_s: ``Retry-After`` hint attached to shed
+            responses.
     """
 
     jobs: int = 1
@@ -123,6 +187,12 @@ class ServiceConfig:
     stall_timeout: float = DEFAULT_STALL_TIMEOUT
     fault_spec: str | None = None
     log_path: str | None = None
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    tenant_quota: int | None = None
+    breaker_threshold: int = 0
+    breaker_window_s: float = DEFAULT_WINDOW_S
+    breaker_cooldown_s: float = DEFAULT_COOLDOWN_S
+    retry_after_s: float = DEFAULT_RETRY_AFTER_S
 
 
 class AllocationService:
@@ -146,6 +216,15 @@ class AllocationService:
             max_batch=self.config.max_batch,
             max_delay_s=self.config.max_delay_s,
             registry=self.registry,
+        )
+        self.admission = AdmissionController(
+            self.registry,
+            max_inflight=self.config.max_inflight,
+            tenant_quota=self.config.tenant_quota,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_window_s=self.config.breaker_window_s,
+            breaker_cooldown_s=self.config.breaker_cooldown_s,
+            retry_after_s=self.config.retry_after_s,
         )
         self._stores: dict[str, ArtifactStore] = {}
         self._store_lock = threading.Lock()
@@ -220,19 +299,39 @@ class AllocationService:
     # -- request handling -----------------------------------------------------
 
     async def handle(self, request) -> Any:
-        """Answer one request; never raises (failures become responses)."""
+        """Answer one request; never raises (failures become responses).
+
+        The request first passes admission control — a refusal is
+        answered with a :class:`ShedResponse` (the daemon maps it to
+        503 + ``Retry-After``) without entering the batcher.  Admitted
+        requests hold their :class:`AdmissionTicket` until the
+        response is ready; the ticket's release feeds the verb's
+        circuit breaker (``ok`` unless the response status is
+        ``failed`` — sheds and deadline misses are not health
+        signals).
+        """
         verb = type(request).kind
         self.registry.counter(f"serve.requests.{verb}").inc()
         self.registry.counter("serve.requests.total").inc()
         started = time.perf_counter()
+        admitted = self.admission.try_admit(verb, request.tenant)
+        if isinstance(admitted, str):
+            self.registry.histogram("serve.request.seconds").observe(
+                time.perf_counter() - started)
+            return ShedResponse(
+                reason=admitted,
+                retry_after_s=self.admission.retry_after_s,
+                run_id=self.run_id,
+            )
+        ticket: AdmissionTicket = admitted
+        response = None
         try:
-            if isinstance(request, ConflictGraphRequest):
-                loop = asyncio.get_running_loop()
-                response = await loop.run_in_executor(
-                    self._executor, self._run_conflict_graph, request)
-            else:
-                response = await self.batcher.submit(
-                    self._compat_key(request), request)
+            response = await self._dispatch(request)
+        except asyncio.CancelledError:
+            # The client vanished (daemon cancelled the orphaned
+            # work); not a health signal for the breaker.
+            ticket.release(ok=True)
+            raise
         except Exception as error:  # contained: reported per request
             self.registry.counter("serve.errors").inc()
             response = ErrorResponse(
@@ -241,11 +340,50 @@ class AllocationService:
                        "site": str(getattr(error, "site", ""))},
                 attempts=1, run_id=self.run_id,
             )
+        finally:
+            ticket.release(
+                ok=response is not None
+                and response.status != "failed")
         if response.status == "failed":
             self.registry.counter("serve.requests.failed").inc()
+        elif response.status == "deadline_exceeded":
+            self.registry.counter("serve.deadline.exceeded").inc()
         self.registry.histogram("serve.request.seconds").observe(
             time.perf_counter() - started)
         return response
+
+    async def _dispatch(self, request) -> Any:
+        """Route one admitted request to its execution path."""
+        pending = _Pending(request, self._deadline_of(request))
+        if isinstance(request, ConflictGraphRequest):
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._executor, self._run_conflict_graph, pending)
+        return await self.batcher.submit(
+            self._compat_key(request), pending)
+
+    @staticmethod
+    def _deadline_of(request) -> float | None:
+        """Absolute monotonic expiry of a request's ``deadline_ms``."""
+        deadline_ms = getattr(request, "deadline_ms", None)
+        if deadline_ms is None:
+            return None
+        return time.monotonic() + deadline_ms / 1000.0
+
+    def _deadline_response(self, pending: _Pending,
+                           queued: bool) -> ErrorResponse:
+        """The ``deadline_exceeded`` answer for one expired request."""
+        if queued:
+            self.registry.counter(
+                "serve.deadline.expired_in_queue").inc()
+        site = "serve.queue" if queued else "serve.execute"
+        return ErrorResponse(
+            status="deadline_exceeded",
+            error={"type": "DeadlineExceeded",
+                   "message": "request deadline_ms budget exhausted",
+                   "site": site},
+            run_id=self.run_id,
+        )
 
     @staticmethod
     def _compat_key(request) -> Hashable:
@@ -277,7 +415,17 @@ class AllocationService:
         its process pool when ``jobs > 1``); each group becomes one
         grid chunk whose capacity axis merges every member request's
         sizes.
+
+        Deadline handling happens here, at the queue/execute seam:
+        members whose budget already ran out while queued are answered
+        ``deadline_exceeded`` without contributing to the chunk, and
+        when *every* surviving member of a tenant's batch carries a
+        deadline the batch's retry policy timeout is tightened to the
+        nearest remaining budget (``serve.deadline.applied``) — a
+        mixed batch keeps the configured timeout so deadline-free
+        members' work is never killed early.
         """
+        now = time.monotonic()
         by_tenant: dict[str, list[int]] = {}
         for index, (key, _) in enumerate(groups):
             by_tenant.setdefault(key[0], []).append(index)
@@ -285,25 +433,71 @@ class AllocationService:
         for tenant, indexes in by_tenant.items():
             chunks = []
             axes = []
+            live_indexes = []
+            live_members: list[_Pending] = []
             for index in indexes:
-                key, requests = groups[index]
-                chunk, axis = self._build_chunk(key, requests)
+                key, members = groups[index]
+                live = [m for m in members if not m.expired(now)]
+                if not live:
+                    responses[index] = [
+                        self._deadline_response(m, queued=True)
+                        for m in members
+                    ]
+                    continue
+                chunk, axis = self._build_chunk(
+                    key, [m.request for m in live])
                 chunks.append(chunk)
                 axes.append(axis)
+                live_indexes.append(index)
+                live_members.extend(live)
+            if not chunks:
+                continue
+            policy = self._policy_for(live_members, now)
             with self._using_store(tenant):
                 run: HealedRun = map_points_healed(
                     chunks, jobs=self.config.jobs,
-                    policy=self.config.retry,
+                    policy=policy,
                 )
-            for outcome, index, axis in zip(run.outcomes, indexes,
-                                            axes):
-                _, requests = groups[index]
+            for outcome, index, axis in zip(run.outcomes,
+                                            live_indexes, axes):
+                _, members = groups[index]
                 responses[index] = [
-                    self._respond(request, outcome, axis)
-                    for request in requests
+                    self._member_response(member, outcome, axis, now)
+                    for member in members
                 ]
         return [entries if entries is not None else []
                 for entries in responses]
+
+    def _policy_for(self, members: list[_Pending],
+                    now: float) -> RetryPolicy:
+        """The retry policy of one tenant batch, deadline-tightened.
+
+        Only when every member carries a deadline: the batch timeout
+        becomes the smallest remaining budget (floored at 1 ms so an
+        about-to-expire member still fails through the normal timeout
+        path rather than a zero timeout).
+        """
+        policy = self.config.retry
+        if any(member.deadline is None for member in members):
+            return policy
+        budget = max(0.001,
+                     min(member.remaining(now) for member in members))
+        if policy.timeout_s is not None \
+                and policy.timeout_s <= budget:
+            return policy
+        self.registry.counter("serve.deadline.applied").inc()
+        return replace(policy, timeout_s=budget)
+
+    def _member_response(self, member: _Pending,
+                         outcome: PointOutcome,
+                         axis: tuple[int, ...], queued_at: float):
+        """Map one healed chunk outcome back onto one batch member."""
+        if member.expired(queued_at):
+            return self._deadline_response(member, queued=True)
+        if (outcome.status == "failed" or outcome.result is None) \
+                and member.expired():
+            return self._deadline_response(member, queued=False)
+        return self._respond(member.request, outcome, axis)
 
     def _build_chunk(self, key: Hashable,
                      requests: list[Any]
@@ -379,9 +573,11 @@ class AllocationService:
                           for step in steps),
             **envelope)
 
-    def _run_conflict_graph(self, request: ConflictGraphRequest
-                            ) -> ConflictGraphResponse:
+    def _run_conflict_graph(self, pending: _Pending):
         """Profile one conflict graph directly (unbatched verb)."""
+        if pending.expired():
+            return self._deadline_response(pending, queued=True)
+        request: ConflictGraphRequest = pending.request
         with self._using_store(request.tenant):
             session = Session(
                 request.workload, cache=request.cache,
@@ -392,6 +588,46 @@ class AllocationService:
         return ConflictGraphResponse(
             graph=conflict_graph_to_dict(graph), run_id=self.run_id)
 
+    # -- drain ----------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service has begun its shutdown drain."""
+        return self.admission.draining
+
+    def begin_drain(self) -> None:
+        """Refuse new work; in-flight requests keep running.
+
+        From this moment :meth:`healthz` and :meth:`readyz` report
+        unhealthy/unready and every new verb request sheds with reason
+        ``draining``; the daemon then flushes the batcher, waits for
+        in-flight work and exits 0.  Idempotent.
+        """
+        if not self.admission.draining:
+            log_event("serve.drain.begin",
+                      inflight=self.admission.inflight)
+            self.registry.counter("serve.drain.begins").inc()
+        self.admission.begin_drain()
+
+    async def drain(self, timeout_s: float) -> bool:
+        """Flush the batcher and wait for in-flight work to finish.
+
+        Returns ``True`` when everything completed inside
+        *timeout_s*, ``False`` when the deadline cut the wait short
+        (in-flight requests may still be running).
+        """
+        self.begin_drain()
+        await self.batcher.flush()
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        while self.admission.inflight > 0:
+            if time.monotonic() >= deadline:
+                log_event("serve.drain.timeout",
+                          inflight=self.admission.inflight)
+                return False
+            await asyncio.sleep(0.01)
+        log_event("serve.drain.complete")
+        return True
+
     # -- health and metrics ---------------------------------------------------
 
     def snapshot(self) -> ProgressSnapshot:
@@ -399,10 +635,35 @@ class AllocationService:
         return self.bus.snapshot(self.registry)
 
     def healthz(self) -> tuple[bool, ProgressSnapshot]:
-        """``(healthy, snapshot)`` — unhealthy when any worker stalls."""
+        """``(healthy, snapshot)`` — stalled workers or drain = 503."""
         snapshot = self.snapshot()
-        return not snapshot.stalled, snapshot
+        return not snapshot.stalled and not self.draining, snapshot
+
+    def readyz(self) -> bool:
+        """Readiness: whether new requests would be admitted at all.
+
+        Liveness (:meth:`healthz`) says *the process works*; readiness
+        says *send traffic here*.  A draining service is still live
+        enough to finish in-flight work but must not receive new
+        requests, so readiness flips first — load balancers watch
+        ``/readyz``, process supervisors ``/healthz``.
+        """
+        return not self.draining
 
     def metrics_text(self) -> str:
-        """The ``/metrics`` body (Prometheus text exposition format)."""
-        return render_prometheus(self.snapshot())
+        """The ``/metrics`` body (Prometheus text exposition format).
+
+        :func:`~repro.obs.live.render_prometheus` covers counters and
+        histogram percentiles; the service appends its gauges
+        (``serve.inflight``, ``serve.breaker.state.<verb>``) which
+        have no place in the progress snapshot.
+        """
+        text = render_prometheus(self.snapshot())
+        lines = [text.rstrip("\n")] if text.strip() else []
+        for name, data in self.registry.snapshot().items():
+            if data.get("type") != "gauge":
+                continue
+            metric = f"repro_{name.replace('.', '_')}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {data['value']:g}")
+        return "\n".join(lines) + "\n"

@@ -103,15 +103,19 @@ class TestDaemonEndToEnd:
             status, data = _post(handle.port, "/v1/simulate",
                                  b"not json")
             assert status == 400
+            assert data["kind"] == "error.response"
+            assert data["error"]["type"] == "MalformedRequest"
             status, data = _post(handle.port, "/v1/simulate",
                                  {"workload": "tiny"})
             assert status == 400
-            assert "schema_version" in data["error"]
+            assert data["kind"] == "error.response"
+            assert "schema_version" in data["error"]["message"]
             status, data = _post(
                 handle.port, "/v1/simulate",
                 {"schema_version": 1, "workload": "tiny",
                  "kind": "evaluate"})
             assert status == 400
+            assert data["status"] == "failed"
         finally:
             handle.stop()
 
@@ -224,7 +228,16 @@ class TestHealth:
 
             service.bus.unit_started("wedged-solve")
             time.sleep(0.12)
-            status, body = _get(handle.port, "/healthz")
+            # Probe briefly: a straggler thread from an earlier test
+            # can momentarily clear the wedged unit via the global
+            # progress sink before the stall becomes visible.
+            deadline = time.monotonic() + 2.0
+            while True:
+                status, body = _get(handle.port, "/healthz")
+                if status == 503 or time.monotonic() >= deadline:
+                    break
+                service.bus.unit_started("wedged-solve")
+                time.sleep(0.12)
             assert status == 503
             assert json.loads(body)["healthy"] is False
 
